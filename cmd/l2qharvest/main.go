@@ -1,0 +1,176 @@
+// Command l2qharvest runs one harvesting session end to end: generate the
+// corpus, learn the domain model, then harvest one entity's aspect with the
+// chosen strategy, printing each iteration's query and cumulative quality.
+//
+// Usage:
+//
+//	l2qharvest -domain researchers -aspect RESEARCH -strategy L2QBAL -queries 4
+//	l2qharvest -domain cars -aspect SAFETY -entity 120 -strategy MQ
+//	l2qharvest -remote 127.0.0.1:8080 ...   # search via a l2qserve instance
+//
+// With -remote, searches and page downloads go through the HTTP search API
+// (the corpus and domain model are still built locally — the flag changes
+// the transport, exactly the paper's commercial-search-API setting; the
+// served corpus must match the local -domain/-entities/-pages/-seed).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"l2q"
+	"l2q/internal/corpus"
+)
+
+func main() {
+	var (
+		domain   = flag.String("domain", "researchers", "researchers or cars")
+		aspect   = flag.String("aspect", "RESEARCH", "target aspect (see Fig. 9)")
+		strategy = flag.String("strategy", "L2QBAL", "RND|P|R|P+q|R+q|P+t|R+t|L2QP|L2QR|L2QBAL|LM|AQ|HR|MQ")
+		entityIx = flag.Int("entity", -1, "entity index (-1 = last entity)")
+		queries  = flag.Int("queries", 3, "number of selected queries")
+		entities = flag.Int("entities", 120, "corpus entities")
+		pages    = flag.Int("pages", 40, "pages per entity")
+		dsample  = flag.Int("domainsample", 40, "domain entities for the domain phase")
+		seed     = flag.Uint64("seed", 1, "corpus seed")
+		remote   = flag.String("remote", "", "harvest via this HTTP search API instead of in-process")
+	)
+	flag.Parse()
+
+	sys, err := l2q.NewSyntheticSystem(corpus.Domain(*domain), l2q.SystemOptions{
+		NumEntities: *entities, PagesPerEntity: *pages, Seed: *seed,
+	})
+	if err != nil {
+		fail(err)
+	}
+	ids := sys.EntityIDs()
+	a := l2q.Aspect(*aspect)
+
+	found := false
+	for _, known := range sys.Aspects() {
+		if known == a {
+			found = true
+		}
+	}
+	if !found {
+		fail(fmt.Errorf("unknown aspect %q; choose one of %v", a, sys.Aspects()))
+	}
+
+	var dm *l2q.DomainModel
+	var hr *l2q.HRModel
+	if *dsample > 0 {
+		if dm, err = sys.LearnDomain(a, ids[:min(*dsample, len(ids)/2)]); err != nil {
+			fail(err)
+		}
+	}
+
+	var sel l2q.Selector
+	switch *strategy {
+	case "RND":
+		sel = l2q.NewRND()
+	case "P":
+		sel = l2q.NewP()
+	case "R":
+		sel = l2q.NewR()
+	case "P+q":
+		sel = l2q.NewPQ()
+	case "R+q":
+		sel = l2q.NewRQ()
+	case "P+t":
+		sel = l2q.NewPT()
+	case "R+t":
+		sel = l2q.NewRT()
+	case "L2QP":
+		sel = l2q.NewL2QP()
+	case "L2QR":
+		sel = l2q.NewL2QR()
+	case "L2QBAL":
+		sel = l2q.NewL2QBAL()
+	case "LM":
+		sel = l2q.NewLM()
+	case "AQ":
+		sel = l2q.NewAQ()
+	case "HR":
+		if hr, err = sys.TrainHR(a, ids[:min(*dsample, len(ids)/2)]); err != nil {
+			fail(err)
+		}
+		sel = l2q.NewHR(hr)
+	case "MQ":
+		sel = l2q.NewMQFor(corpus.Domain(*domain), a)
+	default:
+		fail(fmt.Errorf("unknown strategy %q", *strategy))
+	}
+
+	ix := *entityIx
+	if ix < 0 || ix >= len(ids) {
+		ix = len(ids) - 1
+	}
+	target := sys.Corpus().Entity(ids[ix])
+
+	relUniverse := 0
+	for _, p := range sys.Corpus().PagesOf(target.ID) {
+		if sys.Relevant(a, p) {
+			relUniverse++
+		}
+	}
+
+	fmt.Printf("entity:   %q (seed query %q)\n", target.Name, target.SeedQuery)
+	fmt.Printf("aspect:   %s (%d relevant pages in the corpus)\n", a, relUniverse)
+	fmt.Printf("strategy: %s\n\n", sel.Name())
+
+	var h *l2q.Harvester
+	var re *l2q.RemoteEngine
+	if *remote != "" {
+		if re, err = sys.DialRemote(*remote); err != nil {
+			fail(err)
+		}
+		fmt.Printf("remote:   http://%s (%d pages served)\n\n", *remote, re.Stats().NumPages)
+		h = sys.NewRemoteHarvester(re, target, a, dm)
+	} else {
+		h = sys.NewHarvester(target, a, dm)
+	}
+	h.Bootstrap()
+	report(h, sys, target, a, relUniverse, "seed")
+	for i := 0; i < *queries; i++ {
+		q, ok := h.Step(sel)
+		if !ok {
+			fmt.Println("selector ran out of candidates")
+			break
+		}
+		report(h, sys, target, a, relUniverse, string(q))
+	}
+	fmt.Printf("\nselection time: %v total\n", h.SelectionTime().Round(1000))
+	if re != nil {
+		fmt.Printf("HTTP requests issued: %d\n", re.Requests())
+	}
+}
+
+func report(h *l2q.Harvester, sys *l2q.System, e *l2q.Entity, a l2q.Aspect, relU int, label string) {
+	rel, tot := 0, len(h.Pages())
+	for _, p := range h.Pages() {
+		if p.Entity == e.ID && sys.Relevant(a, p) {
+			rel++
+		}
+	}
+	prec, rec := 0.0, 0.0
+	if tot > 0 {
+		prec = float64(rel) / float64(tot)
+	}
+	if relU > 0 {
+		rec = float64(rel) / float64(relU)
+	}
+	fmt.Printf("%-28q → %2d pages, precision %.2f, recall %.2f\n", label, tot, prec, rec)
+}
+
+func fail(err error) {
+	fmt.Fprintf(os.Stderr, "l2qharvest: %v\n", err)
+	os.Exit(1)
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

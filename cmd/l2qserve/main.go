@@ -1,0 +1,93 @@
+// Command l2qserve serves a corpus as a search API over HTTP: JSON search
+// plus rendered HTML pages — the stand-in for the commercial search engine
+// the paper harvests through. Remote harvesters connect with
+// webapi.Dial and run unchanged (see examples/httpharvest).
+//
+// The corpus is either loaded from a store file written by l2qgen/l2qstore
+// (-store) or generated synthetically (-domain/-entities/-pages).
+//
+// Usage:
+//
+//	l2qserve -addr 127.0.0.1:8080 -domain researchers -entities 100
+//	l2qserve -addr 127.0.0.1:8080 -store corpus.l2q
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"os/signal"
+	"syscall"
+
+	"l2q/internal/corpus"
+	"l2q/internal/search"
+	"l2q/internal/store"
+	"l2q/internal/synth"
+	"l2q/internal/webapi"
+)
+
+func main() {
+	var (
+		addr      = flag.String("addr", "127.0.0.1:8080", "listen address")
+		storePath = flag.String("store", "", "store file to serve (overrides -domain)")
+		domain    = flag.String("domain", "researchers", "researchers or cars")
+		entities  = flag.Int("entities", 100, "corpus entities (synthetic mode)")
+		pages     = flag.Int("pages", 30, "pages per entity (synthetic mode)")
+		seed      = flag.Uint64("seed", 2016, "corpus seed (synthetic mode)")
+		topK      = flag.Int("k", 5, "results per query")
+		quiet     = flag.Bool("quiet", false, "disable request logging")
+	)
+	flag.Parse()
+
+	logger := log.New(os.Stderr, "l2qserve: ", log.LstdFlags)
+
+	var (
+		c   *corpus.Corpus
+		idx *search.Index
+	)
+	if *storePath != "" {
+		b, err := store.LoadFile(*storePath)
+		if err != nil {
+			logger.Fatal(err)
+		}
+		c = b.Corpus
+		idx = b.Index
+		if idx == nil {
+			idx = search.BuildIndex(c.Pages)
+		}
+	} else {
+		cfg := synth.DefaultConfig(corpus.Domain(*domain))
+		cfg.NumEntities = *entities
+		cfg.PagesPerEntity = *pages
+		cfg.Seed = *seed
+		g, err := synth.Generate(cfg)
+		if err != nil {
+			logger.Fatal(err)
+		}
+		c = g.Corpus
+		idx = search.BuildIndex(c.Pages)
+	}
+
+	engine := search.NewEngine(idx).WithTopK(*topK)
+	srv := webapi.NewServer(c, engine)
+	if !*quiet {
+		srv.Log = logger
+	}
+	bound, err := srv.Start(*addr)
+	if err != nil {
+		logger.Fatal(err)
+	}
+	fmt.Printf("serving %d pages of %q on http://%s (top-%d, μ = %.0f)\n",
+		c.NumPages(), c.Domain, bound, engine.TopK(), engine.Mu())
+	fmt.Println("endpoints: /api/stats /api/search?q=&seed= /api/collfreq?tokens= /api/entities /page/{id}.html /healthz")
+
+	stop := make(chan os.Signal, 1)
+	signal.Notify(stop, os.Interrupt, syscall.SIGTERM)
+	<-stop
+	fmt.Println("shutting down")
+	if err := srv.Shutdown(context.Background()); err != nil {
+		logger.Fatal(err)
+	}
+}

@@ -1,0 +1,80 @@
+// HTTP harvest: run the full L2Q loop across a real HTTP boundary — the
+// setting the paper targets, where the harvester pays per search-API call
+// and per page download (§I).
+//
+// The example starts an in-process search API (the same server
+// cmd/l2qserve runs), dials it, and harvests one researcher's RESEARCH
+// aspect remotely: queries go out as HTTP searches, result pages come back
+// as HTML and are segmented on the client. It then repeats the harvest
+// with the in-process engine and shows the two are identical — plus the
+// request bill the remote run paid, which is exactly the cost L2Q's query
+// selection exists to minimize.
+package main
+
+import (
+	"context"
+	"fmt"
+	"log"
+
+	"l2q"
+)
+
+func main() {
+	sys, err := l2q.NewSyntheticSystem(l2q.Researchers, l2q.SystemOptions{
+		NumEntities:    40,
+		PagesPerEntity: 30,
+		Seed:           5,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	ids := sys.EntityIDs()
+	dm, err := sys.LearnDomain("RESEARCH", ids[:20])
+	if err != nil {
+		log.Fatal(err)
+	}
+	target := sys.Corpus().Entity(ids[len(ids)-1])
+
+	// Serve the corpus as a search API on a random local port.
+	srv := sys.NewSearchServer()
+	addr, err := srv.Start("127.0.0.1:0")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer srv.Shutdown(context.Background())
+	fmt.Printf("search API serving %d pages on http://%s\n", sys.Corpus().NumPages(), addr)
+
+	remote, err := sys.DialRemote(addr)
+	if err != nil {
+		log.Fatal(err)
+	}
+	st := remote.Stats()
+	fmt.Printf("dialed: top-%d results, μ=%.0f, %d terms\n\n", st.TopK, st.Mu, st.NumTerms)
+
+	fmt.Printf("harvesting %q RESEARCH remotely (3 queries)\n", target.Name)
+	rh := sys.NewRemoteHarvester(remote, target, "RESEARCH", dm)
+	remoteFired := rh.Run(l2q.NewL2QBAL(), 3)
+	for i, q := range remoteFired {
+		fmt.Printf("  q(%d) = %s\n", i+1, q)
+	}
+	fmt.Printf("gathered %d pages over HTTP; %d HTTP requests total\n\n",
+		len(rh.Pages()), remote.Requests())
+
+	lh := sys.NewHarvesterSeeded(target, "RESEARCH", dm, 1)
+	localFired := lh.Run(l2q.NewL2QBAL(), 3)
+
+	same := len(localFired) == len(remoteFired)
+	for i := 0; same && i < len(localFired); i++ {
+		same = localFired[i] == remoteFired[i]
+	}
+	fmt.Printf("in-process run selected the same queries: %v\n", same)
+	fmt.Printf("pages gathered: %d remote vs %d local\n", len(rh.Pages()), len(lh.Pages()))
+
+	rel := 0
+	for _, p := range rh.Pages() {
+		if sys.Relevant("RESEARCH", p) {
+			rel++
+		}
+	}
+	fmt.Printf("relevant pages in the remote harvest: %d/%d\n", rel, len(rh.Pages()))
+}

@@ -1,0 +1,50 @@
+package baselines
+
+import (
+	"l2q/internal/core"
+	"l2q/internal/corpus"
+	"l2q/internal/synth"
+)
+
+// manualQueries holds the curated five-query lists per (domain, aspect) —
+// our stand-in for the paper's user study, where nine graduate students
+// each provided five queries per domain and aspect with "generally good
+// inter-user agreement" (§VI-C). The lists contain the generic aspect
+// vocabulary a human would naturally try; like the paper's, they are
+// domain-generic, not entity-specific.
+var manualQueries = map[corpus.Domain]map[corpus.Aspect][]core.Query{
+	synth.DomainResearchers: {
+		synth.AspBiography:    {"biography", "born", "short biography", "career", "bio"},
+		synth.AspPresentation: {"slides", "presentation", "talk", "keynote", "tutorial"},
+		synth.AspAward:        {"award", "distinguished", "award won", "prize", "recipient"},
+		synth.AspResearch:     {"research", "publications", "research interests", "papers", "projects"},
+		synth.AspEducation:    {"education", "degree", "phd", "graduated", "thesis"},
+		synth.AspEmployment:   {"employment", "worked", "position", "manager", "joined"},
+		synth.AspContact:      {"contact", "email", "phone", "office", "address"},
+	},
+	synth.DomainCars: {
+		synth.AspVerdict:     {"verdict", "rating", "review", "bottom line", "score"},
+		synth.AspInterior:    {"interior", "cabin", "seats", "legroom", "comfort"},
+		synth.AspExterior:    {"exterior", "styling", "wheels", "paint", "design"},
+		synth.AspPrice:       {"price", "msrp", "cost", "invoice", "pricing"},
+		synth.AspReliability: {"reliability", "warranty", "repairs", "durability", "complaints"},
+		synth.AspSafety:      {"safety", "airbags", "crash test", "brakes", "stars"},
+		synth.AspDriving:     {"driving", "handling", "acceleration", "engine", "ride"},
+	},
+}
+
+// ManualQueries returns the curated query list for a (domain, aspect)
+// pair, or nil if none is defined. The returned slice is a copy.
+func ManualQueries(domain corpus.Domain, aspect corpus.Aspect) []core.Query {
+	m, ok := manualQueries[domain]
+	if !ok {
+		return nil
+	}
+	qs, ok := m[aspect]
+	if !ok {
+		return nil
+	}
+	out := make([]core.Query, len(qs))
+	copy(out, qs)
+	return out
+}

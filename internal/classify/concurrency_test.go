@@ -1,0 +1,37 @@
+package classify
+
+import (
+	"sync"
+	"testing"
+
+	"l2q/internal/synth"
+)
+
+// TestSetConcurrentRelevant hammers the prediction cache from many
+// goroutines; run with -race to catch regressions in the locking.
+func TestSetConcurrentRelevant(t *testing.T) {
+	g, err := synth.Generate(synth.TestConfig(synth.DomainResearchers))
+	if err != nil {
+		t.Fatal(err)
+	}
+	set := TrainSet(g.Aspects, g.Corpus.Pages)
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				p := g.Corpus.Pages[(w*37+i)%len(g.Corpus.Pages)]
+				a := g.Aspects[(w+i)%len(g.Aspects)]
+				set.Relevant(a, p)
+			}
+		}(w)
+	}
+	wg.Wait()
+	// Answers must be stable after the stampede.
+	p := g.Corpus.Pages[0]
+	want := set.ByAspect[g.Aspects[0]].PageRelevant(p)
+	if got := set.Relevant(g.Aspects[0], p); got != want {
+		t.Fatalf("cached answer %v differs from direct %v", got, want)
+	}
+}

@@ -1,0 +1,138 @@
+// Package core implements the paper's contribution: Learning to Query
+// (L2Q). Given a target entity (identified by a seed query) and a target
+// aspect (materialized by a relevance function Y over pages), L2Q
+// iteratively selects the next query to fire at a search engine so that the
+// harvested pages focus on that entity aspect (Fig. 1).
+//
+// The package provides:
+//
+//   - The domain phase (§IV-B): one-off learning of template utilities from
+//     peer entities in the same domain (LearnDomain → DomainModel).
+//   - The entity phase (§IV-C): per-iteration construction of the entity
+//     reinforcement graph and utility inference for candidate queries.
+//   - Context awareness (§V): collective precision/recall of the candidate
+//     together with the past queries Φ, with the redundancy term ∆.
+//   - The selection strategies evaluated in §VI: RND, P, R, P+q, R+q,
+//     P+t, R+t, L2QP, L2QR and L2QBAL.
+package core
+
+import (
+	"l2q/internal/textproc"
+)
+
+// Query is a candidate query in canonical form: tokens joined by single
+// spaces (textproc.JoinQuery). Because tokens may themselves be multi-word
+// phrases ("data mining"), converting a Query back to tokens must go
+// through Config.QueryTokens, which re-applies the phrase lexicon; naive
+// splitting would shatter phrase tokens.
+type Query string
+
+// Config carries every tunable of the L2Q model. DefaultConfig returns the
+// paper's settings (§VI-A "Settings").
+type Config struct {
+	// Alpha is the regularization / restart parameter α of Eq. 13
+	// (paper: 0.15).
+	Alpha float64
+	// Lambda is the domain-adaptation parameter λ of Eq. 21–22
+	// (paper: 10).
+	Lambda float64
+	// R0 is the seed-query recall parameter r0 ∈ (0,1) (§V-A), chosen by
+	// cross-validation in the paper; 0.3 is our validated default.
+	R0 float64
+	// R0Star is the seed query's recall w.r.t. Y* (all pages), the base
+	// case of the collective precision denominator (§V-B). The relevant
+	// subset is much smaller than the page universe, so the seed covers
+	// a smaller fraction of Y* than of Y; anchoring both with the same
+	// r0 makes R*_E(Φ) saturate and collapses collective precision into
+	// collective recall after a few iterations.
+	R0Star float64
+	// MaxQueryLen is the maximum query length L (paper: 3).
+	MaxQueryLen int
+	// MinQueryPageDF prunes domain-phase queries occurring in fewer
+	// pages (noise n-grams); 2 keeps anything that repeats at all.
+	MinQueryPageDF int
+	// MinDomainEntityFrac keeps a domain query as an entity-phase
+	// candidate only if it occurs with at least this fraction of domain
+	// entities (paper: ≥50 of ~500, i.e. 0.1).
+	MinDomainEntityFrac float64
+	// MaxDomainCandidates caps the domain-derived candidate pool,
+	// keeping the most entity-frequent queries.
+	MaxDomainCandidates int
+	// WeightByLikelihood switches page–query edge weights from binary
+	// containment to the retrieval model's per-token likelihood
+	// (the paper's "more generally, Wpq can also encode the connection
+	// strength", §III). Off by default; an ablation benchmark covers it.
+	WeightByLikelihood bool
+	// UseGaussSeidel switches the fixpoint solver to in-place
+	// Gauss–Seidel sweeps, which converge in fewer iterations than the
+	// paper's standard (Jacobi) updating; the solution is identical.
+	UseGaussSeidel bool
+	// UsePushSolver switches the fixpoint solver to residual forward
+	// push (the refs [25][26] efficiency alternative): work scales with
+	// the residual mass moved instead of |V|·iterations, which pays off
+	// on entity graphs whose regularization is concentrated. Takes
+	// precedence over UseGaussSeidel. The per-node error is bounded by
+	// SolverTol.
+	UsePushSolver bool
+	// PriorStrength is the pseudo-count weight m of the domain template
+	// prior inside the probability-scale collective-recall estimate
+	// R_E(q) ≈ (n·count + m·prior)/(n + m); see §V notes in DESIGN.md.
+	PriorStrength float64
+	// UseWalkRecallReg switches the entity phase's template recall
+	// regularization (Eq. 22) from the probability-scale counting
+	// estimate back to the raw forward-walk masses R_D(t). The walk
+	// masses are diluted by the domain graph's size and barely move the
+	// entity fixpoint at λ=10, so counting is the default; the flag
+	// exists for the ablation benchmark.
+	UseWalkRecallReg bool
+	// SolverTol and SolverMaxIter control the fixpoint solver.
+	SolverTol     float64
+	SolverMaxIter int
+	// Stopwords filters candidate n-grams; nil disables filtering.
+	Stopwords *textproc.Stopwords
+	// Tokenizer re-tokenizes query strings (and the seed query) with the
+	// domain's phrase lexicon so multi-word phrase tokens survive the
+	// round trip. Nil falls back to plain space splitting, which is only
+	// correct when the corpus has no phrase tokens.
+	Tokenizer *textproc.Tokenizer
+}
+
+// DefaultConfig returns the paper's parameter settings.
+func DefaultConfig() Config {
+	return Config{
+		Alpha:               0.15,
+		Lambda:              10,
+		R0:                  0.3,
+		R0Star:              0.1,
+		MaxQueryLen:         3,
+		MinQueryPageDF:      2,
+		MinDomainEntityFrac: 0.1,
+		MaxDomainCandidates: 300,
+		PriorStrength:       3,
+		SolverTol:           1e-9,
+		SolverMaxIter:       200,
+		Stopwords:           textproc.NewStopwords(),
+	}
+}
+
+// QueryTokens converts a canonical query string to its token sequence,
+// re-applying the phrase lexicon when a tokenizer is configured.
+func (c Config) QueryTokens(q Query) []textproc.Token {
+	if c.Tokenizer != nil {
+		return c.Tokenizer.Tokenize(string(q))
+	}
+	return textproc.SplitQuery(string(q))
+}
+
+// ngramConfig builds the textproc enumeration config for this Config,
+// excluding the given tokens (the seed query's tokens in the entity phase).
+func (c Config) ngramConfig(exclude []textproc.Token) textproc.NGramConfig {
+	var ex map[textproc.Token]struct{}
+	if len(exclude) > 0 {
+		ex = make(map[textproc.Token]struct{}, len(exclude))
+		for _, t := range exclude {
+			ex[t] = struct{}{}
+		}
+	}
+	return textproc.NGramConfig{MaxLen: c.MaxQueryLen, Stopwords: c.Stopwords, Exclude: ex}
+}

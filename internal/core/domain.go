@@ -1,0 +1,328 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"l2q/internal/corpus"
+	"l2q/internal/graph"
+	"l2q/internal/template"
+	"l2q/internal/textproc"
+	"l2q/internal/types"
+)
+
+// DomainModel is the output of the domain phase (§IV-B) for one aspect:
+// template utilities learned once from peer entities, plus the auxiliary
+// data the entity phase and the +q baselines need.
+type DomainModel struct {
+	Aspect corpus.Aspect
+
+	// TemplateP and TemplateR are P_D(t) and R_D(t), keyed by canonical
+	// template key. They become entity-phase regularization via λ
+	// (Eq. 21–22).
+	TemplateP map[string]float64
+	TemplateR map[string]float64
+	// TemplateRStar is template recall w.r.t. Y* (every page relevant),
+	// needed by collective precision (§V-B) so the Y*-recall inference
+	// is domain-regularized symmetrically to the Y-recall one.
+	TemplateRStar map[string]float64
+
+	// QueryRCount and QueryRStarCount are probability-scale counting
+	// estimates for *transferable* domain queries (those occurring with
+	// ≥2 domain entities): the fraction of relevant (resp. all) domain
+	// pages containing the query. They are the first-choice prior for
+	// the collective utilities; queries outside this map fall back to
+	// the template-level prior below.
+	QueryRCount     map[Query]float64
+	QueryRStarCount map[Query]float64
+
+	// TemplateRCount and TemplateRStarCount are *probability-scale*
+	// counting estimates used by the collective utilities (§V):
+	// the fraction of relevant (resp. all) domain pages containing at
+	// least one query the template abstracts. Unlike the random-walk
+	// masses above — which are diluted by mass-splitting across the
+	// whole candidate set — these are direct estimates of
+	// P(ω ∈ Ω(t) | ω ∈ Ω(Y)) and P(ω ∈ Ω(t)), so they can be combined
+	// with R_E(Φ) in Eq. 26 without scale mismatch (see DESIGN.md).
+	TemplateRCount     map[string]float64
+	TemplateRStarCount map[string]float64
+
+	// QueryP and QueryR are the domain queries' own utilities; the P+q /
+	// R+q strategies consume them directly (and fail on entity
+	// variation, which is the point of Fig. 10).
+	QueryP map[Query]float64
+	QueryR map[Query]float64
+
+	// Candidates are domain queries occurring with at least
+	// MinDomainEntityFrac of the domain entities, most frequent first;
+	// the entity phase adds them to its candidate pool (§IV-C).
+	Candidates []Query
+
+	// RelFraction is the fraction of domain pages relevant to the
+	// aspect — the domain's estimate of how common the aspect is, used
+	// to size the target entity's relevant-page universe when
+	// maintaining R_E(Φ).
+	RelFraction float64
+
+	// NumEntities and NumPages record the domain sample size.
+	NumEntities int
+	NumPages    int
+}
+
+// LearnDomain runs the domain phase: build the domain reinforcement graph
+// over the pages of the given domain entities, solve precision and recall
+// (plus Y*-recall), and package the template utilities.
+//
+// y materializes the aspect's relevance function (classifier output in the
+// experiments). rec is the type system used to enumerate templates.
+func LearnDomain(cfg Config, aspect corpus.Aspect, c *corpus.Corpus,
+	domainEntities []corpus.EntityID, y func(*corpus.Page) bool,
+	rec types.Recognizer) (*DomainModel, error) {
+	return LearnDomainScored(cfg, aspect, c, domainEntities, y, nil, rec)
+}
+
+// LearnDomainScored is LearnDomain with the paper's real-valued relevance
+// generalization (§I: "more generally, Y can map a page to a real-valued
+// relevance score"): when score is non-nil it replaces the binary y in the
+// utility regularization Eq. 11–12 (P̂(p) = score, R̂(p) = score/Σ). The
+// binary y still materializes the counting statistics (relevant-page
+// document frequencies, RelFraction) — those are set-cardinality notions.
+// A {0,1}-valued score reproduces LearnDomain exactly.
+func LearnDomainScored(cfg Config, aspect corpus.Aspect, c *corpus.Corpus,
+	domainEntities []corpus.EntityID, y func(*corpus.Page) bool,
+	score func(*corpus.Page) float64, rec types.Recognizer) (*DomainModel, error) {
+
+	var pages []*corpus.Page
+	for _, id := range domainEntities {
+		pages = append(pages, c.PagesOf(id)...)
+	}
+	if len(pages) == 0 {
+		return nil, fmt.Errorf("core: domain phase has no pages (%d entities)", len(domainEntities))
+	}
+
+	// Pass 1: count page-DF, relevant-page-DF and entity-DF per n-gram.
+	ngCfg := cfg.ngramConfig(nil)
+	pageDF := make(map[string]int)
+	relDF := make(map[string]int)
+	entityDF := make(map[string]int)
+	lastEntity := make(map[string]corpus.EntityID)
+	nRelPages := 0
+	for _, p := range pages {
+		rel := y(p)
+		if rel {
+			nRelPages++
+		}
+		for _, q := range textproc.NGrams(p.Tokens(), ngCfg) {
+			pageDF[q]++
+			if rel {
+				relDF[q]++
+			}
+			if le, seen := lastEntity[q]; !seen || le != p.Entity {
+				entityDF[q]++
+				lastEntity[q] = p.Entity
+			}
+		}
+	}
+
+	// Survivors: queries repeating across pages.
+	minDF := cfg.MinQueryPageDF
+	if minDF < 1 {
+		minDF = 1
+	}
+	queries := make([]string, 0, len(pageDF))
+	for q, df := range pageDF {
+		if df >= minDF {
+			queries = append(queries, q)
+		}
+	}
+	sort.Strings(queries) // deterministic node order
+
+	// Build the domain graph. Edges come from a second enumeration pass:
+	// page p connects to query q iff q is one of p's own n-grams. (The
+	// entity phase uses conjunctive containment instead, because its
+	// candidate pool includes domain queries that are not n-grams of the
+	// current pages; here queries are generated from the pages, exactly
+	// as §III describes — "Q can be generated from P, such as by taking
+	// all n-grams in P as queries".)
+	b := newGraphBuilder(cfg, rec)
+	for _, p := range pages {
+		b.addPage(p)
+	}
+	for _, q := range queries {
+		b.addQuery(Query(q))
+	}
+	for _, p := range pages {
+		for _, qs := range textproc.NGrams(p.Tokens(), ngCfg) {
+			if _, ok := b.queries[Query(qs)]; ok {
+				b.addPQEdge(p, Query(qs))
+			}
+		}
+	}
+
+	// Solve the three fixpoints.
+	var yReg regPair
+	if score != nil {
+		yReg = b.pageRegularizationScored(score)
+	} else {
+		yReg = b.pageRegularization(y)
+	}
+	prec, err := b.solve(graph.Precision, yReg.precision)
+	if err != nil {
+		return nil, err
+	}
+	rec1, err := b.solve(graph.Recall, yReg.recall)
+	if err != nil {
+		return nil, err
+	}
+	yStarReg := b.pageRegularization(func(*corpus.Page) bool { return true })
+	recStar, err := b.solve(graph.Recall, yStarReg.recall)
+	if err != nil {
+		return nil, err
+	}
+
+	dm := &DomainModel{
+		Aspect:             aspect,
+		TemplateP:          make(map[string]float64, len(b.templates)),
+		TemplateR:          make(map[string]float64, len(b.templates)),
+		TemplateRStar:      make(map[string]float64, len(b.templates)),
+		TemplateRCount:     make(map[string]float64, len(b.templates)),
+		TemplateRStarCount: make(map[string]float64, len(b.templates)),
+		QueryRCount:        make(map[Query]float64),
+		QueryRStarCount:    make(map[Query]float64),
+		QueryP:             make(map[Query]float64, len(b.queries)),
+		QueryR:             make(map[Query]float64, len(b.queries)),
+		NumEntities:        len(domainEntities),
+		NumPages:           len(pages),
+	}
+	dm.RelFraction = float64(nRelPages) / float64(len(pages))
+	for key, id := range b.templates {
+		dm.TemplateP[key] = prec[id]
+		dm.TemplateR[key] = rec1[id]
+		dm.TemplateRStar[key] = recStar[id]
+	}
+	for q, id := range b.queries {
+		dm.QueryP[q] = prec[id]
+		dm.QueryR[q] = rec1[id]
+	}
+
+	// Probability-scale counting statistics per template: the *mean
+	// per-instantiation* coverage over the template's member queries.
+	// (Template-level coverage — "some 〈year〉 query appears" — would
+	// wildly overestimate what one concrete query like "1980" retrieves;
+	// the prior for an unseen query of template t is what a typical
+	// member of t achieves.)
+	type tAcc struct {
+		sumRel, sumAll float64
+		n              int
+	}
+	tacc := make(map[string]*tAcc, len(b.templates))
+	for _, q := range b.queryList {
+		for _, key := range b.templateKeysOf(q) {
+			a := tacc[key]
+			if a == nil {
+				a = &tAcc{}
+				tacc[key] = a
+			}
+			if nRelPages > 0 {
+				a.sumRel += float64(relDF[string(q)]) / float64(nRelPages)
+			}
+			a.sumAll += float64(pageDF[string(q)]) / float64(len(pages))
+			a.n++
+		}
+	}
+	for key, a := range tacc {
+		dm.TemplateRCount[key] = a.sumRel / float64(a.n)
+		dm.TemplateRStarCount[key] = a.sumAll / float64(a.n)
+	}
+
+	// Query-level counting priors for transferable queries.
+	for _, q := range b.queryList {
+		if entityDF[string(q)] < 2 {
+			continue
+		}
+		if nRelPages > 0 {
+			dm.QueryRCount[q] = float64(relDF[string(q)]) / float64(nRelPages)
+		}
+		dm.QueryRStarCount[q] = float64(pageDF[string(q)]) / float64(len(pages))
+	}
+
+	// Candidate pool: domain queries frequent across entities (§IV-C:
+	// "we restrict to queries that occur with at least 50 domain
+	// entities"), most frequent first, capped.
+	minEnt := int(cfg.MinDomainEntityFrac * float64(len(domainEntities)))
+	if minEnt < 2 {
+		minEnt = 2
+	}
+	type qc struct {
+		q Query
+		n int
+	}
+	var cands []qc
+	for _, q := range queries {
+		if n := entityDF[q]; n >= minEnt {
+			cands = append(cands, qc{q: Query(q), n: n})
+		}
+	}
+	sort.Slice(cands, func(i, j int) bool {
+		if cands[i].n != cands[j].n {
+			return cands[i].n > cands[j].n
+		}
+		return cands[i].q < cands[j].q
+	})
+	maxC := cfg.MaxDomainCandidates
+	if maxC <= 0 {
+		maxC = 300
+	}
+	if len(cands) > maxC {
+		cands = cands[:maxC]
+	}
+	dm.Candidates = make([]Query, len(cands))
+	for i, c := range cands {
+		dm.Candidates[i] = c.q
+	}
+	return dm, nil
+}
+
+// TopQueriesByP returns the n domain queries with the highest precision
+// utility (for the P+q strategy), most useful first.
+func (dm *DomainModel) TopQueriesByP(n int) []Query { return topQueries(dm.QueryP, n) }
+
+// TopQueriesByR returns the n domain queries with the highest recall
+// utility (for the R+q strategy), most useful first.
+func (dm *DomainModel) TopQueriesByR(n int) []Query { return topQueries(dm.QueryR, n) }
+
+func topQueries(m map[Query]float64, n int) []Query {
+	qs := make([]Query, 0, len(m))
+	for q := range m {
+		qs = append(qs, q)
+	}
+	sort.Slice(qs, func(i, j int) bool {
+		if m[qs[i]] != m[qs[j]] {
+			return m[qs[i]] > m[qs[j]]
+		}
+		return qs[i] < qs[j]
+	})
+	if n < len(qs) {
+		qs = qs[:n]
+	}
+	return qs
+}
+
+// tmplLookup returns the learned utilities for a template key, reporting
+// whether the template was seen in the domain phase.
+func (dm *DomainModel) tmplLookup(key string) (p, r, rStar float64, ok bool) {
+	if dm == nil {
+		return 0, 0, 0, false
+	}
+	p, okP := dm.TemplateP[key]
+	if !okP {
+		return 0, 0, 0, false
+	}
+	return p, dm.TemplateR[key], dm.TemplateRStar[key], true
+}
+
+// templatesOf enumerates the canonical template keys of a query's token
+// sequence under rec.
+func templatesOf(toks []textproc.Token, rec types.Recognizer) []string {
+	return template.EnumerateKeys(toks, rec)
+}

@@ -1,0 +1,292 @@
+package core
+
+import (
+	"l2q/internal/corpus"
+	"l2q/internal/graph"
+)
+
+// InferOptions selects which parts of the L2Q model an inference run uses,
+// matching the strategy ablations of §VI-B.
+type InferOptions struct {
+	// UseTemplates enables domain-aware learning through templates:
+	// template vertices in the entity graph plus λ-scaled regularization
+	// from the domain model (Eq. 21–22).
+	UseTemplates bool
+	// UseDomainCandidates extends the candidate pool with frequent
+	// domain queries (§IV-C).
+	UseDomainCandidates bool
+	// Collective enables context-aware utilities over Φ ∪ {q} (§V).
+	Collective bool
+}
+
+// Inference holds per-candidate utilities from one entity-phase run.
+// Slices are parallel to Queries.
+type Inference struct {
+	Queries []Query
+	// P and R are the individual domain-aware utilities P_E(q), R_E(q)
+	// (Eq. 20).
+	P, R []float64
+	// CollR, CollRStar and CollP are the collective utilities
+	// R_E(Φ∪{q}), R*_E(Φ∪{q}) and P_E(Φ∪{q}) (Eq. 24–27); nil unless
+	// Collective was requested.
+	CollR, CollRStar, CollP []float64
+}
+
+// ArgMax returns the index of the maximal value, breaking ties by query
+// string for determinism; -1 when empty.
+func (inf *Inference) ArgMax(vals []float64) int {
+	best := -1
+	for i, v := range vals {
+		if best < 0 || v > vals[best] ||
+			(v == vals[best] && inf.Queries[i] < inf.Queries[best]) {
+			best = i
+		}
+	}
+	return best
+}
+
+// Infer runs the entity phase (§IV-C): build the entity reinforcement graph
+// over the current result pages and candidate queries, regularize with page
+// relevance and (optionally) domain template utilities, and solve for the
+// requested utilities.
+func (s *Session) Infer(opts InferOptions) (*Inference, error) {
+	cands := s.candidateQueries(opts.UseDomainCandidates)
+	inf := &Inference{Queries: cands}
+	if len(cands) == 0 {
+		return inf, nil
+	}
+
+	rec := s.Rec
+	if !opts.UseTemplates {
+		rec = nil // no template vertices at all
+	}
+	b := newGraphBuilder(s.Cfg, rec)
+	b.engine = s.Engine
+	for _, p := range s.pages {
+		b.addPage(p)
+	}
+	for _, q := range cands {
+		b.addQuery(q)
+	}
+	// Entity graphs are small: conjunctive containment against every
+	// current page (domain candidates are not n-grams of P_E, so the
+	// n-gram trick of the domain phase does not apply here).
+	b.connect()
+
+	var pageReg regPair
+	if s.YScore != nil {
+		pageReg = b.pageRegularizationScored(s.YScore)
+	} else {
+		pageReg = b.pageRegularization(s.Y)
+	}
+
+	lambda := s.Cfg.Lambda
+	var tmplP, tmplR map[string]float64
+	if opts.UseTemplates && s.DM != nil {
+		tmplP = s.DM.TemplateP
+		if s.Cfg.UseWalkRecallReg {
+			tmplR = s.DM.TemplateR
+		} else {
+			tmplR = s.DM.TemplateRCount
+		}
+	}
+
+	// P_E: precision with page + λ·P_D(t) regularization.
+	precReg := b.addTemplateReg(pageReg.precision, tmplP, lambda)
+	prec, err := b.solve(graph.Precision, precReg)
+	if err != nil {
+		return nil, err
+	}
+	// R_E: recall with page + λ·R_D(t) regularization.
+	recReg := b.addTemplateReg(pageReg.recall, tmplR, lambda)
+	rcl, err := b.solve(graph.Recall, recReg)
+	if err != nil {
+		return nil, err
+	}
+
+	inf.P = make([]float64, len(cands))
+	inf.R = make([]float64, len(cands))
+	for i, q := range cands {
+		id := b.queries[q]
+		inf.P[i] = prec[id]
+		inf.R[i] = rcl[id]
+	}
+	if !opts.Collective {
+		return inf, nil
+	}
+	s.collective(inf, b, opts)
+	return inf, nil
+}
+
+// collective computes the context-aware utilities of §V on a consistent
+// probability scale.
+//
+// Eq. 26 decomposes R_E(Φ∪{q}) = R_E(Φ) + R_E(q) − ∆(Φ,q) with
+// ∆ = R^(Ỹ)_E(q)·R_E(Φ). R_E(Φ) is probability-scale (its base case r0 is
+// "the recall of the seed query"), so the other two terms must be too:
+//
+//   - R^(Ỹ)_E(q) = P(ω ∈ Ω(q) | ω ∈ Ω(Ỹ)) is fully observable — Ỹ lives on
+//     the already-gathered pages — so we compute it exactly by counting:
+//     the fraction of gathered relevant pages containing q. (The paper
+//     routes this through the recall fixpoint, whose stationary masses are
+//     diluted across the whole candidate set and would make ∆ vanish;
+//     counting computes the same conditional without the scale distortion.)
+//   - R_E(q) = P(ω ∈ Ω(q) | ω ∈ Ω(Y)) over the *universe* of relevant
+//     pages. The gathered relevant pages are our sample of that universe,
+//     and the domain model's template counting statistics are the prior
+//     for what we have not seen; we blend them with pseudo-count m
+//     (Config.PriorStrength):  (n·count + m·prior)/(n + m).
+//
+// The Y* counterparts (for collective precision, Eq. 27) replace "relevant
+// pages" with "all pages" throughout.
+func (s *Session) collective(inf *Inference, b *graphBuilder, opts InferOptions) {
+	nPages := len(s.pages)
+	var relPages []*corpus.Page
+	for _, p := range s.pages {
+		if s.Y(p) {
+			relPages = append(relPages, p)
+		}
+	}
+	nRel := len(relPages)
+	m := s.Cfg.PriorStrength
+	useDM := opts.UseTemplates && s.DM != nil
+
+	inf.CollR = make([]float64, len(inf.Queries))
+	inf.CollRStar = make([]float64, len(inf.Queries))
+	inf.CollP = make([]float64, len(inf.Queries))
+	for i, q := range inf.Queries {
+		toks := b.queryToks[q]
+
+		// Exact redundancy conditionals over the gathered pages.
+		relCover, allCover := 0, 0
+		for _, p := range s.pages {
+			if p.ContainsQuery(toks) {
+				allCover++
+				if s.Y(p) {
+					relCover++
+				}
+			}
+		}
+		rTilde, rTildeStar := 0.0, 0.0
+		if nRel > 0 {
+			rTilde = float64(relCover) / float64(nRel)
+		}
+		if nPages > 0 {
+			rTildeStar = float64(allCover) / float64(nPages)
+		}
+
+		// Domain priors (probability-scale counting stats): the query's
+		// own domain coverage when it is a transferable domain query,
+		// otherwise the mean per-instantiation coverage of its
+		// templates.
+		priorR, priorRStar := 0.0, 0.0
+		if useDM {
+			if v, ok := s.DM.QueryRCount[q]; ok {
+				priorR = v
+				priorRStar = s.DM.QueryRStarCount[q]
+			} else if keys := b.templateKeysOf(q); len(keys) > 0 {
+				n := 0
+				for _, key := range keys {
+					if v, ok := s.DM.TemplateRCount[key]; ok {
+						priorR += v
+						priorRStar += s.DM.TemplateRStarCount[key]
+						n++
+					}
+				}
+				if n > 0 {
+					priorR /= float64(n)
+					priorRStar /= float64(n)
+				}
+			}
+		}
+
+		// Smoothed probability-scale coverage of the candidate alone.
+		// The observation count is capped: the gathered pages are a
+		// *biased* sample (they were selected by past queries), so
+		// growing them must not drown the domain prior — otherwise
+		// unseen pockets of relevant pages (the entity's second topic)
+		// become invisible exactly when the context has covered the
+		// first pocket.
+		rq := smoothed(rTilde, capObs(nRel), priorR, m)
+		rqStar := smoothed(rTildeStar, capObs(nPages), priorRStar, m)
+
+		// Retrieval-slot calibration: Ω(q)-containment says which
+		// pages q *could* retrieve, but the engine returns only the
+		// top k. A query contained in M̂ ≈ rqStar·N̂* pages delivers
+		// roughly a k/M̂ share of its containment coverage per firing.
+		// This is what makes entity-specific keywords beat generic
+		// ones (§I): "research" is contained everywhere but wastes its
+		// k slots, "parallel computing" converts containment into
+		// retrieval one-for-one. Without it, universal words
+		// ("homepage") maximize containment-recall while retrieving
+		// nothing new.
+		k := float64(s.Engine.TopK())
+		share := 1.0
+		if s.nStarHat > 0 && k > 0 {
+			if mHat := rqStar * s.nStarHat; mHat > k {
+				share = k / mHat
+			}
+		}
+
+		// Backfill: the engine always returns k results, so slots the
+		// query's own containment does not fill come back as seed-
+		// ranked pages — new with probability (1−R*(Φ)) and relevant
+		// only at base rate. Ignoring backfill makes tiny-footprint
+		// junk queries look free in the Eq. 27 ratio (they seem to add
+		// nothing to the denominator), and collective precision then
+		// rewards exactly the queries that waste their slots.
+		targetedStar := share * (rqStar - rTildeStar*s.rStarPhi)
+		if targetedStar < 0 {
+			targetedStar = 0
+		}
+		backfill := 0.0
+		if k > 0 && s.nStarHat > 0 {
+			slots := targetedStar * s.nStarHat / k
+			if slots > 1 {
+				slots = 1
+			}
+			backfill = k * (1 - slots) * (1 - s.rStarPhi) / s.nStarHat
+		}
+
+		// Eq. 26 and its Y* counterpart. The values are deliberately
+		// NOT clamped to [0,1]: they are selection scores, and
+		// clamping would collapse every strong candidate into a tie
+		// at 1.0 that the lexicographic tie-break would then decide.
+		inf.CollR[i] = s.rPhi + share*(rq-rTilde*s.rPhi) + backfill
+		inf.CollRStar[i] = s.rStarPhi + targetedStar + backfill
+		// Eq. 27: collective precision ∝ collective recall ratio.
+		if inf.CollRStar[i] > 0 {
+			inf.CollP[i] = inf.CollR[i] / inf.CollRStar[i]
+		}
+	}
+}
+
+// smoothed blends an observed coverage fraction (over n observations) with
+// a prior via pseudo-count m.
+func smoothed(observed float64, n int, prior float64, m float64) float64 {
+	if n == 0 && m == 0 {
+		return 0
+	}
+	return (float64(n)*observed + m*prior) / (float64(n) + m)
+}
+
+// maxObservations caps the effective sample size of the gathered-page
+// evidence inside smoothed (see the comment at the call site).
+const maxObservations = 5
+
+func capObs(n int) int {
+	if n > maxObservations {
+		return maxObservations
+	}
+	return n
+}
+
+func clamp01(x float64) float64 {
+	if x < 0 {
+		return 0
+	}
+	if x > 1 {
+		return 1
+	}
+	return x
+}

@@ -1,0 +1,102 @@
+package core
+
+import (
+	"encoding/gob"
+	"fmt"
+	"io"
+
+	"l2q/internal/corpus"
+)
+
+// The domain phase runs once per (domain, aspect) and is the expensive
+// part of L2Q (Fig. 14 note: "the efficiency of the domain phase is not of
+// primary concern, as it is only executed once") — which is precisely why
+// a deployment wants to persist its output. WriteGob/ReadDomainModel
+// round-trip the learned model.
+
+// wireDomainModel decouples the wire format from the in-memory struct.
+type wireDomainModel struct {
+	Aspect             string
+	TemplateP          map[string]float64
+	TemplateR          map[string]float64
+	TemplateRStar      map[string]float64
+	TemplateRCount     map[string]float64
+	TemplateRStarCount map[string]float64
+	QueryRCount        map[string]float64
+	QueryRStarCount    map[string]float64
+	QueryP             map[string]float64
+	QueryR             map[string]float64
+	Candidates         []string
+	RelFraction        float64
+	NumEntities        int
+	NumPages           int
+}
+
+// WriteGob serializes the domain model.
+func (dm *DomainModel) WriteGob(w io.Writer) error {
+	wm := wireDomainModel{
+		Aspect:             string(dm.Aspect),
+		TemplateP:          dm.TemplateP,
+		TemplateR:          dm.TemplateR,
+		TemplateRStar:      dm.TemplateRStar,
+		TemplateRCount:     dm.TemplateRCount,
+		TemplateRStarCount: dm.TemplateRStarCount,
+		QueryRCount:        queryMapToString(dm.QueryRCount),
+		QueryRStarCount:    queryMapToString(dm.QueryRStarCount),
+		QueryP:             queryMapToString(dm.QueryP),
+		QueryR:             queryMapToString(dm.QueryR),
+		RelFraction:        dm.RelFraction,
+		NumEntities:        dm.NumEntities,
+		NumPages:           dm.NumPages,
+	}
+	for _, q := range dm.Candidates {
+		wm.Candidates = append(wm.Candidates, string(q))
+	}
+	if err := gob.NewEncoder(w).Encode(wm); err != nil {
+		return fmt.Errorf("core: encode domain model: %w", err)
+	}
+	return nil
+}
+
+// ReadDomainModel deserializes a model written by WriteGob.
+func ReadDomainModel(r io.Reader) (*DomainModel, error) {
+	var wm wireDomainModel
+	if err := gob.NewDecoder(r).Decode(&wm); err != nil {
+		return nil, fmt.Errorf("core: decode domain model: %w", err)
+	}
+	dm := &DomainModel{
+		Aspect:             corpus.Aspect(wm.Aspect),
+		TemplateP:          wm.TemplateP,
+		TemplateR:          wm.TemplateR,
+		TemplateRStar:      wm.TemplateRStar,
+		TemplateRCount:     wm.TemplateRCount,
+		TemplateRStarCount: wm.TemplateRStarCount,
+		QueryRCount:        stringMapToQuery(wm.QueryRCount),
+		QueryRStarCount:    stringMapToQuery(wm.QueryRStarCount),
+		QueryP:             stringMapToQuery(wm.QueryP),
+		QueryR:             stringMapToQuery(wm.QueryR),
+		RelFraction:        wm.RelFraction,
+		NumEntities:        wm.NumEntities,
+		NumPages:           wm.NumPages,
+	}
+	for _, q := range wm.Candidates {
+		dm.Candidates = append(dm.Candidates, Query(q))
+	}
+	return dm, nil
+}
+
+func queryMapToString(m map[Query]float64) map[string]float64 {
+	out := make(map[string]float64, len(m))
+	for k, v := range m {
+		out[string(k)] = v
+	}
+	return out
+}
+
+func stringMapToQuery(m map[string]float64) map[Query]float64 {
+	out := make(map[Query]float64, len(m))
+	for k, v := range m {
+		out[Query(k)] = v
+	}
+	return out
+}

@@ -1,0 +1,76 @@
+package core
+
+import (
+	"bytes"
+	"reflect"
+	"testing"
+)
+
+func TestDomainModelGobRoundTrip(t *testing.T) {
+	f := newFixture(t)
+	var buf bytes.Buffer
+	if err := f.dm.WriteGob(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadDomainModel(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Aspect != f.dm.Aspect {
+		t.Fatalf("aspect %q != %q", back.Aspect, f.dm.Aspect)
+	}
+	if back.RelFraction != f.dm.RelFraction ||
+		back.NumEntities != f.dm.NumEntities || back.NumPages != f.dm.NumPages {
+		t.Fatal("scalar fields mismatch")
+	}
+	if !reflect.DeepEqual(back.TemplateP, f.dm.TemplateP) {
+		t.Fatal("TemplateP mismatch")
+	}
+	if !reflect.DeepEqual(back.QueryRCount, f.dm.QueryRCount) {
+		t.Fatal("QueryRCount mismatch")
+	}
+	if !reflect.DeepEqual(back.Candidates, f.dm.Candidates) {
+		t.Fatal("Candidates mismatch")
+	}
+
+	// The restored model must drive a session identically.
+	a := f.session(f.dm).Run(NewL2QP(), 2)
+	b := f.session(back).Run(NewL2QP(), 2)
+	if !reflect.DeepEqual(a, b) {
+		t.Fatalf("restored model selects differently: %v vs %v", a, b)
+	}
+}
+
+func TestReadDomainModelGarbage(t *testing.T) {
+	if _, err := ReadDomainModel(bytes.NewReader([]byte("nope"))); err == nil {
+		t.Fatal("garbage accepted")
+	}
+}
+
+func TestSessionTrace(t *testing.T) {
+	f := newFixture(t)
+	s := f.session(f.dm)
+	var records []TraceRecord
+	s.Trace = func(r TraceRecord) { records = append(records, r) }
+	s.Run(NewL2QBAL(), 3)
+	if len(records) != 3 {
+		t.Fatalf("trace records = %d", len(records))
+	}
+	for i, r := range records {
+		if r.Iteration != i+1 {
+			t.Errorf("record %d iteration = %d", i, r.Iteration)
+		}
+		if r.Query == "" || r.TotalPages == 0 {
+			t.Errorf("record %d incomplete: %+v", i, r)
+		}
+		if r.RPhi < 0 || r.RPhi > 1 || r.RStarPhi < 0 || r.RStarPhi > 1 {
+			t.Errorf("record %d context out of range: %+v", i, r)
+		}
+	}
+	// Total pages must be non-decreasing.
+	for i := 1; i < len(records); i++ {
+		if records[i].TotalPages < records[i-1].TotalPages {
+			t.Fatal("TotalPages decreased")
+		}
+	}
+}

@@ -1,0 +1,87 @@
+package core
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"l2q/internal/corpus"
+)
+
+// Checkpoint is the durable state of a harvesting session: everything
+// needed to resume after a restart. Because retrieval over a fixed corpus
+// is deterministic, the context Φ (the fired queries, in order) fully
+// determines the gathered page set — so a checkpoint is tiny and resuming
+// is an exact replay, not an approximation. Gathered page IDs are recorded
+// for verification only.
+type Checkpoint struct {
+	// Entity and Aspect identify the session.
+	Entity corpus.EntityID `json:"entity"`
+	Aspect corpus.Aspect   `json:"aspect"`
+	// Fired is the ordered context Φ (excluding the implicit seed).
+	Fired []Query `json:"fired"`
+	// PageIDs are the gathered pages at checkpoint time, in order.
+	PageIDs []corpus.PageID `json:"pageIds"`
+}
+
+// Snapshot captures the session's durable state. The session must have
+// been bootstrapped (a snapshot of an unbooted session is empty but valid).
+func (s *Session) Snapshot() Checkpoint {
+	cp := Checkpoint{
+		Entity: s.Entity.ID,
+		Aspect: s.Aspect,
+		Fired:  append([]Query(nil), s.fired...),
+	}
+	for _, p := range s.pages {
+		cp.PageIDs = append(cp.PageIDs, p.ID)
+	}
+	return cp
+}
+
+// Encode serializes the checkpoint as JSON.
+func (cp Checkpoint) Encode(w io.Writer) error {
+	if err := json.NewEncoder(w).Encode(cp); err != nil {
+		return fmt.Errorf("core: write checkpoint: %w", err)
+	}
+	return nil
+}
+
+// ReadCheckpoint deserializes a checkpoint written by Encode.
+func ReadCheckpoint(r io.Reader) (Checkpoint, error) {
+	var cp Checkpoint
+	if err := json.NewDecoder(r).Decode(&cp); err != nil {
+		return cp, fmt.Errorf("core: read checkpoint: %w", err)
+	}
+	return cp, nil
+}
+
+// Resume replays a checkpoint into a fresh session: it bootstraps, fires
+// the checkpointed queries in order, and verifies the gathered pages match
+// the recorded IDs (a mismatch means the corpus or engine changed under
+// the checkpoint, which would silently corrupt the context model — better
+// to fail loudly). The session must be newly created with the same
+// configuration, engine, entity, aspect, Y, domain model and recognizer.
+func (s *Session) Resume(cp Checkpoint) error {
+	if s.bootOnce {
+		return s.Errorf("resume into a used session")
+	}
+	if cp.Entity != s.Entity.ID || cp.Aspect != s.Aspect {
+		return s.Errorf("checkpoint is for entity %d aspect %s", cp.Entity, cp.Aspect)
+	}
+	s.Bootstrap()
+	for _, q := range cp.Fired {
+		s.Fire(q)
+	}
+	s.updateContext()
+	if len(s.pages) != len(cp.PageIDs) {
+		return s.Errorf("replay gathered %d pages, checkpoint has %d (corpus changed?)",
+			len(s.pages), len(cp.PageIDs))
+	}
+	for i, p := range s.pages {
+		if p.ID != cp.PageIDs[i] {
+			return s.Errorf("replay page %d is %d, checkpoint has %d (corpus changed?)",
+				i, p.ID, cp.PageIDs[i])
+		}
+	}
+	return nil
+}

@@ -1,0 +1,94 @@
+package core
+
+import (
+	"bytes"
+	"reflect"
+	"strings"
+	"testing"
+
+	"l2q/internal/corpus"
+	"l2q/internal/synth"
+)
+
+// TestCheckpointResume runs half a session, checkpoints it through the
+// JSON codec, resumes into a fresh session, finishes both, and demands
+// identical outcomes — the restart-safety property a long-running
+// harvester needs.
+func TestCheckpointResume(t *testing.T) {
+	f := newFixture(t)
+
+	// Reference: one uninterrupted session, 4 queries.
+	ref := f.session(f.dm)
+	refFired := ref.Run(NewL2QBAL(), 4)
+	if len(refFired) < 3 {
+		t.Fatalf("reference fired only %v", refFired)
+	}
+
+	// Interrupted: 2 queries, checkpoint, serialize, deserialize, resume,
+	// 2 more queries.
+	first := f.session(f.dm)
+	first.Run(NewL2QBAL(), 2)
+	var buf bytes.Buffer
+	if err := first.Snapshot().Encode(&buf); err != nil {
+		t.Fatal(err)
+	}
+	cp, err := ReadCheckpoint(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	resumed := f.session(f.dm)
+	if err := resumed.Resume(cp); err != nil {
+		t.Fatal(err)
+	}
+	more := resumed.Run(NewL2QBAL(), 2)
+
+	got := append(append([]Query(nil), cp.Fired...), more...)
+	if !reflect.DeepEqual(got, refFired) {
+		t.Errorf("interrupted run fired %v, uninterrupted %v", got, refFired)
+	}
+	if len(resumed.Pages()) != len(ref.Pages()) {
+		t.Errorf("pages %d vs %d", len(resumed.Pages()), len(ref.Pages()))
+	}
+	for i := range ref.Pages() {
+		if resumed.Pages()[i].ID != ref.Pages()[i].ID {
+			t.Fatalf("page %d differs", i)
+		}
+	}
+}
+
+func TestResumeValidation(t *testing.T) {
+	f := newFixture(t)
+	s := f.session(f.dm)
+	s.Run(NewP(), 1)
+	cp := s.Snapshot()
+	if cp.Aspect != synth.AspResearch || len(cp.Fired) != 1 {
+		t.Fatalf("implausible checkpoint %+v", cp)
+	}
+
+	// Resume into a used session must fail.
+	if err := s.Resume(cp); err == nil {
+		t.Error("resume into a used session accepted")
+	}
+	// Wrong entity must fail.
+	wrong := cp
+	wrong.Entity++
+	if err := f.session(f.dm).Resume(wrong); err == nil {
+		t.Error("wrong-entity checkpoint accepted")
+	}
+	// A tampered page list (simulating a corpus that changed under the
+	// checkpoint) must fail loudly, not silently corrupt the context.
+	tampered := cp
+	tampered.PageIDs = append([]corpus.PageID(nil), cp.PageIDs...)
+	tampered.PageIDs[0] = 999999
+	err := f.session(f.dm).Resume(tampered)
+	if err == nil || !strings.Contains(err.Error(), "corpus changed") {
+		t.Errorf("tampered checkpoint: err = %v", err)
+	}
+}
+
+func TestReadCheckpointErrors(t *testing.T) {
+	if _, err := ReadCheckpoint(strings.NewReader("not json")); err == nil {
+		t.Error("garbage checkpoint accepted")
+	}
+}

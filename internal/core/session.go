@@ -1,0 +1,350 @@
+package core
+
+import (
+	"fmt"
+	"math/rand/v2"
+	"time"
+
+	"l2q/internal/corpus"
+	"l2q/internal/search"
+	"l2q/internal/textproc"
+	"l2q/internal/types"
+)
+
+// Retriever is the search-engine surface a session needs. *search.Engine
+// satisfies it in-process; internal/webapi's Client satisfies it across an
+// HTTP boundary (the paper's commercial-search-API setting), reproducing
+// the engine's scoring from collection statistics.
+type Retriever interface {
+	// SearchWithSeed runs seed ∥ query and returns the top-k results.
+	SearchWithSeed(seed, query []textproc.Token) []search.Result
+	// QueryLikelihood scores one page against a query (edge weighting).
+	QueryLikelihood(p *corpus.Page, query []textproc.Token) float64
+	// TopK is the result-list size of every search.
+	TopK() int
+}
+
+// Session is one harvesting run for one (entity, aspect) pair: it tracks
+// the context of past queries Φ, the current result pages P_E, and the
+// collective-recall state the context-aware model maintains recursively
+// (§V-A: R_E(Φ) decomposes over the query history with base case r0).
+type Session struct {
+	Cfg    Config
+	Engine Retriever
+	Entity *corpus.Entity
+	Aspect corpus.Aspect
+	// Y is the materialized relevance function (classifier output).
+	Y func(*corpus.Page) bool
+	// YScore, when set, replaces the binary Y in the entity graph's
+	// utility regularization (Eq. 11–12) with a real-valued relevance —
+	// the paper's §I generalization ("Y can map a page to a real-valued
+	// relevance score"). The §V collective-context accounting stays on
+	// the binary Y: "a gathered page is relevant" is a set notion. A
+	// {0,1}-valued YScore reproduces the binary behavior exactly.
+	YScore func(*corpus.Page) float64
+	// DM is the domain model; nil runs without domain awareness.
+	DM *DomainModel
+	// Rec is the type system for templates; nil disables templates.
+	Rec types.Recognizer
+	// Fetcher, when set, accounts simulated download latency (Fig. 14).
+	Fetcher *search.Fetcher
+	// Trace, when set, receives one record after every Step — handy for
+	// analyzing why a strategy chose what it chose.
+	Trace func(TraceRecord)
+
+	seed     []textproc.Token
+	fired    []Query
+	firedSet map[Query]struct{}
+	pages    []*corpus.Page
+	pageSet  map[corpus.PageID]struct{}
+
+	// rPhi and rStarPhi are R_E(Φ) and R*_E(Φ), the collective recalls
+	// of the context w.r.t. Y and Y* (§V-A). They are maintained from
+	// observable state anchored at the seed-recall parameter r0: the
+	// seed's g₀ relevant pages correspond to recall r0, implying a
+	// relevant universe of g₀/r0 pages, so after gathering g relevant
+	// pages R_E(Φ) ≈ g·r0/g₀. (Chaining Eq. 26's own estimates instead
+	// compounds the optimism of containment-based priors — containment
+	// overstates what top-k retrieval returns — and saturates R_E(Φ)
+	// at 1 after one good query, degenerating selection.)
+	rPhi, rStarPhi float64
+	seedRel        int     // relevant pages retrieved by the seed query
+	seedPages      int     // pages retrieved by the seed query
+	nStarHat       float64 // estimated page universe |Ω(Y*)| ≈ seedPages/r0*
+
+	rng *rand.Rand
+
+	// selectTime accumulates the CPU time spent choosing queries
+	// (the "Selection" column of Fig. 14).
+	selectTime time.Duration
+	bootOnce   bool
+}
+
+// NewSession creates a harvesting session. rngSeed drives only the RND
+// strategy; every other selector is deterministic.
+func NewSession(cfg Config, engine Retriever, entity *corpus.Entity,
+	aspect corpus.Aspect, y func(*corpus.Page) bool, dm *DomainModel,
+	rec types.Recognizer, rngSeed uint64) *Session {
+
+	return &Session{
+		Cfg:      cfg,
+		Engine:   engine,
+		Entity:   entity,
+		Aspect:   aspect,
+		Y:        y,
+		DM:       dm,
+		Rec:      rec,
+		seed:     cfg.QueryTokens(Query(entity.SeedQuery)),
+		firedSet: make(map[Query]struct{}),
+		pageSet:  make(map[corpus.PageID]struct{}),
+		rng:      rand.New(rand.NewPCG(rngSeed, rngSeed^0xa5a5a5a55a5a5a5a)),
+	}
+}
+
+// Pages returns the current result pages P_E in retrieval order.
+func (s *Session) Pages() []*corpus.Page { return s.pages }
+
+// Fired returns the non-seed queries fired so far, in order.
+func (s *Session) Fired() []Query { return s.fired }
+
+// SelectionTime returns accumulated query-selection CPU time.
+func (s *Session) SelectionTime() time.Duration { return s.selectTime }
+
+// RPhi returns the model's running estimate of R_E(Φ).
+func (s *Session) RPhi() float64 { return s.rPhi }
+
+// Bootstrap fires the seed query q(0) and initializes the context state
+// with the seed-recall parameter r0 (§V-A). It is idempotent.
+func (s *Session) Bootstrap() int {
+	if s.bootOnce {
+		return 0
+	}
+	return s.IngestSeed(s.FetchQuery(""))
+}
+
+// FetchQuery runs the retrieval (search plus simulated download) for q
+// without touching session state; the empty query fetches the seed alone.
+// It is the I/O half of Fire, safe to run on a fetch worker while another
+// entity's selection occupies the CPU (the pipeline scheduler's split).
+func (s *Session) FetchQuery(q Query) []search.Result {
+	var extra []textproc.Token
+	if q != "" {
+		extra = s.Cfg.QueryTokens(q)
+	}
+	res := s.Engine.SearchWithSeed(s.seed, extra)
+	if s.Fetcher != nil {
+		s.Fetcher.Fetch(res)
+	}
+	return res
+}
+
+// IngestSeed initializes the session from pre-fetched seed results — the
+// state half of Bootstrap. Idempotent; returns the number of new pages.
+func (s *Session) IngestSeed(res []search.Result) int {
+	if s.bootOnce {
+		return 0
+	}
+	s.bootOnce = true
+	n := s.merge(res)
+	s.seedPages = len(s.pages)
+	for _, p := range s.pages {
+		if s.Y(p) {
+			s.seedRel++
+		}
+	}
+	s.updateContext()
+	return n
+}
+
+// IngestQuery records q in the context Φ and merges its pre-fetched
+// results — the state half of Fire. Returns the number of new pages.
+func (s *Session) IngestQuery(q Query, res []search.Result) int {
+	s.fired = append(s.fired, q)
+	s.firedSet[q] = struct{}{}
+	n := s.merge(res)
+	s.updateContext()
+	return n
+}
+
+// updateContext refreshes R_E(Φ) and R*_E(Φ) from the gathered pages.
+//
+// The page universe is anchored at the seed's Y*-recall parameter r0*:
+// N̂* = |seed results| / r0*. The relevant universe uses the domain's
+// aspect frequency when a domain model is available (N̂ = RelFraction·N̂*);
+// without a domain model it falls back to the seed-recall anchor g₀/r0
+// (§V-A's base case). A mis-sized universe makes R_E(Φ) saturate at 1,
+// after which the redundancy discount −R^(Ỹ)(q)·R_E(Φ) drowns every
+// covered query and selection degenerates to chasing novelty.
+func (s *Session) updateContext() {
+	rel := 0
+	for _, p := range s.pages {
+		if s.Y(p) {
+			rel++
+		}
+	}
+	p0 := s.seedPages
+	if p0 < 1 {
+		p0 = 1
+	}
+	r0Star := s.Cfg.R0Star
+	if r0Star == 0 {
+		r0Star = s.Cfg.R0 / 3
+	}
+	s.nStarHat = float64(p0) / r0Star
+	s.rStarPhi = clamp01(float64(len(s.pages)) / s.nStarHat)
+
+	var nHat float64
+	if s.DM != nil && s.DM.RelFraction > 0 {
+		nHat = s.DM.RelFraction * s.nStarHat
+	} else {
+		g0 := s.seedRel
+		if g0 < 1 {
+			g0 = 1
+		}
+		nHat = float64(g0) / s.Cfg.R0
+	}
+	if nHat < 1 {
+		nHat = 1
+	}
+	s.rPhi = clamp01(float64(rel) / nHat)
+}
+
+// merge folds results into P_E, returning the number of new pages.
+func (s *Session) merge(res []search.Result) int {
+	added := 0
+	for _, r := range res {
+		if _, dup := s.pageSet[r.Page.ID]; dup {
+			continue
+		}
+		s.pageSet[r.Page.ID] = struct{}{}
+		s.pages = append(s.pages, r.Page)
+		added++
+	}
+	return added
+}
+
+// Fire submits a chosen query (appended to the seed) and records it in the
+// context Φ. Returns the number of new pages retrieved.
+func (s *Session) Fire(q Query) int {
+	return s.ingestNoContext(q, s.FetchQuery(q))
+}
+
+// ingestNoContext is IngestQuery without the context refresh (Step calls
+// updateContext itself after Fire, preserving the original single-threaded
+// code path and its trace semantics).
+func (s *Session) ingestNoContext(q Query, res []search.Result) int {
+	s.fired = append(s.fired, q)
+	s.firedSet[q] = struct{}{}
+	return s.merge(res)
+}
+
+// Selection is a selector's decision.
+type Selection struct {
+	Query Query
+}
+
+// TraceRecord is one harvesting iteration's outcome.
+type TraceRecord struct {
+	Iteration  int
+	Query      Query
+	NewPages   int
+	TotalPages int
+	// RPhi and RStarPhi are the context state after the step.
+	RPhi, RStarPhi float64
+	// SelectionTime is the time this step's selection took.
+	SelectionTime time.Duration
+}
+
+// Selector chooses the next query for a session. Implementations must not
+// fire queries themselves; Session.Step does that.
+type Selector interface {
+	Name() string
+	Select(s *Session) (Selection, bool)
+}
+
+// Step runs one iteration of Fig. 1: select the best query, fire it, and
+// update the collective context. It reports the query fired and false when
+// the selector found no candidate.
+func (s *Session) Step(sel Selector) (Query, bool) {
+	s.Bootstrap()
+	start := time.Now()
+	choice, ok := sel.Select(s)
+	selDur := time.Since(start)
+	s.selectTime += selDur
+	if !ok {
+		return "", false
+	}
+	added := s.Fire(choice.Query)
+	s.updateContext()
+	if s.Trace != nil {
+		s.Trace(TraceRecord{
+			Iteration:     len(s.fired),
+			Query:         choice.Query,
+			NewPages:      added,
+			TotalPages:    len(s.pages),
+			RPhi:          s.rPhi,
+			RStarPhi:      s.rStarPhi,
+			SelectionTime: selDur,
+		})
+	}
+	return choice.Query, true
+}
+
+// Run bootstraps and performs n selection iterations, returning the fired
+// queries. It stops early if the selector runs out of candidates.
+func (s *Session) Run(sel Selector, n int) []Query {
+	s.Bootstrap()
+	out := make([]Query, 0, n)
+	for i := 0; i < n; i++ {
+		q, ok := s.Step(sel)
+		if !ok {
+			break
+		}
+		out = append(out, q)
+	}
+	return out
+}
+
+// Candidates exposes the entity-phase candidate pool Q_E to selectors
+// implemented outside this package (the baselines).
+func (s *Session) Candidates(useDomain bool) []Query {
+	return s.candidateQueries(useDomain)
+}
+
+// candidateQueries enumerates the entity-phase candidate pool Q_E: n-grams
+// of the current result pages (excluding seed tokens), optionally extended
+// with the domain candidates (§IV-C), minus already-fired queries. The
+// result is deterministic: page n-grams in first-appearance order, then
+// domain candidates.
+func (s *Session) candidateQueries(useDomain bool) []Query {
+	ngCfg := s.Cfg.ngramConfig(s.seed)
+	seen := make(map[Query]struct{})
+	var out []Query
+	add := func(q Query) {
+		if _, dup := seen[q]; dup {
+			return
+		}
+		if _, fired := s.firedSet[q]; fired {
+			return
+		}
+		seen[q] = struct{}{}
+		out = append(out, q)
+	}
+	for _, p := range s.pages {
+		for _, qs := range textproc.NGrams(p.Tokens(), ngCfg) {
+			add(Query(qs))
+		}
+	}
+	if useDomain && s.DM != nil {
+		for _, q := range s.DM.Candidates {
+			add(q)
+		}
+	}
+	return out
+}
+
+// Errorf wraps session context into an error (used by callers).
+func (s *Session) Errorf(format string, args ...any) error {
+	prefix := fmt.Sprintf("l2q[%s/%s]: ", s.Entity.Name, s.Aspect)
+	return fmt.Errorf(prefix+format, args...)
+}

@@ -1,0 +1,42 @@
+package core
+
+import (
+	"reflect"
+	"testing"
+
+	"l2q/internal/synth"
+)
+
+// TestSolverChoiceInvariance verifies that the three fixpoint solvers —
+// Jacobi (the paper's), Gauss–Seidel, and residual push — lead to the same
+// query selections end to end: the solver is an efficiency knob, never a
+// behavior knob.
+func TestSolverChoiceInvariance(t *testing.T) {
+	f := newFixture(t)
+
+	run := func(mutate func(*Config)) []Query {
+		cfg := DefaultConfig()
+		cfg.Tokenizer = f.g.Tokenizer
+		mutate(&cfg)
+		dm, err := LearnDomain(cfg, synth.AspResearch, f.g.Corpus, f.domain, f.y, f.rec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		s := NewSession(cfg, f.engine, f.target, synth.AspResearch, f.y, dm, f.rec, 42)
+		return s.Run(NewL2QBAL(), 3)
+	}
+
+	jacobi := run(func(*Config) {})
+	gauss := run(func(c *Config) { c.UseGaussSeidel = true })
+	push := run(func(c *Config) { c.UsePushSolver = true; c.SolverTol = 1e-12 })
+
+	if len(jacobi) == 0 {
+		t.Fatal("no queries selected")
+	}
+	if !reflect.DeepEqual(jacobi, gauss) {
+		t.Errorf("Gauss–Seidel selected %v, Jacobi %v", gauss, jacobi)
+	}
+	if !reflect.DeepEqual(jacobi, push) {
+		t.Errorf("push solver selected %v, Jacobi %v", push, jacobi)
+	}
+}

@@ -1,0 +1,160 @@
+package core
+
+import "math"
+
+// The strategies of §VI-B/§VI-C. Constructors return stateless Selectors
+// (safe to reuse across sessions):
+//
+//	RND          random candidate (reference point)
+//	P, R         basic utility inference, no domain, no context (§III)
+//	P+q, R+q     best domain *queries* used directly (entity-variation foil)
+//	P+t, R+t     domain-aware via templates, no context (§IV)
+//	L2QP, L2QR   full: domain + context aware (§V)
+//	L2QBAL       geometric mean of collective P and R (§VI-C)
+
+// NewRND returns the random-selection reference strategy.
+func NewRND() Selector { return rndSelector{} }
+
+type rndSelector struct{}
+
+func (rndSelector) Name() string { return "RND" }
+
+func (rndSelector) Select(s *Session) (Selection, bool) {
+	cands := s.candidateQueries(s.DM != nil)
+	if len(cands) == 0 {
+		return Selection{}, false
+	}
+	return Selection{Query: cands[s.rng.IntN(len(cands))]}, true
+}
+
+// utilitySelector covers P, R, P+t, R+t, L2QP, L2QR and L2QBAL via flags.
+type utilitySelector struct {
+	name       string
+	templates  bool // domain-aware
+	collective bool // context-aware
+	score      func(inf *Inference, i int) float64
+}
+
+func (u utilitySelector) Name() string { return u.name }
+
+func (u utilitySelector) Select(s *Session) (Selection, bool) {
+	inf, err := s.Infer(InferOptions{
+		UseTemplates:        u.templates,
+		UseDomainCandidates: u.templates,
+		Collective:          u.collective,
+	})
+	if err != nil || len(inf.Queries) == 0 {
+		return Selection{}, false
+	}
+	scores := make([]float64, len(inf.Queries))
+	for i := range scores {
+		scores[i] = u.score(inf, i)
+	}
+	best := inf.ArgMax(scores)
+	if best < 0 {
+		return Selection{}, false
+	}
+	return Selection{Query: inf.Queries[best]}, true
+}
+
+// NewP returns the precision-optimizing basic strategy (no domain, no
+// context).
+func NewP() Selector {
+	return utilitySelector{name: "P", score: func(inf *Inference, i int) float64 { return inf.P[i] }}
+}
+
+// NewR returns the recall-optimizing basic strategy.
+func NewR() Selector {
+	return utilitySelector{name: "R", score: func(inf *Inference, i int) float64 { return inf.R[i] }}
+}
+
+// NewPT returns P+t: domain-aware via templates, not context-aware.
+func NewPT() Selector {
+	return utilitySelector{name: "P+t", templates: true,
+		score: func(inf *Inference, i int) float64 { return inf.P[i] }}
+}
+
+// NewRT returns R+t: domain-aware via templates, not context-aware.
+func NewRT() Selector {
+	return utilitySelector{name: "R+t", templates: true,
+		score: func(inf *Inference, i int) float64 { return inf.R[i] }}
+}
+
+// NewL2QP returns the full precision-optimizing approach (domain + context).
+func NewL2QP() Selector {
+	return utilitySelector{name: "L2QP", templates: true, collective: true,
+		score: func(inf *Inference, i int) float64 { return inf.CollP[i] }}
+}
+
+// NewL2QR returns the full recall-optimizing approach.
+func NewL2QR() Selector {
+	return utilitySelector{name: "L2QR", templates: true, collective: true,
+		score: func(inf *Inference, i int) float64 { return inf.CollR[i] }}
+}
+
+// NewL2QBAL returns the balanced strategy: geometric mean of collective
+// precision and recall (§VI-C; the harmonic mean is avoided because the
+// probabilistic utilities have incomparable scales).
+func NewL2QBAL() Selector {
+	return utilitySelector{name: "L2QBAL", templates: true, collective: true,
+		score: func(inf *Inference, i int) float64 {
+			p, r := inf.CollP[i], inf.CollR[i]
+			if p <= 0 || r <= 0 {
+				return 0
+			}
+			return math.Sqrt(p * r)
+		}}
+}
+
+// NewL2QWeighted generalizes L2QBAL with a precision weight β ∈ (0,1):
+// score = CollP^β · CollR^(1−β). The paper leaves "a more thorough and
+// principled approach" to combining the two utilities as future work
+// (§VI-C); this strategy is that extension — β = 0.5 recovers L2QBAL,
+// larger β trades recall for precision.
+func NewL2QWeighted(beta float64) Selector {
+	if beta <= 0 || beta >= 1 {
+		beta = 0.5
+	}
+	return utilitySelector{
+		name: "L2QW", templates: true, collective: true,
+		score: func(inf *Inference, i int) float64 {
+			p, r := inf.CollP[i], inf.CollR[i]
+			if p <= 0 || r <= 0 {
+				return 0
+			}
+			return math.Pow(p, beta) * math.Pow(r, 1-beta)
+		}}
+}
+
+// domainQuerySelector implements P+q / R+q: fire the domain's individually
+// best queries in order, exposing entity variation (§VI-B, Fig. 10).
+type domainQuerySelector struct {
+	name string
+	byR  bool
+}
+
+func (d domainQuerySelector) Name() string { return d.name }
+
+func (d domainQuerySelector) Select(s *Session) (Selection, bool) {
+	if s.DM == nil {
+		return Selection{}, false
+	}
+	var ranked []Query
+	if d.byR {
+		ranked = s.DM.TopQueriesByR(len(s.DM.QueryR))
+	} else {
+		ranked = s.DM.TopQueriesByP(len(s.DM.QueryP))
+	}
+	for _, q := range ranked {
+		if _, fired := s.firedSet[q]; !fired {
+			return Selection{Query: q}, true
+		}
+	}
+	return Selection{}, false
+}
+
+// NewPQ returns P+q: domain queries ranked by precision, fired directly.
+func NewPQ() Selector { return domainQuerySelector{name: "P+q"} }
+
+// NewRQ returns R+q: domain queries ranked by recall, fired directly.
+func NewRQ() Selector { return domainQuerySelector{name: "R+q", byR: true} }

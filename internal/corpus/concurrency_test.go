@@ -1,0 +1,39 @@
+package corpus
+
+import (
+	"sync"
+	"testing"
+)
+
+// TestPageConcurrentTokenCaches exercises the lazily built token caches
+// from many goroutines; run with -race.
+func TestPageConcurrentTokenCaches(t *testing.T) {
+	p := &Page{ID: 1, Entity: 0}
+	for i := 0; i < 20; i++ {
+		p.Paras = append(p.Paras, Paragraph{
+			Tokens: []string{"alpha", "beta", "gamma", "delta"},
+		})
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 100; i++ {
+				if len(p.Tokens()) != 80 {
+					t.Error("token cache corrupted")
+					return
+				}
+				if !p.HasToken("gamma") || p.HasToken("zeta") {
+					t.Error("token-set cache corrupted")
+					return
+				}
+				if !p.ContainsQuery([]string{"alpha", "delta"}) {
+					t.Error("containment corrupted")
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+}

@@ -1,0 +1,261 @@
+// Package corpus defines the data model shared by every layer of the
+// reproduction: entities, pages, paragraphs, aspects, and the Corpus
+// container that holds the pre-collected "web" the experiments run on.
+//
+// The paper collects ~50 pages per entity from the live Web in advance and
+// retrieves only from that fixed corpus (§VI-A "Corpora"); Corpus is that
+// fixed collection. Pages carry paragraph-level aspect labels because the
+// paper evaluates relevance at paragraph granularity (§VI-A "Entity
+// aspects") and the aspect classifiers are paragraph classifiers.
+package corpus
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"l2q/internal/textproc"
+)
+
+// Aspect names a target facet of an entity, e.g. "RESEARCH" or "SAFETY".
+// The empty aspect is reserved for unlabeled / noise paragraphs.
+type Aspect string
+
+// Domain names a kind of entity: "researchers" or "cars" in the paper, but
+// the system is domain-agnostic and callers can define their own.
+type Domain string
+
+// EntityID uniquely identifies an entity within a corpus.
+type EntityID int
+
+// PageID uniquely identifies a page within a corpus.
+type PageID int
+
+// Paragraph is the retrieval-granularity text unit: a run of sentences with
+// a single dominant aspect label assigned by the generator (the analogue of
+// the paper's jsoup paragraph segmentation + CRF labels).
+type Paragraph struct {
+	Text   string
+	Tokens []textproc.Token
+	// Aspect is the generator's ground-truth label; empty for filler.
+	Aspect Aspect
+}
+
+// Page is one web page: an ordered list of paragraphs about one entity.
+// The token caches are built lazily under sync.Once, so pages are safe to
+// share across concurrent harvesting sessions (which never mutate Paras).
+type Page struct {
+	ID     PageID
+	Entity EntityID
+	URL    string
+	Title  string
+	Paras  []Paragraph
+	// Links are outgoing hyperlinks to other pages in the corpus. The
+	// query-driven L2Q methods never follow them; they exist so the
+	// link-based focused-crawler baseline (internal/crawler) has a web
+	// graph to walk, and so the HTML rendering is a faithful page.
+	Links []PageID
+
+	tokOnce  sync.Once
+	tokens   []textproc.Token // cached concatenation of paragraph tokens
+	setOnce  sync.Once
+	tokenSet map[textproc.Token]struct{}
+}
+
+// Tokens returns the page's full token stream (paragraphs concatenated),
+// computing and caching it on first use.
+func (p *Page) Tokens() []textproc.Token {
+	p.tokOnce.Do(func() {
+		n := 0
+		for i := range p.Paras {
+			n += len(p.Paras[i].Tokens)
+		}
+		p.tokens = make([]textproc.Token, 0, n)
+		for i := range p.Paras {
+			p.tokens = append(p.tokens, p.Paras[i].Tokens...)
+		}
+	})
+	return p.tokens
+}
+
+// HasToken reports whether the page contains the token anywhere; the set is
+// built lazily and cached.
+func (p *Page) HasToken(tok textproc.Token) bool {
+	p.setOnce.Do(func() {
+		toks := p.Tokens()
+		p.tokenSet = make(map[textproc.Token]struct{}, len(toks))
+		for _, t := range toks {
+			p.tokenSet[t] = struct{}{}
+		}
+	})
+	_, ok := p.tokenSet[tok]
+	return ok
+}
+
+// ContainsQuery reports whether the page contains the query: every query
+// token must appear in the page (conjunctive containment). This is the
+// edge predicate for reinforcement graphs ("page p can be retrieved by
+// query q", §III).
+func (p *Page) ContainsQuery(queryTokens []textproc.Token) bool {
+	for _, t := range queryTokens {
+		if !p.HasToken(t) {
+			return false
+		}
+	}
+	return len(queryTokens) > 0
+}
+
+// AspectFraction returns the fraction of paragraphs labeled with aspect a.
+func (p *Page) AspectFraction(a Aspect) float64 {
+	if len(p.Paras) == 0 {
+		return 0
+	}
+	n := 0
+	for i := range p.Paras {
+		if p.Paras[i].Aspect == a {
+			n++
+		}
+	}
+	return float64(n) / float64(len(p.Paras))
+}
+
+// Entity is one real-world object being harvested: a researcher or a car
+// model, identified by a seed query (name + disambiguator, §I "Input").
+type Entity struct {
+	ID     EntityID
+	Domain Domain
+	Name   string
+	// SeedQuery uniquely identifies the entity, e.g. "marc snir uiuc".
+	// It is both the initial query and an implicit conjunct appended to
+	// every subsequent query.
+	SeedQuery string
+	// Attrs carries generator metadata (topics, institute, make, ...);
+	// the harvesting algorithms never look at it — only tests and the
+	// ideal-solution oracle may.
+	Attrs map[string]string
+}
+
+// SeedTokens returns the tokenized seed query.
+func (e *Entity) SeedTokens() []textproc.Token {
+	return textproc.SplitQuery(e.SeedQuery)
+}
+
+// Corpus is the fixed page collection for one domain.
+type Corpus struct {
+	Domain   Domain
+	Entities []*Entity
+	Pages    []*Page
+
+	byEntity map[EntityID][]*Page
+	entByID  map[EntityID]*Entity
+}
+
+// New creates an empty corpus for a domain.
+func New(domain Domain) *Corpus {
+	return &Corpus{
+		Domain:   domain,
+		byEntity: make(map[EntityID][]*Page),
+		entByID:  make(map[EntityID]*Entity),
+	}
+}
+
+// AddEntity registers an entity; its ID must be unique in the corpus.
+func (c *Corpus) AddEntity(e *Entity) error {
+	if _, dup := c.entByID[e.ID]; dup {
+		return fmt.Errorf("corpus: duplicate entity id %d", e.ID)
+	}
+	c.Entities = append(c.Entities, e)
+	c.entByID[e.ID] = e
+	return nil
+}
+
+// AddPage registers a page; its entity must already exist.
+func (c *Corpus) AddPage(p *Page) error {
+	if _, ok := c.entByID[p.Entity]; !ok {
+		return fmt.Errorf("corpus: page %d references unknown entity %d", p.ID, p.Entity)
+	}
+	c.Pages = append(c.Pages, p)
+	c.byEntity[p.Entity] = append(c.byEntity[p.Entity], p)
+	return nil
+}
+
+// Entity returns the entity with the given ID, or nil.
+func (c *Corpus) Entity(id EntityID) *Entity { return c.entByID[id] }
+
+// PagesOf returns the pages of one entity (shared slice; do not mutate).
+func (c *Corpus) PagesOf(id EntityID) []*Page { return c.byEntity[id] }
+
+// NumEntities returns the number of entities.
+func (c *Corpus) NumEntities() int { return len(c.Entities) }
+
+// NumPages returns the number of pages.
+func (c *Corpus) NumPages() int { return len(c.Pages) }
+
+// Subset returns a shallow corpus view containing only the given entities
+// and their pages, preserving order. Unknown IDs are ignored.
+func (c *Corpus) Subset(ids []EntityID) *Corpus {
+	sub := New(c.Domain)
+	want := make(map[EntityID]struct{}, len(ids))
+	for _, id := range ids {
+		want[id] = struct{}{}
+	}
+	for _, e := range c.Entities {
+		if _, ok := want[e.ID]; ok {
+			_ = sub.AddEntity(e)
+		}
+	}
+	for _, p := range c.Pages {
+		if _, ok := want[p.Entity]; ok {
+			_ = sub.AddPage(p)
+		}
+	}
+	return sub
+}
+
+// Stats summarizes a corpus for logs and the Fig. 9 frequency column.
+type Stats struct {
+	Domain        Domain
+	Entities      int
+	Pages         int
+	Paragraphs    int
+	Tokens        int
+	ParasByAspect map[Aspect]int
+}
+
+// ComputeStats walks the corpus once and tallies the summary.
+func (c *Corpus) ComputeStats() Stats {
+	s := Stats{
+		Domain:        c.Domain,
+		Entities:      len(c.Entities),
+		Pages:         len(c.Pages),
+		ParasByAspect: make(map[Aspect]int),
+	}
+	for _, p := range c.Pages {
+		s.Paragraphs += len(p.Paras)
+		for i := range p.Paras {
+			s.Tokens += len(p.Paras[i].Tokens)
+			if a := p.Paras[i].Aspect; a != "" {
+				s.ParasByAspect[a]++
+			}
+		}
+	}
+	return s
+}
+
+// Aspects returns the sorted list of aspects appearing in the corpus.
+func (c *Corpus) Aspects() []Aspect {
+	set := make(map[Aspect]struct{})
+	for _, p := range c.Pages {
+		for i := range p.Paras {
+			if a := p.Paras[i].Aspect; a != "" {
+				set[a] = struct{}{}
+			}
+		}
+	}
+	out := make([]Aspect, 0, len(set))
+	for a := range set {
+		out = append(out, a)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}

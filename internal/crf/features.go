@@ -1,0 +1,35 @@
+package crf
+
+// FeatureMap interns string feature names as dense IDs. Fit-time code
+// calls ID to allocate; after Freeze, unknown names return -1 (the model
+// ignores negative IDs at decode time, the standard treatment of
+// unseen-at-training features).
+type FeatureMap struct {
+	ids    map[string]int
+	frozen bool
+}
+
+// NewFeatureMap returns an empty, unfrozen feature map.
+func NewFeatureMap() *FeatureMap {
+	return &FeatureMap{ids: make(map[string]int, 1024)}
+}
+
+// ID returns the dense ID for a feature name, allocating a new one unless
+// the map is frozen (then -1 for unknown names).
+func (fm *FeatureMap) ID(name string) int {
+	if id, ok := fm.ids[name]; ok {
+		return id
+	}
+	if fm.frozen {
+		return -1
+	}
+	id := len(fm.ids)
+	fm.ids[name] = id
+	return id
+}
+
+// Freeze stops allocation; subsequent unknown names map to -1.
+func (fm *FeatureMap) Freeze() { fm.frozen = true }
+
+// Len returns the number of allocated features.
+func (fm *FeatureMap) Len() int { return len(fm.ids) }

@@ -1,0 +1,112 @@
+package eval
+
+import (
+	"sync"
+
+	"l2q/internal/core"
+	"l2q/internal/corpus"
+	"l2q/internal/crawler"
+)
+
+// CrawlResult compares query-driven harvesting (L2QBAL) with the classic
+// link-following focused crawler at an equal page-download budget — the
+// extension experiment materializing the paper's §II claim that
+// query-driven harvesting, not link traversal, is the right primitive for
+// entity aspects (links encode entity locality but say nothing about which
+// aspect a page covers).
+type CrawlResult struct {
+	Domain corpus.Domain
+	// L2QF and CrawlerF are mean normalized F-scores over all aspects and
+	// test entities, at the default 3 selected queries and the matching
+	// crawler budget of (3+1)·topK page downloads.
+	L2QF, CrawlerF float64
+	// Sig is the paired significance of the difference.
+	Sig Significance
+	// Entities is the number of contributing (entity, aspect) pairs.
+	Entities int
+}
+
+// CompareCrawler runs the budget-matched comparison on the test split.
+func (e *Env) CompareCrawler() (CrawlResult, error) {
+	const nQueries = 3
+	budget := (nQueries + 1) * e.Engine.TopK()
+	byID := crawler.PageIndex(e.G.Corpus)
+
+	type pair struct {
+		l2q, crawl float64
+		ok         bool
+	}
+	out := CrawlResult{Domain: e.Cfg.Domain}
+	var allPairs []pair
+	for _, aspect := range e.G.Aspects {
+		dm, err := e.DomainModel(aspect, -1)
+		if err != nil {
+			return out, err
+		}
+		pairs := make([]pair, len(e.TestIDs))
+		var wg sync.WaitGroup
+		sem := make(chan struct{}, e.parallelism())
+		for i, id := range e.TestIDs {
+			wg.Add(1)
+			go func(i int, id corpus.EntityID) {
+				defer wg.Done()
+				sem <- struct{}{}
+				defer func() { <-sem }()
+
+				entity := e.G.Corpus.Entity(id)
+				relevant := e.relevantUniverse(entity, aspect)
+				if len(relevant) == 0 {
+					return
+				}
+				ideal := e.idealRun(entity, aspect, nQueries)
+				y := e.Cls.YFunc(aspect)
+
+				s := e.NewSession(entity, aspect, dm, nil, uint64(id)+1)
+				s.Run(core.NewL2QBAL(), nQueries)
+				l2q := normalize(measure(s.Pages(), relevant), ideal[nQueries-1])
+
+				seeds := e.Engine.SearchWithSeed(entity.SeedTokens(), nil)
+				seedPages := make([]*corpus.Page, 0, len(seeds))
+				for _, r := range seeds {
+					seedPages = append(seedPages, r.Page)
+				}
+				cr := crawler.Crawl(byID, seedPages, y, crawler.Config{Budget: budget})
+				crawl := normalize(measure(cr.Pages, relevant), ideal[nQueries-1])
+
+				pairs[i] = pair{l2q: l2q.F, crawl: crawl.F, ok: true}
+			}(i, id)
+		}
+		wg.Wait()
+		allPairs = append(allPairs, pairs...)
+	}
+
+	var fa, fb []float64
+	for _, p := range allPairs {
+		if !p.ok {
+			continue
+		}
+		fa = append(fa, p.l2q)
+		fb = append(fb, p.crawl)
+	}
+	out.Entities = len(fa)
+	if len(fa) == 0 {
+		return out, nil
+	}
+	a := RunResult{Method: MethodL2QBAL, PerEntityF: fa}
+	b := RunResult{Method: Method("CRAWL"), PerEntityF: fb}
+	sig, err := Compare(a, b)
+	if err != nil {
+		return out, err
+	}
+	out.Sig = sig
+	sum := func(xs []float64) float64 {
+		s := 0.0
+		for _, x := range xs {
+			s += x
+		}
+		return s
+	}
+	out.L2QF = sum(fa) / float64(len(fa))
+	out.CrawlerF = sum(fb) / float64(len(fb))
+	return out, nil
+}

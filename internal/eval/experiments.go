@@ -1,0 +1,261 @@
+package eval
+
+import (
+	"time"
+
+	"l2q/internal/classify"
+	"l2q/internal/corpus"
+	"l2q/internal/crf"
+	"l2q/internal/search"
+	"l2q/internal/synth"
+)
+
+// ---------------------------------------------------------------------------
+// Fig. 9 — tested entity aspects and accuracy of aspect classifiers.
+// ---------------------------------------------------------------------------
+
+// Fig9Row is one row of Fig. 9: an aspect, its paragraph frequency in the
+// corpus, and the classifier's paragraph-level accuracy on held-out (test
+// half) pages.
+type Fig9Row struct {
+	Aspect    corpus.Aspect
+	Frequency int
+	Accuracy  float64
+}
+
+// Fig9 reproduces the classifier table.
+func (e *Env) Fig9() []Fig9Row {
+	stats := e.G.Corpus.ComputeStats()
+	var testPages []*corpus.Page
+	for _, id := range e.TestIDs {
+		testPages = append(testPages, e.G.Corpus.PagesOf(id)...)
+	}
+	rows := make([]Fig9Row, 0, len(e.G.Aspects))
+	for _, a := range e.G.Aspects {
+		rows = append(rows, Fig9Row{
+			Aspect:    a,
+			Frequency: stats.ParasByAspect[a],
+			Accuracy:  e.Cls.ByAspect[a].Accuracy(testPages),
+		})
+	}
+	return rows
+}
+
+// Fig9CRFRow extends Fig. 9 with the paper's actual classifier family: the
+// held-out accuracy of a linear-chain CRF next to the Naive Bayes default.
+type Fig9CRFRow struct {
+	Aspect      corpus.Aspect
+	AccuracyNB  float64
+	AccuracyCRF float64
+}
+
+// Fig9CRF trains one CRF per aspect on the domain half (the same split the
+// NB classifiers were trained on) and measures both families on the test
+// half. CRF training is seconds-to-minutes per aspect depending on corpus
+// scale.
+func (e *Env) Fig9CRF() []Fig9CRFRow {
+	var domainPages, testPages []*corpus.Page
+	for _, id := range e.DomainIDs {
+		domainPages = append(domainPages, e.G.Corpus.PagesOf(id)...)
+	}
+	for _, id := range e.TestIDs {
+		testPages = append(testPages, e.G.Corpus.PagesOf(id)...)
+	}
+	crfs := classify.TrainCRFSet(e.G.Aspects, domainPages, crf.DefaultTrainConfig())
+	rows := make([]Fig9CRFRow, 0, len(e.G.Aspects))
+	for _, a := range e.G.Aspects {
+		rows = append(rows, Fig9CRFRow{
+			Aspect:      a,
+			AccuracyNB:  e.Cls.AccuracyOf(a, testPages),
+			AccuracyCRF: crfs.AccuracyOf(a, testPages),
+		})
+	}
+	return rows
+}
+
+// ---------------------------------------------------------------------------
+// Fig. 10 — validation of domain and context awareness.
+// ---------------------------------------------------------------------------
+
+// Fig10Result holds the ablation bars: normalized precision for the
+// precision-family strategies and normalized recall for the recall family,
+// measured at the default number of queries (3), averaged over all aspects
+// and test entities.
+type Fig10Result struct {
+	Domain    corpus.Domain
+	Precision map[Method]float64 // RND, P, P+q, P+t, L2QP
+	Recall    map[Method]float64 // RND, R, R+q, R+t, L2QR
+}
+
+// Fig10 runs the domain/context ablation.
+func (e *Env) Fig10() (Fig10Result, error) {
+	out := Fig10Result{
+		Domain:    e.Cfg.Domain,
+		Precision: make(map[Method]float64),
+		Recall:    make(map[Method]float64),
+	}
+	const n = 3 // paper's default query count
+	for _, m := range []Method{MethodRND, MethodP, MethodPQ, MethodPT, MethodL2QP} {
+		r, err := e.RunMethodAllAspects(m, e.TestIDs, n, -1)
+		if err != nil {
+			return out, err
+		}
+		out.Precision[m] = r.PerIteration[n-1].P
+	}
+	for _, m := range []Method{MethodRND, MethodR, MethodRQ, MethodRT, MethodL2QR} {
+		r, err := e.RunMethodAllAspects(m, e.TestIDs, n, -1)
+		if err != nil {
+			return out, err
+		}
+		out.Recall[m] = r.PerIteration[n-1].R
+	}
+	return out, nil
+}
+
+// ---------------------------------------------------------------------------
+// Fig. 11 — effect of domain size.
+// ---------------------------------------------------------------------------
+
+// Fig11Result holds the domain-size sweep: for each fraction of the domain
+// entities, the normalized precision of L2QP and recall of L2QR.
+type Fig11Result struct {
+	Domain    corpus.Domain
+	Fractions []float64
+	PrecL2QP  []float64
+	RecL2QR   []float64
+}
+
+// Fig11Fractions are the sweep points of the paper.
+var Fig11Fractions = []float64{0, 0.05, 0.10, 0.25, 1.0}
+
+// Fig11 sweeps the number of domain entities used by the domain phase.
+func (e *Env) Fig11() (Fig11Result, error) {
+	out := Fig11Result{Domain: e.Cfg.Domain, Fractions: Fig11Fractions}
+	const n = 3
+	for _, frac := range Fig11Fractions {
+		sample := int(frac * float64(e.Cfg.DomainSample))
+		if frac > 0 && sample < 1 {
+			sample = 1
+		}
+		rp, err := e.RunMethodAllAspects(MethodL2QP, e.TestIDs, n, sample)
+		if err != nil {
+			return out, err
+		}
+		rr, err := e.RunMethodAllAspects(MethodL2QR, e.TestIDs, n, sample)
+		if err != nil {
+			return out, err
+		}
+		out.PrecL2QP = append(out.PrecL2QP, rp.PerIteration[n-1].P)
+		out.RecL2QR = append(out.RecL2QR, rr.PerIteration[n-1].R)
+	}
+	return out, nil
+}
+
+// ---------------------------------------------------------------------------
+// Fig. 12 / Fig. 13 — comparison with baselines over 2–5 queries.
+// ---------------------------------------------------------------------------
+
+// Series is one method's normalized metrics across query counts.
+type Series struct {
+	Method Method
+	// ByQueries[k] holds the metrics after k+1 selected queries
+	// (so index 1 = the paper's "2 queries" point, etc.).
+	ByQueries []PRF
+	// SelectionSecPerQuery supports Fig. 14.
+	SelectionSecPerQuery float64
+	// PerEntityF pairs this series with others for significance testing
+	// (see RunResult.PerEntityF).
+	PerEntityF []float64
+}
+
+// CompareResult holds every method's series for one domain.
+type CompareResult struct {
+	Domain corpus.Domain
+	Series []Series
+}
+
+// Fig12Methods are the methods in the precision/recall comparison.
+var Fig12Methods = []Method{MethodL2QP, MethodL2QR, MethodLM, MethodAQ, MethodHR, MethodMQ}
+
+// Fig13Methods are the methods in the F-score comparison.
+var Fig13Methods = []Method{MethodL2QBAL, MethodLM, MethodAQ, MethodHR, MethodMQ}
+
+// Compare runs a set of methods for up to maxQueries iterations.
+func (e *Env) Compare(methods []Method, maxQueries int) (CompareResult, error) {
+	out := CompareResult{Domain: e.Cfg.Domain}
+	for _, m := range methods {
+		r, err := e.RunMethodAllAspects(m, e.TestIDs, maxQueries, -1)
+		if err != nil {
+			return out, err
+		}
+		out.Series = append(out.Series, Series{
+			Method:               m,
+			ByQueries:            r.PerIteration,
+			SelectionSecPerQuery: r.SelectionSecPerQuery,
+			PerEntityF:           r.PerEntityF,
+		})
+	}
+	return out, nil
+}
+
+// SignificanceVsFirst runs the paired significance tests of the first
+// series (the L2Q method by convention) against every other series — the
+// statistical backing for the paper's "significantly outperforms" claims.
+func (r CompareResult) SignificanceVsFirst() ([]Significance, error) {
+	if len(r.Series) < 2 {
+		return nil, nil
+	}
+	first := RunResult{Method: r.Series[0].Method, PerEntityF: r.Series[0].PerEntityF}
+	out := make([]Significance, 0, len(r.Series)-1)
+	for _, s := range r.Series[1:] {
+		sig, err := Compare(first, RunResult{Method: s.Method, PerEntityF: s.PerEntityF})
+		if err != nil {
+			return out, err
+		}
+		out = append(out, sig)
+	}
+	return out, nil
+}
+
+// Fig12 regenerates the precision/recall-vs-baselines comparison (2–5
+// queries).
+func (e *Env) Fig12() (CompareResult, error) { return e.Compare(Fig12Methods, 5) }
+
+// Fig13 regenerates the F-score comparison with the balanced strategy.
+func (e *Env) Fig13() (CompareResult, error) { return e.Compare(Fig13Methods, 5) }
+
+// ---------------------------------------------------------------------------
+// Fig. 14 — time cost per query.
+// ---------------------------------------------------------------------------
+
+// Fig14Result reports the per-query selection cost of the three full
+// strategies and the (simulated) fetch cost.
+type Fig14Result struct {
+	Domain       corpus.Domain
+	SelectionSec map[Method]float64
+	// FetchSecPerQuery is the simulated remote download cost of one
+	// query's result list (Fig. 14's "Fetch" column: ~18 s researchers,
+	// ~8 s cars).
+	FetchSecPerQuery float64
+}
+
+// Fig14 measures selection time on the test entities for one aspect (the
+// first target aspect; selection cost is aspect-independent) and accounts
+// the simulated fetch budget.
+func (e *Env) Fig14() (Fig14Result, error) {
+	out := Fig14Result{Domain: e.Cfg.Domain, SelectionSec: make(map[Method]float64)}
+	aspect := e.G.Aspects[0]
+	for _, m := range []Method{MethodL2QP, MethodL2QR, MethodL2QBAL} {
+		r, err := e.RunMethod(m, aspect, e.TestIDs, 3, -1)
+		if err != nil {
+			return out, err
+		}
+		out.SelectionSec[m] = r.SelectionSecPerQuery
+	}
+	lat := search.ResearcherFetchLatency
+	if e.Cfg.Domain == synth.DomainCars {
+		lat = search.CarFetchLatency
+	}
+	out.FetchSecPerQuery = (time.Duration(e.Engine.TopK()) * lat).Seconds()
+	return out, nil
+}

@@ -1,0 +1,88 @@
+package eval
+
+import (
+	"l2q/internal/corpus"
+)
+
+// PR is a precision/recall measurement.
+type PR struct {
+	Precision float64
+	Recall    float64
+}
+
+// F1 returns the harmonic mean of precision and recall.
+func (m PR) F1() float64 {
+	if m.Precision+m.Recall == 0 {
+		return 0
+	}
+	return 2 * m.Precision * m.Recall / (m.Precision + m.Recall)
+}
+
+// PRF is a normalized precision/recall/F triple (method ÷ ideal).
+type PRF struct {
+	P, R, F float64
+}
+
+// add accumulates another sample.
+func (a *PRF) add(b PRF) { a.P += b.P; a.R += b.R; a.F += b.F }
+
+// scale divides by a count.
+func (a *PRF) scale(n float64) {
+	if n == 0 {
+		return
+	}
+	a.P /= n
+	a.R /= n
+	a.F /= n
+}
+
+// relevantUniverse returns the entity's pages relevant to the aspect under
+// the evaluation truth: classifier output (the paper takes classifier
+// output as ground truth, §VI-A "Entity aspects").
+func (e *Env) relevantUniverse(entity *corpus.Entity, aspect corpus.Aspect) map[corpus.PageID]struct{} {
+	out := make(map[corpus.PageID]struct{})
+	for _, p := range e.G.Corpus.PagesOf(entity.ID) {
+		if e.Cls.Relevant(aspect, p) {
+			out[p.ID] = struct{}{}
+		}
+	}
+	return out
+}
+
+// measure computes the actual precision and recall of a harvested page set
+// for one (entity, aspect) pair. A retrieved page counts as relevant iff it
+// belongs to the target entity and is aspect-relevant; pages of other
+// entities are harvesting mistakes and hurt precision.
+func measure(pages []*corpus.Page, relevant map[corpus.PageID]struct{}) PR {
+	if len(relevant) == 0 {
+		return PR{}
+	}
+	hit := 0
+	for _, p := range pages {
+		if _, ok := relevant[p.ID]; ok {
+			hit++
+		}
+	}
+	pr := PR{Recall: float64(hit) / float64(len(relevant))}
+	if len(pages) > 0 {
+		pr.Precision = float64(hit) / float64(len(pages))
+	}
+	return pr
+}
+
+// normalize divides method metrics by the ideal's (§VI-A: "we normalize the
+// results against an ideal solution ... the same normalization factor is
+// applied to all methods"). A zero ideal component yields zero.
+func normalize(method, ideal PR) PRF {
+	var out PRF
+	if ideal.Precision > 0 {
+		out.P = method.Precision / ideal.Precision
+	}
+	if ideal.Recall > 0 {
+		out.R = method.Recall / ideal.Recall
+	}
+	if f := ideal.F1(); f > 0 {
+		out.F = method.F1() / f
+	}
+	return out
+}

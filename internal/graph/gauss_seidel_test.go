@@ -1,0 +1,65 @@
+package graph
+
+import (
+	"math"
+	"math/rand/v2"
+	"testing"
+)
+
+// TestGaussSeidelSameFixpoint: both schemes must converge to the same
+// unique fixpoint of Eq. 13.
+func TestGaussSeidelSameFixpoint(t *testing.T) {
+	rng := rand.New(rand.NewPCG(3, 9))
+	for trial := 0; trial < 15; trial++ {
+		g, ids := randomGraph(rng, 4+rng.IntN(6), 4+rng.IntN(10), 1+rng.IntN(4))
+		reg := make([]float64, g.NumNodes())
+		for _, id := range ids {
+			if g.KindOf(id) == KindPage {
+				reg[id] = rng.Float64()
+			}
+		}
+		for _, mode := range []Mode{Precision, Recall} {
+			jac, err := Solve(Problem{G: g, Mode: mode, Reg: reg, Tol: 1e-13})
+			if err != nil {
+				t.Fatal(err)
+			}
+			gs, err := Solve(Problem{G: g, Mode: mode, Reg: reg, Tol: 1e-13, Scheme: GaussSeidel})
+			if err != nil {
+				t.Fatal(err)
+			}
+			for i := range jac.U {
+				if math.Abs(jac.U[i]-gs.U[i]) > 1e-8 {
+					t.Fatalf("trial %d mode %v node %d: jacobi %g vs gauss-seidel %g",
+						trial, mode, i, jac.U[i], gs.U[i])
+				}
+			}
+			if !gs.Converged {
+				t.Fatalf("gauss-seidel did not converge")
+			}
+		}
+	}
+}
+
+// TestGaussSeidelConvergesFaster: on a typical graph the in-place sweep
+// should not need more iterations than Jacobi.
+func TestGaussSeidelIterationCount(t *testing.T) {
+	rng := rand.New(rand.NewPCG(17, 23))
+	g, ids := randomGraph(rng, 10, 40, 6)
+	reg := make([]float64, g.NumNodes())
+	for _, id := range ids {
+		if g.KindOf(id) == KindPage {
+			reg[id] = rng.Float64()
+		}
+	}
+	jac, err := Solve(Problem{G: g, Mode: Precision, Reg: reg, Tol: 1e-12})
+	if err != nil {
+		t.Fatal(err)
+	}
+	gs, err := Solve(Problem{G: g, Mode: Precision, Reg: reg, Tol: 1e-12, Scheme: GaussSeidel})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gs.Iterations > jac.Iterations {
+		t.Fatalf("gauss-seidel used %d iterations, jacobi %d", gs.Iterations, jac.Iterations)
+	}
+}

@@ -1,0 +1,349 @@
+package graph
+
+import (
+	"math"
+	"math/rand/v2"
+	"testing"
+)
+
+// fig2 builds the paper's running example (Fig. 2): six pages of Marc Snir,
+// five queries, Y = RESEARCH with p1..p4 relevant.
+//
+//	q1: p1,p2,p3   q2: p1,p2   q3: p3,p4   q4: p4,p5,p6   q5: p6
+func fig2(t *testing.T) (g *Graph, pages, queries []NodeID) {
+	t.Helper()
+	g = New()
+	pages = make([]NodeID, 6)
+	for i := range pages {
+		pages[i] = g.AddNode(KindPage)
+	}
+	queries = make([]NodeID, 5)
+	for i := range queries {
+		queries[i] = g.AddNode(KindQuery)
+	}
+	edges := map[int][]int{0: {0, 1, 2}, 1: {0, 1}, 2: {2, 3}, 3: {3, 4, 5}, 4: {5}}
+	for qi, ps := range edges {
+		for _, pi := range ps {
+			g.AddEdgePQ(pages[pi], queries[qi], 1)
+		}
+	}
+	return g, pages, queries
+}
+
+func regFig2(g *Graph, pages []NodeID, mode Mode) []float64 {
+	reg := make([]float64, g.NumNodes())
+	for i := 0; i < 4; i++ { // p1..p4 relevant
+		if mode == Precision {
+			reg[pages[i]] = 1
+		} else {
+			reg[pages[i]] = 0.25
+		}
+	}
+	return reg
+}
+
+func solveFig2(t *testing.T, mode Mode) (pages, queries []NodeID, u []float64) {
+	t.Helper()
+	g, pages, queries := fig2(t)
+	res, err := Solve(Problem{G: g, Mode: mode, Reg: regFig2(g, pages, mode)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Converged {
+		t.Fatalf("solver did not converge in %d iterations", res.Iterations)
+	}
+	return pages, queries, res.U
+}
+
+func TestFig2Precision(t *testing.T) {
+	_, queries, u := solveFig2(t, Precision)
+	// q1 and q2 retrieve only relevant pages; q4 retrieves 1/3 relevant;
+	// q5 retrieves none.
+	if !(u[queries[0]] > u[queries[3]]) {
+		t.Errorf("P(q1)=%.4f should exceed P(q4)=%.4f", u[queries[0]], u[queries[3]])
+	}
+	if !(u[queries[1]] > u[queries[3]]) {
+		t.Errorf("P(q2)=%.4f should exceed P(q4)=%.4f", u[queries[1]], u[queries[3]])
+	}
+	if !(u[queries[3]] > u[queries[4]]) {
+		t.Errorf("P(q4)=%.4f should exceed P(q5)=%.4f", u[queries[3]], u[queries[4]])
+	}
+	if !(u[queries[2]] > u[queries[4]]) {
+		t.Errorf("P(q3)=%.4f should exceed P(q5)=%.4f", u[queries[2]], u[queries[4]])
+	}
+}
+
+func TestFig2Recall(t *testing.T) {
+	_, queries, u := solveFig2(t, Recall)
+	// q1 covers three relevant pages, q2 two, q5 zero.
+	if !(u[queries[0]] > u[queries[1]]) {
+		t.Errorf("R(q1)=%.4f should exceed R(q2)=%.4f", u[queries[0]], u[queries[1]])
+	}
+	if !(u[queries[1]] > u[queries[4]]) {
+		t.Errorf("R(q2)=%.4f should exceed R(q5)=%.4f", u[queries[1]], u[queries[4]])
+	}
+	if !(u[queries[2]] > u[queries[4]]) {
+		t.Errorf("R(q3)=%.4f should exceed R(q5)=%.4f", u[queries[2]], u[queries[4]])
+	}
+}
+
+// TestFig5Templates extends the running example with templates (Fig. 5):
+// t1 abstracts q1,q2; t2 abstracts q3; t3 abstracts q4,q5. t1 covers only
+// relevant pages while t3 covers mostly irrelevant ones, so P(t1) > P(t3)
+// and R(t1) > R(t3).
+func TestFig5Templates(t *testing.T) {
+	g, pages, queries := fig2(t)
+	t1 := g.AddNode(KindTemplate)
+	t2 := g.AddNode(KindTemplate)
+	t3 := g.AddNode(KindTemplate)
+	g.AddEdgeQT(queries[0], t1, 1)
+	g.AddEdgeQT(queries[1], t1, 1)
+	g.AddEdgeQT(queries[2], t2, 1)
+	g.AddEdgeQT(queries[3], t3, 1)
+	g.AddEdgeQT(queries[4], t3, 1)
+
+	for _, mode := range []Mode{Precision, Recall} {
+		reg := regFig2(g, pages, mode)
+		res, err := Solve(Problem{G: g, Mode: mode, Reg: reg})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !res.Converged {
+			t.Fatalf("mode %v did not converge", mode)
+		}
+		if !(res.U[t1] > res.U[t3]) {
+			t.Errorf("mode %v: U(t1)=%.5f should exceed U(t3)=%.5f", mode, res.U[t1], res.U[t3])
+		}
+	}
+}
+
+func TestIsolatedNodeGetsOnlyRegularization(t *testing.T) {
+	g := New()
+	p := g.AddNode(KindPage)
+	reg := []float64{0.8}
+	res, err := Solve(Problem{G: g, Mode: Precision, Reg: reg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := DefaultAlpha * 0.8
+	if math.Abs(res.U[p]-want) > 1e-9 {
+		t.Errorf("isolated node U = %.6f, want %.6f", res.U[p], want)
+	}
+}
+
+func TestSolveValidation(t *testing.T) {
+	g := New()
+	g.AddNode(KindPage)
+	if _, err := Solve(Problem{G: nil, Reg: nil}); err == nil {
+		t.Error("nil graph accepted")
+	}
+	if _, err := Solve(Problem{G: g, Reg: []float64{1, 2}}); err == nil {
+		t.Error("wrong reg length accepted")
+	}
+	if _, err := Solve(Problem{G: g, Reg: []float64{1}, Alpha: 1.5}); err == nil {
+		t.Error("alpha out of range accepted")
+	}
+}
+
+func TestEdgeValidationPanics(t *testing.T) {
+	g := New()
+	p := g.AddNode(KindPage)
+	q := g.AddNode(KindQuery)
+	tm := g.AddNode(KindTemplate)
+
+	assertPanics(t, "PQ kind mismatch", func() { g.AddEdgePQ(q, p, 1) })
+	assertPanics(t, "QT kind mismatch", func() { g.AddEdgeQT(p, tm, 1) })
+	assertPanics(t, "zero weight", func() { g.AddEdgePQ(p, q, 0) })
+}
+
+func assertPanics(t *testing.T, name string, f func()) {
+	t.Helper()
+	defer func() {
+		if recover() == nil {
+			t.Errorf("%s: expected panic", name)
+		}
+	}()
+	f()
+}
+
+// randomGraph builds a random tripartite graph for property tests.
+func randomGraph(rng *rand.Rand, nP, nQ, nT int) (*Graph, []NodeID) {
+	g := New()
+	ids := make([]NodeID, 0, nP+nQ+nT)
+	var ps, qs, ts []NodeID
+	for i := 0; i < nP; i++ {
+		id := g.AddNode(KindPage)
+		ps = append(ps, id)
+		ids = append(ids, id)
+	}
+	for i := 0; i < nQ; i++ {
+		id := g.AddNode(KindQuery)
+		qs = append(qs, id)
+		ids = append(ids, id)
+	}
+	for i := 0; i < nT; i++ {
+		id := g.AddNode(KindTemplate)
+		ts = append(ts, id)
+		ids = append(ids, id)
+	}
+	for _, q := range qs {
+		for _, p := range ps {
+			if rng.Float64() < 0.4 {
+				g.AddEdgePQ(p, q, 0.2+rng.Float64())
+			}
+		}
+		for _, tm := range ts {
+			if rng.Float64() < 0.4 {
+				g.AddEdgeQT(q, tm, 0.2+rng.Float64())
+			}
+		}
+	}
+	return g, ids
+}
+
+func TestPropertyPrecisionBoundedByMaxReg(t *testing.T) {
+	rng := rand.New(rand.NewPCG(11, 13))
+	for trial := 0; trial < 30; trial++ {
+		g, ids := randomGraph(rng, 2+rng.IntN(8), 2+rng.IntN(8), 1+rng.IntN(4))
+		reg := make([]float64, g.NumNodes())
+		maxReg := 0.0
+		for _, id := range ids {
+			if g.KindOf(id) == KindPage && rng.Float64() < 0.5 {
+				reg[id] = rng.Float64()
+				if reg[id] > maxReg {
+					maxReg = reg[id]
+				}
+			}
+		}
+		res, err := Solve(Problem{G: g, Mode: Precision, Reg: reg})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, id := range ids {
+			if res.U[id] < -1e-12 || res.U[id] > maxReg+1e-12 {
+				t.Fatalf("trial %d: precision %f outside [0, %f]", trial, res.U[id], maxReg)
+			}
+		}
+	}
+}
+
+func TestPropertyRecallMassBounded(t *testing.T) {
+	// The forward walk only redistributes the regularization mass, so
+	// total solved recall cannot exceed total injected mass.
+	rng := rand.New(rand.NewPCG(5, 17))
+	for trial := 0; trial < 30; trial++ {
+		g, ids := randomGraph(rng, 2+rng.IntN(8), 2+rng.IntN(8), 1+rng.IntN(4))
+		reg := make([]float64, g.NumNodes())
+		var mass float64
+		var pageIDs []NodeID
+		for _, id := range ids {
+			if g.KindOf(id) == KindPage {
+				pageIDs = append(pageIDs, id)
+			}
+		}
+		for _, id := range pageIDs {
+			reg[id] = 1 / float64(len(pageIDs))
+			mass += reg[id]
+		}
+		res, err := Solve(Problem{G: g, Mode: Recall, Reg: reg})
+		if err != nil {
+			t.Fatal(err)
+		}
+		var total float64
+		for _, id := range pageIDs {
+			total += res.U[id]
+		}
+		if total > mass+1e-9 {
+			t.Fatalf("trial %d: page recall mass %f exceeds injected %f", trial, total, mass)
+		}
+	}
+}
+
+func TestPropertySolutionIsFixpoint(t *testing.T) {
+	// Applying one more update step to the converged solution must not
+	// move it: the solution satisfies Eq. 13 exactly (within tolerance).
+	rng := rand.New(rand.NewPCG(23, 29))
+	for trial := 0; trial < 20; trial++ {
+		g, ids := randomGraph(rng, 3+rng.IntN(6), 3+rng.IntN(6), 1+rng.IntN(3))
+		reg := make([]float64, g.NumNodes())
+		for _, id := range ids {
+			if g.KindOf(id) == KindPage {
+				reg[id] = rng.Float64()
+			}
+		}
+		for _, mode := range []Mode{Precision, Recall} {
+			res, err := Solve(Problem{G: g, Mode: mode, Reg: reg, Tol: 1e-13})
+			if err != nil {
+				t.Fatal(err)
+			}
+			next := make([]float64, g.NumNodes())
+			if mode == Precision {
+				stepPrecision(g, DefaultAlpha, reg, res.U, next)
+			} else {
+				stepRecall(g, DefaultAlpha, reg, res.U, next)
+			}
+			for i := range next {
+				if math.Abs(next[i]-res.U[i]) > 1e-9 {
+					t.Fatalf("trial %d mode %v: not a fixpoint at node %d: %g vs %g",
+						trial, mode, i, next[i], res.U[i])
+				}
+			}
+		}
+	}
+}
+
+func TestPropertyMonotoneInRegularization(t *testing.T) {
+	// Raising one page's regularization must not lower any utility
+	// (the propagation operator is monotone).
+	rng := rand.New(rand.NewPCG(41, 43))
+	for trial := 0; trial < 20; trial++ {
+		g, ids := randomGraph(rng, 3+rng.IntN(5), 3+rng.IntN(5), 1+rng.IntN(3))
+		reg := make([]float64, g.NumNodes())
+		var pagePick NodeID = -1
+		for _, id := range ids {
+			if g.KindOf(id) == KindPage {
+				reg[id] = rng.Float64() * 0.5
+				pagePick = id
+			}
+		}
+		if pagePick < 0 {
+			continue
+		}
+		base, err := Solve(Problem{G: g, Mode: Precision, Reg: reg})
+		if err != nil {
+			t.Fatal(err)
+		}
+		reg2 := make([]float64, len(reg))
+		copy(reg2, reg)
+		reg2[pagePick] += 0.4
+		boosted, err := Solve(Problem{G: g, Mode: Precision, Reg: reg2})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range base.U {
+			if boosted.U[i] < base.U[i]-1e-9 {
+				t.Fatalf("trial %d: utility dropped at node %d after boost", trial, i)
+			}
+		}
+	}
+}
+
+func TestDegreeAndAccessors(t *testing.T) {
+	g, pages, queries := fig2(t)
+	if g.NumNodes() != 11 || g.NumEdges() != 11 {
+		t.Fatalf("nodes=%d edges=%d", g.NumNodes(), g.NumEdges())
+	}
+	if g.Degree(pages[0]) != 2 { // p1 in q1, q2
+		t.Fatalf("Degree(p1) = %d", g.Degree(pages[0]))
+	}
+	if g.Degree(queries[0]) != 3 {
+		t.Fatalf("Degree(q1) = %d", g.Degree(queries[0]))
+	}
+	if g.KindOf(pages[0]) != KindPage || KindPage.String() != "page" ||
+		KindQuery.String() != "query" || KindTemplate.String() != "template" {
+		t.Fatal("kind accessors wrong")
+	}
+	if Precision.String() != "precision" || Recall.String() != "recall" {
+		t.Fatal("mode strings wrong")
+	}
+}

@@ -1,0 +1,254 @@
+package graph
+
+import (
+	"math"
+	"math/rand/v2"
+	"testing"
+)
+
+// randTripartite builds a random page–query–template graph with every node
+// kind populated and a sprinkling of isolated nodes.
+func randTripartite(rng *rand.Rand, nP, nQ, nT int) (*Graph, []NodeID, []NodeID, []NodeID) {
+	g := New()
+	pages := make([]NodeID, nP)
+	queries := make([]NodeID, nQ)
+	templates := make([]NodeID, nT)
+	for i := range pages {
+		pages[i] = g.AddNode(KindPage)
+	}
+	for i := range queries {
+		queries[i] = g.AddNode(KindQuery)
+	}
+	for i := range templates {
+		templates[i] = g.AddNode(KindTemplate)
+	}
+	for _, q := range queries {
+		for _, p := range pages {
+			if rng.Float64() < 0.3 {
+				g.AddEdgePQ(p, q, 0.25+rng.Float64())
+			}
+		}
+		for _, t := range templates {
+			if rng.Float64() < 0.4 {
+				g.AddEdgeQT(q, t, 0.25+rng.Float64())
+			}
+		}
+	}
+	return g, pages, queries, templates
+}
+
+// randReg places regularization mass on a few pages (the realistic shape:
+// Û is concentrated on relevant pages).
+func randReg(rng *rand.Rand, g *Graph, pages []NodeID) []float64 {
+	reg := make([]float64, g.NumNodes())
+	for _, p := range pages {
+		if rng.Float64() < 0.4 {
+			reg[p] = rng.Float64()
+		}
+	}
+	return reg
+}
+
+// TestOperatorApplyMatchesStep checks BuildOperator row-for-row against the
+// reference step functions: A·x must equal stepMode(x) with α = 0.
+func TestOperatorApplyMatchesStep(t *testing.T) {
+	rng := rand.New(rand.NewPCG(21, 22))
+	for trial := 0; trial < 10; trial++ {
+		g, _, _, _ := randTripartite(rng, 6, 8, 3)
+		x := make([]float64, g.NumNodes())
+		for i := range x {
+			x[i] = rng.Float64()
+		}
+		zeros := make([]float64, g.NumNodes())
+		for _, mode := range []Mode{Precision, Recall} {
+			op := BuildOperator(g, mode)
+			got := make([]float64, g.NumNodes())
+			op.Apply(x, got)
+
+			want := make([]float64, g.NumNodes())
+			// stepX computes out = (1−α)·A·x + α·reg; with reg = 0 and a
+			// tiny α the difference from A·x is a pure (1−α) scale.
+			const alpha = 1e-9
+			if mode == Precision {
+				stepPrecision(g, alpha, zeros, x, want)
+			} else {
+				stepRecall(g, alpha, zeros, x, want)
+			}
+			for i := range want {
+				if diff := math.Abs(got[i]*(1-alpha) - want[i]); diff > 1e-9 {
+					t.Fatalf("mode %v node %d: apply %v, step %v", mode, i, got[i], want[i])
+				}
+			}
+		}
+	}
+}
+
+// TestPushMatchesSolve checks the push solver against the power-iteration
+// fixpoint on random graphs, both modes.
+func TestPushMatchesSolve(t *testing.T) {
+	rng := rand.New(rand.NewPCG(23, 24))
+	for trial := 0; trial < 10; trial++ {
+		g, pages, _, _ := randTripartite(rng, 8, 12, 4)
+		reg := randReg(rng, g, pages)
+		for _, mode := range []Mode{Precision, Recall} {
+			exact, err := Solve(Problem{G: g, Mode: mode, Alpha: 0.15, Reg: reg, Tol: 1e-14})
+			if err != nil {
+				t.Fatal(err)
+			}
+			approx, err := PushSolve(PushProblem{G: g, Mode: mode, Alpha: 0.15, Reg: reg, Eps: 1e-12})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !approx.Converged {
+				t.Fatalf("trial %d mode %v: push did not converge", trial, mode)
+			}
+			for i := range exact.U {
+				if diff := math.Abs(exact.U[i] - approx.U[i]); diff > 1e-8 {
+					t.Fatalf("trial %d mode %v node %d: solve %v, push %v",
+						trial, mode, i, exact.U[i], approx.U[i])
+				}
+			}
+		}
+	}
+}
+
+// TestPushEpsilonControlsAccuracy verifies that tightening Eps strictly
+// reduces (or keeps equal) the worst-case deviation from the fixpoint.
+func TestPushEpsilonControlsAccuracy(t *testing.T) {
+	rng := rand.New(rand.NewPCG(25, 26))
+	g, pages, _, _ := randTripartite(rng, 10, 15, 5)
+	reg := randReg(rng, g, pages)
+	exact, err := Solve(Problem{G: g, Mode: Precision, Alpha: 0.15, Reg: reg, Tol: 1e-14})
+	if err != nil {
+		t.Fatal(err)
+	}
+	maxErr := func(eps float64) float64 {
+		r, err := PushSolve(PushProblem{G: g, Mode: Precision, Alpha: 0.15, Reg: reg, Eps: eps})
+		if err != nil {
+			t.Fatal(err)
+		}
+		worst := 0.0
+		for i := range exact.U {
+			if d := math.Abs(exact.U[i] - r.U[i]); d > worst {
+				worst = d
+			}
+		}
+		return worst
+	}
+	loose := maxErr(1e-3)
+	tight := maxErr(1e-10)
+	if tight > loose+1e-12 {
+		t.Fatalf("tight eps error %v > loose %v", tight, loose)
+	}
+	if tight > 1e-8 {
+		t.Fatalf("tight eps error %v too large", tight)
+	}
+	// The documented L∞ bound for precision mode.
+	if loose > 1e-3+1e-9 {
+		t.Fatalf("loose error %v exceeds the eps bound", loose)
+	}
+}
+
+// TestPushLocality checks the headline property: with concentrated
+// regularization, push touches far fewer coefficient reads than a full
+// power iteration would.
+func TestPushLocality(t *testing.T) {
+	rng := rand.New(rand.NewPCG(27, 28))
+	// A graph with many disconnected communities; mass in one of them.
+	g := New()
+	var reg []float64
+	var firstPage NodeID
+	const communities = 50
+	for c := 0; c < communities; c++ {
+		p1 := g.AddNode(KindPage)
+		p2 := g.AddNode(KindPage)
+		q := g.AddNode(KindQuery)
+		tpl := g.AddNode(KindTemplate)
+		g.AddEdgePQ(p1, q, 1)
+		g.AddEdgePQ(p2, q, 1)
+		g.AddEdgeQT(q, tpl, 1)
+		if c == 0 {
+			firstPage = p1
+		}
+		_ = rng
+	}
+	reg = make([]float64, g.NumNodes())
+	reg[firstPage] = 1
+
+	r, err := PushSolve(PushProblem{G: g, Mode: Precision, Alpha: 0.15, Reg: reg, Eps: 1e-10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !r.Converged {
+		t.Fatal("push did not converge")
+	}
+	// Pushes scale with the 4-node community times the geometric decay
+	// horizon (~log(eps)/log(1−α) ≈ 142 rounds), not with the 200-node
+	// graph: power iteration would touch all 200 nodes every one of those
+	// rounds (~28k node updates).
+	powerWork := g.NumNodes() * 142
+	if r.Iterations*10 > powerWork {
+		t.Fatalf("pushes %d not local (power iteration work ≈ %d)", r.Iterations, powerWork)
+	}
+	// Only the active community carries mass.
+	for v := 4; v < g.NumNodes(); v++ {
+		if r.U[v] != 0 {
+			t.Fatalf("node %d outside the community has mass %v", v, r.U[v])
+		}
+	}
+}
+
+func TestPushSolveValidation(t *testing.T) {
+	if _, err := PushSolve(PushProblem{}); err == nil {
+		t.Error("missing graph accepted")
+	}
+	g := New()
+	g.AddNode(KindPage)
+	if _, err := PushSolve(PushProblem{G: g, Reg: []float64{1, 2}}); err == nil {
+		t.Error("bad reg length accepted")
+	}
+	if _, err := PushSolve(PushProblem{G: g, Reg: []float64{1}, Alpha: 2}); err == nil {
+		t.Error("bad alpha accepted")
+	}
+}
+
+func TestPushMaxPushesBudget(t *testing.T) {
+	rng := rand.New(rand.NewPCG(29, 30))
+	g, pages, _, _ := randTripartite(rng, 10, 15, 5)
+	reg := randReg(rng, g, pages)
+	r, err := PushSolve(PushProblem{G: g, Mode: Recall, Alpha: 0.15, Reg: reg,
+		Eps: 1e-15, MaxPushes: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Converged {
+		t.Error("3 pushes cannot converge at eps=1e-15 on this graph")
+	}
+	if r.Iterations > 3 {
+		t.Errorf("budget exceeded: %d pushes", r.Iterations)
+	}
+}
+
+// TestPushReuseOperator checks the Op short-circuit path.
+func TestPushReuseOperator(t *testing.T) {
+	rng := rand.New(rand.NewPCG(31, 32))
+	g, pages, _, _ := randTripartite(rng, 6, 9, 3)
+	reg := randReg(rng, g, pages)
+	op := BuildOperator(g, Recall)
+	a, err := PushSolve(PushProblem{Op: op, Alpha: 0.15, Reg: reg, Eps: 1e-12})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := PushSolve(PushProblem{G: g, Mode: Recall, Alpha: 0.15, Reg: reg, Eps: 1e-12})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a.U {
+		if a.U[i] != b.U[i] {
+			t.Fatalf("node %d: operator path %v, graph path %v", i, a.U[i], b.U[i])
+		}
+	}
+	if op.NumNodes() != g.NumNodes() || op.NNZ() == 0 {
+		t.Errorf("operator stats: %d nodes, %d nnz", op.NumNodes(), op.NNZ())
+	}
+}

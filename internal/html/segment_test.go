@@ -1,0 +1,210 @@
+package html
+
+import (
+	"math/rand/v2"
+	"reflect"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"l2q/internal/corpus"
+	"l2q/internal/textproc"
+)
+
+func TestParseBasicDocument(t *testing.T) {
+	d := Parse(`<!DOCTYPE html><html><head>
+		<title>Marc Snir</title>
+		<meta name="author" content="gen">
+		<style>p{color:red}</style>
+	</head><body>
+		<h1>Heading</h1>
+		<p>First paragraph.</p>
+		<p>Second  with   spaces.</p>
+		<div>Third in a div with <b>bold</b> text.</div>
+	</body></html>`)
+
+	if d.Title != "Marc Snir" {
+		t.Errorf("title = %q", d.Title)
+	}
+	if d.Meta["author"] != "gen" {
+		t.Errorf("meta = %v", d.Meta)
+	}
+	want := []string{
+		"Heading",
+		"First paragraph.",
+		"Second with spaces.",
+		"Third in a div with bold text.",
+	}
+	if !reflect.DeepEqual(d.Paragraphs, want) {
+		t.Errorf("paragraphs = %q, want %q", d.Paragraphs, want)
+	}
+}
+
+func TestParseSkipsScriptStyle(t *testing.T) {
+	d := Parse(`<body><p>keep</p><script>drop me</script><style>p{}</style><p>also keep</p></body>`)
+	want := []string{"keep", "also keep"}
+	if !reflect.DeepEqual(d.Paragraphs, want) {
+		t.Errorf("paragraphs = %q", d.Paragraphs)
+	}
+}
+
+func TestParseLinks(t *testing.T) {
+	d := Parse(`<body><p>See <a href="/page/12.html">twelve</a> and
+		<a href="http://other.example.com/">offsite</a>.</p></body>`)
+	want := []string{"/page/12.html", "http://other.example.com/"}
+	if !reflect.DeepEqual(d.Links, want) {
+		t.Errorf("links = %q", d.Links)
+	}
+	if len(d.Paragraphs) != 1 || !strings.Contains(d.Paragraphs[0], "twelve") {
+		t.Errorf("anchor text lost: %q", d.Paragraphs)
+	}
+}
+
+func TestParseDataAttrs(t *testing.T) {
+	d := Parse(`<body><p data-aspect="RESEARCH" data-x="1">a</p><p>b</p></body>`)
+	if len(d.Paragraphs) != 2 {
+		t.Fatalf("paragraphs = %q", d.Paragraphs)
+	}
+	if d.ParaAttrs[0]["aspect"] != "RESEARCH" || d.ParaAttrs[0]["x"] != "1" {
+		t.Errorf("attrs[0] = %v", d.ParaAttrs[0])
+	}
+	if d.ParaAttrs[1] != nil {
+		t.Errorf("attrs[1] = %v, want nil", d.ParaAttrs[1])
+	}
+}
+
+func TestParseBrAndInline(t *testing.T) {
+	d := Parse(`<body><p>line one<br>line two</p><p>a<em>b</em>c</p></body>`)
+	if d.Paragraphs[0] != "line one line two" {
+		t.Errorf("br paragraph = %q", d.Paragraphs[0])
+	}
+	// Inline tags become word boundaries, never paragraph breaks.
+	if d.Paragraphs[1] != "a b c" {
+		t.Errorf("inline paragraph = %q", d.Paragraphs[1])
+	}
+}
+
+func TestParseListItems(t *testing.T) {
+	d := Parse(`<ul><li>one</li><li>two</li></ul>`)
+	want := []string{"one", "two"}
+	if !reflect.DeepEqual(d.Paragraphs, want) {
+		t.Errorf("list paragraphs = %q", d.Paragraphs)
+	}
+}
+
+func TestParseMalformedNeverPanics(t *testing.T) {
+	for _, src := range []string{
+		"", "<", "<<<>>>", "<p", "text only", "<body><p>unclosed",
+		"<title>no end", "</unopened></p>", "<a href=>x</a>",
+		strings.Repeat("<p>x", 1000),
+	} {
+		_ = Parse(src) // must not panic
+	}
+}
+
+func TestPageHrefRoundTrip(t *testing.T) {
+	for _, id := range []corpus.PageID{0, 1, 12345} {
+		got, ok := ParseHref(PageHref(id))
+		if !ok || got != id {
+			t.Errorf("round trip %d -> %d, %v", id, got, ok)
+		}
+	}
+	for _, href := range []string{"", "/page/.html", "/page/x.html", "http://x/", "/page/1.htm"} {
+		if _, ok := ParseHref(href); ok {
+			t.Errorf("ParseHref(%q) unexpectedly ok", href)
+		}
+	}
+}
+
+func TestRenderParsePageRoundTrip(t *testing.T) {
+	tok := &textproc.Tokenizer{}
+	orig := &corpus.Page{
+		ID:     42,
+		Entity: 7,
+		Title:  "Marc Snir research",
+		Links:  []corpus.PageID{3, 99},
+		Paras: []corpus.Paragraph{
+			{Text: "He conducts research on parallel & hpc systems.", Aspect: "RESEARCH"},
+			{Text: "Visit him at Siebel Center, U Illinois.", Aspect: ""},
+			{Text: "He won the <best paper> award.", Aspect: "AWARD"},
+		},
+	}
+	for i := range orig.Paras {
+		orig.Paras[i].Tokens = tok.Tokenize(orig.Paras[i].Text)
+	}
+
+	rendered := RenderPage(orig)
+	got := ParsePage(rendered, 0, tok)
+
+	if got.ID != orig.ID || got.Entity != orig.Entity || got.Title != orig.Title {
+		t.Fatalf("identity: got %d/%d/%q", got.ID, got.Entity, got.Title)
+	}
+	if !reflect.DeepEqual(got.Links, orig.Links) {
+		t.Errorf("links = %v, want %v", got.Links, orig.Links)
+	}
+	if len(got.Paras) != len(orig.Paras) {
+		t.Fatalf("paragraph count = %d, want %d: %q", len(got.Paras), len(orig.Paras), rendered)
+	}
+	for i := range orig.Paras {
+		if got.Paras[i].Text != orig.Paras[i].Text {
+			t.Errorf("para %d text = %q, want %q", i, got.Paras[i].Text, orig.Paras[i].Text)
+		}
+		if got.Paras[i].Aspect != orig.Paras[i].Aspect {
+			t.Errorf("para %d aspect = %q, want %q", i, got.Paras[i].Aspect, orig.Paras[i].Aspect)
+		}
+		if !reflect.DeepEqual(got.Paras[i].Tokens, orig.Paras[i].Tokens) {
+			t.Errorf("para %d tokens differ", i)
+		}
+	}
+}
+
+// TestRenderParseQuick fuzzes the render→parse round trip with random
+// printable paragraph texts: every already-normalized text must survive.
+func TestRenderParseQuick(t *testing.T) {
+	tok := &textproc.Tokenizer{}
+	rng := rand.New(rand.NewPCG(1, 2))
+	// Alphabet intentionally includes HTML-significant characters.
+	const alphabet = "abc XYZ 09.&<>\"'=/"
+
+	gen := func() string {
+		n := 1 + rng.IntN(40)
+		var b strings.Builder
+		for i := 0; i < n; i++ {
+			b.WriteByte(alphabet[rng.IntN(len(alphabet))])
+		}
+		return normalizeSpace(b.String())
+	}
+
+	f := func() bool {
+		text := gen()
+		if text == "" {
+			return true
+		}
+		p := &corpus.Page{ID: 1, Entity: 1, Title: "t",
+			Paras: []corpus.Paragraph{{Text: text, Aspect: "A"}}}
+		p.Paras[0].Tokens = tok.Tokenize(text)
+		got := ParsePage(RenderPage(p), 1, tok)
+		return len(got.Paras) == 1 && got.Paras[0].Text == text &&
+			got.Paras[0].Aspect == "A"
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestNormalizeSpace(t *testing.T) {
+	cases := map[string]string{
+		"":               "",
+		"  a  b  ":       "a b",
+		"a\n\tb\r\nc":    "a b c",
+		"x":              "x",
+		" \t\n ":         "",
+		"a b":            "a b",
+		"one  two three": "one two three",
+	}
+	for in, want := range cases {
+		if got := normalizeSpace(in); got != want {
+			t.Errorf("normalizeSpace(%q) = %q, want %q", in, got, want)
+		}
+	}
+}

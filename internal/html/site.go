@@ -1,0 +1,126 @@
+package html
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"l2q/internal/corpus"
+	"l2q/internal/textproc"
+)
+
+// Site is a rendered corpus: a map from site-relative path to HTML
+// document. It contains one index page ("/index.html") carrying the
+// entity directory and one page per corpus page (PageHref paths).
+type Site map[string]string
+
+// IndexPath is the path of the entity directory page.
+const IndexPath = "/index.html"
+
+// RenderSite renders a whole corpus as a static HTML site. The index page
+// lists every entity with its metadata in data-* attributes, so that
+// ParseSite can reconstruct an equivalent corpus without side channels —
+// the same shape as a vertical portal's entity directory.
+func RenderSite(c *corpus.Corpus) Site {
+	s := make(Site, c.NumPages()+1)
+
+	var b strings.Builder
+	b.WriteString("<!DOCTYPE html>\n<html>\n<head>\n")
+	fmt.Fprintf(&b, "<title>%s directory</title>\n", EscapeText(string(c.Domain)))
+	fmt.Fprintf(&b, "<meta name=\"l2q-domain\" content=\"%s\"/>\n", EscapeAttr(string(c.Domain)))
+	b.WriteString("</head>\n<body>\n<ul>\n")
+	for _, e := range c.Entities {
+		fmt.Fprintf(&b, "<li data-entity-id=\"%d\" data-seed=\"%s\" data-name=\"%s\"",
+			e.ID, EscapeAttr(e.SeedQuery), EscapeAttr(e.Name))
+		// Attrs render sorted for deterministic output.
+		keys := make([]string, 0, len(e.Attrs))
+		for k := range e.Attrs {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		for _, k := range keys {
+			fmt.Fprintf(&b, " data-attr-%s=\"%s\"", EscapeAttr(k), EscapeAttr(e.Attrs[k]))
+		}
+		fmt.Fprintf(&b, ">%s</li>\n", EscapeText(e.Name))
+	}
+	b.WriteString("</ul>\n</body>\n</html>\n")
+	s[IndexPath] = b.String()
+
+	for _, p := range c.Pages {
+		s[PageHref(p.ID)] = RenderPage(p)
+	}
+	return s
+}
+
+// ParseSite reconstructs a corpus from a rendered site: entities from the
+// index page, pages from every PageHref path, re-tokenized with tok.
+// Pages referencing entities missing from the index are skipped with an
+// error only if strict reconstruction fails entirely.
+func ParseSite(s Site, tok *textproc.Tokenizer) (*corpus.Corpus, error) {
+	idx, ok := s[IndexPath]
+	if !ok {
+		return nil, fmt.Errorf("html: site has no %s", IndexPath)
+	}
+	d := Parse(idx)
+	c := corpus.New(corpus.Domain(d.Meta["l2q-domain"]))
+
+	// Entity directory: one <li> per entity; dataAttrs are exposed via
+	// ParaAttrs of the list-item paragraphs.
+	for i := range d.Paragraphs {
+		attrs := d.ParaAttrs[i]
+		if attrs == nil {
+			continue
+		}
+		idStr, ok := attrs["entity-id"]
+		if !ok {
+			continue
+		}
+		id, ok := parseInt(idStr)
+		if !ok {
+			return nil, fmt.Errorf("html: bad entity id %q in index", idStr)
+		}
+		e := &corpus.Entity{
+			ID:        corpus.EntityID(id),
+			Domain:    c.Domain,
+			Name:      attrs["name"],
+			SeedQuery: attrs["seed"],
+		}
+		for k, v := range attrs {
+			if strings.HasPrefix(k, "attr-") {
+				if e.Attrs == nil {
+					e.Attrs = make(map[string]string)
+				}
+				e.Attrs[k[len("attr-"):]] = v
+			}
+		}
+		if err := c.AddEntity(e); err != nil {
+			return nil, err
+		}
+	}
+
+	// Pages, in deterministic path order.
+	paths := make([]string, 0, len(s))
+	for path := range s {
+		if path != IndexPath {
+			paths = append(paths, path)
+		}
+	}
+	sort.Slice(paths, func(i, j int) bool {
+		a, _ := ParseHref(paths[i])
+		b, _ := ParseHref(paths[j])
+		return a < b
+	})
+	for _, path := range paths {
+		if _, ok := ParseHref(path); !ok {
+			continue // foreign asset
+		}
+		p := ParsePage(s[path], -1, tok)
+		if c.Entity(p.Entity) == nil {
+			return nil, fmt.Errorf("html: page %s references unknown entity %d", path, p.Entity)
+		}
+		if err := c.AddPage(p); err != nil {
+			return nil, err
+		}
+	}
+	return c, nil
+}

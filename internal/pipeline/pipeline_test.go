@@ -1,0 +1,211 @@
+package pipeline
+
+import (
+	"context"
+	"reflect"
+	"testing"
+	"time"
+
+	"l2q/internal/classify"
+	"l2q/internal/core"
+	"l2q/internal/corpus"
+	"l2q/internal/search"
+	"l2q/internal/synth"
+	"l2q/internal/types"
+)
+
+type fixture struct {
+	g      *synth.Generated
+	engine *search.Engine
+	rec    types.Recognizer
+	y      func(*corpus.Page) bool
+	dm     *core.DomainModel
+	cfg    core.Config
+}
+
+func newFixture(t *testing.T) *fixture {
+	t.Helper()
+	g, err := synth.Generate(synth.TestConfig(synth.DomainResearchers))
+	if err != nil {
+		t.Fatal(err)
+	}
+	engine := search.NewEngine(search.BuildIndex(g.Corpus.Pages))
+	rec := types.Chain{g.KB, types.NewRegexRecognizer()}
+	aspect := synth.AspResearch
+	y := func(p *corpus.Page) bool { return classify.GroundTruth(p, aspect) }
+	cfg := core.DefaultConfig()
+	cfg.Tokenizer = g.Tokenizer
+	var domain []corpus.EntityID
+	for i := 0; i < g.Corpus.NumEntities()/2; i++ {
+		domain = append(domain, g.Corpus.Entities[i].ID)
+	}
+	dm, err := core.LearnDomain(cfg, aspect, g.Corpus, domain, y, rec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return &fixture{g: g, engine: engine, rec: rec, y: y, dm: dm, cfg: cfg}
+}
+
+func (f *fixture) session(e *corpus.Entity, fetcher *search.Fetcher) *core.Session {
+	s := core.NewSession(f.cfg, f.engine, e, synth.AspResearch, f.y, f.dm, f.rec, uint64(e.ID)+1)
+	s.Fetcher = fetcher
+	return s
+}
+
+func (f *fixture) targets(n int) []*corpus.Entity {
+	ents := f.g.Corpus.Entities
+	return ents[len(ents)-n:]
+}
+
+// TestPipelineMatchesSequential is the correctness core: the interleaved
+// scheduler must produce exactly the same fired queries and gathered pages
+// as running each session sequentially.
+func TestPipelineMatchesSequential(t *testing.T) {
+	f := newFixture(t)
+	targets := f.targets(6)
+	const nQueries = 3
+
+	// Sequential reference.
+	type outcome struct {
+		fired []core.Query
+		pages []corpus.PageID
+	}
+	want := make([]outcome, len(targets))
+	for i, e := range targets {
+		s := f.session(e, nil)
+		fired := s.Run(core.NewL2QBAL(), nQueries)
+		var ids []corpus.PageID
+		for _, p := range s.Pages() {
+			ids = append(ids, p.ID)
+		}
+		want[i] = outcome{fired: fired, pages: ids}
+	}
+
+	// Pipelined run with fresh sessions.
+	jobs := make([]Job, len(targets))
+	sessions := make([]*core.Session, len(targets))
+	for i, e := range targets {
+		sessions[i] = f.session(e, nil)
+		jobs[i] = Job{Session: sessions[i], Selector: core.NewL2QBAL(), NQueries: nQueries}
+	}
+	results := Run(context.Background(), Config{SelectWorkers: 3, FetchWorkers: 8}, jobs)
+
+	for i := range targets {
+		if results[i].Err != nil {
+			t.Fatalf("job %d: %v", i, results[i].Err)
+		}
+		if !reflect.DeepEqual(results[i].Fired, want[i].fired) {
+			t.Errorf("job %d fired %v, want %v", i, results[i].Fired, want[i].fired)
+		}
+		var ids []corpus.PageID
+		for _, p := range sessions[i].Pages() {
+			ids = append(ids, p.ID)
+		}
+		if !reflect.DeepEqual(ids, want[i].pages) {
+			t.Errorf("job %d pages %v, want %v", i, ids, want[i].pages)
+		}
+	}
+}
+
+// TestPipelineOverlapsFetches verifies the point of the exercise: with
+// slow (sleeping) fetches, the pipeline completes many entities in less
+// wall time than running them back to back. The sequential baseline is
+// measured in-process so the comparison stays valid under -race (where
+// CPU-bound selection inflates ~10×).
+func TestPipelineOverlapsFetches(t *testing.T) {
+	f := newFixture(t)
+	targets := f.targets(8)
+	const nQueries = 2
+	const perPage = 6 * time.Millisecond
+
+	makeJobs := func() []Job {
+		jobs := make([]Job, len(targets))
+		for i, e := range targets {
+			fetcher := search.NewFetcher(perPage)
+			fetcher.Sleep = true
+			jobs[i] = Job{Session: f.session(e, fetcher), Selector: core.NewRT(), NQueries: nQueries}
+		}
+		return jobs
+	}
+
+	// Sequential baseline: same work, one entity at a time.
+	seqJobs := makeJobs()
+	seqStart := time.Now()
+	for i := range seqJobs {
+		s := seqJobs[i].Session
+		s.Run(seqJobs[i].Selector, seqJobs[i].NQueries)
+	}
+	sequential := time.Since(seqStart)
+
+	pipeJobs := makeJobs()
+	pipeStart := time.Now()
+	results := Run(context.Background(), Config{SelectWorkers: 2, FetchWorkers: 16}, pipeJobs)
+	pipelined := time.Since(pipeStart)
+
+	for i := range results {
+		if results[i].Err != nil {
+			t.Fatalf("job %d: %v", i, results[i].Err)
+		}
+	}
+	if pipelined > sequential*8/10 {
+		t.Errorf("pipeline %v vs sequential %v: no meaningful overlap", pipelined, sequential)
+	}
+}
+
+func TestPipelineCancellation(t *testing.T) {
+	f := newFixture(t)
+	targets := f.targets(4)
+
+	jobs := make([]Job, len(targets))
+	for i, e := range targets {
+		fetcher := search.NewFetcher(200 * time.Millisecond)
+		fetcher.Sleep = true
+		jobs[i] = Job{Session: f.session(e, fetcher), Selector: core.NewRT(), NQueries: 50}
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
+	defer cancel()
+
+	start := time.Now()
+	results := Run(ctx, Config{SelectWorkers: 2, FetchWorkers: 4}, jobs)
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Fatalf("cancellation took %v", elapsed)
+	}
+	canceled := 0
+	for _, r := range results {
+		if r.Err != nil {
+			canceled++
+		}
+	}
+	if canceled == 0 {
+		t.Error("expected at least one job cut short by cancellation")
+	}
+}
+
+func TestPipelineValidation(t *testing.T) {
+	results := Run(context.Background(), Config{}, []Job{{}})
+	if results[0].Err == nil {
+		t.Error("empty job accepted")
+	}
+	if out := Run(context.Background(), Config{}, nil); len(out) != 0 {
+		t.Errorf("nil jobs returned %d results", len(out))
+	}
+}
+
+func TestPipelineZeroQueryBudget(t *testing.T) {
+	f := newFixture(t)
+	e := f.targets(1)[0]
+	s := f.session(e, nil)
+	results := Run(context.Background(), Config{}, []Job{
+		{Session: s, Selector: core.NewP(), NQueries: 0},
+	})
+	if results[0].Err != nil {
+		t.Fatal(results[0].Err)
+	}
+	if len(results[0].Fired) != 0 {
+		t.Errorf("fired %v with zero budget", results[0].Fired)
+	}
+	// The seed bootstrap must still have happened.
+	if len(s.Pages()) == 0 {
+		t.Error("seed results not ingested")
+	}
+}

@@ -1,0 +1,91 @@
+package search
+
+import (
+	"math"
+	"sort"
+
+	"l2q/internal/textproc"
+)
+
+// The paper's data model only requires *an* information-retrieval model
+// ("a query can retrieve a set of pages through an information retrieval
+// model, such as a commercial search engine", §I). The experiments use
+// query-likelihood with Dirichlet smoothing; BM25 is provided as an
+// alternative so the harvesting stack can be exercised against a different
+// ranking function (and because downstream users will ask for it).
+
+// Default BM25 parameters (standard Robertson values).
+const (
+	DefaultBM25K1 = 1.2
+	DefaultBM25B  = 0.75
+)
+
+// WithBM25 returns a copy of the engine that ranks with Okapi BM25 instead
+// of the Dirichlet query-likelihood model.
+func (e *Engine) WithBM25(k1, b float64) *Engine {
+	cp := *e
+	cp.bm25 = true
+	cp.k1 = k1
+	cp.b = b
+	if cp.k1 <= 0 {
+		cp.k1 = DefaultBM25K1
+	}
+	if cp.b < 0 || cp.b > 1 {
+		cp.b = DefaultBM25B
+	}
+	return &cp
+}
+
+// IsBM25 reports whether the engine ranks with BM25.
+func (e *Engine) IsBM25() bool { return e.bm25 }
+
+// idf is the BM25 inverse document frequency with the +1 floor that keeps
+// it positive for very common terms.
+func (e *Engine) idf(t textproc.Token) float64 {
+	df := float64(e.idx.DocFreq(t))
+	n := float64(e.idx.NumDocs())
+	return math.Log((n-df+0.5)/(df+0.5) + 1)
+}
+
+// searchBM25 mirrors Search with BM25 scoring.
+func (e *Engine) searchBM25(query []textproc.Token) []Result {
+	if len(query) == 0 {
+		return nil
+	}
+	avgdl := float64(e.idx.totalToks) / math.Max(1, float64(e.idx.NumDocs()))
+	scores := make(map[int32]float64)
+	for _, t := range query {
+		idf := e.idf(t)
+		for _, p := range e.idx.postings[t] {
+			dl := float64(e.idx.docLen[p.doc])
+			tf := float64(p.tf)
+			scores[p.doc] += idf * (tf * (e.k1 + 1)) / (tf + e.k1*(1-e.b+e.b*dl/avgdl))
+		}
+	}
+	if len(scores) == 0 {
+		return nil
+	}
+	type cand struct {
+		doc   int32
+		score float64
+	}
+	cands := make([]cand, 0, len(scores))
+	for doc, s := range scores {
+		cands = append(cands, cand{doc: doc, score: s})
+	}
+	sort.Slice(cands, func(i, j int) bool {
+		if cands[i].score != cands[j].score {
+			return cands[i].score > cands[j].score
+		}
+		return cands[i].doc < cands[j].doc
+	})
+	k := e.topK
+	if k > len(cands) {
+		k = len(cands)
+	}
+	out := make([]Result, 0, k)
+	for _, c := range cands[:k] {
+		out = append(out, Result{Page: e.idx.docs[c.doc], Score: c.score})
+	}
+	return out
+}

@@ -1,0 +1,71 @@
+package search
+
+import (
+	"testing"
+
+	"l2q/internal/textproc"
+)
+
+func TestBM25RanksContainingDocsFirst(t *testing.T) {
+	e := NewEngine(smallIndex()).WithBM25(DefaultBM25K1, DefaultBM25B)
+	if !e.IsBM25() {
+		t.Fatal("BM25 mode not set")
+	}
+	res := e.Search([]textproc.Token{"parallel", "hpc"})
+	if len(res) == 0 {
+		t.Fatal("no results")
+	}
+	top2 := map[int32]bool{int32(res[0].Page.ID): true, int32(res[1].Page.ID): true}
+	if !top2[0] || !top2[1] {
+		t.Fatalf("want pages 0,1 on top, got %v", top2)
+	}
+	for i := 1; i < len(res); i++ {
+		if res[i].Score > res[i-1].Score {
+			t.Fatal("not sorted")
+		}
+	}
+}
+
+func TestBM25OnlyScoresMatchingDocs(t *testing.T) {
+	e := NewEngine(smallIndex()).WithBM25(0, -1) // bad params → defaults
+	res := e.Search([]textproc.Token{"ibm"})
+	if len(res) != 1 || res[0].Page.ID != 5 {
+		t.Fatalf("BM25 ibm results = %v", res)
+	}
+	if got := e.Search(nil); got != nil {
+		t.Fatal("empty query must return nil")
+	}
+	if got := e.Search([]textproc.Token{"zzz"}); got != nil {
+		t.Fatal("OOV query must return nil")
+	}
+}
+
+func TestBM25AndLMAgreeOnObviousQuery(t *testing.T) {
+	idx := smallIndex()
+	lm := NewEngine(idx)
+	bm := NewEngine(idx).WithBM25(DefaultBM25K1, DefaultBM25B)
+	q := []textproc.Token{"complexity"}
+	rl, rb := lm.Search(q), bm.Search(q)
+	if len(rl) == 0 || len(rb) == 0 {
+		t.Fatal("no results")
+	}
+	// Both models must surface the two complexity pages (2 and 3) first.
+	firstTwo := func(rs []Result) map[int]bool {
+		m := map[int]bool{}
+		for _, r := range rs[:2] {
+			m[int(r.Page.ID)] = true
+		}
+		return m
+	}
+	if !firstTwo(rl)[2] || !firstTwo(rl)[3] || !firstTwo(rb)[2] || !firstTwo(rb)[3] {
+		t.Fatalf("models disagree on the obvious query: lm=%v bm=%v", firstTwo(rl), firstTwo(rb))
+	}
+}
+
+func TestWithBM25DoesNotMutateReceiver(t *testing.T) {
+	e := NewEngine(smallIndex())
+	_ = e.WithBM25(2.0, 0.5)
+	if e.IsBM25() {
+		t.Fatal("receiver mutated")
+	}
+}

@@ -1,0 +1,188 @@
+package search
+
+import (
+	"math"
+	"sort"
+
+	"l2q/internal/corpus"
+	"l2q/internal/textproc"
+)
+
+// DefaultMu is the fallback Dirichlet smoothing parameter μ. Zhai &
+// Lafferty (SIGIR 2001, the paper's reference [29]) recommend μ around the
+// collection's document scale; 2000 suits long web documents. NewEngine
+// auto-scales μ to twice the mean document length (clamped to
+// [MinMu, DefaultMu]) because over-smoothing short documents erases the
+// query-term signal entirely — the document model's weight is
+// |d|/(|d|+μ), which at |d|=150 and μ=2000 leaves the query terms only 7%
+// influence and makes retrieval insensitive to the query.
+const DefaultMu = 2000.0
+
+// MinMu is the lower clamp for the auto-scaled μ.
+const MinMu = 100.0
+
+// DefaultTopK is the number of results per query (paper: top 5, §VI-A).
+const DefaultTopK = 5
+
+// Result is one ranked retrieval hit.
+type Result struct {
+	Page  *corpus.Page
+	Score float64 // log query-likelihood; higher is better
+}
+
+// Engine ranks indexed pages by Dirichlet-smoothed query likelihood:
+//
+//	score(q,d) = Σ_{t∈q} log( (tf(t,d) + μ·p(t|C)) / (|d| + μ) )
+//
+// Documents containing none of the query terms are not returned. The zero
+// value is not usable; create with NewEngine.
+type Engine struct {
+	idx  *Index
+	mu   float64
+	topK int
+
+	// BM25 mode (see bm25.go).
+	bm25  bool
+	k1, b float64
+}
+
+// NewEngine creates an engine over idx with auto-scaled μ (see DefaultMu)
+// and DefaultTopK.
+func NewEngine(idx *Index) *Engine {
+	mu := DefaultMu
+	if n := idx.NumDocs(); n > 0 {
+		avg := float64(idx.TotalTokens()) / float64(n)
+		mu = 2 * avg
+		if mu < MinMu {
+			mu = MinMu
+		}
+		if mu > DefaultMu {
+			mu = DefaultMu
+		}
+	}
+	return &Engine{idx: idx, mu: mu, topK: DefaultTopK}
+}
+
+// Mu returns the engine's Dirichlet smoothing parameter.
+func (e *Engine) Mu() float64 { return e.mu }
+
+// WithMu returns a copy of the engine using the given Dirichlet μ.
+func (e *Engine) WithMu(mu float64) *Engine {
+	cp := *e
+	cp.mu = mu
+	return &cp
+}
+
+// WithTopK returns a copy of the engine returning k results per query.
+func (e *Engine) WithTopK(k int) *Engine {
+	cp := *e
+	cp.topK = k
+	return &cp
+}
+
+// Index returns the underlying index.
+func (e *Engine) Index() *Index { return e.idx }
+
+// TopK returns the configured result-list size.
+func (e *Engine) TopK() int { return e.topK }
+
+// CollectionProb is the smoothed collection model p(t|C) with add-one
+// smoothing so unseen terms keep scores finite. Exported so remote
+// clients (internal/webapi) can reproduce the engine's scoring exactly
+// from collection statistics.
+func CollectionProb(collFreq, totalToks, numTerms int) float64 {
+	return float64(collFreq+1) / float64(totalToks+numTerms+1)
+}
+
+// DirichletTermScore is the per-term Dirichlet-smoothed log-probability
+// log((tf + μ·p(t|C)) / (dl + μ)).
+func DirichletTermScore(tf, dl int, mu, pC float64) float64 {
+	return math.Log((float64(tf) + mu*pC) / (float64(dl) + mu))
+}
+
+// collProb applies CollectionProb to the engine's own index.
+func (e *Engine) collProb(t textproc.Token) float64 {
+	return CollectionProb(e.idx.collFreq[t], e.idx.totalToks, e.idx.NumTerms())
+}
+
+// Search returns the top-k pages for the query tokens. Ties are broken by
+// document order for determinism. An empty query returns nil.
+func (e *Engine) Search(query []textproc.Token) []Result {
+	if len(query) == 0 {
+		return nil
+	}
+	if e.bm25 {
+		return e.searchBM25(query)
+	}
+	// Candidate set: union of postings.
+	type cand struct {
+		doc   int32
+		score float64
+	}
+	tfs := make(map[int32]map[textproc.Token]int32)
+	for _, t := range query {
+		for _, p := range e.idx.postings[t] {
+			m := tfs[p.doc]
+			if m == nil {
+				m = make(map[textproc.Token]int32, len(query))
+				tfs[p.doc] = m
+			}
+			m[t] = p.tf
+		}
+	}
+	if len(tfs) == 0 {
+		return nil
+	}
+	cands := make([]cand, 0, len(tfs))
+	for doc, m := range tfs {
+		dl := e.idx.docLen[doc]
+		s := 0.0
+		for _, t := range query {
+			s += DirichletTermScore(int(m[t]), dl, e.mu, e.collProb(t))
+		}
+		cands = append(cands, cand{doc: doc, score: s})
+	}
+	sort.Slice(cands, func(i, j int) bool {
+		if cands[i].score != cands[j].score {
+			return cands[i].score > cands[j].score
+		}
+		return cands[i].doc < cands[j].doc
+	})
+	k := e.topK
+	if k > len(cands) {
+		k = len(cands)
+	}
+	out := make([]Result, 0, k)
+	for _, c := range cands[:k] {
+		out = append(out, Result{Page: e.idx.docs[c.doc], Score: c.score})
+	}
+	return out
+}
+
+// SearchWithSeed runs Search on seed ∥ query. The paper appends the seed
+// query to every subsequent query "in order to focus on the target entity"
+// (§I "Input").
+func (e *Engine) SearchWithSeed(seed, query []textproc.Token) []Result {
+	combined := make([]textproc.Token, 0, len(seed)+len(query))
+	combined = append(combined, seed...)
+	combined = append(combined, query...)
+	return e.Search(combined)
+}
+
+// QueryLikelihood scores one page against a query with the engine's
+// smoothing; used by the reinforcement graph to weight page–query edges.
+func (e *Engine) QueryLikelihood(p *corpus.Page, query []textproc.Token) float64 {
+	if len(query) == 0 {
+		return math.Inf(-1)
+	}
+	toks := p.Tokens()
+	tf := make(map[textproc.Token]int, len(query))
+	for _, t := range toks {
+		tf[t]++ // full histogram; queries are short so this is fine
+	}
+	s := 0.0
+	for _, t := range query {
+		s += DirichletTermScore(tf[t], len(toks), e.mu, e.collProb(t))
+	}
+	return s
+}

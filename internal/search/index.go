@@ -1,0 +1,81 @@
+// Package search implements the retrieval substrate: an inverted index and
+// a query-likelihood language model with Dirichlet smoothing, which is the
+// exact retrieval model the paper uses over its fixed corpus (§VI-A: "we
+// used a language model with Dirichlet smoothing as the search engine. For
+// each query, pages in the corpus are ranked and the top 5 are returned").
+//
+// It also provides a Fetcher that simulates remote page-download latency so
+// the Fig. 14 selection-vs-fetch comparison can be regenerated.
+package search
+
+import (
+	"sort"
+
+	"l2q/internal/corpus"
+	"l2q/internal/textproc"
+)
+
+// posting records one document's term frequency for a token.
+type posting struct {
+	doc int32 // index into Index.docs
+	tf  int32
+}
+
+// Index is an immutable inverted index over a fixed page collection.
+// Build it once; concurrent reads are safe.
+type Index struct {
+	docs      []*corpus.Page
+	docLen    []int
+	postings  map[textproc.Token][]posting
+	collFreq  map[textproc.Token]int
+	totalToks int
+}
+
+// BuildIndex indexes the given pages. Page order is preserved and ties in
+// ranking are broken by that order, keeping results deterministic.
+func BuildIndex(pages []*corpus.Page) *Index {
+	idx := &Index{
+		docs:     pages,
+		docLen:   make([]int, len(pages)),
+		postings: make(map[textproc.Token][]posting),
+		collFreq: make(map[textproc.Token]int),
+	}
+	for di, p := range pages {
+		toks := p.Tokens()
+		idx.docLen[di] = len(toks)
+		idx.totalToks += len(toks)
+		tf := make(map[textproc.Token]int, len(toks))
+		for _, t := range toks {
+			tf[t]++
+		}
+		// Deterministic posting order: sort tokens per doc.
+		keys := make([]string, 0, len(tf))
+		for t := range tf {
+			keys = append(keys, t)
+		}
+		sort.Strings(keys)
+		for _, t := range keys {
+			idx.postings[t] = append(idx.postings[t], posting{doc: int32(di), tf: int32(tf[t])})
+			idx.collFreq[t] += tf[t]
+		}
+	}
+	return idx
+}
+
+// NumDocs returns the number of indexed pages.
+func (idx *Index) NumDocs() int { return len(idx.docs) }
+
+// NumTerms returns the vocabulary size.
+func (idx *Index) NumTerms() int { return len(idx.postings) }
+
+// TotalTokens returns the collection length in tokens.
+func (idx *Index) TotalTokens() int { return idx.totalToks }
+
+// DocFreq returns the number of documents containing the token.
+func (idx *Index) DocFreq(t textproc.Token) int { return len(idx.postings[t]) }
+
+// CollectionFreq returns the token's total frequency in the collection.
+func (idx *Index) CollectionFreq(t textproc.Token) int { return idx.collFreq[t] }
+
+// Doc returns the i-th indexed page.
+func (idx *Index) Doc(i int) *corpus.Page { return idx.docs[i] }

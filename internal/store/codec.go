@@ -1,0 +1,133 @@
+// Package store persists a corpus and its inverted index in a compact,
+// checksummed binary file — the "gather once, harvest many times" storage
+// layer. The paper's protocol collects all pages in advance (§VI-A) and
+// then runs every experiment against that fixed collection; this package
+// makes the collection a durable artifact instead of an in-memory object
+// that must be regenerated per process.
+//
+// The format is a sequence of named sections, each independently
+// CRC32-checksummed, ending in a sentinel section:
+//
+//	magic "L2QSTOR1"
+//	section := nameLen uvarint | name | payloadLen uvarint | crc32 (4B LE) | payload
+//	...
+//	end     := section with name "END" and empty payload
+//
+// Payload encodings use varints throughout; token streams are dictionary-
+// coded against a front-coded sorted term dictionary, and posting lists are
+// delta-encoded. Sections unknown to a reader are skipped, so the format
+// can grow without breaking old readers.
+package store
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+)
+
+// enc builds a section payload. All methods append; enc never fails.
+type enc struct {
+	buf []byte
+}
+
+func (e *enc) uvarint(v uint64) {
+	e.buf = binary.AppendUvarint(e.buf, v)
+}
+
+func (e *enc) varint(v int64) {
+	e.buf = binary.AppendVarint(e.buf, v)
+}
+
+func (e *enc) str(s string) {
+	e.uvarint(uint64(len(s)))
+	e.buf = append(e.buf, s...)
+}
+
+func (e *enc) f64(v float64) {
+	e.buf = binary.LittleEndian.AppendUint64(e.buf, math.Float64bits(v))
+}
+
+// dec consumes a section payload. The first malformed read poisons the
+// decoder; callers check err once at the end (sticky-error style, like
+// bufio.Scanner).
+type dec struct {
+	buf []byte
+	pos int
+	err error
+}
+
+func (d *dec) fail(what string) {
+	if d.err == nil {
+		d.err = fmt.Errorf("store: truncated or corrupt %s at offset %d", what, d.pos)
+	}
+}
+
+func (d *dec) uvarint() uint64 {
+	if d.err != nil {
+		return 0
+	}
+	v, n := binary.Uvarint(d.buf[d.pos:])
+	if n <= 0 {
+		d.fail("uvarint")
+		return 0
+	}
+	d.pos += n
+	return v
+}
+
+func (d *dec) varint() int64 {
+	if d.err != nil {
+		return 0
+	}
+	v, n := binary.Varint(d.buf[d.pos:])
+	if n <= 0 {
+		d.fail("varint")
+		return 0
+	}
+	d.pos += n
+	return v
+}
+
+func (d *dec) str() string {
+	n := d.uvarint()
+	if d.err != nil {
+		return ""
+	}
+	if n > uint64(len(d.buf)-d.pos) {
+		d.fail("string")
+		return ""
+	}
+	s := string(d.buf[d.pos : d.pos+int(n)])
+	d.pos += int(n)
+	return s
+}
+
+func (d *dec) f64() float64 {
+	if d.err != nil {
+		return 0
+	}
+	if d.pos+8 > len(d.buf) {
+		d.fail("float64")
+		return 0
+	}
+	v := math.Float64frombits(binary.LittleEndian.Uint64(d.buf[d.pos:]))
+	d.pos += 8
+	return v
+}
+
+// count reads a length prefix and sanity-checks it against the remaining
+// bytes (each element needs at least one byte), so hostile lengths cannot
+// trigger huge allocations.
+func (d *dec) count(what string) int {
+	n := d.uvarint()
+	if d.err != nil {
+		return 0
+	}
+	if n > uint64(len(d.buf)-d.pos) {
+		d.fail(what + " count")
+		return 0
+	}
+	return int(n)
+}
+
+func (d *dec) done() bool { return d.err == nil && d.pos == len(d.buf) }

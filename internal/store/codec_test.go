@@ -1,0 +1,163 @@
+package store
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"l2q/internal/textproc"
+)
+
+func TestEncDecPrimitivesRoundTrip(t *testing.T) {
+	f := func(u uint64, i int64, s string, fl float64) bool {
+		if math.IsNaN(fl) {
+			fl = 0 // NaN != NaN would fail the comparison, not the codec
+		}
+		e := &enc{}
+		e.uvarint(u)
+		e.varint(i)
+		e.str(s)
+		e.f64(fl)
+		d := &dec{buf: e.buf}
+		gu := d.uvarint()
+		gi := d.varint()
+		gs := d.str()
+		gf := d.f64()
+		return d.err == nil && d.done() && gu == u && gi == i && gs == s && gf == fl
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDecStickyError(t *testing.T) {
+	d := &dec{buf: []byte{0xff}} // truncated uvarint
+	_ = d.uvarint()
+	if d.err == nil {
+		t.Fatal("expected error")
+	}
+	// Every subsequent read must stay failed and return zero values.
+	if v := d.uvarint(); v != 0 {
+		t.Errorf("uvarint after error = %d", v)
+	}
+	if s := d.str(); s != "" {
+		t.Errorf("str after error = %q", s)
+	}
+	if v := d.varint(); v != 0 {
+		t.Errorf("varint after error = %d", v)
+	}
+	if v := d.f64(); v != 0 {
+		t.Errorf("f64 after error = %v", v)
+	}
+}
+
+func TestDecStringBounds(t *testing.T) {
+	e := &enc{}
+	e.uvarint(1000) // claims 1000 bytes
+	d := &dec{buf: e.buf}
+	if s := d.str(); s != "" || d.err == nil {
+		t.Fatalf("oversized string accepted: %q", s)
+	}
+}
+
+func TestDecCountBounds(t *testing.T) {
+	e := &enc{}
+	e.uvarint(1 << 40) // hostile count
+	d := &dec{buf: e.buf}
+	if n := d.count("test"); n != 0 || d.err == nil {
+		t.Fatalf("hostile count accepted: %d", n)
+	}
+}
+
+func TestDictionaryRoundTrip(t *testing.T) {
+	f := func(words []string) bool {
+		seen := map[string]bool{}
+		dict := buildDictionary(func(emit func(textproc.Token)) {
+			for _, w := range words {
+				emit(w)
+				seen[w] = true
+			}
+		})
+		if len(dict.terms) != len(seen) {
+			return false
+		}
+		e := &enc{}
+		dict.encode(e)
+		d := &dec{buf: e.buf}
+		got := decodeDictionary(d)
+		if d.err != nil || !d.done() {
+			return false
+		}
+		if len(got.terms) != len(dict.terms) {
+			return false
+		}
+		for i, term := range dict.terms {
+			if got.terms[i] != term || got.ids[term] != uint64(i) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDictionaryFrontCodingSharedPrefixes(t *testing.T) {
+	dict := buildDictionary(func(emit func(textproc.Token)) {
+		for _, w := range []string{"research", "researcher", "researchers", "rest", "zebra"} {
+			emit(w)
+		}
+	})
+	e := &enc{}
+	dict.encode(e)
+	// Front coding must beat naive length-prefixed strings here.
+	naive := 0
+	for _, w := range dict.terms {
+		naive += 1 + len(w)
+	}
+	if len(e.buf) >= naive {
+		t.Errorf("front-coded size %d >= naive %d", len(e.buf), naive)
+	}
+	d := &dec{buf: e.buf}
+	got := decodeDictionary(d)
+	if d.err != nil {
+		t.Fatal(d.err)
+	}
+	for i := range dict.terms {
+		if got.terms[i] != dict.terms[i] {
+			t.Errorf("term %d = %q, want %q", i, got.terms[i], dict.terms[i])
+		}
+	}
+}
+
+func TestDictionaryUnicodeBoundaries(t *testing.T) {
+	words := []string{"caf", "café", "cafés", "日本", "日本語"}
+	dict := buildDictionary(func(emit func(textproc.Token)) {
+		for _, w := range words {
+			emit(w)
+		}
+	})
+	e := &enc{}
+	dict.encode(e)
+	d := &dec{buf: e.buf}
+	got := decodeDictionary(d)
+	if d.err != nil {
+		t.Fatal(d.err)
+	}
+	for i := range dict.terms {
+		if got.terms[i] != dict.terms[i] {
+			t.Errorf("term %d = %q, want %q", i, got.terms[i], dict.terms[i])
+		}
+	}
+}
+
+func TestDictionaryLookupMisses(t *testing.T) {
+	dict := buildDictionary(func(emit func(textproc.Token)) { emit("only") })
+	if _, ok := dict.term(1); ok {
+		t.Error("out-of-range term id resolved")
+	}
+	if _, ok := dict.term(0); !ok {
+		t.Error("valid term id failed")
+	}
+}

@@ -1,0 +1,182 @@
+package store
+
+import (
+	"sort"
+
+	"l2q/internal/corpus"
+	"l2q/internal/search"
+	"l2q/internal/textproc"
+)
+
+// encodeEntities writes the ENTS section: one record per entity, attrs
+// sorted for byte-deterministic output.
+func encodeEntities(e *enc, c *corpus.Corpus) {
+	e.uvarint(uint64(len(c.Entities)))
+	for _, ent := range c.Entities {
+		e.varint(int64(ent.ID))
+		e.str(string(ent.Domain))
+		e.str(ent.Name)
+		e.str(ent.SeedQuery)
+		keys := make([]string, 0, len(ent.Attrs))
+		for k := range ent.Attrs {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		e.uvarint(uint64(len(keys)))
+		for _, k := range keys {
+			e.str(k)
+			e.str(ent.Attrs[k])
+		}
+	}
+}
+
+func decodeEntities(d *dec) []*corpus.Entity {
+	n := d.count("entities")
+	out := make([]*corpus.Entity, 0, n)
+	for i := 0; i < n && d.err == nil; i++ {
+		ent := &corpus.Entity{
+			ID:        corpus.EntityID(d.varint()),
+			Domain:    corpus.Domain(d.str()),
+			Name:      d.str(),
+			SeedQuery: d.str(),
+		}
+		nAttrs := d.count("entity attrs")
+		if nAttrs > 0 {
+			ent.Attrs = make(map[string]string, nAttrs)
+			for j := 0; j < nAttrs && d.err == nil; j++ {
+				k := d.str()
+				ent.Attrs[k] = d.str()
+			}
+		}
+		out = append(out, ent)
+	}
+	return out
+}
+
+// encodePages writes the PAGE section. Paragraph tokens are dictionary
+// IDs; aspects are interned into a small per-section table; links are
+// written as deltas from the page's own ID (links cluster near their
+// source in generated webs).
+func encodePages(e *enc, c *corpus.Corpus, dict *dictionary) {
+	// Aspect table for this section.
+	aspectID := map[corpus.Aspect]uint64{}
+	var aspects []corpus.Aspect
+	for _, p := range c.Pages {
+		for i := range p.Paras {
+			a := p.Paras[i].Aspect
+			if _, ok := aspectID[a]; !ok {
+				aspectID[a] = uint64(len(aspects))
+				aspects = append(aspects, a)
+			}
+		}
+	}
+	e.uvarint(uint64(len(aspects)))
+	for _, a := range aspects {
+		e.str(string(a))
+	}
+
+	e.uvarint(uint64(len(c.Pages)))
+	for _, p := range c.Pages {
+		e.varint(int64(p.ID))
+		e.varint(int64(p.Entity))
+		e.str(p.URL)
+		e.str(p.Title)
+		e.uvarint(uint64(len(p.Paras)))
+		for i := range p.Paras {
+			para := &p.Paras[i]
+			e.uvarint(aspectID[para.Aspect])
+			e.str(para.Text)
+			e.uvarint(uint64(len(para.Tokens)))
+			for _, t := range para.Tokens {
+				e.uvarint(dict.id(t))
+			}
+		}
+		e.uvarint(uint64(len(p.Links)))
+		for _, l := range p.Links {
+			e.varint(int64(l) - int64(p.ID))
+		}
+	}
+}
+
+func decodePages(d *dec, dict *dictionary) []*corpus.Page {
+	nAspects := d.count("aspects")
+	aspects := make([]corpus.Aspect, 0, nAspects)
+	for i := 0; i < nAspects && d.err == nil; i++ {
+		aspects = append(aspects, corpus.Aspect(d.str()))
+	}
+
+	nPages := d.count("pages")
+	out := make([]*corpus.Page, 0, nPages)
+	for i := 0; i < nPages && d.err == nil; i++ {
+		p := &corpus.Page{
+			ID:     corpus.PageID(d.varint()),
+			Entity: corpus.EntityID(d.varint()),
+			URL:    d.str(),
+			Title:  d.str(),
+		}
+		nParas := d.count("paragraphs")
+		p.Paras = make([]corpus.Paragraph, 0, nParas)
+		for j := 0; j < nParas && d.err == nil; j++ {
+			aid := d.uvarint()
+			if aid >= uint64(len(aspects)) {
+				d.fail("aspect id")
+				break
+			}
+			para := corpus.Paragraph{Aspect: aspects[aid], Text: d.str()}
+			nToks := d.count("tokens")
+			para.Tokens = make([]textproc.Token, 0, nToks)
+			for k := 0; k < nToks && d.err == nil; k++ {
+				t, ok := dict.term(d.uvarint())
+				if !ok {
+					d.fail("token id")
+					break
+				}
+				para.Tokens = append(para.Tokens, t)
+			}
+			p.Paras = append(p.Paras, para)
+		}
+		nLinks := d.count("links")
+		for j := 0; j < nLinks && d.err == nil; j++ {
+			p.Links = append(p.Links, corpus.PageID(int64(p.ID)+d.varint()))
+		}
+		out = append(out, p)
+	}
+	return out
+}
+
+// encodeIndex writes the INDX section: per term (dictionary ID), the
+// posting list with document-ordinal deltas and term frequencies.
+func encodeIndex(e *enc, idx *search.Index, dict *dictionary) {
+	e.uvarint(uint64(idx.NumTerms()))
+	idx.DumpPostings(func(term textproc.Token, posts []search.RawPosting) {
+		e.uvarint(dict.id(term))
+		e.uvarint(uint64(len(posts)))
+		prev := int32(0)
+		for _, p := range posts {
+			e.uvarint(uint64(p.Doc - prev))
+			e.uvarint(uint64(p.TF))
+			prev = p.Doc
+		}
+	})
+}
+
+func decodeIndex(d *dec, dict *dictionary) map[textproc.Token][]search.RawPosting {
+	nTerms := d.count("index terms")
+	out := make(map[textproc.Token][]search.RawPosting, nTerms)
+	for i := 0; i < nTerms && d.err == nil; i++ {
+		term, ok := dict.term(d.uvarint())
+		if !ok {
+			d.fail("index term id")
+			return out
+		}
+		nPosts := d.count("postings")
+		posts := make([]search.RawPosting, 0, nPosts)
+		doc := int32(0)
+		for j := 0; j < nPosts && d.err == nil; j++ {
+			doc += int32(d.uvarint())
+			posts = append(posts, search.RawPosting{Doc: doc, TF: int32(d.uvarint())})
+		}
+		out[term] = posts
+	}
+	return out
+}

@@ -1,0 +1,291 @@
+package store
+
+import (
+	"bytes"
+	"encoding/binary"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+
+	"l2q/internal/corpus"
+	"l2q/internal/search"
+	"l2q/internal/synth"
+	"l2q/internal/textproc"
+)
+
+func testBundle(t *testing.T, domain corpus.Domain) (*corpus.Corpus, *search.Index) {
+	t.Helper()
+	g, err := synth.Generate(synth.TestConfig(domain))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Give some pages links so the link encoding is exercised.
+	for i, p := range g.Corpus.Pages {
+		if i%3 == 0 && i+2 < g.Corpus.NumPages() {
+			p.Links = []corpus.PageID{p.ID + 1, p.ID + 2, 0}
+		}
+	}
+	return g.Corpus, search.BuildIndex(g.Corpus.Pages)
+}
+
+func TestSaveLoadRoundTrip(t *testing.T) {
+	for _, domain := range []corpus.Domain{synth.DomainResearchers, synth.DomainCars} {
+		t.Run(string(domain), func(t *testing.T) {
+			c, idx := testBundle(t, domain)
+			var buf bytes.Buffer
+			if err := Save(&buf, c, idx); err != nil {
+				t.Fatal(err)
+			}
+			b, err := Load(&buf)
+			if err != nil {
+				t.Fatal(err)
+			}
+			assertCorpusEqual(t, c, b.Corpus)
+			if b.Index == nil {
+				t.Fatal("index missing from bundle")
+			}
+			assertIndexEqual(t, idx, b.Index)
+		})
+	}
+}
+
+func TestSaveLoadWithoutIndex(t *testing.T) {
+	c, _ := testBundle(t, synth.DomainCars)
+	var buf bytes.Buffer
+	if err := Save(&buf, c, nil); err != nil {
+		t.Fatal(err)
+	}
+	b, err := Load(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.Index != nil {
+		t.Error("expected nil index")
+	}
+	assertCorpusEqual(t, c, b.Corpus)
+}
+
+func TestSaveFileLoadFile(t *testing.T) {
+	c, idx := testBundle(t, synth.DomainCars)
+	path := filepath.Join(t.TempDir(), "corpus.l2q")
+	if err := SaveFile(path, c, idx); err != nil {
+		t.Fatal(err)
+	}
+	b, err := LoadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertCorpusEqual(t, c, b.Corpus)
+	assertIndexEqual(t, idx, b.Index)
+}
+
+// TestRestoredIndexSearchIdentical verifies the restored index ranks
+// exactly like the original for real queries.
+func TestRestoredIndexSearchIdentical(t *testing.T) {
+	c, idx := testBundle(t, synth.DomainResearchers)
+	var buf bytes.Buffer
+	if err := Save(&buf, c, idx); err != nil {
+		t.Fatal(err)
+	}
+	b, err := Load(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	orig := search.NewEngine(idx)
+	restored := search.NewEngine(b.Index)
+
+	queries := [][]textproc.Token{
+		c.Entities[0].SeedTokens(),
+		{"research"},
+		{"research", "award"},
+		{"nonexistent-token-xyz"},
+	}
+	for _, q := range queries {
+		ro := orig.Search(q)
+		rr := restored.Search(q)
+		if len(ro) != len(rr) {
+			t.Fatalf("query %v: %d vs %d results", q, len(ro), len(rr))
+		}
+		for i := range ro {
+			if ro[i].Page.ID != rr[i].Page.ID {
+				t.Errorf("query %v rank %d: page %d vs %d", q, i, ro[i].Page.ID, rr[i].Page.ID)
+			}
+			if diff := ro[i].Score - rr[i].Score; diff > 1e-12 || diff < -1e-12 {
+				t.Errorf("query %v rank %d: score %v vs %v", q, i, ro[i].Score, rr[i].Score)
+			}
+		}
+	}
+}
+
+func TestLoadRejectsBadMagic(t *testing.T) {
+	if _, err := Load(strings.NewReader("NOTASTORE-FILE")); err == nil {
+		t.Fatal("expected error for bad magic")
+	}
+	if _, err := Load(strings.NewReader("L2")); err == nil {
+		t.Fatal("expected error for short file")
+	}
+}
+
+func TestLoadDetectsCorruption(t *testing.T) {
+	c, idx := testBundle(t, synth.DomainCars)
+	var buf bytes.Buffer
+	if err := Save(&buf, c, idx); err != nil {
+		t.Fatal(err)
+	}
+	clean := buf.Bytes()
+
+	// Flip one byte in the middle of the file: some section's checksum
+	// (or frame) must catch it.
+	for _, off := range []int{len(clean) / 4, len(clean) / 2, 3 * len(clean) / 4} {
+		bad := append([]byte(nil), clean...)
+		bad[off] ^= 0x5a
+		if _, err := Load(bytes.NewReader(bad)); err == nil {
+			t.Errorf("corruption at offset %d not detected", off)
+		}
+	}
+}
+
+func TestLoadDetectsTruncation(t *testing.T) {
+	c, idx := testBundle(t, synth.DomainCars)
+	var buf bytes.Buffer
+	if err := Save(&buf, c, idx); err != nil {
+		t.Fatal(err)
+	}
+	clean := buf.Bytes()
+	for _, n := range []int{len(clean) - 1, len(clean) / 2, len(magic) + 1} {
+		if _, err := Load(bytes.NewReader(clean[:n])); err == nil {
+			t.Errorf("truncation to %d bytes not detected", n)
+		}
+	}
+}
+
+func TestLoadSkipsUnknownSections(t *testing.T) {
+	c, _ := testBundle(t, synth.DomainCars)
+	var buf bytes.Buffer
+	if err := Save(&buf, c, nil); err != nil {
+		t.Fatal(err)
+	}
+	clean := buf.Bytes()
+
+	// Splice an unknown (but well-formed) section in front of the END
+	// sentinel: readers must skip it.
+	endFrame := sectionFrame("END", nil)
+	if !bytes.HasSuffix(clean, endFrame) {
+		t.Fatal("file does not end with the END sentinel frame")
+	}
+	future := sectionFrame("FUTR", []byte("payload from the future"))
+	spliced := append(append(clean[:len(clean)-len(endFrame)], future...), endFrame...)
+
+	b, err := Load(bytes.NewReader(spliced))
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertCorpusEqual(t, c, b.Corpus)
+}
+
+// sectionFrame mirrors writeSection's framing for test construction.
+func sectionFrame(name string, payload []byte) []byte {
+	var out []byte
+	out = binary.AppendUvarint(out, uint64(len(name)))
+	out = append(out, name...)
+	out = binary.AppendUvarint(out, uint64(len(payload)))
+	out = binary.LittleEndian.AppendUint32(out, crc32.ChecksumIEEE(payload))
+	return append(out, payload...)
+}
+
+func TestSaveValidation(t *testing.T) {
+	if err := Save(&bytes.Buffer{}, nil, nil); err == nil {
+		t.Error("nil corpus accepted")
+	}
+	c, _ := testBundle(t, synth.DomainCars)
+	wrongIdx := search.BuildIndex(c.Pages[:1])
+	if err := Save(&bytes.Buffer{}, c, wrongIdx); err == nil {
+		t.Error("mismatched index accepted")
+	}
+}
+
+func assertCorpusEqual(t *testing.T, want, got *corpus.Corpus) {
+	t.Helper()
+	if want.Domain != got.Domain {
+		t.Fatalf("domain %q vs %q", got.Domain, want.Domain)
+	}
+	if got.NumEntities() != want.NumEntities() || got.NumPages() != want.NumPages() {
+		t.Fatalf("size %d/%d vs %d/%d",
+			got.NumEntities(), got.NumPages(), want.NumEntities(), want.NumPages())
+	}
+	for i, we := range want.Entities {
+		ge := got.Entities[i]
+		if we.ID != ge.ID || we.Name != ge.Name || we.SeedQuery != ge.SeedQuery ||
+			we.Domain != ge.Domain || !reflect.DeepEqual(we.Attrs, ge.Attrs) {
+			t.Fatalf("entity %d differs: %+v vs %+v", i, ge, we)
+		}
+	}
+	for i, wp := range want.Pages {
+		gp := got.Pages[i]
+		if wp.ID != gp.ID || wp.Entity != gp.Entity || wp.URL != gp.URL || wp.Title != gp.Title {
+			t.Fatalf("page %d header differs", i)
+		}
+		if !reflect.DeepEqual(wp.Links, gp.Links) {
+			t.Fatalf("page %d links %v vs %v", i, gp.Links, wp.Links)
+		}
+		if len(wp.Paras) != len(gp.Paras) {
+			t.Fatalf("page %d has %d paras, want %d", i, len(gp.Paras), len(wp.Paras))
+		}
+		for j := range wp.Paras {
+			w, g := &wp.Paras[j], &gp.Paras[j]
+			if w.Text != g.Text || w.Aspect != g.Aspect || !reflect.DeepEqual(w.Tokens, g.Tokens) {
+				t.Fatalf("page %d para %d differs", i, j)
+			}
+		}
+	}
+}
+
+func assertIndexEqual(t *testing.T, want, got *search.Index) {
+	t.Helper()
+	if want.NumDocs() != got.NumDocs() || want.NumTerms() != got.NumTerms() ||
+		want.TotalTokens() != got.TotalTokens() {
+		t.Fatalf("index stats: docs %d/%d terms %d/%d toks %d/%d",
+			got.NumDocs(), want.NumDocs(), got.NumTerms(), want.NumTerms(),
+			got.TotalTokens(), want.TotalTokens())
+	}
+	wantPosts := map[string][]search.RawPosting{}
+	want.DumpPostings(func(term textproc.Token, posts []search.RawPosting) {
+		wantPosts[term] = append([]search.RawPosting(nil), posts...)
+	})
+	got.DumpPostings(func(term textproc.Token, posts []search.RawPosting) {
+		if !reflect.DeepEqual(wantPosts[term], posts) {
+			t.Fatalf("postings for %q differ", term)
+		}
+		delete(wantPosts, term)
+	})
+	if len(wantPosts) != 0 {
+		t.Fatalf("%d terms missing from restored index", len(wantPosts))
+	}
+}
+
+// TestSaveLoadThroughPipe proves the format is truly streaming: writer and
+// reader connected by an os.Pipe with no seeking.
+func TestSaveLoadThroughPipe(t *testing.T) {
+	c, idx := testBundle(t, synth.DomainCars)
+	pr, pw, err := os.Pipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	errCh := make(chan error, 1)
+	go func() {
+		defer pw.Close()
+		errCh <- Save(pw, c, idx)
+	}()
+	b, err := Load(pr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := <-errCh; err != nil {
+		t.Fatal(err)
+	}
+	assertCorpusEqual(t, c, b.Corpus)
+	assertIndexEqual(t, idx, b.Index)
+}

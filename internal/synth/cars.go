@@ -1,0 +1,215 @@
+package synth
+
+import (
+	"fmt"
+	"math/rand/v2"
+
+	"l2q/internal/corpus"
+	"l2q/internal/types"
+)
+
+// Car-domain aspects (Fig. 9, right column). DEALER and NEWS are noise.
+const (
+	AspVerdict     corpus.Aspect = "VERDICT"
+	AspInterior    corpus.Aspect = "INTERIOR"
+	AspExterior    corpus.Aspect = "EXTERIOR"
+	AspPrice       corpus.Aspect = "PRICE"
+	AspReliability corpus.Aspect = "RELIABILITY"
+	AspSafety      corpus.Aspect = "SAFETY"
+	AspDriving     corpus.Aspect = "DRIVING"
+	AspDealer      corpus.Aspect = "DEALER"
+	AspCarNews     corpus.Aspect = "NEWS"
+)
+
+// CarAspects are the target aspects evaluated for the car domain, in
+// Fig. 9 order.
+var CarAspects = []corpus.Aspect{
+	AspVerdict, AspInterior, AspExterior, AspPrice,
+	AspReliability, AspSafety, AspDriving,
+}
+
+// See researcherGrammar for the indicator-word design rationale: generic
+// indicators split coverage with synonyms and bleed into the noise aspects.
+var carGrammar = map[corpus.Aspect][]string{
+	AspVerdict: {
+		"the {verdict} gives the {make} {model} high marks",
+		"our {verdict} ranks it above the {rival}",
+		"final verdict the {model} earns a {rating} of ten overall",
+		"the {verdict} summary praises its balance",
+		"{verdict} for this {bodystyle} reflects strong value",
+		"reviewers conclude the {verdict} favors the {trim} trim",
+	},
+	AspInterior: {
+		"the cabin offers {ifeature} and {ifeature2}",
+		"{ifeature} comes standard on the {trim} trim",
+		"interior materials include {ifeature} with soft touch surfaces",
+		"rear passengers enjoy {ifeature} and generous legroom",
+		"the {model} cockpit gains {ifeature} this year",
+		"inside you find {ifeature} plus {ifeature2}",
+	},
+	AspExterior: {
+		"{efeature} and {efeature2} define the exterior",
+		"the {color} paint pairs well with {efeature}",
+		"exterior styling features {efeature} on the {bodystyle}",
+		"its profile shows {efeature} and sculpted lines",
+		"the {trim} adds {efeature} outside",
+		"available {color} finish complements the {efeature}",
+	},
+	AspPrice: {
+		"base price starts at {money} for the {trim}",
+		"the {trim} trim costs {money} with destination",
+		"pricing ranges from {money} to {money2}",
+		"msrp of {money} undercuts the {rival}",
+		"expect to pay {money} for the {bodystyle} version",
+		"invoice figures near {money} leave room to negotiate",
+	},
+	AspReliability: {
+		"{reliability} remains a strong point",
+		"owners report excellent {reliability}",
+		"the {reliability} rating tops its class",
+		"reliability surveys highlight {reliability} and {reliability2}",
+		"predicted dependability is above average with solid {reliability}",
+		"long term {reliability} data favors the {model}",
+	},
+	AspSafety: {
+		"{safety} and {safety2} come standard",
+		"the {model} earned five stars with {safety}",
+		"safety equipment includes {safety}",
+		"{safety} helped it ace the crash test",
+		"standard {safety} protects all occupants",
+		"the institute praised its {safety} in {year} testing",
+	},
+	AspDriving: {
+		"the {engine} engine delivers brisk {driving}",
+		"{driving} and {driving2} impress on the road",
+		"driving dynamics show composed {driving}",
+		"our test drive revealed excellent {driving} from the {engine}",
+		"behind the wheel the {model} feels planted with strong {driving}",
+		"expect athletic {driving} with minimal {driving2}",
+	},
+	// DEALER bleeds the PRICE and DRIVING indicator vocabulary ("price",
+	// "test drive"), making generic queries noisy.
+	AspDealer: {
+		"visit our {location} dealership for {model} inventory",
+		"call {phone} for the best price quote today",
+		"the {location} showroom has the {color} {model} in stock",
+		"schedule a test drive at our {location} lot",
+		"ask about price matching at the {location} store",
+	},
+	// NEWS bleeds SAFETY and RELIABILITY vocabulary (recall coverage).
+	AspCarNews: {
+		"the {year} auto show featured the {make} lineup",
+		"{make} announced updates for the {year2} model year",
+		"industry news covers the {make} {model} refresh",
+		"spy photos preview the next {model}",
+		"{make} issued a safety recall notice in {year}",
+	},
+}
+
+var carFillerSentences = []string{
+	"browse the {filler} gallery and {filler2} pages",
+	"this {filler} listing includes full {filler2} data",
+	"see the {filler} section for {filler2} information",
+	"compare {filler} and {filler2} across the lineup",
+	"stock number {uniqueid} updated daily",
+	"listing id {uniqueid} vin on request",
+}
+
+var carAspectWeights = map[corpus.Aspect]float64{
+	AspDriving:     0.30,
+	AspVerdict:     0.12,
+	AspInterior:    0.13,
+	AspExterior:    0.09,
+	AspPrice:       0.14,
+	AspReliability: 0.05,
+	AspSafety:      0.05,
+	AspDealer:      0.07,
+	AspCarNews:     0.05,
+}
+
+// carPairs enumerates every (make, model) pair in declaration order; the
+// corpus takes the first NumEntities of them (paper: 143 models of 2009).
+func carPairs() [][2]string {
+	var out [][2]string
+	for _, line := range carLines {
+		for _, m := range line.models {
+			out = append(out, [2]string{line.make, m})
+		}
+	}
+	return out
+}
+
+// newCarProfile draws one car model's attributes.
+func newCarProfile(id corpus.EntityID, rng *rand.Rand) *Profile {
+	pairs := carPairs()
+	pair := pairs[int(id)%len(pairs)]
+	mk, model := pair[0], pair[1]
+	trim := trims[int(id)%len(trims)]
+	name := mk + " " + model
+
+	// A rival is some other model (for VERDICT/PRICE comparisons).
+	rival := pairs[rng.IntN(len(pairs))]
+	for rival[1] == model {
+		rival = pairs[rng.IntN(len(pairs))]
+	}
+
+	basePrice := 18 + rng.IntN(60)
+
+	p := &Profile{
+		Entity: &corpus.Entity{
+			ID:        id,
+			Domain:    DomainCars,
+			Name:      name,
+			SeedQuery: mk + " " + model + " " + trim,
+			Attrs: map[string]string{
+				"make": mk, "model": model, "trim": trim,
+			},
+		},
+		Fields: map[string][]string{
+			"make":        {mk},
+			"model":       {model},
+			"name":        {name},
+			"trim":        {trim},
+			"bodystyle":   {bodyStyles[rng.IntN(len(bodyStyles))]},
+			"color":       sampleDistinct(rng, colors, 2+rng.IntN(2)),
+			"ifeature":    sampleDistinct(rng, interiorFeatures, 3+rng.IntN(3)),
+			"efeature":    sampleDistinct(rng, exteriorFeatures, 3+rng.IntN(2)),
+			"engine":      {engines[rng.IntN(len(engines))]},
+			"driving":     sampleDistinct(rng, drivingTerms, 3+rng.IntN(2)),
+			"safety":      sampleDistinct(rng, safetyTerms, 2+rng.IntN(2)),
+			"reliability": sampleDistinct(rng, reliabilityTerms, 2+rng.IntN(2)),
+			"verdict":     sampleDistinct(rng, verdictTerms, 2),
+			"rival":       {rival[0] + " " + rival[1]},
+			"location":    sampleDistinct(rng, dealerCities, 2),
+			"phone":       {fmt.Sprintf("%d-%d-%04d", 200+rng.IntN(700), 200+rng.IntN(700), rng.IntN(10000))},
+			"money": {
+				fmt.Sprintf("$%d,%03d", basePrice, rng.IntN(10)*100),
+				fmt.Sprintf("$%d,%03d", basePrice+3+rng.IntN(8), rng.IntN(10)*100),
+			},
+		},
+	}
+	return p
+}
+
+// carKB builds the type dictionary for the car domain.
+func carKB() *types.Dictionary {
+	d := types.NewDictionary()
+	for _, line := range carLines {
+		d.Add(line.make, "make")
+		for _, m := range line.models {
+			d.Add(m, "model")
+		}
+	}
+	d.AddAll("trim", trims...)
+	d.AddAll("bodystyle", bodyStyles...)
+	d.AddAll("feature", interiorFeatures...)
+	d.AddAll("feature", exteriorFeatures...)
+	d.AddAll("engine", engines...)
+	d.AddAll("drivingterm", drivingTerms...)
+	d.AddAll("safetyterm", safetyTerms...)
+	d.AddAll("reliabilityterm", reliabilityTerms...)
+	d.AddAll("verdictterm", verdictTerms...)
+	d.AddAll("color", colors...)
+	d.AddAll("location", dealerCities...)
+	return d
+}

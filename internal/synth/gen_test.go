@@ -1,0 +1,196 @@
+package synth
+
+import (
+	"math/rand/v2"
+	"strings"
+	"testing"
+
+	"l2q/internal/corpus"
+)
+
+func TestGenerateResearchersSmall(t *testing.T) {
+	g, err := Generate(TestConfig(DomainResearchers))
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := g.Corpus
+	if c.NumEntities() != 24 {
+		t.Fatalf("entities = %d", c.NumEntities())
+	}
+	if c.NumPages() != 24*16 {
+		t.Fatalf("pages = %d", c.NumPages())
+	}
+	for _, e := range c.Entities {
+		if e.SeedQuery == "" {
+			t.Fatalf("entity %d has empty seed", e.ID)
+		}
+		pages := c.PagesOf(e.ID)
+		if len(pages) != 16 {
+			t.Fatalf("entity %d has %d pages", e.ID, len(pages))
+		}
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	cfg := TestConfig(DomainResearchers)
+	g1, err := Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g2, err := Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g1.Corpus.NumPages() != g2.Corpus.NumPages() {
+		t.Fatal("page counts differ")
+	}
+	for i := range g1.Corpus.Pages {
+		a, b := g1.Corpus.Pages[i], g2.Corpus.Pages[i]
+		if a.Title != b.Title || len(a.Paras) != len(b.Paras) {
+			t.Fatalf("page %d differs", i)
+		}
+		for j := range a.Paras {
+			if a.Paras[j].Text != b.Paras[j].Text {
+				t.Fatalf("page %d para %d differs:\n%s\n%s", i, j, a.Paras[j].Text, b.Paras[j].Text)
+			}
+		}
+	}
+}
+
+func TestSeedTokensOnEveryPage(t *testing.T) {
+	for _, domain := range []corpus.Domain{DomainResearchers, DomainCars} {
+		g, err := Generate(TestConfig(domain))
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, e := range g.Corpus.Entities {
+			seed := g.Tokenizer.Tokenize(e.SeedQuery)
+			for _, p := range g.Corpus.PagesOf(e.ID) {
+				if !p.ContainsQuery(seed) {
+					t.Fatalf("domain %s entity %q page %d misses seed tokens %v",
+						domain, e.Name, p.ID, seed)
+				}
+			}
+		}
+	}
+}
+
+func TestEveryTargetAspectHasRelevantPages(t *testing.T) {
+	for _, domain := range []corpus.Domain{DomainResearchers, DomainCars} {
+		g, err := Generate(TestConfig(domain))
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, e := range g.Corpus.Entities {
+			for _, a := range g.Aspects {
+				found := false
+				for _, p := range g.Corpus.PagesOf(e.ID) {
+					if p.AspectFraction(a) >= 0.3 {
+						found = true
+						break
+					}
+				}
+				if !found {
+					t.Fatalf("domain %s entity %q has no page for aspect %s", domain, e.Name, a)
+				}
+			}
+		}
+	}
+}
+
+func TestAspectFrequencySkew(t *testing.T) {
+	g, err := Generate(Config{Domain: DomainResearchers, NumEntities: 40, PagesPerEntity: 30, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	stats := g.Corpus.ComputeStats()
+	research := stats.ParasByAspect[AspResearch]
+	employment := stats.ParasByAspect[AspEmployment]
+	if research <= 3*employment {
+		t.Fatalf("expected RESEARCH ≫ EMPLOYMENT, got %d vs %d", research, employment)
+	}
+}
+
+func TestEntityVariation(t *testing.T) {
+	// Two entities should have mostly different topic sets — the premise
+	// behind templates (§IV-A).
+	rng := rand.New(rand.NewPCG(1, 2))
+	same := 0
+	const trials = 50
+	for i := 0; i < trials; i++ {
+		p1 := newResearcherProfile(corpus.EntityID(2*i), rng)
+		p2 := newResearcherProfile(corpus.EntityID(2*i+1), rng)
+		t1 := map[string]bool{}
+		for _, x := range p1.Fields["topic"] {
+			t1[x] = true
+		}
+		for _, x := range p2.Fields["topic"] {
+			if t1[x] {
+				same++
+				break
+			}
+		}
+	}
+	if same > trials/2 {
+		t.Fatalf("topic overlap too common: %d/%d trials", same, trials)
+	}
+}
+
+func TestCarPairsCoverPaperScale(t *testing.T) {
+	if n := len(carPairs()); n < 143 {
+		t.Fatalf("car (make,model) pairs = %d, need ≥ 143", n)
+	}
+}
+
+func TestKBRecognizesGrammarSlots(t *testing.T) {
+	g, err := Generate(TestConfig(DomainResearchers))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, w := range []string{"hpc", "ijhpca", "turing", "ibm", "phd"} {
+		if got := g.KB.TypesOf(w); len(got) == 0 {
+			t.Errorf("KB misses %q", w)
+		}
+	}
+	// Phrases must be merged into single tokens by the shared tokenizer.
+	toks := g.Tokenizer.Tokenize("his data mining papers at university of illinois")
+	joined := strings.Join(toks, "|")
+	if !strings.Contains(joined, "data mining") || !strings.Contains(joined, "university of illinois") {
+		t.Errorf("phrase merging failed: %v", toks)
+	}
+}
+
+func TestExpandUnknownSlotPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for unknown slot")
+		}
+	}()
+	rng := rand.New(rand.NewPCG(1, 1))
+	prof := newResearcherProfile(0, rng)
+	f := newSlotFiller(prof, rng, nil)
+	expand("{nosuchslot}", f.fill)
+}
+
+func TestGenerateRejectsBadConfig(t *testing.T) {
+	if _, err := Generate(Config{Domain: "bogus", NumEntities: 1, PagesPerEntity: 1}); err == nil {
+		t.Error("unknown domain accepted")
+	}
+	if _, err := Generate(Config{Domain: DomainResearchers}); err == nil {
+		t.Error("zero sizes accepted")
+	}
+}
+
+func TestSeedQueriesUnique(t *testing.T) {
+	g, err := Generate(Config{Domain: DomainResearchers, NumEntities: 200, PagesPerEntity: 7, Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := map[string]bool{}
+	for _, e := range g.Corpus.Entities {
+		if seen[e.SeedQuery] {
+			t.Fatalf("duplicate seed query %q", e.SeedQuery)
+		}
+		seen[e.SeedQuery] = true
+	}
+}

@@ -1,0 +1,148 @@
+package synth
+
+import (
+	"fmt"
+	"math/rand/v2"
+	"strings"
+
+	"l2q/internal/corpus"
+)
+
+// Profile is one entity's private attribute assignment: its own topics,
+// venues, features, and so on. Profiles are the source of entity variation
+// (§IV-A): two entities share the sentence grammar but not the slot values.
+type Profile struct {
+	Entity *corpus.Entity
+	// Fields maps slot name → the entity's values for that slot
+	// ("topic" → {"hpc", "parallel computing"}).
+	Fields map[string][]string
+}
+
+// fieldValues returns the values of a slot, or nil.
+func (p *Profile) fieldValues(name string) []string { return p.Fields[name] }
+
+// slotFiller resolves {placeholder} keys during sentence expansion.
+// Placeholders ending in a digit ("topic2") request a value distinct from
+// the base placeholder's last pick within the same sentence when possible.
+type slotFiller struct {
+	profile *Profile
+	rng     *rand.Rand
+	global  map[string][]string // pools for slots not bound per entity
+	last    map[string]string   // base slot → last value used in sentence
+}
+
+func newSlotFiller(p *Profile, rng *rand.Rand, global map[string][]string) *slotFiller {
+	return &slotFiller{profile: p, rng: rng, global: global, last: make(map[string]string)}
+}
+
+// reset clears per-sentence distinctness state.
+func (f *slotFiller) reset() {
+	for k := range f.last {
+		delete(f.last, k)
+	}
+}
+
+// fill resolves a placeholder key to a concrete string. Unknown keys panic:
+// a grammar referencing a missing slot is a programmer error that tests
+// should catch immediately.
+func (f *slotFiller) fill(key string) string {
+	base := key
+	wantDistinct := false
+	if n := len(key); n > 0 && key[n-1] >= '2' && key[n-1] <= '9' {
+		base = key[:n-1]
+		wantDistinct = true
+	}
+
+	switch base {
+	case "year":
+		v := fmt.Sprintf("%d", 1980+f.rng.IntN(36))
+		f.last[base] = v
+		return v
+	case "uniqueid":
+		// A page-local junk token (document ids, cache-buster strings).
+		// On the real web such tokens occur on a single page only, so a
+		// query containing one retrieves nothing new; they exist to
+		// make unguided query selection (RND) pay a realistic price.
+		return fmt.Sprintf("x%06x", f.rng.IntN(1<<24))
+	case "rating":
+		return fmt.Sprintf("%d", 6+f.rng.IntN(4))
+	case "money":
+		return fmt.Sprintf("$%d,%03d", 18+f.rng.IntN(60), f.rng.IntN(10)*100)
+	case "number":
+		return fmt.Sprintf("%d", 1+f.rng.IntN(500))
+	}
+
+	pool := f.profile.fieldValues(base)
+	if pool == nil {
+		pool = f.global[base]
+	}
+	if len(pool) == 0 {
+		panic(fmt.Sprintf("synth: grammar references unknown slot %q", key))
+	}
+	v := pool[f.rng.IntN(len(pool))]
+	if wantDistinct && len(pool) > 1 {
+		for tries := 0; tries < 4 && v == f.last[base]; tries++ {
+			v = pool[f.rng.IntN(len(pool))]
+		}
+	}
+	f.last[base] = v
+	return v
+}
+
+// expand substitutes every {placeholder} in tmpl using fill.
+func expand(tmpl string, fill func(string) string) string {
+	var b strings.Builder
+	b.Grow(len(tmpl) + 32)
+	for i := 0; i < len(tmpl); {
+		open := strings.IndexByte(tmpl[i:], '{')
+		if open < 0 {
+			b.WriteString(tmpl[i:])
+			break
+		}
+		b.WriteString(tmpl[i : i+open])
+		i += open
+		close := strings.IndexByte(tmpl[i:], '}')
+		if close < 0 { // unbalanced brace: emit literally
+			b.WriteString(tmpl[i:])
+			break
+		}
+		key := tmpl[i+1 : i+close]
+		b.WriteString(fill(key))
+		i += close + 1
+	}
+	return b.String()
+}
+
+// pick returns a uniformly random element.
+func pick[T any](rng *rand.Rand, xs []T) T { return xs[rng.IntN(len(xs))] }
+
+// sampleDistinct draws k distinct elements (or all if k ≥ len).
+func sampleDistinct[T any](rng *rand.Rand, xs []T, k int) []T {
+	if k >= len(xs) {
+		out := make([]T, len(xs))
+		copy(out, xs)
+		return out
+	}
+	idx := rng.Perm(len(xs))[:k]
+	out := make([]T, 0, k)
+	for _, i := range idx {
+		out = append(out, xs[i])
+	}
+	return out
+}
+
+// weightedIndex samples an index proportional to weights (must be positive).
+func weightedIndex(rng *rand.Rand, weights []float64) int {
+	total := 0.0
+	for _, w := range weights {
+		total += w
+	}
+	r := rng.Float64() * total
+	for i, w := range weights {
+		r -= w
+		if r <= 0 {
+			return i
+		}
+	}
+	return len(weights) - 1
+}

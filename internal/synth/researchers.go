@@ -1,0 +1,218 @@
+package synth
+
+import (
+	"fmt"
+	"math/rand/v2"
+
+	"l2q/internal/corpus"
+	"l2q/internal/types"
+)
+
+// Researcher-domain aspects. The seven target aspects match Fig. 9; HOBBY
+// and TEACHING are noise aspects that exist in the corpus (so irrelevant
+// pages are realistic) but are never harvesting targets.
+const (
+	AspBiography    corpus.Aspect = "BIOGRAPHY"
+	AspPresentation corpus.Aspect = "PRESENTATION"
+	AspAward        corpus.Aspect = "AWARD"
+	AspResearch     corpus.Aspect = "RESEARCH"
+	AspEducation    corpus.Aspect = "EDUCATION"
+	AspEmployment   corpus.Aspect = "EMPLOYMENT"
+	AspContact      corpus.Aspect = "CONTACT"
+	AspHobby        corpus.Aspect = "HOBBY"
+	AspTeaching     corpus.Aspect = "TEACHING"
+)
+
+// ResearcherAspects are the target aspects evaluated for the researcher
+// domain, in Fig. 9 order.
+var ResearcherAspects = []corpus.Aspect{
+	AspBiography, AspPresentation, AspAward, AspResearch,
+	AspEducation, AspEmployment, AspContact,
+}
+
+// researcherGrammar maps each aspect to its sentence templates. The
+// phrasings are chosen so that the informative abstractions are exactly the
+// kind of templates the paper reports: "〈topic〉 research", "〈topic〉 〈venue〉",
+// "〈award〉 award", "〈degree〉 degree 〈institute〉", "〈email〉", etc.
+// The grammars encode two properties the paper's argument rests on (§I):
+// generic indicator words ("research", "award") cover only part of an
+// aspect's pages — synonyms take the rest — and they bleed into other
+// aspects, so a manual generic query is both incomplete and noisy, whereas
+// entity-specific typed words (〈topic〉, 〈venue〉) are dense within the
+// entity's relevant pages.
+var researcherGrammar = map[corpus.Aspect][]string{
+	AspResearch: {
+		"he conducts research on {topic} and {topic2} systems",
+		"his work focuses on {topic} with applications to {topic2}",
+		"he published many {topic} papers in {venue}",
+		"his recent {topic} paper in {venue} drew wide attention",
+		"the {topic} group also studies {topic2} problems",
+		"research interests include {topic} and {topic2}",
+		"a {venue} article on {topic} appeared in {year}",
+		"he investigates scalable {topic} algorithms",
+		"ongoing {topic} projects are funded through {year}",
+		"his {topic} results influenced later work on {topic2}",
+	},
+	AspAward: {
+		"he received the {award} award in {year}",
+		"winner of the {award} prize for contributions to {topic}",
+		"the {award} honor recognized his work on {topic}",
+		"he was honored with the {award} medal at {venue}",
+		"recipient of the {award} award for {topic}",
+		"his accolades include the {award} and {award2} distinctions",
+	},
+	AspEducation: {
+		"he earned his {degree} degree from {school} in {year}",
+		"{degree} studies in computer science at {school}",
+		"graduated from {school} with a {degree} in {year}",
+		"his {degree} thesis on {topic} was completed at {school}",
+		"he completed doctoral training at {school}",
+		"education includes a {degree} from {school}",
+	},
+	AspEmployment: {
+		"he was a senior manager at {company} before joining {institute}",
+		"worked at {company} from {year} to {year2}",
+		"previous position at {company} as research staff",
+		"he joined {institute} after several years at {company}",
+		"employment history includes {company} and {company2}",
+		"he served at {company} before academia",
+	},
+	AspContact: {
+		"contact him at {email} or call {phone}",
+		"email {email} for appointments",
+		"office phone {phone} at {institute}",
+		"reach him at {email} or stop by the office",
+		"mailing address {institute} campus {location}",
+		"the assistant answers {phone} during business hours",
+	},
+	AspBiography: {
+		"he was born in {location} in {year}",
+		"short biography he is a professor at {institute}",
+		"he grew up in {location} before moving to {location2}",
+		"his award winning career spans {institute} and {company}",
+		"biography {firstname} {lastname} leads the {topic} group at {institute}",
+		"a brief bio describes his journey from {location} to {institute}",
+	},
+	AspPresentation: {
+		"slides of his {topic} talk at {venue} are available",
+		"keynote presentation on {topic} at {venue} in {year}",
+		"download the lecture deck from the {venue} site",
+		"invited talk about {topic} and {topic2} at {venue}",
+		"his {venue} tutorial slides cover {topic}",
+		"the seminar lecture discussed {topic} challenges",
+	},
+	AspHobby: {
+		"he enjoys {hobby} and {hobby2} on weekends",
+		"his {hobby} photos from {location} are posted online",
+		"outside work he pursues {hobby}",
+		"friends join him for {hobby} near {location}",
+	},
+	// TEACHING deliberately reuses research/papers/projects vocabulary:
+	// the generic words a user would fire for RESEARCH also hit course
+	// pages, exactly the noise that penalizes MQ on the real web.
+	AspTeaching: {
+		"he teaches the {topic} research methods course at {institute}",
+		"course projects cover {topic} this semester",
+		"students present papers in the {topic} seminar",
+		"the {topic} syllabus and homework are online",
+		"office hours for the {topic} class are posted",
+		"lecture slides for the {topic} course are downloadable",
+		"students conduct research on {topic} in the lab course",
+		"the course develops research interests in {topic}",
+		"he published the {topic} course notes online",
+	},
+}
+
+var researcherFillerSentences = []string{
+	"welcome to the {filler} page with general {filler2} information",
+	"please find additional {filler} details online",
+	"this {filler} section lists recent {filler2} updates",
+	"see the complete {filler} overview for more",
+	"the {filler} list is updated with {filler2} items",
+	"document id {uniqueid} cached copy",
+	"page revision {uniqueid} archived {filler}",
+}
+
+// researcherAspectWeights is the primary-aspect distribution for pages,
+// producing the skew of Fig. 9 (RESEARCH ≫ EMPLOYMENT).
+var researcherAspectWeights = map[corpus.Aspect]float64{
+	AspResearch:     0.38,
+	AspPresentation: 0.08,
+	AspAward:        0.08,
+	AspEducation:    0.08,
+	AspBiography:    0.07,
+	AspEmployment:   0.04,
+	AspContact:      0.06,
+	AspHobby:        0.09,
+	AspTeaching:     0.12,
+}
+
+// newResearcherProfile draws one researcher's attributes.
+func newResearcherProfile(id corpus.EntityID, rng *rand.Rand) *Profile {
+	fi := int(id) % len(firstNames)
+	li := (int(id) / len(firstNames)) % len(lastNames)
+	first, last := firstNames[fi], lastNames[li]
+	// Beyond the name grid, disambiguate with a numeral suffix so seed
+	// queries stay unique at any corpus scale.
+	suffix := ""
+	if n := int(id) / (len(firstNames) * len(lastNames)); n > 0 {
+		suffix = fmt.Sprintf("%d", n+1)
+	}
+	last += suffix
+
+	inst := institutes[rng.IntN(len(institutes))]
+	schools := sampleDistinct(rng, institutes, 2)
+	name := first + " " + last
+
+	p := &Profile{
+		Entity: &corpus.Entity{
+			ID:        id,
+			Domain:    DomainResearchers,
+			Name:      name,
+			SeedQuery: first + " " + last + " " + inst.short,
+			Attrs: map[string]string{
+				"institute": inst.full,
+			},
+		},
+		Fields: map[string][]string{
+			"firstname": {first},
+			"lastname":  {last},
+			"name":      {name},
+			"institute": {inst.full},
+			"instshort": {inst.short},
+			"topic":     sampleDistinct(rng, topics, 2+rng.IntN(3)),
+			"venue":     sampleDistinct(rng, venues, 2+rng.IntN(2)),
+			"award":     sampleDistinct(rng, awards, 1+rng.IntN(2)),
+			"company":   sampleDistinct(rng, companies, 1+rng.IntN(2)),
+			"degree":    sampleDistinct(rng, degrees, 2),
+			"location":  sampleDistinct(rng, locations, 2),
+			"hobby":     sampleDistinct(rng, hobbies, 2),
+			"email":     {last + "@" + inst.short + ".edu"},
+			"phone":     {fmt.Sprintf("%d-%d-%04d", 200+rng.IntN(700), 200+rng.IntN(700), rng.IntN(10000))},
+			"url":       {"www." + inst.short + ".edu"},
+		},
+	}
+	p.Fields["school"] = []string{schools[0].full, schools[1].full}
+	return p
+}
+
+// researcherKB builds the type dictionary for the researcher domain — our
+// stand-in for Freebase plus Microsoft Academic Search (§VI-A "Templates").
+func researcherKB() *types.Dictionary {
+	d := types.NewDictionary()
+	d.AddAll("topic", topics...)
+	d.AddAll("venue", venues...)
+	for _, inst := range institutes {
+		d.Add(inst.full, "institute")
+		d.Add(inst.short, "institute")
+	}
+	d.AddAll("award", awards...)
+	d.AddAll("company", companies...)
+	d.AddAll("degree", degrees...)
+	d.AddAll("location", locations...)
+	d.AddAll("hobby", hobbies...)
+	// Person names, as a CoreNLP-style NER gazetteer would supply.
+	d.AddAll("person", firstNames...)
+	d.AddAll("person", lastNames...)
+	return d
+}

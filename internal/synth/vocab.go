@@ -1,0 +1,242 @@
+// Package synth generates the synthetic web corpora that substitute for the
+// paper's crawled collections (996 DBLP researchers and 143 consumer car
+// models, ~50 pages each; §VI-A "Corpora").
+//
+// The generator is engineered to reproduce the statistical structure that
+// L2Q exploits rather than surface realism:
+//
+//   - Entity variation (§IV-A, Fig. 3): each entity draws its own topics,
+//     venues, features, etc., so concrete high-utility queries differ across
+//     entities while the abstractions (templates) stay stable.
+//   - Aspect-indicative n-grams: every aspect has a sentence grammar whose
+//     phrasings ("research on 〈topic〉", "received the 〈award〉 award") yield
+//     the high-precision / high-recall templates the domain phase must find.
+//   - Redundancy: aspect words co-occur within pages so that different good
+//     queries retrieve overlapping top-k result sets (§V motivation).
+//   - Skewed aspect frequency, mirroring Fig. 9 (RESEARCH ≫ EMPLOYMENT for
+//     researchers, DRIVING ≫ SAFETY for cars).
+//
+// Everything is deterministic given Config.Seed.
+package synth
+
+// ---------------------------------------------------------------------------
+// Researcher domain vocabulary (the stand-in for DBLP + Freebase + MAS).
+// ---------------------------------------------------------------------------
+
+var firstNames = []string{
+	"marc", "philip", "andrew", "jiawei", "rakesh", "hector", "jennifer",
+	"michael", "david", "susan", "christos", "jeffrey", "barbara", "laura",
+	"alon", "surajit", "raghu", "joseph", "anhai", "divesh", "magdalena",
+	"daniela", "samuel", "gerhard", "timos", "elisa", "carlo", "sihem",
+	"volker", "beng", "kian", "wei", "xin", "ling", "hai", "yufei",
+}
+
+var lastNames = []string{
+	"snir", "yu", "ng", "han", "agrawal", "garcia", "widom", "stonebraker",
+	"dewitt", "davidson", "faloutsos", "ullman", "liskov", "haas", "halevy",
+	"chaudhuri", "ramakrishnan", "hellerstein", "doan", "srivastava",
+	"balazinska", "florescu", "madden", "weikum", "sellis", "bertino",
+	"zaniolo", "amer", "markl", "ooi", "tan", "wang", "luna", "zhou",
+	"jin", "tao", "chen", "kumar", "lee", "patel",
+}
+
+// topics deliberately mixes single-word and multi-word entries so the phrase
+// lexicon and sliding-window enumeration are both exercised.
+var topics = []string{
+	"hpc", "parallel computing", "data mining", "machine learning",
+	"databases", "query optimization", "information retrieval",
+	"distributed systems", "computer vision", "natural language processing",
+	"graph mining", "data integration", "stream processing", "crowdsourcing",
+	"privacy", "security", "compilers", "operating systems", "networking",
+	"complexity theory", "algorithms", "bioinformatics", "robotics",
+	"deep learning", "knowledge graphs", "entity resolution", "web search",
+	"recommender systems", "spatial databases", "temporal reasoning",
+	"transaction processing", "concurrency control", "fault tolerance",
+	"sensor networks", "cloud computing", "big data", "visualization",
+	"human computation", "program analysis", "formal verification",
+	"approximate query", "data cleaning", "schema matching", "text mining",
+	"social networks", "probabilistic inference", "reinforcement learning",
+	"computer architecture", "storage systems", "data provenance",
+}
+
+var venues = []string{
+	"ijhpca", "tkde", "jmlr", "sigmod", "vldb", "icde", "kdd", "www",
+	"sigir", "cikm", "icml", "nips", "aaai", "ijcai", "acl", "emnlp",
+	"sosp", "osdi", "nsdi", "podc", "focs", "stoc", "soda", "wsdm",
+	"edbt", "icdt", "pods", "vldbj", "tods", "tois", "jacm", "cacm",
+	"isca", "micro", "asplos", "ppopp", "supercomputing", "hpdc",
+}
+
+// institutes come with a short token used in seed queries ("uiuc").
+type institute struct {
+	full  string // multi-word name, becomes a phrase token
+	short string
+}
+
+var institutes = []institute{
+	{"university of illinois", "uiuc"}, {"stanford university", "stanford"},
+	{"mit csail", "mit"}, {"carnegie mellon university", "cmu"},
+	{"university of washington", "uw"}, {"cornell university", "cornell"},
+	{"princeton university", "princeton"}, {"uc berkeley", "berkeley"},
+	{"university of michigan", "umich"}, {"georgia tech", "gatech"},
+	{"university of wisconsin", "wisc"}, {"university of texas", "utexas"},
+	{"columbia university", "columbia"}, {"eth zurich", "ethz"},
+	{"epfl lausanne", "epfl"}, {"max planck institute", "mpi"},
+	{"national university of singapore", "nus"}, {"tsinghua university", "tsinghua"},
+	{"university of toronto", "toronto"}, {"university of edinburgh", "edinburgh"},
+	{"uc san diego", "ucsd"}, {"uc los angeles", "ucla"},
+	{"university of maryland", "umd"}, {"purdue university", "purdue"},
+	{"ohio state university", "osu"}, {"university of chicago", "uchicago"},
+	{"nyu courant", "nyu"}, {"harvard university", "harvard"},
+	{"yale university", "yale"}, {"brown university", "brown"},
+	{"duke university", "duke"}, {"rice university", "rice"},
+}
+
+var awards = []string{
+	"turing", "sigmod edgar codd", "acm fellow", "ieee fellow",
+	"sloan fellowship", "nsf career", "best paper", "test of time",
+	"distinguished scientist", "kanellakis", "von neumann",
+	"humboldt research", "packard fellowship", "guggenheim",
+	"young investigator", "dissertation", "influential paper",
+	"outstanding contribution", "lifetime achievement", "rising star",
+}
+
+var companies = []string{
+	"ibm", "microsoft", "google", "bell labs", "oracle", "amazon",
+	"facebook", "yahoo", "intel", "nvidia", "baidu", "alibaba",
+	"hp labs", "xerox parc", "salesforce", "linkedin", "twitter",
+	"netflix", "uber", "airbnb",
+}
+
+var degrees = []string{"phd", "masters", "bachelors", "postdoc"}
+
+var locations = []string{
+	"chicago", "urbana", "palo alto", "seattle", "boston", "pittsburgh",
+	"new york", "austin", "atlanta", "madison", "zurich", "singapore",
+	"beijing", "toronto", "london", "paris", "munich", "tel aviv",
+	"bangalore", "sydney",
+}
+
+var hobbies = []string{
+	"hiking", "photography", "chess", "marathon running", "gardening",
+	"sailing", "cooking", "jazz piano", "bird watching", "cycling",
+}
+
+// fillerWords pad paragraphs with low-signal vocabulary shared across all
+// entities and aspects so no aspect is trivially separable by any word.
+var fillerWords = []string{
+	"page", "information", "details", "update", "welcome", "homepage",
+	"section", "content", "official", "general", "overview", "summary",
+	"recent", "news", "various", "several", "important", "notable",
+	"member", "group", "team", "list", "full", "complete", "related",
+	"additional", "online", "available", "please", "find", "see",
+}
+
+// ---------------------------------------------------------------------------
+// Car domain vocabulary (the stand-in for the 2009 consumer car corpus).
+// ---------------------------------------------------------------------------
+
+type carLine struct {
+	make   string
+	models []string
+}
+
+var carLines = []carLine{
+	{"bmw", []string{"3 series", "5 series", "x5", "z4", "7 series", "x3"}},
+	{"audi", []string{"a4", "a6", "q5", "q7", "tt", "a3"}},
+	{"mercedes", []string{"c class", "e class", "glk", "s class", "slk", "ml"}},
+	{"toyota", []string{"camry", "corolla", "prius", "rav4", "highlander", "venza"}},
+	{"honda", []string{"accord", "civic", "crv", "pilot", "fit", "odyssey"}},
+	{"ford", []string{"fusion", "focus", "escape", "flex", "mustang", "f150"}},
+	{"chevrolet", []string{"malibu", "traverse", "equinox", "camaro", "impala", "tahoe"}},
+	{"nissan", []string{"altima", "maxima", "murano", "rogue", "370z", "cube"}},
+	{"volkswagen", []string{"jetta", "passat", "tiguan", "golf", "cc", "routan"}},
+	{"hyundai", []string{"sonata", "elantra", "genesis", "santa fe", "tucson", "accent"}},
+	{"subaru", []string{"outback", "forester", "legacy", "impreza", "tribeca"}},
+	{"mazda", []string{"mazda3", "mazda6", "cx7", "cx9", "mx5", "rx8"}},
+	{"kia", []string{"optima", "sorento", "soul", "sportage", "forte", "sedona"}},
+	{"lexus", []string{"es 350", "rx 350", "is 250", "gs 450", "lx 570"}},
+	{"acura", []string{"tsx", "tl", "mdx", "rdx", "rl"}},
+	{"infiniti", []string{"g37", "fx35", "m35", "ex35", "qx56"}},
+	{"volvo", []string{"s60", "xc90", "xc60", "s80", "c30"}},
+	{"jeep", []string{"wrangler", "grand cherokee", "liberty", "patriot", "compass"}},
+	{"dodge", []string{"charger", "challenger", "journey", "grand caravan", "ram 1500"}},
+	{"cadillac", []string{"cts", "escalade", "srx", "dts", "sts"}},
+	{"buick", []string{"lacrosse", "enclave", "lucerne"}},
+	{"gmc", []string{"acadia", "terrain", "sierra", "yukon"}},
+	{"chrysler", []string{"300", "town and country", "sebring", "pt cruiser"}},
+	{"mini", []string{"cooper", "clubman"}},
+	{"suzuki", []string{"grand vitara", "sx4", "kizashi"}},
+	{"mitsubishi", []string{"lancer", "outlander", "galant", "eclipse"}},
+	{"porsche", []string{"cayenne", "911", "boxster", "cayman", "panamera"}},
+	{"saab", []string{"9 3", "9 5"}},
+	{"lincoln", []string{"mkz", "mks", "navigator", "mkx"}},
+}
+
+var trims = []string{
+	"328i", "335i", "lx", "ex", "se", "sel", "limited", "sport", "touring",
+	"premium", "base", "gt", "ltz", "sle", "slt", "xle", "awd", "s line",
+	"m sport", "titanium", "platinum", "laramie", "denali", "hybrid",
+}
+
+var bodyStyles = []string{
+	"sedan", "coupe", "suv", "hatchback", "wagon", "convertible",
+	"crossover", "minivan", "pickup",
+}
+
+var interiorFeatures = []string{
+	"leather seats", "navigation system", "heated seats", "sunroof",
+	"bluetooth", "premium audio", "dual zone climate", "rear camera",
+	"keyless entry", "power liftgate", "third row seating", "bose speakers",
+	"leather wrapped wheel", "ambient lighting", "memory seats",
+	"ventilated seats", "panoramic roof", "touchscreen display",
+}
+
+var exteriorFeatures = []string{
+	"alloy wheels", "led taillights", "fog lamps", "chrome grille",
+	"roof rails", "xenon headlights", "power mirrors", "rear spoiler",
+	"body side moldings", "tinted glass", "sport exhaust", "tow hitch",
+}
+
+var engines = []string{
+	"v6", "v8", "inline four", "turbocharged four", "twin turbo v6",
+	"diesel", "hybrid drivetrain", "flat six", "supercharged v6",
+}
+
+var drivingTerms = []string{
+	"handling", "acceleration", "steering feel", "ride quality",
+	"braking", "cornering", "road feedback", "throttle response",
+	"cabin noise", "suspension tuning", "body roll", "grip",
+}
+
+var safetyTerms = []string{
+	"stability control", "side airbags", "antilock brakes", "crash test",
+	"traction control", "curtain airbags", "lane departure warning",
+	"blind spot monitor", "crumple zones", "tire pressure monitor",
+}
+
+var reliabilityTerms = []string{
+	"powertrain warranty", "maintenance cost", "repair frequency",
+	"owner complaints", "recall history", "build quality",
+	"long term durability", "resale value",
+}
+
+var verdictTerms = []string{
+	"editors rating", "overall score", "pros and cons", "bottom line",
+	"comparison test", "class ranking", "recommendation", "final verdict",
+}
+
+var colors = []string{
+	"alpine white", "jet black", "silver metallic", "deep blue",
+	"crimson red", "graphite gray", "pearl white", "midnight blue",
+	"champagne gold", "forest green",
+}
+
+var dealerCities = locations
+
+var carFiller = []string{
+	"review", "listing", "photos", "gallery", "specs", "inventory",
+	"compare", "research", "overview", "details", "model", "vehicle",
+	"automotive", "lineup", "available", "standard", "optional",
+	"package", "equipment", "edition",
+}

@@ -1,0 +1,164 @@
+package template
+
+import (
+	"reflect"
+	"sort"
+	"testing"
+
+	"l2q/internal/textproc"
+	"l2q/internal/types"
+)
+
+func testDict() *types.Dictionary {
+	d := types.NewDictionary()
+	d.AddAll("topic", "hpc", "ai", "data mining")
+	d.AddAll("venue", "ijhpca", "jmlr", "tkde")
+	d.AddAll("institute", "uiuc", "stanford")
+	return d
+}
+
+func keys(ts []Template) []string {
+	out := make([]string, len(ts))
+	for i, t := range ts {
+		out[i] = t.Key()
+	}
+	sort.Strings(out)
+	return out
+}
+
+func TestEnumerateSingleTypedWord(t *testing.T) {
+	d := testDict()
+	got := keys(Enumerate([]textproc.Token{"hpc"}, d))
+	want := []string{"〈topic〉"}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("Enumerate = %v, want %v", got, want)
+	}
+}
+
+func TestEnumerateMixedQuery(t *testing.T) {
+	d := testDict()
+	// "hpc research": hpc ∈ 〈topic〉, research is untyped.
+	got := keys(Enumerate([]textproc.Token{"hpc", "research"}, d))
+	want := []string{"〈topic〉 research"}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("Enumerate = %v, want %v", got, want)
+	}
+}
+
+func TestEnumerateDoubleTyped(t *testing.T) {
+	d := testDict()
+	// "hpc ijhpca": both words typed → 3 non-trivial combinations.
+	got := keys(Enumerate([]textproc.Token{"hpc", "ijhpca"}, d))
+	want := []string{"hpc 〈venue〉", "〈topic〉 ijhpca", "〈topic〉 〈venue〉"}
+	sort.Strings(want)
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("Enumerate = %v, want %v", got, want)
+	}
+}
+
+func TestEnumerateUntypedQueryYieldsNothing(t *testing.T) {
+	d := testDict()
+	if got := Enumerate([]textproc.Token{"plain", "words"}, d); len(got) != 0 {
+		t.Errorf("Enumerate = %v, want none", got)
+	}
+	if got := Enumerate(nil, d); got != nil {
+		t.Errorf("Enumerate(nil) = %v", got)
+	}
+}
+
+func TestPaperFig3SharedTemplate(t *testing.T) {
+	// The paper's Fig. 3: hpc ijhpca / data mining tkde / ai jmlr all
+	// abstract to 〈topic〉 〈venue〉 — the bridge across entities.
+	d := testDict()
+	queries := [][]textproc.Token{
+		{"hpc", "ijhpca"},
+		{"data mining", "tkde"},
+		{"ai", "jmlr"},
+	}
+	for _, q := range queries {
+		found := false
+		for _, tmpl := range Enumerate(q, d) {
+			if tmpl.Key() == "〈topic〉 〈venue〉" {
+				found = true
+				if !tmpl.Abstracts(q, d) {
+					t.Errorf("template does not abstract its own source %v", q)
+				}
+			}
+		}
+		if !found {
+			t.Errorf("query %v does not yield 〈topic〉 〈venue〉", q)
+		}
+	}
+}
+
+func TestAbstracts(t *testing.T) {
+	d := testDict()
+	tmpl := Template{Units: []Unit{{Type: "topic"}, {Word: "research"}}}
+	tests := []struct {
+		q    []textproc.Token
+		want bool
+	}{
+		{[]textproc.Token{"hpc", "research"}, true},
+		{[]textproc.Token{"ai", "research"}, true},
+		{[]textproc.Token{"data mining", "research"}, true},
+		{[]textproc.Token{"uiuc", "research"}, false}, // institute, not topic
+		{[]textproc.Token{"hpc", "papers"}, false},    // literal mismatch
+		{[]textproc.Token{"hpc"}, false},              // length mismatch
+		{[]textproc.Token{"hpc", "research", "x"}, false},
+	}
+	for _, tc := range tests {
+		if got := tmpl.Abstracts(tc.q, d); got != tc.want {
+			t.Errorf("Abstracts(%v) = %v, want %v", tc.q, got, tc.want)
+		}
+	}
+}
+
+func TestEnumerationConsistentWithAbstracts(t *testing.T) {
+	// Property: every enumerated template abstracts its source query.
+	d := testDict()
+	queries := [][]textproc.Token{
+		{"hpc"},
+		{"hpc", "research"},
+		{"hpc", "ijhpca"},
+		{"ai", "jmlr", "uiuc"},
+		{"data mining", "tkde", "stanford"},
+	}
+	for _, q := range queries {
+		for _, tmpl := range Enumerate(q, d) {
+			if !tmpl.Abstracts(q, d) {
+				t.Errorf("template %q does not abstract %v", tmpl.Key(), q)
+			}
+			if tmpl.NumTypeUnits() == 0 {
+				t.Errorf("all-literal template leaked: %q", tmpl.Key())
+			}
+		}
+	}
+}
+
+func TestEnumerateCap(t *testing.T) {
+	// A word with many types must not blow up the enumeration.
+	d := types.NewDictionary()
+	for _, ty := range []types.Type{"a", "b", "c", "d", "e", "f", "g"} {
+		d.Add("w", ty)
+	}
+	got := Enumerate([]textproc.Token{"w", "w", "w"}, d)
+	if len(got) > MaxPerQuery {
+		t.Fatalf("enumeration %d exceeds cap %d", len(got), MaxPerQuery)
+	}
+}
+
+func TestParseKeyRoundTrip(t *testing.T) {
+	for _, key := range []string{"〈topic〉 research", "hpc 〈venue〉", "〈topic〉 〈venue〉", "plain words"} {
+		if got := ParseKey(key).Key(); got != key {
+			t.Errorf("round trip %q → %q", key, got)
+		}
+	}
+}
+
+func TestEnumerateKeys(t *testing.T) {
+	d := testDict()
+	got := EnumerateKeys([]textproc.Token{"hpc", "research"}, d)
+	if !reflect.DeepEqual(got, []string{"〈topic〉 research"}) {
+		t.Errorf("EnumerateKeys = %v", got)
+	}
+}

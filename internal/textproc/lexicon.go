@@ -1,0 +1,73 @@
+package textproc
+
+import "strings"
+
+// Lexicon holds known multi-word phrases so tokenization can merge adjacent
+// terms into a single phrase token ("data" "mining" → "data mining"). The
+// paper's tokenization treats a phrase that maps to a type as one word
+// (§VI-A); the type dictionary supplies those phrases.
+type Lexicon struct {
+	phrases map[string]struct{}
+	maxLen  int
+}
+
+// NewLexicon builds a Lexicon from phrase strings. Only entries with two or
+// more space-separated terms matter for merging; single terms are ignored.
+func NewLexicon(phrases []string) *Lexicon {
+	l := &Lexicon{phrases: make(map[string]struct{}, len(phrases))}
+	for _, p := range phrases {
+		p = strings.ToLower(strings.TrimSpace(p))
+		n := strings.Count(p, " ") + 1
+		if n < 2 {
+			continue
+		}
+		l.phrases[p] = struct{}{}
+		if n > l.maxLen {
+			l.maxLen = n
+		}
+	}
+	return l
+}
+
+// MaxLen reports the number of terms in the longest phrase.
+func (l *Lexicon) MaxLen() int { return l.maxLen }
+
+// Len reports the number of multi-word phrases.
+func (l *Lexicon) Len() int { return len(l.phrases) }
+
+// Contains reports whether the exact phrase is in the lexicon.
+func (l *Lexicon) Contains(phrase string) bool {
+	_, ok := l.phrases[phrase]
+	return ok
+}
+
+// MergePhrases greedily merges runs of tokens that form a known phrase,
+// longest match first, scanning left to right. Input tokens must already be
+// normalized (lowercase).
+func (l *Lexicon) MergePhrases(tokens []Token) []Token {
+	if l == nil || l.maxLen < 2 || len(tokens) < 2 {
+		return tokens
+	}
+	out := make([]Token, 0, len(tokens))
+	for i := 0; i < len(tokens); {
+		merged := false
+		maxN := l.maxLen
+		if rem := len(tokens) - i; rem < maxN {
+			maxN = rem
+		}
+		for n := maxN; n >= 2; n-- {
+			cand := strings.Join(tokens[i:i+n], " ")
+			if _, ok := l.phrases[cand]; ok {
+				out = append(out, cand)
+				i += n
+				merged = true
+				break
+			}
+		}
+		if !merged {
+			out = append(out, tokens[i])
+			i++
+		}
+	}
+	return out
+}

@@ -1,0 +1,107 @@
+package textproc
+
+// NGramConfig controls candidate-query enumeration from token streams.
+type NGramConfig struct {
+	// MaxLen is the maximum query length L (paper uses L=3, §VI-A).
+	MaxLen int
+	// Stopwords, when non-nil, suppresses n-grams that consist solely of
+	// stopwords and n-grams that start or end with a stopword (interior
+	// stopwords are allowed: "university of illinois").
+	Stopwords *Stopwords
+	// Exclude drops any n-gram containing one of these tokens (used to
+	// remove the seed-query tokens: the seed is appended to every query
+	// anyway, so repeating its words adds no signal).
+	Exclude map[Token]struct{}
+}
+
+// DefaultNGramConfig returns the paper's enumeration settings: L = 3 with
+// the default stopword list.
+func DefaultNGramConfig() NGramConfig {
+	return NGramConfig{MaxLen: 3, Stopwords: NewStopwords()}
+}
+
+// NGrams enumerates the distinct candidate queries from a token sequence by
+// sliding a window of ℓ ∈ {1..MaxLen} words (paper §VI-A). The result is
+// deduplicated, in first-appearance order, each rendered with JoinQuery.
+func NGrams(tokens []Token, cfg NGramConfig) []string {
+	if cfg.MaxLen <= 0 {
+		cfg.MaxLen = 3
+	}
+	seen := make(map[string]struct{})
+	var out []string
+	for l := 1; l <= cfg.MaxLen; l++ {
+		for i := 0; i+l <= len(tokens); i++ {
+			gram := tokens[i : i+l]
+			if !admissible(gram, cfg) {
+				continue
+			}
+			q := JoinQuery(gram)
+			if _, dup := seen[q]; dup {
+				continue
+			}
+			seen[q] = struct{}{}
+			out = append(out, q)
+		}
+	}
+	return out
+}
+
+// CountNGrams tallies n-gram occurrence counts over a token sequence into
+// counts (allocated by the caller), applying the same admissibility rules as
+// NGrams. It returns counts to allow chaining.
+func CountNGrams(tokens []Token, cfg NGramConfig, counts map[string]int) map[string]int {
+	if cfg.MaxLen <= 0 {
+		cfg.MaxLen = 3
+	}
+	if counts == nil {
+		counts = make(map[string]int)
+	}
+	for l := 1; l <= cfg.MaxLen; l++ {
+		for i := 0; i+l <= len(tokens); i++ {
+			gram := tokens[i : i+l]
+			if !admissible(gram, cfg) {
+				continue
+			}
+			counts[JoinQuery(gram)]++
+		}
+	}
+	return counts
+}
+
+func admissible(gram []Token, cfg NGramConfig) bool {
+	if len(gram) == 0 {
+		return false
+	}
+	if cfg.Exclude != nil {
+		for _, t := range gram {
+			if _, bad := cfg.Exclude[t]; bad {
+				return false
+			}
+		}
+	}
+	if sw := cfg.Stopwords; sw != nil {
+		if sw.Contains(gram[0]) || sw.Contains(gram[len(gram)-1]) {
+			return false
+		}
+	}
+	return true
+}
+
+// ContainsSubsequence reports whether the query tokens appear in the page
+// tokens as a contiguous subsequence. This is the containment test behind
+// reinforcement-graph edges between pages and the queries they contain.
+func ContainsSubsequence(page, query []Token) bool {
+	if len(query) == 0 || len(query) > len(page) {
+		return false
+	}
+outer:
+	for i := 0; i+len(query) <= len(page); i++ {
+		for j := range query {
+			if page[i+j] != query[j] {
+				continue outer
+			}
+		}
+		return true
+	}
+	return false
+}

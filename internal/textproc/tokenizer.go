@@ -1,0 +1,120 @@
+// Package textproc provides the text-processing substrate for L2Q: a
+// tokenizer, stopword filtering, lexicon-driven phrase merging, n-gram
+// enumeration with a sliding window, and paragraph handling.
+//
+// The paper models every page and query as a bag of words, where a word is a
+// term or a phrase depending on tokenization (§I "Data model"). Candidate
+// queries are enumerated by sliding a window of ℓ ∈ {1..L} words over a page
+// (§VI-A "Candidate query enumeration"); this package implements that
+// machinery so that the corpus, search and core layers can share one
+// definition of "word".
+package textproc
+
+import (
+	"strings"
+	"unicode"
+)
+
+// Token is a single word after normalization. A Token may be a multi-word
+// phrase (e.g. "data mining") when a Lexicon merged adjacent terms; phrase
+// tokens use a single space as the internal separator.
+type Token = string
+
+// Tokenizer splits raw text into normalized tokens. The zero value is ready
+// to use and performs lowercase ASCII-folding word splitting with no phrase
+// merging and no stopword removal.
+type Tokenizer struct {
+	// Lexicon, when non-nil, merges adjacent terms into known phrases
+	// (longest match wins, up to Lexicon.MaxLen terms).
+	Lexicon *Lexicon
+	// Stopwords, when non-nil, drops stopword tokens after phrase merging.
+	Stopwords *Stopwords
+	// KeepNumbers retains pure-numeric tokens (years, prices). Default
+	// (false) keeps them too unless DropNumbers is set; see DropNumbers.
+	DropNumbers bool
+	// MinLen drops tokens shorter than MinLen runes (after merging).
+	// Zero means keep all.
+	MinLen int
+}
+
+// Tokenize splits text into normalized tokens, applying phrase merging and
+// stopword removal according to the Tokenizer configuration.
+func (t *Tokenizer) Tokenize(text string) []Token {
+	raw := SplitWords(text)
+	if t.Lexicon != nil {
+		raw = t.Lexicon.MergePhrases(raw)
+	}
+	out := raw[:0]
+	for _, tok := range raw {
+		if t.MinLen > 0 && len([]rune(tok)) < t.MinLen && !isNumeric(tok) {
+			continue
+		}
+		if t.DropNumbers && isNumeric(tok) {
+			continue
+		}
+		if t.Stopwords != nil && t.Stopwords.Contains(tok) {
+			continue
+		}
+		out = append(out, tok)
+	}
+	return out
+}
+
+// SplitWords performs the base tokenization: lowercasing, splitting on any
+// rune that is neither a letter nor a digit, with two exceptions that keep
+// web-ish tokens intact: '@' and '.' inside a token are preserved when the
+// token looks like an email or a dotted host so that regex recognizers
+// downstream can classify them.
+func SplitWords(text string) []Token {
+	var toks []Token
+	var b strings.Builder
+	flush := func() {
+		if b.Len() > 0 {
+			toks = append(toks, b.String())
+			b.Reset()
+		}
+	}
+	runes := []rune(text)
+	for i, r := range runes {
+		switch {
+		case unicode.IsLetter(r) || unicode.IsDigit(r):
+			b.WriteRune(unicode.ToLower(r))
+		case (r == '@' || r == '.' || r == '-') && b.Len() > 0 && i+1 < len(runes) &&
+			(unicode.IsLetter(runes[i+1]) || unicode.IsDigit(runes[i+1])):
+			// Keep intra-token punctuation for emails, hosts and
+			// hyphenated terms: "snir@illinois.edu", "e-class".
+			b.WriteRune(r)
+		default:
+			flush()
+		}
+	}
+	flush()
+	return toks
+}
+
+func isNumeric(s string) bool {
+	if s == "" {
+		return false
+	}
+	for _, r := range s {
+		if !unicode.IsDigit(r) {
+			return false
+		}
+	}
+	return true
+}
+
+// JoinQuery renders a token sequence as the canonical query string: tokens
+// separated by single spaces. It is the inverse of splitting a query on
+// spaces, and is used as the map key identifying a query everywhere.
+func JoinQuery(tokens []Token) string {
+	return strings.Join(tokens, " ")
+}
+
+// SplitQuery splits a canonical query string back into its tokens.
+func SplitQuery(q string) []Token {
+	if q == "" {
+		return nil
+	}
+	return strings.Split(q, " ")
+}

@@ -1,0 +1,221 @@
+package textproc
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestSplitWords(t *testing.T) {
+	tests := []struct {
+		name string
+		in   string
+		want []Token
+	}{
+		{"simple", "Hello World", []Token{"hello", "world"}},
+		{"punct", "parallel, hpc; systems!", []Token{"parallel", "hpc", "systems"}},
+		{"email kept intact", "mail snir@illinois.edu now", []Token{"mail", "snir@illinois.edu", "now"}},
+		{"host kept intact", "visit cs.illinois.edu today", []Token{"visit", "cs.illinois.edu", "today"}},
+		{"hyphen kept", "state-of-the-art design", []Token{"state-of-the-art", "design"}},
+		{"trailing dot split", "the end.", []Token{"the", "end"}},
+		{"numbers", "BMW 328i from 2009", []Token{"bmw", "328i", "from", "2009"}},
+		{"empty", "", nil},
+		{"only punct", "...!!!", nil},
+		{"unicode", "Café Zürich", []Token{"café", "zürich"}},
+	}
+	for _, tc := range tests {
+		t.Run(tc.name, func(t *testing.T) {
+			got := SplitWords(tc.in)
+			if !reflect.DeepEqual(got, tc.want) {
+				t.Errorf("SplitWords(%q) = %v, want %v", tc.in, got, tc.want)
+			}
+		})
+	}
+}
+
+func TestTokenizerStopwordsAndNumbers(t *testing.T) {
+	tok := &Tokenizer{Stopwords: NewStopwords()}
+	got := tok.Tokenize("He conducts research on parallel and hpc systems")
+	want := []Token{"conducts", "research", "parallel", "hpc", "systems"}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("Tokenize = %v, want %v", got, want)
+	}
+
+	tok2 := &Tokenizer{DropNumbers: true}
+	got2 := tok2.Tokenize("won award in 2009")
+	want2 := []Token{"won", "award", "in"}
+	if !reflect.DeepEqual(got2, want2) {
+		t.Errorf("Tokenize (DropNumbers) = %v, want %v", got2, want2)
+	}
+}
+
+func TestTokenizerMinLen(t *testing.T) {
+	tok := &Tokenizer{MinLen: 2}
+	got := tok.Tokenize("a b cd 7 efg")
+	// Single-letter tokens dropped; pure numbers exempt from MinLen.
+	want := []Token{"cd", "7", "efg"}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("Tokenize (MinLen) = %v, want %v", got, want)
+	}
+}
+
+func TestLexiconMergePhrases(t *testing.T) {
+	lex := NewLexicon([]string{"data mining", "high performance computing", "single"})
+	tests := []struct {
+		in   []Token
+		want []Token
+	}{
+		{
+			[]Token{"his", "data", "mining", "papers"},
+			[]Token{"his", "data mining", "papers"},
+		},
+		{
+			[]Token{"high", "performance", "computing", "systems"},
+			[]Token{"high performance computing", "systems"},
+		},
+		{
+			[]Token{"data", "mining"},
+			[]Token{"data mining"},
+		},
+		{
+			[]Token{"data", "science"},
+			[]Token{"data", "science"},
+		},
+		{
+			[]Token{"single"},
+			[]Token{"single"}, // 1-word entries are ignored
+		},
+	}
+	for _, tc := range tests {
+		got := lex.MergePhrases(tc.in)
+		if !reflect.DeepEqual(got, tc.want) {
+			t.Errorf("MergePhrases(%v) = %v, want %v", tc.in, got, tc.want)
+		}
+	}
+}
+
+func TestLexiconLongestMatchWins(t *testing.T) {
+	lex := NewLexicon([]string{"data mining", "data mining systems"})
+	got := lex.MergePhrases([]Token{"on", "data", "mining", "systems", "today"})
+	want := []Token{"on", "data mining systems", "today"}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("MergePhrases = %v, want %v", got, want)
+	}
+}
+
+func TestNGramsBasic(t *testing.T) {
+	cfg := NGramConfig{MaxLen: 2}
+	got := NGrams([]Token{"x", "y", "z"}, cfg)
+	want := []string{"x", "y", "z", "x y", "y z"}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("NGrams = %v, want %v", got, want)
+	}
+}
+
+func TestNGramsStopwordBoundaries(t *testing.T) {
+	cfg := NGramConfig{MaxLen: 3, Stopwords: NewStopwords()}
+	got := NGrams([]Token{"university", "of", "illinois"}, cfg)
+	// "of" alone, "university of", "of illinois" are rejected; the interior
+	// stopword in "university of illinois" is allowed.
+	want := []string{"university", "illinois", "university of illinois"}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("NGrams = %v, want %v", got, want)
+	}
+}
+
+func TestNGramsExclude(t *testing.T) {
+	cfg := NGramConfig{
+		MaxLen:  2,
+		Exclude: map[Token]struct{}{"snir": {}},
+	}
+	got := NGrams([]Token{"marc", "snir", "hpc"}, cfg)
+	want := []string{"marc", "hpc"}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("NGrams = %v, want %v", got, want)
+	}
+}
+
+func TestNGramsDedup(t *testing.T) {
+	cfg := NGramConfig{MaxLen: 1}
+	got := NGrams([]Token{"hpc", "hpc", "hpc"}, cfg)
+	if !reflect.DeepEqual(got, []string{"hpc"}) {
+		t.Errorf("NGrams dedup = %v", got)
+	}
+}
+
+func TestCountNGrams(t *testing.T) {
+	cfg := NGramConfig{MaxLen: 2}
+	counts := CountNGrams([]Token{"a1", "b1", "a1", "b1"}, cfg, nil)
+	if counts["a1"] != 2 || counts["b1"] != 2 {
+		t.Errorf("unigram counts wrong: %v", counts)
+	}
+	if counts["a1 b1"] != 2 || counts["b1 a1"] != 1 {
+		t.Errorf("bigram counts wrong: %v", counts)
+	}
+}
+
+func TestContainsSubsequence(t *testing.T) {
+	page := []Token{"he", "studies", "parallel", "computing", "at", "uiuc"}
+	tests := []struct {
+		q    []Token
+		want bool
+	}{
+		{[]Token{"parallel"}, true},
+		{[]Token{"parallel", "computing"}, true},
+		{[]Token{"studies", "parallel", "computing"}, true},
+		{[]Token{"parallel", "uiuc"}, false},
+		{[]Token{"uiuc"}, true},
+		{[]Token{}, false},
+		{[]Token{"he", "studies", "parallel", "computing", "at", "uiuc", "x"}, false},
+	}
+	for _, tc := range tests {
+		if got := ContainsSubsequence(page, tc.q); got != tc.want {
+			t.Errorf("ContainsSubsequence(page, %v) = %v, want %v", tc.q, got, tc.want)
+		}
+	}
+}
+
+func TestJoinSplitQueryRoundTrip(t *testing.T) {
+	f := func(parts []string) bool {
+		// Build tokens without spaces to make round-trip well-defined.
+		toks := make([]Token, 0, len(parts))
+		for _, p := range parts {
+			p = strings.Map(func(r rune) rune {
+				if r == ' ' {
+					return '_'
+				}
+				return r
+			}, p)
+			if p == "" {
+				p = "x"
+			}
+			toks = append(toks, p)
+		}
+		if len(toks) == 0 {
+			return SplitQuery(JoinQuery(toks)) == nil
+		}
+		back := SplitQuery(JoinQuery(toks))
+		return reflect.DeepEqual(back, toks)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestStopwordsAllStopwords(t *testing.T) {
+	sw := NewStopwords()
+	if !sw.AllStopwords([]Token{"the", "of"}) {
+		t.Error("expected all-stopword detection")
+	}
+	if sw.AllStopwords([]Token{"the", "award"}) {
+		t.Error("award is not a stopword")
+	}
+	if sw.AllStopwords(nil) {
+		t.Error("empty slice must not count as all-stopwords")
+	}
+	var nilSW *Stopwords
+	if nilSW.Contains("the") {
+		t.Error("nil stopwords must contain nothing")
+	}
+}

@@ -1,0 +1,208 @@
+package webapi
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"strings"
+	"sync"
+	"time"
+
+	"l2q/internal/corpus"
+	"l2q/internal/html"
+	"l2q/internal/search"
+	"l2q/internal/textproc"
+)
+
+// Client is a remote search engine: it implements core.Retriever against a
+// webapi.Server, so a harvesting session runs unchanged across a real HTTP
+// boundary. Result pages are downloaded as HTML, segmented with
+// internal/html, re-tokenized, and cached; Dirichlet scoring is reproduced
+// locally from /api/stats plus batched /api/collfreq lookups, bit-for-bit
+// equal to the server engine's scores.
+//
+// Client is safe for concurrent use.
+type Client struct {
+	base  string
+	http  *http.Client
+	tok   *textproc.Tokenizer
+	stats Stats
+
+	mu        sync.RWMutex
+	pageCache map[corpus.PageID]*corpus.Page
+	cfCache   map[string]int
+
+	reqMu    sync.Mutex
+	requests int
+}
+
+// Dial connects to a server, fetching its collection statistics once. The
+// tokenizer must match the one that produced the corpus (the server serves
+// raw HTML; tokenization is the client's job, as on the real Web).
+func Dial(base string, tok *textproc.Tokenizer) (*Client, error) {
+	if !strings.HasPrefix(base, "http://") && !strings.HasPrefix(base, "https://") {
+		base = "http://" + base
+	}
+	c := &Client{
+		base:      strings.TrimRight(base, "/"),
+		http:      &http.Client{Timeout: 30 * time.Second},
+		tok:       tok,
+		pageCache: make(map[corpus.PageID]*corpus.Page),
+		cfCache:   make(map[string]int),
+	}
+	if err := c.getJSON("/api/stats", &c.stats); err != nil {
+		return nil, fmt.Errorf("webapi: dial %s: %w", base, err)
+	}
+	if c.stats.TopK <= 0 || c.stats.Mu <= 0 {
+		return nil, fmt.Errorf("webapi: dial %s: implausible stats %+v", base, c.stats)
+	}
+	return c, nil
+}
+
+// Stats returns the server's collection statistics.
+func (c *Client) Stats() Stats { return c.stats }
+
+// Requests returns the number of HTTP requests issued so far (the "cost"
+// the paper motivates minimizing).
+func (c *Client) Requests() int {
+	c.reqMu.Lock()
+	defer c.reqMu.Unlock()
+	return c.requests
+}
+
+func (c *Client) countRequest() {
+	c.reqMu.Lock()
+	c.requests++
+	c.reqMu.Unlock()
+}
+
+func (c *Client) getJSON(path string, out any) error {
+	c.countRequest()
+	resp, err := c.http.Get(c.base + path)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		body, _ := io.ReadAll(io.LimitReader(resp.Body, 256))
+		return fmt.Errorf("GET %s: %s: %s", path, resp.Status, strings.TrimSpace(string(body)))
+	}
+	return json.NewDecoder(resp.Body).Decode(out)
+}
+
+// TopK implements core.Retriever.
+func (c *Client) TopK() int { return c.stats.TopK }
+
+// SearchWithSeed implements core.Retriever: remote search, then page
+// download (cache-aware) for every hit.
+func (c *Client) SearchWithSeed(seed, query []textproc.Token) []search.Result {
+	q := url.Values{}
+	q.Set("seed", textproc.JoinQuery(seed))
+	q.Set("q", textproc.JoinQuery(query))
+	var resp SearchResponse
+	if err := c.getJSON("/api/search?"+q.Encode(), &resp); err != nil {
+		// Retriever has no error channel (searches over a fixed corpus
+		// cannot fail in-process); a broken transport yields no results,
+		// which the session treats as an unproductive query.
+		return nil
+	}
+	out := make([]search.Result, 0, len(resp.Hits))
+	for _, h := range resp.Hits {
+		p, err := c.Page(h.PageID)
+		if err != nil {
+			continue
+		}
+		out = append(out, search.Result{Page: p, Score: h.Score})
+	}
+	return out
+}
+
+// Page downloads (or returns the cached) page with the given ID.
+func (c *Client) Page(id corpus.PageID) (*corpus.Page, error) {
+	c.mu.RLock()
+	p, ok := c.pageCache[id]
+	c.mu.RUnlock()
+	if ok {
+		return p, nil
+	}
+	c.countRequest()
+	resp, err := c.http.Get(c.base + html.PageHref(id))
+	if err != nil {
+		return nil, fmt.Errorf("webapi: fetch page %d: %w", id, err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("webapi: fetch page %d: %s", id, resp.Status)
+	}
+	body, err := io.ReadAll(io.LimitReader(resp.Body, 10<<20))
+	if err != nil {
+		return nil, fmt.Errorf("webapi: fetch page %d: %w", id, err)
+	}
+	p = html.ParsePage(string(body), -1, c.tok)
+	p.URL = c.base + html.PageHref(id)
+	c.mu.Lock()
+	c.pageCache[id] = p
+	c.mu.Unlock()
+	return p, nil
+}
+
+// collProb returns the server-identical smoothed collection probability of
+// a token, fetching unknown collection frequencies in one batched call.
+func (c *Client) collProbs(tokens []textproc.Token) []float64 {
+	var missing []string
+	c.mu.RLock()
+	for _, t := range tokens {
+		if _, ok := c.cfCache[t]; !ok {
+			missing = append(missing, t)
+		}
+	}
+	c.mu.RUnlock()
+	if len(missing) > 0 {
+		q := url.Values{}
+		q.Set("tokens", strings.Join(missing, ","))
+		var resp struct {
+			Freqs map[string]int `json:"freqs"`
+		}
+		if err := c.getJSON("/api/collfreq?"+q.Encode(), &resp); err == nil {
+			c.mu.Lock()
+			for t, cf := range resp.Freqs {
+				c.cfCache[t] = cf
+			}
+			c.mu.Unlock()
+		}
+	}
+	out := make([]float64, len(tokens))
+	c.mu.RLock()
+	for i, t := range tokens {
+		out[i] = search.CollectionProb(c.cfCache[t], c.stats.TotalTokens, c.stats.NumTerms)
+	}
+	c.mu.RUnlock()
+	return out
+}
+
+// QueryLikelihood implements core.Retriever with the server's exact
+// scoring model, computed locally over the downloaded page.
+func (c *Client) QueryLikelihood(p *corpus.Page, query []textproc.Token) float64 {
+	toks := p.Tokens()
+	tf := make(map[textproc.Token]int, len(query))
+	for _, t := range toks {
+		tf[t]++
+	}
+	pcs := c.collProbs(query)
+	s := 0.0
+	for i, t := range query {
+		s += search.DirichletTermScore(tf[t], len(toks), c.stats.Mu, pcs[i])
+	}
+	return s
+}
+
+// Entities lists the server's harvest targets.
+func (c *Client) Entities() ([]EntityInfo, error) {
+	var out []EntityInfo
+	if err := c.getJSON("/api/entities", &out); err != nil {
+		return nil, err
+	}
+	return out, nil
+}

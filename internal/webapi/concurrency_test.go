@@ -1,0 +1,85 @@
+package webapi
+
+import (
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"testing"
+
+	"l2q/internal/search"
+	"l2q/internal/synth"
+)
+
+// TestConcurrentClients hammers the server with parallel searches and page
+// downloads from multiple clients; run under -race this validates the
+// server's and client's shared state (caches, counters, fetch table).
+func TestConcurrentClients(t *testing.T) {
+	g, err := synth.Generate(synth.TestConfig(synth.DomainCars))
+	if err != nil {
+		t.Fatal(err)
+	}
+	engine := search.NewEngine(search.BuildIndex(g.Corpus.Pages))
+	srv := httptest.NewServer(NewServer(g.Corpus, engine).Handler())
+	defer srv.Close()
+
+	const clients = 4
+	const opsPerClient = 25
+	var wg sync.WaitGroup
+	errs := make(chan error, clients)
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			client, err := Dial(srv.URL, g.Tokenizer)
+			if err != nil {
+				errs <- err
+				return
+			}
+			for i := 0; i < opsPerClient; i++ {
+				e := g.Corpus.Entities[(c*opsPerClient+i)%g.Corpus.NumEntities()]
+				res := client.SearchWithSeed(e.SeedTokens(), []string{"safety"})
+				for _, r := range res {
+					// QueryLikelihood exercises the collfreq cache.
+					client.QueryLikelihood(r.Page, []string{"safety", "airbags"})
+				}
+			}
+			errs <- nil
+		}(c)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+// TestServerConcurrencyLimit verifies the in-flight request bound: with
+// MaxConcurrent=1 and a held request slot, a second request still
+// completes once the first finishes (the semaphore drains, no deadlock).
+func TestServerConcurrencyLimit(t *testing.T) {
+	g, err := synth.Generate(synth.TestConfig(synth.DomainCars))
+	if err != nil {
+		t.Fatal(err)
+	}
+	engine := search.NewEngine(search.BuildIndex(g.Corpus.Pages))
+	s := NewServer(g.Corpus, engine)
+	s.MaxConcurrent = 1
+	srv := httptest.NewServer(s.Handler())
+	defer srv.Close()
+
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			resp, err := http.Get(fmt.Sprintf("%s/healthz", srv.URL))
+			if err == nil {
+				resp.Body.Close()
+			}
+		}()
+	}
+	wg.Wait() // must terminate: the semaphore serializes but never wedges
+}

@@ -1,0 +1,254 @@
+// Package webapi puts the search engine behind a real HTTP boundary.
+//
+// The paper's harvester talks to a commercial search API and downloads
+// result pages over the network (§I: "querying a search engine and
+// downloading the result pages ... require significant time and bandwidth,
+// as well as a considerable financial cost to access commercial search
+// APIs"). In the experiments that boundary is simulated in-process; this
+// package makes it literal: Server exposes the corpus + engine as a JSON
+// search API plus rendered HTML pages, and Client implements core.Retriever
+// over that API — searching remotely, downloading pages as HTML, segmenting
+// them with internal/html, and reproducing the engine's Dirichlet scoring
+// locally from fetched collection statistics.
+package webapi
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"log"
+	"net"
+	"net/http"
+	"strconv"
+	"strings"
+	"time"
+
+	"l2q/internal/corpus"
+	"l2q/internal/html"
+	"l2q/internal/search"
+	"l2q/internal/textproc"
+)
+
+// Stats is the /api/stats payload: everything a client needs to reproduce
+// the engine's scoring and paging behavior.
+type Stats struct {
+	Domain      string  `json:"domain"`
+	NumEntities int     `json:"numEntities"`
+	NumPages    int     `json:"numPages"`
+	NumTerms    int     `json:"numTerms"`
+	TotalTokens int     `json:"totalTokens"`
+	Mu          float64 `json:"mu"`
+	TopK        int     `json:"topK"`
+}
+
+// SearchHit is one result in the /api/search payload.
+type SearchHit struct {
+	PageID corpus.PageID `json:"pageId"`
+	URL    string        `json:"url"`
+	Title  string        `json:"title"`
+	Score  float64       `json:"score"`
+}
+
+// SearchResponse is the /api/search payload.
+type SearchResponse struct {
+	Query string      `json:"query"`
+	Seed  string      `json:"seed,omitempty"`
+	Hits  []SearchHit `json:"hits"`
+}
+
+// EntityInfo is one row of the /api/entities payload.
+type EntityInfo struct {
+	ID        corpus.EntityID `json:"id"`
+	Name      string          `json:"name"`
+	SeedQuery string          `json:"seedQuery"`
+}
+
+// Server serves a corpus and engine over HTTP. Construct with NewServer,
+// then Start/Shutdown (or mount Handler on your own server). Server is
+// safe for concurrent requests: the corpus and engine are immutable.
+type Server struct {
+	corpus *corpus.Corpus
+	engine *search.Engine
+	pages  map[corpus.PageID]*corpus.Page
+
+	// Log receives one line per request when non-nil.
+	Log *log.Logger
+	// MaxConcurrent bounds in-flight requests (default 64).
+	MaxConcurrent int
+
+	sem  chan struct{}
+	http *http.Server
+}
+
+// NewServer wires a server over a corpus and its engine.
+func NewServer(c *corpus.Corpus, engine *search.Engine) *Server {
+	pages := make(map[corpus.PageID]*corpus.Page, c.NumPages())
+	for _, p := range c.Pages {
+		pages[p.ID] = p
+	}
+	return &Server{corpus: c, engine: engine, pages: pages, MaxConcurrent: 64}
+}
+
+// Handler returns the routed http.Handler (useful for httptest or custom
+// servers).
+func (s *Server) Handler() http.Handler {
+	if s.sem == nil {
+		n := s.MaxConcurrent
+		if n <= 0 {
+			n = 64
+		}
+		s.sem = make(chan struct{}, n)
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, _ *http.Request) {
+		w.WriteHeader(http.StatusOK)
+		fmt.Fprintln(w, "ok")
+	})
+	mux.HandleFunc("GET /api/stats", s.handleStats)
+	mux.HandleFunc("GET /api/search", s.handleSearch)
+	mux.HandleFunc("GET /api/collfreq", s.handleCollFreq)
+	mux.HandleFunc("GET /api/entities", s.handleEntities)
+	mux.HandleFunc("GET /page/{id}", s.handlePage)
+	return s.limit(mux)
+}
+
+// limit applies the concurrency bound and request logging.
+func (s *Server) limit(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		select {
+		case s.sem <- struct{}{}:
+			defer func() { <-s.sem }()
+		case <-r.Context().Done():
+			http.Error(w, "canceled", http.StatusServiceUnavailable)
+			return
+		}
+		start := time.Now()
+		next.ServeHTTP(w, r)
+		if s.Log != nil {
+			s.Log.Printf("%s %s %s", r.Method, r.URL.RequestURI(), time.Since(start))
+		}
+	})
+}
+
+// Start begins listening on addr (e.g. "127.0.0.1:8080"; ":0" picks a free
+// port) and serves until Shutdown. It returns the bound address.
+func (s *Server) Start(addr string) (string, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", fmt.Errorf("webapi: listen %s: %w", addr, err)
+	}
+	s.http = &http.Server{
+		Handler:           s.Handler(),
+		ReadHeaderTimeout: 5 * time.Second,
+		WriteTimeout:      30 * time.Second,
+		IdleTimeout:       60 * time.Second,
+	}
+	go func() {
+		if err := s.http.Serve(ln); err != nil && err != http.ErrServerClosed && s.Log != nil {
+			s.Log.Printf("webapi: serve: %v", err)
+		}
+	}()
+	return ln.Addr().String(), nil
+}
+
+// Shutdown drains in-flight requests and stops the server.
+func (s *Server) Shutdown(ctx context.Context) error {
+	if s.http == nil {
+		return nil
+	}
+	return s.http.Shutdown(ctx)
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	if err := json.NewEncoder(w).Encode(v); err != nil {
+		// Headers are gone; nothing to do but drop the connection.
+		return
+	}
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
+	idx := s.engine.Index()
+	writeJSON(w, Stats{
+		Domain:      string(s.corpus.Domain),
+		NumEntities: s.corpus.NumEntities(),
+		NumPages:    s.corpus.NumPages(),
+		NumTerms:    idx.NumTerms(),
+		TotalTokens: idx.TotalTokens(),
+		Mu:          s.engine.Mu(),
+		TopK:        s.engine.TopK(),
+	})
+}
+
+func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
+	q := r.URL.Query().Get("q")
+	seed := r.URL.Query().Get("seed")
+	if q == "" && seed == "" {
+		http.Error(w, "missing q parameter", http.StatusBadRequest)
+		return
+	}
+	engine := s.engine
+	if kStr := r.URL.Query().Get("k"); kStr != "" {
+		k, err := strconv.Atoi(kStr)
+		if err != nil || k <= 0 || k > 100 {
+			http.Error(w, "bad k parameter", http.StatusBadRequest)
+			return
+		}
+		engine = engine.WithTopK(k)
+	}
+	res := engine.SearchWithSeed(textproc.SplitQuery(seed), textproc.SplitQuery(q))
+	resp := SearchResponse{Query: q, Seed: seed, Hits: make([]SearchHit, 0, len(res))}
+	for _, h := range res {
+		resp.Hits = append(resp.Hits, SearchHit{
+			PageID: h.Page.ID, URL: h.Page.URL, Title: h.Page.Title, Score: h.Score,
+		})
+	}
+	writeJSON(w, resp)
+}
+
+func (s *Server) handleCollFreq(w http.ResponseWriter, r *http.Request) {
+	tokens := r.URL.Query().Get("tokens")
+	if tokens == "" {
+		http.Error(w, "missing tokens parameter", http.StatusBadRequest)
+		return
+	}
+	toks := strings.Split(tokens, ",")
+	if len(toks) > 10000 {
+		http.Error(w, "too many tokens", http.StatusBadRequest)
+		return
+	}
+	idx := s.engine.Index()
+	freqs := make(map[string]int, len(toks))
+	for _, t := range toks {
+		freqs[t] = idx.CollectionFreq(t)
+	}
+	writeJSON(w, map[string]map[string]int{"freqs": freqs})
+}
+
+func (s *Server) handleEntities(w http.ResponseWriter, _ *http.Request) {
+	out := make([]EntityInfo, 0, s.corpus.NumEntities())
+	for _, e := range s.corpus.Entities {
+		out = append(out, EntityInfo{ID: e.ID, Name: e.Name, SeedQuery: e.SeedQuery})
+	}
+	writeJSON(w, out)
+}
+
+// handlePage serves the rendered HTML of one corpus page at /page/{id}
+// where {id} is "<n>.html" (the canonical html.PageHref form) or a bare
+// numeric ID.
+func (s *Server) handlePage(w http.ResponseWriter, r *http.Request) {
+	raw := r.PathValue("id")
+	raw = strings.TrimSuffix(raw, ".html")
+	id, err := strconv.Atoi(raw)
+	if err != nil {
+		http.Error(w, "bad page id", http.StatusBadRequest)
+		return
+	}
+	p, ok := s.pages[corpus.PageID(id)]
+	if !ok {
+		http.NotFound(w, r)
+		return
+	}
+	w.Header().Set("Content-Type", "text/html; charset=utf-8")
+	fmt.Fprint(w, html.RenderPage(p))
+}

@@ -1,0 +1,280 @@
+package webapi
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"reflect"
+	"testing"
+	"time"
+
+	"l2q/internal/classify"
+	"l2q/internal/core"
+	"l2q/internal/corpus"
+	"l2q/internal/search"
+	"l2q/internal/synth"
+	"l2q/internal/types"
+)
+
+// fixture bundles a small corpus, its engine, an httptest server and a
+// dialed client.
+type fixture struct {
+	g      *synth.Generated
+	engine *search.Engine
+	srv    *httptest.Server
+	client *Client
+}
+
+func newFixture(t *testing.T) *fixture {
+	t.Helper()
+	g, err := synth.Generate(synth.TestConfig(synth.DomainResearchers))
+	if err != nil {
+		t.Fatal(err)
+	}
+	engine := search.NewEngine(search.BuildIndex(g.Corpus.Pages))
+	srv := httptest.NewServer(NewServer(g.Corpus, engine).Handler())
+	t.Cleanup(srv.Close)
+	client, err := Dial(srv.URL, g.Tokenizer)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return &fixture{g: g, engine: engine, srv: srv, client: client}
+}
+
+func TestStatsEndpoint(t *testing.T) {
+	f := newFixture(t)
+	st := f.client.Stats()
+	if st.NumPages != f.g.Corpus.NumPages() || st.NumEntities != f.g.Corpus.NumEntities() {
+		t.Errorf("stats %+v do not match corpus", st)
+	}
+	if st.Mu != f.engine.Mu() || st.TopK != f.engine.TopK() {
+		t.Errorf("stats %+v do not match engine (mu=%v topK=%d)", st, f.engine.Mu(), f.engine.TopK())
+	}
+}
+
+func TestSearchEndpointMatchesEngine(t *testing.T) {
+	f := newFixture(t)
+	e := f.g.Corpus.Entities[0]
+	seed := e.SeedTokens()
+	query := []string{"research"}
+
+	local := f.engine.SearchWithSeed(seed, query)
+	remote := f.client.SearchWithSeed(seed, query)
+	if len(local) != len(remote) {
+		t.Fatalf("local %d hits, remote %d", len(local), len(remote))
+	}
+	for i := range local {
+		if local[i].Page.ID != remote[i].Page.ID {
+			t.Errorf("rank %d: local page %d, remote %d", i, local[i].Page.ID, remote[i].Page.ID)
+		}
+		if d := local[i].Score - remote[i].Score; d > 1e-12 || d < -1e-12 {
+			t.Errorf("rank %d: score drift %v", i, d)
+		}
+	}
+}
+
+func TestRemotePageFidelity(t *testing.T) {
+	f := newFixture(t)
+	orig := f.g.Corpus.Pages[3]
+	got, err := f.client.Page(orig.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.ID != orig.ID || got.Entity != orig.Entity || got.Title != orig.Title {
+		t.Fatalf("page identity: %d/%d/%q", got.ID, got.Entity, got.Title)
+	}
+	if len(got.Paras) != len(orig.Paras) {
+		t.Fatalf("paragraphs %d, want %d", len(got.Paras), len(orig.Paras))
+	}
+	for i := range orig.Paras {
+		if got.Paras[i].Aspect != orig.Paras[i].Aspect {
+			t.Errorf("para %d aspect %q, want %q", i, got.Paras[i].Aspect, orig.Paras[i].Aspect)
+		}
+		if !reflect.DeepEqual(got.Paras[i].Tokens, orig.Paras[i].Tokens) {
+			t.Errorf("para %d tokens differ", i)
+		}
+	}
+}
+
+func TestClientQueryLikelihoodParity(t *testing.T) {
+	f := newFixture(t)
+	queries := [][]string{{"research"}, {"research", "award"}, {"zzz-unseen-token"}}
+	for _, pi := range []int{0, 7, 42} {
+		orig := f.g.Corpus.Pages[pi]
+		remote, err := f.client.Page(orig.ID)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, q := range queries {
+			want := f.engine.QueryLikelihood(orig, q)
+			got := f.client.QueryLikelihood(remote, q)
+			if d := want - got; d > 1e-12 || d < -1e-12 {
+				t.Errorf("page %d query %v: local %v, remote %v", pi, q, want, got)
+			}
+		}
+	}
+}
+
+func TestClientPageCacheAndRequestCount(t *testing.T) {
+	f := newFixture(t)
+	id := f.g.Corpus.Pages[0].ID
+	if _, err := f.client.Page(id); err != nil {
+		t.Fatal(err)
+	}
+	before := f.client.Requests()
+	for i := 0; i < 5; i++ {
+		if _, err := f.client.Page(id); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if after := f.client.Requests(); after != before {
+		t.Errorf("cached fetches issued %d extra requests", after-before)
+	}
+}
+
+// TestRemoteSessionParity is the headline test: a full domain-aware,
+// context-aware harvesting session over the HTTP boundary selects exactly
+// the same queries and gathers exactly the same pages as the in-process
+// engine.
+func TestRemoteSessionParity(t *testing.T) {
+	f := newFixture(t)
+	g := f.g
+	rec := types.Chain{g.KB, types.NewRegexRecognizer()}
+	aspect := synth.AspResearch
+	y := func(p *corpus.Page) bool { return classify.GroundTruth(p, aspect) }
+
+	cfg := core.DefaultConfig()
+	cfg.Tokenizer = g.Tokenizer
+	var domain []corpus.EntityID
+	for i := 0; i < g.Corpus.NumEntities()/2; i++ {
+		domain = append(domain, g.Corpus.Entities[i].ID)
+	}
+	dm, err := core.LearnDomain(cfg, aspect, g.Corpus, domain, y, rec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	target := g.Corpus.Entities[g.Corpus.NumEntities()-1]
+
+	run := func(engine core.Retriever) ([]core.Query, []corpus.PageID) {
+		sess := core.NewSession(cfg, engine, target, aspect, y, dm, rec, 42)
+		fired := sess.Run(core.NewL2QBAL(), 3)
+		var ids []corpus.PageID
+		for _, p := range sess.Pages() {
+			ids = append(ids, p.ID)
+		}
+		return fired, ids
+	}
+
+	localQ, localP := run(f.engine)
+	remoteQ, remoteP := run(f.client)
+	if !reflect.DeepEqual(localQ, remoteQ) {
+		t.Errorf("fired queries differ:\n local %v\nremote %v", localQ, remoteQ)
+	}
+	if !reflect.DeepEqual(localP, remoteP) {
+		t.Errorf("gathered pages differ:\n local %v\nremote %v", localP, remoteP)
+	}
+	if len(localQ) == 0 || len(localP) == 0 {
+		t.Fatal("session gathered nothing")
+	}
+}
+
+func TestHTTPErrorPaths(t *testing.T) {
+	f := newFixture(t)
+	cases := []struct {
+		path string
+		want int
+	}{
+		{"/api/search", http.StatusBadRequest},
+		{"/api/search?q=x&k=-1", http.StatusBadRequest},
+		{"/api/search?q=x&k=zzz", http.StatusBadRequest},
+		{"/api/collfreq", http.StatusBadRequest},
+		{"/page/notanumber.html", http.StatusBadRequest},
+		{"/page/999999.html", http.StatusNotFound},
+		{"/nosuchroute", http.StatusNotFound},
+		{"/healthz", http.StatusOK},
+	}
+	for _, tc := range cases {
+		resp, err := http.Get(f.srv.URL + tc.path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != tc.want {
+			t.Errorf("GET %s = %d, want %d", tc.path, resp.StatusCode, tc.want)
+		}
+	}
+}
+
+func TestSearchKParameter(t *testing.T) {
+	f := newFixture(t)
+	resp, err := http.Get(f.srv.URL + "/api/search?q=research&k=2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var sr SearchResponse
+	if err := json.NewDecoder(resp.Body).Decode(&sr); err != nil {
+		t.Fatal(err)
+	}
+	if len(sr.Hits) > 2 {
+		t.Errorf("k=2 returned %d hits", len(sr.Hits))
+	}
+}
+
+func TestEntitiesEndpoint(t *testing.T) {
+	f := newFixture(t)
+	ents, err := f.client.Entities()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ents) != f.g.Corpus.NumEntities() {
+		t.Fatalf("%d entities, want %d", len(ents), f.g.Corpus.NumEntities())
+	}
+	if ents[0].SeedQuery == "" {
+		t.Error("entity missing seed query")
+	}
+}
+
+func TestStartShutdown(t *testing.T) {
+	g, err := synth.Generate(synth.TestConfig(synth.DomainCars))
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := NewServer(g.Corpus, search.NewEngine(search.BuildIndex(g.Corpus.Pages)))
+	addr, err := srv.Start("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Get(fmt.Sprintf("http://%s/healthz", addr))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("healthz = %d", resp.StatusCode)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if err := srv.Shutdown(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := http.Get(fmt.Sprintf("http://%s/healthz", addr)); err == nil {
+		t.Error("server still answering after shutdown")
+	}
+}
+
+func TestDialErrors(t *testing.T) {
+	if _, err := Dial("127.0.0.1:1", nil); err == nil {
+		t.Error("dial to closed port succeeded")
+	}
+	// A server that answers nonsense.
+	bad := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		fmt.Fprint(w, `{"topK":0}`)
+	}))
+	defer bad.Close()
+	if _, err := Dial(bad.URL, nil); err == nil {
+		t.Error("dial accepted implausible stats")
+	}
+}

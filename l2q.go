@@ -1,0 +1,303 @@
+// Package l2q is the public API of the Learning-to-Query (L2Q) library, a
+// reproduction of Fang, Zheng & Chang, "Learning to Query: Focused Web Page
+// Harvesting for Entity Aspects" (ICDE 2016).
+//
+// L2Q harvests pages about one aspect of one entity (a researcher's
+// RESEARCH, a car's SAFETY) by iteratively choosing the most useful next
+// query to fire at a search engine. The library bundles everything the
+// paper's system needs: a corpus model, a Dirichlet-smoothed retrieval
+// engine, aspect classifiers, a type system with query templates, the
+// reinforcement-graph utility inference, domain- and context-aware query
+// selection, and the baselines the paper compares against.
+//
+// # Quick start
+//
+//	sys, err := l2q.NewSyntheticSystem(l2q.Researchers, l2q.DefaultSystemOptions())
+//	if err != nil { ... }
+//	entity := sys.Corpus().Entities[0]
+//	dm, err := sys.LearnDomain("RESEARCH", sys.EntityIDs()[10:60])
+//	h := sys.NewHarvester(entity, "RESEARCH", dm)
+//	fired := h.Run(l2q.NewL2QBAL(), 3)   // three selected queries
+//	pages := h.Pages()                    // harvested result pages
+//
+// See examples/ for complete programs and DESIGN.md for the mapping from
+// the paper's sections to packages.
+package l2q
+
+import (
+	"fmt"
+	"sync"
+
+	"l2q/internal/baselines"
+	"l2q/internal/classify"
+	"l2q/internal/core"
+	"l2q/internal/corpus"
+	"l2q/internal/search"
+	"l2q/internal/synth"
+	"l2q/internal/textproc"
+	"l2q/internal/types"
+)
+
+// Re-exported core types. The aliases keep one canonical definition in the
+// internal packages while giving users a single import.
+type (
+	// Corpus is a fixed page collection for one domain.
+	Corpus = corpus.Corpus
+	// Entity is one harvest target, identified by its seed query.
+	Entity = corpus.Entity
+	// Page is one web page (an ordered list of labeled paragraphs).
+	Page = corpus.Page
+	// Paragraph is the classifier-granularity text unit.
+	Paragraph = corpus.Paragraph
+	// Aspect names a target facet, e.g. "RESEARCH" or "SAFETY".
+	Aspect = corpus.Aspect
+	// Domain names a kind of entity ("researchers", "cars", or custom).
+	Domain = corpus.Domain
+	// EntityID identifies an entity within a corpus.
+	EntityID = corpus.EntityID
+	// PageID identifies a page within a corpus.
+	PageID = corpus.PageID
+	// Query is a candidate query in canonical form.
+	Query = core.Query
+	// Config carries the L2Q model parameters (§III–§V).
+	Config = core.Config
+	// Session is one harvesting run for an (entity, aspect) pair.
+	Session = core.Session
+	// Selector chooses the next query for a session.
+	Selector = core.Selector
+	// DomainModel is the output of the domain phase (§IV-B).
+	DomainModel = core.DomainModel
+	// Engine is the Dirichlet-smoothed retrieval engine.
+	Engine = search.Engine
+	// Fetcher simulates remote page-download latency.
+	Fetcher = search.Fetcher
+	// HRModel is the harvest-rate baseline's domain statistics.
+	HRModel = baselines.HRModel
+	// Recognizer maps words to types for template enumeration.
+	Recognizer = types.Recognizer
+	// Dictionary is a knowledge-base type dictionary.
+	Dictionary = types.Dictionary
+)
+
+// The two domains reproduced from the paper.
+const (
+	Researchers = synth.DomainResearchers
+	Cars        = synth.DomainCars
+)
+
+// DefaultConfig returns the paper's parameter settings (α=0.15, λ=10,
+// L=3, r0 validated).
+func DefaultConfig() Config { return core.DefaultConfig() }
+
+// Strategy constructors (§VI-B ablations and the full approaches).
+var (
+	NewRND    = core.NewRND
+	NewP      = core.NewP
+	NewR      = core.NewR
+	NewPQ     = core.NewPQ
+	NewRQ     = core.NewRQ
+	NewPT     = core.NewPT
+	NewRT     = core.NewRT
+	NewL2QP   = core.NewL2QP
+	NewL2QR   = core.NewL2QR
+	NewL2QBAL = core.NewL2QBAL
+)
+
+// NewL2QWeighted is the future-work extension of §VI-C: a precision-weight
+// β generalization of L2QBAL (β = 0.5 recovers the balanced strategy).
+var NewL2QWeighted = core.NewL2QWeighted
+
+// Baseline constructors (§VI-C).
+var (
+	NewLM    = baselines.NewLM
+	NewAQ    = baselines.NewAQ
+	NewHR    = baselines.NewHR
+	NewMQ    = baselines.NewMQ
+	NewMQFor = baselines.NewMQFor
+)
+
+// ManualQueries returns the curated per-(domain, aspect) query lists the MQ
+// baseline fires.
+func ManualQueries(d Domain, a Aspect) []Query { return baselines.ManualQueries(d, a) }
+
+// SystemOptions sizes a synthetic system.
+type SystemOptions struct {
+	// NumEntities and PagesPerEntity size the corpus (0 = paper scale:
+	// 996 researchers / 143 cars × 50 pages).
+	NumEntities    int
+	PagesPerEntity int
+	// Seed drives deterministic generation.
+	Seed uint64
+	// Config overrides the L2Q parameters; zero value = DefaultConfig.
+	Config *Config
+}
+
+// DefaultSystemOptions returns paper-scale options.
+func DefaultSystemOptions() SystemOptions { return SystemOptions{} }
+
+// System bundles a corpus with every substrate wired together: retrieval
+// engine, aspect classifiers, type recognizer and the L2Q configuration.
+// Construct with NewSyntheticSystem or NewSystem; a System is safe for
+// concurrent harvesting sessions.
+type System struct {
+	cfg     Config
+	corpus  *Corpus
+	engine  *Engine
+	cls     classify.YProvider
+	rec     Recognizer
+	aspects []Aspect
+}
+
+// NewSyntheticSystem generates a synthetic web corpus for one of the
+// paper's two domains and trains the aspect classifiers on all of it.
+// For the paper's evaluation protocol (classifiers trained on the domain
+// half only) use internal/eval via cmd/l2qexp instead.
+func NewSyntheticSystem(d Domain, opts SystemOptions) (*System, error) {
+	gen := synth.DefaultConfig(d)
+	if opts.NumEntities > 0 {
+		gen.NumEntities = opts.NumEntities
+	}
+	if opts.PagesPerEntity > 0 {
+		gen.PagesPerEntity = opts.PagesPerEntity
+	}
+	if opts.Seed != 0 {
+		gen.Seed = opts.Seed
+	}
+	g, err := synth.Generate(gen)
+	if err != nil {
+		return nil, err
+	}
+	cfg := core.DefaultConfig()
+	if opts.Config != nil {
+		cfg = *opts.Config
+	}
+	cfg.Tokenizer = g.Tokenizer
+	return NewSystem(g.Corpus, g.KB, g.Aspects, g.Tokenizer, cfg)
+}
+
+// NewSystem wires a System from explicit parts: a corpus (pages carry
+// paragraph labels used to train the aspect classifiers), a knowledge-base
+// dictionary for templates, the target aspects, and the tokenizer that
+// produced the corpus tokens. Use this for custom domains.
+func NewSystem(c *Corpus, kb *Dictionary, aspects []Aspect,
+	tok *textproc.Tokenizer, cfg Config) (*System, error) {
+
+	if c == nil || c.NumPages() == 0 {
+		return nil, fmt.Errorf("l2q: empty corpus")
+	}
+	if len(aspects) == 0 {
+		return nil, fmt.Errorf("l2q: no target aspects")
+	}
+	cfg.Tokenizer = tok
+	cls := classify.TrainSet(aspects, c.Pages)
+	for _, a := range aspects {
+		if !cls.Has(a) {
+			return nil, fmt.Errorf("l2q: aspect %s has no training signal in the corpus", a)
+		}
+	}
+	var rec Recognizer = types.NewRegexRecognizer()
+	if kb != nil {
+		rec = types.Chain{kb, types.NewRegexRecognizer()}
+	}
+	return &System{
+		cfg:     cfg,
+		corpus:  c,
+		engine:  search.NewEngine(search.BuildIndex(c.Pages)),
+		cls:     cls,
+		rec:     rec,
+		aspects: aspects,
+	}, nil
+}
+
+// Corpus returns the underlying corpus.
+func (s *System) Corpus() *Corpus { return s.corpus }
+
+// Engine returns the retrieval engine.
+func (s *System) Engine() *Engine { return s.engine }
+
+// Config returns the active L2Q configuration.
+func (s *System) Config() Config { return s.cfg }
+
+// Aspects returns the target aspects.
+func (s *System) Aspects() []Aspect { return append([]Aspect(nil), s.aspects...) }
+
+// EntityIDs returns all entity IDs in corpus order.
+func (s *System) EntityIDs() []EntityID {
+	out := make([]EntityID, 0, s.corpus.NumEntities())
+	for _, e := range s.corpus.Entities {
+		out = append(out, e.ID)
+	}
+	return out
+}
+
+// Relevant reports the classifier-materialized Y(p) for an aspect.
+func (s *System) Relevant(a Aspect, p *Page) bool { return s.cls.Relevant(a, p) }
+
+// LearnDomain runs the domain phase (§IV-B) over the given peer entities
+// and returns the learned domain model for the aspect.
+func (s *System) LearnDomain(a Aspect, domainEntities []EntityID) (*DomainModel, error) {
+	return core.LearnDomain(s.cfg, a, s.corpus, domainEntities, s.cls.YFunc(a), s.rec)
+}
+
+// TrainHR fits the harvest-rate baseline's domain statistics (§VI-C).
+func (s *System) TrainHR(a Aspect, domainEntities []EntityID) (*HRModel, error) {
+	return baselines.TrainHR(s.cfg, s.corpus, domainEntities, s.cls.YFunc(a), s.rec)
+}
+
+// Harvester is a thin wrapper over a core session: the iterative loop of
+// Fig. 1 for one (entity, aspect) pair.
+type Harvester struct {
+	*Session
+}
+
+// NewHarvester starts a harvesting session. dm may be nil to run without
+// domain awareness.
+func (s *System) NewHarvester(e *Entity, a Aspect, dm *DomainModel) *Harvester {
+	return s.NewHarvesterSeeded(e, a, dm, 1)
+}
+
+// NewHarvesterSeeded is NewHarvester with an explicit RNG seed (only the
+// RND strategy consumes randomness).
+func (s *System) NewHarvesterSeeded(e *Entity, a Aspect, dm *DomainModel, rngSeed uint64) *Harvester {
+	sess := core.NewSession(s.cfg, s.engine, e, a, s.cls.YFunc(a), dm, s.rec, rngSeed)
+	return &Harvester{Session: sess}
+}
+
+// HarvestResult is one entity's outcome from HarvestMany.
+type HarvestResult struct {
+	Entity *Entity
+	Fired  []Query
+	Pages  []*Page
+}
+
+// HarvestMany harvests the same aspect for many entities concurrently
+// (the paper's §VI-C efficiency note: "parallelizing over entities").
+// workers ≤ 0 defaults to 8. The selector must be stateless (every
+// constructor in this package returns stateless selectors).
+func (s *System) HarvestMany(entities []EntityID, a Aspect, dm *DomainModel,
+	sel Selector, nQueries, workers int) []HarvestResult {
+
+	if workers <= 0 {
+		workers = 8
+	}
+	out := make([]HarvestResult, len(entities))
+	sem := make(chan struct{}, workers)
+	var wg sync.WaitGroup
+	for i, id := range entities {
+		wg.Add(1)
+		go func(i int, id EntityID) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			e := s.corpus.Entity(id)
+			if e == nil {
+				return
+			}
+			h := s.NewHarvesterSeeded(e, a, dm, uint64(id)+1)
+			fired := h.Run(sel, nQueries)
+			out[i] = HarvestResult{Entity: e, Fired: fired, Pages: h.Pages()}
+		}(i, id)
+	}
+	wg.Wait()
+	return out
+}

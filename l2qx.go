@@ -1,0 +1,167 @@
+package l2q
+
+// This file is the public surface of the reproduction's extension systems:
+// the CRF classifier family (the paper's actual classifiers), the HTTP
+// search-API boundary, persistent corpus stores, the interleaved
+// selection/fetch pipeline (§VI-C's efficiency suggestion), and the
+// link-following focused-crawler baseline (§II's contrast).
+
+import (
+	"context"
+	"fmt"
+
+	"l2q/internal/classify"
+	"l2q/internal/core"
+	"l2q/internal/corpus"
+	"l2q/internal/crawler"
+	"l2q/internal/crf"
+	"l2q/internal/html"
+	"l2q/internal/pipeline"
+	"l2q/internal/store"
+	"l2q/internal/textproc"
+	"l2q/internal/webapi"
+)
+
+// Re-exported extension types.
+type (
+	// SearchServer serves a corpus + engine as an HTTP search API.
+	SearchServer = webapi.Server
+	// RemoteEngine is an HTTP client implementing the session Retriever.
+	RemoteEngine = webapi.Client
+	// Retriever is the engine surface sessions harvest through.
+	Retriever = core.Retriever
+	// CrawlerConfig tunes the focused-crawler baseline.
+	CrawlerConfig = crawler.Config
+	// CrawlerResult is a focused crawl's outcome.
+	CrawlerResult = crawler.Result
+	// Checkpoint is a session's durable state; Harvester promotes
+	// Snapshot/Resume from the embedded session, so long-running harvests
+	// survive restarts by exact replay.
+	Checkpoint = core.Checkpoint
+)
+
+// ReadCheckpoint deserializes a checkpoint written by Checkpoint.Encode.
+var ReadCheckpoint = core.ReadCheckpoint
+
+// Tokenizer returns the tokenizer the system's corpus was built with.
+func (s *System) Tokenizer() *textproc.Tokenizer { return s.cfg.Tokenizer }
+
+// UseCRFClassifiers retrains every aspect classifier as a binary linear-
+// chain CRF over paragraph sequences — the classifier family the paper
+// actually uses (§VI-A) — and swaps it in as the materialized Y. Training
+// is seconds-scale per aspect on paper-sized corpora; the default Naive
+// Bayes family is near-instant, which is why it is the default.
+func (s *System) UseCRFClassifiers() error {
+	set := classify.TrainCRFSet(s.aspects, s.corpus.Pages, crf.DefaultTrainConfig())
+	for _, a := range s.aspects {
+		if !set.Has(a) {
+			return fmt.Errorf("l2q: aspect %s has no CRF training signal", a)
+		}
+	}
+	s.cls = set
+	return nil
+}
+
+// ClassifierAccuracy reports the active classifier's paragraph-level
+// accuracy for an aspect over the given pages (generator labels as truth;
+// the Fig. 9 metric).
+func (s *System) ClassifierAccuracy(a Aspect, pages []*Page) float64 {
+	return s.cls.AccuracyOf(a, pages)
+}
+
+// NewSearchServer exposes the system's corpus and engine as an HTTP
+// search API (JSON search + rendered HTML pages). Start it with
+// (*SearchServer).Start and point remote harvesters at it with DialRemote.
+func (s *System) NewSearchServer() *SearchServer {
+	return webapi.NewServer(s.corpus, s.engine)
+}
+
+// DialRemote connects to a search API served by NewSearchServer (possibly
+// in another process) using this system's tokenizer, returning an engine
+// that harvesting sessions can use in place of the in-process one.
+func (s *System) DialRemote(base string) (*RemoteEngine, error) {
+	return webapi.Dial(base, s.cfg.Tokenizer)
+}
+
+// NewRemoteHarvester starts a harvesting session that searches and
+// downloads through the remote engine instead of the in-process index.
+// Selection behavior is identical (the remote client reproduces the
+// engine's scoring exactly); only the transport differs.
+func (s *System) NewRemoteHarvester(re *RemoteEngine, e *Entity, a Aspect, dm *DomainModel) *Harvester {
+	sess := core.NewSession(s.cfg, re, e, a, s.cls.YFunc(a), dm, s.rec, 1)
+	return &Harvester{Session: sess}
+}
+
+// SaveStore persists the corpus and its inverted index to a checksummed
+// binary file readable by LoadStore, cmd/l2qserve and cmd/l2qstore.
+func (s *System) SaveStore(path string) error {
+	return store.SaveFile(path, s.corpus, s.engine.Index())
+}
+
+// StoreBundle is a loaded store file: a corpus and (optionally) its index.
+type StoreBundle = store.Bundle
+
+// LoadStore reads a store file written by SaveStore or cmd/l2qstore.
+func LoadStore(path string) (*StoreBundle, error) { return store.LoadFile(path) }
+
+// PipelineResult is one entity's outcome from HarvestPipelined.
+type PipelineResult struct {
+	Entity *Entity
+	Fired  []Query
+	Pages  []*Page
+	Err    error
+}
+
+// HarvestPipelined harvests one aspect for many entities with the
+// interleaved scheduler of §VI-C's efficiency note: selections run on a
+// bounded CPU pool while page fetches overlap on a wider I/O pool. With
+// fetcher == nil the fetch stage is instant (in-memory corpus); pass a
+// Fetcher with Sleep set to model remote-download latency.
+func (s *System) HarvestPipelined(ctx context.Context, entities []EntityID, a Aspect,
+	dm *DomainModel, sel Selector, nQueries int, fetcher *Fetcher) []PipelineResult {
+
+	jobs := make([]pipeline.Job, 0, len(entities))
+	sessions := make([]*Session, 0, len(entities))
+	ents := make([]*Entity, 0, len(entities))
+	for _, id := range entities {
+		e := s.corpus.Entity(id)
+		if e == nil {
+			continue
+		}
+		sess := core.NewSession(s.cfg, s.engine, e, a, s.cls.YFunc(a), dm, s.rec, uint64(id)+1)
+		sess.Fetcher = fetcher
+		jobs = append(jobs, pipeline.Job{Session: sess, Selector: sel, NQueries: nQueries})
+		sessions = append(sessions, sess)
+		ents = append(ents, e)
+	}
+	results := pipeline.Run(ctx, pipeline.Config{}, jobs)
+	out := make([]PipelineResult, len(results))
+	for i, r := range results {
+		out[i] = PipelineResult{
+			Entity: ents[i],
+			Fired:  r.Fired,
+			Pages:  sessions[i].Pages(),
+			Err:    r.Err,
+		}
+	}
+	return out
+}
+
+// Crawl runs the link-following focused-crawler baseline for an entity
+// aspect: seeds from the entity's seed query, best-first frontier ordered
+// by parent-page relevance, budget in page downloads. It exists to
+// reproduce the paper's §II contrast — compare its harvest against a
+// Harvester's at the same budget (see cmd/l2qexp -fig crawl).
+func (s *System) Crawl(e *Entity, a Aspect, budget int) CrawlerResult {
+	res := s.engine.SearchWithSeed(e.SeedTokens(), nil)
+	seeds := make([]*corpus.Page, 0, len(res))
+	for _, r := range res {
+		seeds = append(seeds, r.Page)
+	}
+	return crawler.Crawl(crawler.PageIndex(s.corpus), seeds, s.cls.YFunc(a),
+		crawler.Config{Budget: budget})
+}
+
+// RenderPageHTML renders one corpus page as a standalone HTML document
+// (the form pages travel in over the HTTP boundary).
+func RenderPageHTML(p *Page) string { return html.RenderPage(p) }

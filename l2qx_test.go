@@ -1,0 +1,202 @@
+package l2q
+
+import (
+	"bytes"
+	"context"
+	"path/filepath"
+	"reflect"
+	"testing"
+)
+
+func testSystem(t *testing.T, d Domain) *System {
+	t.Helper()
+	sys, err := NewSyntheticSystem(d, SystemOptions{NumEntities: 20, PagesPerEntity: 14, Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sys
+}
+
+func TestUseCRFClassifiers(t *testing.T) {
+	if testing.Short() {
+		t.Skip("CRF training is seconds-scale")
+	}
+	sys := testSystem(t, Cars)
+	aspect := sys.Aspects()[0]
+	nbAcc := sys.ClassifierAccuracy(aspect, sys.Corpus().Pages)
+	if err := sys.UseCRFClassifiers(); err != nil {
+		t.Fatal(err)
+	}
+	crfAcc := sys.ClassifierAccuracy(aspect, sys.Corpus().Pages)
+	if crfAcc < 0.9 {
+		t.Errorf("CRF accuracy %.3f (NB was %.3f)", crfAcc, nbAcc)
+	}
+	// Harvesting still works with the swapped family.
+	e := sys.Corpus().Entities[0]
+	h := sys.NewHarvester(e, aspect, nil)
+	if fired := h.Run(NewP(), 2); len(fired) == 0 {
+		t.Error("no queries fired under CRF classifiers")
+	}
+}
+
+func TestSaveLoadStoreRoundTrip(t *testing.T) {
+	sys := testSystem(t, Researchers)
+	path := filepath.Join(t.TempDir(), "sys.l2q")
+	if err := sys.SaveStore(path); err != nil {
+		t.Fatal(err)
+	}
+	b, err := LoadStore(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.Corpus.NumPages() != sys.Corpus().NumPages() {
+		t.Errorf("pages %d, want %d", b.Corpus.NumPages(), sys.Corpus().NumPages())
+	}
+	if b.Index == nil || b.Index.NumDocs() != sys.Corpus().NumPages() {
+		t.Error("index missing or wrong size")
+	}
+}
+
+func TestHarvestPipelinedMatchesHarvestMany(t *testing.T) {
+	sys := testSystem(t, Researchers)
+	aspect := sys.Aspects()[0]
+	ids := sys.EntityIDs()
+	dm, err := sys.LearnDomain(aspect, ids[:10])
+	if err != nil {
+		t.Fatal(err)
+	}
+	targets := ids[15:]
+
+	seq := sys.HarvestMany(targets, aspect, dm, NewL2QBAL(), 2, 4)
+	pipe := sys.HarvestPipelined(context.Background(), targets, aspect, dm, NewL2QBAL(), 2, nil)
+	if len(seq) != len(pipe) {
+		t.Fatalf("result counts %d vs %d", len(seq), len(pipe))
+	}
+	for i := range seq {
+		if pipe[i].Err != nil {
+			t.Fatalf("pipeline job %d: %v", i, pipe[i].Err)
+		}
+		if !reflect.DeepEqual(seq[i].Fired, pipe[i].Fired) {
+			t.Errorf("entity %d fired %v vs %v", i, seq[i].Fired, pipe[i].Fired)
+		}
+		var a, b []PageID
+		for _, p := range seq[i].Pages {
+			a = append(a, p.ID)
+		}
+		for _, p := range pipe[i].Pages {
+			b = append(b, p.ID)
+		}
+		if !reflect.DeepEqual(a, b) {
+			t.Errorf("entity %d pages %v vs %v", i, a, b)
+		}
+	}
+}
+
+func TestSystemCrawl(t *testing.T) {
+	sys := testSystem(t, Cars)
+	e := sys.Corpus().Entities[0]
+	res := sys.Crawl(e, sys.Aspects()[0], 12)
+	if res.Fetches == 0 || res.Fetches > 12 {
+		t.Errorf("fetches = %d", res.Fetches)
+	}
+	if len(res.Pages) != res.Fetches {
+		t.Errorf("pages %d != fetches %d", len(res.Pages), res.Fetches)
+	}
+}
+
+func TestRemoteHarvestParity(t *testing.T) {
+	sys := testSystem(t, Researchers)
+	aspect := sys.Aspects()[0]
+	ids := sys.EntityIDs()
+	dm, err := sys.LearnDomain(aspect, ids[:10])
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := sys.Corpus().Entities[len(ids)-1]
+
+	srv := sys.NewSearchServer()
+	addr, err := srv.Start("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Shutdown(context.Background())
+
+	re, err := sys.DialRemote(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	local := sys.NewHarvesterSeeded(e, aspect, dm, 1)
+	localFired := local.Run(NewL2QBAL(), 2)
+	remote := sys.NewRemoteHarvester(re, e, aspect, dm)
+	remoteFired := remote.Run(NewL2QBAL(), 2)
+
+	if !reflect.DeepEqual(localFired, remoteFired) {
+		t.Errorf("fired %v locally, %v remotely", localFired, remoteFired)
+	}
+	if re.Requests() == 0 {
+		t.Error("remote harvest issued no HTTP requests")
+	}
+}
+
+func TestRenderPageHTML(t *testing.T) {
+	sys := testSystem(t, Cars)
+	doc := RenderPageHTML(sys.Corpus().Pages[0])
+	if len(doc) == 0 || doc[0] != '<' {
+		t.Errorf("implausible HTML: %.40q", doc)
+	}
+}
+
+func TestDialRemoteErrors(t *testing.T) {
+	sys := testSystem(t, Cars)
+	if _, err := sys.DialRemote("127.0.0.1:1"); err == nil {
+		t.Error("dial to a closed port succeeded")
+	}
+}
+
+func TestLoadStoreMissingFile(t *testing.T) {
+	if _, err := LoadStore("/nonexistent/path.l2q"); err == nil {
+		t.Error("missing store file accepted")
+	}
+}
+
+func TestHarvestPipelinedSkipsUnknownEntities(t *testing.T) {
+	sys := testSystem(t, Cars)
+	aspect := sys.Aspects()[0]
+	out := sys.HarvestPipelined(context.Background(), []EntityID{99999}, aspect,
+		nil, NewP(), 1, nil)
+	if len(out) != 0 {
+		t.Errorf("unknown entity produced %d results", len(out))
+	}
+}
+
+// TestCheckpointThroughFacade exercises the promoted Snapshot/Resume on the
+// public Harvester plus the package-level codec.
+func TestCheckpointThroughFacade(t *testing.T) {
+	sys := testSystem(t, Researchers)
+	aspect := sys.Aspects()[0]
+	ids := sys.EntityIDs()
+	dm, err := sys.LearnDomain(aspect, ids[:10])
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := sys.Corpus().Entities[len(ids)-1]
+
+	h := sys.NewHarvesterSeeded(e, aspect, dm, 1)
+	h.Run(NewL2QBAL(), 2)
+	var buf bytes.Buffer
+	if err := h.Snapshot().Encode(&buf); err != nil {
+		t.Fatal(err)
+	}
+	cp, err := ReadCheckpoint(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h2 := sys.NewHarvesterSeeded(e, aspect, dm, 1)
+	if err := h2.Resume(cp); err != nil {
+		t.Fatal(err)
+	}
+	if len(h2.Pages()) != len(h.Pages()) {
+		t.Errorf("resumed pages %d, want %d", len(h2.Pages()), len(h.Pages()))
+	}
+}
