@@ -1,0 +1,29 @@
+# Targets mirror .github/workflows/ci.yml — `make lint build test bench`
+# locally is the same bar a PR has to clear.
+
+GO ?= go
+
+.PHONY: all build test bench lint fmt
+
+all: lint build test
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test -race ./...
+
+# Full benchmark pass. For the sharded-engine before/after numbers only:
+#   go test -run='^$$' -bench='HotSingleQuery|ConcurrentManyQueries' -benchtime=2s ./internal/search/
+bench:
+	$(GO) test -run='^$$' -bench=. -benchtime=1x ./...
+
+lint:
+	@unformatted=$$(gofmt -l .); \
+	if [ -n "$$unformatted" ]; then \
+		echo "gofmt needed on:"; echo "$$unformatted"; exit 1; \
+	fi
+	$(GO) vet ./...
+
+fmt:
+	gofmt -w .

@@ -42,6 +42,9 @@ func main() {
 		r0star       = flag.Float64("r0star", 0, "set the seed-recall anchor directly (skips -cv; 0 = config default)")
 		quick        = flag.Bool("quick", false, "small fast configuration (smoke test)")
 		splits       = flag.Int("splits", 1, "random entity splits to average (paper: 10)")
+		shards       = flag.Int("shards", 0, "index shards (0 = GOMAXPROCS)")
+		workers      = flag.Int("scoreworkers", 0, "per-query scoring workers (0 = GOMAXPROCS)")
+		cacheSize    = flag.Int("cachesize", 0, "query cache capacity (0 = default, <0 = off)")
 	)
 	flag.Parse()
 
@@ -87,6 +90,9 @@ func main() {
 		if *r0star > 0 {
 			cfg.Core.R0Star = *r0star
 		}
+		cfg.Core.SearchShards = *shards
+		cfg.Core.SearchScoreWorkers = *workers
+		cfg.Core.SearchCacheSize = *cacheSize
 		if err := runDomain(cfg, *fig, *cv, *splits); err != nil {
 			fmt.Fprintf(os.Stderr, "l2qexp: %v\n", err)
 			os.Exit(1)

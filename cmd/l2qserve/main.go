@@ -38,8 +38,12 @@ func main() {
 		seed      = flag.Uint64("seed", 2016, "corpus seed (synthetic mode)")
 		topK      = flag.Int("k", 5, "results per query")
 		quiet     = flag.Bool("quiet", false, "disable request logging")
+		shards    = flag.Int("shards", 0, "index shards (0 = GOMAXPROCS)")
+		workers   = flag.Int("scoreworkers", 0, "per-query scoring workers (0 = GOMAXPROCS)")
+		cacheSize = flag.Int("cachesize", 0, "query cache capacity (0 = default, <0 = off)")
 	)
 	flag.Parse()
+	sopts := search.Options{Shards: *shards, ScoreWorkers: *workers, CacheSize: *cacheSize}
 
 	logger := log.New(os.Stderr, "l2qserve: ", log.LstdFlags)
 
@@ -55,7 +59,11 @@ func main() {
 		c = b.Corpus
 		idx = b.Index
 		if idx == nil {
-			idx = search.BuildIndex(c.Pages)
+			idx = search.BuildIndexOpts(c.Pages, sopts)
+		} else if *shards != 0 {
+			// The store restores at the default shard count; honor an
+			// explicit -shards by redistributing (cheap, shares postings).
+			idx = idx.Reshard(*shards)
 		}
 	} else {
 		cfg := synth.DefaultConfig(corpus.Domain(*domain))
@@ -67,10 +75,10 @@ func main() {
 			logger.Fatal(err)
 		}
 		c = g.Corpus
-		idx = search.BuildIndex(c.Pages)
+		idx = search.BuildIndexOpts(c.Pages, sopts)
 	}
 
-	engine := search.NewEngine(idx).WithTopK(*topK)
+	engine := search.NewEngineOpts(idx, sopts).WithTopK(*topK)
 	srv := webapi.NewServer(c, engine)
 	if !*quiet {
 		srv.Log = logger
@@ -79,8 +87,9 @@ func main() {
 	if err != nil {
 		logger.Fatal(err)
 	}
-	fmt.Printf("serving %d pages of %q on http://%s (top-%d, μ = %.0f)\n",
-		c.NumPages(), c.Domain, bound, engine.TopK(), engine.Mu())
+	fmt.Printf("serving %d pages of %q on http://%s (top-%d, μ = %.0f, %d shards, %d score workers)\n",
+		c.NumPages(), c.Domain, bound, engine.TopK(), engine.Mu(),
+		idx.NumShards(), engine.ScoreWorkers())
 	fmt.Println("endpoints: /api/stats /api/search?q=&seed= /api/collfreq?tokens= /api/entities /page/{id}.html /healthz")
 
 	stop := make(chan os.Signal, 1)

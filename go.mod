@@ -1,0 +1,3 @@
+module l2q
+
+go 1.24

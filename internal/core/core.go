@@ -17,6 +17,7 @@
 package core
 
 import (
+	"l2q/internal/search"
 	"l2q/internal/textproc"
 )
 
@@ -88,6 +89,15 @@ type Config struct {
 	// SolverTol and SolverMaxIter control the fixpoint solver.
 	SolverTol     float64
 	SolverMaxIter int
+	// SearchShards, SearchScoreWorkers and SearchCacheSize tune the
+	// retrieval engine (see search.Options): index shard count, per-query
+	// scoring parallelism, and the LRU query-result cache capacity. All
+	// three are ranking-neutral; zero values pick the engine defaults
+	// (shards/workers = GOMAXPROCS, cache on), SearchCacheSize < 0
+	// disables caching.
+	SearchShards       int
+	SearchScoreWorkers int
+	SearchCacheSize    int
 	// Stopwords filters candidate n-grams; nil disables filtering.
 	Stopwords *textproc.Stopwords
 	// Tokenizer re-tokenizes query strings (and the seed query) with the
@@ -112,6 +122,16 @@ func DefaultConfig() Config {
 		SolverTol:           1e-9,
 		SolverMaxIter:       200,
 		Stopwords:           textproc.NewStopwords(),
+	}
+}
+
+// SearchOptions collects the retrieval-engine knobs for search.BuildIndexOpts
+// and search.NewEngineOpts.
+func (c Config) SearchOptions() search.Options {
+	return search.Options{
+		Shards:       c.SearchShards,
+		ScoreWorkers: c.SearchScoreWorkers,
+		CacheSize:    c.SearchCacheSize,
 	}
 }
 

@@ -33,7 +33,8 @@ func NewEnvs(cfg Config, n int) ([]*Env, error) {
 		return nil, err
 	}
 	cfg.Core.Tokenizer = g.Tokenizer
-	engine := search.NewEngine(search.BuildIndex(g.Corpus.Pages))
+	sopts := cfg.Core.SearchOptions()
+	engine := search.NewEngineOpts(search.BuildIndexOpts(g.Corpus.Pages, sopts), sopts)
 
 	envs := make([]*Env, 0, n)
 	for i := 0; i < n; i++ {

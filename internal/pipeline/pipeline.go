@@ -48,6 +48,17 @@ type Config struct {
 	// FetchWorkers bounds concurrent fetches (I/O-bound; default
 	// 4×SelectWorkers — fetches park on the network, not the CPU).
 	FetchWorkers int
+	// Search, when non-nil, re-tunes every job session's in-process
+	// *search.Engine with these options (score workers, cache) before
+	// the run; sessions sharing an engine share the tuned copy, so the
+	// query cache stays shared across entities. When nil and more than
+	// one select worker is configured, engines are re-tuned to serial
+	// per-query scoring only (ScoreWorkers=1, the engine's cache
+	// configuration untouched): the pipeline already saturates the CPU
+	// pool across entities, and nesting per-query parallelism under it
+	// would oversubscribe GOMAXPROCS² goroutines. Both re-tunes are
+	// ranking-neutral. Remote retrievers are left untouched.
+	Search *search.Options
 }
 
 func (c Config) withDefaults() Config {
@@ -58,6 +69,40 @@ func (c Config) withDefaults() Config {
 		c.FetchWorkers = 4 * c.SelectWorkers
 	}
 	return c
+}
+
+// tuneEngines applies the Config.Search policy to every job whose session
+// retrieves through an in-process engine. One tuned copy is made per
+// distinct engine so jobs that shared an engine (the common case: one
+// System) keep sharing its result cache.
+func (c Config) tuneEngines(jobs []Job) {
+	var tune func(*search.Engine) *search.Engine
+	switch {
+	case c.Search != nil:
+		tune = func(e *search.Engine) *search.Engine { return e.WithOptions(*c.Search) }
+	case c.SelectWorkers > 1:
+		// Implicit default: serialize per-query scoring but preserve
+		// the engine's cache setting (size and enabled/disabled state)
+		// — the caller configured that deliberately.
+		tune = func(e *search.Engine) *search.Engine { return e.WithScoreWorkers(1) }
+	default:
+		return
+	}
+	tuned := make(map[*search.Engine]*search.Engine, 1)
+	for i := range jobs {
+		s := jobs[i].Session
+		if s == nil {
+			continue
+		}
+		if e, ok := s.Engine.(*search.Engine); ok {
+			t := tuned[e]
+			if t == nil {
+				t = tune(e)
+				tuned[e] = t
+			}
+			s.Engine = t
+		}
+	}
 }
 
 // stage is where a job currently is in its select/fetch/ingest cycle.
@@ -80,6 +125,7 @@ func Run(ctx context.Context, cfg Config, jobs []Job) []Result {
 	if len(jobs) == 0 {
 		return results
 	}
+	cfg.tuneEngines(jobs)
 	for i := range jobs {
 		if jobs[i].Session == nil || jobs[i].Selector == nil {
 			results[i] = Result{Job: &jobs[i], Err: fmt.Errorf("pipeline: job %d missing session or selector", i)}

@@ -209,3 +209,56 @@ func TestPipelineZeroQueryBudget(t *testing.T) {
 		t.Error("seed results not ingested")
 	}
 }
+
+// TestEngineTuning checks the search-knob threading: jobs whose sessions
+// share one in-process engine get exactly one re-tuned copy (so the query
+// cache stays shared), explicit options are applied, and non-engine
+// retrievers are left alone.
+func TestEngineTuning(t *testing.T) {
+	f := newFixture(t)
+	targets := f.targets(3)
+	jobs := make([]Job, 0, len(targets))
+	for _, e := range targets {
+		jobs = append(jobs, Job{Session: f.session(e, nil), Selector: core.NewP(), NQueries: 1})
+	}
+	cfg := Config{Search: &search.Options{ScoreWorkers: 3, CacheSize: 7}}
+	cfg.tuneEngines(jobs)
+	tuned, ok := jobs[0].Session.Engine.(*search.Engine)
+	if !ok {
+		t.Fatal("session engine is no longer a *search.Engine")
+	}
+	if tuned == f.engine {
+		t.Fatal("tuneEngines did not replace the engine")
+	}
+	if tuned.ScoreWorkers() != 3 {
+		t.Fatalf("ScoreWorkers = %d, want 3", tuned.ScoreWorkers())
+	}
+	for i := 1; i < len(jobs); i++ {
+		if jobs[i].Session.Engine != core.Retriever(tuned) {
+			t.Fatalf("job %d got a different engine copy (cache no longer shared)", i)
+		}
+	}
+
+	// Default config with parallel selection collapses per-query scoring
+	// to serial while preserving the engine's cache configuration —
+	// including a deliberately disabled cache.
+	noCache := f.engine.WithCache(-1)
+	jobs2 := []Job{{Session: f.session(targets[0], nil), Selector: core.NewP(), NQueries: 1}}
+	jobs2[0].Session.Engine = noCache
+	Config{SelectWorkers: 4}.withDefaults().tuneEngines(jobs2)
+	t2 := jobs2[0].Session.Engine.(*search.Engine)
+	if t2 == noCache || t2.ScoreWorkers() != 1 {
+		t.Fatal("implicit default should serialize per-query scoring")
+	}
+	t2.Search(f.cfg.QueryTokens("research"))
+	if h, m := t2.CacheStats(); h != 0 || m != 0 {
+		t.Fatal("implicit default re-enabled a deliberately disabled cache")
+	}
+
+	// A single select worker leaves engines untouched.
+	jobs3 := []Job{{Session: f.session(targets[0], nil), Selector: core.NewP(), NQueries: 1}}
+	Config{SelectWorkers: 1}.withDefaults().tuneEngines(jobs3)
+	if jobs3[0].Session.Engine != core.Retriever(f.engine) {
+		t.Fatal("single-select-worker config should leave engines untouched")
+	}
+}

@@ -2,7 +2,6 @@ package search
 
 import (
 	"math"
-	"sort"
 
 	"l2q/internal/textproc"
 )
@@ -12,7 +11,9 @@ import (
 // model, such as a commercial search engine", §I). The experiments use
 // query-likelihood with Dirichlet smoothing; BM25 is provided as an
 // alternative so the harvesting stack can be exercised against a different
-// ranking function (and because downstream users will ask for it).
+// ranking function (and because downstream users will ask for it). The
+// scoring itself lives in scorer.go (sharded path) and reference.go
+// (retained ground-truth path).
 
 // Default BM25 parameters (standard Robertson values).
 const (
@@ -33,6 +34,7 @@ func (e *Engine) WithBM25(k1, b float64) *Engine {
 	if cp.b < 0 || cp.b > 1 {
 		cp.b = DefaultBM25B
 	}
+	cp.cache = e.cache.fresh()
 	return &cp
 }
 
@@ -45,47 +47,4 @@ func (e *Engine) idf(t textproc.Token) float64 {
 	df := float64(e.idx.DocFreq(t))
 	n := float64(e.idx.NumDocs())
 	return math.Log((n-df+0.5)/(df+0.5) + 1)
-}
-
-// searchBM25 mirrors Search with BM25 scoring.
-func (e *Engine) searchBM25(query []textproc.Token) []Result {
-	if len(query) == 0 {
-		return nil
-	}
-	avgdl := float64(e.idx.totalToks) / math.Max(1, float64(e.idx.NumDocs()))
-	scores := make(map[int32]float64)
-	for _, t := range query {
-		idf := e.idf(t)
-		for _, p := range e.idx.postings[t] {
-			dl := float64(e.idx.docLen[p.doc])
-			tf := float64(p.tf)
-			scores[p.doc] += idf * (tf * (e.k1 + 1)) / (tf + e.k1*(1-e.b+e.b*dl/avgdl))
-		}
-	}
-	if len(scores) == 0 {
-		return nil
-	}
-	type cand struct {
-		doc   int32
-		score float64
-	}
-	cands := make([]cand, 0, len(scores))
-	for doc, s := range scores {
-		cands = append(cands, cand{doc: doc, score: s})
-	}
-	sort.Slice(cands, func(i, j int) bool {
-		if cands[i].score != cands[j].score {
-			return cands[i].score > cands[j].score
-		}
-		return cands[i].doc < cands[j].doc
-	})
-	k := e.topK
-	if k > len(cands) {
-		k = len(cands)
-	}
-	out := make([]Result, 0, k)
-	for _, c := range cands[:k] {
-		out = append(out, Result{Page: e.idx.docs[c.doc], Score: c.score})
-	}
-	return out
 }

@@ -1,0 +1,115 @@
+package search
+
+import (
+	"container/list"
+	"strconv"
+	"strings"
+	"sync"
+
+	"l2q/internal/textproc"
+)
+
+// queryCache is a thread-safe LRU cache of query results. Because the index
+// is immutable, entries never go stale; eviction is purely capacity-driven.
+// The cache owns its result slices: get returns a copy so callers can keep
+// mutating the slices Search hands them (the pre-cache contract).
+type queryCache struct {
+	capacity int
+
+	mu     sync.Mutex
+	ll     *list.List // front = most recently used
+	byKey  map[string]*list.Element
+	hits   uint64
+	misses uint64
+}
+
+type cacheEntry struct {
+	key string
+	res []Result
+}
+
+func newQueryCache(capacity int) *queryCache {
+	if capacity <= 0 {
+		return nil
+	}
+	return &queryCache{capacity: capacity}
+}
+
+// fresh returns an empty cache with the receiver's capacity (nil-safe).
+// Engine copies that change scoring parameters use it so a stale cache is
+// never shared across differently-configured engines.
+func (c *queryCache) fresh() *queryCache {
+	if c == nil {
+		return nil
+	}
+	return newQueryCache(c.capacity)
+}
+
+func (c *queryCache) get(key string) ([]Result, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.byKey[key]
+	if !ok {
+		c.misses++
+		return nil, false
+	}
+	c.hits++
+	c.ll.MoveToFront(el)
+	cached := el.Value.(*cacheEntry).res
+	if cached == nil {
+		return nil, true
+	}
+	out := make([]Result, len(cached))
+	copy(out, cached)
+	return out, true
+}
+
+func (c *queryCache) put(key string, res []Result) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.byKey == nil {
+		c.byKey = make(map[string]*list.Element, c.capacity)
+		c.ll = list.New()
+	}
+	if el, ok := c.byKey[key]; ok {
+		c.ll.MoveToFront(el)
+		el.Value.(*cacheEntry).res = res
+		return
+	}
+	c.byKey[key] = c.ll.PushFront(&cacheEntry{key: key, res: res})
+	for c.ll.Len() > c.capacity {
+		back := c.ll.Back()
+		c.ll.Remove(back)
+		delete(c.byKey, back.Value.(*cacheEntry).key)
+	}
+}
+
+func (c *queryCache) stats() (hits, misses uint64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.hits, c.misses
+}
+
+// cacheKey canonicalizes a query for the cache: scoring mode, result-list
+// size, then the tokens joined with an unprintable separator (tokens are
+// human text and never contain 0x1f). μ/k1/b need not appear — an engine
+// copy with different smoothing gets a fresh cache (see the With* methods).
+func (e *Engine) cacheKey(query []textproc.Token) string {
+	var b strings.Builder
+	n := 8
+	for _, t := range query {
+		n += len(t) + 1
+	}
+	b.Grow(n)
+	if e.bm25 {
+		b.WriteByte('b')
+	} else {
+		b.WriteByte('d')
+	}
+	b.WriteString(strconv.Itoa(e.topK))
+	for _, t := range query {
+		b.WriteByte(0x1f)
+		b.WriteString(string(t))
+	}
+	return b.String()
+}

@@ -21,16 +21,19 @@ type RawPosting struct {
 
 // DumpPostings calls fn once per term in lexicographic order, with the
 // term's postings sorted by document ordinal. The posting slice is only
-// valid during the call.
+// valid during the call. The dump is independent of the index's shard
+// count, so store files round-trip across any shard configuration.
 func (idx *Index) DumpPostings(fn func(term textproc.Token, posts []RawPosting)) {
-	terms := make([]string, 0, len(idx.postings))
-	for t := range idx.postings {
-		terms = append(terms, t)
+	terms := make([]string, 0, idx.numTerms)
+	for s := range idx.shards {
+		for t := range idx.shards[s].postings {
+			terms = append(terms, t)
+		}
 	}
 	sort.Strings(terms)
 	var buf []RawPosting
 	for _, t := range terms {
-		src := idx.postings[t]
+		src := idx.postingsFor(t)
 		buf = buf[:0]
 		for _, p := range src {
 			buf = append(buf, RawPosting{Doc: p.doc, TF: p.tf})
@@ -40,16 +43,27 @@ func (idx *Index) DumpPostings(fn func(term textproc.Token, posts []RawPosting))
 }
 
 // RestoreIndex rebuilds an index from dumped postings over the same page
-// list (same order) the original index was built from. Document lengths,
+// list (same order) the original index was built from, using the default
+// shard count; use RestoreIndexOpts to choose one. Document lengths,
 // collection frequencies and the total token count are recomputed from the
 // postings, so the pages' token caches are not touched. It returns an
 // error if a posting references a document ordinal out of range.
 func RestoreIndex(pages []*corpus.Page, terms map[textproc.Token][]RawPosting) (*Index, error) {
+	return RestoreIndexOpts(pages, terms, Options{})
+}
+
+// RestoreIndexOpts is RestoreIndex with an explicit shard count
+// (opts.Shards, resolved like BuildIndexOpts).
+func RestoreIndexOpts(pages []*corpus.Page, terms map[textproc.Token][]RawPosting, opts Options) (*Index, error) {
+	opts = opts.withDefaults()
 	idx := &Index{
-		docs:     pages,
-		docLen:   make([]int, len(pages)),
-		postings: make(map[textproc.Token][]posting, len(terms)),
-		collFreq: make(map[textproc.Token]int, len(terms)),
+		docs:   pages,
+		docLen: make([]int, len(pages)),
+		shards: make([]indexShard, opts.Shards),
+	}
+	for s := range idx.shards {
+		idx.shards[s].postings = make(map[textproc.Token][]posting)
+		idx.shards[s].collFreq = make(map[textproc.Token]int)
 	}
 	for t, posts := range terms {
 		dst := make([]posting, 0, len(posts))
@@ -66,9 +80,12 @@ func RestoreIndex(pages []*corpus.Page, terms map[textproc.Token][]RawPosting) (
 			cf += int(p.TF)
 		}
 		sort.Slice(dst, func(i, j int) bool { return dst[i].doc < dst[j].doc })
-		idx.postings[t] = dst
-		idx.collFreq[t] = cf
+		sh := &idx.shards[idx.shardFor(t)]
+		sh.postings[t] = dst
+		sh.collFreq[t] = cf
+		sh.totalToks += cf
 		idx.totalToks += cf
 	}
+	idx.numTerms = len(terms)
 	return idx, nil
 }

@@ -2,7 +2,6 @@ package search
 
 import (
 	"math"
-	"sort"
 
 	"l2q/internal/corpus"
 	"l2q/internal/textproc"
@@ -34,8 +33,12 @@ type Result struct {
 //
 //	score(q,d) = Σ_{t∈q} log( (tf(t,d) + μ·p(t|C)) / (|d| + μ) )
 //
-// Documents containing none of the query terms are not returned. The zero
-// value is not usable; create with NewEngine.
+// Documents containing none of the query terms are not returned. Candidate
+// scoring fans out over a bounded worker pool and each worker keeps a
+// fixed-size top-K heap; an LRU cache short-circuits repeated queries
+// (selector candidate evaluation re-fires the same queries constantly).
+// Both are ranking-neutral — see SearchReference. The zero value is not
+// usable; create with NewEngine. An Engine is safe for concurrent use.
 type Engine struct {
 	idx  *Index
 	mu   float64
@@ -44,11 +47,21 @@ type Engine struct {
 	// BM25 mode (see bm25.go).
 	bm25  bool
 	k1, b float64
+
+	workers int
+	cache   *queryCache
 }
 
-// NewEngine creates an engine over idx with auto-scaled μ (see DefaultMu)
-// and DefaultTopK.
+// NewEngine creates an engine over idx with auto-scaled μ (see DefaultMu),
+// DefaultTopK, and default parallelism/cache options.
 func NewEngine(idx *Index) *Engine {
+	return NewEngineOpts(idx, Options{})
+}
+
+// NewEngineOpts is NewEngine with explicit scoring-worker and cache
+// settings (opts.Shards is an index-build knob and is ignored here).
+func NewEngineOpts(idx *Index, opts Options) *Engine {
+	opts = opts.withDefaults()
 	mu := DefaultMu
 	if n := idx.NumDocs(); n > 0 {
 		avg := float64(idx.TotalTokens()) / float64(n)
@@ -60,7 +73,17 @@ func NewEngine(idx *Index) *Engine {
 			mu = DefaultMu
 		}
 	}
-	return &Engine{idx: idx, mu: mu, topK: DefaultTopK}
+	cacheSize := opts.CacheSize
+	if cacheSize == 0 {
+		cacheSize = DefaultCacheSize
+	}
+	return &Engine{
+		idx:     idx,
+		mu:      mu,
+		topK:    DefaultTopK,
+		workers: opts.ScoreWorkers,
+		cache:   newQueryCache(cacheSize),
+	}
 }
 
 // Mu returns the engine's Dirichlet smoothing parameter.
@@ -70,6 +93,7 @@ func (e *Engine) Mu() float64 { return e.mu }
 func (e *Engine) WithMu(mu float64) *Engine {
 	cp := *e
 	cp.mu = mu
+	cp.cache = e.cache.fresh()
 	return &cp
 }
 
@@ -77,7 +101,40 @@ func (e *Engine) WithMu(mu float64) *Engine {
 func (e *Engine) WithTopK(k int) *Engine {
 	cp := *e
 	cp.topK = k
+	cp.cache = e.cache.fresh()
 	return &cp
+}
+
+// WithScoreWorkers returns a copy of the engine scoring candidates with n
+// workers (n ≤ 1 scores serially). Results are identical for every n.
+func (e *Engine) WithScoreWorkers(n int) *Engine {
+	cp := *e
+	if n < 1 {
+		n = 1
+	}
+	cp.workers = n
+	cp.cache = e.cache.fresh()
+	return &cp
+}
+
+// WithCache returns a copy of the engine with a fresh LRU query cache of
+// the given capacity; size ≤ 0 disables caching.
+func (e *Engine) WithCache(size int) *Engine {
+	cp := *e
+	cp.cache = newQueryCache(size)
+	return &cp
+}
+
+// WithOptions returns a copy of the engine re-tuned to opts' ScoreWorkers
+// and CacheSize (resolved like NewEngineOpts; opts.Shards is ignored —
+// the index's shard layout is fixed at build time).
+func (e *Engine) WithOptions(opts Options) *Engine {
+	opts = opts.withDefaults()
+	size := opts.CacheSize
+	if size == 0 {
+		size = DefaultCacheSize
+	}
+	return e.WithScoreWorkers(opts.ScoreWorkers).WithCache(size)
 }
 
 // Index returns the underlying index.
@@ -85,6 +142,18 @@ func (e *Engine) Index() *Index { return e.idx }
 
 // TopK returns the configured result-list size.
 func (e *Engine) TopK() int { return e.topK }
+
+// ScoreWorkers returns the configured candidate-scoring worker bound.
+func (e *Engine) ScoreWorkers() int { return e.workers }
+
+// CacheStats reports the query cache's lifetime hit and miss counts
+// (zeroes when the cache is disabled).
+func (e *Engine) CacheStats() (hits, misses uint64) {
+	if e.cache == nil {
+		return 0, 0
+	}
+	return e.cache.stats()
+}
 
 // CollectionProb is the smoothed collection model p(t|C) with add-one
 // smoothing so unseen terms keep scores finite. Exported so remote
@@ -102,61 +171,35 @@ func DirichletTermScore(tf, dl int, mu, pC float64) float64 {
 
 // collProb applies CollectionProb to the engine's own index.
 func (e *Engine) collProb(t textproc.Token) float64 {
-	return CollectionProb(e.idx.collFreq[t], e.idx.totalToks, e.idx.NumTerms())
+	return CollectionProb(e.idx.CollectionFreq(t), e.idx.totalToks, e.idx.NumTerms())
 }
 
 // Search returns the top-k pages for the query tokens. Ties are broken by
-// document order for determinism. An empty query returns nil.
+// document order for determinism. An empty query returns nil. Results are
+// identical to SearchReference; the cache, worker pool and top-K heap only
+// change how fast they are produced.
 func (e *Engine) Search(query []textproc.Token) []Result {
 	if len(query) == 0 {
 		return nil
 	}
-	if e.bm25 {
-		return e.searchBM25(query)
+	if e.cache == nil {
+		return e.searchSharded(query)
 	}
-	// Candidate set: union of postings.
-	type cand struct {
-		doc   int32
-		score float64
+	key := e.cacheKey(query)
+	if res, ok := e.cache.get(key); ok {
+		return res
 	}
-	tfs := make(map[int32]map[textproc.Token]int32)
-	for _, t := range query {
-		for _, p := range e.idx.postings[t] {
-			m := tfs[p.doc]
-			if m == nil {
-				m = make(map[textproc.Token]int32, len(query))
-				tfs[p.doc] = m
-			}
-			m[t] = p.tf
-		}
-	}
-	if len(tfs) == 0 {
+	res := e.searchSharded(query)
+	// The cache owns one canonical copy; hand the caller another so it
+	// can mutate its slice freely (the pre-cache contract).
+	if res == nil {
+		e.cache.put(key, nil)
 		return nil
 	}
-	cands := make([]cand, 0, len(tfs))
-	for doc, m := range tfs {
-		dl := e.idx.docLen[doc]
-		s := 0.0
-		for _, t := range query {
-			s += DirichletTermScore(int(m[t]), dl, e.mu, e.collProb(t))
-		}
-		cands = append(cands, cand{doc: doc, score: s})
-	}
-	sort.Slice(cands, func(i, j int) bool {
-		if cands[i].score != cands[j].score {
-			return cands[i].score > cands[j].score
-		}
-		return cands[i].doc < cands[j].doc
-	})
-	k := e.topK
-	if k > len(cands) {
-		k = len(cands)
-	}
-	out := make([]Result, 0, k)
-	for _, c := range cands[:k] {
-		out = append(out, Result{Page: e.idx.docs[c.doc], Score: c.score})
-	}
-	return out
+	canonical := make([]Result, len(res))
+	copy(canonical, res)
+	e.cache.put(key, canonical)
+	return res
 }
 
 // SearchWithSeed runs Search on seed ∥ query. The paper appends the seed

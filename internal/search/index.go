@@ -1,15 +1,25 @@
-// Package search implements the retrieval substrate: an inverted index and
-// a query-likelihood language model with Dirichlet smoothing, which is the
-// exact retrieval model the paper uses over its fixed corpus (§VI-A: "we
-// used a language model with Dirichlet smoothing as the search engine. For
-// each query, pages in the corpus are ranked and the top 5 are returned").
+// Package search implements the retrieval substrate: a sharded inverted
+// index and a query-likelihood language model with Dirichlet smoothing,
+// which is the exact retrieval model the paper uses over its fixed corpus
+// (§VI-A: "we used a language model with Dirichlet smoothing as the search
+// engine. For each query, pages in the corpus are ranked and the top 5 are
+// returned").
+//
+// The index is split into token-hash shards so it can be built in parallel
+// and scored across a bounded worker pool; the engine adds a fixed-size
+// top-K heap (O(M log K) ranking) and an LRU query-result cache. All of
+// this is ranking-neutral: every shard count, worker count and cache state
+// returns the same results as the retained single-threaded reference path
+// (Engine.SearchReference), which differential tests enforce.
 //
 // It also provides a Fetcher that simulates remote page-download latency so
 // the Fig. 14 selection-vs-fetch comparison can be regenerated.
 package search
 
 import (
-	"sort"
+	"hash/maphash"
+	"runtime"
+	"sync"
 
 	"l2q/internal/corpus"
 	"l2q/internal/textproc"
@@ -21,61 +31,207 @@ type posting struct {
 	tf  int32
 }
 
-// Index is an immutable inverted index over a fixed page collection.
-// Build it once; concurrent reads are safe.
-type Index struct {
-	docs      []*corpus.Page
-	docLen    []int
-	postings  map[textproc.Token][]posting
-	collFreq  map[textproc.Token]int
+// indexShard holds the postings and collection frequencies for the tokens
+// that hash to it. Splitting the term space this way lets BuildIndexOpts
+// populate shards concurrently without locks and keeps per-map sizes small.
+type indexShard struct {
+	postings map[textproc.Token][]posting
+	collFreq map[textproc.Token]int
+	// totalToks is the collection mass owned by this shard's tokens;
+	// the shard totals sum to Index.totalToks.
 	totalToks int
 }
 
-// BuildIndex indexes the given pages. Page order is preserved and ties in
-// ranking are broken by that order, keeping results deterministic.
-func BuildIndex(pages []*corpus.Page) *Index {
-	idx := &Index{
-		docs:     pages,
-		docLen:   make([]int, len(pages)),
-		postings: make(map[textproc.Token][]posting),
-		collFreq: make(map[textproc.Token]int),
+// shardSeed is the fixed maphash seed all indexes share, so a query's
+// token→shard mapping is stable across indexes with equal shard counts
+// (restored indexes included).
+var shardSeed = maphash.MakeSeed()
+
+// Index is an immutable inverted index over a fixed page collection, split
+// into token-hash shards. Build it once; concurrent reads are safe.
+type Index struct {
+	docs      []*corpus.Page
+	docLen    []int
+	shards    []indexShard
+	totalToks int
+	numTerms  int
+}
+
+// shardFor maps a token to its shard ordinal.
+func (idx *Index) shardFor(t textproc.Token) int {
+	if len(idx.shards) == 1 {
+		return 0
 	}
-	for di, p := range pages {
-		toks := p.Tokens()
-		idx.docLen[di] = len(toks)
-		idx.totalToks += len(toks)
-		tf := make(map[textproc.Token]int, len(toks))
-		for _, t := range toks {
-			tf[t]++
+	return int(maphash.String(shardSeed, string(t)) % uint64(len(idx.shards)))
+}
+
+// postingsFor returns the token's posting list (nil when absent), sorted by
+// ascending document ordinal.
+func (idx *Index) postingsFor(t textproc.Token) []posting {
+	return idx.shards[idx.shardFor(t)].postings[t]
+}
+
+// BuildIndex indexes the given pages with default options (shards =
+// GOMAXPROCS). Page order is preserved and ties in ranking are broken by
+// that order, keeping results deterministic.
+func BuildIndex(pages []*corpus.Page) *Index {
+	return BuildIndexOpts(pages, Options{})
+}
+
+// shardEntry is one (token, document, frequency) triple routed to a shard
+// during the parallel counting phase.
+type shardEntry struct {
+	tok textproc.Token
+	doc int32
+	tf  int32
+}
+
+// BuildIndexOpts indexes the given pages across opts.Shards token-hash
+// shards. The build runs in two parallel phases — per-document term
+// counting over contiguous document ranges, then per-shard posting
+// assembly — and produces an index whose observable state (postings,
+// frequencies, statistics) is independent of the shard count and of
+// scheduling. Intermediate state is O(ranges × shards) flat buffers (one
+// entry per distinct document–term pair), not per-document buckets, so
+// memory overhead stays proportional to the postings themselves.
+func BuildIndexOpts(pages []*corpus.Page, opts Options) *Index {
+	opts = opts.withDefaults()
+	nShards := opts.Shards
+	idx := &Index{
+		docs:   pages,
+		docLen: make([]int, len(pages)),
+		shards: make([]indexShard, nShards),
+	}
+	if len(pages) == 0 {
+		for s := range idx.shards {
+			idx.shards[s].postings = make(map[textproc.Token][]posting)
+			idx.shards[s].collFreq = make(map[textproc.Token]int)
 		}
-		// Deterministic posting order: sort tokens per doc.
-		keys := make([]string, 0, len(tf))
-		for t := range tf {
-			keys = append(keys, t)
-		}
-		sort.Strings(keys)
-		for _, t := range keys {
-			idx.postings[t] = append(idx.postings[t], posting{doc: int32(di), tf: int32(tf[t])})
-			idx.collFreq[t] += tf[t]
-		}
+		return idx
+	}
+
+	// Phase 1: each worker owns a contiguous document range, tokenizes
+	// and counts terms (Page.Tokens caches under sync.Once), and routes
+	// every (token, doc, tf) entry to a per-(range, shard) buffer.
+	// Ranges are processed in document order within a worker, so every
+	// buffer's entries are doc-ordinal-ascending.
+	nRanges := runtime.GOMAXPROCS(0)
+	if nRanges > len(pages) {
+		nRanges = len(pages)
+	}
+	if nRanges < 1 {
+		nRanges = 1
+	}
+	perRange := make([][][]shardEntry, nRanges)
+	var wg sync.WaitGroup
+	for r := 0; r < nRanges; r++ {
+		lo := len(pages) * r / nRanges
+		hi := len(pages) * (r + 1) / nRanges
+		wg.Add(1)
+		go func(r, lo, hi int) {
+			defer wg.Done()
+			bufs := make([][]shardEntry, nShards)
+			for di := lo; di < hi; di++ {
+				toks := idx.docs[di].Tokens()
+				idx.docLen[di] = len(toks)
+				tf := make(map[textproc.Token]int32, len(toks))
+				for _, t := range toks {
+					tf[t]++
+				}
+				for t, n := range tf {
+					s := idx.shardFor(t)
+					bufs[s] = append(bufs[s], shardEntry{tok: t, doc: int32(di), tf: n})
+				}
+			}
+			perRange[r] = bufs
+		}(r, lo, hi)
+	}
+	wg.Wait()
+	for _, n := range idx.docLen {
+		idx.totalToks += n
+	}
+
+	// Phase 2: assemble each shard's postings by concatenating its
+	// buffers in range order — ranges are contiguous and internally
+	// doc-ascending, so every posting list comes out sorted by document
+	// ordinal without a sort pass. Shards are disjoint, so this phase
+	// parallelizes over shards without locks.
+	var swg sync.WaitGroup
+	for s := 0; s < nShards; s++ {
+		swg.Add(1)
+		go func(s int) {
+			defer swg.Done()
+			sh := &idx.shards[s]
+			sh.postings = make(map[textproc.Token][]posting)
+			sh.collFreq = make(map[textproc.Token]int)
+			for r := 0; r < nRanges; r++ {
+				for _, e := range perRange[r][s] {
+					sh.postings[e.tok] = append(sh.postings[e.tok], posting{doc: e.doc, tf: e.tf})
+					sh.collFreq[e.tok] += int(e.tf)
+					sh.totalToks += int(e.tf)
+				}
+			}
+		}(s)
+	}
+	swg.Wait()
+	for s := range idx.shards {
+		idx.numTerms += len(idx.shards[s].postings)
 	}
 	return idx
+}
+
+// Reshard returns an index with the same postings redistributed across the
+// given shard count (resolved like Options.Shards). Posting slices are
+// immutable and shared with the receiver, so this is a map-redistribution
+// pass, not a rebuild — cheap enough to re-layout an index restored from a
+// store file. Rankings are unaffected.
+func (idx *Index) Reshard(shards int) *Index {
+	opts := Options{Shards: shards}.withDefaults()
+	if opts.Shards == len(idx.shards) {
+		return idx
+	}
+	out := &Index{
+		docs:      idx.docs,
+		docLen:    idx.docLen,
+		shards:    make([]indexShard, opts.Shards),
+		totalToks: idx.totalToks,
+		numTerms:  idx.numTerms,
+	}
+	for s := range out.shards {
+		out.shards[s].postings = make(map[textproc.Token][]posting)
+		out.shards[s].collFreq = make(map[textproc.Token]int)
+	}
+	for s := range idx.shards {
+		for t, posts := range idx.shards[s].postings {
+			dst := &out.shards[out.shardFor(t)]
+			dst.postings[t] = posts
+			cf := idx.shards[s].collFreq[t]
+			dst.collFreq[t] = cf
+			dst.totalToks += cf
+		}
+	}
+	return out
 }
 
 // NumDocs returns the number of indexed pages.
 func (idx *Index) NumDocs() int { return len(idx.docs) }
 
 // NumTerms returns the vocabulary size.
-func (idx *Index) NumTerms() int { return len(idx.postings) }
+func (idx *Index) NumTerms() int { return idx.numTerms }
+
+// NumShards returns the index's shard count.
+func (idx *Index) NumShards() int { return len(idx.shards) }
 
 // TotalTokens returns the collection length in tokens.
 func (idx *Index) TotalTokens() int { return idx.totalToks }
 
 // DocFreq returns the number of documents containing the token.
-func (idx *Index) DocFreq(t textproc.Token) int { return len(idx.postings[t]) }
+func (idx *Index) DocFreq(t textproc.Token) int { return len(idx.postingsFor(t)) }
 
 // CollectionFreq returns the token's total frequency in the collection.
-func (idx *Index) CollectionFreq(t textproc.Token) int { return idx.collFreq[t] }
+func (idx *Index) CollectionFreq(t textproc.Token) int {
+	return idx.shards[idx.shardFor(t)].collFreq[t]
+}
 
 // Doc returns the i-th indexed page.
 func (idx *Index) Doc(i int) *corpus.Page { return idx.docs[i] }

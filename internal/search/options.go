@@ -1,0 +1,51 @@
+package search
+
+import "runtime"
+
+// DefaultCacheSize is the query-result cache capacity when Options.CacheSize
+// is 0. Entries are tiny (a key string plus topK Result structs), so the
+// default is generous enough to hold a whole domain-learning candidate pool.
+const DefaultCacheSize = 4096
+
+// maxShards caps the shard count; beyond this, per-shard maps are so sparse
+// that hashing overhead dominates.
+const maxShards = 256
+
+// Options tunes the sharded retrieval engine. The zero value means "all
+// defaults", which is what BuildIndex and NewEngine use, so existing callers
+// keep their behavior; every field has an explicit opt-out.
+type Options struct {
+	// Shards is the number of token-hash shards the inverted index is
+	// split into. 0 picks GOMAXPROCS; values are clamped to [1, 256].
+	// Shard count changes memory layout only — rankings are identical for
+	// every shard count (see TestShardedMatchesReference).
+	Shards int
+	// ScoreWorkers bounds the goroutines that score one query's candidate
+	// documents. 0 picks GOMAXPROCS; 1 scores serially. Scores and
+	// rankings are identical for every worker count.
+	ScoreWorkers int
+	// CacheSize is the capacity of the engine's LRU query-result cache.
+	// 0 picks DefaultCacheSize; negative disables caching. The index is
+	// immutable, so cached results never need invalidation.
+	CacheSize int
+}
+
+// withDefaults resolves zero fields to their defaults and clamps ranges.
+func (o Options) withDefaults() Options {
+	if o.Shards == 0 {
+		o.Shards = runtime.GOMAXPROCS(0)
+	}
+	if o.Shards < 1 {
+		o.Shards = 1
+	}
+	if o.Shards > maxShards {
+		o.Shards = maxShards
+	}
+	if o.ScoreWorkers == 0 {
+		o.ScoreWorkers = runtime.GOMAXPROCS(0)
+	}
+	if o.ScoreWorkers < 1 {
+		o.ScoreWorkers = 1
+	}
+	return o
+}

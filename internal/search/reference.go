@@ -1,0 +1,101 @@
+package search
+
+import (
+	"math"
+	"sort"
+
+	"l2q/internal/textproc"
+)
+
+// SearchReference is the retained pre-sharding scoring path: gather the
+// candidate union into hash maps, score every candidate, and fully sort.
+// It is deliberately kept verbatim (modulo the posting lookup going through
+// the shard table) as the ground truth the sharded/parallel/cached Search
+// is differentially tested against, and as the baseline the engine
+// benchmarks compare throughput with. It never consults the query cache.
+func (e *Engine) SearchReference(query []textproc.Token) []Result {
+	if len(query) == 0 {
+		return nil
+	}
+	if e.bm25 {
+		return e.searchBM25Reference(query)
+	}
+	// Candidate set: union of postings.
+	tfs := make(map[int32]map[textproc.Token]int32)
+	for _, t := range query {
+		for _, p := range e.idx.postingsFor(t) {
+			m := tfs[p.doc]
+			if m == nil {
+				m = make(map[textproc.Token]int32, len(query))
+				tfs[p.doc] = m
+			}
+			m[t] = p.tf
+		}
+	}
+	if len(tfs) == 0 {
+		return nil
+	}
+	cands := make([]cand, 0, len(tfs))
+	for doc, m := range tfs {
+		dl := e.idx.docLen[doc]
+		s := 0.0
+		for _, t := range query {
+			s += DirichletTermScore(int(m[t]), dl, e.mu, e.collProb(t))
+		}
+		cands = append(cands, cand{doc: doc, score: s})
+	}
+	sort.Slice(cands, func(i, j int) bool {
+		if cands[i].score != cands[j].score {
+			return cands[i].score > cands[j].score
+		}
+		return cands[i].doc < cands[j].doc
+	})
+	k := e.topK
+	if k > len(cands) {
+		k = len(cands)
+	}
+	out := make([]Result, 0, k)
+	for _, c := range cands[:k] {
+		out = append(out, Result{Page: e.idx.docs[c.doc], Score: c.score})
+	}
+	return out
+}
+
+// searchBM25Reference mirrors SearchReference with BM25 scoring.
+func (e *Engine) searchBM25Reference(query []textproc.Token) []Result {
+	if len(query) == 0 {
+		return nil
+	}
+	avgdl := float64(e.idx.totalToks) / math.Max(1, float64(e.idx.NumDocs()))
+	scores := make(map[int32]float64)
+	for _, t := range query {
+		idf := e.idf(t)
+		for _, p := range e.idx.postingsFor(t) {
+			dl := float64(e.idx.docLen[p.doc])
+			tf := float64(p.tf)
+			scores[p.doc] += idf * (tf * (e.k1 + 1)) / (tf + e.k1*(1-e.b+e.b*dl/avgdl))
+		}
+	}
+	if len(scores) == 0 {
+		return nil
+	}
+	cands := make([]cand, 0, len(scores))
+	for doc, s := range scores {
+		cands = append(cands, cand{doc: doc, score: s})
+	}
+	sort.Slice(cands, func(i, j int) bool {
+		if cands[i].score != cands[j].score {
+			return cands[i].score > cands[j].score
+		}
+		return cands[i].doc < cands[j].doc
+	})
+	k := e.topK
+	if k > len(cands) {
+		k = len(cands)
+	}
+	out := make([]Result, 0, k)
+	for _, c := range cands[:k] {
+		out = append(out, Result{Page: e.idx.docs[c.doc], Score: c.score})
+	}
+	return out
+}

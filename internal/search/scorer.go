@@ -1,0 +1,231 @@
+package search
+
+import (
+	"math"
+	"sort"
+	"sync"
+
+	"l2q/internal/textproc"
+)
+
+// minPostingsPerWorker keeps the scorer from spawning goroutines for tiny
+// candidate sets, where handoff costs more than the scoring.
+const minPostingsPerWorker = 512
+
+// cand is one scored candidate document.
+type cand struct {
+	doc   int32
+	score float64
+}
+
+// betterCand reports whether a ranks strictly above b: higher score, ties
+// broken by lower document ordinal (corpus page order) — the same total
+// order the reference path sorts by.
+func betterCand(a, b cand) bool {
+	if a.score != b.score {
+		return a.score > b.score
+	}
+	return a.doc < b.doc
+}
+
+// topKHeap keeps the K best candidates seen so far in O(log K) per push.
+// The root is the worst kept candidate, so a full heap rejects most
+// candidates with a single comparison.
+type topKHeap struct {
+	k int
+	h []cand
+}
+
+func (t *topKHeap) push(c cand) {
+	if t.k <= 0 {
+		return
+	}
+	if len(t.h) < t.k {
+		t.h = append(t.h, c)
+		i := len(t.h) - 1
+		for i > 0 {
+			p := (i - 1) / 2
+			if !betterCand(t.h[p], t.h[i]) {
+				break
+			}
+			t.h[p], t.h[i] = t.h[i], t.h[p]
+			i = p
+		}
+		return
+	}
+	if !betterCand(c, t.h[0]) {
+		return
+	}
+	t.h[0] = c
+	i := 0
+	n := len(t.h)
+	for {
+		l, r := 2*i+1, 2*i+2
+		w := i
+		if l < n && betterCand(t.h[w], t.h[l]) {
+			w = l
+		}
+		if r < n && betterCand(t.h[w], t.h[r]) {
+			w = r
+		}
+		if w == i {
+			return
+		}
+		t.h[i], t.h[w] = t.h[w], t.h[i]
+		i = w
+	}
+}
+
+// dirichletScore sums the per-term Dirichlet scores in query-position
+// order — the exact summation order of the reference path, so the float64
+// result is bit-identical to it.
+func dirichletScore(tfv []int32, dl int, mu float64, pC []float64) float64 {
+	s := 0.0
+	for i, pc := range pC {
+		s += DirichletTermScore(int(tfv[i]), dl, mu, pc)
+	}
+	return s
+}
+
+// bm25Score mirrors the reference BM25 accumulation: terms contribute in
+// query-position order, absent terms are skipped (they contributed nothing
+// in the reference's postings-driven accumulation either).
+func bm25Score(tfv []int32, dl int, idf []float64, avgdl, k1, b float64) float64 {
+	s := 0.0
+	fdl := float64(dl)
+	for i, f := range idf {
+		if tfv[i] == 0 {
+			continue
+		}
+		tf := float64(tfv[i])
+		s += f * (tf * (k1 + 1)) / (tf + k1*(1-b+b*fdl/avgdl))
+	}
+	return s
+}
+
+// searchSharded is the engine's scoring path: posting lists come from the
+// token-hash shards, candidate documents stream out of a k-way merge over
+// the (doc-ordinal-sorted) lists, each candidate is scored in query order,
+// and per-worker top-K heaps replace the reference's full sort. Workers
+// partition the document-ordinal space, so their candidate sets are
+// disjoint and the merged ranking equals the reference's.
+func (e *Engine) searchSharded(query []textproc.Token) []Result {
+	lists := make([][]posting, len(query))
+	total := 0
+	for i, t := range query {
+		lists[i] = e.idx.postingsFor(t)
+		total += len(lists[i])
+	}
+	if total == 0 {
+		return nil
+	}
+	k := e.topK
+	if k < 0 {
+		k = 0
+	}
+
+	// Per-position scoring constants, hoisted out of the per-document
+	// loop (the reference recomputes them per candidate; the values are
+	// identical, so hoisting is ranking-neutral).
+	var pC, idf []float64
+	var avgdl float64
+	if e.bm25 {
+		avgdl = float64(e.idx.totalToks) / math.Max(1, float64(e.idx.NumDocs()))
+		idf = make([]float64, len(query))
+		for i, t := range query {
+			idf[i] = e.idf(t)
+		}
+	} else {
+		pC = make([]float64, len(query))
+		for i, t := range query {
+			pC[i] = e.collProb(t)
+		}
+	}
+
+	workers := e.workers
+	if maxW := total / minPostingsPerWorker; workers > maxW+1 {
+		workers = maxW + 1
+	}
+	nDocs := e.idx.NumDocs()
+	if workers > nDocs {
+		workers = nDocs
+	}
+
+	if workers <= 1 {
+		h := topKHeap{k: k, h: make([]cand, 0, k)}
+		e.scoreRange(lists, 0, int32(nDocs), pC, idf, avgdl, &h)
+		return e.finish(h.h, k)
+	}
+
+	heaps := make([]topKHeap, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		lo := int32(nDocs * w / workers)
+		hi := int32(nDocs * (w + 1) / workers)
+		heaps[w] = topKHeap{k: k, h: make([]cand, 0, k)}
+		wg.Add(1)
+		go func(w int, lo, hi int32) {
+			defer wg.Done()
+			e.scoreRange(lists, lo, hi, pC, idf, avgdl, &heaps[w])
+		}(w, lo, hi)
+	}
+	wg.Wait()
+	merged := make([]cand, 0, workers*k)
+	for w := range heaps {
+		merged = append(merged, heaps[w].h...)
+	}
+	return e.finish(merged, k)
+}
+
+// scoreRange merges the posting lists over document ordinals [lo, hi),
+// scoring every candidate in that range into the heap. Lists are sorted by
+// ordinal, so a cursor per list and a linear min-scan suffice (queries are
+// a handful of tokens).
+func (e *Engine) scoreRange(lists [][]posting, lo, hi int32, pC, idf []float64, avgdl float64, h *topKHeap) {
+	cursors := make([]int, len(lists))
+	for i, pl := range lists {
+		cursors[i] = sort.Search(len(pl), func(j int) bool { return pl[j].doc >= lo })
+	}
+	tfv := make([]int32, len(lists))
+	for {
+		minDoc := hi
+		for i, pl := range lists {
+			if c := cursors[i]; c < len(pl) && pl[c].doc < minDoc {
+				minDoc = pl[c].doc
+			}
+		}
+		if minDoc >= hi {
+			return
+		}
+		for i, pl := range lists {
+			if c := cursors[i]; c < len(pl) && pl[c].doc == minDoc {
+				tfv[i] = pl[c].tf
+				cursors[i] = c + 1
+			} else {
+				tfv[i] = 0
+			}
+		}
+		dl := e.idx.docLen[minDoc]
+		var s float64
+		if e.bm25 {
+			s = bm25Score(tfv, dl, idf, avgdl, e.k1, e.b)
+		} else {
+			s = dirichletScore(tfv, dl, e.mu, pC)
+		}
+		h.push(cand{doc: minDoc, score: s})
+	}
+}
+
+// finish sorts the surviving candidates by the reference order and
+// materializes Results.
+func (e *Engine) finish(cands []cand, k int) []Result {
+	sort.Slice(cands, func(i, j int) bool { return betterCand(cands[i], cands[j]) })
+	if k > len(cands) {
+		k = len(cands)
+	}
+	out := make([]Result, 0, k)
+	for _, c := range cands[:k] {
+		out = append(out, Result{Page: e.idx.docs[c.doc], Score: c.score})
+	}
+	return out
+}

@@ -1,0 +1,309 @@
+package search
+
+import (
+	"math"
+	"math/rand/v2"
+	"runtime"
+	"sync"
+	"testing"
+
+	"l2q/internal/corpus"
+	"l2q/internal/synth"
+	"l2q/internal/textproc"
+)
+
+// diffCorpus generates one synthetic corpus per seed for differential
+// testing (paper-shaped pages, realistic vocabulary skew).
+func diffCorpus(t testing.TB, seed uint64) ([]*corpus.Page, [][]textproc.Token) {
+	t.Helper()
+	cfg := synth.TestConfig(synth.DomainResearchers)
+	cfg.NumEntities = 40
+	cfg.PagesPerEntity = 12
+	cfg.Seed = seed
+	g, err := synth.Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Query mix: entity seeds, seed∥aspect-word combos, random token
+	// pairs/triples drawn from the corpus, duplicates, and OOV terms.
+	rng := rand.New(rand.NewPCG(seed, 99))
+	var vocab []textproc.Token
+	seen := map[textproc.Token]bool{}
+	for _, p := range g.Corpus.Pages[:30] {
+		for _, tok := range p.Tokens() {
+			if !seen[tok] {
+				seen[tok] = true
+				vocab = append(vocab, tok)
+			}
+		}
+	}
+	pick := func() textproc.Token { return vocab[rng.IntN(len(vocab))] }
+	var queries [][]textproc.Token
+	for _, e := range g.Corpus.Entities[:15] {
+		st := g.Tokenizer.Tokenize(e.SeedQuery)
+		queries = append(queries, st)
+		queries = append(queries, append(append([]textproc.Token{}, st...), pick()))
+	}
+	for i := 0; i < 40; i++ {
+		q := []textproc.Token{pick(), pick()}
+		if i%3 == 0 {
+			q = append(q, pick())
+		}
+		if i%5 == 0 {
+			q = append(q, q[0]) // duplicate token
+		}
+		queries = append(queries, q)
+	}
+	queries = append(queries,
+		[]textproc.Token{"zz-out-of-vocabulary"},
+		[]textproc.Token{pick(), "zz-out-of-vocabulary"},
+	)
+	return g.Corpus.Pages, queries
+}
+
+// assertSameResults checks rank equality and score agreement within 1e-12.
+func assertSameResults(t *testing.T, label string, want, got []Result) {
+	t.Helper()
+	if len(want) != len(got) {
+		t.Fatalf("%s: result count %d != reference %d", label, len(got), len(want))
+	}
+	for i := range want {
+		if want[i].Page.ID != got[i].Page.ID {
+			t.Fatalf("%s: rank %d page %d != reference page %d",
+				label, i, got[i].Page.ID, want[i].Page.ID)
+		}
+		if d := math.Abs(want[i].Score - got[i].Score); d > 1e-12 {
+			t.Fatalf("%s: rank %d score diff %g exceeds 1e-12", label, i, d)
+		}
+	}
+}
+
+// TestShardedMatchesReference is the differential guarantee of the issue:
+// the sharded, parallel, heap-ranked, cached Search returns identical
+// rankings to the retained single-threaded reference for both scoring
+// modes, across shard counts, worker counts, topK values and seeds.
+func TestShardedMatchesReference(t *testing.T) {
+	shardCounts := []int{1, 2, 3, runtime.GOMAXPROCS(0), 64}
+	for _, seed := range []uint64{7, 2016} {
+		pages, queries := diffCorpus(t, seed)
+		for _, shards := range shardCounts {
+			idx := BuildIndexOpts(pages, Options{Shards: shards})
+			for _, workers := range []int{1, 2, 7} {
+				for _, topK := range []int{1, 5, 50} {
+					base := NewEngineOpts(idx, Options{ScoreWorkers: workers}).WithTopK(topK)
+					engines := map[string]*Engine{
+						"dirichlet": base,
+						"bm25":      base.WithBM25(DefaultBM25K1, DefaultBM25B),
+					}
+					for mode, e := range engines {
+						for _, q := range queries {
+							want := e.SearchReference(q)
+							assertSameResults(t, mode, want, e.Search(q))
+							// Second call exercises the cache hit path.
+							assertSameResults(t, mode+"/cached", want, e.Search(q))
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestShardCountInvariantStats proves the index's observable statistics do
+// not depend on the shard layout.
+func TestShardCountInvariantStats(t *testing.T) {
+	pages, queries := diffCorpus(t, 13)
+	ref := BuildIndexOpts(pages, Options{Shards: 1})
+	for _, shards := range []int{2, 5, 64} {
+		idx := BuildIndexOpts(pages, Options{Shards: shards})
+		if idx.NumShards() != shards {
+			t.Fatalf("NumShards = %d, want %d", idx.NumShards(), shards)
+		}
+		if idx.NumDocs() != ref.NumDocs() || idx.NumTerms() != ref.NumTerms() ||
+			idx.TotalTokens() != ref.TotalTokens() {
+			t.Fatalf("shards=%d: stats differ from single-shard index", shards)
+		}
+		for _, q := range queries {
+			for _, tok := range q {
+				if idx.DocFreq(tok) != ref.DocFreq(tok) {
+					t.Fatalf("shards=%d: DocFreq(%q) differs", shards, tok)
+				}
+				if idx.CollectionFreq(tok) != ref.CollectionFreq(tok) {
+					t.Fatalf("shards=%d: CollectionFreq(%q) differs", shards, tok)
+				}
+			}
+		}
+	}
+}
+
+// TestDumpRestoreAcrossShardCounts round-trips the postings through the
+// store's Dump/Restore surface with mismatched shard counts on each side.
+func TestDumpRestoreAcrossShardCounts(t *testing.T) {
+	pages, queries := diffCorpus(t, 21)
+	src := BuildIndexOpts(pages, Options{Shards: 5})
+	dump := map[textproc.Token][]RawPosting{}
+	src.DumpPostings(func(term textproc.Token, posts []RawPosting) {
+		dump[term] = append([]RawPosting(nil), posts...)
+	})
+	restored, err := RestoreIndexOpts(pages, dump, Options{Shards: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, b := NewEngine(src), NewEngine(restored)
+	for _, q := range queries {
+		assertSameResults(t, "restored", a.Search(q), b.Search(q))
+	}
+}
+
+// TestReshardPreservesRankings checks the map-redistribution path used
+// when serving a store-restored index at an explicit shard count.
+func TestReshardPreservesRankings(t *testing.T) {
+	pages, queries := diffCorpus(t, 17)
+	src := BuildIndexOpts(pages, Options{Shards: 4})
+	for _, shards := range []int{1, 9, 64} {
+		re := src.Reshard(shards)
+		if re.NumShards() != shards {
+			t.Fatalf("Reshard(%d).NumShards() = %d", shards, re.NumShards())
+		}
+		if re.NumTerms() != src.NumTerms() || re.TotalTokens() != src.TotalTokens() {
+			t.Fatalf("Reshard(%d) changed index statistics", shards)
+		}
+		a, b := NewEngine(src), NewEngine(re)
+		for _, q := range queries {
+			assertSameResults(t, "reshard", a.Search(q), b.Search(q))
+		}
+	}
+	if src.Reshard(4) != src {
+		t.Fatal("Reshard to the same count should return the receiver")
+	}
+}
+
+// TestCacheHitsAndIsolation checks that repeated queries hit the cache,
+// that hits return correct (and independently mutable) slices, and that
+// engine copies with different scoring parameters never share a cache.
+func TestCacheHitsAndIsolation(t *testing.T) {
+	pages, queries := diffCorpus(t, 5)
+	idx := BuildIndex(pages)
+	e := NewEngine(idx)
+	q := queries[0]
+	first := e.Search(q)
+	if h, m := e.CacheStats(); h != 0 || m == 0 {
+		t.Fatalf("after first search: hits=%d misses=%d", h, m)
+	}
+	second := e.Search(q)
+	if h, _ := e.CacheStats(); h == 0 {
+		t.Fatal("second identical search did not hit the cache")
+	}
+	assertSameResults(t, "cache", first, second)
+	// Mutating a returned slice must not corrupt the cache.
+	if len(second) > 0 {
+		second[0] = Result{}
+		third := e.Search(q)
+		assertSameResults(t, "cache-after-mutation", first, third)
+	}
+
+	// A re-tuned copy must not see the old cache's entries as its own.
+	sharp := e.WithMu(1)
+	want := sharp.SearchReference(q)
+	assertSameResults(t, "fresh-cache-after-WithMu", want, sharp.Search(q))
+	bm := e.WithBM25(DefaultBM25K1, DefaultBM25B)
+	assertSameResults(t, "fresh-cache-after-WithBM25", bm.SearchReference(q), bm.Search(q))
+
+	// Disabled cache still returns correct results and reports no stats.
+	off := e.WithCache(-1)
+	assertSameResults(t, "cache-off", off.SearchReference(q), off.Search(q))
+	if h, m := off.CacheStats(); h != 0 || m != 0 {
+		t.Fatalf("disabled cache reported stats %d/%d", h, m)
+	}
+}
+
+// TestCacheEviction fills a tiny cache past capacity and checks both that
+// evicted entries recompute correctly and that the cache never grows
+// beyond its bound (indirectly: every answer stays correct).
+func TestCacheEviction(t *testing.T) {
+	pages, queries := diffCorpus(t, 31)
+	idx := BuildIndex(pages)
+	e := NewEngineOpts(idx, Options{CacheSize: 4})
+	for round := 0; round < 3; round++ {
+		for _, q := range queries {
+			assertSameResults(t, "eviction", e.SearchReference(q), e.Search(q))
+		}
+	}
+}
+
+// TestConcurrentSearchWithCache hammers one shared engine (cache enabled,
+// parallel scoring enabled) from many goroutines; run under -race in CI.
+// Every goroutine validates every result against the reference.
+func TestConcurrentSearchWithCache(t *testing.T) {
+	pages, queries := diffCorpus(t, 11)
+	idx := BuildIndexOpts(pages, Options{Shards: 4})
+	e := NewEngineOpts(idx, Options{ScoreWorkers: 4, CacheSize: 16})
+	want := make([][]Result, len(queries))
+	for i, q := range queries {
+		want[i] = e.SearchReference(q)
+	}
+	var wg sync.WaitGroup
+	errCh := make(chan string, 8)
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				qi := (i*7 + w) % len(queries)
+				got := e.Search(queries[qi])
+				if len(got) != len(want[qi]) {
+					errCh <- "result count changed under concurrency"
+					return
+				}
+				for r := range got {
+					if got[r].Page.ID != want[qi][r].Page.ID || got[r].Score != want[qi][r].Score {
+						errCh <- "ranking changed under concurrency"
+						return
+					}
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(errCh)
+	if msg, ok := <-errCh; ok {
+		t.Fatal(msg)
+	}
+}
+
+// TestTopKHeapMatchesSort property-tests the heap against a full sort on
+// random candidate streams, including heavy score ties.
+func TestTopKHeapMatchesSort(t *testing.T) {
+	rng := rand.New(rand.NewPCG(42, 0))
+	for trial := 0; trial < 200; trial++ {
+		n := 1 + rng.IntN(300)
+		k := 1 + rng.IntN(20)
+		cands := make([]cand, n)
+		h := topKHeap{k: k}
+		for i := range cands {
+			// Coarse scores force ties so the doc-order tie-break is hit.
+			cands[i] = cand{doc: int32(i), score: float64(rng.IntN(8))}
+			h.push(cands[i])
+		}
+		bySort := append([]cand(nil), cands...)
+		sortCands(bySort)
+		if k > n {
+			k = n
+		}
+		got := append([]cand(nil), h.h...)
+		sortCands(got)
+		for i := 0; i < k; i++ {
+			if bySort[i] != got[i] {
+				t.Fatalf("trial %d: heap top-%d diverges from sort at rank %d", trial, k, i)
+			}
+		}
+	}
+}
+
+func sortCands(cs []cand) {
+	for i := 1; i < len(cs); i++ {
+		for j := i; j > 0 && betterCand(cs[j], cs[j-1]); j-- {
+			cs[j], cs[j-1] = cs[j-1], cs[j]
+		}
+	}
+}

@@ -130,6 +130,13 @@ type SystemOptions struct {
 	Seed uint64
 	// Config overrides the L2Q parameters; zero value = DefaultConfig.
 	Config *Config
+	// Shards, ScoreWorkers and CacheSize tune the retrieval engine (see
+	// search.Options); non-zero values override the corresponding
+	// Config.Search* fields. Rankings are identical for every setting —
+	// these are pure performance knobs.
+	Shards       int
+	ScoreWorkers int
+	CacheSize    int
 }
 
 // DefaultSystemOptions returns paper-scale options.
@@ -171,6 +178,15 @@ func NewSyntheticSystem(d Domain, opts SystemOptions) (*System, error) {
 	if opts.Config != nil {
 		cfg = *opts.Config
 	}
+	if opts.Shards != 0 {
+		cfg.SearchShards = opts.Shards
+	}
+	if opts.ScoreWorkers != 0 {
+		cfg.SearchScoreWorkers = opts.ScoreWorkers
+	}
+	if opts.CacheSize != 0 {
+		cfg.SearchCacheSize = opts.CacheSize
+	}
 	cfg.Tokenizer = g.Tokenizer
 	return NewSystem(g.Corpus, g.KB, g.Aspects, g.Tokenizer, cfg)
 }
@@ -199,10 +215,11 @@ func NewSystem(c *Corpus, kb *Dictionary, aspects []Aspect,
 	if kb != nil {
 		rec = types.Chain{kb, types.NewRegexRecognizer()}
 	}
+	sopts := cfg.SearchOptions()
 	return &System{
 		cfg:     cfg,
 		corpus:  c,
-		engine:  search.NewEngine(search.BuildIndex(c.Pages)),
+		engine:  search.NewEngineOpts(search.BuildIndexOpts(c.Pages, sopts), sopts),
 		cls:     cls,
 		rec:     rec,
 		aspects: aspects,
