@@ -24,6 +24,14 @@ lint:
 		echo "gofmt needed on:"; echo "$$unformatted"; exit 1; \
 	fi
 	$(GO) vet ./...
+	@if command -v staticcheck >/dev/null 2>&1; then \
+		staticcheck ./...; \
+	else \
+		echo "staticcheck not installed (go install honnef.co/go/tools/cmd/staticcheck@$(STATICCHECK_VERSION)); skipping — CI runs it"; \
+	fi
+
+# Pinned so local runs and the CI lint job agree.
+STATICCHECK_VERSION = 2025.1.1
 
 fmt:
 	gofmt -w .

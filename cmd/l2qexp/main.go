@@ -7,7 +7,8 @@
 //
 //	l2qexp [-domain researchers|cars|both] [-fig all|9|10|11|12|13|14|crawl]
 //	       [-entities N] [-pages N] [-domainsample N] [-test N] [-val N]
-//	       [-seed N] [-cv] [-quick]
+//	       [-seed N] [-cv] [-quick] [-shards N] [-scoreworkers N]
+//	       [-cachesize N] [-inferworkers N] [-warmstart] [-incremental]
 //
 // Beyond the paper's figures, -fig crawl runs the extension experiment
 // comparing query-driven harvesting against a link-following focused
@@ -45,6 +46,9 @@ func main() {
 		shards       = flag.Int("shards", 0, "index shards (0 = GOMAXPROCS)")
 		workers      = flag.Int("scoreworkers", 0, "per-query scoring workers (0 = GOMAXPROCS)")
 		cacheSize    = flag.Int("cachesize", 0, "query cache capacity (0 = default, <0 = off)")
+		inferWorkers = flag.Int("inferworkers", 0, "per-step inference workers (0 = GOMAXPROCS)")
+		warmStart    = flag.Bool("warmstart", true, "warm-start fixpoint solvers from the previous step")
+		incremental  = flag.Bool("incremental", true, "persistent incremental session graphs (false = rebuild per step)")
 	)
 	flag.Parse()
 
@@ -93,6 +97,9 @@ func main() {
 		cfg.Core.SearchShards = *shards
 		cfg.Core.SearchScoreWorkers = *workers
 		cfg.Core.SearchCacheSize = *cacheSize
+		cfg.Core.InferWorkers = *inferWorkers
+		cfg.Core.WarmStart = *warmStart
+		cfg.Core.IncrementalGraph = *incremental
 		if err := runDomain(cfg, *fig, *cv, *splits); err != nil {
 			fmt.Fprintf(os.Stderr, "l2qexp: %v\n", err)
 			os.Exit(1)

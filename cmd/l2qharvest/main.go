@@ -35,11 +35,15 @@ func main() {
 		dsample  = flag.Int("domainsample", 40, "domain entities for the domain phase")
 		seed     = flag.Uint64("seed", 1, "corpus seed")
 		remote   = flag.String("remote", "", "harvest via this HTTP search API instead of in-process")
+		inferW   = flag.Int("inferworkers", 0, "per-step inference workers (0 = GOMAXPROCS)")
+		warm     = flag.Bool("warmstart", true, "warm-start fixpoint solvers from the previous step")
+		incr     = flag.Bool("incremental", true, "persistent incremental session graphs (false = rebuild per step)")
 	)
 	flag.Parse()
 
 	sys, err := l2q.NewSyntheticSystem(corpus.Domain(*domain), l2q.SystemOptions{
 		NumEntities: *entities, PagesPerEntity: *pages, Seed: *seed,
+		InferWorkers: *inferW, NoWarmStart: !*warm, NoIncrementalGraph: !*incr,
 	})
 	if err != nil {
 		fail(err)

@@ -25,6 +25,10 @@ type graphBuilder struct {
 	queryList []Query
 	queryToks map[Query][]textproc.Token
 	templates map[string]graph.NodeID
+	// detached marks queries retired from the graph (fired queries in a
+	// persistent session graph); their vertices are isolated and must
+	// not receive new edges.
+	detached map[Query]bool
 
 	// queryTemplates maps a query to its template keys, for the counting
 	// statistics of the collective utilities.
@@ -33,6 +37,13 @@ type graphBuilder struct {
 	// engine, when non-nil and cfg.WeightByLikelihood is set, supplies
 	// retrieval-model edge weights; otherwise edges weigh 1.
 	engine Retriever
+
+	// ops caches the push solver's materialized operator per mode, keyed
+	// by Graph.Version: a persistent session graph that did not mutate
+	// since the last solve (an Infer with no new pages, candidates or
+	// fired queries) reuses the operator instead of rebuilding it.
+	ops        [2]*graph.Operator
+	opsVersion [2]uint64
 }
 
 func newGraphBuilder(cfg Config, rec types.Recognizer) *graphBuilder {
@@ -89,10 +100,11 @@ func (b *graphBuilder) templateKeysOf(q Query) []string {
 	return b.queryTemplates[q]
 }
 
-// addPQEdge connects a page and a query ("q can retrieve p"). The weight is
-// 1 under containment semantics, or the retrieval model's per-token
-// geometric-mean likelihood when likelihood weighting is on.
-func (b *graphBuilder) addPQEdge(p *corpus.Page, q Query) {
+// edgeWeight is the page–query edge weight: 1 under containment
+// semantics, or the retrieval model's per-token geometric-mean likelihood
+// when likelihood weighting is on. Safe for concurrent use (the engine is
+// concurrency-safe and page token caches are sync.Once-guarded).
+func (b *graphBuilder) edgeWeight(p *corpus.Page, q Query) float64 {
 	w := 1.0
 	if b.cfg.WeightByLikelihood && b.engine != nil {
 		toks := b.queryToks[q]
@@ -105,7 +117,27 @@ func (b *graphBuilder) addPQEdge(p *corpus.Page, q Query) {
 			w = 1e-12
 		}
 	}
-	b.g.AddEdgePQ(b.pageNode[p.ID], b.queries[q], w)
+	return w
+}
+
+// addPQEdge connects a page and a query ("q can retrieve p").
+func (b *graphBuilder) addPQEdge(p *corpus.Page, q Query) {
+	b.g.AddEdgePQ(b.pageNode[p.ID], b.queries[q], b.edgeWeight(p, q))
+}
+
+// detachQuery retires a query from the graph (it was fired and left the
+// candidate pool): every incident edge is removed, leaving the vertex
+// isolated — which the fixpoint treats exactly as if it never existed.
+func (b *graphBuilder) detachQuery(q Query) {
+	id, ok := b.queries[q]
+	if !ok || b.detached[q] {
+		return
+	}
+	b.g.DetachQuery(id)
+	if b.detached == nil {
+		b.detached = make(map[Query]bool)
+	}
+	b.detached[q] = true
 }
 
 // connect adds page–query edges for the domain phase: each page connects to
@@ -146,12 +178,7 @@ func (b *graphBuilder) pageRegularizationScored(score func(*corpus.Page) float64
 	pr := regPair{precision: make([]float64, n), recall: make([]float64, n)}
 	total := 0.0
 	for _, p := range b.pages {
-		s := score(p)
-		if s < 0 {
-			s = 0
-		} else if s > 1 {
-			s = 1
-		}
+		s := clamp01(score(p))
 		pr.precision[b.pageNode[p.ID]] = s
 		total += s
 	}
@@ -182,13 +209,25 @@ func (b *graphBuilder) addTemplateReg(base []float64, util map[string]float64, l
 
 // solve runs the fixpoint for one mode and regularization vector.
 func (b *graphBuilder) solve(mode graph.Mode, reg []float64) ([]float64, error) {
+	return b.solveWarm(mode, reg, nil)
+}
+
+// solveWarm is solve with an optional warm-start iterate x0 (the previous
+// step's utilities; may be shorter than the grown graph — new nodes
+// cold-start at their regularization). The fixpoint is unique, so x0
+// affects convergence speed only.
+func (b *graphBuilder) solveWarm(mode graph.Mode, reg, x0 []float64) ([]float64, error) {
 	if b.cfg.UsePushSolver {
+		if b.ops[mode] == nil || b.opsVersion[mode] != b.g.Version() {
+			b.ops[mode] = graph.BuildOperator(b.g, mode)
+			b.opsVersion[mode] = b.g.Version()
+		}
 		res, err := graph.PushSolve(graph.PushProblem{
-			G:     b.g,
-			Mode:  mode,
+			Op:    b.ops[mode],
 			Alpha: b.cfg.Alpha,
 			Reg:   reg,
 			Eps:   b.cfg.SolverTol,
+			X0:    x0,
 		})
 		if err != nil {
 			return nil, err
@@ -207,6 +246,7 @@ func (b *graphBuilder) solve(mode graph.Mode, reg []float64) ([]float64, error) 
 		Tol:     b.cfg.SolverTol,
 		MaxIter: b.cfg.SolverMaxIter,
 		Scheme:  scheme,
+		X0:      x0,
 	})
 	if err != nil {
 		return nil, err

@@ -308,19 +308,6 @@ func topQueries(m map[Query]float64, n int) []Query {
 	return qs
 }
 
-// tmplLookup returns the learned utilities for a template key, reporting
-// whether the template was seen in the domain phase.
-func (dm *DomainModel) tmplLookup(key string) (p, r, rStar float64, ok bool) {
-	if dm == nil {
-		return 0, 0, 0, false
-	}
-	p, okP := dm.TemplateP[key]
-	if !okP {
-		return 0, 0, 0, false
-	}
-	return p, dm.TemplateR[key], dm.TemplateRStar[key], true
-}
-
 // templatesOf enumerates the canonical template keys of a query's token
 // sequence under rec.
 func templatesOf(toks []textproc.Token, rec types.Recognizer) []string {

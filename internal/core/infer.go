@@ -1,7 +1,8 @@
 package core
 
 import (
-	"l2q/internal/corpus"
+	"math"
+
 	"l2q/internal/graph"
 )
 
@@ -32,11 +33,18 @@ type Inference struct {
 	CollR, CollRStar, CollP []float64
 }
 
-// ArgMax returns the index of the maximal value, breaking ties by query
-// string for determinism; -1 when empty.
+// ArgMax returns the index of the maximal finite value, breaking ties by
+// query string for determinism; -1 when empty or no value is finite.
+// Non-finite utilities (NaN from a degenerate ratio, ±Inf from an
+// overflowed score) are skipped: every comparison against NaN is false,
+// so a NaN at index 0 would otherwise win outright, and an Inf would mask
+// every real candidate.
 func (inf *Inference) ArgMax(vals []float64) int {
 	best := -1
 	for i, v := range vals {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			continue
+		}
 		if best < 0 || v > vals[best] ||
 			(v == vals[best] && inf.Queries[i] < inf.Queries[best]) {
 			best = i
@@ -45,11 +53,27 @@ func (inf *Inference) ArgMax(vals []float64) int {
 	return best
 }
 
-// Infer runs the entity phase (§IV-C): build the entity reinforcement graph
-// over the current result pages and candidate queries, regularize with page
-// relevance and (optionally) domain template utilities, and solve for the
-// requested utilities.
+// Infer runs the entity phase (§IV-C): assemble the entity reinforcement
+// graph over the current result pages and candidate queries, regularize
+// with page relevance and (optionally) domain template utilities, and
+// solve for the requested utilities.
+//
+// With Config.IncrementalGraph (the default) the graph persists across
+// steps and is updated with deltas; InferReference is the retained
+// rebuild-per-step path, and the two compute identical rankings
+// (TestIncrementalMatchesReference).
 func (s *Session) Infer(opts InferOptions) (*Inference, error) {
+	if s.Cfg.IncrementalGraph {
+		return s.inferIncremental(opts)
+	}
+	return s.InferReference(opts)
+}
+
+// InferReference is the from-scratch entity-phase inference: it rebuilds
+// the reinforcement graph over the current pages and candidates and
+// cold-solves both fixpoints. It is the differential-testing ground truth
+// for the incremental path, mirroring search.Engine.SearchReference.
+func (s *Session) InferReference(opts InferOptions) (*Inference, error) {
 	cands := s.candidateQueries(opts.UseDomainCandidates)
 	inf := &Inference{Queries: cands}
 	if len(cands) == 0 {
@@ -140,30 +164,47 @@ func (s *Session) Infer(opts InferOptions) (*Inference, error) {
 // The Y* counterparts (for collective precision, Eq. 27) replace "relevant
 // pages" with "all pages" throughout.
 func (s *Session) collective(inf *Inference, b *graphBuilder, opts InferOptions) {
-	nPages := len(s.pages)
-	var relPages []*corpus.Page
+	nRel := 0
 	for _, p := range s.pages {
 		if s.Y(p) {
-			relPages = append(relPages, p)
+			nRel++
 		}
 	}
-	nRel := len(relPages)
+	s.collectiveCover(inf, b, opts, nRel, nil)
+}
+
+// collectiveCover is collective with the relevant-page count precomputed
+// and an optional injected coverage source: cover(i) returns the number
+// of gathered relevant pages / gathered pages containing candidate i. The
+// incremental path supplies counts cached during delta connection; nil
+// recounts by scanning the pages (the reference behavior). Candidates are
+// scored on a bounded worker pool (Config.InferWorkers) — each writes
+// only its own indexes, so every worker count computes identical values.
+func (s *Session) collectiveCover(inf *Inference, b *graphBuilder, opts InferOptions,
+	nRel int, cover func(i int) (relCover, allCover int)) {
+
+	nPages := len(s.pages)
 	m := s.Cfg.PriorStrength
 	useDM := opts.UseTemplates && s.DM != nil
 
 	inf.CollR = make([]float64, len(inf.Queries))
 	inf.CollRStar = make([]float64, len(inf.Queries))
 	inf.CollP = make([]float64, len(inf.Queries))
-	for i, q := range inf.Queries {
-		toks := b.queryToks[q]
+	parallelFor(len(inf.Queries), s.Cfg.inferWorkers(), func(i int) {
+		q := inf.Queries[i]
 
 		// Exact redundancy conditionals over the gathered pages.
-		relCover, allCover := 0, 0
-		for _, p := range s.pages {
-			if p.ContainsQuery(toks) {
-				allCover++
-				if s.Y(p) {
-					relCover++
+		var relCover, allCover int
+		if cover != nil {
+			relCover, allCover = cover(i)
+		} else {
+			toks := b.queryToks[q]
+			for _, p := range s.pages {
+				if p.ContainsQuery(toks) {
+					allCover++
+					if s.Y(p) {
+						relCover++
+					}
 				}
 			}
 		}
@@ -258,7 +299,7 @@ func (s *Session) collective(inf *Inference, b *graphBuilder, opts InferOptions)
 		if inf.CollRStar[i] > 0 {
 			inf.CollP[i] = inf.CollR[i] / inf.CollRStar[i]
 		}
-	}
+	})
 }
 
 // smoothed blends an observed coverage fraction (over n observations) with

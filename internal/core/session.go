@@ -58,6 +58,10 @@ type Session struct {
 	pages    []*corpus.Page
 	pageSet  map[corpus.PageID]struct{}
 
+	// sg is the persistent entity graph (Config.IncrementalGraph): built
+	// lazily on the first Infer and updated with deltas each step.
+	sg *sessionGraph
+
 	// rPhi and rStarPhi are R_E(Φ) and R*_E(Φ), the collective recalls
 	// of the context w.r.t. Y and Y* (§V-A). They are maintained from
 	// observable state anchored at the seed-recall parameter r0: the
@@ -158,11 +162,24 @@ func (s *Session) IngestSeed(res []search.Result) int {
 
 // IngestQuery records q in the context Φ and merges its pre-fetched
 // results — the state half of Fire. Returns the number of new pages.
+// Like Step, it delivers a TraceRecord when a Trace callback is installed
+// (SelectionTime is zero here: in the split select/fetch scheduler the
+// selection happened on another worker's clock).
 func (s *Session) IngestQuery(q Query, res []search.Result) int {
 	s.fired = append(s.fired, q)
 	s.firedSet[q] = struct{}{}
 	n := s.merge(res)
 	s.updateContext()
+	if s.Trace != nil {
+		s.Trace(TraceRecord{
+			Iteration:  len(s.fired),
+			Query:      q,
+			NewPages:   n,
+			TotalPages: len(s.pages),
+			RPhi:       s.rPhi,
+			RStarPhi:   s.rStarPhi,
+		})
+	}
 	return n
 }
 

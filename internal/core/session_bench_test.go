@@ -1,0 +1,198 @@
+package core
+
+import (
+	"sync"
+	"testing"
+
+	"l2q/internal/classify"
+	"l2q/internal/corpus"
+	"l2q/internal/search"
+	"l2q/internal/synth"
+	"l2q/internal/types"
+)
+
+// benchEnv is one domain's benchmark substrate: a synthetic researchers-
+// or cars-shaped corpus, engine, domain model, and a fixed 5-step query
+// prefix (chosen once by the reference L2QBAL run) so every variant
+// measures selection at the same session state — "per-step selection at
+// step ≥ 5", the acceptance scenario of the incremental refactor.
+type benchEnv struct {
+	g      *synth.Generated
+	engine *search.Engine
+	rec    types.Recognizer
+	aspect corpus.Aspect
+	y      func(*corpus.Page) bool
+	dm     *DomainModel
+	target *corpus.Entity
+	prefix []Query
+}
+
+var benchEnvs struct {
+	sync.Mutex
+	byDomain map[corpus.Domain]*benchEnv
+}
+
+func benchEnvFor(b *testing.B, domain corpus.Domain, aspect corpus.Aspect) *benchEnv {
+	b.Helper()
+	benchEnvs.Lock()
+	defer benchEnvs.Unlock()
+	if e, ok := benchEnvs.byDomain[domain]; ok {
+		return e
+	}
+	cfg := synth.TestConfig(domain)
+	cfg.NumEntities = 40
+	cfg.PagesPerEntity = 24
+	g, err := synth.Generate(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	engine := search.NewEngine(search.BuildIndex(g.Corpus.Pages))
+	rec := types.Chain{g.KB, types.NewRegexRecognizer()}
+	y := func(p *corpus.Page) bool { return classify.GroundTruth(p, aspect) }
+	var domainIDs []corpus.EntityID
+	for i := 0; i < g.Corpus.NumEntities()/2; i++ {
+		domainIDs = append(domainIDs, g.Corpus.Entities[i].ID)
+	}
+	ccfg := DefaultConfig()
+	ccfg.Tokenizer = g.Tokenizer
+	dm, err := LearnDomain(ccfg, aspect, g.Corpus, domainIDs, y, rec)
+	if err != nil {
+		b.Fatal(err)
+	}
+	env := &benchEnv{
+		g: g, engine: engine, rec: rec, aspect: aspect, y: y, dm: dm,
+		target: g.Corpus.Entities[g.Corpus.NumEntities()-1],
+	}
+	// The shared 5-query prefix, chosen by a reference run so every
+	// variant below replays the identical session state.
+	s := env.session(referenceBenchConfig(g))
+	env.prefix = s.Run(NewL2QBAL(), 5)
+	if len(env.prefix) < 5 {
+		b.Fatalf("prefix run fired only %d queries", len(env.prefix))
+	}
+	if benchEnvs.byDomain == nil {
+		benchEnvs.byDomain = make(map[corpus.Domain]*benchEnv)
+	}
+	benchEnvs.byDomain[domain] = env
+	return env
+}
+
+func referenceBenchConfig(g *synth.Generated) Config {
+	cfg := DefaultConfig()
+	cfg.Tokenizer = g.Tokenizer
+	cfg.IncrementalGraph = false
+	cfg.WarmStart = false
+	return cfg
+}
+
+func (e *benchEnv) session(cfg Config) *Session {
+	return NewSession(cfg, e.engine, e.target, e.aspect, e.y, e.dm, e.rec, 42)
+}
+
+// replay brings a fresh session to the post-prefix state. When warm is
+// true it also runs an Infer per step, populating the persistent session
+// graph exactly as live harvesting would (for reference configs the extra
+// Infers are a no-op for state).
+func (e *benchEnv) replay(b *testing.B, s *Session, opts InferOptions, warm bool) {
+	b.Helper()
+	s.Bootstrap()
+	for _, q := range e.prefix {
+		if warm {
+			if _, err := s.Infer(opts); err != nil {
+				b.Fatal(err)
+			}
+		}
+		s.Fire(q)
+	}
+}
+
+var benchDomains = []struct {
+	name   string
+	domain corpus.Domain
+	aspect corpus.Aspect
+}{
+	{"researchers", synth.DomainResearchers, synth.AspResearch},
+	{"cars", synth.DomainCars, synth.AspSafety},
+}
+
+// BenchmarkSessionStep measures one entity-phase inference at step ≥5 of
+// a harvesting session — the per-step selection cost §VI-C identifies as
+// the CPU-bound half of harvesting. Each iteration replays a fresh
+// session through the 5-query prefix (untimed) and times exactly one
+// inference with the last fire's page delta still pending — the exact
+// state a live step sees. "reference" rebuilds the graph and cold-solves (the
+// pre-refactor behavior); "incremental" reuses the persistent session
+// graph; "incremental-warm" adds warm-started solvers. The acceptance
+// bar is ≥2x on researchers.
+func BenchmarkSessionStep(b *testing.B) {
+	opts := InferOptions{UseTemplates: true, UseDomainCandidates: true, Collective: true}
+	variants := []struct {
+		name        string
+		incremental bool
+		warm        bool
+	}{
+		{"reference", false, false},
+		{"incremental", true, false},
+		{"incremental-warm", true, true},
+	}
+	for _, d := range benchDomains {
+		env := benchEnvFor(b, d.domain, d.aspect)
+		for _, v := range variants {
+			b.Run(d.name+"/"+v.name, func(b *testing.B) {
+				for i := 0; i < b.N; i++ {
+					b.StopTimer()
+					cfg := referenceBenchConfig(env.g)
+					cfg.IncrementalGraph = v.incremental
+					cfg.WarmStart = v.warm
+					s := env.session(cfg)
+					env.replay(b, s, opts, v.incremental)
+					b.StartTimer()
+					if _, err := s.Infer(opts); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+		}
+	}
+}
+
+// BenchmarkInfer isolates one inference with and without the collective
+// (§V) utilities, reference vs incremental, on both domains. The steady
+// state (graph fully ingested, warm solver) is the selector-evaluation
+// hot path of a long session.
+func BenchmarkInfer(b *testing.B) {
+	for _, d := range benchDomains {
+		env := benchEnvFor(b, d.domain, d.aspect)
+		for _, coll := range []struct {
+			name string
+			opts InferOptions
+		}{
+			{"collective", InferOptions{UseTemplates: true, UseDomainCandidates: true, Collective: true}},
+			{"individual", InferOptions{UseTemplates: true, UseDomainCandidates: true}},
+		} {
+			b.Run(d.name+"/"+coll.name+"/reference", func(b *testing.B) {
+				s := env.session(referenceBenchConfig(env.g))
+				env.replay(b, s, coll.opts, false)
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					if _, err := s.InferReference(coll.opts); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+			b.Run(d.name+"/"+coll.name+"/incremental", func(b *testing.B) {
+				cfg := referenceBenchConfig(env.g)
+				cfg.IncrementalGraph = true
+				cfg.WarmStart = true
+				s := env.session(cfg)
+				env.replay(b, s, coll.opts, true)
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					if _, err := s.Infer(coll.opts); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+		}
+	}
+}

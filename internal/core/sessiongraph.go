@@ -1,0 +1,322 @@
+package core
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"l2q/internal/corpus"
+	"l2q/internal/graph"
+)
+
+// sessionGraph is the persistent entity reinforcement graph of one
+// harvesting session (§IV-C), maintained incrementally across Steps
+// instead of being rebuilt per inference:
+//
+//   - new result pages and new candidate queries are appended and
+//     connected against the existing vertices (delta containment — only
+//     new×old and ×new pairs are checked, never old×old again);
+//   - fired queries are detached (they leave the candidate pool; an
+//     isolated vertex is invisible to both walks, so the graph stays
+//     exactly equivalent to a from-scratch build over the current pool);
+//   - the page regularization vectors (Eq. 11–12) are updated in place —
+//     new pages append their score, the recall vector renormalizes
+//     against the running total;
+//   - the previous step's solved utilities are kept as warm starts for
+//     the next step's fixpoints (Config.WarmStart);
+//   - conjunctive-containment coverage counts per candidate — the exact
+//     redundancy conditionals the collective utilities of §V recount on
+//     every step in the rebuild path — fall out of delta connection as a
+//     byproduct and are cached.
+//
+// The graph's shape depends on the InferOptions signature (templates add
+// vertices, domain candidates extend the pool), so a session keeps one
+// sessionGraph per signature and rebuilds only if a selector switches
+// options mid-session (which none of the stock strategies do).
+type sessionGraph struct {
+	b           *graphBuilder
+	templates   bool // graph was built with template vertices
+	domainCands bool // candidate pool includes domain candidates
+
+	nPagesConnected int // prefix of b.pages already delta-connected
+	nFiredSeen      int // prefix of s.fired already detached
+
+	// pageRel caches the binary Y(p) per b.pages index for the coverage
+	// counters (classifier calls are memoized but not free); relCount
+	// is the number of true entries.
+	pageRel  []bool
+	relCount int
+	// coverAll and coverRel count the pages (resp. relevant pages)
+	// containing each attached query — maintained incrementally, they
+	// replace the per-step O(pages × candidates) recount inside the
+	// collective utilities.
+	coverAll map[Query]int
+	coverRel map[Query]int
+
+	// In-place page regularization state (Eq. 11–12). regTotal
+	// accumulates clamped scores in page order, reproducing the rebuild
+	// path's left-to-right summation exactly.
+	reg          regPair
+	regTotal     float64
+	nPagesScored int
+
+	// prevPrec and prevRecall are the last solved utility vectors,
+	// node-indexed; they seed the next solves when warm starting (new
+	// nodes beyond their length cold-start at the regularization).
+	prevPrec, prevRecall []float64
+}
+
+func newSessionGraph(b *graphBuilder, opts InferOptions) *sessionGraph {
+	return &sessionGraph{
+		b:           b,
+		templates:   opts.UseTemplates,
+		domainCands: opts.UseDomainCandidates,
+		coverAll:    make(map[Query]int),
+		coverRel:    make(map[Query]int),
+	}
+}
+
+// matches returns the index of the sessionGraph options signature; a
+// mismatch means the cached graph was built for different InferOptions.
+func (sg *sessionGraph) matches(opts InferOptions) bool {
+	return sg != nil && sg.templates == opts.UseTemplates &&
+		sg.domainCands == opts.UseDomainCandidates
+}
+
+// pqMatch is one discovered containment edge: a page (by b.pages index)
+// and its edge weight, computed in parallel and applied serially.
+type pqMatch struct {
+	page int32
+	w    float64
+}
+
+// ingest brings the persistent graph up to date with the session: detach
+// newly fired queries, append new pages and new candidate queries, and
+// delta-connect — new queries against old pages, every attached query
+// against new pages. Containment checks and edge weights run on a bounded
+// worker pool (Config.InferWorkers); graph mutation stays serial, so the
+// result is deterministic for every worker count.
+func (sg *sessionGraph) ingest(s *Session, cands []Query) {
+	b := sg.b
+
+	// Retire fired queries: they left the candidate pool for good.
+	for _, q := range s.fired[sg.nFiredSeen:] {
+		b.detachQuery(q)
+	}
+	sg.nFiredSeen = len(s.fired)
+
+	// Append new pages (b.pages mirrors s.pages in order) and cache Y.
+	oldPages := sg.nPagesConnected
+	for _, p := range s.pages[len(b.pages):] {
+		b.addPage(p)
+	}
+	for _, p := range b.pages[len(sg.pageRel):] {
+		rel := s.Y(p)
+		sg.pageRel = append(sg.pageRel, rel)
+		if rel {
+			sg.relCount++
+		}
+	}
+
+	// Append new candidate queries (with their template vertices).
+	var newQs []Query
+	for _, q := range cands {
+		if _, ok := b.queries[q]; !ok {
+			b.addQuery(q)
+			newQs = append(newQs, q)
+		}
+	}
+
+	workers := s.Cfg.inferWorkers()
+	oldSlice := b.pages[:oldPages]
+	newSlice := b.pages[oldPages:]
+
+	// Phase A: new queries × old pages.
+	matchesA := make([][]pqMatch, len(newQs))
+	parallelFor(len(newQs), workers, func(i int) {
+		matchesA[i] = b.findMatches(newQs[i], oldSlice, 0)
+	})
+
+	// Phase B: every attached query (old and new) × new pages.
+	var attached []Query
+	if len(newSlice) > 0 {
+		attached = make([]Query, 0, len(b.queryList))
+		for _, q := range b.queryList {
+			if !b.detached[q] {
+				attached = append(attached, q)
+			}
+		}
+	}
+	matchesB := make([][]pqMatch, len(attached))
+	parallelFor(len(attached), workers, func(i int) {
+		matchesB[i] = b.findMatches(attached[i], newSlice, int32(oldPages))
+	})
+
+	// Apply edges serially, counting coverage as a byproduct.
+	for i, q := range newQs {
+		sg.applyMatches(q, matchesA[i])
+	}
+	for i, q := range attached {
+		sg.applyMatches(q, matchesB[i])
+	}
+	sg.nPagesConnected = len(b.pages)
+}
+
+// findMatches scans a page window for conjunctive containment of q,
+// returning page indexes offset into b.pages plus edge weights.
+func (b *graphBuilder) findMatches(q Query, window []*corpus.Page, offset int32) []pqMatch {
+	toks := b.queryToks[q]
+	var ms []pqMatch
+	for pi, p := range window {
+		if p.ContainsQuery(toks) {
+			ms = append(ms, pqMatch{page: offset + int32(pi), w: b.edgeWeight(p, q)})
+		}
+	}
+	return ms
+}
+
+func (sg *sessionGraph) applyMatches(q Query, ms []pqMatch) {
+	b := sg.b
+	qid := b.queries[q]
+	for _, m := range ms {
+		b.g.AddEdgePQ(b.pageNode[b.pages[m.page].ID], qid, m.w)
+		sg.coverAll[q]++
+		if sg.pageRel[m.page] {
+			sg.coverRel[q]++
+		}
+	}
+}
+
+// pageReg updates the page regularization vectors in place (Eq. 11–12):
+// precision entries are appended for new pages only; the recall vector is
+// the precision vector renormalized by the running score total.
+func (sg *sessionGraph) pageReg(s *Session) regPair {
+	b := sg.b
+	n := b.g.NumNodes()
+	for len(sg.reg.precision) < n {
+		sg.reg.precision = append(sg.reg.precision, 0)
+		sg.reg.recall = append(sg.reg.recall, 0)
+	}
+	score := s.YScore
+	if score == nil {
+		score = func(p *corpus.Page) float64 {
+			if s.Y(p) {
+				return 1
+			}
+			return 0
+		}
+	}
+	for _, p := range b.pages[sg.nPagesScored:] {
+		sc := clamp01(score(p))
+		sg.reg.precision[b.pageNode[p.ID]] = sc
+		sg.regTotal += sc
+	}
+	sg.nPagesScored = len(b.pages)
+	if sg.regTotal > 0 {
+		for _, p := range b.pages {
+			id := b.pageNode[p.ID]
+			sg.reg.recall[id] = sg.reg.precision[id] / sg.regTotal
+		}
+	}
+	return sg.reg
+}
+
+// inferIncremental is the fast path of Session.Infer: one persistent
+// graph per session, O(Δ) ingest per step, warm-started fixpoints, and
+// cached coverage counts for the collective utilities. It computes the
+// same utilities as InferReference (see TestIncrementalMatchesReference).
+func (s *Session) inferIncremental(opts InferOptions) (*Inference, error) {
+	cands := s.candidateQueries(opts.UseDomainCandidates)
+	inf := &Inference{Queries: cands}
+	if len(cands) == 0 {
+		return inf, nil
+	}
+
+	sg := s.sg
+	if !sg.matches(opts) {
+		rec := s.Rec
+		if !opts.UseTemplates {
+			rec = nil // no template vertices at all
+		}
+		b := newGraphBuilder(s.Cfg, rec)
+		b.engine = s.Engine
+		sg = newSessionGraph(b, opts)
+		s.sg = sg
+	}
+	sg.ingest(s, cands)
+	b := sg.b
+
+	pageReg := sg.pageReg(s)
+
+	lambda := s.Cfg.Lambda
+	var tmplP, tmplR map[string]float64
+	if opts.UseTemplates && s.DM != nil {
+		tmplP = s.DM.TemplateP
+		if s.Cfg.UseWalkRecallReg {
+			tmplR = s.DM.TemplateR
+		} else {
+			tmplR = s.DM.TemplateRCount
+		}
+	}
+
+	var x0P, x0R []float64
+	if s.Cfg.WarmStart {
+		x0P, x0R = sg.prevPrec, sg.prevRecall
+	}
+	precReg := b.addTemplateReg(pageReg.precision, tmplP, lambda)
+	prec, err := b.solveWarm(graph.Precision, precReg, x0P)
+	if err != nil {
+		return nil, err
+	}
+	recReg := b.addTemplateReg(pageReg.recall, tmplR, lambda)
+	rcl, err := b.solveWarm(graph.Recall, recReg, x0R)
+	if err != nil {
+		return nil, err
+	}
+	sg.prevPrec, sg.prevRecall = prec, rcl
+
+	inf.P = make([]float64, len(cands))
+	inf.R = make([]float64, len(cands))
+	for i, q := range cands {
+		id := b.queries[q]
+		inf.P[i] = prec[id]
+		inf.R[i] = rcl[id]
+	}
+	if !opts.Collective {
+		return inf, nil
+	}
+	s.collectiveCover(inf, b, opts, sg.relCount, func(i int) (relCover, allCover int) {
+		return sg.coverRel[inf.Queries[i]], sg.coverAll[inf.Queries[i]]
+	})
+	return inf, nil
+}
+
+// parallelFor runs fn(0..n-1) over a bounded worker pool. workers ≤ 1
+// runs inline. Iterations must be independent; each index is executed
+// exactly once.
+func parallelFor(n, workers int, fn func(int)) {
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				fn(i)
+			}
+		}()
+	}
+	wg.Wait()
+}

@@ -50,7 +50,10 @@ type halfEdge struct {
 
 // Graph is a mutable tripartite reinforcement graph. Add nodes and edges,
 // then hand it to Solve; no explicit finalize step is needed because weight
-// totals are maintained incrementally.
+// totals are maintained incrementally. Mutation is also valid *after* a
+// solve — appending nodes/edges (and detaching a query) keeps every total
+// consistent, which is what lets a harvesting session grow one persistent
+// graph across steps instead of rebuilding it.
 type Graph struct {
 	kinds []Kind
 
@@ -65,6 +68,7 @@ type Graph struct {
 	totQTTempl []float64 // Σ w over a template's query edges
 
 	numEdges int
+	version  uint64
 }
 
 // New creates an empty graph.
@@ -82,11 +86,17 @@ func (g *Graph) AddNode(k Kind) NodeID {
 	g.totPQQuery = append(g.totPQQuery, 0)
 	g.totQTQuery = append(g.totQTQuery, 0)
 	g.totQTTempl = append(g.totQTTempl, 0)
+	g.version++
 	return id
 }
 
 // NumNodes returns the vertex count.
 func (g *Graph) NumNodes() int { return len(g.kinds) }
+
+// Version counts mutations (node adds, edge adds, detaches). Callers that
+// cache anything derived from the topology — solved utilities used as warm
+// starts, materialized operators — compare versions to detect staleness.
+func (g *Graph) Version() uint64 { return g.version }
 
 // NumEdges returns the edge count.
 func (g *Graph) NumEdges() int { return g.numEdges }
@@ -121,6 +131,7 @@ func (g *Graph) AddEdgePQ(p, q NodeID, w float64) {
 	g.totPQPage[p] += w
 	g.totPQQuery[q] += w
 	g.numEdges++
+	g.version++
 }
 
 // AddEdgeQT connects a query and a template with weight w > 0 (Wqt: t
@@ -137,4 +148,55 @@ func (g *Graph) AddEdgeQT(q, t NodeID, w float64) {
 	g.totQTQuery[q] += w
 	g.totQTTempl[t] += w
 	g.numEdges++
+	g.version++
+}
+
+// DetachQuery removes every edge incident to a query vertex, leaving it
+// isolated. An isolated vertex with zero regularization is invisible to
+// both walks — its utility is 0 and it contributes to no neighbor — so
+// detaching is exactly equivalent to the vertex never having been added.
+// This is how a persistent session graph retires a fired query (fired
+// queries leave the candidate pool) without renumbering nodes.
+//
+// Totals on the affected neighbors are recomputed by re-summing their
+// remaining edges, not decremented, so they match a from-scratch build
+// exactly. Cost is O(Σ degree of the detached query's neighbors).
+func (g *Graph) DetachQuery(q NodeID) {
+	if g.kinds[q] != KindQuery {
+		panic(fmt.Sprintf("graph: DetachQuery(%s)", g.kinds[q]))
+	}
+	for _, e := range g.pqByQuery[q] {
+		g.pqByPage[e.to] = dropEdgesTo(g.pqByPage[e.to], q)
+		g.totPQPage[e.to] = sumWeights(g.pqByPage[e.to])
+		g.numEdges--
+	}
+	for _, e := range g.qtByQuery[q] {
+		g.qtByTempl[e.to] = dropEdgesTo(g.qtByTempl[e.to], q)
+		g.totQTTempl[e.to] = sumWeights(g.qtByTempl[e.to])
+		g.numEdges--
+	}
+	g.pqByQuery[q] = nil
+	g.qtByQuery[q] = nil
+	g.totPQQuery[q] = 0
+	g.totQTQuery[q] = 0
+	g.version++
+}
+
+// dropEdgesTo filters out all half-edges pointing at v, in place.
+func dropEdgesTo(edges []halfEdge, v NodeID) []halfEdge {
+	out := edges[:0]
+	for _, e := range edges {
+		if e.to != v {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+func sumWeights(edges []halfEdge) float64 {
+	s := 0.0
+	for _, e := range edges {
+		s += e.w
+	}
+	return s
 }

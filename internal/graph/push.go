@@ -1,6 +1,9 @@
 package graph
 
-import "fmt"
+import (
+	"fmt"
+	"math"
+)
 
 // This file implements a residual ("forward push") solver for the same
 // damped fixpoint as Solve. The paper notes that beyond standard iterative
@@ -192,6 +195,20 @@ type PushProblem struct {
 	// MaxPushes bounds the total number of push operations (default
 	// 400·|V|; the bound exists to keep adversarial ε terminating).
 	MaxPushes int
+	// X0, when non-nil, is the incremental warm start: the solve begins
+	// at X0 and pushes only the *correction* residual
+	//
+	//	res = Reg − (X0 − (1−α)·A·X0)/α
+	//
+	// which is exactly the restart vector whose solution is x* − X0.
+	// When X0 is the previous step's solution on a slightly-grown graph,
+	// the residual is near zero except around the new and mutated nodes,
+	// so work is proportional to the change — the local-push analogue of
+	// incremental personalized PageRank (ref [26]). Correction residuals
+	// are signed; pushing is linear, so negative mass propagates the same
+	// way. X0 may be shorter than the node count (the graph grew);
+	// missing entries cold-start at Reg.
+	X0 []float64
 }
 
 // PushSolve solves the Eq. 13 fixpoint by residual push. It maintains the
@@ -235,11 +252,27 @@ func PushSolve(p PushProblem) (Result, error) {
 	}
 
 	x := make([]float64, n)
-	res := append([]float64(nil), p.Reg...)
+	var res []float64
+	if p.X0 == nil {
+		res = append([]float64(nil), p.Reg...)
+	} else {
+		// Warm start: x = X0 (new nodes cold-start at Reg), and the
+		// residual is the correction restart vector res = Reg − S⁻¹(x)
+		// with S⁻¹(y) = (y − (1−α)·A·y)/α, so that x + S(res) = S(Reg).
+		copy(x, p.Reg)
+		copy(x, p.X0)
+		ax := make([]float64, n)
+		op.Apply(x, ax)
+		res = make([]float64, n)
+		oneMinus := 1 - alpha
+		for v := 0; v < n; v++ {
+			res[v] = p.Reg[v] - (x[v]-oneMinus*ax[v])/alpha
+		}
+	}
 	queued := make([]bool, n)
 	queue := make([]int32, 0, n)
 	for v := 0; v < n; v++ {
-		if res[v] > eps {
+		if math.Abs(res[v]) > eps {
 			queue = append(queue, int32(v))
 			queued[v] = true
 		}
@@ -252,7 +285,7 @@ func PushSolve(p PushProblem) (Result, error) {
 		queue = queue[1:]
 		queued[v] = false
 		rho := res[v]
-		if rho <= eps {
+		if math.Abs(rho) <= eps {
 			continue
 		}
 		res[v] = 0
@@ -261,7 +294,7 @@ func PushSolve(p PushProblem) (Result, error) {
 		for i := op.colStart[v]; i < op.colStart[v+1]; i++ {
 			u := op.rowIdx[i]
 			res[u] += spread * op.colVals[i]
-			if !queued[u] && res[u] > eps {
+			if !queued[u] && math.Abs(res[u]) > eps {
 				queue = append(queue, u)
 				queued[u] = true
 			}
@@ -271,7 +304,7 @@ func PushSolve(p PushProblem) (Result, error) {
 
 	converged := true
 	for v := 0; v < n; v++ {
-		if res[v] > eps {
+		if math.Abs(res[v]) > eps {
 			converged = false
 			break
 		}

@@ -59,6 +59,14 @@ type Problem struct {
 	// Scheme selects Jacobi (default, the paper's iteration) or
 	// Gauss–Seidel.
 	Scheme Iteration
+	// X0, when non-nil, is the warm-start iterate: the iteration begins
+	// at X0 instead of at Reg. The fixpoint is unique and the map is a
+	// contraction, so the converged result is independent of the start —
+	// a warm start only changes how many iterations convergence takes.
+	// X0 may be shorter than the node count (the graph grew since the
+	// previous solve); missing entries start at Reg, the cold-start
+	// value. Entries beyond the node count are ignored.
+	X0 []float64
 }
 
 // Result carries the solved utilities and convergence diagnostics.
@@ -98,7 +106,10 @@ func Solve(p Problem) (Result, error) {
 
 	x := make([]float64, n)
 	next := make([]float64, n)
-	copy(x, p.Reg) // warm start at the regularization
+	copy(x, p.Reg) // cold start at the regularization
+	if p.X0 != nil {
+		copy(x, p.X0) // warm start; tail (new nodes) stays at Reg
+	}
 
 	var iter int
 	converged := false

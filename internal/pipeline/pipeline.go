@@ -59,6 +59,16 @@ type Config struct {
 	// would oversubscribe GOMAXPROCS² goroutines. Both re-tunes are
 	// ranking-neutral. Remote retrievers are left untouched.
 	Search *search.Options
+	// InferWorkers sets every job session's per-step inference
+	// parallelism (core.Config.InferWorkers: delta containment and
+	// collective scoring). 0 applies the same oversubscription rule as
+	// the search knob: with more than one select worker, sessions run
+	// serial inference (the scheduler already saturates the CPU pool
+	// across entities; nesting per-step parallelism under it would
+	// oversubscribe GOMAXPROCS² goroutines), and a single select worker
+	// leaves sessions untouched. Positive values are applied verbatim.
+	// Value-neutral either way: worker counts never change utilities.
+	InferWorkers int
 }
 
 func (c Config) withDefaults() Config {
@@ -105,6 +115,23 @@ func (c Config) tuneEngines(jobs []Job) {
 	}
 }
 
+// tuneSessions applies the Config.InferWorkers policy to every job
+// session (see the field doc; the inference analogue of tuneEngines).
+func (c Config) tuneSessions(jobs []Job) {
+	w := c.InferWorkers
+	if w == 0 {
+		if c.SelectWorkers <= 1 {
+			return
+		}
+		w = 1 // serial inference under parallel selection
+	}
+	for i := range jobs {
+		if s := jobs[i].Session; s != nil {
+			s.Cfg.InferWorkers = w
+		}
+	}
+}
+
 // stage is where a job currently is in its select/fetch/ingest cycle.
 type jobState struct {
 	job   *Job
@@ -126,6 +153,7 @@ func Run(ctx context.Context, cfg Config, jobs []Job) []Result {
 		return results
 	}
 	cfg.tuneEngines(jobs)
+	cfg.tuneSessions(jobs)
 	for i := range jobs {
 		if jobs[i].Session == nil || jobs[i].Selector == nil {
 			results[i] = Result{Job: &jobs[i], Err: fmt.Errorf("pipeline: job %d missing session or selector", i)}

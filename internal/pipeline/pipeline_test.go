@@ -3,6 +3,7 @@ package pipeline
 import (
 	"context"
 	"reflect"
+	"sync"
 	"testing"
 	"time"
 
@@ -207,6 +208,91 @@ func TestPipelineZeroQueryBudget(t *testing.T) {
 	// The seed bootstrap must still have happened.
 	if len(s.Pages()) == 0 {
 		t.Error("seed results not ingested")
+	}
+}
+
+// TestPipelineRaceTraceSharedEngine is the concurrency proof for the
+// incremental-inference refactor: a full pipeline run where every session
+// keeps a persistent session graph, all sessions share ONE cached engine
+// (shared LRU query cache under concurrent Search), and every session has
+// a Trace callback appending into shared test state. Run under -race (CI
+// always does), any unsynchronized access in the session graph, the
+// shared cache, or trace delivery fails the suite.
+func TestPipelineRaceTraceSharedEngine(t *testing.T) {
+	f := newFixture(t)
+	targets := f.targets(6)
+	const nQueries = 2
+
+	shared := search.NewEngineOpts(search.BuildIndex(f.g.Corpus.Pages), search.Options{})
+	var mu sync.Mutex
+	traces := make(map[corpus.EntityID][]core.TraceRecord)
+
+	jobs := make([]Job, len(targets))
+	for i, e := range targets {
+		s := f.session(e, nil)
+		s.Engine = shared
+		id := e.ID
+		s.Trace = func(tr core.TraceRecord) {
+			mu.Lock()
+			traces[id] = append(traces[id], tr)
+			mu.Unlock()
+		}
+		jobs[i] = Job{Session: s, Selector: core.NewL2QBAL(), NQueries: nQueries}
+	}
+	results := Run(context.Background(), Config{SelectWorkers: 4, FetchWorkers: 8}, jobs)
+	for i, r := range results {
+		if r.Err != nil {
+			t.Fatalf("job %d: %v", i, r.Err)
+		}
+		if len(r.Fired) != nQueries {
+			t.Errorf("job %d fired %d queries, want %d", i, len(r.Fired), nQueries)
+		}
+	}
+	for _, e := range targets {
+		recs := traces[e.ID]
+		if len(recs) != nQueries {
+			t.Fatalf("entity %d: %d trace records, want %d", e.ID, len(recs), nQueries)
+		}
+		for j, tr := range recs {
+			if tr.Iteration != j+1 {
+				t.Errorf("entity %d trace %d: iteration %d", e.ID, j, tr.Iteration)
+			}
+			if tr.Query == "" || tr.TotalPages == 0 {
+				t.Errorf("entity %d trace %d: empty record %+v", e.ID, j, tr)
+			}
+		}
+	}
+}
+
+// TestSessionTuning checks the inference-knob threading: the implicit
+// rule serializes per-step inference under parallel selection, explicit
+// values are applied verbatim, and a single select worker leaves sessions
+// untouched.
+func TestSessionTuning(t *testing.T) {
+	f := newFixture(t)
+	e := f.targets(1)[0]
+
+	mkJobs := func() []Job {
+		return []Job{{Session: f.session(e, nil), Selector: core.NewP(), NQueries: 1}}
+	}
+
+	jobs := mkJobs()
+	Config{SelectWorkers: 4}.withDefaults().tuneSessions(jobs)
+	if got := jobs[0].Session.Cfg.InferWorkers; got != 1 {
+		t.Errorf("implicit rule under parallel selection: InferWorkers = %d, want 1", got)
+	}
+
+	jobs = mkJobs()
+	Config{SelectWorkers: 4, InferWorkers: 3}.withDefaults().tuneSessions(jobs)
+	if got := jobs[0].Session.Cfg.InferWorkers; got != 3 {
+		t.Errorf("explicit InferWorkers: got %d, want 3", got)
+	}
+
+	jobs = mkJobs()
+	before := jobs[0].Session.Cfg.InferWorkers
+	Config{SelectWorkers: 1}.withDefaults().tuneSessions(jobs)
+	if got := jobs[0].Session.Cfg.InferWorkers; got != before {
+		t.Errorf("single select worker mutated InferWorkers: %d → %d", before, got)
 	}
 }
 

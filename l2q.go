@@ -137,6 +137,18 @@ type SystemOptions struct {
 	Shards       int
 	ScoreWorkers int
 	CacheSize    int
+	// InferWorkers bounds the worker pool inside one inference step
+	// (delta containment and collective candidate scoring); non-zero
+	// overrides Config.InferWorkers. Utilities are identical for every
+	// worker count.
+	InferWorkers int
+	// NoIncrementalGraph and NoWarmStart switch the inference stack back
+	// to rebuild-per-step / cold solves (Session.InferReference
+	// behavior). DefaultConfig enables both optimizations; differential
+	// tests hold the two paths to identical query rankings, so these
+	// exist for benchmarking and paranoia, not correctness.
+	NoIncrementalGraph bool
+	NoWarmStart        bool
 }
 
 // DefaultSystemOptions returns paper-scale options.
@@ -186,6 +198,15 @@ func NewSyntheticSystem(d Domain, opts SystemOptions) (*System, error) {
 	}
 	if opts.CacheSize != 0 {
 		cfg.SearchCacheSize = opts.CacheSize
+	}
+	if opts.InferWorkers != 0 {
+		cfg.InferWorkers = opts.InferWorkers
+	}
+	if opts.NoIncrementalGraph {
+		cfg.IncrementalGraph = false
+	}
+	if opts.NoWarmStart {
+		cfg.WarmStart = false
 	}
 	cfg.Tokenizer = g.Tokenizer
 	return NewSystem(g.Corpus, g.KB, g.Aspects, g.Tokenizer, cfg)
@@ -311,6 +332,15 @@ func (s *System) HarvestMany(entities []EntityID, a Aspect, dm *DomainModel,
 				return
 			}
 			h := s.NewHarvesterSeeded(e, a, dm, uint64(id)+1)
+			if workers > 1 && s.cfg.InferWorkers == 0 {
+				// Same oversubscription rule as the pipeline
+				// scheduler: entity-level parallelism already
+				// saturates the CPU, so each session infers
+				// serially — unless the caller set an explicit
+				// worker count, which is honored verbatim.
+				// Value-neutral either way.
+				h.Cfg.InferWorkers = 1
+			}
 			fired := h.Run(sel, nQueries)
 			out[i] = HarvestResult{Entity: e, Fired: fired, Pages: h.Pages()}
 		}(i, id)
