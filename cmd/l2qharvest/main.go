@@ -18,6 +18,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"time"
 
 	"l2q"
 	"l2q/internal/corpus"
@@ -35,6 +36,9 @@ func main() {
 		dsample  = flag.Int("domainsample", 40, "domain entities for the domain phase")
 		seed     = flag.Uint64("seed", 1, "corpus seed")
 		remote   = flag.String("remote", "", "harvest via this HTTP search API instead of in-process")
+		retries  = flag.Int("retries", 4, "remote transport: attempts per request (1 = no retries)")
+		rtimeout = flag.Duration("timeout", 30*time.Second, "remote transport: per-request HTTP timeout")
+		prefetch = flag.Int("prefetch", 8, "remote transport: concurrent page downloads per query")
 		inferW   = flag.Int("inferworkers", 0, "per-step inference workers (0 = GOMAXPROCS)")
 		warm     = flag.Bool("warmstart", true, "warm-start fixpoint solvers from the previous step")
 		incr     = flag.Bool("incremental", true, "persistent incremental session graphs (false = rebuild per step)")
@@ -126,10 +130,19 @@ func main() {
 	var h *l2q.Harvester
 	var re *l2q.RemoteEngine
 	if *remote != "" {
-		if re, err = sys.DialRemote(*remote); err != nil {
+		// The resilient path: transient transport faults (5xx, timeouts,
+		// truncated bodies) are retried with exponential backoff instead
+		// of surfacing as empty "unproductive" queries.
+		opts := l2q.RemoteOptions{
+			Retry:           l2q.RetryPolicy{MaxAttempts: *retries},
+			PrefetchWorkers: *prefetch,
+			Timeout:         *rtimeout,
+		}
+		if re, err = sys.DialRemoteOpts(*remote, opts); err != nil {
 			fail(err)
 		}
-		fmt.Printf("remote:   http://%s (%d pages served)\n\n", *remote, re.Stats().NumPages)
+		fmt.Printf("remote:   http://%s (%d pages served; %d attempts/request)\n\n",
+			*remote, re.Stats().NumPages, *retries)
 		h = sys.NewRemoteHarvester(re, target, a, dm)
 	} else {
 		h = sys.NewHarvester(target, a, dm)
@@ -146,7 +159,9 @@ func main() {
 	}
 	fmt.Printf("\nselection time: %v total\n", h.SelectionTime().Round(1000))
 	if re != nil {
-		fmt.Printf("HTTP requests issued: %d\n", re.Requests())
+		m := re.Metrics()
+		fmt.Printf("HTTP requests issued: %d (%d retried, %d failed after retries, %d page downloads shared in flight)\n",
+			m.Requests, m.Retries, m.Errors, m.PrefetchShared)
 	}
 }
 

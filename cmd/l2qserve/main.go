@@ -3,6 +3,12 @@
 // the paper harvests through. Remote harvesters connect with
 // webapi.Dial and run unchanged (see examples/httpharvest).
 //
+// With -harvest (the default), the server also exposes POST /api/harvest:
+// server-side batch harvesting that runs pipelined L2Q sessions next to
+// the index and streams NDJSON per-iteration progress. Classifiers are
+// trained on the served corpus and domain models are learned lazily per
+// aspect (over the canonical first-half entity sample).
+//
 // The corpus is either loaded from a store file written by l2qgen/l2qstore
 // (-store) or generated synthetically (-domain/-entities/-pages).
 //
@@ -10,6 +16,7 @@
 //
 //	l2qserve -addr 127.0.0.1:8080 -domain researchers -entities 100
 //	l2qserve -addr 127.0.0.1:8080 -store corpus.l2q
+//	curl -d '{"entities":[7],"aspect":"RESEARCH","nQueries":3}' http://127.0.0.1:8080/api/harvest
 package main
 
 import (
@@ -20,11 +27,16 @@ import (
 	"os"
 	"os/signal"
 	"syscall"
+	"time"
 
+	"l2q/internal/classify"
+	"l2q/internal/core"
 	"l2q/internal/corpus"
 	"l2q/internal/search"
 	"l2q/internal/store"
 	"l2q/internal/synth"
+	"l2q/internal/textproc"
+	"l2q/internal/types"
 	"l2q/internal/webapi"
 )
 
@@ -41,6 +53,9 @@ func main() {
 		shards    = flag.Int("shards", 0, "index shards (0 = GOMAXPROCS)")
 		workers   = flag.Int("scoreworkers", 0, "per-query scoring workers (0 = GOMAXPROCS)")
 		cacheSize = flag.Int("cachesize", 0, "query cache capacity (0 = default, <0 = off)")
+		harvest   = flag.Bool("harvest", true, "enable POST /api/harvest (server-side batch harvesting)")
+		maxSess   = flag.Int("harvestsessions", 64, "max entities per harvest request")
+		drain     = flag.Duration("drain", 10*time.Second, "graceful-shutdown drain timeout")
 	)
 	flag.Parse()
 	sopts := search.Options{Shards: *shards, ScoreWorkers: *workers, CacheSize: *cacheSize}
@@ -50,6 +65,8 @@ func main() {
 	var (
 		c   *corpus.Corpus
 		idx *search.Index
+		tok *textproc.Tokenizer
+		rec types.Recognizer = types.NewRegexRecognizer()
 	)
 	if *storePath != "" {
 		b, err := store.LoadFile(*storePath)
@@ -65,6 +82,10 @@ func main() {
 			// explicit -shards by redistributing (cheap, shares postings).
 			idx = idx.Reshard(*shards)
 		}
+		// Store files carry no tokenizer; reconstruct the phrase lexicon
+		// from the corpus's own multi-word tokens so server-side query
+		// tokenization round-trips phrases the way the corpus builder did.
+		tok = reconstructTokenizer(c)
 	} else {
 		cfg := synth.DefaultConfig(corpus.Domain(*domain))
 		cfg.NumEntities = *entities
@@ -76,12 +97,19 @@ func main() {
 		}
 		c = g.Corpus
 		idx = search.BuildIndexOpts(c.Pages, sopts)
+		tok = g.Tokenizer
+		rec = types.Chain{g.KB, types.NewRegexRecognizer()}
 	}
 
 	engine := search.NewEngineOpts(idx, sopts).WithTopK(*topK)
 	srv := webapi.NewServer(c, engine)
 	if !*quiet {
 		srv.Log = logger
+	}
+	if *harvest {
+		if hb := harvestBackend(c, tok, rec, *maxSess, logger); hb != nil {
+			srv.Harvest = hb
+		}
 	}
 	bound, err := srv.Start(*addr)
 	if err != nil {
@@ -90,13 +118,90 @@ func main() {
 	fmt.Printf("serving %d pages of %q on http://%s (top-%d, μ = %.0f, %d shards, %d score workers)\n",
 		c.NumPages(), c.Domain, bound, engine.TopK(), engine.Mu(),
 		idx.NumShards(), engine.ScoreWorkers())
-	fmt.Println("endpoints: /api/stats /api/search?q=&seed= /api/collfreq?tokens= /api/entities /page/{id}.html /healthz")
+	endpoints := "endpoints: /api/stats /api/search?q=&seed= /api/collfreq?tokens= /api/entities /page/{id}.html /healthz"
+	if srv.Harvest != nil {
+		endpoints += " POST /api/harvest"
+	}
+	fmt.Println(endpoints)
 
 	stop := make(chan os.Signal, 1)
 	signal.Notify(stop, os.Interrupt, syscall.SIGTERM)
 	<-stop
-	fmt.Println("shutting down")
-	if err := srv.Shutdown(context.Background()); err != nil {
+	fmt.Println("shutting down (canceling in-flight harvests, draining)")
+	ctx, cancel := context.WithTimeout(context.Background(), *drain)
+	defer cancel()
+	if err := srv.Shutdown(ctx); err != nil {
 		logger.Fatal(err)
 	}
+}
+
+// harvestBackend trains aspect classifiers on the served corpus and wires
+// the batch-harvest endpoint with lazily-learned per-aspect domain models.
+// Returns nil (harvesting disabled) when the corpus carries no aspect
+// labels to train on.
+func harvestBackend(c *corpus.Corpus, tok *textproc.Tokenizer, rec types.Recognizer,
+	maxSessions int, logger *log.Logger) *webapi.HarvestBackend {
+
+	aspects := c.Aspects()
+	if len(aspects) == 0 {
+		logger.Print("harvest: corpus has no aspect labels; endpoint disabled")
+		return nil
+	}
+	cls := classify.TrainSet(aspects, c.Pages)
+	var usable []corpus.Aspect
+	for _, a := range aspects {
+		if cls.Has(a) {
+			usable = append(usable, a)
+		}
+	}
+	if len(usable) == 0 {
+		logger.Print("harvest: no aspect has training signal; endpoint disabled")
+		return nil
+	}
+	cfg := core.DefaultConfig()
+	cfg.Tokenizer = tok
+
+	domainIDs := make([]corpus.EntityID, 0, c.NumEntities()/2)
+	for _, e := range c.Entities[:c.NumEntities()/2] {
+		domainIDs = append(domainIDs, e.ID)
+	}
+	return &webapi.HarvestBackend{
+		Cfg:         cfg,
+		Aspects:     usable,
+		Y:           cls.YFunc,
+		Rec:         rec,
+		MaxSessions: maxSessions,
+		// The backend memoizes per aspect, so learning from scratch here
+		// runs at most once per aspect.
+		DomainModel: func(a corpus.Aspect) (*core.DomainModel, error) {
+			return core.LearnDomain(cfg, a, c, domainIDs, cls.YFunc(a), rec)
+		},
+	}
+}
+
+// reconstructTokenizer rebuilds a phrase-merging tokenizer from the
+// corpus's own tokens: any multi-word token (internal space) was produced
+// by a phrase lexicon, so collecting them recovers it.
+func reconstructTokenizer(c *corpus.Corpus) *textproc.Tokenizer {
+	seen := make(map[string]struct{})
+	var phrases []string
+	for _, p := range c.Pages {
+		for i := range p.Paras {
+			for _, t := range p.Paras[i].Tokens {
+				for j := 0; j < len(t); j++ {
+					if t[j] == ' ' {
+						if _, dup := seen[t]; !dup {
+							seen[t] = struct{}{}
+							phrases = append(phrases, t)
+						}
+						break
+					}
+				}
+			}
+		}
+	}
+	if len(phrases) == 0 {
+		return &textproc.Tokenizer{}
+	}
+	return &textproc.Tokenizer{Lexicon: textproc.NewLexicon(phrases)}
 }

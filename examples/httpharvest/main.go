@@ -1,20 +1,25 @@
 // HTTP harvest: run the full L2Q loop across a real HTTP boundary — the
 // setting the paper targets, where the harvester pays per search-API call
-// and per page download (§I).
+// and per page download (§I) — and across a *hostile* one: the remote
+// client here talks to the search API through a fault injector that
+// answers 20% of requests with a 500 and truncates another 10% mid-body,
+// and the harvest still gathers exactly the pages the in-process engine
+// does, because the transport retries transient faults with exponential
+// backoff instead of silently losing work.
 //
-// The example starts an in-process search API (the same server
-// cmd/l2qserve runs), dials it, and harvests one researcher's RESEARCH
-// aspect remotely: queries go out as HTTP searches, result pages come back
-// as HTML and are segmented on the client. It then repeats the harvest
-// with the in-process engine and shows the two are identical — plus the
-// request bill the remote run paid, which is exactly the cost L2Q's query
-// selection exists to minimize.
+// The example then flips the topology with the server-side batch-harvest
+// API: one POST /api/harvest runs pipelined sessions next to the index and
+// streams NDJSON progress back, replacing the per-query per-page request
+// traffic of the client-side run.
 package main
 
 import (
 	"context"
 	"fmt"
 	"log"
+	"net"
+	"net/http"
+	"time"
 
 	"l2q"
 )
@@ -35,31 +40,55 @@ func main() {
 	}
 	target := sys.Corpus().Entity(ids[len(ids)-1])
 
-	// Serve the corpus as a search API on a random local port.
+	// Serve the corpus as a search API on a random local port...
 	srv := sys.NewSearchServer()
 	addr, err := srv.Start("127.0.0.1:0")
 	if err != nil {
 		log.Fatal(err)
 	}
 	defer srv.Shutdown(context.Background())
-	fmt.Printf("search API serving %d pages on http://%s\n", sys.Corpus().NumPages(), addr)
 
-	remote, err := sys.DialRemote(addr)
+	// ...and put a fault injector in front of it: a flaky mirror of the
+	// same API that errors or truncates 30% of responses.
+	flaky := &l2q.FaultInjector{
+		Next:         srv.Handler(),
+		ErrorRate:    0.20,
+		TruncateRate: 0.10,
+		Seed:         7,
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer ln.Close()
+	go http.Serve(ln, flaky) //nolint:errcheck // closed by ln.Close on exit
+	flakyAddr := ln.Addr().String()
+	fmt.Printf("search API serving %d pages on http://%s\n", sys.Corpus().NumPages(), addr)
+	fmt.Printf("flaky front end on http://%s (20%% errors, 10%% truncated bodies)\n\n", flakyAddr)
+
+	// Dial the FLAKY address with a patient retry policy.
+	remote, err := sys.DialRemoteOpts(flakyAddr, l2q.RemoteOptions{
+		Retry: l2q.RetryPolicy{MaxAttempts: 8, BaseDelay: 5 * time.Millisecond},
+	})
 	if err != nil {
 		log.Fatal(err)
 	}
 	st := remote.Stats()
 	fmt.Printf("dialed: top-%d results, μ=%.0f, %d terms\n\n", st.TopK, st.Mu, st.NumTerms)
 
-	fmt.Printf("harvesting %q RESEARCH remotely (3 queries)\n", target.Name)
+	fmt.Printf("harvesting %q RESEARCH remotely through the faults (3 queries)\n", target.Name)
 	rh := sys.NewRemoteHarvester(remote, target, "RESEARCH", dm)
 	remoteFired := rh.Run(l2q.NewL2QBAL(), 3)
 	for i, q := range remoteFired {
 		fmt.Printf("  q(%d) = %s\n", i+1, q)
 	}
-	fmt.Printf("gathered %d pages over HTTP; %d HTTP requests total\n\n",
-		len(rh.Pages()), remote.Requests())
+	m := remote.Metrics()
+	passed, errs, truncated := flaky.Counts()
+	fmt.Printf("gathered %d pages over HTTP; %d requests (%d retried, %d failed for good)\n",
+		len(rh.Pages()), m.Requests, m.Retries, m.Errors)
+	fmt.Printf("injector: %d served, %d errored, %d truncated\n\n", passed, errs, truncated)
 
+	// The ground truth: the same harvest with the in-process engine.
 	lh := sys.NewHarvesterSeeded(target, "RESEARCH", dm, 1)
 	localFired := lh.Run(l2q.NewL2QBAL(), 3)
 
@@ -68,13 +97,46 @@ func main() {
 		same = localFired[i] == remoteFired[i]
 	}
 	fmt.Printf("in-process run selected the same queries: %v\n", same)
-	fmt.Printf("pages gathered: %d remote vs %d local\n", len(rh.Pages()), len(lh.Pages()))
-
-	rel := 0
-	for _, p := range rh.Pages() {
-		if sys.Relevant("RESEARCH", p) {
-			rel++
-		}
+	fmt.Printf("pages gathered: %d remote vs %d local\n\n", len(rh.Pages()), len(lh.Pages()))
+	if !same || len(rh.Pages()) != len(lh.Pages()) {
+		// This example doubles as the CI smoke test for the remote path:
+		// a parity break must fail the run, not just print false.
+		log.Fatalf("remote/in-process parity broken: queries %v vs %v, pages %d vs %d",
+			remoteFired, localFired, len(rh.Pages()), len(lh.Pages()))
 	}
-	fmt.Printf("relevant pages in the remote harvest: %d/%d\n", rel, len(rh.Pages()))
+
+	// Server-side batch harvest: one POST, sessions run next to the index,
+	// progress streams back as NDJSON events. POSTs do real work and are
+	// not retried, so this client dials the clean address.
+	fmt.Println("server-side batch harvest of 3 entities (POST /api/harvest):")
+	direct, err := sys.DialRemote(addr)
+	if err != nil {
+		log.Fatal(err)
+	}
+	batch := []l2q.EntityID{ids[len(ids)-3], ids[len(ids)-2], ids[len(ids)-1]}
+	events, entitiesDone := 0, 0
+	err = direct.HarvestBatch(context.Background(), l2q.HarvestRequest{
+		Entities: batch,
+		Aspect:   "RESEARCH",
+		Strategy: "L2QBAL",
+		NQueries: 2,
+	}, func(ev l2q.HarvestEvent) error {
+		events++
+		switch ev.Type {
+		case "progress":
+			fmt.Printf("  entity %d · q(%d) = %s (+%d pages)\n", ev.Entity, ev.Iteration, ev.Query, ev.NewPages)
+		case "entity":
+			entitiesDone++
+			fmt.Printf("  entity %d done: %d queries, %d pages\n", ev.Entity, len(ev.Fired), len(ev.Pages))
+		case "error":
+			fmt.Printf("  entity %d failed: %s\n", ev.Entity, ev.Error)
+		case "done":
+			fmt.Printf("  batch done: %d entities, %d failed\n", ev.Entities, ev.Failed)
+		}
+		return nil
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("%d NDJSON events streamed, %d entities harvested server-side\n", events, entitiesDone)
 }

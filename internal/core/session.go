@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"math/rand/v2"
 	"time"
@@ -130,16 +131,43 @@ func (s *Session) Bootstrap() int {
 // without touching session state; the empty query fetches the seed alone.
 // It is the I/O half of Fire, safe to run on a fetch worker while another
 // entity's selection occupies the CPU (the pipeline scheduler's split).
+// It is the errorless adapter over FetchQueryCtx: a transport failure
+// yields no results (an unproductive query).
 func (s *Session) FetchQuery(q Query) []search.Result {
+	res, _ := s.FetchQueryCtx(context.Background(), q)
+	return res
+}
+
+// FetchQueryCtx is FetchQuery with cancellation and typed error
+// propagation. When the engine implements ContextRetriever (remote
+// transports), cancellation aborts the in-flight HTTP work and transport
+// failures surface as errors instead of masquerading as unproductive
+// queries; plain Retrievers (in-process engines, which cannot fail) are
+// adapted with a cancellation pre-check. The simulated-latency Fetcher,
+// when set, is also cancellable.
+func (s *Session) FetchQueryCtx(ctx context.Context, q Query) ([]search.Result, error) {
 	var extra []textproc.Token
 	if q != "" {
 		extra = s.Cfg.QueryTokens(q)
 	}
-	res := s.Engine.SearchWithSeed(s.seed, extra)
-	if s.Fetcher != nil {
-		s.Fetcher.Fetch(res)
+	var res []search.Result
+	if cr, ok := s.Engine.(ContextRetriever); ok {
+		var err error
+		if res, err = cr.SearchWithSeedErr(ctx, s.seed, extra); err != nil {
+			return nil, err
+		}
+	} else {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		res = s.Engine.SearchWithSeed(s.seed, extra)
 	}
-	return res
+	if s.Fetcher != nil {
+		if _, err := s.Fetcher.FetchContext(ctx, res); err != nil {
+			return nil, err
+		}
+	}
+	return res, nil
 }
 
 // IngestSeed initializes the session from pre-fetched seed results — the

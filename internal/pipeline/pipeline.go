@@ -36,7 +36,10 @@ type Result struct {
 	Job *Job
 	// Fired lists the selected queries, in order.
 	Fired []core.Query
-	// Err is non-nil when the job was cut short (context cancellation).
+	// Err is non-nil when the job was cut short: context cancellation, or
+	// a transport failure the session's retriever could not retry away
+	// (remote engines surface *webapi.TransportError through the fetch
+	// stage instead of silently recording an unproductive query).
 	Err error
 }
 
@@ -199,6 +202,12 @@ func Run(ctx context.Context, cfg Config, jobs []Job) []Result {
 	}
 
 	// Fetch workers: run the I/O half, then hand the job to selection.
+	// The fetch is context-aware (Session.FetchQueryCtx): cancellation
+	// aborts an in-flight remote download immediately instead of holding
+	// wg.Wait() hostage for the transport's full HTTP timeout, and a
+	// transport failure that survived the retriever's retry budget
+	// finishes the job with a typed error rather than ingesting an empty
+	// result set as if the query had been unproductive.
 	for w := 0; w < cfg.FetchWorkers; w++ {
 		wg.Add(1)
 		go func() {
@@ -211,7 +220,12 @@ func Run(ctx context.Context, cfg Config, jobs []Job) []Result {
 					return
 				case i := <-fetchCh:
 					st := states[i]
-					st.results = st.job.Session.FetchQuery(st.pending)
+					res, err := st.job.Session.FetchQueryCtx(ctx, st.pending)
+					if err != nil {
+						finish(i, err)
+						continue
+					}
+					st.results = res
 					selectCh <- i
 				}
 			}

@@ -2,6 +2,7 @@ package pipeline
 
 import (
 	"context"
+	"errors"
 	"reflect"
 	"sync"
 	"testing"
@@ -179,6 +180,95 @@ func TestPipelineCancellation(t *testing.T) {
 	}
 	if canceled == 0 {
 		t.Error("expected at least one job cut short by cancellation")
+	}
+}
+
+// slowRetriever is a remote-shaped engine: searches block for delay (as a
+// slow HTTP fetch would) but honor context cancellation, like
+// webapi.Client. It wraps the fixture engine for actual results.
+type slowRetriever struct {
+	core.Retriever
+	delay time.Duration
+}
+
+func (r slowRetriever) SearchWithSeedErr(ctx context.Context, seed, query []string) ([]search.Result, error) {
+	t := time.NewTimer(r.delay)
+	defer t.Stop()
+	select {
+	case <-t.C:
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	}
+	return r.Retriever.SearchWithSeed(seed, query), nil
+}
+
+// failingRetriever fails every search with a persistent transport error
+// (what a webapi.Client returns once its retry budget is exhausted).
+type failingRetriever struct {
+	core.Retriever
+	err error
+}
+
+func (r failingRetriever) SearchWithSeedErr(context.Context, []string, []string) ([]search.Result, error) {
+	return nil, r.err
+}
+
+// TestPipelineCancellationLatency is the regression test for the fetch
+// stage ignoring ctx: a worker blocked in a slow remote fetch used to hold
+// wg.Wait() hostage until the transport's own timeout (up to 30 s for the
+// HTTP client). With ctx propagated into Session.FetchQueryCtx, Run must
+// return within milliseconds of cancellation even with 20-second fetches
+// in flight.
+func TestPipelineCancellationLatency(t *testing.T) {
+	f := newFixture(t)
+	targets := f.targets(4)
+	jobs := make([]Job, len(targets))
+	for i, e := range targets {
+		s := f.session(e, nil)
+		s.Engine = slowRetriever{Retriever: f.engine, delay: 20 * time.Second}
+		jobs[i] = Job{Session: s, Selector: core.NewRT(), NQueries: 5}
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() {
+		time.Sleep(50 * time.Millisecond)
+		cancel()
+	}()
+	start := time.Now()
+	results := Run(ctx, Config{SelectWorkers: 2, FetchWorkers: 4}, jobs)
+	elapsed := time.Since(start)
+	// ~100 ms is the target; 2 s leaves headroom for -race CI boxes while
+	// still proving we did not wait out the 20 s fetches.
+	if elapsed > 2*time.Second {
+		t.Fatalf("Run returned %v after cancellation, want ~100ms", elapsed)
+	}
+	for i, r := range results {
+		if r.Err == nil {
+			t.Errorf("job %d finished despite 20s fetches inside a 50ms window", i)
+		}
+	}
+}
+
+// TestPipelineFetchErrorSurfaces: a transport failure the retriever could
+// not retry away finishes the job with that error instead of ingesting an
+// empty result set as an "unproductive query".
+func TestPipelineFetchErrorSurfaces(t *testing.T) {
+	f := newFixture(t)
+	targets := f.targets(2)
+	sentinel := errors.New("transport down after retries")
+	jobs := make([]Job, len(targets))
+	for i, e := range targets {
+		s := f.session(e, nil)
+		s.Engine = failingRetriever{Retriever: f.engine, err: sentinel}
+		jobs[i] = Job{Session: s, Selector: core.NewRT(), NQueries: 3}
+	}
+	results := Run(context.Background(), Config{SelectWorkers: 2, FetchWorkers: 4}, jobs)
+	for i, r := range results {
+		if !errors.Is(r.Err, sentinel) {
+			t.Errorf("job %d err = %v, want the transport error", i, r.Err)
+		}
+		if len(jobs[i].Session.Pages()) != 0 {
+			t.Errorf("job %d ingested %d pages from a dead transport", i, len(jobs[i].Session.Pages()))
+		}
 	}
 }
 

@@ -1,6 +1,7 @@
 package search
 
 import (
+	"context"
 	"sync"
 	"time"
 
@@ -40,19 +41,36 @@ func NewFetcher(perPage time.Duration) *Fetcher {
 
 // Fetch "downloads" the result pages, accounting simulated latency.
 func (f *Fetcher) Fetch(results []Result) []*corpus.Page {
+	pages, _ := f.FetchContext(context.Background(), results)
+	return pages
+}
+
+// FetchContext is Fetch with cancellation: a sleeping fetch (Sleep=true)
+// wakes up when ctx is canceled and returns the context error, so a
+// scheduler that parked a worker on a slow simulated download can reclaim
+// it promptly. The latency accounting still records the full simulated
+// cost — the download was started, which is what the paper's cost model
+// charges for.
+func (f *Fetcher) FetchContext(ctx context.Context, results []Result) ([]*corpus.Page, error) {
 	cost := time.Duration(len(results)) * f.PerPageLatency
 	f.mu.Lock()
 	f.simulated += cost
 	f.fetched += len(results)
 	f.mu.Unlock()
-	if f.Sleep {
-		time.Sleep(cost)
+	if f.Sleep && cost > 0 {
+		t := time.NewTimer(cost)
+		defer t.Stop()
+		select {
+		case <-t.C:
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		}
 	}
 	pages := make([]*corpus.Page, 0, len(results))
 	for _, r := range results {
 		pages = append(pages, r.Page)
 	}
-	return pages
+	return pages, nil
 }
 
 // SimulatedTime returns the total simulated fetch latency so far.

@@ -1,7 +1,9 @@
 package webapi
 
 import (
+	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"net/http"
@@ -16,43 +18,87 @@ import (
 	"l2q/internal/textproc"
 )
 
-// Client is a remote search engine: it implements core.Retriever against a
-// webapi.Server, so a harvesting session runs unchanged across a real HTTP
-// boundary. Result pages are downloaded as HTML, segmented with
-// internal/html, re-tokenized, and cached; Dirichlet scoring is reproduced
-// locally from /api/stats plus batched /api/collfreq lookups, bit-for-bit
-// equal to the server engine's scores.
+// Client is a remote search engine: it implements core.Retriever (and the
+// error-aware core.ContextRetriever) against a webapi.Server, so a
+// harvesting session runs unchanged across a real HTTP boundary. Result
+// pages are downloaded as HTML, segmented with internal/html, re-tokenized,
+// and cached; Dirichlet scoring is reproduced locally from /api/stats plus
+// batched /api/collfreq lookups, bit-for-bit equal to the server engine's
+// scores.
+//
+// The transport is resilient by default: every API call is an idempotent
+// GET against an immutable corpus, so the client retries transient faults
+// (connection errors, timeouts, truncated bodies, 5xx) with exponential
+// backoff and jitter (RetryPolicy), downloads a query's result pages
+// concurrently with singleflight dedup, and accounts every request, retry
+// and terminal failure in ClientMetrics. Faults that survive the retry
+// budget surface as *TransportError — never as a silently shortened result
+// list, which would corrupt the session's R_E(Φ) bookkeeping without a
+// trace.
 //
 // Client is safe for concurrent use.
 type Client struct {
-	base  string
-	http  *http.Client
-	tok   *textproc.Tokenizer
-	stats Stats
+	base            string
+	http            *http.Client
+	tok             *textproc.Tokenizer
+	stats           Stats
+	retry           RetryPolicy
+	prefetchWorkers int
 
 	mu        sync.RWMutex
 	pageCache map[corpus.PageID]*corpus.Page
 	cfCache   map[string]int
 
-	reqMu    sync.Mutex
-	requests int
+	flight flightGroup
+	met    metrics
 }
 
-// Dial connects to a server, fetching its collection statistics once. The
-// tokenizer must match the one that produced the corpus (the server serves
-// raw HTML; tokenization is the client's job, as on the real Web).
+// ClientOptions tunes a client's transport. The zero value picks the
+// defaults documented on each field.
+type ClientOptions struct {
+	// Retry is the per-request retry policy (zero value: 4 attempts,
+	// 50 ms base backoff, 2 s cap).
+	Retry RetryPolicy
+	// PrefetchWorkers bounds the concurrent page downloads for one
+	// query's hit list (default 8; 1 fetches serially).
+	PrefetchWorkers int
+	// Timeout is the per-request HTTP timeout (default 30 s). Contexts
+	// passed to the *Ctx/*Err methods cancel earlier.
+	Timeout time.Duration
+}
+
+// maxResponseBytes caps any single response body read (pages and JSON).
+const maxResponseBytes = 32 << 20
+
+// Dial connects to a server with default transport options, fetching its
+// collection statistics once. The tokenizer must match the one that
+// produced the corpus (the server serves raw HTML; tokenization is the
+// client's job, as on the real Web).
 func Dial(base string, tok *textproc.Tokenizer) (*Client, error) {
+	return DialOpts(base, tok, ClientOptions{})
+}
+
+// DialOpts is Dial with explicit transport options.
+func DialOpts(base string, tok *textproc.Tokenizer, opts ClientOptions) (*Client, error) {
 	if !strings.HasPrefix(base, "http://") && !strings.HasPrefix(base, "https://") {
 		base = "http://" + base
 	}
-	c := &Client{
-		base:      strings.TrimRight(base, "/"),
-		http:      &http.Client{Timeout: 30 * time.Second},
-		tok:       tok,
-		pageCache: make(map[corpus.PageID]*corpus.Page),
-		cfCache:   make(map[string]int),
+	if opts.PrefetchWorkers <= 0 {
+		opts.PrefetchWorkers = 8
 	}
-	if err := c.getJSON("/api/stats", &c.stats); err != nil {
+	if opts.Timeout <= 0 {
+		opts.Timeout = 30 * time.Second
+	}
+	c := &Client{
+		base:            strings.TrimRight(base, "/"),
+		http:            &http.Client{Timeout: opts.Timeout},
+		tok:             tok,
+		retry:           opts.Retry.withDefaults(),
+		prefetchWorkers: opts.PrefetchWorkers,
+		pageCache:       make(map[corpus.PageID]*corpus.Page),
+		cfCache:         make(map[string]int),
+	}
+	if err := c.getJSON(context.Background(), "stats", "/api/stats", &c.stats); err != nil {
 		return nil, fmt.Errorf("webapi: dial %s: %w", base, err)
 	}
 	if c.stats.TopK <= 0 || c.stats.Mu <= 0 {
@@ -64,92 +110,328 @@ func Dial(base string, tok *textproc.Tokenizer) (*Client, error) {
 // Stats returns the server's collection statistics.
 func (c *Client) Stats() Stats { return c.stats }
 
-// Requests returns the number of HTTP requests issued so far (the "cost"
-// the paper motivates minimizing).
-func (c *Client) Requests() int {
-	c.reqMu.Lock()
-	defer c.reqMu.Unlock()
-	return c.requests
+// Requests returns the number of HTTP requests issued so far, retries
+// included (the "cost" the paper motivates minimizing).
+func (c *Client) Requests() int { return int(c.met.requests.Load()) }
+
+// Metrics returns a snapshot of the client's request/retry/error counters.
+func (c *Client) Metrics() ClientMetrics { return c.met.snapshot() }
+
+// doRetry issues GET path until decode succeeds or the retry policy is
+// exhausted, classifying failures with retryable. decode runs inside the
+// loop so truncated or corrupted payloads (which read fine but do not
+// parse) are retried like wire-level faults.
+func (c *Client) doRetry(ctx context.Context, op, path string, decode func([]byte) error) error {
+	if err := ctx.Err(); err != nil {
+		// Already canceled: no attempt, no counters — this is the
+		// caller's decision, not a transport failure.
+		return &TransportError{Op: op, Path: path, Err: err}
+	}
+	var lastErr error
+	attempts := 0
+	for attempt := 1; attempt <= c.retry.MaxAttempts; attempt++ {
+		attempts = attempt
+		if attempt > 1 {
+			c.met.retries.Add(1)
+		}
+		body, err := c.once(ctx, path)
+		if err == nil {
+			err = decode(body)
+		}
+		if err == nil {
+			return nil
+		}
+		lastErr = err
+		if !retryable(ctx, err) || attempt == c.retry.MaxAttempts {
+			break
+		}
+		if err := c.retry.sleep(ctx, attempt); err != nil {
+			lastErr = err
+			break
+		}
+	}
+	if ctx.Err() == nil {
+		// Count terminal transport failures only; an operation cut short
+		// by the caller's cancellation is not a fault of the wire.
+		c.met.errors.Add(1)
+	}
+	status := 0
+	var se *statusError
+	if errors.As(lastErr, &se) {
+		status = se.status
+	}
+	return &TransportError{Op: op, Path: path, Attempts: attempts, Status: status, Err: lastErr}
 }
 
-func (c *Client) countRequest() {
-	c.reqMu.Lock()
-	c.requests++
-	c.reqMu.Unlock()
-}
-
-func (c *Client) getJSON(path string, out any) error {
-	c.countRequest()
-	resp, err := c.http.Get(c.base + path)
+// once issues a single GET and reads the full body.
+func (c *Client) once(ctx context.Context, path string) ([]byte, error) {
+	c.met.requests.Add(1)
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.base+path, nil)
 	if err != nil {
-		return err
+		return nil, err
+	}
+	resp, err := c.http.Do(req)
+	if err != nil {
+		return nil, err
 	}
 	defer resp.Body.Close()
 	if resp.StatusCode != http.StatusOK {
-		body, _ := io.ReadAll(io.LimitReader(resp.Body, 256))
-		return fmt.Errorf("GET %s: %s: %s", path, resp.Status, strings.TrimSpace(string(body)))
+		// Only a snippet of an error body is ever used; don't transfer a
+		// misbehaving server's multi-megabyte 500 page to truncate it.
+		snippet, _ := io.ReadAll(io.LimitReader(resp.Body, 256))
+		return nil, &statusError{status: resp.StatusCode, body: strings.TrimSpace(string(snippet))}
 	}
-	return json.NewDecoder(resp.Body).Decode(out)
+	body, readErr := io.ReadAll(io.LimitReader(resp.Body, maxResponseBytes))
+	if readErr != nil {
+		return nil, readErr // truncated body: the server died mid-response
+	}
+	return body, nil
+}
+
+func (c *Client) getJSON(ctx context.Context, op, path string, out any) error {
+	return c.doRetry(ctx, op, path, func(b []byte) error { return json.Unmarshal(b, out) })
 }
 
 // TopK implements core.Retriever.
 func (c *Client) TopK() int { return c.stats.TopK }
 
-// SearchWithSeed implements core.Retriever: remote search, then page
-// download (cache-aware) for every hit.
+// SearchWithSeed implements core.Retriever. It is the legacy errorless
+// adapter over SearchWithSeedErr: a fault that survives the retry budget
+// yields no results (an unproductive query) rather than a silently
+// shortened hit list. Error-aware callers (core.Session.FetchQueryCtx, the
+// pipeline fetch stage) use SearchWithSeedErr and see the typed failure.
 func (c *Client) SearchWithSeed(seed, query []textproc.Token) []search.Result {
+	res, err := c.SearchWithSeedErr(context.Background(), seed, query)
+	if err != nil {
+		return nil
+	}
+	return res
+}
+
+// SearchWithSeedErr implements core.ContextRetriever: remote search, then
+// concurrent singleflight-deduped download of every ranked hit. Either the
+// complete ranked result list is returned, or an error — never a partial
+// list with failed downloads silently dropped.
+func (c *Client) SearchWithSeedErr(ctx context.Context, seed, query []textproc.Token) ([]search.Result, error) {
 	q := url.Values{}
 	q.Set("seed", textproc.JoinQuery(seed))
 	q.Set("q", textproc.JoinQuery(query))
+	path := "/api/search?" + q.Encode()
 	var resp SearchResponse
-	if err := c.getJSON("/api/search?"+q.Encode(), &resp); err != nil {
-		// Retriever has no error channel (searches over a fixed corpus
-		// cannot fail in-process); a broken transport yields no results,
-		// which the session treats as an unproductive query.
-		return nil
+	if err := c.getJSON(ctx, "search", path, &resp); err != nil {
+		return nil, err
 	}
-	out := make([]search.Result, 0, len(resp.Hits))
-	for _, h := range resp.Hits {
-		p, err := c.Page(h.PageID)
-		if err != nil {
-			continue
+	pages, err := c.prefetch(ctx, resp.Hits)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]search.Result, len(resp.Hits))
+	for i, h := range resp.Hits {
+		out[i] = search.Result{Page: pages[i], Score: h.Score}
+	}
+	return out, nil
+}
+
+// prefetch downloads the hit list's pages with bounded concurrency,
+// preserving rank order. The first failure cancels the remaining fetches.
+func (c *Client) prefetch(ctx context.Context, hits []SearchHit) ([]*corpus.Page, error) {
+	pages := make([]*corpus.Page, len(hits))
+	if len(hits) == 0 {
+		return pages, nil
+	}
+	workers := c.prefetchWorkers
+	if workers > len(hits) {
+		workers = len(hits)
+	}
+	if workers <= 1 {
+		for i, h := range hits {
+			p, err := c.PageCtx(ctx, h.PageID)
+			if err != nil {
+				return nil, err
+			}
+			pages[i] = p
 		}
-		out = append(out, search.Result{Page: p, Score: h.Score})
+		return pages, nil
 	}
-	return out
+	fctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	var (
+		wg       sync.WaitGroup
+		errMu    sync.Mutex
+		firstErr error
+	)
+	work := make(chan int)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range work {
+				if fctx.Err() != nil {
+					continue // another fetch failed; drain without fetching
+				}
+				p, err := c.PageCtx(fctx, hits[i].PageID)
+				if err != nil {
+					errMu.Lock()
+					if firstErr == nil {
+						firstErr = err
+					}
+					errMu.Unlock()
+					cancel()
+					continue
+				}
+				pages[i] = p
+			}
+		}()
+	}
+	for i := range hits {
+		if fctx.Err() != nil {
+			break // one failure fails the whole list; stop dispatching
+		}
+		work <- i
+	}
+	close(work)
+	wg.Wait()
+	if firstErr == nil {
+		// The caller's own cancellation leaves skipped (nil) slots with
+		// no recorded worker error; returning them as a success would
+		// hand nil pages to the session. Surface the cancellation.
+		firstErr = ctx.Err()
+	}
+	if firstErr != nil {
+		return nil, firstErr
+	}
+	return pages, nil
 }
 
 // Page downloads (or returns the cached) page with the given ID.
 func (c *Client) Page(id corpus.PageID) (*corpus.Page, error) {
-	c.mu.RLock()
-	p, ok := c.pageCache[id]
-	c.mu.RUnlock()
-	if ok {
-		return p, nil
+	return c.PageCtx(context.Background(), id)
+}
+
+// PageCtx is Page with cancellation. Concurrent fetches of the same page
+// (many sessions prefetching overlapping hit lists) coalesce onto a single
+// download: followers wait for the leader's result instead of re-paying
+// the transfer. A follower whose own context is canceled while waiting
+// returns its context error; a leader failure is shared with the waiters
+// and the flight slot is released, so the next caller retries fresh.
+//
+// One failure is deliberately NOT shared: a leader that died of its own
+// context's cancellation. The flight runs under the leader's context, so
+// without this carve-out one query's mid-prefetch abort would poison
+// every concurrent query waiting on a shared page with a spurious
+// context.Canceled. A live-context waiter loops and fetches again
+// (typically becoming the next leader). The signal is the leader's
+// context state at completion — not the error's identity, which would
+// also match a terminal failure built from per-request HTTP timeouts and
+// make K waiters serially re-pay a dead server's full retry budget.
+func (c *Client) PageCtx(ctx context.Context, id corpus.PageID) (*corpus.Page, error) {
+	for {
+		c.mu.RLock()
+		p, ok := c.pageCache[id]
+		c.mu.RUnlock()
+		if ok {
+			return p, nil
+		}
+		p, shared, leaderCanceled, err := c.flight.do(ctx, id, func() (*corpus.Page, error) {
+			c.met.pageFetches.Add(1)
+			pp, err := c.fetchPage(ctx, id)
+			if err != nil {
+				return nil, err
+			}
+			c.mu.Lock()
+			c.pageCache[id] = pp
+			c.mu.Unlock()
+			return pp, nil
+		})
+		if shared {
+			c.met.prefetchShared.Add(1)
+			if err != nil && leaderCanceled && ctx.Err() == nil {
+				continue // the LEADER was canceled, not us — retry fresh
+			}
+		}
+		return p, err
 	}
-	c.countRequest()
-	resp, err := c.http.Get(c.base + html.PageHref(id))
+}
+
+// fetchPage downloads and parses one page, retrying transport faults. A
+// document whose l2q-page-id meta is missing or disagrees with the
+// requested ID is rejected (and retried — the usual cause is a truncated
+// transfer): accepting it would let distinct malformed pages alias page 0
+// in the session's dedup set.
+func (c *Client) fetchPage(ctx context.Context, id corpus.PageID) (*corpus.Page, error) {
+	path := html.PageHref(id)
+	var p *corpus.Page
+	err := c.doRetry(ctx, "page", path, func(b []byte) error {
+		parsed := html.ParsePage(string(b), -1, c.tok)
+		if parsed.ID != id {
+			return fmt.Errorf("document has l2q-page-id %d, want %d (missing or corrupted meta)", parsed.ID, id)
+		}
+		p = parsed
+		return nil
+	})
 	if err != nil {
-		return nil, fmt.Errorf("webapi: fetch page %d: %w", id, err)
+		return nil, err
 	}
-	defer resp.Body.Close()
-	if resp.StatusCode != http.StatusOK {
-		return nil, fmt.Errorf("webapi: fetch page %d: %s", id, resp.Status)
-	}
-	body, err := io.ReadAll(io.LimitReader(resp.Body, 10<<20))
-	if err != nil {
-		return nil, fmt.Errorf("webapi: fetch page %d: %w", id, err)
-	}
-	p = html.ParsePage(string(body), -1, c.tok)
-	p.URL = c.base + html.PageHref(id)
-	c.mu.Lock()
-	c.pageCache[id] = p
-	c.mu.Unlock()
+	p.URL = c.base + path
 	return p, nil
 }
 
-// collProb returns the server-identical smoothed collection probability of
-// a token, fetching unknown collection frequencies in one batched call.
+// flightGroup is a minimal singleflight keyed by page ID: one in-flight
+// download per page, concurrent requesters share the result.
+type flightGroup struct {
+	mu sync.Mutex
+	m  map[corpus.PageID]*flightCall
+}
+
+type flightCall struct {
+	done chan struct{}
+	p    *corpus.Page
+	err  error
+	// canceled records whether the leader's OWN context was done when the
+	// flight completed — the signal that lets a live-context waiter retry
+	// instead of inheriting a cancellation that was never its own.
+	canceled bool
+}
+
+// do runs fn once per concurrently-requested id; shared is true when this
+// caller waited on another caller's flight instead of running fn, and
+// leaderCanceled reports whether that flight's leader ended with its own
+// context canceled.
+func (g *flightGroup) do(ctx context.Context, id corpus.PageID, fn func() (*corpus.Page, error)) (p *corpus.Page, shared, leaderCanceled bool, err error) {
+	g.mu.Lock()
+	if g.m == nil {
+		g.m = make(map[corpus.PageID]*flightCall)
+	}
+	if call, ok := g.m[id]; ok {
+		g.mu.Unlock()
+		select {
+		case <-call.done:
+			return call.p, true, call.canceled, call.err
+		case <-ctx.Done():
+			return nil, true, false, ctx.Err()
+		}
+	}
+	call := &flightCall{done: make(chan struct{})}
+	g.m[id] = call
+	g.mu.Unlock()
+	call.p, call.err = fn()
+	call.canceled = ctx.Err() != nil
+	g.mu.Lock()
+	delete(g.m, id)
+	g.mu.Unlock()
+	close(call.done)
+	return call.p, false, false, call.err
+}
+
+// collProbs returns the server-identical smoothed collection probability of
+// each token, fetching unknown collection frequencies in one batched call.
+// A persistent transport failure degrades to zero-frequency smoothing (the
+// engine's behavior for unseen terms) rather than failing the caller:
+// QueryLikelihood has no error surface, and edge weights only modulate
+// rankings. Because QueryLikelihood can run on the selection path (the
+// WeightByLikelihood edge weighting) where no caller context exists, the
+// whole retried lookup is bounded by one request timeout — a dead server
+// costs at most that, not attempts × (timeout + backoff).
 func (c *Client) collProbs(tokens []textproc.Token) []float64 {
 	var missing []string
 	c.mu.RLock()
@@ -165,7 +447,10 @@ func (c *Client) collProbs(tokens []textproc.Token) []float64 {
 		var resp struct {
 			Freqs map[string]int `json:"freqs"`
 		}
-		if err := c.getJSON("/api/collfreq?"+q.Encode(), &resp); err == nil {
+		ctx, cancel := context.WithTimeout(context.Background(), c.http.Timeout)
+		err := c.getJSON(ctx, "collfreq", "/api/collfreq?"+q.Encode(), &resp)
+		cancel()
+		if err == nil {
 			c.mu.Lock()
 			for t, cf := range resp.Freqs {
 				c.cfCache[t] = cf
@@ -201,7 +486,7 @@ func (c *Client) QueryLikelihood(p *corpus.Page, query []textproc.Token) float64
 // Entities lists the server's harvest targets.
 func (c *Client) Entities() ([]EntityInfo, error) {
 	var out []EntityInfo
-	if err := c.getJSON("/api/entities", &out); err != nil {
+	if err := c.getJSON(context.Background(), "entities", "/api/entities", &out); err != nil {
 		return nil, err
 	}
 	return out, nil

@@ -56,6 +56,36 @@ func TestConcurrentClients(t *testing.T) {
 	}
 }
 
+// TestHandlerConcurrentInit builds handlers from many goroutines at once
+// and serves through each: the semaphore used to be lazily initialized
+// with a non-atomic nil check, so under -race this test fails against the
+// old code (two Handler calls could each observe s.sem == nil and write
+// it) and pins the once-guarded initialization.
+func TestHandlerConcurrentInit(t *testing.T) {
+	g, err := synth.Generate(synth.TestConfig(synth.DomainCars))
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := NewServer(g.Corpus, search.NewEngine(search.BuildIndex(g.Corpus.Pages)))
+
+	const goroutines = 8
+	var wg sync.WaitGroup
+	for i := 0; i < goroutines; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			h := s.Handler()
+			req := httptest.NewRequest(http.MethodGet, "/healthz", nil)
+			rec := httptest.NewRecorder()
+			h.ServeHTTP(rec, req)
+			if rec.Code != http.StatusOK {
+				t.Errorf("healthz = %d", rec.Code)
+			}
+		}()
+	}
+	wg.Wait()
+}
+
 // TestServerConcurrencyLimit verifies the in-flight request bound: with
 // MaxConcurrent=1 and a held request slot, a second request still
 // completes once the first finishes (the semaphore drains, no deadlock).

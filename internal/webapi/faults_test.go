@@ -1,0 +1,445 @@
+package webapi
+
+import (
+	"context"
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"reflect"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"l2q/internal/classify"
+	"l2q/internal/core"
+	"l2q/internal/corpus"
+	"l2q/internal/search"
+	"l2q/internal/synth"
+	"l2q/internal/types"
+)
+
+// fastRetry keeps fault tests quick: generous attempts, millisecond backoff.
+var fastRetry = RetryPolicy{MaxAttempts: 10, BaseDelay: time.Millisecond, MaxDelay: 10 * time.Millisecond}
+
+// derivedClient builds a client aimed at base, reusing f's tokenizer and
+// dialed stats without re-dialing (the target may be deliberately broken).
+func derivedClient(f *fixture, base string, retry RetryPolicy) *Client {
+	return &Client{
+		base:            strings.TrimRight(base, "/"),
+		http:            &http.Client{Timeout: 30 * time.Second},
+		tok:             f.g.Tokenizer,
+		stats:           f.client.stats,
+		retry:           retry.withDefaults(),
+		prefetchWorkers: 4,
+		pageCache:       make(map[corpus.PageID]*corpus.Page),
+		cfCache:         make(map[string]int),
+	}
+}
+
+// newFaultyFixture serves the standard fixture corpus through a fault
+// injector and dials it with a patient, fast-backoff client.
+func newFaultyFixture(t *testing.T, inj *FaultInjector) (*fixture, *FaultInjector) {
+	t.Helper()
+	g, err := synth.Generate(synth.TestConfig(synth.DomainResearchers))
+	if err != nil {
+		t.Fatal(err)
+	}
+	engine := search.NewEngine(search.BuildIndex(g.Corpus.Pages))
+	inj.Next = NewServer(g.Corpus, engine).Handler()
+	srv := httptest.NewServer(inj)
+	t.Cleanup(srv.Close)
+	client, err := DialOpts(srv.URL, g.Tokenizer, ClientOptions{Retry: fastRetry})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return &fixture{g: g, engine: engine, srv: srv, client: client}, inj
+}
+
+// TestRetryOn5xx: a server that fails each request twice before serving it
+// is invisible to the client — the retry loop absorbs the 500s.
+func TestRetryOn5xx(t *testing.T) {
+	g, err := synth.Generate(synth.TestConfig(synth.DomainCars))
+	if err != nil {
+		t.Fatal(err)
+	}
+	backend := NewServer(g.Corpus, search.NewEngine(search.BuildIndex(g.Corpus.Pages))).Handler()
+	var perPath sync.Map // path → *atomic.Int64
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		v, _ := perPath.LoadOrStore(r.URL.RequestURI(), new(atomic.Int64))
+		if v.(*atomic.Int64).Add(1) <= 2 {
+			http.Error(w, "flaky", http.StatusInternalServerError)
+			return
+		}
+		backend.ServeHTTP(w, r)
+	}))
+	defer srv.Close()
+
+	client, err := DialOpts(srv.URL, g.Tokenizer, ClientOptions{Retry: fastRetry})
+	if err != nil {
+		t.Fatalf("dial through double-500s: %v", err)
+	}
+	e := g.Corpus.Entities[0]
+	res, err := client.SearchWithSeedErr(context.Background(), e.SeedTokens(), []string{"safety"})
+	if err != nil {
+		t.Fatalf("search through double-500s: %v", err)
+	}
+	if len(res) == 0 {
+		t.Fatal("no results")
+	}
+	if m := client.Metrics(); m.Retries < 4 {
+		t.Errorf("expected several retries, metrics %+v", m)
+	} else if m.Errors != 0 {
+		t.Errorf("no operation should have failed, metrics %+v", m)
+	}
+}
+
+// TestRetryExhaustion: a hard-down endpoint surfaces as a typed
+// *TransportError carrying the status and attempt count — not as a silent
+// empty result.
+func TestRetryExhaustion(t *testing.T) {
+	f := newFixture(t)
+	down := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		http.Error(w, "down for maintenance", http.StatusInternalServerError)
+	}))
+	defer down.Close()
+	client := derivedClient(f, down.URL,
+		RetryPolicy{MaxAttempts: 3, BaseDelay: time.Millisecond, MaxDelay: time.Millisecond})
+
+	_, err := client.SearchWithSeedErr(context.Background(), []string{"x"}, nil)
+	var te *TransportError
+	if !errors.As(err, &te) {
+		t.Fatalf("error %v (%T), want *TransportError", err, err)
+	}
+	if te.Status != http.StatusInternalServerError || te.Attempts != 3 || te.Op != "search" {
+		t.Errorf("TransportError %+v, want status 500 after 3 search attempts", te)
+	}
+
+	// The legacy Retriever surface converts the failure to "no results".
+	if res := client.SearchWithSeed([]string{"x"}, nil); res != nil {
+		t.Errorf("legacy surface returned %d results from a dead server", len(res))
+	}
+}
+
+// TestNonRetryableStatus: 4xx is a contract error; the client must not
+// burn its retry budget on it.
+func TestNonRetryableStatus(t *testing.T) {
+	var hits atomic.Int64
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		hits.Add(1)
+		http.Error(w, "no such thing", http.StatusNotFound)
+	}))
+	defer srv.Close()
+	f := newFixture(t)
+	client := derivedClient(f, srv.URL, fastRetry)
+
+	_, err := client.PageCtx(context.Background(), 3)
+	var te *TransportError
+	if !errors.As(err, &te) || te.Status != http.StatusNotFound {
+		t.Fatalf("error %v, want 404 TransportError", err)
+	}
+	if n := hits.Load(); n != 1 {
+		t.Errorf("404 was retried %d times", n-1)
+	}
+}
+
+// TestTruncatedBodyRetried: a response that dies mid-body (full
+// Content-Length declared, half written) is a transient fault the client
+// retries, not a short-but-accepted payload.
+func TestTruncatedBodyRetried(t *testing.T) {
+	g, err := synth.Generate(synth.TestConfig(synth.DomainCars))
+	if err != nil {
+		t.Fatal(err)
+	}
+	backend := NewServer(g.Corpus, search.NewEngine(search.BuildIndex(g.Corpus.Pages))).Handler()
+	trunc := &FaultInjector{Next: backend, TruncateRate: 1}
+	var failFirst sync.Map
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if _, seen := failFirst.LoadOrStore(r.URL.RequestURI(), true); !seen {
+			trunc.ServeHTTP(w, r)
+			return
+		}
+		backend.ServeHTTP(w, r)
+	}))
+	defer srv.Close()
+
+	client, err := DialOpts(srv.URL, g.Tokenizer, ClientOptions{Retry: fastRetry})
+	if err != nil {
+		t.Fatalf("dial through truncation: %v", err)
+	}
+	e := g.Corpus.Entities[1]
+	res, err := client.SearchWithSeedErr(context.Background(), e.SeedTokens(), []string{"engine"})
+	if err != nil {
+		t.Fatalf("search through truncation: %v", err)
+	}
+	if len(res) == 0 {
+		t.Fatal("no results")
+	}
+	m := client.Metrics()
+	if m.Retries == 0 {
+		t.Errorf("truncated responses should have forced retries, metrics %+v", m)
+	}
+	if _, _, truncated := trunc.Counts(); truncated == 0 {
+		t.Error("injector truncated nothing; the test exercised no fault")
+	}
+}
+
+// TestPerRequestTimeoutRetried: a response slower than the client's
+// per-request timeout is the canonical transient fault — it must consume
+// retry attempts, not bypass the budget. (http.Client.Timeout errors also
+// satisfy errors.Is(err, context.DeadlineExceeded); cancellation is
+// judged by the caller's ctx, not error identity.)
+func TestPerRequestTimeoutRetried(t *testing.T) {
+	g, err := synth.Generate(synth.TestConfig(synth.DomainCars))
+	if err != nil {
+		t.Fatal(err)
+	}
+	backend := NewServer(g.Corpus, search.NewEngine(search.BuildIndex(g.Corpus.Pages))).Handler()
+	var stallFirst sync.Map // URI → *atomic.Int64
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		v, _ := stallFirst.LoadOrStore(r.URL.RequestURI(), new(atomic.Int64))
+		if v.(*atomic.Int64).Add(1) <= 2 {
+			select {
+			case <-r.Context().Done():
+			case <-time.After(2 * time.Second): // far past the client timeout
+			}
+			return
+		}
+		backend.ServeHTTP(w, r)
+	}))
+	defer srv.Close()
+
+	client, err := DialOpts(srv.URL, g.Tokenizer, ClientOptions{
+		Retry:   RetryPolicy{MaxAttempts: 5, BaseDelay: time.Millisecond, MaxDelay: 5 * time.Millisecond},
+		Timeout: 100 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatalf("dial through stalls: %v", err)
+	}
+	e := g.Corpus.Entities[2]
+	res, err := client.SearchWithSeedErr(context.Background(), e.SeedTokens(), []string{"engine"})
+	if err != nil {
+		t.Fatalf("search through stalls: %v", err)
+	}
+	if len(res) == 0 {
+		t.Fatal("no results")
+	}
+	if m := client.Metrics(); m.Retries == 0 {
+		t.Errorf("timed-out requests consumed no retries, metrics %+v", m)
+	}
+}
+
+// TestContextCancelAborts: cancellation cuts a stalled request immediately
+// (no retries, no 30 s timeout wait).
+func TestContextCancelAborts(t *testing.T) {
+	f := newFixture(t)
+	stall := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		select {
+		case <-r.Context().Done():
+		case <-time.After(30 * time.Second):
+		}
+	}))
+	defer stall.Close()
+	client := derivedClient(f, stall.URL, fastRetry)
+
+	ctx, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	_, err := client.SearchWithSeedErr(ctx, []string{"x"}, nil)
+	elapsed := time.Since(start)
+	if err == nil {
+		t.Fatal("stalled search succeeded?")
+	}
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Errorf("error %v, want deadline exceeded", err)
+	}
+	if elapsed > 2*time.Second {
+		t.Errorf("cancellation took %v, want ~50ms", elapsed)
+	}
+}
+
+// TestPrefetchSingleflight: concurrent fetches of the same page coalesce
+// onto one download.
+func TestPrefetchSingleflight(t *testing.T) {
+	g, err := synth.Generate(synth.TestConfig(synth.DomainResearchers))
+	if err != nil {
+		t.Fatal(err)
+	}
+	backend := NewServer(g.Corpus, search.NewEngine(search.BuildIndex(g.Corpus.Pages))).Handler()
+	var pageHits atomic.Int64
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if strings.HasPrefix(r.URL.Path, "/page/") {
+			pageHits.Add(1)
+			time.Sleep(300 * time.Millisecond) // hold the flight open
+		}
+		backend.ServeHTTP(w, r)
+	}))
+	defer srv.Close()
+	client, err := Dial(srv.URL, g.Tokenizer)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	id := g.Corpus.Pages[5].ID
+	const callers = 8
+	var wg sync.WaitGroup
+	start := make(chan struct{})
+	errs := make(chan error, callers)
+	for i := 0; i < callers; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			<-start
+			_, err := client.PageCtx(context.Background(), id)
+			errs <- err
+		}()
+	}
+	close(start)
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	if n := pageHits.Load(); n != 1 {
+		t.Errorf("%d concurrent fetches hit the server %d times, want 1", callers, n)
+	}
+	if m := client.Metrics(); m.PrefetchShared == 0 {
+		t.Errorf("no fetch was coalesced, metrics %+v", m)
+	}
+}
+
+// TestSingleflightLeaderCancelDoesNotPoisonFollowers: a flight runs under
+// its leader's context, so a leader aborted by its OWN cancellation (one
+// query's prefetch bailing out) must not fail a follower whose context is
+// alive — the follower retries the fetch instead of inheriting the
+// spurious context.Canceled.
+func TestSingleflightLeaderCancelDoesNotPoisonFollowers(t *testing.T) {
+	g, err := synth.Generate(synth.TestConfig(synth.DomainResearchers))
+	if err != nil {
+		t.Fatal(err)
+	}
+	backend := NewServer(g.Corpus, search.NewEngine(search.BuildIndex(g.Corpus.Pages))).Handler()
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if strings.HasPrefix(r.URL.Path, "/page/") {
+			time.Sleep(200 * time.Millisecond) // hold the flight open
+		}
+		backend.ServeHTTP(w, r)
+	}))
+	defer srv.Close()
+	client, err := Dial(srv.URL, g.Tokenizer)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	id := g.Corpus.Pages[9].ID
+	leaderCtx, cancelLeader := context.WithCancel(context.Background())
+	leaderErr := make(chan error, 1)
+	go func() {
+		_, err := client.PageCtx(leaderCtx, id)
+		leaderErr <- err
+	}()
+	time.Sleep(50 * time.Millisecond) // let the leader take the flight
+	followerErr := make(chan error, 1)
+	go func() {
+		_, err := client.PageCtx(context.Background(), id)
+		followerErr <- err
+	}()
+	time.Sleep(50 * time.Millisecond) // let the follower join it
+	cancelLeader()
+
+	if err := <-leaderErr; !errors.Is(err, context.Canceled) {
+		t.Errorf("leader error %v, want its own cancellation", err)
+	}
+	if err := <-followerErr; err != nil {
+		t.Errorf("live-context follower inherited the leader's cancellation: %v", err)
+	}
+}
+
+// TestMalformedPageRejected: a document without the l2q-page-id meta must
+// be rejected, not ingested as page 0 (which would alias every malformed
+// page onto one slot in the session's dedup set).
+func TestMalformedPageRejected(t *testing.T) {
+	f := newFixture(t)
+	bad := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if strings.HasPrefix(r.URL.Path, "/page/") {
+			w.Header().Set("Content-Type", "text/html; charset=utf-8")
+			w.Write([]byte("<!DOCTYPE html>\n<html><head><title>x</title></head><body><p>junk</p></body></html>"))
+			return
+		}
+		http.NotFound(w, r)
+	}))
+	defer bad.Close()
+	client := derivedClient(f, bad.URL,
+		RetryPolicy{MaxAttempts: 2, BaseDelay: time.Millisecond, MaxDelay: time.Millisecond})
+
+	_, err := client.PageCtx(context.Background(), 7)
+	if err == nil {
+		t.Fatal("malformed page accepted")
+	}
+	if !strings.Contains(err.Error(), "l2q-page-id") {
+		t.Errorf("error %v does not name the missing meta", err)
+	}
+}
+
+// TestDifferentialFaultParity is the acceptance bar: with the injector
+// erroring 20% of requests and truncating another 10%, a full domain- and
+// context-aware harvesting session through the flaky HTTP boundary fires
+// the identical query sequence and gathers the identical page set as the
+// in-process engine. Retries make faults invisible — not approximated.
+func TestDifferentialFaultParity(t *testing.T) {
+	f, inj := newFaultyFixture(t, &FaultInjector{ErrorRate: 0.20, TruncateRate: 0.10, Seed: 42})
+	g := f.g
+	rec := types.Chain{g.KB, types.NewRegexRecognizer()}
+	aspect := synth.AspResearch
+	y := func(p *corpus.Page) bool { return classify.GroundTruth(p, aspect) }
+
+	cfg := core.DefaultConfig()
+	cfg.Tokenizer = g.Tokenizer
+	var domain []corpus.EntityID
+	for i := 0; i < g.Corpus.NumEntities()/2; i++ {
+		domain = append(domain, g.Corpus.Entities[i].ID)
+	}
+	dm, err := core.LearnDomain(cfg, aspect, g.Corpus, domain, y, rec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	target := g.Corpus.Entities[g.Corpus.NumEntities()-1]
+
+	run := func(engine core.Retriever) ([]core.Query, []corpus.PageID) {
+		sess := core.NewSession(cfg, engine, target, aspect, y, dm, rec, 42)
+		fired := sess.Run(core.NewL2QBAL(), 3)
+		var ids []corpus.PageID
+		for _, p := range sess.Pages() {
+			ids = append(ids, p.ID)
+		}
+		return fired, ids
+	}
+
+	localQ, localP := run(f.engine)
+	remoteQ, remoteP := run(f.client)
+	if !reflect.DeepEqual(localQ, remoteQ) {
+		t.Errorf("fired queries differ under faults:\n local %v\nremote %v", localQ, remoteQ)
+	}
+	if !reflect.DeepEqual(localP, remoteP) {
+		t.Errorf("gathered pages differ under faults:\n local %v\nremote %v", localP, remoteP)
+	}
+	if len(localQ) == 0 || len(localP) == 0 {
+		t.Fatal("session gathered nothing")
+	}
+	_, errors500, truncated := inj.Counts()
+	if errors500 == 0 && truncated == 0 {
+		t.Fatal("injector fired no faults; the differential test proved nothing")
+	}
+	m := f.client.Metrics()
+	if m.Retries == 0 {
+		t.Errorf("no retries recorded under a 30%% fault rate, metrics %+v", m)
+	}
+	if m.Errors != 0 {
+		t.Errorf("operations failed for good (%d): parity held by luck, raise MaxAttempts", m.Errors)
+	}
+	t.Logf("parity under faults: %d requests, %d retried; injector served %d faults",
+		m.Requests, m.Retries, errors500+truncated)
+}

@@ -1,0 +1,367 @@
+package webapi
+
+// Server-side batch harvesting: POST /api/harvest runs pipelined L2Q
+// sessions next to the index (internal/pipeline's interleaved
+// select/fetch scheduler) and streams per-iteration progress as NDJSON.
+// Shipping the harvest to the data inverts the remote-client topology: one
+// POST replaces the per-query per-page request traffic of a client-side
+// run, which is the right trade when the operator of the search API also
+// runs the harvest (the ROADMAP's serving scenario).
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"sync"
+	"time"
+
+	"l2q/internal/core"
+	"l2q/internal/corpus"
+	"l2q/internal/pipeline"
+	"l2q/internal/types"
+)
+
+// HarvestBackend supplies everything the batch-harvest endpoint needs
+// beyond the server's corpus and engine: the L2Q configuration, the
+// materialized relevance functions, the type system, and (typically lazily
+// learned and cached) domain models. Assign it to Server.Harvest to enable
+// the endpoint; a nil backend leaves it disabled (501).
+type HarvestBackend struct {
+	// Cfg is the L2Q model configuration; its Tokenizer must match the
+	// served corpus.
+	Cfg core.Config
+	// Aspects lists the harvestable aspects.
+	Aspects []corpus.Aspect
+	// Y returns the materialized relevance function for an aspect.
+	Y func(corpus.Aspect) func(*corpus.Page) bool
+	// Rec is the type system for templates; nil disables templates.
+	Rec types.Recognizer
+	// DomainModel returns the domain model for an aspect; a nil func (or
+	// nil model) harvests without domain awareness. Successful results
+	// are memoized per aspect inside the backend, so the func may learn
+	// from scratch on every call — it runs at most once per aspect
+	// (errors are not cached; the next request retries).
+	DomainModel func(corpus.Aspect) (*core.DomainModel, error)
+
+	dmMu    sync.Mutex
+	dmCache map[corpus.Aspect]*core.DomainModel
+	// MaxSessions bounds the entities of one request (default 64).
+	MaxSessions int
+	// MaxQueries bounds a request's per-entity query budget (default 50).
+	MaxQueries int
+	// SelectWorkers and FetchWorkers tune the pipeline scheduler; zero
+	// values pick pipeline.Config's defaults.
+	SelectWorkers, FetchWorkers int
+}
+
+func (hb *HarvestBackend) maxSessions() int {
+	if hb.MaxSessions > 0 {
+		return hb.MaxSessions
+	}
+	return 64
+}
+
+func (hb *HarvestBackend) maxQueries() int {
+	if hb.MaxQueries > 0 {
+		return hb.MaxQueries
+	}
+	return 50
+}
+
+// domainModel memoizes DomainModel per aspect (see the field doc).
+func (hb *HarvestBackend) domainModel(a corpus.Aspect) (*core.DomainModel, error) {
+	if hb.DomainModel == nil {
+		return nil, nil
+	}
+	hb.dmMu.Lock()
+	defer hb.dmMu.Unlock()
+	if dm, ok := hb.dmCache[a]; ok {
+		return dm, nil
+	}
+	dm, err := hb.DomainModel(a)
+	if err != nil {
+		return nil, err
+	}
+	if hb.dmCache == nil {
+		hb.dmCache = make(map[corpus.Aspect]*core.DomainModel)
+	}
+	hb.dmCache[a] = dm
+	return dm, nil
+}
+
+func (hb *HarvestBackend) hasAspect(a corpus.Aspect) bool {
+	for _, known := range hb.Aspects {
+		if known == a {
+			return true
+		}
+	}
+	return false
+}
+
+// HarvestRequest is the POST /api/harvest body.
+type HarvestRequest struct {
+	// Entities are the harvest targets; unknown IDs produce per-entity
+	// error events, not a failed request.
+	Entities []corpus.EntityID `json:"entities"`
+	// Aspect is the target aspect (must be one of the backend's Aspects).
+	Aspect string `json:"aspect"`
+	// Strategy names the selection strategy (default L2QBAL); see
+	// SelectorByName.
+	Strategy string `json:"strategy,omitempty"`
+	// NQueries is the per-entity query budget after the seed.
+	NQueries int `json:"nQueries"`
+	// NoDomain disables domain awareness even when the backend can learn
+	// a domain model.
+	NoDomain bool `json:"noDomain,omitempty"`
+}
+
+// HarvestEvent is one NDJSON line of the /api/harvest response stream.
+// Type discriminates: "progress" (one harvest iteration of one entity),
+// "entity" (one entity finished, with its fired queries and gathered
+// pages), "error" (one entity failed), and "done" (the batch summary,
+// always the last line).
+type HarvestEvent struct {
+	Type string `json:"type"`
+	// Entity is set on progress/entity/error events.
+	Entity corpus.EntityID `json:"entity"`
+	// Progress fields (mirroring core.TraceRecord).
+	Iteration  int    `json:"iteration,omitempty"`
+	Query      string `json:"query,omitempty"`
+	NewPages   int    `json:"newPages,omitempty"`
+	TotalPages int    `json:"totalPages,omitempty"`
+	// Entity-completion fields.
+	Fired []string        `json:"fired,omitempty"`
+	Pages []corpus.PageID `json:"pages,omitempty"`
+	// Done-summary fields.
+	Entities int `json:"entities,omitempty"`
+	Failed   int `json:"failed,omitempty"`
+	// Error carries the failure of an "error" event.
+	Error string `json:"error,omitempty"`
+}
+
+// selectorCtors are the stateless core strategies the harvest endpoint can
+// run (baselines needing trained side models are client-side concerns).
+var selectorCtors = map[string]func() core.Selector{
+	"RND":    core.NewRND,
+	"P":      core.NewP,
+	"R":      core.NewR,
+	"P+Q":    core.NewPQ,
+	"R+Q":    core.NewRQ,
+	"P+T":    core.NewPT,
+	"R+T":    core.NewRT,
+	"L2QP":   core.NewL2QP,
+	"L2QR":   core.NewL2QR,
+	"L2QBAL": core.NewL2QBAL,
+}
+
+// SelectorByName resolves a strategy name (case-insensitive; the §VI-B
+// names: RND, P, R, P+q, R+q, P+t, R+t, L2QP, L2QR, L2QBAL) to a fresh
+// stateless selector.
+func SelectorByName(name string) (core.Selector, bool) {
+	ctor, ok := selectorCtors[strings.ToUpper(name)]
+	if !ok {
+		return nil, false
+	}
+	return ctor(), true
+}
+
+func (s *Server) handleHarvest(w http.ResponseWriter, r *http.Request) {
+	hb := s.Harvest
+	if hb == nil {
+		http.Error(w, "harvesting not enabled on this server", http.StatusNotImplemented)
+		return
+	}
+	var req HarvestRequest
+	if err := json.NewDecoder(io.LimitReader(r.Body, 1<<20)).Decode(&req); err != nil {
+		http.Error(w, "bad request body: "+err.Error(), http.StatusBadRequest)
+		return
+	}
+	if len(req.Entities) == 0 {
+		http.Error(w, "no entities requested", http.StatusBadRequest)
+		return
+	}
+	if len(req.Entities) > hb.maxSessions() {
+		http.Error(w, fmt.Sprintf("too many entities: %d > %d", len(req.Entities), hb.maxSessions()), http.StatusBadRequest)
+		return
+	}
+	if req.NQueries < 0 || req.NQueries > hb.maxQueries() {
+		http.Error(w, fmt.Sprintf("nQueries out of range [0, %d]", hb.maxQueries()), http.StatusBadRequest)
+		return
+	}
+	aspect := corpus.Aspect(req.Aspect)
+	if !hb.hasAspect(aspect) {
+		http.Error(w, fmt.Sprintf("unknown aspect %q (serving %v)", req.Aspect, hb.Aspects), http.StatusBadRequest)
+		return
+	}
+	strategy := req.Strategy
+	if strategy == "" {
+		strategy = "L2QBAL"
+	}
+	sel, ok := SelectorByName(strategy)
+	if !ok {
+		http.Error(w, fmt.Sprintf("unknown strategy %q", req.Strategy), http.StatusBadRequest)
+		return
+	}
+	var dm *core.DomainModel
+	if !req.NoDomain {
+		var err error
+		if dm, err = hb.domainModel(aspect); err != nil {
+			http.Error(w, "domain model: "+err.Error(), http.StatusInternalServerError)
+			return
+		}
+	}
+	y := hb.Y(aspect)
+
+	// The harvest obeys both the caller (request context) and the server's
+	// lifecycle: Shutdown cancels s.ctx, which aborts the pipeline run and
+	// lets the graceful drain complete instead of deadlocking on a stream
+	// that would otherwise outlive the shutdown deadline.
+	ctx, cancel := context.WithCancel(r.Context())
+	defer cancel()
+	stop := context.AfterFunc(s.ctx, cancel)
+	defer stop()
+
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	rc := http.NewResponseController(w)
+	w.WriteHeader(http.StatusOK)
+	fl, _ := w.(http.Flusher)
+	var wmu sync.Mutex
+	enc := json.NewEncoder(w)
+	emit := func(ev HarvestEvent) {
+		wmu.Lock()
+		defer wmu.Unlock()
+		// Roll the write deadline forward per event: the stream may run
+		// arbitrarily long, but a reader that stops consuming is cut off
+		// within writeTimeout (deadline errors are best-effort — not
+		// every ResponseWriter supports them).
+		_ = rc.SetWriteDeadline(time.Now().Add(writeTimeout))
+		if err := enc.Encode(ev); err != nil {
+			// The reader is gone (deadline expired or connection reset):
+			// abort the batch rather than burning the remaining sessions
+			// into a dead stream. A stalled connection does not cancel
+			// r.Context() by itself, so this write failure is the signal.
+			cancel()
+			return
+		}
+		if fl != nil {
+			fl.Flush()
+		}
+	}
+
+	// Unknown entities fail individually (an explicit per-entity error
+	// event), never the whole batch.
+	failed := 0
+	var jobs []pipeline.Job
+	var jobEntities []*corpus.Entity
+	for _, id := range req.Entities {
+		e := s.corpus.Entity(id)
+		if e == nil {
+			failed++
+			emit(HarvestEvent{Type: "error", Entity: id, Error: fmt.Sprintf("unknown entity id %d", id)})
+			continue
+		}
+		sess := core.NewSession(hb.Cfg, s.engine, e, aspect, y, dm, hb.Rec, uint64(e.ID)+1)
+		entity := e.ID
+		sess.Trace = func(tr core.TraceRecord) {
+			emit(HarvestEvent{
+				Type:       "progress",
+				Entity:     entity,
+				Iteration:  tr.Iteration,
+				Query:      string(tr.Query),
+				NewPages:   tr.NewPages,
+				TotalPages: tr.TotalPages,
+			})
+		}
+		jobs = append(jobs, pipeline.Job{Session: sess, Selector: sel, NQueries: req.NQueries})
+		jobEntities = append(jobEntities, e)
+	}
+
+	results := pipeline.Run(ctx, pipeline.Config{
+		SelectWorkers: hb.SelectWorkers,
+		FetchWorkers:  hb.FetchWorkers,
+	}, jobs)
+
+	for i, res := range results {
+		e := jobEntities[i]
+		if res.Err != nil {
+			failed++
+			emit(HarvestEvent{Type: "error", Entity: e.ID, Error: res.Err.Error()})
+			continue
+		}
+		fired := make([]string, len(res.Fired))
+		for j, q := range res.Fired {
+			fired[j] = string(q)
+		}
+		var pages []corpus.PageID
+		for _, p := range res.Job.Session.Pages() {
+			pages = append(pages, p.ID)
+		}
+		emit(HarvestEvent{Type: "entity", Entity: e.ID, Fired: fired, Pages: pages})
+	}
+	emit(HarvestEvent{Type: "done", Entities: len(req.Entities), Failed: failed})
+}
+
+// HarvestBatch runs a server-side batch harvest, delivering each streamed
+// NDJSON event to onEvent in arrival order. A non-nil onEvent error aborts
+// the stream and is returned. Unlike the GET surface, the POST does real
+// per-request work and is therefore not retried; transient-fault
+// resilience lives inside the server-side sessions, which fetch from the
+// in-process engine. The stream is unbounded in time, so cancellation (and
+// the caller's patience) comes from ctx, not the client's per-request
+// timeout.
+func (c *Client) HarvestBatch(ctx context.Context, req HarvestRequest, onEvent func(HarvestEvent) error) error {
+	body, err := json.Marshal(req)
+	if err != nil {
+		return fmt.Errorf("webapi: harvest: encode request: %w", err)
+	}
+	const path = "/api/harvest"
+	hreq, err := http.NewRequestWithContext(ctx, http.MethodPost, c.base+path, bytes.NewReader(body))
+	if err != nil {
+		return fmt.Errorf("webapi: harvest: %w", err)
+	}
+	hreq.Header.Set("Content-Type", "application/json")
+	c.met.requests.Add(1)
+	// A dedicated transport-less client: c.http's per-request Timeout
+	// would sever long-running streams mid-harvest.
+	resp, err := (&http.Client{}).Do(hreq)
+	if err != nil {
+		c.met.errors.Add(1)
+		return &TransportError{Op: "harvest", Path: path, Attempts: 1, Err: err}
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		snippet, _ := io.ReadAll(io.LimitReader(resp.Body, 256))
+		c.met.errors.Add(1)
+		return &TransportError{Op: "harvest", Path: path, Attempts: 1, Status: resp.StatusCode,
+			Err: fmt.Errorf("%s", strings.TrimSpace(string(snippet)))}
+	}
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 0, 64<<10), maxResponseBytes)
+	for sc.Scan() {
+		line := bytes.TrimSpace(sc.Bytes())
+		if len(line) == 0 {
+			continue
+		}
+		var ev HarvestEvent
+		if err := json.Unmarshal(line, &ev); err != nil {
+			c.met.errors.Add(1)
+			return &TransportError{Op: "harvest", Path: path, Attempts: 1,
+				Err: fmt.Errorf("malformed event %q: %w", line, err)}
+		}
+		if onEvent != nil {
+			if err := onEvent(ev); err != nil {
+				return err
+			}
+		}
+	}
+	if err := sc.Err(); err != nil {
+		c.met.errors.Add(1)
+		return &TransportError{Op: "harvest", Path: path, Attempts: 1, Err: err}
+	}
+	return nil
+}

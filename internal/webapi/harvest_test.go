@@ -1,0 +1,286 @@
+package webapi
+
+import (
+	"context"
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"reflect"
+	"sync"
+	"testing"
+	"time"
+
+	"l2q/internal/classify"
+	"l2q/internal/core"
+	"l2q/internal/corpus"
+	"l2q/internal/search"
+	"l2q/internal/synth"
+	"l2q/internal/types"
+)
+
+// harvestFixture is a fixture whose server has the batch-harvest backend
+// enabled (ground-truth Y, lazily-learned cached domain model).
+type harvestFixture struct {
+	g      *synth.Generated
+	engine *search.Engine
+	server *Server
+	srv    *httptest.Server
+	client *Client
+	cfg    core.Config
+	y      func(*corpus.Page) bool
+	dm     *core.DomainModel
+	rec    types.Recognizer
+	aspect corpus.Aspect
+}
+
+func newHarvestFixture(t *testing.T) *harvestFixture {
+	t.Helper()
+	g, err := synth.Generate(synth.TestConfig(synth.DomainResearchers))
+	if err != nil {
+		t.Fatal(err)
+	}
+	engine := search.NewEngine(search.BuildIndex(g.Corpus.Pages))
+	aspect := synth.AspResearch
+	rec := types.Chain{g.KB, types.NewRegexRecognizer()}
+	y := func(p *corpus.Page) bool { return classify.GroundTruth(p, aspect) }
+	cfg := core.DefaultConfig()
+	cfg.Tokenizer = g.Tokenizer
+
+	var domain []corpus.EntityID
+	for i := 0; i < g.Corpus.NumEntities()/2; i++ {
+		domain = append(domain, g.Corpus.Entities[i].ID)
+	}
+	dm, err := core.LearnDomain(cfg, aspect, g.Corpus, domain, y, rec)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	server := NewServer(g.Corpus, engine)
+	server.Harvest = &HarvestBackend{
+		Cfg:     cfg,
+		Aspects: []corpus.Aspect{aspect},
+		Y:       func(corpus.Aspect) func(*corpus.Page) bool { return y },
+		Rec:     rec,
+		DomainModel: func(corpus.Aspect) (*core.DomainModel, error) {
+			return dm, nil
+		},
+	}
+	srv := httptest.NewServer(server.Handler())
+	t.Cleanup(srv.Close)
+	client, err := Dial(srv.URL, g.Tokenizer)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return &harvestFixture{g: g, engine: engine, server: server, srv: srv,
+		client: client, cfg: cfg, y: y, dm: dm, rec: rec, aspect: aspect}
+}
+
+// TestHarvestEndpointParity: the server-side batch harvest produces, for
+// every entity, exactly the fired queries and gathered pages of a local
+// session with the same seed — and streams per-iteration progress events
+// in order on the way.
+func TestHarvestEndpointParity(t *testing.T) {
+	f := newHarvestFixture(t)
+	n := f.g.Corpus.NumEntities()
+	targets := []corpus.EntityID{
+		f.g.Corpus.Entities[n-3].ID,
+		f.g.Corpus.Entities[n-2].ID,
+		f.g.Corpus.Entities[n-1].ID,
+	}
+	const nQueries = 2
+
+	var mu sync.Mutex
+	progress := make(map[corpus.EntityID][]HarvestEvent)
+	finished := make(map[corpus.EntityID]HarvestEvent)
+	var done *HarvestEvent
+	err := f.client.HarvestBatch(context.Background(), HarvestRequest{
+		Entities: targets,
+		Aspect:   string(f.aspect),
+		Strategy: "L2QBAL",
+		NQueries: nQueries,
+	}, func(ev HarvestEvent) error {
+		mu.Lock()
+		defer mu.Unlock()
+		switch ev.Type {
+		case "progress":
+			progress[ev.Entity] = append(progress[ev.Entity], ev)
+		case "entity":
+			finished[ev.Entity] = ev
+		case "error":
+			t.Errorf("unexpected error event: %+v", ev)
+		case "done":
+			done = &ev
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if done == nil || done.Entities != len(targets) || done.Failed != 0 {
+		t.Fatalf("done summary %+v, want %d entities, 0 failed", done, len(targets))
+	}
+
+	for _, id := range targets {
+		e := f.g.Corpus.Entity(id)
+		// Local reference with the server's seeding convention.
+		sess := core.NewSession(f.cfg, f.engine, e, f.aspect, f.y, f.dm, f.rec, uint64(id)+1)
+		wantFired := sess.Run(core.NewL2QBAL(), nQueries)
+		var wantPages []corpus.PageID
+		for _, p := range sess.Pages() {
+			wantPages = append(wantPages, p.ID)
+		}
+
+		got, ok := finished[id]
+		if !ok {
+			t.Fatalf("entity %d: no completion event", id)
+		}
+		gotFired := make([]core.Query, len(got.Fired))
+		for i, q := range got.Fired {
+			gotFired[i] = core.Query(q)
+		}
+		if !reflect.DeepEqual(gotFired, wantFired) {
+			t.Errorf("entity %d fired %v, want %v", id, gotFired, wantFired)
+		}
+		if !reflect.DeepEqual(got.Pages, wantPages) {
+			t.Errorf("entity %d pages %v, want %v", id, got.Pages, wantPages)
+		}
+
+		recs := progress[id]
+		if len(recs) != len(wantFired) {
+			t.Errorf("entity %d: %d progress events, want %d", id, len(recs), len(wantFired))
+			continue
+		}
+		for i, ev := range recs {
+			if ev.Iteration != i+1 {
+				t.Errorf("entity %d progress %d: iteration %d", id, i, ev.Iteration)
+			}
+			if core.Query(ev.Query) != wantFired[i] {
+				t.Errorf("entity %d progress %d: query %q, want %q", id, i, ev.Query, wantFired[i])
+			}
+		}
+	}
+}
+
+// TestHarvestUnknownEntity: a bogus ID yields a per-entity error event;
+// the rest of the batch completes.
+func TestHarvestUnknownEntity(t *testing.T) {
+	f := newHarvestFixture(t)
+	n := f.g.Corpus.NumEntities()
+	good := f.g.Corpus.Entities[n-1].ID
+	const bogus = corpus.EntityID(99999)
+
+	var errEvents, entityEvents int
+	var done HarvestEvent
+	err := f.client.HarvestBatch(context.Background(), HarvestRequest{
+		Entities: []corpus.EntityID{bogus, good},
+		Aspect:   string(f.aspect),
+		NQueries: 1,
+	}, func(ev HarvestEvent) error {
+		switch ev.Type {
+		case "error":
+			errEvents++
+			if ev.Entity != bogus {
+				t.Errorf("error event for entity %d, want %d", ev.Entity, bogus)
+			}
+		case "entity":
+			entityEvents++
+			if ev.Entity != good {
+				t.Errorf("entity event for %d, want %d", ev.Entity, good)
+			}
+		case "done":
+			done = ev
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if errEvents != 1 || entityEvents != 1 {
+		t.Errorf("%d error and %d entity events, want 1 and 1", errEvents, entityEvents)
+	}
+	if done.Failed != 1 || done.Entities != 2 {
+		t.Errorf("done summary %+v, want 2 entities 1 failed", done)
+	}
+}
+
+// TestHarvestValidation covers the request-level rejections.
+func TestHarvestValidation(t *testing.T) {
+	f := newHarvestFixture(t)
+	cases := []struct {
+		name string
+		req  HarvestRequest
+		want int
+	}{
+		{"no entities", HarvestRequest{Aspect: string(f.aspect)}, http.StatusBadRequest},
+		{"unknown aspect", HarvestRequest{Entities: []corpus.EntityID{0}, Aspect: "NOPE"}, http.StatusBadRequest},
+		{"unknown strategy", HarvestRequest{Entities: []corpus.EntityID{0}, Aspect: string(f.aspect), Strategy: "HODL"}, http.StatusBadRequest},
+		{"negative budget", HarvestRequest{Entities: []corpus.EntityID{0}, Aspect: string(f.aspect), NQueries: -1}, http.StatusBadRequest},
+		{"budget over cap", HarvestRequest{Entities: []corpus.EntityID{0}, Aspect: string(f.aspect), NQueries: 10000}, http.StatusBadRequest},
+	}
+	for _, tc := range cases {
+		err := f.client.HarvestBatch(context.Background(), tc.req, nil)
+		var te *TransportError
+		if !errors.As(err, &te) || te.Status != tc.want {
+			t.Errorf("%s: error %v, want status %d", tc.name, err, tc.want)
+		}
+	}
+
+	// A server without a backend answers 501.
+	plain := httptest.NewServer(NewServer(f.g.Corpus, f.engine).Handler())
+	defer plain.Close()
+	bare, err := Dial(plain.URL, f.g.Tokenizer)
+	if err != nil {
+		t.Fatal(err)
+	}
+	err = bare.HarvestBatch(context.Background(), HarvestRequest{
+		Entities: []corpus.EntityID{0}, Aspect: string(f.aspect), NQueries: 1}, nil)
+	var te *TransportError
+	if !errors.As(err, &te) || te.Status != http.StatusNotImplemented {
+		t.Errorf("harvest against plain server: %v, want 501", err)
+	}
+}
+
+// TestHarvestShutdownGraceful: Shutdown cancels an in-flight batch harvest
+// (the stream terminates promptly) instead of deadlocking the drain behind
+// an arbitrarily long run.
+func TestHarvestShutdownGraceful(t *testing.T) {
+	f := newHarvestFixture(t)
+	// Serve over a real listener so Shutdown exercises the full path.
+	addr, err := f.server.Start("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	client, err := Dial(addr, f.g.Tokenizer)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var targets []corpus.EntityID
+	for _, e := range f.g.Corpus.Entities {
+		targets = append(targets, e.ID)
+	}
+	if len(targets) > 8 {
+		targets = targets[len(targets)-8:]
+	}
+
+	go func() {
+		time.Sleep(100 * time.Millisecond)
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		if err := f.server.Shutdown(ctx); err != nil {
+			t.Errorf("shutdown: %v", err)
+		}
+	}()
+
+	start := time.Now()
+	// A big budget: without cancellation this would run much longer than
+	// the shutdown window.
+	_ = client.HarvestBatch(context.Background(), HarvestRequest{
+		Entities: targets,
+		Aspect:   string(f.aspect),
+		NQueries: 40,
+	}, func(HarvestEvent) error { return nil })
+	if elapsed := time.Since(start); elapsed > 10*time.Second {
+		t.Fatalf("harvest stream survived shutdown for %v", elapsed)
+	}
+}

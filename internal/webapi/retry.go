@@ -1,0 +1,163 @@
+package webapi
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math/rand/v2"
+	"net/http"
+	"sync/atomic"
+	"time"
+)
+
+// RetryPolicy controls how the client retries idempotent GET requests.
+// Every request the client issues is a GET against an immutable corpus, so
+// retrying is always safe; what the policy tunes is how hard the client
+// fights before a fault surfaces as an error. The zero value picks the
+// defaults below.
+type RetryPolicy struct {
+	// MaxAttempts is the total number of tries per request, including the
+	// first (default 4; 1 disables retrying).
+	MaxAttempts int
+	// BaseDelay is the backoff before the first retry (default 50 ms).
+	BaseDelay time.Duration
+	// MaxDelay caps the exponential backoff (default 2 s).
+	MaxDelay time.Duration
+}
+
+func (p RetryPolicy) withDefaults() RetryPolicy {
+	if p.MaxAttempts <= 0 {
+		p.MaxAttempts = 4
+	}
+	if p.BaseDelay <= 0 {
+		p.BaseDelay = 50 * time.Millisecond
+	}
+	if p.MaxDelay <= 0 {
+		p.MaxDelay = 2 * time.Second
+	}
+	return p
+}
+
+// backoff returns the sleep before retry number retry (1-based): exponential
+// growth capped at MaxDelay, with full jitter in [d/2, d] so a fleet of
+// clients hammered by the same outage does not retry in lockstep.
+func (p RetryPolicy) backoff(retry int) time.Duration {
+	d := p.BaseDelay << (retry - 1)
+	if d > p.MaxDelay || d <= 0 { // <= 0 guards shift overflow
+		d = p.MaxDelay
+	}
+	half := d / 2
+	return half + rand.N(d-half+1)
+}
+
+// sleep blocks for the backoff before the given retry, or until ctx is
+// canceled (returning the context error).
+func (p RetryPolicy) sleep(ctx context.Context, retry int) error {
+	t := time.NewTimer(p.backoff(retry))
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// TransportError is the typed failure of one client API operation after the
+// retry policy was exhausted. It wraps the last underlying error and keeps
+// enough structure (operation, path, HTTP status, attempt count) for
+// callers to account failures instead of silently losing work.
+type TransportError struct {
+	// Op names the API operation: "stats", "search", "page", "collfreq",
+	// "harvest".
+	Op string
+	// Path is the request path (query string included).
+	Path string
+	// Attempts is how many tries were made before giving up.
+	Attempts int
+	// Status is the last HTTP status received (0 when the failure was
+	// below HTTP: dial errors, timeouts, truncated bodies).
+	Status int
+	// Err is the last underlying error.
+	Err error
+}
+
+func (e *TransportError) Error() string {
+	if e.Status != 0 {
+		return fmt.Sprintf("webapi: %s %s: status %d after %d attempt(s): %v",
+			e.Op, e.Path, e.Status, e.Attempts, e.Err)
+	}
+	return fmt.Sprintf("webapi: %s %s: %v (after %d attempt(s))",
+		e.Op, e.Path, e.Err, e.Attempts)
+}
+
+func (e *TransportError) Unwrap() error { return e.Err }
+
+// statusError marks an HTTP error status inside the retry loop.
+type statusError struct {
+	status int
+	body   string
+}
+
+func (e *statusError) Error() string {
+	if e.body == "" {
+		return http.StatusText(e.status)
+	}
+	return fmt.Sprintf("%s: %s", http.StatusText(e.status), e.body)
+}
+
+// retryable classifies an in-loop failure. Connection errors, per-request
+// timeouts, truncated reads and malformed payloads are transient (the
+// server and corpus are healthy invariants; the wire is not); 5xx and 429
+// are server-side hiccups worth retrying; other HTTP statuses are
+// contract errors that retrying cannot fix. Cancellation is judged by the
+// caller's context, not by error identity: an http.Client per-request
+// Timeout also surfaces as context.DeadlineExceeded, and that is exactly
+// the fault class the retry loop exists to absorb — only the caller's own
+// ctx expiring ends the operation.
+func retryable(ctx context.Context, err error) bool {
+	if ctx.Err() != nil {
+		return false
+	}
+	var se *statusError
+	if errors.As(err, &se) {
+		return se.status >= 500 || se.status == http.StatusTooManyRequests
+	}
+	return true
+}
+
+// ClientMetrics is a point-in-time snapshot of a client's request/failure
+// accounting — the per-query API cost the paper's setting charges for.
+type ClientMetrics struct {
+	// Requests counts HTTP requests issued, retries included.
+	Requests int64
+	// Retries counts re-issued requests (Requests - Retries = first tries).
+	Retries int64
+	// Errors counts operations that failed even after retrying.
+	Errors int64
+	// PageFetches counts pages downloaded over the wire (cache and
+	// singleflight hits excluded).
+	PageFetches int64
+	// PrefetchShared counts page fetches coalesced onto another in-flight
+	// download of the same page (singleflight hits).
+	PrefetchShared int64
+}
+
+// metrics is the client's live counter set.
+type metrics struct {
+	requests       atomic.Int64
+	retries        atomic.Int64
+	errors         atomic.Int64
+	pageFetches    atomic.Int64
+	prefetchShared atomic.Int64
+}
+
+func (m *metrics) snapshot() ClientMetrics {
+	return ClientMetrics{
+		Requests:       m.requests.Load(),
+		Retries:        m.retries.Load(),
+		Errors:         m.errors.Load(),
+		PageFetches:    m.pageFetches.Load(),
+		PrefetchShared: m.prefetchShared.Load(),
+	}
+}

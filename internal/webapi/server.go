@@ -21,6 +21,7 @@ import (
 	"net/http"
 	"strconv"
 	"strings"
+	"sync"
 	"time"
 
 	"l2q/internal/corpus"
@@ -73,11 +74,21 @@ type Server struct {
 
 	// Log receives one line per request when non-nil.
 	Log *log.Logger
-	// MaxConcurrent bounds in-flight requests (default 64).
+	// MaxConcurrent bounds in-flight requests (default 64). Set it before
+	// the first request; later changes are ignored.
 	MaxConcurrent int
+	// Harvest, when non-nil, enables the POST /api/harvest batch endpoint
+	// (server-side pipelined sessions with streamed NDJSON progress).
+	Harvest *HarvestBackend
 
-	sem  chan struct{}
-	http *http.Server
+	semOnce sync.Once
+	sem     chan struct{}
+	http    *http.Server
+
+	// ctx is canceled by Shutdown so long-lived streaming handlers (the
+	// batch-harvest endpoint) terminate and let the graceful drain finish.
+	ctx    context.Context
+	cancel context.CancelFunc
 }
 
 // NewServer wires a server over a corpus and its engine.
@@ -86,19 +97,29 @@ func NewServer(c *corpus.Corpus, engine *search.Engine) *Server {
 	for _, p := range c.Pages {
 		pages[p.ID] = p
 	}
-	return &Server{corpus: c, engine: engine, pages: pages, MaxConcurrent: 64}
+	ctx, cancel := context.WithCancel(context.Background())
+	return &Server{corpus: c, engine: engine, pages: pages, MaxConcurrent: 64,
+		ctx: ctx, cancel: cancel}
 }
 
-// Handler returns the routed http.Handler (useful for httptest or custom
-// servers).
-func (s *Server) Handler() http.Handler {
-	if s.sem == nil {
+// semaphore returns the in-flight request bound, sized once from
+// MaxConcurrent on first use. The once-guard (instead of the former lazy
+// nil-check) makes concurrent Handler() calls race-free.
+func (s *Server) semaphore() chan struct{} {
+	s.semOnce.Do(func() {
 		n := s.MaxConcurrent
 		if n <= 0 {
 			n = 64
 		}
 		s.sem = make(chan struct{}, n)
-	}
+	})
+	return s.sem
+}
+
+// Handler returns the routed http.Handler (useful for httptest or custom
+// servers). Safe to call from concurrent goroutines.
+func (s *Server) Handler() http.Handler {
+	s.semaphore()
 	mux := http.NewServeMux()
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, _ *http.Request) {
 		w.WriteHeader(http.StatusOK)
@@ -108,19 +129,36 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /api/search", s.handleSearch)
 	mux.HandleFunc("GET /api/collfreq", s.handleCollFreq)
 	mux.HandleFunc("GET /api/entities", s.handleEntities)
+	mux.HandleFunc("POST /api/harvest", s.handleHarvest)
 	mux.HandleFunc("GET /page/{id}", s.handlePage)
 	return s.limit(mux)
 }
 
-// limit applies the concurrency bound and request logging.
+// writeTimeout bounds response writes. It is applied per request (and, on
+// the harvest stream, rolled forward per event) instead of as a
+// server-wide WriteTimeout, which would sever NDJSON streams that outlive
+// one fixed deadline.
+const writeTimeout = 30 * time.Second
+
+// limit applies the concurrency bound, per-route write deadlines, and
+// request logging.
 func (s *Server) limit(next http.Handler) http.Handler {
+	sem := s.semaphore()
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		select {
-		case s.sem <- struct{}{}:
-			defer func() { <-s.sem }()
+		case sem <- struct{}{}:
+			defer func() { <-sem }()
 		case <-r.Context().Done():
 			http.Error(w, "canceled", http.StatusServiceUnavailable)
 			return
+		}
+		if r.URL.Path != "/api/harvest" {
+			// A slow-reading client must not pin a handler (and its
+			// semaphore slot) forever. The harvest stream manages its
+			// own rolling deadline in handleHarvest. Not every
+			// ResponseWriter supports deadlines (httptest recorders);
+			// ignore the error.
+			_ = http.NewResponseController(w).SetWriteDeadline(time.Now().Add(writeTimeout))
 		}
 		start := time.Now()
 		next.ServeHTTP(w, r)
@@ -140,8 +178,11 @@ func (s *Server) Start(addr string) (string, error) {
 	s.http = &http.Server{
 		Handler:           s.Handler(),
 		ReadHeaderTimeout: 5 * time.Second,
-		WriteTimeout:      30 * time.Second,
-		IdleTimeout:       60 * time.Second,
+		// No server-wide WriteTimeout: /api/harvest streams NDJSON for as
+		// long as the batch runs. The limit middleware applies a per-
+		// request write deadline to every other route, and the harvest
+		// handler rolls its own deadline forward per emitted event.
+		IdleTimeout: 60 * time.Second,
 	}
 	go func() {
 		if err := s.http.Serve(ln); err != nil && err != http.ErrServerClosed && s.Log != nil {
@@ -151,8 +192,10 @@ func (s *Server) Start(addr string) (string, error) {
 	return ln.Addr().String(), nil
 }
 
-// Shutdown drains in-flight requests and stops the server.
+// Shutdown cancels long-lived streaming handlers (in-flight batch
+// harvests), drains the rest, and stops the server.
 func (s *Server) Shutdown(ctx context.Context) error {
+	s.cancel()
 	if s.http == nil {
 		return nil
 	}
@@ -184,7 +227,8 @@ func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
 	q := r.URL.Query().Get("q")
 	seed := r.URL.Query().Get("seed")
 	if q == "" && seed == "" {
-		http.Error(w, "missing q parameter", http.StatusBadRequest)
+		// A seed-only (or q-only) search is valid; only both-empty is not.
+		http.Error(w, "missing query: provide q and/or seed", http.StatusBadRequest)
 		return
 	}
 	engine := s.engine

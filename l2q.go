@@ -306,6 +306,9 @@ type HarvestResult struct {
 	Entity *Entity
 	Fired  []Query
 	Pages  []*Page
+	// Err is non-nil when the entity could not be harvested (e.g. an
+	// unknown entity ID); Entity is nil in that case.
+	Err error
 }
 
 // HarvestMany harvests the same aspect for many entities concurrently
@@ -329,6 +332,10 @@ func (s *System) HarvestMany(entities []EntityID, a Aspect, dm *DomainModel,
 			defer func() { <-sem }()
 			e := s.corpus.Entity(id)
 			if e == nil {
+				// An explicit per-entity error: a zero-valued result
+				// (Entity == nil, no Err) panics callers that
+				// dereference .Entity without a clue why.
+				out[i] = HarvestResult{Err: fmt.Errorf("l2q: unknown entity id %d", id)}
 				return
 			}
 			h := s.NewHarvesterSeeded(e, a, dm, uint64(id)+1)

@@ -38,6 +38,29 @@ type (
 	// Snapshot/Resume from the embedded session, so long-running harvests
 	// survive restarts by exact replay.
 	Checkpoint = core.Checkpoint
+	// ContextRetriever is the error-aware, cancellable retriever surface
+	// remote engines implement.
+	ContextRetriever = core.ContextRetriever
+	// RemoteOptions tunes a remote engine's transport (retry policy,
+	// prefetch concurrency, request timeout).
+	RemoteOptions = webapi.ClientOptions
+	// RetryPolicy controls the remote engine's retry/backoff behavior.
+	RetryPolicy = webapi.RetryPolicy
+	// TransportError is the typed failure of a remote API operation after
+	// the retry budget is exhausted.
+	TransportError = webapi.TransportError
+	// RemoteMetrics snapshots a remote engine's request/retry/error
+	// accounting.
+	RemoteMetrics = webapi.ClientMetrics
+	// FaultInjector wraps a handler with configurable transport faults
+	// (500s, latency, truncated bodies) for resilience testing.
+	FaultInjector = webapi.FaultInjector
+	// HarvestBackend enables a SearchServer's POST /api/harvest endpoint.
+	HarvestBackend = webapi.HarvestBackend
+	// HarvestRequest is the batch-harvest request body.
+	HarvestRequest = webapi.HarvestRequest
+	// HarvestEvent is one NDJSON line of the batch-harvest stream.
+	HarvestEvent = webapi.HarvestEvent
 )
 
 // ReadCheckpoint deserializes a checkpoint written by Checkpoint.Encode.
@@ -70,17 +93,46 @@ func (s *System) ClassifierAccuracy(a Aspect, pages []*Page) float64 {
 }
 
 // NewSearchServer exposes the system's corpus and engine as an HTTP
-// search API (JSON search + rendered HTML pages). Start it with
-// (*SearchServer).Start and point remote harvesters at it with DialRemote.
+// search API (JSON search + rendered HTML pages), with the server-side
+// batch-harvest endpoint enabled over the system's classifiers and
+// lazily-learned domain models. Start it with (*SearchServer).Start and
+// point remote harvesters at it with DialRemote.
 func (s *System) NewSearchServer() *SearchServer {
-	return webapi.NewServer(s.corpus, s.engine)
+	srv := webapi.NewServer(s.corpus, s.engine)
+	srv.Harvest = s.HarvestBackend()
+	return srv
+}
+
+// HarvestBackend wires the system into a webapi.HarvestBackend: aspect
+// classifiers materialize Y, and domain models are learned on first use
+// over the canonical first-half domain sample (the protocol
+// cmd/l2qharvest and the tests use); the backend memoizes them per
+// aspect.
+func (s *System) HarvestBackend() *HarvestBackend {
+	return &HarvestBackend{
+		Cfg:     s.cfg,
+		Aspects: s.Aspects(),
+		Y:       s.cls.YFunc,
+		Rec:     s.rec,
+		DomainModel: func(a Aspect) (*DomainModel, error) {
+			ids := s.EntityIDs()
+			return s.LearnDomain(a, ids[:len(ids)/2])
+		},
+	}
 }
 
 // DialRemote connects to a search API served by NewSearchServer (possibly
 // in another process) using this system's tokenizer, returning an engine
-// that harvesting sessions can use in place of the in-process one.
+// that harvesting sessions can use in place of the in-process one. The
+// transport retries transient faults by default; DialRemoteOpts tunes it.
 func (s *System) DialRemote(base string) (*RemoteEngine, error) {
 	return webapi.Dial(base, s.cfg.Tokenizer)
+}
+
+// DialRemoteOpts is DialRemote with explicit transport options (retry
+// policy, prefetch concurrency, per-request timeout).
+func (s *System) DialRemoteOpts(base string, opts RemoteOptions) (*RemoteEngine, error) {
+	return webapi.DialOpts(base, s.cfg.Tokenizer, opts)
 }
 
 // NewRemoteHarvester starts a harvesting session that searches and
@@ -109,40 +161,46 @@ type PipelineResult struct {
 	Entity *Entity
 	Fired  []Query
 	Pages  []*Page
-	Err    error
+	// Err is non-nil when the entity could not be harvested: an unknown
+	// entity ID (Entity is nil), context cancellation, or a transport
+	// failure the session's retriever could not retry away.
+	Err error
 }
 
 // HarvestPipelined harvests one aspect for many entities with the
 // interleaved scheduler of §VI-C's efficiency note: selections run on a
 // bounded CPU pool while page fetches overlap on a wider I/O pool. With
 // fetcher == nil the fetch stage is instant (in-memory corpus); pass a
-// Fetcher with Sleep set to model remote-download latency.
+// Fetcher with Sleep set to model remote-download latency. The result
+// slice is aligned with entities: one PipelineResult per requested ID,
+// unknown IDs reported with a per-entity Err instead of being silently
+// dropped (which used to shift every later result off its entity).
 func (s *System) HarvestPipelined(ctx context.Context, entities []EntityID, a Aspect,
 	dm *DomainModel, sel Selector, nQueries int, fetcher *Fetcher) []PipelineResult {
 
+	out := make([]PipelineResult, len(entities))
 	jobs := make([]pipeline.Job, 0, len(entities))
 	sessions := make([]*Session, 0, len(entities))
-	ents := make([]*Entity, 0, len(entities))
-	for _, id := range entities {
+	jobIdx := make([]int, 0, len(entities)) // job position → entities position
+	for i, id := range entities {
 		e := s.corpus.Entity(id)
 		if e == nil {
+			out[i] = PipelineResult{Err: fmt.Errorf("l2q: unknown entity id %d", id)}
 			continue
 		}
 		sess := core.NewSession(s.cfg, s.engine, e, a, s.cls.YFunc(a), dm, s.rec, uint64(id)+1)
 		sess.Fetcher = fetcher
 		jobs = append(jobs, pipeline.Job{Session: sess, Selector: sel, NQueries: nQueries})
 		sessions = append(sessions, sess)
-		ents = append(ents, e)
+		jobIdx = append(jobIdx, i)
+		out[i].Entity = e
 	}
 	results := pipeline.Run(ctx, pipeline.Config{}, jobs)
-	out := make([]PipelineResult, len(results))
-	for i, r := range results {
-		out[i] = PipelineResult{
-			Entity: ents[i],
-			Fired:  r.Fired,
-			Pages:  sessions[i].Pages(),
-			Err:    r.Err,
-		}
+	for j, r := range results {
+		i := jobIdx[j]
+		out[i].Fired = r.Fired
+		out[i].Pages = sessions[j].Pages()
+		out[i].Err = r.Err
 	}
 	return out
 }

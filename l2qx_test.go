@@ -92,6 +92,69 @@ func TestHarvestPipelinedMatchesHarvestMany(t *testing.T) {
 	}
 }
 
+// TestHarvestManyUnknownEntity: an unknown entity ID yields an explicit
+// per-entity error, not a zero-valued result whose nil .Entity panics the
+// first caller that dereferences it.
+func TestHarvestManyUnknownEntity(t *testing.T) {
+	sys := testSystem(t, Researchers)
+	aspect := sys.Aspects()[0]
+	ids := sys.EntityIDs()
+	const bogus = EntityID(99999)
+	targets := []EntityID{ids[len(ids)-1], bogus, ids[len(ids)-2]}
+
+	results := sys.HarvestMany(targets, aspect, nil, NewP(), 1, 2)
+	if len(results) != len(targets) {
+		t.Fatalf("%d results for %d targets", len(results), len(targets))
+	}
+	if results[1].Err == nil {
+		t.Fatal("unknown entity produced no error")
+	}
+	if results[1].Entity != nil {
+		t.Errorf("unknown entity has Entity %v", results[1].Entity)
+	}
+	for _, i := range []int{0, 2} {
+		if results[i].Err != nil {
+			t.Errorf("valid entity %d errored: %v", i, results[i].Err)
+		}
+		if results[i].Entity == nil || results[i].Entity.ID != targets[i] {
+			t.Errorf("result %d not aligned with its target", i)
+		}
+		if len(results[i].Pages) == 0 {
+			t.Errorf("valid entity %d gathered nothing", i)
+		}
+	}
+}
+
+// TestHarvestPipelinedUnknownEntity: the pipelined variant keeps one
+// result per requested ID (unknown IDs no longer shift every later result
+// off its entity) and reports the failure per entity.
+func TestHarvestPipelinedUnknownEntity(t *testing.T) {
+	sys := testSystem(t, Researchers)
+	aspect := sys.Aspects()[0]
+	ids := sys.EntityIDs()
+	const bogus = EntityID(99999)
+	targets := []EntityID{ids[len(ids)-1], bogus, ids[len(ids)-2]}
+
+	results := sys.HarvestPipelined(context.Background(), targets, aspect, nil, NewP(), 1, nil)
+	if len(results) != len(targets) {
+		t.Fatalf("%d results for %d targets (alignment lost)", len(results), len(targets))
+	}
+	if results[1].Err == nil || results[1].Entity != nil {
+		t.Fatalf("unknown entity slot = %+v, want explicit error with nil Entity", results[1])
+	}
+	for _, i := range []int{0, 2} {
+		if results[i].Err != nil {
+			t.Errorf("valid entity %d errored: %v", i, results[i].Err)
+		}
+		if results[i].Entity == nil || results[i].Entity.ID != targets[i] {
+			t.Errorf("result %d not aligned with its target", i)
+		}
+		if len(results[i].Pages) == 0 {
+			t.Errorf("valid entity %d gathered nothing", i)
+		}
+	}
+}
+
 func TestSystemCrawl(t *testing.T) {
 	sys := testSystem(t, Cars)
 	e := sys.Corpus().Entities[0]
@@ -160,13 +223,19 @@ func TestLoadStoreMissingFile(t *testing.T) {
 	}
 }
 
-func TestHarvestPipelinedSkipsUnknownEntities(t *testing.T) {
+func TestHarvestPipelinedReportsUnknownEntities(t *testing.T) {
 	sys := testSystem(t, Cars)
 	aspect := sys.Aspects()[0]
 	out := sys.HarvestPipelined(context.Background(), []EntityID{99999}, aspect,
 		nil, NewP(), 1, nil)
-	if len(out) != 0 {
-		t.Errorf("unknown entity produced %d results", len(out))
+	// One aligned result per requested ID, carrying an explicit error —
+	// dropping the slot (the old behavior) shifted every later result off
+	// its entity.
+	if len(out) != 1 {
+		t.Fatalf("unknown entity produced %d results, want 1", len(out))
+	}
+	if out[0].Err == nil || out[0].Entity != nil {
+		t.Errorf("unknown entity slot = %+v, want explicit error with nil Entity", out[0])
 	}
 }
 
