@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test bench lint fmt
+.PHONY: all build test soak bench lint fmt
 
 all: lint build test
 
@@ -11,7 +11,11 @@ build:
 	$(GO) build ./...
 
 test:
-	$(GO) test -race ./...
+	$(GO) test -race -shuffle=on ./...
+
+# 30 s scheduler churn (submit/cancel/resume) under the race detector.
+soak:
+	L2Q_SOAK=30s $(GO) test -race -run 'TestSchedulerSoak' ./internal/pipeline/
 
 # Full benchmark pass. For the sharded-engine before/after numbers only:
 #   go test -run='^$$' -bench='HotSingleQuery|ConcurrentManyQueries' -benchtime=2s ./internal/search/

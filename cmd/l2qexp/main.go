@@ -5,19 +5,26 @@
 //
 // Usage:
 //
-//	l2qexp [-domain researchers|cars|both] [-fig all|9|10|11|12|13|14|crawl]
+//	l2qexp [-domain researchers|cars|both] [-fig all|9|10|11|12|13|14|crawl|budget]
 //	       [-entities N] [-pages N] [-domainsample N] [-test N] [-val N]
-//	       [-seed N] [-cv] [-quick] [-shards N] [-scoreworkers N]
+//	       [-seed N] [-cv] [-quick] [-json] [-shards N] [-scoreworkers N]
 //	       [-cachesize N] [-inferworkers N] [-warmstart] [-incremental]
 //
 // Beyond the paper's figures, -fig crawl runs the extension experiment
 // comparing query-driven harvesting against a link-following focused
-// crawler at an equal download budget, and Fig. 13 output includes paired
-// significance tests (sign test + bootstrap) of L2QBAL against every
-// baseline.
+// crawler at an equal download budget, -fig budget compares fixed-equal
+// vs adaptive cross-entity query-budget allocation at the same global
+// spend (the scheduler's BudgetPolicy), and Fig. 13 output includes
+// paired significance tests (sign test + bootstrap) of L2QBAL against
+// every baseline.
+//
+// With -json, every figure additionally emits one machine-readable JSON
+// line ({"figure":...,"domain":...,"data":...}) alongside the printed
+// table, so CI can record a BENCH_*.json perf/quality trajectory.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -29,10 +36,31 @@ import (
 	"l2q/internal/synth"
 )
 
+// jsonOut mirrors the -json flag: emit one JSON object per figure/series.
+var jsonOut bool
+
+// emitJSON writes one machine-readable result line to stdout.
+func emitJSON(figure string, domain corpus.Domain, data any) {
+	if !jsonOut {
+		return
+	}
+	line, err := json.Marshal(map[string]any{
+		"figure": figure,
+		"domain": string(domain),
+		"data":   data,
+	})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "l2qexp: json: %v\n", err)
+		return
+	}
+	fmt.Println(string(line))
+}
+
 func main() {
 	var (
 		domain       = flag.String("domain", "both", "researchers, cars, or both")
-		fig          = flag.String("fig", "all", "figure to regenerate: 9|10|11|12|13|14|crawl|9crf|all")
+		fig          = flag.String("fig", "all", "figure to regenerate: 9|10|11|12|13|14|crawl|budget|9crf|all")
+		jsonFlag     = flag.Bool("json", false, "emit one machine-readable JSON line per figure alongside the tables")
 		entities     = flag.Int("entities", 0, "entities in the corpus (0 = paper scale)")
 		pages        = flag.Int("pages", 0, "pages per entity (0 = paper's 50)")
 		domainSample = flag.Int("domainsample", 0, "domain entities in the domain graph (0 = default)")
@@ -51,6 +79,7 @@ func main() {
 		incremental  = flag.Bool("incremental", true, "persistent incremental session graphs (false = rebuild per step)")
 	)
 	flag.Parse()
+	jsonOut = *jsonFlag
 
 	domains := []corpus.Domain{synth.DomainResearchers, synth.DomainCars}
 	switch *domain {
@@ -198,6 +227,11 @@ func runFigures(cfg eval.Config, fig string, cv bool) error {
 			return err
 		}
 	}
+	if want("budget") {
+		if err := printBudget(env); err != nil {
+			return err
+		}
+	}
 	if fig == "9crf" {
 		printFig9CRF(env)
 	}
@@ -208,18 +242,22 @@ func runFigures(cfg eval.Config, fig string, cv bool) error {
 func printFig9(env *eval.Env) {
 	fmt.Printf("-- Fig. 9: entity aspects, paragraph frequency, classifier accuracy --\n")
 	fmt.Printf("%-14s %10s %10s\n", "Aspect", "Frequency", "Accuracy")
-	for _, r := range env.Fig9() {
+	rows := env.Fig9()
+	for _, r := range rows {
 		fmt.Printf("%-14s %10d %10.2f\n", r.Aspect, r.Frequency, r.Accuracy)
 	}
+	emitJSON("fig9", env.Cfg.Domain, rows)
 	fmt.Println()
 }
 
 func printFig9CRF(env *eval.Env) {
 	fmt.Printf("-- Fig. 9 extension: Naive Bayes vs linear-chain CRF accuracy --\n")
 	fmt.Printf("%-14s %10s %10s\n", "Aspect", "NB", "CRF")
-	for _, r := range env.Fig9CRF() {
+	rows := env.Fig9CRF()
+	for _, r := range rows {
 		fmt.Printf("%-14s %10.3f %10.3f\n", r.Aspect, r.AccuracyNB, r.AccuracyCRF)
 	}
+	emitJSON("fig9crf", env.Cfg.Domain, rows)
 	fmt.Println()
 }
 
@@ -239,6 +277,7 @@ func printFig10(env *eval.Env) error {
 		fmt.Printf("%s=%.3f  ", m, res.Recall[m])
 	}
 	fmt.Printf("\n(%v)\n\n", time.Since(t0).Round(time.Millisecond))
+	emitJSON("fig10", env.Cfg.Domain, res)
 	return nil
 }
 
@@ -262,6 +301,7 @@ func printFig11(env *eval.Env) error {
 		fmt.Printf("%9.3f", v)
 	}
 	fmt.Printf("\n(%v)\n\n", time.Since(t0).Round(time.Millisecond))
+	emitJSON("fig11", env.Cfg.Domain, res)
 	return nil
 }
 
@@ -294,6 +334,7 @@ func printFig12(env *eval.Env) error {
 	fmt.Printf("-- Fig. 12b: recall vs number of queries (normalized) --\n")
 	printSeries(res, func(p eval.PRF) float64 { return p.R }, "rec")
 	fmt.Printf("(%v)\n\n", time.Since(t0).Round(time.Millisecond))
+	emitJSON("fig12", env.Cfg.Domain, res)
 	return nil
 }
 
@@ -314,6 +355,7 @@ func printFig13(env *eval.Env) error {
 		fmt.Printf("  %s\n", s)
 	}
 	fmt.Printf("(%v)\n\n", time.Since(t0).Round(time.Millisecond))
+	emitJSON("fig13", env.Cfg.Domain, res)
 	return nil
 }
 
@@ -329,6 +371,7 @@ func printCrawl(env *eval.Env) error {
 	fmt.Printf("  %-22s %.3f\n", "focused crawler (links)", res.CrawlerF)
 	fmt.Printf("  %s\n", res.Sig)
 	fmt.Printf("(%v)\n\n", time.Since(t0).Round(time.Millisecond))
+	emitJSON("crawl", env.Cfg.Domain, res)
 	return nil
 }
 
@@ -343,5 +386,30 @@ func printFig14(env *eval.Env) error {
 		fmt.Printf("%-10s %12.4f\n", m, res.SelectionSec[m])
 	}
 	fmt.Printf("%-10s %12.1f (simulated remote download, %s)\n\n", "Fetch", res.FetchSecPerQuery, res.Domain)
+	emitJSON("fig14", env.Cfg.Domain, res)
+	return nil
+}
+
+// printBudget runs the fixed-vs-adaptive budget-allocation comparison
+// (the scheduler's BudgetPolicy) at the same global query spend.
+func printBudget(env *eval.Env) error {
+	t0 := time.Now()
+	res, err := env.BudgetComparison(env.Cfg.NumQueries)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("-- Extension: fixed-equal vs adaptive cross-entity query budgets --\n")
+	fmt.Printf("same global budget per aspect (%d queries x %d entities); \u03a3R_E(\u03a6) is the\n", res.NQueries, env.Cfg.NumTest)
+	fmt.Printf("summed collective recall, rel the gathered relevant pages:\n")
+	fmt.Printf("%-14s %8s | %8s %8s %6s | %8s %8s %6s\n",
+		"Aspect", "budget", "fix \u03a3R", "fired", "rel", "ada \u03a3R", "fired", "rel")
+	for _, r := range res.Rows {
+		fmt.Printf("%-14s %8d | %8.3f %8d %6d | %8.3f %8d %6d\n",
+			r.Aspect, r.Budget,
+			r.FixedSumRPhi, r.FixedQueries, r.FixedRelPages,
+			r.AdaptiveSumRPhi, r.AdaptiveQueries, r.AdaptiveRelPages)
+	}
+	fmt.Printf("(%v)\n\n", time.Since(t0).Round(time.Millisecond))
+	emitJSON("budget", env.Cfg.Domain, res)
 	return nil
 }

@@ -7,21 +7,38 @@
 //	l2qharvest -domain researchers -aspect RESEARCH -strategy L2QBAL -queries 4
 //	l2qharvest -domain cars -aspect SAFETY -entity 120 -strategy MQ
 //	l2qharvest -remote 127.0.0.1:8080 ...   # search via a l2qserve instance
+//	l2qharvest -checkpoint run.ckpt ...     # durable, resumable harvest
 //
 // With -remote, searches and page downloads go through the HTTP search API
 // (the corpus and domain model are still built locally — the flag changes
 // the transport, exactly the paper's commercial-search-API setting; the
 // served corpus must match the local -domain/-entities/-pages/-seed).
+//
+// With -checkpoint, the session's durable state is written after every
+// step (atomically), and a matching checkpoint file is resumed on start:
+// kill the harvest at any point (Ctrl-C checkpoints and exits cleanly) and
+// rerun the same command line to continue where it stopped, paying only
+// the queries not yet fired. -replaycheck verifies the final fired
+// sequence against an uninterrupted in-process run (deterministic
+// strategies only — RND draws from the RNG during selection, which a
+// replay does not).
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
+	"reflect"
+	"syscall"
 	"time"
 
 	"l2q"
+	"l2q/internal/core"
 	"l2q/internal/corpus"
+	"l2q/internal/store"
 )
 
 func main() {
@@ -42,6 +59,8 @@ func main() {
 		inferW   = flag.Int("inferworkers", 0, "per-step inference workers (0 = GOMAXPROCS)")
 		warm     = flag.Bool("warmstart", true, "warm-start fixpoint solvers from the previous step")
 		incr     = flag.Bool("incremental", true, "persistent incremental session graphs (false = rebuild per step)")
+		ckpt     = flag.String("checkpoint", "", "checkpoint file: resume from it if present, write it after every step")
+		replay   = flag.Bool("replaycheck", false, "after finishing, verify the fired sequence against an uninterrupted run")
 	)
 	flag.Parse()
 
@@ -147,21 +166,87 @@ func main() {
 	} else {
 		h = sys.NewHarvester(target, a, dm)
 	}
-	h.Bootstrap()
+
+	// The harvest is interruptible (StepCtx threads the signal context
+	// through the fetch stack) and, with -checkpoint, durable: Ctrl-C
+	// writes the final checkpoint and a rerun resumes the exact session.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	resumed := 0
+	if *ckpt != "" {
+		if _, err := os.Stat(*ckpt); err == nil {
+			cps, err := store.LoadCheckpointsFile(*ckpt)
+			if err != nil {
+				fail(err)
+			}
+			for _, cp := range cps {
+				if cp.Entity == target.ID && cp.Aspect == corpus.Aspect(a) {
+					if err := h.Resume(cp); err != nil {
+						fail(err)
+					}
+					resumed = len(cp.Fired)
+					fmt.Printf("resumed %d fired queries from %s\n", resumed, *ckpt)
+					break
+				}
+			}
+		}
+	}
+	saveCkpt := func() {
+		if *ckpt == "" {
+			return
+		}
+		if err := store.SaveCheckpointsFile(*ckpt, []core.Checkpoint{h.Snapshot()}); err != nil {
+			fmt.Fprintf(os.Stderr, "l2qharvest: checkpoint: %v\n", err)
+		}
+	}
+	interrupted := func(err error) {
+		saveCkpt()
+		if *ckpt != "" {
+			fmt.Printf("\ninterrupted (%v); checkpoint saved to %s — rerun to resume\n", err, *ckpt)
+			os.Exit(0)
+		}
+		fail(err)
+	}
+
+	if _, err := h.BootstrapCtx(ctx); err != nil {
+		interrupted(err)
+	}
 	report(h, sys, target, a, relUniverse, "seed")
-	for i := 0; i < *queries; i++ {
-		q, ok := h.Step(sel)
+	saveCkpt()
+	for i := resumed; i < *queries; i++ {
+		q, ok, err := h.StepCtx(ctx, sel)
+		if err != nil {
+			if errors.Is(err, context.Canceled) {
+				interrupted(err)
+			}
+			fail(err)
+		}
 		if !ok {
 			fmt.Println("selector ran out of candidates")
 			break
 		}
 		report(h, sys, target, a, relUniverse, string(q))
+		saveCkpt()
 	}
 	fmt.Printf("\nselection time: %v total\n", h.SelectionTime().Round(1000))
 	if re != nil {
 		m := re.Metrics()
 		fmt.Printf("HTTP requests issued: %d (%d retried, %d failed after retries, %d page downloads shared in flight)\n",
 			m.Requests, m.Retries, m.Errors, m.PrefetchShared)
+	}
+
+	if *replay {
+		// Uninterrupted in-process reference: same seeding conventions,
+		// full budget in one go. Equal fired sequences prove the
+		// checkpoint/resume path reproduced the session exactly.
+		ref := sys.NewHarvester(target, a, dm)
+		refFired := ref.Run(sel, *queries)
+		if reflect.DeepEqual(refFired, h.Fired()) {
+			fmt.Printf("replaycheck: OK (%d queries match an uninterrupted run)\n", len(refFired))
+		} else {
+			fail(fmt.Errorf("replaycheck: fired %v, uninterrupted run fires %v", h.Fired(), refFired))
+		}
 	}
 }
 

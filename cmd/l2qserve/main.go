@@ -3,11 +3,17 @@
 // the paper harvests through. Remote harvesters connect with
 // webapi.Dial and run unchanged (see examples/httpharvest).
 //
-// With -harvest (the default), the server also exposes POST /api/harvest:
-// server-side batch harvesting that runs pipelined L2Q sessions next to
-// the index and streams NDJSON per-iteration progress. Classifiers are
-// trained on the served corpus and domain models are learned lazily per
-// aspect (over the canonical first-half entity sample).
+// With -harvest (the default), the server also exposes POST /api/harvest
+// (synchronous batch harvesting streaming NDJSON progress) and the async
+// jobs API (POST /api/jobs → id, GET /api/jobs/{id} for status or
+// ?stream=1 event following, DELETE to cancel — with per-entity
+// checkpoints for resume). Every harvest runs on ONE shared scheduler
+// (-selectworkers/-fetchworkers/-maxactive) with FIFO admission and
+// per-request fair share; a killed job's checkpoints can be re-submitted
+// via the request's "resume" field. Classifiers are trained on the served
+// corpus and domain models are learned lazily per aspect (over the
+// canonical first-half entity sample). GET /api/metrics exposes the
+// server-side counters (requests, scheduler queue depth, budget state).
 //
 // The corpus is either loaded from a store file written by l2qgen/l2qstore
 // (-store) or generated synthetically (-domain/-entities/-pages).
@@ -53,8 +59,11 @@ func main() {
 		shards    = flag.Int("shards", 0, "index shards (0 = GOMAXPROCS)")
 		workers   = flag.Int("scoreworkers", 0, "per-query scoring workers (0 = GOMAXPROCS)")
 		cacheSize = flag.Int("cachesize", 0, "query cache capacity (0 = default, <0 = off)")
-		harvest   = flag.Bool("harvest", true, "enable POST /api/harvest (server-side batch harvesting)")
+		harvest   = flag.Bool("harvest", true, "enable POST /api/harvest and the /api/jobs async API (server-side batch harvesting)")
 		maxSess   = flag.Int("harvestsessions", 64, "max entities per harvest request")
+		selectW   = flag.Int("selectworkers", 0, "shared scheduler: select (CPU) workers (0 = GOMAXPROCS)")
+		fetchW    = flag.Int("fetchworkers", 0, "shared scheduler: fetch (I/O) workers (0 = 4×select)")
+		maxActive = flag.Int("maxactive", 0, "shared scheduler: admission bound on concurrently active jobs (0 = unlimited)")
 		drain     = flag.Duration("drain", 10*time.Second, "graceful-shutdown drain timeout")
 	)
 	flag.Parse()
@@ -108,6 +117,9 @@ func main() {
 	}
 	if *harvest {
 		if hb := harvestBackend(c, tok, rec, *maxSess, logger); hb != nil {
+			hb.SelectWorkers = *selectW
+			hb.FetchWorkers = *fetchW
+			hb.MaxActive = *maxActive
 			srv.Harvest = hb
 		}
 	}
@@ -118,9 +130,9 @@ func main() {
 	fmt.Printf("serving %d pages of %q on http://%s (top-%d, μ = %.0f, %d shards, %d score workers)\n",
 		c.NumPages(), c.Domain, bound, engine.TopK(), engine.Mu(),
 		idx.NumShards(), engine.ScoreWorkers())
-	endpoints := "endpoints: /api/stats /api/search?q=&seed= /api/collfreq?tokens= /api/entities /page/{id}.html /healthz"
+	endpoints := "endpoints: /api/stats /api/search?q=&seed= /api/collfreq?tokens= /api/entities /api/metrics /page/{id}.html /healthz"
 	if srv.Harvest != nil {
-		endpoints += " POST /api/harvest"
+		endpoints += " POST /api/harvest POST|GET|DELETE /api/jobs"
 	}
 	fmt.Println(endpoints)
 

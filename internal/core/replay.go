@@ -4,6 +4,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"math"
 
 	"l2q/internal/corpus"
 )
@@ -12,25 +13,40 @@ import (
 // needed to resume after a restart. Because retrieval over a fixed corpus
 // is deterministic, the context Φ (the fired queries, in order) fully
 // determines the gathered page set — so a checkpoint is tiny and resuming
-// is an exact replay, not an approximation. Gathered page IDs are recorded
-// for verification only.
+// is an exact replay, not an approximation. Gathered page IDs and the
+// collective-recall anchors are recorded for verification only: a replay
+// that reproduces Φ but lands on different pages or a different R_E(Φ)
+// means the corpus, engine, or model configuration changed under the
+// checkpoint, and Resume fails loudly instead of silently corrupting the
+// context model.
 type Checkpoint struct {
 	// Entity and Aspect identify the session.
 	Entity corpus.EntityID `json:"entity"`
 	Aspect corpus.Aspect   `json:"aspect"`
+	// Booted records whether the seed results were ingested. A snapshot
+	// taken mid-bootstrap (session created, seed not yet ingested) is
+	// valid and resumes as a fresh start.
+	Booted bool `json:"booted,omitempty"`
 	// Fired is the ordered context Φ (excluding the implicit seed).
 	Fired []Query `json:"fired"`
 	// PageIDs are the gathered pages at checkpoint time, in order.
 	PageIDs []corpus.PageID `json:"pageIds"`
+	// RPhi and RStarPhi anchor the collective recalls R_E(Φ) and R*_E(Φ)
+	// at snapshot time; Resume replay-verifies against them.
+	RPhi     float64 `json:"rPhi,omitempty"`
+	RStarPhi float64 `json:"rStarPhi,omitempty"`
 }
 
-// Snapshot captures the session's durable state. The session must have
-// been bootstrapped (a snapshot of an unbooted session is empty but valid).
+// Snapshot captures the session's durable state. It is valid in every
+// session state, including mid-bootstrap (before the seed ingest).
 func (s *Session) Snapshot() Checkpoint {
 	cp := Checkpoint{
-		Entity: s.Entity.ID,
-		Aspect: s.Aspect,
-		Fired:  append([]Query(nil), s.fired...),
+		Entity:   s.Entity.ID,
+		Aspect:   s.Aspect,
+		Booted:   s.bootOnce,
+		Fired:    append([]Query(nil), s.fired...),
+		RPhi:     s.rPhi,
+		RStarPhi: s.rStarPhi,
 	}
 	for _, p := range s.pages {
 		cp.PageIDs = append(cp.PageIDs, p.ID)
@@ -38,7 +54,8 @@ func (s *Session) Snapshot() Checkpoint {
 	return cp
 }
 
-// Encode serializes the checkpoint as JSON.
+// Encode serializes the checkpoint as JSON. internal/store provides the
+// compact framed binary codec for checkpoint files (store.SaveCheckpoints).
 func (cp Checkpoint) Encode(w io.Writer) error {
 	if err := json.NewEncoder(w).Encode(cp); err != nil {
 		return fmt.Errorf("core: write checkpoint: %w", err)
@@ -55,18 +72,37 @@ func ReadCheckpoint(r io.Reader) (Checkpoint, error) {
 	return cp, nil
 }
 
+// booted reports whether the checkpointed session had ingested its seed.
+// Checkpoints written before the Booted field existed imply it from the
+// recorded state (a session with fired queries or pages must have booted).
+func (cp Checkpoint) booted() bool {
+	return cp.Booted || len(cp.Fired) > 0 || len(cp.PageIDs) > 0
+}
+
+// anchorTol bounds the replay drift of the verification anchors. The
+// replay recomputes R_E(Φ) with the same float operations in the same
+// order, so anything beyond rounding noise means real divergence.
+const anchorTol = 1e-9
+
 // Resume replays a checkpoint into a fresh session: it bootstraps, fires
-// the checkpointed queries in order, and verifies the gathered pages match
-// the recorded IDs (a mismatch means the corpus or engine changed under
-// the checkpoint, which would silently corrupt the context model — better
-// to fail loudly). The session must be newly created with the same
-// configuration, engine, entity, aspect, Y, domain model and recognizer.
+// the checkpointed queries in order, and verifies the gathered pages and
+// the R_E(Φ)/R*_E(Φ) anchors match the recorded values (a mismatch means
+// the corpus, engine or configuration changed under the checkpoint, which
+// would silently corrupt the context model — better to fail loudly). The
+// session must be newly created with the same configuration, engine,
+// entity, aspect, Y, domain model and recognizer. A mid-bootstrap
+// checkpoint (Booted false, nothing fired) resumes as a valid fresh
+// session without firing the seed — the next Step or the pipeline
+// scheduler bootstraps it.
 func (s *Session) Resume(cp Checkpoint) error {
 	if s.bootOnce {
 		return s.Errorf("resume into a used session")
 	}
 	if cp.Entity != s.Entity.ID || cp.Aspect != s.Aspect {
 		return s.Errorf("checkpoint is for entity %d aspect %s", cp.Entity, cp.Aspect)
+	}
+	if !cp.booted() {
+		return nil // mid-bootstrap snapshot: nothing to replay
 	}
 	s.Bootstrap()
 	for _, q := range cp.Fired {
@@ -82,6 +118,15 @@ func (s *Session) Resume(cp Checkpoint) error {
 			return s.Errorf("replay page %d is %d, checkpoint has %d (corpus changed?)",
 				i, p.ID, cp.PageIDs[i])
 		}
+	}
+	// Anchor verification. Zero anchors are skipped: checkpoints written
+	// before the fields existed carry none, and a genuinely-zero recall
+	// is implied by the (already verified) page replay.
+	if cp.RPhi != 0 && math.Abs(s.rPhi-cp.RPhi) > anchorTol {
+		return s.Errorf("replay R_E(Φ) %.12f, checkpoint has %.12f (model changed?)", s.rPhi, cp.RPhi)
+	}
+	if cp.RStarPhi != 0 && math.Abs(s.rStarPhi-cp.RStarPhi) > anchorTol {
+		return s.Errorf("replay R*_E(Φ) %.12f, checkpoint has %.12f (model changed?)", s.rStarPhi, cp.RStarPhi)
 	}
 	return nil
 }

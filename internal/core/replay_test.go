@@ -92,3 +92,77 @@ func TestReadCheckpointErrors(t *testing.T) {
 		t.Error("garbage checkpoint accepted")
 	}
 }
+
+// TestMidBootstrapSnapshot is the nastiest checkpoint state: a session
+// snapshotted before the seed ingest. The checkpoint must be valid,
+// resume as a fresh start (no phantom seed replay), and the resumed
+// session must then behave exactly like an untouched one.
+func TestMidBootstrapSnapshot(t *testing.T) {
+	f := newFixture(t)
+
+	fresh := f.session(f.dm)
+	cp := fresh.Snapshot()
+	if cp.Booted || len(cp.Fired) != 0 || len(cp.PageIDs) != 0 {
+		t.Fatalf("mid-bootstrap snapshot not empty: %+v", cp)
+	}
+
+	resumed := f.session(f.dm)
+	if err := resumed.Resume(cp); err != nil {
+		t.Fatalf("mid-bootstrap resume: %v", err)
+	}
+	if resumed.Booted() {
+		t.Fatal("mid-bootstrap resume booted the session")
+	}
+
+	ref := f.session(f.dm)
+	want := ref.Run(NewL2QBAL(), 2)
+	got := resumed.Run(NewL2QBAL(), 2)
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("resumed-from-unbooted fired %v, fresh fired %v", got, want)
+	}
+}
+
+// TestSnapshotAnchors: the recorded R_E(Φ)/R*_E(Φ) anchors match the live
+// session, replay-verify on Resume, and a corrupted anchor fails loudly.
+func TestSnapshotAnchors(t *testing.T) {
+	f := newFixture(t)
+	s := f.session(f.dm)
+	s.Run(NewL2QBAL(), 2)
+	cp := s.Snapshot()
+	if !cp.Booted {
+		t.Fatal("snapshot of a run session not marked booted")
+	}
+	if cp.RPhi != s.RPhi() {
+		t.Fatalf("snapshot RPhi %v, session %v", cp.RPhi, s.RPhi())
+	}
+
+	if err := f.session(f.dm).Resume(cp); err != nil {
+		t.Fatalf("anchor-verified resume: %v", err)
+	}
+
+	bad := cp
+	bad.RPhi = cp.RPhi + 0.25
+	err := f.session(f.dm).Resume(bad)
+	if err == nil || !strings.Contains(err.Error(), "model changed") {
+		t.Errorf("tampered anchor: err = %v", err)
+	}
+}
+
+// TestLegacyCheckpointImpliesBooted: checkpoints written before the
+// Booted field existed (fired queries, no flag) must still replay.
+func TestLegacyCheckpointImpliesBooted(t *testing.T) {
+	f := newFixture(t)
+	s := f.session(f.dm)
+	s.Run(NewP(), 1)
+	cp := s.Snapshot()
+	cp.Booted = false // simulate the old wire format
+	cp.RPhi, cp.RStarPhi = 0, 0
+
+	resumed := f.session(f.dm)
+	if err := resumed.Resume(cp); err != nil {
+		t.Fatalf("legacy checkpoint rejected: %v", err)
+	}
+	if !resumed.Booted() || len(resumed.Fired()) != 1 {
+		t.Error("legacy checkpoint did not replay")
+	}
+}

@@ -118,6 +118,11 @@ func (s *Session) SelectionTime() time.Duration { return s.selectTime }
 // RPhi returns the model's running estimate of R_E(Φ).
 func (s *Session) RPhi() float64 { return s.rPhi }
 
+// Booted reports whether the session has ingested its seed results — the
+// state the pipeline scheduler checks to pick a resumed session up at the
+// select stage instead of re-firing the seed.
+func (s *Session) Booted() bool { return s.bootOnce }
+
 // Bootstrap fires the seed query q(0) and initializes the context state
 // with the seed-recall parameter r0 (§V-A). It is idempotent.
 func (s *Session) Bootstrap() int {
@@ -125,6 +130,21 @@ func (s *Session) Bootstrap() int {
 		return 0
 	}
 	return s.IngestSeed(s.FetchQuery(""))
+}
+
+// BootstrapCtx is Bootstrap with cancellation and typed error
+// propagation: a canceled context (or a transport failure the retriever
+// could not retry away) surfaces as an error instead of silently
+// bootstrapping from an empty seed result.
+func (s *Session) BootstrapCtx(ctx context.Context) (int, error) {
+	if s.bootOnce {
+		return 0, nil
+	}
+	res, err := s.FetchQueryCtx(ctx, "")
+	if err != nil {
+		return 0, err
+	}
+	return s.IngestSeed(res), nil
 }
 
 // FetchQuery runs the retrieval (search plus simulated download) for q
@@ -309,7 +329,9 @@ type Selector interface {
 
 // Step runs one iteration of Fig. 1: select the best query, fire it, and
 // update the collective context. It reports the query fired and false when
-// the selector found no candidate.
+// the selector found no candidate. It is the errorless wrapper over
+// StepCtx: a transport failure is recorded as an unproductive query
+// (matching the errorless FetchQuery it historically fired through).
 func (s *Session) Step(sel Selector) (Query, bool) {
 	s.Bootstrap()
 	start := time.Now()
@@ -321,22 +343,60 @@ func (s *Session) Step(sel Selector) (Query, bool) {
 	}
 	added := s.Fire(choice.Query)
 	s.updateContext()
-	if s.Trace != nil {
-		s.Trace(TraceRecord{
-			Iteration:     len(s.fired),
-			Query:         choice.Query,
-			NewPages:      added,
-			TotalPages:    len(s.pages),
-			RPhi:          s.rPhi,
-			RStarPhi:      s.rStarPhi,
-			SelectionTime: selDur,
-		})
-	}
+	s.trace(choice.Query, added, selDur)
 	return choice.Query, true
 }
 
+// StepCtx is Step with cancellation and typed error propagation: the
+// fetch half runs through FetchQueryCtx, so a canceled context aborts an
+// in-flight remote download and a transport failure that survived the
+// retriever's retry budget surfaces as an error — the query is NOT
+// recorded in Φ (no search result was paid for), so a resumed session can
+// retry it.
+func (s *Session) StepCtx(ctx context.Context, sel Selector) (Query, bool, error) {
+	if _, err := s.BootstrapCtx(ctx); err != nil {
+		return "", false, err
+	}
+	start := time.Now()
+	choice, ok := sel.Select(s)
+	selDur := time.Since(start)
+	s.selectTime += selDur
+	if !ok {
+		return "", false, nil
+	}
+	res, err := s.FetchQueryCtx(ctx, choice.Query)
+	if err != nil {
+		return "", false, err
+	}
+	added := s.ingestNoContext(choice.Query, res)
+	s.updateContext()
+	s.trace(choice.Query, added, selDur)
+	return choice.Query, true, nil
+}
+
+// trace delivers one iteration's TraceRecord when a callback is set.
+func (s *Session) trace(q Query, added int, selDur time.Duration) {
+	if s.Trace == nil {
+		return
+	}
+	s.Trace(TraceRecord{
+		Iteration:     len(s.fired),
+		Query:         q,
+		NewPages:      added,
+		TotalPages:    len(s.pages),
+		RPhi:          s.rPhi,
+		RStarPhi:      s.rStarPhi,
+		SelectionTime: selDur,
+	})
+}
+
 // Run bootstraps and performs n selection iterations, returning the fired
-// queries. It stops early if the selector runs out of candidates.
+// queries. It stops early if the selector runs out of candidates. It is
+// the errorless legacy wrapper over Step: a remote transport failure
+// degrades to an unproductive query and the loop keeps spending its
+// budget — exactly the pre-RunCtx behavior, so existing callers see no
+// semantic change. Use RunCtx when a short result must be
+// distinguishable from a completed one (and for cancellation).
 func (s *Session) Run(sel Selector, n int) []Query {
 	s.Bootstrap()
 	out := make([]Query, 0, n)
@@ -348,6 +408,28 @@ func (s *Session) Run(sel Selector, n int) []Query {
 		out = append(out, q)
 	}
 	return out
+}
+
+// RunCtx is Run with cancellation: the harvest stops at the first failed
+// or canceled fetch, returning the queries fired so far alongside the
+// error. A single-session harvest driven by a CLI becomes interruptible
+// this way — Run's errorless FetchQuery path ignored ctx entirely.
+func (s *Session) RunCtx(ctx context.Context, sel Selector, n int) ([]Query, error) {
+	if _, err := s.BootstrapCtx(ctx); err != nil {
+		return nil, err
+	}
+	out := make([]Query, 0, n)
+	for i := 0; i < n; i++ {
+		q, ok, err := s.StepCtx(ctx, sel)
+		if err != nil {
+			return out, err
+		}
+		if !ok {
+			break
+		}
+		out = append(out, q)
+	}
+	return out, nil
 }
 
 // Candidates exposes the entity-phase candidate pool Q_E to selectors

@@ -1,0 +1,23 @@
+package eval
+
+import "testing"
+
+func TestBudgetComparisonSmoke(t *testing.T) {
+	env, err := NewEnv(TestConfig("researchers"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := env.BudgetComparison(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, row := range res.Rows {
+		t.Logf("%+v", row)
+		if row.AdaptiveQueries > row.Budget {
+			t.Errorf("aspect %s: adaptive overspent %d > %d", row.Aspect, row.AdaptiveQueries, row.Budget)
+		}
+		if row.AdaptiveSumRPhi < row.FixedSumRPhi-1e-9 {
+			t.Errorf("aspect %s: adaptive ΣRφ %.4f < fixed %.4f", row.Aspect, row.AdaptiveSumRPhi, row.FixedSumRPhi)
+		}
+	}
+}

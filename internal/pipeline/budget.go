@@ -1,0 +1,204 @@
+package pipeline
+
+// Adaptive cross-entity budget allocation. The paper's premise is that
+// queries are the cost unit (§I: every search-API call costs time, money
+// and bandwidth), and Endrullis et al. (PAPERS.md) judge query generators
+// on recall per query spent. A fixed per-entity budget ignores that
+// signal: an entity whose collective recall R_E(Φ) has saturated keeps
+// burning its remaining queries for nothing while a poorly-covered peer
+// is starved. BudgetPolicy pools the batch's queries instead: the batch
+// proceeds in rounds; each round, every still-hungry entity asks for one
+// query, the pool ranks requests by the marginal ΔR_E(Φ) of each entity's
+// last query, and grants while budget remains. Saturated entities
+// (collective recall complete — or, with Patience set, too many
+// consecutive queries under MinGain) and entities whose candidate pool
+// ran dry stop early: their unspent share stays in the pool and flows to
+// the highest-gain requesters of later rounds.
+//
+// The fixed-equal mode (the zero value) is the differential-parity
+// reference: each job fires exactly Job.NQueries queries with no
+// coordination, byte-identical to the one-shot Run path.
+
+import "l2q/internal/core"
+
+// BudgetMode selects how a batch's query budget is allocated.
+type BudgetMode int
+
+const (
+	// BudgetFixed gives every job exactly its Job.NQueries queries —
+	// today's batch behavior, held to differential parity with Run.
+	BudgetFixed BudgetMode = iota
+	// BudgetAdaptive pools the batch's queries and reallocates each
+	// round toward the entities with the highest marginal ΔR_E(Φ).
+	BudgetAdaptive
+)
+
+// BudgetPolicy tunes a batch's query-budget allocation. The zero value is
+// fixed-equal allocation.
+type BudgetPolicy struct {
+	Mode BudgetMode
+	// TotalQueries is the adaptive mode's global budget; 0 defaults to
+	// the sum of the batch's Job.NQueries (the same spend as fixed mode,
+	// which is what makes the two comparable).
+	TotalQueries int
+	// MinGain is the low-gain threshold on a query's marginal ΔR_E(Φ)
+	// used by the Patience rule and the round ranking; 0 defaults to
+	// 1e-6, i.e. "the query gathered no relevant page".
+	MinGain float64
+	// Patience enables the aggressive early-stop: an entity that fires
+	// this many consecutive below-MinGain queries is declared saturated
+	// and donates its remaining share. 0 (the default) disables it —
+	// then an entity stops only when its collective recall R_E(Φ) is
+	// complete (no possible gain left) or its candidates run out, which
+	// makes adaptive allocation provably no worse than fixed-equal at
+	// the same budget (R_E(Φ) is monotone, so every donated query can
+	// only add). Positive Patience trades that guarantee for bigger
+	// savings on long-tailed batches.
+	Patience int
+	// MaxPerEntity caps one entity's total queries in adaptive mode
+	// (0 = unlimited); a fairness stop against one entity absorbing the
+	// whole donated pool.
+	MaxPerEntity int
+}
+
+// BatchOptions tunes one Submit call.
+type BatchOptions struct {
+	// Budget is the batch's allocation policy (zero value: fixed-equal).
+	Budget BudgetPolicy
+	// Checkpoint, when non-nil, receives the session's durable state
+	// after every ingest (seed included), from the worker that owns the
+	// job at that moment — the hook the server uses to persist in-flight
+	// jobs. Calls for one job are serialized; calls for different jobs
+	// are concurrent.
+	Checkpoint func(job int, cp core.Checkpoint)
+}
+
+// budgetPool is the batch-scoped allocation state (guarded by the
+// scheduler mutex).
+type budgetPool struct {
+	mode      BudgetMode
+	remaining int // adaptive: unspent global budget
+	minGain   float64
+	patience  int
+	maxPer    int
+}
+
+func newBudgetPool(p BudgetPolicy, jobs []Job) *budgetPool {
+	bp := &budgetPool{
+		mode:     p.Mode,
+		minGain:  p.MinGain,
+		patience: p.Patience,
+		maxPer:   p.MaxPerEntity,
+	}
+	if bp.minGain <= 0 {
+		bp.minGain = 1e-6
+	}
+	if bp.mode == BudgetAdaptive {
+		bp.remaining = p.TotalQueries
+		if bp.remaining <= 0 {
+			for i := range jobs {
+				bp.remaining += jobs[i].NQueries
+			}
+		}
+	}
+	return bp
+}
+
+// Decisions of decideLocked.
+const (
+	decideGrant  = iota // run the selector and fire the next query
+	decidePark          // wait for the round barrier's budget grant
+	decideFinish        // job is done (budget spent, saturated, or complete)
+)
+
+// decideLocked chooses a job's next move after an ingest (or on re-entry
+// with a granted token).
+func (b *Batch) decideLocked(i int) int {
+	st := b.states[i]
+	if b.pool.mode != BudgetAdaptive {
+		if len(st.fired) >= st.job.NQueries {
+			return decideFinish
+		}
+		return decideGrant
+	}
+	if st.granted {
+		// Re-entry after a round grant: the token is already paid for.
+		return decideGrant
+	}
+	if b.pool.remaining <= 0 {
+		return decideFinish
+	}
+	if st.lastRPhi >= 1 {
+		// Collective recall complete — the §V estimate has saturated, so
+		// every further query would gain exactly zero. Donate the rest.
+		return decideFinish
+	}
+	if b.pool.patience > 0 && st.lowStreak >= b.pool.patience {
+		return decideFinish // aggressive early-stop (opt-in): donate
+	}
+	if b.pool.maxPer > 0 && len(st.fired) >= b.pool.maxPer {
+		return decideFinish
+	}
+	return decidePark
+}
+
+// refundLocked returns an unspent grant to the pool (the selector found
+// no candidate, so no search was attempted).
+func (b *Batch) refundLocked(i int) {
+	st := b.states[i]
+	if st.granted {
+		st.granted = false
+		b.pool.remaining++
+	}
+}
+
+// maybeReleaseLocked runs the round barrier: once every live job of an
+// adaptive batch is parked, rank the requests by marginal ΔR_E(Φ) (ties
+// by job index, so rounds are deterministic) and grant one query each
+// while budget remains; requests beyond the budget finish. Fixed-mode
+// batches never park, so this is a no-op for them.
+func (b *Batch) maybeReleaseLocked() {
+	if b.pool.mode != BudgetAdaptive || b.live == 0 {
+		return
+	}
+	ready := b.parked[:0:0]
+	for _, i := range b.parked {
+		if b.states[i].stage == stageParked {
+			ready = append(ready, i)
+		}
+	}
+	if len(ready) < b.live {
+		return // some live job is still mid-cycle; the round is not over
+	}
+	b.parked = nil
+	// Insertion sort by (gain desc, index asc): rounds are small and the
+	// determinism matters more than asymptotics.
+	for x := 1; x < len(ready); x++ {
+		for y := x; y > 0; y-- {
+			gy, gp := b.states[ready[y]].lastGain, b.states[ready[y-1]].lastGain
+			if gy > gp || (gy == gp && ready[y] < ready[y-1]) {
+				ready[y], ready[y-1] = ready[y-1], ready[y]
+			} else {
+				break
+			}
+		}
+	}
+	grants := len(ready)
+	if b.pool.remaining < grants {
+		grants = b.pool.remaining
+	}
+	for k, i := range ready {
+		st := b.states[i]
+		if k < grants {
+			b.pool.remaining--
+			st.granted = true
+			st.stage = stageSelectQueued
+			b.selectQ = append(b.selectQ, i)
+		} else {
+			b.finishLocked(i, nil) // budget exhausted
+		}
+	}
+	if grants > 0 {
+		b.s.selCond.Broadcast()
+	}
+}

@@ -10,21 +10,27 @@
 // pool and fetches on a wider I/O pool, so while entity A's download is in
 // flight, entity B's selection runs. Sessions themselves are never touched
 // concurrently — all state mutation for one session happens in whichever
-// worker holds the job, and jobs move between pools by message passing.
+// worker holds the job, and jobs move between stages under one scheduler
+// lock.
+//
+// The pools are long-lived: a Scheduler (see New/Submit/Drain) serves many
+// concurrent submitters over its lifetime with FIFO admission, per-batch
+// fair share, and optional adaptive cross-entity budget allocation
+// (BudgetPolicy); Run is the retained one-shot wrapper.
 package pipeline
 
 import (
-	"context"
-	"fmt"
 	"runtime"
-	"sync"
 
 	"l2q/internal/core"
 	"l2q/internal/search"
 )
 
-// Job is one entity-aspect harvest: a fresh session, a selector, and a
-// query budget (iterations after the seed).
+// Job is one entity-aspect harvest: a session, a selector, and a query
+// budget. Fresh sessions start with the seed fetch; a session resumed
+// from a checkpoint (core.Session.Resume) is picked up at the select
+// stage. NQueries counts the queries fired under this scheduler — for a
+// resumed session that is the budget remaining, not the overall total.
 type Job struct {
 	Session  *core.Session
 	Selector core.Selector
@@ -51,6 +57,10 @@ type Config struct {
 	// FetchWorkers bounds concurrent fetches (I/O-bound; default
 	// 4×SelectWorkers — fetches park on the network, not the CPU).
 	FetchWorkers int
+	// MaxActive bounds the jobs admitted across all batches (admission
+	// control for a shared server-side scheduler); 0 is unlimited. Jobs
+	// beyond the bound wait in strict FIFO submission order.
+	MaxActive int
 	// Search, when non-nil, re-tunes every job session's in-process
 	// *search.Engine with these options (score workers, cache) before
 	// the run; sessions sharing an engine share the tuned copy, so the
@@ -87,8 +97,12 @@ func (c Config) withDefaults() Config {
 // tuneEngines applies the Config.Search policy to every job whose session
 // retrieves through an in-process engine. One tuned copy is made per
 // distinct engine so jobs that shared an engine (the common case: one
-// System) keep sharing its result cache.
-func (c Config) tuneEngines(jobs []Job) {
+// System) keep sharing its result cache. The tuned map outlives one call
+// when the caller is a long-lived Scheduler: every batch submitted over
+// the scheduler's lifetime resolves to the SAME tuned copy, so the query
+// cache stays shared — and warm — across requests instead of being
+// re-created cold per batch.
+func (c Config) tuneEngines(jobs []Job, tuned map[*search.Engine]*search.Engine) {
 	var tune func(*search.Engine) *search.Engine
 	switch {
 	case c.Search != nil:
@@ -101,7 +115,6 @@ func (c Config) tuneEngines(jobs []Job) {
 	default:
 		return
 	}
-	tuned := make(map[*search.Engine]*search.Engine, 1)
 	for i := range jobs {
 		s := jobs[i].Session
 		if s == nil {
@@ -133,158 +146,4 @@ func (c Config) tuneSessions(jobs []Job) {
 			s.Cfg.InferWorkers = w
 		}
 	}
-}
-
-// stage is where a job currently is in its select/fetch/ingest cycle.
-type jobState struct {
-	job   *Job
-	fired []core.Query
-	// pending is the query whose results the fetch stage is producing;
-	// empty string while bootstrapping (the seed fetch).
-	pending core.Query
-	booted  bool
-	results []search.Result
-}
-
-// Run executes all jobs to completion (or ctx cancellation) and returns
-// one Result per job, in input order. Sessions must be freshly created and
-// must not be shared between jobs.
-func Run(ctx context.Context, cfg Config, jobs []Job) []Result {
-	cfg = cfg.withDefaults()
-	results := make([]Result, len(jobs))
-	if len(jobs) == 0 {
-		return results
-	}
-	cfg.tuneEngines(jobs)
-	cfg.tuneSessions(jobs)
-	for i := range jobs {
-		if jobs[i].Session == nil || jobs[i].Selector == nil {
-			results[i] = Result{Job: &jobs[i], Err: fmt.Errorf("pipeline: job %d missing session or selector", i)}
-		}
-	}
-
-	// Channels sized to the job count so workers never block on handoff
-	// (a job is in exactly one place at a time).
-	fetchCh := make(chan int, len(jobs))
-	selectCh := make(chan int, len(jobs))
-	states := make([]*jobState, len(jobs))
-
-	var wg sync.WaitGroup
-	var doneMu sync.Mutex
-	remaining := 0
-	done := make(chan struct{})
-	finish := func(i int, err error) {
-		st := states[i]
-		results[i] = Result{Job: st.job, Fired: st.fired, Err: err}
-		doneMu.Lock()
-		remaining--
-		if remaining == 0 {
-			close(done)
-		}
-		doneMu.Unlock()
-	}
-
-	for i := range jobs {
-		if results[i].Err != nil {
-			continue
-		}
-		states[i] = &jobState{job: &jobs[i]}
-		remaining++
-	}
-	if remaining == 0 {
-		return results
-	}
-	// Jobs enter at the fetch stage (the seed fetch).
-	for i := range jobs {
-		if states[i] != nil {
-			fetchCh <- i
-		}
-	}
-
-	// Fetch workers: run the I/O half, then hand the job to selection.
-	// The fetch is context-aware (Session.FetchQueryCtx): cancellation
-	// aborts an in-flight remote download immediately instead of holding
-	// wg.Wait() hostage for the transport's full HTTP timeout, and a
-	// transport failure that survived the retriever's retry budget
-	// finishes the job with a typed error rather than ingesting an empty
-	// result set as if the query had been unproductive.
-	for w := 0; w < cfg.FetchWorkers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for {
-				select {
-				case <-ctx.Done():
-					return
-				case <-done:
-					return
-				case i := <-fetchCh:
-					st := states[i]
-					res, err := st.job.Session.FetchQueryCtx(ctx, st.pending)
-					if err != nil {
-						finish(i, err)
-						continue
-					}
-					st.results = res
-					selectCh <- i
-				}
-			}
-		}()
-	}
-
-	// Select workers: ingest the fetched results, then either select the
-	// next query (handing back to fetch) or finish the job.
-	for w := 0; w < cfg.SelectWorkers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for {
-				select {
-				case <-ctx.Done():
-					return
-				case <-done:
-					return
-				case i := <-selectCh:
-					st := states[i]
-					s := st.job.Session
-					if !st.booted {
-						st.booted = true
-						s.IngestSeed(st.results)
-					} else {
-						s.IngestQuery(st.pending, st.results)
-						st.fired = append(st.fired, st.pending)
-					}
-					st.results = nil
-					if len(st.fired) >= st.job.NQueries {
-						finish(i, nil)
-						continue
-					}
-					choice, ok := st.job.Selector.Select(s)
-					if !ok {
-						finish(i, nil)
-						continue
-					}
-					st.pending = choice.Query
-					fetchCh <- i
-				}
-			}
-		}()
-	}
-
-	select {
-	case <-done:
-	case <-ctx.Done():
-	}
-	wg.Wait()
-
-	// Mark jobs that never finished (cancellation) with the context error.
-	if err := ctx.Err(); err != nil {
-		for i := range jobs {
-			if states[i] != nil && results[i].Job == nil {
-				st := states[i]
-				results[i] = Result{Job: st.job, Fired: st.fired, Err: err}
-			}
-		}
-	}
-	return results
 }

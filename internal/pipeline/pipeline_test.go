@@ -398,7 +398,7 @@ func TestEngineTuning(t *testing.T) {
 		jobs = append(jobs, Job{Session: f.session(e, nil), Selector: core.NewP(), NQueries: 1})
 	}
 	cfg := Config{Search: &search.Options{ScoreWorkers: 3, CacheSize: 7}}
-	cfg.tuneEngines(jobs)
+	cfg.tuneEngines(jobs, map[*search.Engine]*search.Engine{})
 	tuned, ok := jobs[0].Session.Engine.(*search.Engine)
 	if !ok {
 		t.Fatal("session engine is no longer a *search.Engine")
@@ -421,7 +421,7 @@ func TestEngineTuning(t *testing.T) {
 	noCache := f.engine.WithCache(-1)
 	jobs2 := []Job{{Session: f.session(targets[0], nil), Selector: core.NewP(), NQueries: 1}}
 	jobs2[0].Session.Engine = noCache
-	Config{SelectWorkers: 4}.withDefaults().tuneEngines(jobs2)
+	Config{SelectWorkers: 4}.withDefaults().tuneEngines(jobs2, map[*search.Engine]*search.Engine{})
 	t2 := jobs2[0].Session.Engine.(*search.Engine)
 	if t2 == noCache || t2.ScoreWorkers() != 1 {
 		t.Fatal("implicit default should serialize per-query scoring")
@@ -433,7 +433,7 @@ func TestEngineTuning(t *testing.T) {
 
 	// A single select worker leaves engines untouched.
 	jobs3 := []Job{{Session: f.session(targets[0], nil), Selector: core.NewP(), NQueries: 1}}
-	Config{SelectWorkers: 1}.withDefaults().tuneEngines(jobs3)
+	Config{SelectWorkers: 1}.withDefaults().tuneEngines(jobs3, map[*search.Engine]*search.Engine{})
 	if jobs3[0].Session.Engine != core.Retriever(f.engine) {
 		t.Fatal("single-select-worker config should leave engines untouched")
 	}

@@ -1,0 +1,427 @@
+package pipeline
+
+import (
+	"context"
+	"reflect"
+	"sync"
+	"testing"
+	"time"
+
+	"l2q/internal/core"
+	"l2q/internal/corpus"
+	"l2q/internal/search"
+)
+
+// outcome is one session's observable result: the fired sequence and the
+// gathered page IDs.
+type outcome struct {
+	fired []core.Query
+	pages []corpus.PageID
+}
+
+func sessionOutcome(fired []core.Query, s *core.Session) outcome {
+	o := outcome{fired: fired}
+	for _, p := range s.Pages() {
+		o.pages = append(o.pages, p.ID)
+	}
+	return o
+}
+
+// sequentialReference runs each target session to completion one at a
+// time — the ground truth every scheduler configuration must reproduce.
+func sequentialReference(f *fixture, targets []*corpus.Entity, nQueries int) []outcome {
+	want := make([]outcome, len(targets))
+	for i, e := range targets {
+		s := f.session(e, nil)
+		fired := s.Run(core.NewL2QBAL(), nQueries)
+		want[i] = sessionOutcome(fired, s)
+	}
+	return want
+}
+
+// TestSchedulerMatchesRun is the tentpole's differential-parity core: many
+// batches submitted concurrently to ONE long-lived scheduler must each
+// fire identical per-entity query sequences and gather identical page
+// sets as the sequential reference (and therefore as the one-shot Run,
+// which the existing TestPipelineMatchesSequential pins to the same
+// reference).
+func TestSchedulerMatchesRun(t *testing.T) {
+	f := newFixture(t)
+	targets := f.targets(6)
+	const nQueries = 3
+	want := sequentialReference(f, targets, nQueries)
+
+	s := New(Config{SelectWorkers: 3, FetchWorkers: 8})
+	defer s.Close()
+
+	const submitters = 3
+	got := make([][]outcome, submitters)
+	var wg sync.WaitGroup
+	for sub := 0; sub < submitters; sub++ {
+		wg.Add(1)
+		go func(sub int) {
+			defer wg.Done()
+			jobs := make([]Job, len(targets))
+			sessions := make([]*core.Session, len(targets))
+			for i, e := range targets {
+				sessions[i] = f.session(e, nil)
+				jobs[i] = Job{Session: sessions[i], Selector: core.NewL2QBAL(), NQueries: nQueries}
+			}
+			b, err := s.Submit(context.Background(), jobs, BatchOptions{})
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			results := b.Await(context.Background())
+			out := make([]outcome, len(targets))
+			for i := range targets {
+				if results[i].Err != nil {
+					t.Errorf("submitter %d job %d: %v", sub, i, results[i].Err)
+				}
+				out[i] = sessionOutcome(results[i].Fired, sessions[i])
+			}
+			got[sub] = out
+		}(sub)
+	}
+	wg.Wait()
+
+	for sub := range got {
+		for i := range targets {
+			if !reflect.DeepEqual(got[sub][i].fired, want[i].fired) {
+				t.Errorf("submitter %d entity %d fired %v, want %v", sub, i, got[sub][i].fired, want[i].fired)
+			}
+			if !reflect.DeepEqual(got[sub][i].pages, want[i].pages) {
+				t.Errorf("submitter %d entity %d pages differ", sub, i)
+			}
+		}
+	}
+
+	st := s.Stats()
+	if st.FinishedJobs != int64(submitters*len(targets)) {
+		t.Errorf("FinishedJobs = %d, want %d", st.FinishedJobs, submitters*len(targets))
+	}
+	if st.FiredQueries != int64(submitters*len(targets)*nQueries) {
+		t.Errorf("FiredQueries = %d, want %d", st.FiredQueries, submitters*len(targets)*nQueries)
+	}
+	if st.ActiveJobs != 0 || st.QueuedJobs != 0 || st.Batches != 0 {
+		t.Errorf("scheduler not quiescent after completion: %+v", st)
+	}
+}
+
+// TestSchedulerAdmissionFIFO: with MaxActive=1, jobs run strictly one at
+// a time in submission order, across batches.
+func TestSchedulerAdmissionFIFO(t *testing.T) {
+	f := newFixture(t)
+	targets := f.targets(4)
+
+	s := New(Config{SelectWorkers: 2, FetchWorkers: 4, MaxActive: 1})
+	defer s.Close()
+
+	var mu sync.Mutex
+	var order []corpus.EntityID
+
+	batches := make([]*Batch, len(targets))
+	for i, e := range targets {
+		sess := f.session(e, nil)
+		id := e.ID
+		sess.Trace = func(core.TraceRecord) {
+			mu.Lock()
+			order = append(order, id)
+			mu.Unlock()
+		}
+		b, err := s.Submit(context.Background(), []Job{{Session: sess, Selector: core.NewP(), NQueries: 2}}, BatchOptions{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		batches[i] = b
+	}
+	for _, b := range batches {
+		for _, r := range b.Await(context.Background()) {
+			if r.Err != nil {
+				t.Fatal(r.Err)
+			}
+		}
+	}
+
+	// With one admission slot, each entity's trace records must form a
+	// contiguous block in submission order.
+	mu.Lock()
+	defer mu.Unlock()
+	var wantOrder []corpus.EntityID
+	for _, e := range targets {
+		wantOrder = append(wantOrder, e.ID, e.ID)
+	}
+	if !reflect.DeepEqual(order, wantOrder) {
+		t.Errorf("admission order %v, want FIFO %v", order, wantOrder)
+	}
+}
+
+// TestSchedulerFairShare: a small batch submitted after a large
+// slow-fetching batch must not wait for the whole backlog — round-robin
+// across batches gives it its share of the pools immediately.
+func TestSchedulerFairShare(t *testing.T) {
+	f := newFixture(t)
+	targets := f.targets(9)
+
+	s := New(Config{SelectWorkers: 2, FetchWorkers: 2})
+	defer s.Close()
+
+	slowJobs := make([]Job, 8)
+	for i, e := range targets[:8] {
+		fetcher := search.NewFetcher(30 * time.Millisecond)
+		fetcher.Sleep = true
+		slowJobs[i] = Job{Session: f.session(e, fetcher), Selector: core.NewRT(), NQueries: 3}
+	}
+	slow, err := s.Submit(context.Background(), slowJobs, BatchOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	fast, err := s.Submit(context.Background(), []Job{
+		{Session: f.session(targets[8], nil), Selector: core.NewRT(), NQueries: 2},
+	}, BatchOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	start := time.Now()
+	fastRes := fast.Await(context.Background())
+	fastTime := time.Since(start)
+	slowRes := slow.Await(context.Background())
+	slowTime := time.Since(start)
+
+	for _, r := range append(fastRes, slowRes...) {
+		if r.Err != nil {
+			t.Fatal(r.Err)
+		}
+	}
+	// The fast batch (instant fetches) must finish well before the slow
+	// backlog drains; without fair share it would queue behind 8×3 slow
+	// fetch rounds.
+	if fastTime > slowTime/2 {
+		t.Errorf("fast batch took %v of the slow batch's %v: no fair share", fastTime, slowTime)
+	}
+}
+
+// TestSchedulerCancelLatency mirrors TestPipelineCancellationLatency for
+// Batch.Cancel: canceling one batch aborts its in-flight 20 s fetches
+// within milliseconds, and an independent batch on the same scheduler is
+// untouched.
+func TestSchedulerCancelLatency(t *testing.T) {
+	f := newFixture(t)
+	targets := f.targets(5)
+
+	s := New(Config{SelectWorkers: 2, FetchWorkers: 8})
+	defer s.Close()
+
+	slowJobs := make([]Job, 4)
+	for i, e := range targets[:4] {
+		sess := f.session(e, nil)
+		sess.Engine = slowRetriever{Retriever: f.engine, delay: 20 * time.Second}
+		slowJobs[i] = Job{Session: sess, Selector: core.NewRT(), NQueries: 5}
+	}
+	doomed, err := s.Submit(context.Background(), slowJobs, BatchOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	healthy, err := s.Submit(context.Background(), []Job{
+		{Session: f.session(targets[4], nil), Selector: core.NewRT(), NQueries: 2},
+	}, BatchOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	time.Sleep(50 * time.Millisecond)
+	start := time.Now()
+	doomed.Cancel()
+	results := doomed.Await(context.Background())
+	if elapsed := time.Since(start); elapsed > 2*time.Second {
+		t.Fatalf("Cancel took %v, want ~ms", elapsed)
+	}
+	for i, r := range results {
+		if r.Err == nil {
+			t.Errorf("job %d finished despite 20s fetches", i)
+		}
+	}
+	for _, r := range healthy.Await(context.Background()) {
+		if r.Err != nil {
+			t.Errorf("independent batch caught the cancellation: %v", r.Err)
+		}
+	}
+}
+
+// TestSchedulerDrain: Drain waits for submitted work and refuses new
+// submissions afterwards.
+func TestSchedulerDrain(t *testing.T) {
+	f := newFixture(t)
+	targets := f.targets(3)
+
+	s := New(Config{SelectWorkers: 2, FetchWorkers: 4})
+	defer s.Close()
+
+	jobs := make([]Job, len(targets))
+	for i, e := range targets {
+		jobs[i] = Job{Session: f.session(e, nil), Selector: core.NewP(), NQueries: 2}
+	}
+	b, err := s.Submit(context.Background(), jobs, BatchOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Drain(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case <-b.Done():
+	default:
+		t.Fatal("Drain returned with the batch unfinished")
+	}
+	for _, r := range b.Results() {
+		if r.Err != nil {
+			t.Error(r.Err)
+		}
+	}
+	if _, err := s.Submit(context.Background(), jobs, BatchOptions{}); err == nil {
+		t.Error("Submit accepted after Drain")
+	}
+}
+
+// TestSchedulerResumedSession: a batch killed mid-harvest and resumed
+// from its checkpoints finishes with the same fired-query sequence as an
+// uninterrupted run — the tentpole's checkpoint/resume acceptance
+// criterion, driven through the scheduler's pre-booted admission path.
+func TestSchedulerResumedSession(t *testing.T) {
+	f := newFixture(t)
+	targets := f.targets(4)
+	const nQueries = 4
+	want := sequentialReference(f, targets, nQueries)
+
+	s := New(Config{SelectWorkers: 2, FetchWorkers: 4})
+	defer s.Close()
+
+	// Phase 1: harvest with per-ingest checkpointing, cancel mid-run.
+	var cpMu sync.Mutex
+	latest := make(map[int]core.Checkpoint)
+	jobs := make([]Job, len(targets))
+	for i, e := range targets {
+		fetcher := search.NewFetcher(10 * time.Millisecond)
+		fetcher.Sleep = true
+		jobs[i] = Job{Session: f.session(e, fetcher), Selector: core.NewL2QBAL(), NQueries: nQueries}
+	}
+	b, err := s.Submit(context.Background(), jobs, BatchOptions{
+		Checkpoint: func(job int, cp core.Checkpoint) {
+			cpMu.Lock()
+			latest[job] = cp
+			cpMu.Unlock()
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	time.Sleep(60 * time.Millisecond) // let some queries land
+	b.Cancel()
+	b.Await(context.Background())
+
+	// Phase 2: fresh sessions resumed from the kill-point checkpoints,
+	// submitted with the remaining budget.
+	jobs2 := make([]Job, len(targets))
+	sessions2 := make([]*core.Session, len(targets))
+	prior := make([][]core.Query, len(targets))
+	for i, e := range targets {
+		sessions2[i] = f.session(e, nil)
+		remaining := nQueries
+		if cp, ok := latest[i]; ok {
+			if err := sessions2[i].Resume(cp); err != nil {
+				t.Fatalf("resume job %d: %v", i, err)
+			}
+			prior[i] = cp.Fired
+			remaining -= len(cp.Fired)
+		}
+		jobs2[i] = Job{Session: sessions2[i], Selector: core.NewL2QBAL(), NQueries: remaining}
+	}
+	b2, err := s.Submit(context.Background(), jobs2, BatchOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	results := b2.Await(context.Background())
+
+	for i := range targets {
+		if results[i].Err != nil {
+			t.Fatalf("resumed job %d: %v", i, results[i].Err)
+		}
+		full := append(append([]core.Query(nil), prior[i]...), results[i].Fired...)
+		if !reflect.DeepEqual(full, want[i].fired) {
+			t.Errorf("entity %d: interrupted+resumed fired %v, uninterrupted %v", i, full, want[i].fired)
+		}
+		got := sessionOutcome(nil, sessions2[i])
+		if !reflect.DeepEqual(got.pages, want[i].pages) {
+			t.Errorf("entity %d: resumed pages differ from uninterrupted", i)
+		}
+	}
+}
+
+// TestSchedulerCloseAborts: Close cancels in-flight batches and makes
+// Await return promptly with errors.
+func TestSchedulerCloseAborts(t *testing.T) {
+	f := newFixture(t)
+	targets := f.targets(3)
+
+	s := New(Config{SelectWorkers: 2, FetchWorkers: 4})
+	jobs := make([]Job, len(targets))
+	for i, e := range targets {
+		sess := f.session(e, nil)
+		sess.Engine = slowRetriever{Retriever: f.engine, delay: 20 * time.Second}
+		jobs[i] = Job{Session: sess, Selector: core.NewRT(), NQueries: 5}
+	}
+	b, err := s.Submit(context.Background(), jobs, BatchOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	time.Sleep(30 * time.Millisecond)
+	start := time.Now()
+	s.Close()
+	if elapsed := time.Since(start); elapsed > 2*time.Second {
+		t.Fatalf("Close took %v", elapsed)
+	}
+	canceled := 0
+	for _, r := range b.Results() {
+		if r.Err != nil {
+			canceled++
+		}
+	}
+	if canceled == 0 {
+		t.Error("Close finished no jobs with errors despite 20s fetches in flight")
+	}
+}
+
+// TestSchedulerSharesTunedEngine is the regression test for per-batch
+// cache cold-starts: two batches submitted to one scheduler whose
+// sessions share an in-process engine must resolve to the SAME tuned
+// copy, so the query cache stays shared — and warm — across requests.
+func TestSchedulerSharesTunedEngine(t *testing.T) {
+	f := newFixture(t)
+	targets := f.targets(2)
+
+	s := New(Config{SelectWorkers: 2, FetchWorkers: 4}) // >1 selects → implicit re-tune
+	defer s.Close()
+
+	submit := func() core.Retriever {
+		jobs := []Job{{Session: f.session(targets[0], nil), Selector: core.NewP(), NQueries: 1}}
+		b, err := s.Submit(context.Background(), jobs, BatchOptions{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, r := range b.Await(context.Background()) {
+			if r.Err != nil {
+				t.Fatal(r.Err)
+			}
+		}
+		return jobs[0].Session.Engine
+	}
+	e1, e2 := submit(), submit()
+	if e1 != e2 {
+		t.Fatal("second batch got a different tuned engine copy: query cache restarts cold per batch")
+	}
+	if e1 == core.Retriever(f.engine) {
+		t.Fatal("engine was not re-tuned at all under parallel selection")
+	}
+}

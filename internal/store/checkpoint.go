@@ -1,0 +1,180 @@
+package store
+
+// Checkpoint files persist the durable state of in-flight harvesting
+// sessions (core.Checkpoint) so a killed harvest resumes instead of
+// re-paying every query it already fired. The format mirrors the store
+// file: a magic header, framed CRC32-checksummed sections, and an END
+// sentinel, so the same reader machinery (and the same forward-
+// compatibility rule: skip unknown sections) applies.
+//
+//	magic "L2QCKPT1"
+//	CKPT section: count | per checkpoint:
+//	    entity varint | aspect str | booted byte | rPhi f64 | rStarPhi f64
+//	    | nFired uvarint | fired str... | nPages uvarint | pageID deltas varint...
+//	END sentinel
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"os"
+
+	"l2q/internal/core"
+	"l2q/internal/corpus"
+)
+
+// ckptMagic identifies a checkpoint file and its major version.
+const ckptMagic = "L2QCKPT1"
+
+const secCheckpoints = "CKPT"
+
+// SaveCheckpoints writes session checkpoints to w in the framed,
+// checksummed store format.
+func SaveCheckpoints(w io.Writer, cps []core.Checkpoint) error {
+	bw := bufio.NewWriterSize(w, 1<<16)
+	if _, err := bw.WriteString(ckptMagic); err != nil {
+		return fmt.Errorf("store: write checkpoint magic: %w", err)
+	}
+	if err := writeSection(bw, secCheckpoints, func(e *enc) { encodeCheckpoints(e, cps) }); err != nil {
+		return err
+	}
+	if err := writeSection(bw, secEnd, func(*enc) {}); err != nil {
+		return err
+	}
+	if err := bw.Flush(); err != nil {
+		return fmt.Errorf("store: flush: %w", err)
+	}
+	return nil
+}
+
+// LoadCheckpoints reads a checkpoint file written by SaveCheckpoints.
+func LoadCheckpoints(r io.Reader) ([]core.Checkpoint, error) {
+	br := bufio.NewReaderSize(r, 1<<16)
+	head := make([]byte, len(ckptMagic))
+	if _, err := io.ReadFull(br, head); err != nil {
+		return nil, fmt.Errorf("store: read checkpoint magic: %w", err)
+	}
+	if string(head) != ckptMagic {
+		return nil, fmt.Errorf("store: bad magic %q (not a checkpoint file or wrong version)", head)
+	}
+	var cps []core.Checkpoint
+	seen := false
+	for {
+		name, payload, err := readSection(br)
+		if err != nil {
+			return nil, err
+		}
+		if name == secEnd {
+			break
+		}
+		if name != secCheckpoints {
+			continue // forward compatibility: skip unknown sections
+		}
+		d := &dec{buf: payload}
+		cps = decodeCheckpoints(d)
+		seen = true
+		if d.err != nil {
+			return nil, fmt.Errorf("store: section %s: %w", name, d.err)
+		}
+		if !d.done() {
+			return nil, fmt.Errorf("store: section %s has %d trailing bytes", name, len(payload)-d.pos)
+		}
+	}
+	if !seen {
+		return nil, fmt.Errorf("store: missing CKPT section")
+	}
+	return cps, nil
+}
+
+// SaveCheckpointsFile writes the checkpoints to path atomically (temp
+// file + rename), so a crash mid-write never truncates the previous
+// checkpoint — the whole point of keeping one.
+func SaveCheckpointsFile(path string, cps []core.Checkpoint) error {
+	tmp := path + ".tmp"
+	f, err := os.Create(tmp)
+	if err != nil {
+		return fmt.Errorf("store: %w", err)
+	}
+	if err := SaveCheckpoints(f, cps); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("store: close: %w", err)
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("store: rename: %w", err)
+	}
+	return nil
+}
+
+// LoadCheckpointsFile reads a checkpoint file from path.
+func LoadCheckpointsFile(path string) ([]core.Checkpoint, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("store: %w", err)
+	}
+	defer f.Close()
+	return LoadCheckpoints(f)
+}
+
+func encodeCheckpoints(e *enc, cps []core.Checkpoint) {
+	e.uvarint(uint64(len(cps)))
+	for _, cp := range cps {
+		e.varint(int64(cp.Entity))
+		e.str(string(cp.Aspect))
+		booted := byte(0)
+		if cp.Booted {
+			booted = 1
+		}
+		e.buf = append(e.buf, booted)
+		e.f64(cp.RPhi)
+		e.f64(cp.RStarPhi)
+		e.uvarint(uint64(len(cp.Fired)))
+		for _, q := range cp.Fired {
+			e.str(string(q))
+		}
+		e.uvarint(uint64(len(cp.PageIDs)))
+		prev := int64(0)
+		for _, id := range cp.PageIDs {
+			e.varint(int64(id) - prev)
+			prev = int64(id)
+		}
+	}
+}
+
+func decodeCheckpoints(d *dec) []core.Checkpoint {
+	n := d.count("checkpoints")
+	out := make([]core.Checkpoint, 0, n)
+	for i := 0; i < n && d.err == nil; i++ {
+		cp := core.Checkpoint{
+			Entity: corpus.EntityID(d.varint()),
+			Aspect: corpus.Aspect(d.str()),
+		}
+		if d.err == nil {
+			if d.pos >= len(d.buf) {
+				d.fail("booted flag")
+				break
+			}
+			cp.Booted = d.buf[d.pos] != 0
+			d.pos++
+		}
+		cp.RPhi = d.f64()
+		cp.RStarPhi = d.f64()
+		nFired := d.count("fired queries")
+		for j := 0; j < nFired && d.err == nil; j++ {
+			cp.Fired = append(cp.Fired, core.Query(d.str()))
+		}
+		nPages := d.count("checkpoint pages")
+		prev := int64(0)
+		for j := 0; j < nPages && d.err == nil; j++ {
+			prev += d.varint()
+			cp.PageIDs = append(cp.PageIDs, corpus.PageID(prev))
+		}
+		out = append(out, cp)
+	}
+	return out
+}

@@ -7,6 +7,12 @@ package webapi
 // POST replaces the per-query per-page request traffic of a client-side
 // run, which is the right trade when the operator of the search API also
 // runs the harvest (the ROADMAP's serving scenario).
+//
+// Every harvest — synchronous (/api/harvest) or asynchronous (/api/jobs,
+// see jobs.go) — runs on the server's ONE shared pipeline.Scheduler
+// instead of per-request worker pools: concurrent requests queue FIFO
+// behind HarvestBackend.MaxActive admission control and share the pools
+// fairly instead of oversubscribing GOMAXPROCS² goroutines.
 
 import (
 	"bufio"
@@ -54,9 +60,13 @@ type HarvestBackend struct {
 	MaxSessions int
 	// MaxQueries bounds a request's per-entity query budget (default 50).
 	MaxQueries int
-	// SelectWorkers and FetchWorkers tune the pipeline scheduler; zero
-	// values pick pipeline.Config's defaults.
+	// SelectWorkers and FetchWorkers size the server's shared scheduler;
+	// zero values pick pipeline.Config's defaults. MaxActive bounds the
+	// jobs admitted concurrently across all requests (admission control;
+	// 0 = unlimited). All three are read once, when the server starts
+	// its scheduler.
 	SelectWorkers, FetchWorkers int
+	MaxActive                   int
 }
 
 func (hb *HarvestBackend) maxSessions() int {
@@ -103,7 +113,47 @@ func (hb *HarvestBackend) hasAspect(a corpus.Aspect) bool {
 	return false
 }
 
-// HarvestRequest is the POST /api/harvest body.
+// BudgetSpec is the wire form of pipeline.BudgetPolicy: how a request's
+// query budget is allocated across its entities.
+type BudgetSpec struct {
+	// Mode is "fixed" (default: every entity fires exactly NQueries) or
+	// "adaptive" (the batch pools NQueries×entities and reallocates each
+	// round toward the highest marginal ΔR_E(Φ); saturated entities
+	// donate their remainder).
+	Mode string `json:"mode,omitempty"`
+	// TotalQueries overrides the adaptive mode's pooled budget
+	// (default: NQueries × entities).
+	TotalQueries int `json:"totalQueries,omitempty"`
+	// MinGain and Patience tune the saturation rule; MaxPerEntity caps
+	// one entity's adaptive spend. Zero values pick the pipeline
+	// defaults.
+	MinGain      float64 `json:"minGain,omitempty"`
+	Patience     int     `json:"patience,omitempty"`
+	MaxPerEntity int     `json:"maxPerEntity,omitempty"`
+}
+
+func (bs *BudgetSpec) policy() (pipeline.BudgetPolicy, error) {
+	if bs == nil {
+		return pipeline.BudgetPolicy{}, nil
+	}
+	p := pipeline.BudgetPolicy{
+		TotalQueries: bs.TotalQueries,
+		MinGain:      bs.MinGain,
+		Patience:     bs.Patience,
+		MaxPerEntity: bs.MaxPerEntity,
+	}
+	switch strings.ToLower(bs.Mode) {
+	case "", "fixed":
+		p.Mode = pipeline.BudgetFixed
+	case "adaptive":
+		p.Mode = pipeline.BudgetAdaptive
+	default:
+		return p, fmt.Errorf("unknown budget mode %q (fixed or adaptive)", bs.Mode)
+	}
+	return p, nil
+}
+
+// HarvestRequest is the POST /api/harvest (and POST /api/jobs) body.
 type HarvestRequest struct {
 	// Entities are the harvest targets; unknown IDs produce per-entity
 	// error events, not a failed request.
@@ -118,13 +168,20 @@ type HarvestRequest struct {
 	// NoDomain disables domain awareness even when the backend can learn
 	// a domain model.
 	NoDomain bool `json:"noDomain,omitempty"`
+	// Budget selects the allocation policy (nil/zero: fixed-equal).
+	Budget *BudgetSpec `json:"budget,omitempty"`
+	// Resume replays checkpointed sessions before harvesting: an entity
+	// with a matching checkpoint starts from its recorded context Φ and
+	// fires only its remaining budget (NQueries − |Fired|). A checkpoint
+	// that fails replay verification yields a per-entity error event.
+	Resume []core.Checkpoint `json:"resume,omitempty"`
 }
 
-// HarvestEvent is one NDJSON line of the /api/harvest response stream.
-// Type discriminates: "progress" (one harvest iteration of one entity),
-// "entity" (one entity finished, with its fired queries and gathered
-// pages), "error" (one entity failed), and "done" (the batch summary,
-// always the last line).
+// HarvestEvent is one NDJSON line of the /api/harvest response stream
+// (and of the /api/jobs event log). Type discriminates: "progress" (one
+// harvest iteration of one entity), "entity" (one entity finished, with
+// its fired queries and gathered pages), "error" (one entity failed), and
+// "done" (the batch summary, always the last line).
 type HarvestEvent struct {
 	Type string `json:"type"`
 	// Entity is set on progress/entity/error events.
@@ -170,6 +227,132 @@ func SelectorByName(name string) (core.Selector, bool) {
 	return ctor(), true
 }
 
+// harvestPlan is a validated harvest request: everything resolved except
+// the sessions themselves.
+type harvestPlan struct {
+	aspect corpus.Aspect
+	sel    core.Selector
+	dm     *core.DomainModel
+	y      func(*corpus.Page) bool
+	budget pipeline.BudgetPolicy
+	resume map[corpus.EntityID]core.Checkpoint
+}
+
+// planError is a user-facing validation failure with an HTTP status.
+type planError struct {
+	status int
+	msg    string
+}
+
+func (e *planError) Error() string { return e.msg }
+
+func planErrorf(status int, format string, args ...any) *planError {
+	return &planError{status: status, msg: fmt.Sprintf(format, args...)}
+}
+
+// plan validates a harvest request against the backend's limits and
+// resolves strategy, domain model, budget policy and resume checkpoints.
+func (hb *HarvestBackend) plan(req HarvestRequest) (*harvestPlan, *planError) {
+	if len(req.Entities) == 0 {
+		return nil, planErrorf(http.StatusBadRequest, "no entities requested")
+	}
+	if len(req.Entities) > hb.maxSessions() {
+		return nil, planErrorf(http.StatusBadRequest, "too many entities: %d > %d", len(req.Entities), hb.maxSessions())
+	}
+	if req.NQueries < 0 || req.NQueries > hb.maxQueries() {
+		return nil, planErrorf(http.StatusBadRequest, "nQueries out of range [0, %d]", hb.maxQueries())
+	}
+	aspect := corpus.Aspect(req.Aspect)
+	if !hb.hasAspect(aspect) {
+		return nil, planErrorf(http.StatusBadRequest, "unknown aspect %q (serving %v)", req.Aspect, hb.Aspects)
+	}
+	strategy := req.Strategy
+	if strategy == "" {
+		strategy = "L2QBAL"
+	}
+	sel, ok := SelectorByName(strategy)
+	if !ok {
+		return nil, planErrorf(http.StatusBadRequest, "unknown strategy %q", req.Strategy)
+	}
+	budget, err := req.Budget.policy()
+	if err != nil {
+		return nil, planErrorf(http.StatusBadRequest, "%s", err.Error())
+	}
+	if max := hb.maxQueries() * len(req.Entities); budget.TotalQueries > max {
+		return nil, planErrorf(http.StatusBadRequest, "budget.totalQueries out of range [0, %d]", max)
+	}
+	if budget.Mode == pipeline.BudgetAdaptive {
+		// MaxQueries is documented as the per-entity bound; donation must
+		// not let one entity absorb the whole pool past it.
+		if budget.MaxPerEntity <= 0 || budget.MaxPerEntity > hb.maxQueries() {
+			budget.MaxPerEntity = hb.maxQueries()
+		}
+	}
+	p := &harvestPlan{aspect: aspect, sel: sel, budget: budget}
+	if len(req.Resume) > 0 {
+		p.resume = make(map[corpus.EntityID]core.Checkpoint, len(req.Resume))
+		for _, cp := range req.Resume {
+			if cp.Aspect != aspect {
+				return nil, planErrorf(http.StatusBadRequest, "resume checkpoint for entity %d is for aspect %q, not %q", cp.Entity, cp.Aspect, aspect)
+			}
+			p.resume[cp.Entity] = cp
+		}
+	}
+	if !req.NoDomain {
+		dm, err := hb.domainModel(aspect)
+		if err != nil {
+			return nil, planErrorf(http.StatusInternalServerError, "domain model: %s", err.Error())
+		}
+		p.dm = dm
+	}
+	p.y = hb.Y(aspect)
+	return p, nil
+}
+
+// buildJobs constructs one pipeline job per known entity, resuming
+// checkpointed sessions. Unknown IDs and failed resumes fail individually
+// (an explicit per-entity error event), never the whole batch. The
+// returned entity slice is aligned with the jobs.
+func (hb *HarvestBackend) buildJobs(srv *Server, req HarvestRequest, p *harvestPlan,
+	emit func(HarvestEvent)) (jobs []pipeline.Job, jobEntities []*corpus.Entity, failed int) {
+
+	for _, id := range req.Entities {
+		e := srv.corpus.Entity(id)
+		if e == nil {
+			failed++
+			emit(HarvestEvent{Type: "error", Entity: id, Error: fmt.Sprintf("unknown entity id %d", id)})
+			continue
+		}
+		sess := core.NewSession(hb.Cfg, srv.engine, e, p.aspect, p.y, p.dm, hb.Rec, uint64(e.ID)+1)
+		nq := req.NQueries
+		if cp, ok := p.resume[e.ID]; ok {
+			if err := sess.Resume(cp); err != nil {
+				failed++
+				emit(HarvestEvent{Type: "error", Entity: e.ID, Error: "resume: " + err.Error()})
+				continue
+			}
+			nq -= len(cp.Fired)
+			if nq < 0 {
+				nq = 0
+			}
+		}
+		entity := e.ID
+		sess.Trace = func(tr core.TraceRecord) {
+			emit(HarvestEvent{
+				Type:       "progress",
+				Entity:     entity,
+				Iteration:  tr.Iteration,
+				Query:      string(tr.Query),
+				NewPages:   tr.NewPages,
+				TotalPages: tr.TotalPages,
+			})
+		}
+		jobs = append(jobs, pipeline.Job{Session: sess, Selector: p.sel, NQueries: nq})
+		jobEntities = append(jobEntities, e)
+	}
+	return jobs, jobEntities, failed
+}
+
 func (s *Server) handleHarvest(w http.ResponseWriter, r *http.Request) {
 	hb := s.Harvest
 	if hb == nil {
@@ -181,46 +364,16 @@ func (s *Server) handleHarvest(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, "bad request body: "+err.Error(), http.StatusBadRequest)
 		return
 	}
-	if len(req.Entities) == 0 {
-		http.Error(w, "no entities requested", http.StatusBadRequest)
+	p, perr := hb.plan(req)
+	if perr != nil {
+		http.Error(w, perr.msg, perr.status)
 		return
 	}
-	if len(req.Entities) > hb.maxSessions() {
-		http.Error(w, fmt.Sprintf("too many entities: %d > %d", len(req.Entities), hb.maxSessions()), http.StatusBadRequest)
-		return
-	}
-	if req.NQueries < 0 || req.NQueries > hb.maxQueries() {
-		http.Error(w, fmt.Sprintf("nQueries out of range [0, %d]", hb.maxQueries()), http.StatusBadRequest)
-		return
-	}
-	aspect := corpus.Aspect(req.Aspect)
-	if !hb.hasAspect(aspect) {
-		http.Error(w, fmt.Sprintf("unknown aspect %q (serving %v)", req.Aspect, hb.Aspects), http.StatusBadRequest)
-		return
-	}
-	strategy := req.Strategy
-	if strategy == "" {
-		strategy = "L2QBAL"
-	}
-	sel, ok := SelectorByName(strategy)
-	if !ok {
-		http.Error(w, fmt.Sprintf("unknown strategy %q", req.Strategy), http.StatusBadRequest)
-		return
-	}
-	var dm *core.DomainModel
-	if !req.NoDomain {
-		var err error
-		if dm, err = hb.domainModel(aspect); err != nil {
-			http.Error(w, "domain model: "+err.Error(), http.StatusInternalServerError)
-			return
-		}
-	}
-	y := hb.Y(aspect)
 
 	// The harvest obeys both the caller (request context) and the server's
-	// lifecycle: Shutdown cancels s.ctx, which aborts the pipeline run and
-	// lets the graceful drain complete instead of deadlocking on a stream
-	// that would otherwise outlive the shutdown deadline.
+	// lifecycle: Shutdown cancels s.ctx, which aborts the scheduler batch
+	// and lets the graceful drain complete instead of deadlocking on a
+	// stream that would otherwise outlive the shutdown deadline.
 	ctx, cancel := context.WithCancel(r.Context())
 	defer cancel()
 	stop := context.AfterFunc(s.ctx, cancel)
@@ -253,38 +406,11 @@ func (s *Server) handleHarvest(w http.ResponseWriter, r *http.Request) {
 		}
 	}
 
-	// Unknown entities fail individually (an explicit per-entity error
-	// event), never the whole batch.
-	failed := 0
-	var jobs []pipeline.Job
-	var jobEntities []*corpus.Entity
-	for _, id := range req.Entities {
-		e := s.corpus.Entity(id)
-		if e == nil {
-			failed++
-			emit(HarvestEvent{Type: "error", Entity: id, Error: fmt.Sprintf("unknown entity id %d", id)})
-			continue
-		}
-		sess := core.NewSession(hb.Cfg, s.engine, e, aspect, y, dm, hb.Rec, uint64(e.ID)+1)
-		entity := e.ID
-		sess.Trace = func(tr core.TraceRecord) {
-			emit(HarvestEvent{
-				Type:       "progress",
-				Entity:     entity,
-				Iteration:  tr.Iteration,
-				Query:      string(tr.Query),
-				NewPages:   tr.NewPages,
-				TotalPages: tr.TotalPages,
-			})
-		}
-		jobs = append(jobs, pipeline.Job{Session: sess, Selector: sel, NQueries: req.NQueries})
-		jobEntities = append(jobEntities, e)
-	}
+	jobs, jobEntities, failed := hb.buildJobs(s, req, p, emit)
 
-	results := pipeline.Run(ctx, pipeline.Config{
-		SelectWorkers: hb.SelectWorkers,
-		FetchWorkers:  hb.FetchWorkers,
-	}, jobs)
+	// ONE shared scheduler for every request: admission control and fair
+	// share instead of a fresh per-request worker pool.
+	results := s.submitHarvest(ctx, jobs, pipeline.BatchOptions{Budget: p.budget})
 
 	for i, res := range results {
 		e := jobEntities[i]
@@ -298,12 +424,26 @@ func (s *Server) handleHarvest(w http.ResponseWriter, r *http.Request) {
 			fired[j] = string(q)
 		}
 		var pages []corpus.PageID
-		for _, p := range res.Job.Session.Pages() {
-			pages = append(pages, p.ID)
+		for _, pg := range res.Job.Session.Pages() {
+			pages = append(pages, pg.ID)
 		}
 		emit(HarvestEvent{Type: "entity", Entity: e.ID, Fired: fired, Pages: pages})
 	}
 	emit(HarvestEvent{Type: "done", Entities: len(req.Entities), Failed: failed})
+}
+
+// submitHarvest runs one batch on the server's shared scheduler and
+// awaits it. A scheduler shut down mid-flight yields per-job errors.
+func (s *Server) submitHarvest(ctx context.Context, jobs []pipeline.Job, opts pipeline.BatchOptions) []pipeline.Result {
+	b, err := s.scheduler().Submit(ctx, jobs, opts)
+	if err != nil {
+		results := make([]pipeline.Result, len(jobs))
+		for i := range jobs {
+			results[i] = pipeline.Result{Job: &jobs[i], Err: err}
+		}
+		return results
+	}
+	return b.Await(ctx)
 }
 
 // HarvestBatch runs a server-side batch harvest, delivering each streamed

@@ -67,6 +67,16 @@ func newHarvestFixture(t *testing.T) *harvestFixture {
 	}
 	srv := httptest.NewServer(server.Handler())
 	t.Cleanup(srv.Close)
+	t.Cleanup(func() {
+		// Reap the shared scheduler's worker pools (httptest never calls
+		// Server.Shutdown, which otherwise owns this).
+		server.schedMu.Lock()
+		sched := server.sched
+		server.schedMu.Unlock()
+		if sched != nil {
+			sched.Close()
+		}
+	})
 	client, err := Dial(srv.URL, g.Tokenizer)
 	if err != nil {
 		t.Fatal(err)

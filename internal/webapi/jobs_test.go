@@ -1,0 +1,349 @@
+package webapi
+
+import (
+	"context"
+	"errors"
+	"net/http"
+	"reflect"
+	"testing"
+	"time"
+
+	"l2q/internal/core"
+	"l2q/internal/corpus"
+)
+
+// jobTargets picks the last n entities of the fixture corpus.
+func jobTargets(f *harvestFixture, n int) []corpus.EntityID {
+	ents := f.g.Corpus.Entities
+	out := make([]corpus.EntityID, 0, n)
+	for _, e := range ents[len(ents)-n:] {
+		out = append(out, e.ID)
+	}
+	return out
+}
+
+// localReference harvests one entity in-process with the server's seeding
+// convention.
+func (f *harvestFixture) localReference(id corpus.EntityID, nQueries int) ([]core.Query, []corpus.PageID) {
+	e := f.g.Corpus.Entity(id)
+	sess := core.NewSession(f.cfg, f.engine, e, f.aspect, f.y, f.dm, f.rec, uint64(id)+1)
+	fired := sess.Run(core.NewL2QBAL(), nQueries)
+	var pages []corpus.PageID
+	for _, p := range sess.Pages() {
+		pages = append(pages, p.ID)
+	}
+	return fired, pages
+}
+
+// TestJobsLifecycle: POST a job, stream its events to completion, verify
+// parity with the in-process reference, and watch the status endpoint
+// reach "done".
+func TestJobsLifecycle(t *testing.T) {
+	f := newHarvestFixture(t)
+	targets := jobTargets(f, 3)
+	const nQueries = 2
+
+	id, err := f.client.SubmitJob(context.Background(), HarvestRequest{
+		Entities: targets,
+		Aspect:   string(f.aspect),
+		NQueries: nQueries,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	finished := make(map[corpus.EntityID]HarvestEvent)
+	var done *HarvestEvent
+	progress := 0
+	err = f.client.StreamJob(context.Background(), id, func(ev HarvestEvent) error {
+		switch ev.Type {
+		case "progress":
+			progress++
+		case "entity":
+			finished[ev.Entity] = ev
+		case "error":
+			t.Errorf("unexpected error event %+v", ev)
+		case "done":
+			ev := ev
+			done = &ev
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if done == nil || done.Entities != len(targets) || done.Failed != 0 {
+		t.Fatalf("done summary %+v", done)
+	}
+	if progress != len(targets)*nQueries {
+		t.Errorf("%d progress events, want %d", progress, len(targets)*nQueries)
+	}
+	for _, tid := range targets {
+		wantFired, wantPages := f.localReference(tid, nQueries)
+		got, ok := finished[tid]
+		if !ok {
+			t.Fatalf("entity %d: no completion event", tid)
+		}
+		gotFired := make([]core.Query, len(got.Fired))
+		for i, q := range got.Fired {
+			gotFired[i] = core.Query(q)
+		}
+		if !reflect.DeepEqual(gotFired, wantFired) {
+			t.Errorf("entity %d fired %v, want %v", tid, gotFired, wantFired)
+		}
+		if !reflect.DeepEqual(got.Pages, wantPages) {
+			t.Errorf("entity %d pages differ", tid)
+		}
+	}
+
+	st, err := f.client.JobStatus(context.Background(), id, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.State != JobDone || st.Finished != len(targets) || st.Failed != 0 {
+		t.Errorf("status %+v, want done/%d/0", st, len(targets))
+	}
+	if len(st.Checkpoints) != len(targets) {
+		t.Errorf("%d checkpoints, want %d", len(st.Checkpoints), len(targets))
+	}
+	for _, cp := range st.Checkpoints {
+		if len(cp.Fired) != nQueries || !cp.Booted {
+			t.Errorf("checkpoint %+v not final", cp)
+		}
+	}
+
+	// A second stream replays the full event log identically.
+	replayed := 0
+	if err := f.client.StreamJob(context.Background(), id, func(HarvestEvent) error {
+		replayed++
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if replayed != st.Events {
+		t.Errorf("replay saw %d events, status reports %d", replayed, st.Events)
+	}
+
+	// DELETE on a finished job forgets it.
+	if err := f.client.CancelJob(context.Background(), id); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.client.JobStatus(context.Background(), id, false); err == nil {
+		t.Error("deleted job still answers status")
+	}
+}
+
+// TestJobsCancelResume is the acceptance flow: a job killed mid-harvest
+// is resumed from its checkpoints and finishes with the same fired-query
+// sequences as an uninterrupted run.
+func TestJobsCancelResume(t *testing.T) {
+	f := newHarvestFixture(t)
+	targets := jobTargets(f, 4)
+	const nQueries = 6
+
+	// Uninterrupted references.
+	wantFired := make(map[corpus.EntityID][]core.Query)
+	for _, id := range targets {
+		fired, _ := f.localReference(id, nQueries)
+		wantFired[id] = fired
+	}
+
+	id, err := f.client.SubmitJob(context.Background(), HarvestRequest{
+		Entities: targets,
+		Aspect:   string(f.aspect),
+		NQueries: nQueries,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Let some queries land, then cancel.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		st, err := f.client.JobStatus(context.Background(), id, false)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if st.Events >= 3 || st.State == JobDone || time.Now().After(deadline) {
+			break
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	if err := f.client.CancelJob(context.Background(), id); err != nil {
+		t.Fatal(err)
+	}
+	// Wait for the final state.
+	var st JobStatus
+	for {
+		if st, err = f.client.JobStatus(context.Background(), id, true); err != nil {
+			t.Fatal(err)
+		}
+		if st.State == JobCanceled || st.State == JobDone {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("job stuck in state %q", st.State)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+
+	// Resume from the recorded checkpoints; entities without one restart
+	// from scratch.
+	prior := make(map[corpus.EntityID][]core.Query)
+	for _, cp := range st.Checkpoints {
+		prior[cp.Entity] = cp.Fired
+	}
+	id2, err := f.client.SubmitJob(context.Background(), HarvestRequest{
+		Entities: targets,
+		Aspect:   string(f.aspect),
+		NQueries: nQueries,
+		Resume:   st.Checkpoints,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	finished := make(map[corpus.EntityID]HarvestEvent)
+	if err := f.client.StreamJob(context.Background(), id2, func(ev HarvestEvent) error {
+		if ev.Type == "entity" {
+			finished[ev.Entity] = ev
+		}
+		if ev.Type == "error" {
+			t.Errorf("resume error event: %+v", ev)
+		}
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+
+	for _, tid := range targets {
+		got := append([]core.Query(nil), prior[tid]...)
+		for _, q := range finished[tid].Fired {
+			got = append(got, core.Query(q))
+		}
+		if !reflect.DeepEqual(got, wantFired[tid]) {
+			t.Errorf("entity %d: canceled+resumed fired %v, uninterrupted %v", tid, got, wantFired[tid])
+		}
+	}
+}
+
+// TestJobsAdaptiveBudget: a pooled adaptive budget is respected end to
+// end through the wire format.
+func TestJobsAdaptiveBudget(t *testing.T) {
+	f := newHarvestFixture(t)
+	targets := jobTargets(f, 3)
+	const nQueries = 3
+	budget := nQueries * len(targets)
+
+	id, err := f.client.SubmitJob(context.Background(), HarvestRequest{
+		Entities: targets,
+		Aspect:   string(f.aspect),
+		NQueries: nQueries,
+		Budget:   &BudgetSpec{Mode: "adaptive", Patience: 1000},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	total := 0
+	if err := f.client.StreamJob(context.Background(), id, func(ev HarvestEvent) error {
+		if ev.Type == "entity" {
+			total += len(ev.Fired)
+		}
+		if ev.Type == "error" {
+			t.Errorf("error event: %+v", ev)
+		}
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if total > budget {
+		t.Errorf("adaptive job fired %d queries on a budget of %d", total, budget)
+	}
+	if total == 0 {
+		t.Error("adaptive job fired nothing")
+	}
+}
+
+// TestJobsValidation: request rejections and unknown-ID handling.
+func TestJobsValidation(t *testing.T) {
+	f := newHarvestFixture(t)
+
+	if _, err := f.client.SubmitJob(context.Background(), HarvestRequest{Aspect: string(f.aspect)}); err == nil {
+		t.Error("empty entity list accepted")
+	}
+	_, err := f.client.SubmitJob(context.Background(), HarvestRequest{
+		Entities: jobTargets(f, 1), Aspect: string(f.aspect), NQueries: 1,
+		Budget: &BudgetSpec{Mode: "yolo"},
+	})
+	var te *TransportError
+	if !errors.As(err, &te) || te.Status != http.StatusBadRequest {
+		t.Errorf("bad budget mode: %v, want 400", err)
+	}
+	_, err = f.client.SubmitJob(context.Background(), HarvestRequest{
+		Entities: jobTargets(f, 1), Aspect: string(f.aspect), NQueries: 1,
+		Resume: []core.Checkpoint{{Entity: 0, Aspect: "WRONG"}},
+	})
+	if !errors.As(err, &te) || te.Status != http.StatusBadRequest {
+		t.Errorf("wrong-aspect resume: %v, want 400", err)
+	}
+
+	if _, err := f.client.JobStatus(context.Background(), "nope", false); err == nil {
+		t.Error("unknown job id answered status")
+	}
+	if err := f.client.CancelJob(context.Background(), "nope"); err == nil {
+		t.Error("unknown job id accepted cancel")
+	}
+}
+
+// TestMetricsEndpoint: the server-side counters mirror activity.
+func TestMetricsEndpoint(t *testing.T) {
+	f := newHarvestFixture(t)
+
+	m, err := f.client.ServerMetrics(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Requests == 0 {
+		t.Error("requests counter stuck at zero (Dial already issued requests)")
+	}
+	if m.Scheduler != nil {
+		t.Error("scheduler stats present before any harvest")
+	}
+
+	// One sync harvest spins up the shared scheduler.
+	targets := jobTargets(f, 2)
+	if err := f.client.HarvestBatch(context.Background(), HarvestRequest{
+		Entities: targets, Aspect: string(f.aspect), NQueries: 1,
+	}, nil); err != nil {
+		t.Fatal(err)
+	}
+	m, err = f.client.ServerMetrics(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Scheduler == nil {
+		t.Fatal("scheduler stats absent after a harvest")
+	}
+	if m.Scheduler.FinishedJobs != int64(len(targets)) {
+		t.Errorf("FinishedJobs = %d, want %d", m.Scheduler.FinishedJobs, len(targets))
+	}
+	if m.Scheduler.FiredQueries != int64(len(targets)) {
+		t.Errorf("FiredQueries = %d, want %d", m.Scheduler.FiredQueries, len(targets))
+	}
+
+	// An async job shows up in the jobs map.
+	id, err := f.client.SubmitJob(context.Background(), HarvestRequest{
+		Entities: targets, Aspect: string(f.aspect), NQueries: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := f.client.StreamJob(context.Background(), id, nil); err != nil {
+		t.Fatal(err)
+	}
+	m, err = f.client.ServerMetrics(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Jobs[JobDone] != 1 {
+		t.Errorf("jobs map %v, want one done job", m.Jobs)
+	}
+}

@@ -22,10 +22,12 @@ import (
 	"strconv"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"l2q/internal/corpus"
 	"l2q/internal/html"
+	"l2q/internal/pipeline"
 	"l2q/internal/search"
 	"l2q/internal/textproc"
 )
@@ -78,17 +80,50 @@ type Server struct {
 	// the first request; later changes are ignored.
 	MaxConcurrent int
 	// Harvest, when non-nil, enables the POST /api/harvest batch endpoint
-	// (server-side pipelined sessions with streamed NDJSON progress).
+	// (server-side pipelined sessions with streamed NDJSON progress) and
+	// the asynchronous jobs API (POST/GET/DELETE /api/jobs).
 	Harvest *HarvestBackend
 
 	semOnce sync.Once
 	sem     chan struct{}
 	http    *http.Server
 
+	// sched is the ONE shared pipeline scheduler every harvest (sync and
+	// async) runs on, created lazily from the backend's worker knobs and
+	// closed by Shutdown.
+	schedMu sync.Mutex
+	sched   *pipeline.Scheduler
+
+	// jobs is the async jobs registry (see jobs.go).
+	jobsMu  sync.Mutex
+	jobsSeq int
+	jobs    map[string]*serverJob
+
+	// requests counts every request served (the /api/metrics counter).
+	requests atomic.Int64
+
 	// ctx is canceled by Shutdown so long-lived streaming handlers (the
-	// batch-harvest endpoint) terminate and let the graceful drain finish.
+	// batch-harvest endpoint, job event streams) terminate and let the
+	// graceful drain finish.
 	ctx    context.Context
 	cancel context.CancelFunc
+}
+
+// scheduler returns the server's shared pipeline scheduler, starting it
+// on first use from the harvest backend's worker configuration.
+func (s *Server) scheduler() *pipeline.Scheduler {
+	s.schedMu.Lock()
+	defer s.schedMu.Unlock()
+	if s.sched == nil {
+		cfg := pipeline.Config{}
+		if s.Harvest != nil {
+			cfg.SelectWorkers = s.Harvest.SelectWorkers
+			cfg.FetchWorkers = s.Harvest.FetchWorkers
+			cfg.MaxActive = s.Harvest.MaxActive
+		}
+		s.sched = pipeline.New(cfg)
+	}
+	return s.sched
 }
 
 // NewServer wires a server over a corpus and its engine.
@@ -129,7 +164,11 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /api/search", s.handleSearch)
 	mux.HandleFunc("GET /api/collfreq", s.handleCollFreq)
 	mux.HandleFunc("GET /api/entities", s.handleEntities)
+	mux.HandleFunc("GET /api/metrics", s.handleMetrics)
 	mux.HandleFunc("POST /api/harvest", s.handleHarvest)
+	mux.HandleFunc("POST /api/jobs", s.handleJobSubmit)
+	mux.HandleFunc("GET /api/jobs/{id}", s.handleJobGet)
+	mux.HandleFunc("DELETE /api/jobs/{id}", s.handleJobDelete)
 	mux.HandleFunc("GET /page/{id}", s.handlePage)
 	return s.limit(mux)
 }
@@ -152,14 +191,19 @@ func (s *Server) limit(next http.Handler) http.Handler {
 			http.Error(w, "canceled", http.StatusServiceUnavailable)
 			return
 		}
-		if r.URL.Path != "/api/harvest" {
-			// A slow-reading client must not pin a handler (and its
-			// semaphore slot) forever. The harvest stream manages its
-			// own rolling deadline in handleHarvest. Not every
-			// ResponseWriter supports deadlines (httptest recorders);
-			// ignore the error.
+		// A slow-reading client must not pin a handler (and its
+		// semaphore slot) forever. Only the two long-lived NDJSON
+		// streams are exempt — they roll their own deadline per event;
+		// every other route (including plain job status/DELETE, whose
+		// checkpoint payloads can exceed a socket buffer) gets the
+		// static deadline. Not every ResponseWriter supports deadlines
+		// (httptest recorders); ignore the error.
+		streaming := r.URL.Path == "/api/harvest" ||
+			(strings.HasPrefix(r.URL.Path, "/api/jobs/") && r.URL.Query().Get("stream") != "")
+		if !streaming {
 			_ = http.NewResponseController(w).SetWriteDeadline(time.Now().Add(writeTimeout))
 		}
+		s.requests.Add(1)
 		start := time.Now()
 		next.ServeHTTP(w, r)
 		if s.Log != nil {
@@ -193,13 +237,62 @@ func (s *Server) Start(addr string) (string, error) {
 }
 
 // Shutdown cancels long-lived streaming handlers (in-flight batch
-// harvests), drains the rest, and stops the server.
+// harvests and job streams), drains the rest, stops the shared harvest
+// scheduler, and stops the server.
 func (s *Server) Shutdown(ctx context.Context) error {
 	s.cancel()
-	if s.http == nil {
-		return nil
+	var err error
+	if s.http != nil {
+		err = s.http.Shutdown(ctx)
 	}
-	return s.http.Shutdown(ctx)
+	s.schedMu.Lock()
+	sched := s.sched
+	s.schedMu.Unlock()
+	if sched != nil {
+		// Every batch context descends from s.ctx, so the jobs are
+		// already aborting; Close reaps the worker pools.
+		sched.Close()
+	}
+	return err
+}
+
+// ServerMetrics is the GET /api/metrics payload: server-side counters
+// mirroring what ClientMetrics reports client-side.
+type ServerMetrics struct {
+	// Requests counts every HTTP request served since start.
+	Requests int64 `json:"requests"`
+	// InFlight is the number of requests currently holding a concurrency
+	// slot (the MaxConcurrent semaphore).
+	InFlight int `json:"inFlight"`
+	// Jobs counts the async jobs registry by state.
+	Jobs map[string]int `json:"jobs,omitempty"`
+	// Scheduler snapshots the shared harvest scheduler (queue depth,
+	// active/parked jobs, unspent adaptive budget); absent until the
+	// first harvest request starts it.
+	Scheduler *pipeline.Stats `json:"scheduler,omitempty"`
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+	m := ServerMetrics{
+		Requests: s.requests.Load(),
+		InFlight: len(s.semaphore()),
+	}
+	s.jobsMu.Lock()
+	if len(s.jobs) > 0 {
+		m.Jobs = make(map[string]int, 4)
+		for _, j := range s.jobs {
+			m.Jobs[j.stateName()]++
+		}
+	}
+	s.jobsMu.Unlock()
+	s.schedMu.Lock()
+	sched := s.sched
+	s.schedMu.Unlock()
+	if sched != nil {
+		st := sched.Stats()
+		m.Scheduler = &st
+	}
+	writeJSON(w, m)
 }
 
 func writeJSON(w http.ResponseWriter, v any) {

@@ -61,7 +61,79 @@ type (
 	HarvestRequest = webapi.HarvestRequest
 	// HarvestEvent is one NDJSON line of the batch-harvest stream.
 	HarvestEvent = webapi.HarvestEvent
+	// BudgetSpec is the wire form of the budget policy (harvest and jobs
+	// requests).
+	BudgetSpec = webapi.BudgetSpec
+	// JobStatus is the async jobs API's status payload.
+	JobStatus = webapi.JobStatus
+	// ServerMetrics is the GET /api/metrics payload.
+	ServerMetrics = webapi.ServerMetrics
+
+	// HarvestScheduler is the long-lived pipeline scheduler: shared
+	// select/fetch worker pools serving many concurrent Submit calls with
+	// FIFO admission and per-batch fair share.
+	HarvestScheduler = pipeline.Scheduler
+	// HarvestBatch is one Submit call's unit of work on a scheduler.
+	HarvestBatch = pipeline.Batch
+	// HarvestJob is one entity-aspect harvest on the scheduler.
+	HarvestJob = pipeline.Job
+	// HarvestJobResult is one finished scheduler job.
+	HarvestJobResult = pipeline.Result
+	// SchedulerConfig sizes a scheduler's pools and admission bound.
+	SchedulerConfig = pipeline.Config
+	// SchedulerStats snapshots scheduler load.
+	SchedulerStats = pipeline.Stats
+	// BatchOptions tunes one Submit call (budget policy, checkpointing).
+	BatchOptions = pipeline.BatchOptions
+	// BudgetPolicy allocates a batch's query budget across entities.
+	BudgetPolicy = pipeline.BudgetPolicy
+	// BudgetMode selects fixed-equal or adaptive allocation.
+	BudgetMode = pipeline.BudgetMode
 )
+
+// Budget allocation modes (see BudgetPolicy).
+const (
+	BudgetFixed    = pipeline.BudgetFixed
+	BudgetAdaptive = pipeline.BudgetAdaptive
+)
+
+// Async job states (JobStatus.State).
+const (
+	JobQueued   = webapi.JobQueued
+	JobRunning  = webapi.JobRunning
+	JobDone     = webapi.JobDone
+	JobCanceled = webapi.JobCanceled
+)
+
+// NewScheduler starts a long-lived harvest scheduler over this system's
+// engine. Build jobs with NewHarvestJobs (or by hand from Harvester
+// sessions), Submit batches from any number of goroutines, and Close when
+// done. The adaptive budget mode (BatchOptions.Budget) reallocates a
+// pooled query budget toward the entities with the highest marginal
+// ΔR_E(Φ) gain each round.
+func (s *System) NewScheduler(cfg SchedulerConfig) *HarvestScheduler {
+	return pipeline.New(cfg)
+}
+
+// NewHarvestJobs builds one scheduler job per entity for an aspect,
+// mirroring HarvestPipelined's session conventions (deterministic
+// per-entity seeding, optional simulated-latency fetcher). Unknown IDs
+// are skipped; the returned slice holds only buildable jobs.
+func (s *System) NewHarvestJobs(entities []EntityID, a Aspect, dm *DomainModel,
+	sel Selector, nQueries int, fetcher *Fetcher) []HarvestJob {
+
+	jobs := make([]HarvestJob, 0, len(entities))
+	for _, id := range entities {
+		e := s.corpus.Entity(id)
+		if e == nil {
+			continue
+		}
+		sess := core.NewSession(s.cfg, s.engine, e, a, s.cls.YFunc(a), dm, s.rec, uint64(id)+1)
+		sess.Fetcher = fetcher
+		jobs = append(jobs, HarvestJob{Session: sess, Selector: sel, NQueries: nQueries})
+	}
+	return jobs
+}
 
 // ReadCheckpoint deserializes a checkpoint written by Checkpoint.Encode.
 var ReadCheckpoint = core.ReadCheckpoint

@@ -269,3 +269,93 @@ func TestCheckpointThroughFacade(t *testing.T) {
 		t.Errorf("resumed pages %d, want %d", len(h2.Pages()), len(h.Pages()))
 	}
 }
+
+// TestSchedulerPublicSurface drives the long-lived scheduler through the
+// public API: NewScheduler + NewHarvestJobs, a fixed batch matching
+// HarvestPipelined, and an adaptive-budget batch respecting the pooled
+// spend.
+func TestSchedulerPublicSurface(t *testing.T) {
+	sys := testSystem(t, Researchers)
+	aspect := sys.Aspects()[0]
+	ids := sys.EntityIDs()
+	targets := ids[len(ids)-3:]
+	dm, err := sys.LearnDomain(aspect, ids[:8])
+	if err != nil {
+		t.Fatal(err)
+	}
+	const nQueries = 2
+
+	want := sys.HarvestPipelined(context.Background(), targets, aspect, dm, NewL2QBAL(), nQueries, nil)
+
+	sched := sys.NewScheduler(SchedulerConfig{})
+	defer sched.Close()
+	jobs := sys.NewHarvestJobs(targets, aspect, dm, NewL2QBAL(), nQueries, nil)
+	if len(jobs) != len(targets) {
+		t.Fatalf("built %d jobs for %d targets", len(jobs), len(targets))
+	}
+	b, err := sched.Submit(context.Background(), jobs, BatchOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, r := range b.Await(context.Background()) {
+		if r.Err != nil {
+			t.Fatal(r.Err)
+		}
+		if !reflect.DeepEqual(r.Fired, want[i].Fired) {
+			t.Errorf("job %d fired %v, HarvestPipelined fired %v", i, r.Fired, want[i].Fired)
+		}
+	}
+
+	// Adaptive batch on the same scheduler: bounded by the pooled budget.
+	jobs2 := sys.NewHarvestJobs(targets, aspect, dm, NewL2QBAL(), nQueries, nil)
+	b2, err := sched.Submit(context.Background(), jobs2, BatchOptions{
+		Budget: BudgetPolicy{Mode: BudgetAdaptive},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	total := 0
+	for _, r := range b2.Await(context.Background()) {
+		if r.Err != nil {
+			t.Fatal(r.Err)
+		}
+		total += len(r.Fired)
+	}
+	if total > nQueries*len(targets) {
+		t.Errorf("adaptive batch fired %d > pooled budget %d", total, nQueries*len(targets))
+	}
+
+	if st := sched.Stats(); st.FinishedJobs != int64(2*len(targets)) {
+		t.Errorf("FinishedJobs = %d, want %d", st.FinishedJobs, 2*len(targets))
+	}
+}
+
+// TestCheckpointPublicRoundTrip: the Harvester's promoted Snapshot/Resume
+// round trip through the public surface.
+func TestCheckpointPublicRoundTrip(t *testing.T) {
+	sys := testSystem(t, Cars)
+	aspect := sys.Aspects()[0]
+	e := sys.Corpus().Entities[sys.Corpus().NumEntities()-1]
+
+	ref := sys.NewHarvester(e, aspect, nil)
+	want := ref.Run(NewL2QBAL(), 3)
+
+	h := sys.NewHarvester(e, aspect, nil)
+	h.Run(NewL2QBAL(), 1)
+	var buf bytes.Buffer
+	if err := h.Snapshot().Encode(&buf); err != nil {
+		t.Fatal(err)
+	}
+	cp, err := ReadCheckpoint(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resumed := sys.NewHarvester(e, aspect, nil)
+	if err := resumed.Resume(cp); err != nil {
+		t.Fatal(err)
+	}
+	got := append(append([]Query(nil), cp.Fired...), resumed.Run(NewL2QBAL(), 2)...)
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("resumed fired %v, uninterrupted %v", got, want)
+	}
+}
