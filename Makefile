@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test soak bench lint fmt
+.PHONY: all build test soak bench bench-candidates lint fmt
 
 all: lint build test
 
@@ -21,6 +21,10 @@ soak:
 #   go test -run='^$$' -bench='HotSingleQuery|ConcurrentManyQueries' -benchtime=2s ./internal/search/
 bench:
 	$(GO) test -run='^$$' -bench=. -benchtime=1x ./...
+
+# Candidate-generation / domain-phase trajectory (the CI artifact's recipe).
+bench-candidates:
+	$(GO) test -run='^$$' -bench='BenchmarkCandidateStep|BenchmarkLearnDomain' -benchtime=20x ./internal/core/
 
 lint:
 	@unformatted=$$(gofmt -l .); \

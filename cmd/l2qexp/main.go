@@ -75,8 +75,10 @@ func main() {
 		workers      = flag.Int("scoreworkers", 0, "per-query scoring workers (0 = GOMAXPROCS)")
 		cacheSize    = flag.Int("cachesize", 0, "query cache capacity (0 = default, <0 = off)")
 		inferWorkers = flag.Int("inferworkers", 0, "per-step inference workers (0 = GOMAXPROCS)")
+		learnWorkers = flag.Int("learnworkers", 0, "domain-phase counting workers (0 = GOMAXPROCS)")
 		warmStart    = flag.Bool("warmstart", true, "warm-start fixpoint solvers from the previous step")
 		incremental  = flag.Bool("incremental", true, "persistent incremental session graphs (false = rebuild per step)")
+		incrPool     = flag.Bool("incrementalpool", true, "persistent incremental candidate pools (false = re-enumerate per step)")
 	)
 	flag.Parse()
 	jsonOut = *jsonFlag
@@ -127,8 +129,10 @@ func main() {
 		cfg.Core.SearchScoreWorkers = *workers
 		cfg.Core.SearchCacheSize = *cacheSize
 		cfg.Core.InferWorkers = *inferWorkers
+		cfg.Core.LearnWorkers = *learnWorkers
 		cfg.Core.WarmStart = *warmStart
 		cfg.Core.IncrementalGraph = *incremental
+		cfg.Core.IncrementalPool = *incrPool
 		if err := runDomain(cfg, *fig, *cv, *splits); err != nil {
 			fmt.Fprintf(os.Stderr, "l2qexp: %v\n", err)
 			os.Exit(1)

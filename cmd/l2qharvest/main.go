@@ -57,8 +57,10 @@ func main() {
 		rtimeout = flag.Duration("timeout", 30*time.Second, "remote transport: per-request HTTP timeout")
 		prefetch = flag.Int("prefetch", 8, "remote transport: concurrent page downloads per query")
 		inferW   = flag.Int("inferworkers", 0, "per-step inference workers (0 = GOMAXPROCS)")
+		learnW   = flag.Int("learnworkers", 0, "domain-phase counting workers (0 = GOMAXPROCS)")
 		warm     = flag.Bool("warmstart", true, "warm-start fixpoint solvers from the previous step")
 		incr     = flag.Bool("incremental", true, "persistent incremental session graphs (false = rebuild per step)")
+		incrPool = flag.Bool("incrementalpool", true, "persistent incremental candidate pools (false = re-enumerate per step)")
 		ckpt     = flag.String("checkpoint", "", "checkpoint file: resume from it if present, write it after every step")
 		replay   = flag.Bool("replaycheck", false, "after finishing, verify the fired sequence against an uninterrupted run")
 	)
@@ -66,7 +68,8 @@ func main() {
 
 	sys, err := l2q.NewSyntheticSystem(corpus.Domain(*domain), l2q.SystemOptions{
 		NumEntities: *entities, PagesPerEntity: *pages, Seed: *seed,
-		InferWorkers: *inferW, NoWarmStart: !*warm, NoIncrementalGraph: !*incr,
+		InferWorkers: *inferW, LearnWorkers: *learnW,
+		NoWarmStart: !*warm, NoIncrementalGraph: !*incr, NoIncrementalPool: !*incrPool,
 	})
 	if err != nil {
 		fail(err)

@@ -36,7 +36,6 @@ import (
 	"time"
 
 	"l2q/internal/classify"
-	"l2q/internal/core"
 	"l2q/internal/corpus"
 	"l2q/internal/search"
 	"l2q/internal/store"
@@ -60,6 +59,8 @@ func main() {
 		workers   = flag.Int("scoreworkers", 0, "per-query scoring workers (0 = GOMAXPROCS)")
 		cacheSize = flag.Int("cachesize", 0, "query cache capacity (0 = default, <0 = off)")
 		harvest   = flag.Bool("harvest", true, "enable POST /api/harvest and the /api/jobs async API (server-side batch harvesting)")
+		domains   = flag.String("domains", "", "domain-artifact file (l2qstore domains): boot the harvest backend warm instead of learning per aspect on first request")
+		learnW    = flag.Int("learnworkers", 0, "domain-phase counting workers for lazily learned models (0 = GOMAXPROCS)")
 		maxSess   = flag.Int("harvestsessions", 64, "max entities per harvest request")
 		selectW   = flag.Int("selectworkers", 0, "shared scheduler: select (CPU) workers (0 = GOMAXPROCS)")
 		fetchW    = flag.Int("fetchworkers", 0, "shared scheduler: fetch (I/O) workers (0 = 4×select)")
@@ -94,7 +95,7 @@ func main() {
 		// Store files carry no tokenizer; reconstruct the phrase lexicon
 		// from the corpus's own multi-word tokens so server-side query
 		// tokenization round-trips phrases the way the corpus builder did.
-		tok = reconstructTokenizer(c)
+		tok = store.ReconstructTokenizer(c)
 	} else {
 		cfg := synth.DefaultConfig(corpus.Domain(*domain))
 		cfg.NumEntities = *entities
@@ -116,7 +117,22 @@ func main() {
 		srv.Log = logger
 	}
 	if *harvest {
-		if hb := harvestBackend(c, tok, rec, *maxSess, logger); hb != nil {
+		var art *store.DomainArtifact
+		if *domains != "" {
+			var err error
+			if art, err = store.LoadDomainsFile(*domains); err != nil {
+				logger.Fatal(err)
+			}
+			if art.CorpusDomain != c.Domain {
+				logger.Fatalf("domain artifact %s was learned over domain %q, serving %q",
+					*domains, art.CorpusDomain, c.Domain)
+			}
+			if art.NumEntities != c.NumEntities() || art.NumPages != c.NumPages() {
+				logger.Printf("warning: domain artifact %s was learned over %d entities / %d pages; serving %d / %d",
+					*domains, art.NumEntities, art.NumPages, c.NumEntities(), c.NumPages())
+			}
+		}
+		if hb := harvestBackend(c, tok, rec, *maxSess, *learnW, art, logger); hb != nil {
 			hb.SelectWorkers = *selectW
 			hb.FetchWorkers = *fetchW
 			hb.MaxActive = *maxActive
@@ -147,73 +163,56 @@ func main() {
 	}
 }
 
-// harvestBackend trains aspect classifiers on the served corpus and wires
-// the batch-harvest endpoint with lazily-learned per-aspect domain models.
-// Returns nil (harvesting disabled) when the corpus carries no aspect
-// labels to train on.
+// harvestBackend wires the batch-harvest endpoint over the canonical
+// learning protocol (store.DomainLearner — the same one `l2qstore
+// domains` precomputes with). With a domain artifact, its classifiers
+// and models are used as-is and the server's first harvest runs warm;
+// aspects the artifact does not cover keep the lazy path (classifiers
+// trained at boot, models learned on first request). Returns nil
+// (harvesting disabled) when the corpus carries no aspect labels.
 func harvestBackend(c *corpus.Corpus, tok *textproc.Tokenizer, rec types.Recognizer,
-	maxSessions int, logger *log.Logger) *webapi.HarvestBackend {
+	maxSessions, learnWorkers int, art *store.DomainArtifact, logger *log.Logger) *webapi.HarvestBackend {
 
-	aspects := c.Aspects()
-	if len(aspects) == 0 {
+	if len(c.Aspects()) == 0 {
 		logger.Print("harvest: corpus has no aspect labels; endpoint disabled")
 		return nil
 	}
-	cls := classify.TrainSet(aspects, c.Pages)
-	var usable []corpus.Aspect
-	for _, a := range aspects {
-		if cls.Has(a) {
-			usable = append(usable, a)
-		}
+	var preTrained *classify.Set
+	if art != nil {
+		preTrained = art.ClassifierSet()
 	}
-	if len(usable) == 0 {
+	ln := store.NewDomainLearner(c, tok, rec, learnWorkers, preTrained)
+	if len(ln.Aspects) == 0 {
 		logger.Print("harvest: no aspect has training signal; endpoint disabled")
 		return nil
 	}
-	cfg := core.DefaultConfig()
-	cfg.Tokenizer = tok
-
-	domainIDs := make([]corpus.EntityID, 0, c.NumEntities()/2)
-	for _, e := range c.Entities[:c.NumEntities()/2] {
-		domainIDs = append(domainIDs, e.ID)
-	}
-	return &webapi.HarvestBackend{
-		Cfg:         cfg,
-		Aspects:     usable,
-		Y:           cls.YFunc,
+	hb := &webapi.HarvestBackend{
+		Cfg:         ln.Cfg,
+		Aspects:     ln.Aspects,
+		Y:           ln.Cls.YFunc,
 		Rec:         rec,
 		MaxSessions: maxSessions,
 		// The backend memoizes per aspect, so learning from scratch here
-		// runs at most once per aspect.
-		DomainModel: func(a corpus.Aspect) (*core.DomainModel, error) {
-			return core.LearnDomain(cfg, a, c, domainIDs, cls.YFunc(a), rec)
-		},
+		// runs at most once per aspect (and never for preloaded aspects).
+		DomainModel: ln.Learn,
 	}
-}
-
-// reconstructTokenizer rebuilds a phrase-merging tokenizer from the
-// corpus's own tokens: any multi-word token (internal space) was produced
-// by a phrase lexicon, so collecting them recovers it.
-func reconstructTokenizer(c *corpus.Corpus) *textproc.Tokenizer {
-	seen := make(map[string]struct{})
-	var phrases []string
-	for _, p := range c.Pages {
-		for i := range p.Paras {
-			for _, t := range p.Paras[i].Tokens {
-				for j := 0; j < len(t); j++ {
-					if t[j] == ' ' {
-						if _, dup := seen[t]; !dup {
-							seen[t] = struct{}{}
-							phrases = append(phrases, t)
-						}
-						break
-					}
-				}
+	if art != nil {
+		hb.Preload(art.ModelMap())
+		covered := make(map[corpus.Aspect]bool, len(art.Models))
+		for _, dm := range art.Models {
+			covered[dm.Aspect] = true
+		}
+		var lazy []corpus.Aspect
+		for _, a := range ln.Aspects {
+			if !covered[a] {
+				lazy = append(lazy, a)
 			}
 		}
+		logger.Printf("harvest: booted warm with %d persisted domain models (%d classifiers)",
+			len(art.Models), len(art.Classifiers))
+		if len(lazy) > 0 {
+			logger.Printf("harvest: aspects %v not in the artifact; they learn lazily on first request", lazy)
+		}
 	}
-	if len(phrases) == 0 {
-		return &textproc.Tokenizer{}
-	}
-	return &textproc.Tokenizer{Lexicon: textproc.NewLexicon(phrases)}
+	return hb
 }

@@ -5,6 +5,13 @@
 //	l2qstore build -out researchers.l2q -domain researchers -entities 996 -pages 50
 //	l2qstore info -in researchers.l2q
 //	l2qstore export -in researchers.l2q -site ./public   (static HTML site)
+//	l2qstore domains -in researchers.l2q -out researchers.domains
+//
+// The domains subcommand precomputes the domain phase over a store file:
+// it trains the aspect classifiers and learns every aspect's domain model
+// (mirroring exactly what l2qserve would learn lazily on first harvest),
+// then persists them as a domain artifact (magic L2QDOM1) that
+// `l2qserve -store ... -domains ...` boots warm from.
 package main
 
 import (
@@ -13,12 +20,14 @@ import (
 	"os"
 	"path/filepath"
 	"sort"
+	"time"
 
 	"l2q/internal/corpus"
 	"l2q/internal/html"
 	"l2q/internal/search"
 	"l2q/internal/store"
 	"l2q/internal/synth"
+	"l2q/internal/types"
 )
 
 func main() {
@@ -33,6 +42,8 @@ func main() {
 		err = runInfo(os.Args[2:])
 	case "export":
 		err = runExport(os.Args[2:])
+	case "domains":
+		err = runDomains(os.Args[2:])
 	default:
 		usage()
 	}
@@ -43,7 +54,7 @@ func main() {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: l2qstore {build|info|export} [flags]")
+	fmt.Fprintln(os.Stderr, "usage: l2qstore {build|info|export|domains} [flags]")
 	os.Exit(2)
 }
 
@@ -109,6 +120,48 @@ func runInfo(args []string) error {
 	for _, a := range aspects {
 		fmt.Printf("  %-14s %d paragraphs\n", a, st.ParasByAspect[a])
 	}
+	return nil
+}
+
+// runDomains precomputes the domain phase for a store file. The protocol
+// mirrors l2qserve's lazy path exactly — classifiers trained on the whole
+// served corpus, domain models learned over the canonical first-half
+// entity sample — so a warm boot selects byte-identically to a cold one.
+func runDomains(args []string) error {
+	fs := flag.NewFlagSet("domains", flag.ExitOnError)
+	in := fs.String("in", "corpus.l2q", "store file to learn from")
+	out := fs.String("out", "corpus.domains", "output domain-artifact file")
+	learnW := fs.Int("learnworkers", 0, "domain-phase counting workers (0 = GOMAXPROCS)")
+	fs.Parse(args)
+
+	b, err := store.LoadFile(*in)
+	if err != nil {
+		return err
+	}
+	c := b.Corpus
+	if len(c.Aspects()) == 0 {
+		return fmt.Errorf("corpus %s carries no aspect labels to learn from", *in)
+	}
+	// One shared protocol with l2qserve's lazy path (store.DomainLearner),
+	// so the precomputed artifact is byte-identical to what a cold boot
+	// would learn.
+	start := time.Now()
+	ln := store.NewDomainLearner(c, store.ReconstructTokenizer(c),
+		types.NewRegexRecognizer(), *learnW, nil)
+	art, err := ln.Artifact()
+	if err != nil {
+		return fmt.Errorf("%s: %w", *in, err)
+	}
+	if err := store.SaveDomainsFile(*out, art); err != nil {
+		return err
+	}
+	fi, err := os.Stat(*out)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("wrote %s: %d domain models + %d classifiers over %d entities (%.1f KiB, %v)\n",
+		*out, len(art.Models), len(art.Classifiers), len(ln.DomainIDs),
+		float64(fi.Size())/(1<<10), time.Since(start).Round(time.Millisecond))
 	return nil
 }
 

@@ -48,7 +48,9 @@ func TrainHR(cfg core.Config, c *corpus.Corpus, domainEntities []corpus.EntityID
 	lastEntity := make(map[string]corpus.EntityID)
 	for _, p := range pages {
 		rel := y(p)
-		for _, q := range textproc.NGrams(p.Tokens(), ngCfg) {
+		// The per-page memo (exclusion-free config) is shared with the
+		// domain phase, which enumerates the same split's pages.
+		for _, q := range p.NGrams(ngCfg) {
 			pageDF[q]++
 			if rel {
 				relDF[q]++

@@ -14,6 +14,7 @@ import (
 	"sync"
 
 	"l2q/internal/corpus"
+	"l2q/internal/par"
 	"l2q/internal/textproc"
 )
 
@@ -84,6 +85,28 @@ func Train(a corpus.Aspect, pages []*corpus.Page) *Classifier {
 		c.logLik[cls] = lik
 	}
 	return c
+}
+
+// Params is the trained state of a Classifier, exported so a persistence
+// layer (internal/store's domain artifact) can round-trip classifiers
+// exactly: the float64 parameters are carried verbatim, so a restored
+// classifier predicts byte-identically to the trained one.
+type Params struct {
+	Aspect   corpus.Aspect
+	LogPrior [2]float64
+	LogUnk   [2]float64
+	LogLik   [2]map[textproc.Token]float64
+}
+
+// Params exposes the classifier's trained parameters. The maps are the
+// classifier's own — callers must not mutate them.
+func (c *Classifier) Params() Params {
+	return Params{Aspect: c.Aspect, LogPrior: c.logPrior, LogUnk: c.logUnk, LogLik: c.logLik}
+}
+
+// FromParams reconstructs a Classifier from persisted parameters.
+func FromParams(p Params) *Classifier {
+	return &Classifier{Aspect: p.Aspect, logPrior: p.LogPrior, logLik: p.LogLik, logUnk: p.LogUnk}
 }
 
 // scoreClass returns the joint log-probability of the tokens under a class.
@@ -166,15 +189,44 @@ type cacheKey struct {
 
 // TrainSet trains a classifier for every aspect on the given pages.
 // Aspects whose training data is degenerate are silently skipped (callers
-// can check membership).
+// can check membership). Per-aspect training runs on a bounded worker
+// pool (GOMAXPROCS); aspects are independent, so the result is identical
+// to serial training. Use TrainSetWorkers for an explicit bound.
 func TrainSet(aspects []corpus.Aspect, pages []*corpus.Page) *Set {
+	return TrainSetWorkers(aspects, pages, 0)
+}
+
+// TrainSetWorkers is TrainSet with an explicit worker bound: 0 picks
+// GOMAXPROCS, 1 trains serially. Value-neutral — every worker count
+// trains identical classifiers.
+func TrainSetWorkers(aspects []corpus.Aspect, pages []*corpus.Page, workers int) *Set {
+	cs := make([]*Classifier, len(aspects))
+	par.For(len(aspects), workers, func(i int) {
+		cs[i] = Train(aspects[i], pages)
+	})
 	s := &Set{
 		ByAspect: make(map[corpus.Aspect]*Classifier, len(aspects)),
 		cache:    make(map[cacheKey]bool),
 	}
-	for _, a := range aspects {
-		if c := Train(a, pages); c != nil {
-			s.ByAspect[a] = c
+	for i, a := range aspects {
+		if cs[i] != nil {
+			s.ByAspect[a] = cs[i]
+		}
+	}
+	return s
+}
+
+// NewSet wraps already-trained classifiers (e.g. restored from a
+// persisted domain artifact, store.LoadDomains) into a Set with a fresh
+// prediction cache. Nil entries are skipped.
+func NewSet(cs []*Classifier) *Set {
+	s := &Set{
+		ByAspect: make(map[corpus.Aspect]*Classifier, len(cs)),
+		cache:    make(map[cacheKey]bool),
+	}
+	for _, c := range cs {
+		if c != nil {
+			s.ByAspect[c.Aspect] = c
 		}
 	}
 	return s

@@ -6,6 +6,7 @@ import (
 
 	"l2q/internal/corpus"
 	"l2q/internal/crf"
+	"l2q/internal/par"
 )
 
 // CRFClassifier is the paper-faithful alternative to the Naive Bayes
@@ -194,15 +195,28 @@ type CRFSet struct {
 }
 
 // TrainCRFSet trains a CRF per aspect. Aspects with degenerate training
-// data are skipped, exactly like TrainSet.
+// data are skipped, exactly like TrainSet. Per-aspect training runs on a
+// bounded worker pool (GOMAXPROCS) — CRF training is seconds-scale per
+// aspect, so a server paying it at boot gets the full core count.
 func TrainCRFSet(aspects []corpus.Aspect, pages []*corpus.Page, cfg crf.TrainConfig) *CRFSet {
+	return TrainCRFSetWorkers(aspects, pages, cfg, 0)
+}
+
+// TrainCRFSetWorkers is TrainCRFSet with an explicit worker bound: 0
+// picks GOMAXPROCS, 1 trains serially. Value-neutral — aspects train
+// independently, so every worker count yields identical classifiers.
+func TrainCRFSetWorkers(aspects []corpus.Aspect, pages []*corpus.Page, cfg crf.TrainConfig, workers int) *CRFSet {
+	cs := make([]*CRFClassifier, len(aspects))
+	par.For(len(aspects), workers, func(i int) {
+		cs[i] = TrainCRF(aspects[i], pages, cfg)
+	})
 	s := &CRFSet{
 		ByAspect: make(map[corpus.Aspect]*CRFClassifier, len(aspects)),
 		cache:    make(map[cacheKey]bool),
 	}
-	for _, a := range aspects {
-		if c := TrainCRF(a, pages, cfg); c != nil {
-			s.ByAspect[a] = c
+	for i, a := range aspects {
+		if cs[i] != nil {
+			s.ByAspect[a] = cs[i]
 		}
 	}
 	return s

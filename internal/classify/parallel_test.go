@@ -1,0 +1,87 @@
+package classify
+
+import (
+	"reflect"
+	"testing"
+
+	"l2q/internal/corpus"
+	"l2q/internal/crf"
+	"l2q/internal/synth"
+)
+
+func trainPages(t testing.TB) ([]corpus.Aspect, []*corpus.Page) {
+	t.Helper()
+	g, err := synth.Generate(synth.TestConfig(synth.DomainResearchers))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g.Aspects, g.Corpus.Pages
+}
+
+// TestTrainSetWorkerInvariance: parallel per-aspect training is a pure
+// wall-clock optimization — every worker count trains identical
+// classifiers (training is deterministic and aspects are independent).
+func TestTrainSetWorkerInvariance(t *testing.T) {
+	aspects, pages := trainPages(t)
+	serial := TrainSetWorkers(aspects, pages, 1)
+	for _, w := range []int{0, 2, 8} {
+		par := TrainSetWorkers(aspects, pages, w)
+		if !reflect.DeepEqual(serial.ByAspect, par.ByAspect) {
+			t.Fatalf("workers=%d trained different classifiers than serial", w)
+		}
+	}
+	if len(serial.ByAspect) == 0 {
+		t.Fatal("no classifiers trained")
+	}
+}
+
+// TestTrainCRFSetWorkerInvariance mirrors the invariance check for the
+// CRF family (each TrainCRF seeds its own RNG, so concurrency cannot
+// perturb it).
+func TestTrainCRFSetWorkerInvariance(t *testing.T) {
+	aspects, pages := trainPages(t)
+	pages = pages[:len(pages)/4] // CRF training is the slow family
+	serial := TrainCRFSetWorkers(aspects, pages, crf.DefaultTrainConfig(), 1)
+	par := TrainCRFSetWorkers(aspects, pages, crf.DefaultTrainConfig(), 4)
+	if !reflect.DeepEqual(serial.ByAspect, par.ByAspect) {
+		t.Fatal("parallel CRF training diverged from serial")
+	}
+}
+
+// TestParamsRoundTrip: a classifier rebuilt from its exported parameters
+// predicts identically on every page and paragraph.
+func TestParamsRoundTrip(t *testing.T) {
+	aspects, pages := trainPages(t)
+	set := TrainSet(aspects, pages)
+	for a, c := range set.ByAspect {
+		restored := FromParams(c.Params())
+		if restored.Aspect != a {
+			t.Fatalf("aspect lost: %s → %s", a, restored.Aspect)
+		}
+		for _, p := range pages {
+			if restored.PageRelevant(p) != c.PageRelevant(p) {
+				t.Fatalf("aspect %s: restored classifier disagrees on page %d", a, p.ID)
+			}
+			if restored.PageScore(p) != c.PageScore(p) {
+				t.Fatalf("aspect %s: restored score drifts on page %d", a, p.ID)
+			}
+		}
+	}
+
+	// NewSet wraps restored classifiers with a working cache.
+	var cs []*Classifier
+	for _, c := range set.ByAspect {
+		cs = append(cs, FromParams(c.Params()))
+	}
+	ns := NewSet(cs)
+	for a := range set.ByAspect {
+		if !ns.Has(a) {
+			t.Fatalf("NewSet lost aspect %s", a)
+		}
+		for _, p := range pages[:8] {
+			if ns.Relevant(a, p) != set.Relevant(a, p) {
+				t.Fatalf("NewSet predicts differently for %s", a)
+			}
+		}
+	}
+}

@@ -121,6 +121,15 @@ type Config struct {
 	// starting changes iteration counts, not results (within SolverTol).
 	// Only effective together with IncrementalGraph.
 	WarmStart bool
+	// IncrementalPool keeps one persistent candidate pool Q_E per
+	// session, updated with per-step deltas — only newly ingested pages
+	// are enumerated (first-appearance order preserved) and fired
+	// queries are removed incrementally — instead of re-enumerating the
+	// n-grams of every gathered page on every step.
+	// Session.CandidatesReference retains the rebuild path; differential
+	// tests hold the two to identical pools. Per-step candidate
+	// generation drops from O(all pages) to O(new pages).
+	IncrementalPool bool
 	// InferWorkers bounds the worker pool used inside one inference
 	// step: delta containment checks when connecting candidates, and
 	// the per-candidate collective utilities of §V. 0 picks GOMAXPROCS;
@@ -128,6 +137,13 @@ type Config struct {
 	// selection, mirroring the search engine's oversubscription rule).
 	// Value-neutral: every worker count computes identical utilities.
 	InferWorkers int
+	// LearnWorkers bounds the worker pool inside the domain phase
+	// (LearnDomainScored): the DF/entity-DF counting pass is sharded
+	// over entity groups with a deterministic merge. 0 picks GOMAXPROCS;
+	// 1 is serial. Value-neutral: every worker count learns an
+	// identical DomainModel (LearnDomainReference is the retained
+	// serial rebuild path the differential tests compare against).
+	LearnWorkers int
 	// SearchShards, SearchScoreWorkers and SearchCacheSize tune the
 	// retrieval engine (see search.Options): index shard count, per-query
 	// scoring parallelism, and the LRU query-result cache capacity. All
@@ -161,6 +177,7 @@ func DefaultConfig() Config {
 		SolverTol:           1e-9,
 		SolverMaxIter:       200,
 		IncrementalGraph:    true,
+		IncrementalPool:     true,
 		WarmStart:           true,
 		Stopwords:           textproc.NewStopwords(),
 	}
@@ -175,6 +192,17 @@ func (c Config) inferWorkers() int {
 		return 1
 	}
 	return c.InferWorkers
+}
+
+// learnWorkers resolves the LearnWorkers knob to a concrete pool size.
+func (c Config) learnWorkers() int {
+	if c.LearnWorkers == 0 {
+		return runtime.GOMAXPROCS(0)
+	}
+	if c.LearnWorkers < 1 {
+		return 1
+	}
+	return c.LearnWorkers
 }
 
 // SearchOptions collects the retrieval-engine knobs for search.BuildIndexOpts

@@ -6,6 +6,7 @@ import (
 
 	"l2q/internal/corpus"
 	"l2q/internal/graph"
+	"l2q/internal/par"
 	"l2q/internal/template"
 	"l2q/internal/textproc"
 	"l2q/internal/types"
@@ -88,43 +89,197 @@ func LearnDomain(cfg Config, aspect corpus.Aspect, c *corpus.Corpus,
 // binary y still materializes the counting statistics (relevant-page
 // document frequencies, RelFraction) — those are set-cardinality notions.
 // A {0,1}-valued score reproduces LearnDomain exactly.
+//
+// The DF/entity-DF counting pass is sharded over a bounded worker pool
+// (Config.LearnWorkers) with a deterministic merge, and the per-page
+// enumerations it produces are reused for edge building instead of
+// re-sliding the n-gram window over every page a second time.
+// LearnDomainReference retains the serial single-pass implementation;
+// every worker count learns a model identical to it
+// (TestLearnDomainMatchesReference).
 func LearnDomainScored(cfg Config, aspect corpus.Aspect, c *corpus.Corpus,
 	domainEntities []corpus.EntityID, y func(*corpus.Page) bool,
 	score func(*corpus.Page) float64, rec types.Recognizer) (*DomainModel, error) {
 
-	var pages []*corpus.Page
-	for _, id := range domainEntities {
-		pages = append(pages, c.PagesOf(id)...)
+	pages := domainPages(c, domainEntities)
+	if len(pages) == 0 {
+		return nil, fmt.Errorf("core: domain phase has no pages (%d entities)", len(domainEntities))
 	}
+	counts := countDomainParallel(cfg, pages, y)
+	queries := surviveQueries(cfg, counts.pageDF)
+	b := buildDomainGraph(cfg, rec, pages, queries, func(i int, _ *corpus.Page) []string {
+		return counts.perPage[i]
+	})
+	return packageDomainModel(cfg, aspect, b, counts, pages, domainEntities, y, score)
+}
+
+// LearnDomainReference is the retained from-scratch domain phase: one
+// serial counting pass followed by a full re-enumeration pass for edge
+// building — the pre-parallel behavior, kept as the differential-testing
+// ground truth (mirroring Session.CandidatesReference / InferReference).
+func LearnDomainReference(cfg Config, aspect corpus.Aspect, c *corpus.Corpus,
+	domainEntities []corpus.EntityID, y func(*corpus.Page) bool,
+	score func(*corpus.Page) float64, rec types.Recognizer) (*DomainModel, error) {
+
+	pages := domainPages(c, domainEntities)
 	if len(pages) == 0 {
 		return nil, fmt.Errorf("core: domain phase has no pages (%d entities)", len(domainEntities))
 	}
 
 	// Pass 1: count page-DF, relevant-page-DF and entity-DF per n-gram.
 	ngCfg := cfg.ngramConfig(nil)
-	pageDF := make(map[string]int)
-	relDF := make(map[string]int)
-	entityDF := make(map[string]int)
+	counts := newDomainCounts()
 	lastEntity := make(map[string]corpus.EntityID)
-	nRelPages := 0
 	for _, p := range pages {
 		rel := y(p)
 		if rel {
-			nRelPages++
+			counts.nRelPages++
 		}
 		for _, q := range textproc.NGrams(p.Tokens(), ngCfg) {
-			pageDF[q]++
+			counts.pageDF[q]++
 			if rel {
-				relDF[q]++
+				counts.relDF[q]++
 			}
 			if le, seen := lastEntity[q]; !seen || le != p.Entity {
-				entityDF[q]++
+				counts.entityDF[q]++
 				lastEntity[q] = p.Entity
 			}
 		}
 	}
 
-	// Survivors: queries repeating across pages.
+	queries := surviveQueries(cfg, counts.pageDF)
+	// Edges come from a second enumeration pass: page p connects to query
+	// q iff q is one of p's own n-grams.
+	b := buildDomainGraph(cfg, rec, pages, queries, func(_ int, p *corpus.Page) []string {
+		return textproc.NGrams(p.Tokens(), ngCfg)
+	})
+	return packageDomainModel(cfg, aspect, b, counts, pages, domainEntities, y, score)
+}
+
+// domainPages gathers the domain split's pages in entity order.
+func domainPages(c *corpus.Corpus, domainEntities []corpus.EntityID) []*corpus.Page {
+	var pages []*corpus.Page
+	for _, id := range domainEntities {
+		pages = append(pages, c.PagesOf(id)...)
+	}
+	return pages
+}
+
+// domainCounts is the output of the domain phase's counting pass.
+type domainCounts struct {
+	pageDF    map[string]int
+	relDF     map[string]int
+	entityDF  map[string]int
+	nRelPages int
+	// perPage holds each page's enumeration, index-aligned with the page
+	// stream, so edge building reuses pass 1's work instead of
+	// re-enumerating. Nil on the reference path.
+	perPage [][]string
+}
+
+func newDomainCounts() *domainCounts {
+	return &domainCounts{
+		pageDF:   make(map[string]int),
+		relDF:    make(map[string]int),
+		entityDF: make(map[string]int),
+	}
+}
+
+// countDomainParallel shards the counting pass over entity runs: each
+// worker counts a contiguous range of entity-page runs into local maps
+// (the entity-DF "last entity" logic needs an entity's pages to stay
+// whole, which runs guarantee), the merge sums integer counts — so the
+// result is identical for every worker count. Page enumerations go
+// through the per-page memo (corpus.Page.NGrams) and are retained for
+// edge building.
+func countDomainParallel(cfg Config, pages []*corpus.Page, y func(*corpus.Page) bool) *domainCounts {
+	ngCfg := cfg.ngramConfig(nil)
+
+	// Maximal runs of consecutive pages with the same entity. The page
+	// stream is grouped per entity by construction, so runs ≈ entities.
+	// Run-aligned shards keep the per-shard "last entity" logic exact —
+	// an entity's pages never straddle a shard.
+	var runStart []int
+	runEntities := make(map[corpus.EntityID]struct{})
+	duplicated := false
+	for i, p := range pages {
+		if i == 0 || p.Entity != pages[i-1].Entity {
+			runStart = append(runStart, i)
+			if _, dup := runEntities[p.Entity]; dup {
+				duplicated = true
+			}
+			runEntities[p.Entity] = struct{}{}
+		}
+	}
+	runStart = append(runStart, len(pages))
+	nRuns := len(runStart) - 1
+
+	workers := cfg.learnWorkers()
+	if workers > nRuns {
+		workers = nRuns
+	}
+	if workers < 1 || duplicated {
+		// An entity appearing in more than one run (duplicate IDs in the
+		// domain sample) makes the serial entity-DF count depend on
+		// cross-run adjacency of each query's page subsequence — a global
+		// property shards cannot reproduce. Count serially (enumeration
+		// reuse still applies) so the result stays exactly the
+		// reference's on every input.
+		workers = 1
+	}
+
+	perPage := make([][]string, len(pages))
+	locals := make([]*domainCounts, workers)
+	par.For(workers, workers, func(w int) {
+		local := newDomainCounts()
+		lastEntity := make(map[string]corpus.EntityID)
+		lo, hi := runStart[w*nRuns/workers], runStart[(w+1)*nRuns/workers]
+		for i := lo; i < hi; i++ {
+			p := pages[i]
+			rel := y(p)
+			if rel {
+				local.nRelPages++
+			}
+			grams := p.NGrams(ngCfg)
+			perPage[i] = grams // each index belongs to exactly one worker
+			for _, q := range grams {
+				local.pageDF[q]++
+				if rel {
+					local.relDF[q]++
+				}
+				if le, seen := lastEntity[q]; !seen || le != p.Entity {
+					local.entityDF[q]++
+					lastEntity[q] = p.Entity
+				}
+			}
+		}
+		locals[w] = local
+	})
+
+	if workers == 1 {
+		locals[0].perPage = perPage
+		return locals[0]
+	}
+	merged := newDomainCounts()
+	merged.perPage = perPage
+	for _, local := range locals {
+		merged.nRelPages += local.nRelPages
+		for q, n := range local.pageDF {
+			merged.pageDF[q] += n
+		}
+		for q, n := range local.relDF {
+			merged.relDF[q] += n
+		}
+		for q, n := range local.entityDF {
+			merged.entityDF[q] += n
+		}
+	}
+	return merged
+}
+
+// surviveQueries keeps the n-grams repeating across pages, in sorted
+// (deterministic node) order.
+func surviveQueries(cfg Config, pageDF map[string]int) []string {
 	minDF := cfg.MinQueryPageDF
 	if minDF < 1 {
 		minDF = 1
@@ -135,15 +290,20 @@ func LearnDomainScored(cfg Config, aspect corpus.Aspect, c *corpus.Corpus,
 			queries = append(queries, q)
 		}
 	}
-	sort.Strings(queries) // deterministic node order
+	sort.Strings(queries)
+	return queries
+}
 
-	// Build the domain graph. Edges come from a second enumeration pass:
-	// page p connects to query q iff q is one of p's own n-grams. (The
-	// entity phase uses conjunctive containment instead, because its
-	// candidate pool includes domain queries that are not n-grams of the
-	// current pages; here queries are generated from the pages, exactly
-	// as §III describes — "Q can be generated from P, such as by taking
-	// all n-grams in P as queries".)
+// buildDomainGraph assembles the domain reinforcement graph: page and
+// query vertices, then page–query edges from each page's own enumeration
+// (the entity phase uses conjunctive containment instead, because its
+// candidate pool includes domain queries that are not n-grams of the
+// current pages; here queries are generated from the pages, exactly as
+// §III describes — "Q can be generated from P, such as by taking all
+// n-grams in P as queries"). enum supplies page i's n-grams.
+func buildDomainGraph(cfg Config, rec types.Recognizer, pages []*corpus.Page,
+	queries []string, enum func(i int, p *corpus.Page) []string) *graphBuilder {
+
 	b := newGraphBuilder(cfg, rec)
 	for _, p := range pages {
 		b.addPage(p)
@@ -151,15 +311,23 @@ func LearnDomainScored(cfg Config, aspect corpus.Aspect, c *corpus.Corpus,
 	for _, q := range queries {
 		b.addQuery(Query(q))
 	}
-	for _, p := range pages {
-		for _, qs := range textproc.NGrams(p.Tokens(), ngCfg) {
+	for i, p := range pages {
+		for _, qs := range enum(i, p) {
 			if _, ok := b.queries[Query(qs)]; ok {
 				b.addPQEdge(p, Query(qs))
 			}
 		}
 	}
+	return b
+}
 
-	// Solve the three fixpoints.
+// packageDomainModel solves the three fixpoints over the assembled domain
+// graph and packages the DomainModel: template/query utilities, the
+// probability-scale counting statistics, and the §IV-C candidate pool.
+func packageDomainModel(cfg Config, aspect corpus.Aspect, b *graphBuilder,
+	counts *domainCounts, pages []*corpus.Page, domainEntities []corpus.EntityID,
+	y func(*corpus.Page) bool, score func(*corpus.Page) float64) (*DomainModel, error) {
+
 	var yReg regPair
 	if score != nil {
 		yReg = b.pageRegularizationScored(score)
@@ -179,6 +347,9 @@ func LearnDomainScored(cfg Config, aspect corpus.Aspect, c *corpus.Corpus,
 	if err != nil {
 		return nil, err
 	}
+
+	nRelPages := counts.nRelPages
+	relDF, pageDF, entityDF := counts.relDF, counts.pageDF, counts.entityDF
 
 	dm := &DomainModel{
 		Aspect:             aspect,
@@ -258,9 +429,9 @@ func LearnDomainScored(cfg Config, aspect corpus.Aspect, c *corpus.Corpus,
 		n int
 	}
 	var cands []qc
-	for _, q := range queries {
-		if n := entityDF[q]; n >= minEnt {
-			cands = append(cands, qc{q: Query(q), n: n})
+	for _, q := range b.queryList {
+		if n := entityDF[string(q)]; n >= minEnt {
+			cands = append(cands, qc{q: q, n: n})
 		}
 	}
 	sort.Slice(cands, func(i, j int) bool {

@@ -104,6 +104,7 @@ func TestIncrementalMatchesReference(t *testing.T) {
 				refCfg := f.diffConfig()
 				refCfg.IncrementalGraph = false
 				refCfg.WarmStart = false
+				refCfg.IncrementalPool = false
 
 				inc := f.sessionWith(incCfg, f.dm)
 				ref := f.sessionWith(refCfg, f.dm)
@@ -183,6 +184,7 @@ func TestIncrementalSelectionsMatchReference(t *testing.T) {
 				refCfg := f.diffConfig()
 				refCfg.IncrementalGraph = false
 				refCfg.WarmStart = false
+				refCfg.IncrementalPool = false
 
 				fired := f.sessionWith(incCfg, f.dm).Run(sel, 3)
 				want := f.sessionWith(refCfg, f.dm).Run(sel, 3)
@@ -216,6 +218,7 @@ func TestIncrementalMatchesReferenceAcrossSolvers(t *testing.T) {
 			refCfg := incCfg
 			refCfg.IncrementalGraph = false
 			refCfg.WarmStart = false
+			refCfg.IncrementalPool = false
 
 			inc := f.sessionWith(incCfg, f.dm)
 			ref := f.sessionWith(refCfg, f.dm)

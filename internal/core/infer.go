@@ -4,6 +4,7 @@ import (
 	"math"
 
 	"l2q/internal/graph"
+	"l2q/internal/par"
 )
 
 // InferOptions selects which parts of the L2Q model an inference run uses,
@@ -190,7 +191,7 @@ func (s *Session) collectiveCover(inf *Inference, b *graphBuilder, opts InferOpt
 	inf.CollR = make([]float64, len(inf.Queries))
 	inf.CollRStar = make([]float64, len(inf.Queries))
 	inf.CollP = make([]float64, len(inf.Queries))
-	parallelFor(len(inf.Queries), s.Cfg.inferWorkers(), func(i int) {
+	par.For(len(inf.Queries), s.Cfg.inferWorkers(), func(i int) {
 		q := inf.Queries[i]
 
 		// Exact redundancy conditionals over the gathered pages.

@@ -59,9 +59,20 @@ type Session struct {
 	pages    []*corpus.Page
 	pageSet  map[corpus.PageID]struct{}
 
+	// ngCfg is the candidate-enumeration config (seed-token exclusion),
+	// built once at session construction: the seed never changes, so
+	// rebuilding the stopword/exclude maps per step was pure churn.
+	ngCfg textproc.NGramConfig
+
 	// sg is the persistent entity graph (Config.IncrementalGraph): built
 	// lazily on the first Infer and updated with deltas each step.
 	sg *sessionGraph
+
+	// pool is the persistent candidate pool Q_E (Config.IncrementalPool):
+	// built lazily on the first selection and synced with per-step deltas
+	// — only new pages are enumerated and fired queries are removed —
+	// mirroring sg's lifecycle.
+	pool *candidatePool
 
 	// rPhi and rStarPhi are R_E(Φ) and R*_E(Φ), the collective recalls
 	// of the context w.r.t. Y and Y* (§V-A). They are maintained from
@@ -91,7 +102,7 @@ func NewSession(cfg Config, engine Retriever, entity *corpus.Entity,
 	aspect corpus.Aspect, y func(*corpus.Page) bool, dm *DomainModel,
 	rec types.Recognizer, rngSeed uint64) *Session {
 
-	return &Session{
+	s := &Session{
 		Cfg:      cfg,
 		Engine:   engine,
 		Entity:   entity,
@@ -104,6 +115,8 @@ func NewSession(cfg Config, engine Retriever, entity *corpus.Entity,
 		pageSet:  make(map[corpus.PageID]struct{}),
 		rng:      rand.New(rand.NewPCG(rngSeed, rngSeed^0xa5a5a5a55a5a5a5a)),
 	}
+	s.ngCfg = cfg.ngramConfig(s.seed)
+	return s
 }
 
 // Pages returns the current result pages P_E in retrieval order.
@@ -438,13 +451,35 @@ func (s *Session) Candidates(useDomain bool) []Query {
 	return s.candidateQueries(useDomain)
 }
 
-// candidateQueries enumerates the entity-phase candidate pool Q_E: n-grams
+// candidateQueries produces the entity-phase candidate pool Q_E: n-grams
 // of the current result pages (excluding seed tokens), optionally extended
 // with the domain candidates (§IV-C), minus already-fired queries. The
 // result is deterministic: page n-grams in first-appearance order, then
 // domain candidates.
+//
+// With Config.IncrementalPool (the default) the pool persists across steps
+// and is synced with deltas — only new pages are enumerated and fired
+// queries removed; CandidatesReference is the retained rebuild-per-step
+// path, and the two produce identical pools (TestCandidatePoolMatchesReference).
 func (s *Session) candidateQueries(useDomain bool) []Query {
-	ngCfg := s.Cfg.ngramConfig(s.seed)
+	if !s.Cfg.IncrementalPool {
+		return s.CandidatesReference(useDomain)
+	}
+	dm := s.DM
+	if !useDomain {
+		dm = nil
+	}
+	if !s.pool.matches(useDomain, dm) {
+		s.pool = newCandidatePool(useDomain, dm)
+	}
+	return s.pool.sync(s)
+}
+
+// CandidatesReference is the from-scratch candidate enumeration: it
+// re-enumerates the n-grams of every gathered page on every call. It is
+// the differential-testing ground truth for the incremental pool,
+// mirroring Session.InferReference and search.Engine.SearchReference.
+func (s *Session) CandidatesReference(useDomain bool) []Query {
 	seen := make(map[Query]struct{})
 	var out []Query
 	add := func(q Query) {
@@ -458,7 +493,7 @@ func (s *Session) candidateQueries(useDomain bool) []Query {
 		out = append(out, q)
 	}
 	for _, p := range s.pages {
-		for _, qs := range textproc.NGrams(p.Tokens(), ngCfg) {
+		for _, qs := range textproc.NGrams(p.Tokens(), s.ngCfg) {
 			add(Query(qs))
 		}
 	}

@@ -82,6 +82,7 @@ func referenceBenchConfig(g *synth.Generated) Config {
 	cfg.Tokenizer = g.Tokenizer
 	cfg.IncrementalGraph = false
 	cfg.WarmStart = false
+	cfg.IncrementalPool = false
 	return cfg
 }
 
@@ -143,6 +144,7 @@ func BenchmarkSessionStep(b *testing.B) {
 					b.StopTimer()
 					cfg := referenceBenchConfig(env.g)
 					cfg.IncrementalGraph = v.incremental
+					cfg.IncrementalPool = v.incremental
 					cfg.WarmStart = v.warm
 					s := env.session(cfg)
 					env.replay(b, s, opts, v.incremental)
@@ -183,12 +185,103 @@ func BenchmarkInfer(b *testing.B) {
 			b.Run(d.name+"/"+coll.name+"/incremental", func(b *testing.B) {
 				cfg := referenceBenchConfig(env.g)
 				cfg.IncrementalGraph = true
+				cfg.IncrementalPool = true
 				cfg.WarmStart = true
 				s := env.session(cfg)
 				env.replay(b, s, coll.opts, true)
 				b.ResetTimer()
 				for i := 0; i < b.N; i++ {
 					if _, err := s.Infer(coll.opts); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+		}
+	}
+}
+
+// BenchmarkCandidateStep measures one candidate-pool generation at step
+// ≥5 — the dominant remaining per-step cost the incremental pool
+// refactor targets. "reference" re-enumerates the n-grams of every
+// gathered page per call (the pre-refactor path, retained as
+// CandidatesReference); "incremental" syncs the persistent pool against
+// the last fire's pending delta, the exact state a live step sees. The
+// acceptance bar is ≥2x at step ≥5.
+func BenchmarkCandidateStep(b *testing.B) {
+	opts := InferOptions{UseTemplates: true, UseDomainCandidates: true, Collective: true}
+	for _, d := range benchDomains {
+		env := benchEnvFor(b, d.domain, d.aspect)
+		b.Run(d.name+"/reference", func(b *testing.B) {
+			cfg := referenceBenchConfig(env.g)
+			s := env.session(cfg)
+			env.replay(b, s, opts, false)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if len(s.CandidatesReference(true)) == 0 {
+					b.Fatal("empty pool")
+				}
+			}
+		})
+		b.Run(d.name+"/incremental", func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				b.StopTimer()
+				cfg := referenceBenchConfig(env.g)
+				cfg.IncrementalPool = true
+				s := env.session(cfg)
+				// Warm the pool through the prefix (Candidates per step),
+				// leaving the final fire's page delta pending — a live
+				// step's exact state.
+				s.Bootstrap()
+				for _, q := range env.prefix {
+					if len(s.Candidates(true)) == 0 {
+						b.Fatal("pool ran dry during replay")
+					}
+					s.Fire(q)
+				}
+				b.StartTimer()
+				if len(s.Candidates(true)) == 0 {
+					b.Fatal("empty pool")
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkLearnDomain measures the domain phase end to end on both
+// domains: "reference" is the retained serial two-pass implementation
+// (count, then re-enumerate for edges); "serial" is the refactored pass
+// at one worker (enumeration reuse + per-page memo, no parallelism);
+// "parallel" adds the sharded counting pass at GOMAXPROCS. On the CI's
+// multi-core runners the parallel gain lands on top of the reuse gain.
+func BenchmarkLearnDomain(b *testing.B) {
+	for _, d := range benchDomains {
+		env := benchEnvFor(b, d.domain, d.aspect)
+		var domainIDs []corpus.EntityID
+		for i := 0; i < env.g.Corpus.NumEntities()/2; i++ {
+			domainIDs = append(domainIDs, env.g.Corpus.Entities[i].ID)
+		}
+		cfg := DefaultConfig()
+		cfg.Tokenizer = env.g.Tokenizer
+		variants := []struct {
+			name  string
+			learn func() (*DomainModel, error)
+		}{
+			{"reference", func() (*DomainModel, error) {
+				return LearnDomainReference(cfg, env.aspect, env.g.Corpus, domainIDs, env.y, nil, env.rec)
+			}},
+			{"serial", func() (*DomainModel, error) {
+				c := cfg
+				c.LearnWorkers = 1
+				return LearnDomainScored(c, env.aspect, env.g.Corpus, domainIDs, env.y, nil, env.rec)
+			}},
+			{"parallel", func() (*DomainModel, error) {
+				return LearnDomainScored(cfg, env.aspect, env.g.Corpus, domainIDs, env.y, nil, env.rec)
+			}},
+		}
+		for _, v := range variants {
+			b.Run(d.name+"/"+v.name, func(b *testing.B) {
+				for i := 0; i < b.N; i++ {
+					if _, err := v.learn(); err != nil {
 						b.Fatal(err)
 					}
 				}

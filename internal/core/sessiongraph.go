@@ -1,11 +1,9 @@
 package core
 
 import (
-	"sync"
-	"sync/atomic"
-
 	"l2q/internal/corpus"
 	"l2q/internal/graph"
+	"l2q/internal/par"
 )
 
 // sessionGraph is the persistent entity reinforcement graph of one
@@ -132,7 +130,7 @@ func (sg *sessionGraph) ingest(s *Session, cands []Query) {
 
 	// Phase A: new queries × old pages.
 	matchesA := make([][]pqMatch, len(newQs))
-	parallelFor(len(newQs), workers, func(i int) {
+	par.For(len(newQs), workers, func(i int) {
 		matchesA[i] = b.findMatches(newQs[i], oldSlice, 0)
 	})
 
@@ -147,7 +145,7 @@ func (sg *sessionGraph) ingest(s *Session, cands []Query) {
 		}
 	}
 	matchesB := make([][]pqMatch, len(attached))
-	parallelFor(len(attached), workers, func(i int) {
+	par.For(len(attached), workers, func(i int) {
 		matchesB[i] = b.findMatches(attached[i], newSlice, int32(oldPages))
 	})
 
@@ -288,35 +286,4 @@ func (s *Session) inferIncremental(opts InferOptions) (*Inference, error) {
 		return sg.coverRel[inf.Queries[i]], sg.coverAll[inf.Queries[i]]
 	})
 	return inf, nil
-}
-
-// parallelFor runs fn(0..n-1) over a bounded worker pool. workers ≤ 1
-// runs inline. Iterations must be independent; each index is executed
-// exactly once.
-func parallelFor(n, workers int, fn func(int)) {
-	if workers > n {
-		workers = n
-	}
-	if workers <= 1 {
-		for i := 0; i < n; i++ {
-			fn(i)
-		}
-		return
-	}
-	var next atomic.Int64
-	var wg sync.WaitGroup
-	wg.Add(workers)
-	for w := 0; w < workers; w++ {
-		go func() {
-			defer wg.Done()
-			for {
-				i := int(next.Add(1)) - 1
-				if i >= n {
-					return
-				}
-				fn(i)
-			}
-		}()
-	}
-	wg.Wait()
 }

@@ -60,6 +60,10 @@ type Page struct {
 	tokens   []textproc.Token // cached concatenation of paragraph tokens
 	setOnce  sync.Once
 	tokenSet map[textproc.Token]struct{}
+	// ngrams memoizes candidate-query enumerations per config: sessions,
+	// domain learning and §V coverage share one enumeration of the
+	// immutable page instead of re-sliding the window each time.
+	ngrams textproc.NGramMemo
 }
 
 // Tokens returns the page's full token stream (paragraphs concatenated),
@@ -76,6 +80,14 @@ func (p *Page) Tokens() []textproc.Token {
 		}
 	})
 	return p.tokens
+}
+
+// NGrams returns the page's deduplicated candidate n-grams under cfg in
+// first-appearance order (textproc.NGrams over Tokens), computing each
+// distinct config's enumeration at most once for the page's lifetime.
+// The returned slice is shared — callers must not mutate it.
+func (p *Page) NGrams(cfg textproc.NGramConfig) []string {
+	return p.ngrams.NGrams(p.Tokens(), cfg)
 }
 
 // HasToken reports whether the page contains the token anywhere; the set is

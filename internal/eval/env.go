@@ -18,6 +18,7 @@ import (
 	"l2q/internal/classify"
 	"l2q/internal/core"
 	"l2q/internal/corpus"
+	"l2q/internal/par"
 	"l2q/internal/search"
 	"l2q/internal/synth"
 	"l2q/internal/types"
@@ -128,6 +129,13 @@ func (e *Env) domainSampleIDs(k int) []corpus.EntityID {
 // for an aspect using `sample` domain entities; sample ≤ 0 uses the
 // configured default.
 func (e *Env) DomainModel(aspect corpus.Aspect, sample int) (*core.DomainModel, error) {
+	return e.domainModel(aspect, sample, e.Cfg.Core)
+}
+
+// domainModel is DomainModel with an explicit learning config, so the
+// parallel pretrainer can serialize the inner counting pass without
+// changing what gets cached (worker counts are value-neutral).
+func (e *Env) domainModel(aspect corpus.Aspect, sample int, cfg core.Config) (*core.DomainModel, error) {
 	if sample <= 0 {
 		sample = e.Cfg.DomainSample
 	}
@@ -138,7 +146,7 @@ func (e *Env) DomainModel(aspect corpus.Aspect, sample int) (*core.DomainModel, 
 	if ok {
 		return dm, nil
 	}
-	dm, err := core.LearnDomain(e.Cfg.Core, aspect, e.G.Corpus,
+	dm, err := core.LearnDomain(cfg, aspect, e.G.Corpus,
 		e.domainSampleIDs(sample), e.Cls.YFunc(aspect), e.Rec)
 	if err != nil {
 		return nil, err
@@ -147,6 +155,35 @@ func (e *Env) DomainModel(aspect corpus.Aspect, sample int) (*core.DomainModel, 
 	e.dms[key] = dm
 	e.mu.Unlock()
 	return dm, nil
+}
+
+// PretrainDomainModels learns (and caches) the domain model of every
+// target aspect up front, aspects in parallel under the environment's
+// worker bound — the eval-side mirror of the server's warm boot, so an
+// all-aspects experiment pays the domain phase concurrently instead of
+// serially on each aspect's first session. Value-neutral: each model is
+// byte-identical to the one lazy learning would build (the per-model
+// counting pass itself is additionally sharded over Core.LearnWorkers).
+func (e *Env) PretrainDomainModels(sample int) error {
+	aspects := e.G.Aspects
+	errs := make([]error, len(aspects))
+	inner := e.Cfg.Core
+	if e.parallelism() > 1 && len(aspects) > 1 && inner.LearnWorkers == 0 {
+		// Same oversubscription rule as the pipeline scheduler: aspect-
+		// level parallelism already saturates the CPU, so each model's
+		// counting pass runs serial — unless the caller set an explicit
+		// worker count, which is honored verbatim. Value-neutral.
+		inner.LearnWorkers = -1
+	}
+	par.For(len(aspects), e.parallelism(), func(i int) {
+		_, errs[i] = e.domainModel(aspects[i], sample, inner)
+	})
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
 // HRModel returns (building and caching on first use) the harvest-rate

@@ -218,6 +218,13 @@ func (e *Env) RunMethodAllAspects(m Method, entityIDs []corpus.EntityID,
 	if nQueries <= 0 {
 		nQueries = e.Cfg.NumQueries
 	}
+	// Warm the per-aspect domain-model cache concurrently before the
+	// serial aspect loop pays each one on first use.
+	if m.needsDomainModel() && domainSample != 0 {
+		if err := e.PretrainDomainModels(domainSample); err != nil {
+			return RunResult{Method: m}, err
+		}
+	}
 	agg := RunResult{Method: m, PerIteration: make([]PRF, nQueries)}
 	var selSec float64
 	for _, aspect := range e.G.Aspects {

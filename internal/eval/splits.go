@@ -9,6 +9,7 @@ import (
 	"l2q/internal/classify"
 	"l2q/internal/core"
 	"l2q/internal/corpus"
+	"l2q/internal/par"
 	"l2q/internal/search"
 	"l2q/internal/synth"
 	"l2q/internal/types"
@@ -36,19 +37,34 @@ func NewEnvs(cfg Config, n int) ([]*Env, error) {
 	sopts := cfg.Core.SearchOptions()
 	engine := search.NewEngineOpts(search.BuildIndexOpts(g.Corpus.Pages, sopts), sopts)
 
-	envs := make([]*Env, 0, n)
-	for i := 0; i < n; i++ {
-		env, err := newEnvFrom(cfg, g, engine, cfg.Seed+uint64(i)*7919)
+	// Splits are independent (each trains its own classifiers over its
+	// own domain half) and each split's state is fully determined by its
+	// seed, so building them concurrently is value-neutral; classifier
+	// training inside one split additionally parallelizes over aspects.
+	envs := make([]*Env, n)
+	errs := make([]error, n)
+	trainWorkers := cfg.Core.LearnWorkers
+	if n > 1 && trainWorkers == 0 {
+		// Oversubscription rule: split-level parallelism already fills
+		// the CPU, so per-split classifier training runs serial unless
+		// an explicit worker count was requested. Value-neutral.
+		trainWorkers = -1
+	}
+	par.For(n, 0, func(i int) {
+		envs[i], errs[i] = newEnvFrom(cfg, g, engine, cfg.Seed+uint64(i)*7919, trainWorkers)
+	})
+	for i, err := range errs {
 		if err != nil {
 			return nil, fmt.Errorf("eval: split %d: %w", i, err)
 		}
-		envs = append(envs, env)
 	}
 	return envs, nil
 }
 
 // newEnvFrom wires an Env over shared corpus/engine with one split.
-func newEnvFrom(cfg Config, g *synth.Generated, engine *search.Engine, splitSeed uint64) (*Env, error) {
+// trainWorkers bounds this split's classifier training only (the caller
+// serializes it when building splits in parallel).
+func newEnvFrom(cfg Config, g *synth.Generated, engine *search.Engine, splitSeed uint64, trainWorkers int) (*Env, error) {
 	if cfg.NumQueries <= 0 {
 		cfg.NumQueries = 3
 	}
@@ -87,7 +103,7 @@ func newEnvFrom(cfg Config, g *synth.Generated, engine *search.Engine, splitSeed
 	for _, id := range env.DomainIDs {
 		trainPages = append(trainPages, g.Corpus.PagesOf(id)...)
 	}
-	env.Cls = classify.TrainSet(g.Aspects, trainPages)
+	env.Cls = classify.TrainSetWorkers(g.Aspects, trainPages, trainWorkers)
 	for _, a := range g.Aspects {
 		if _, ok := env.Cls.ByAspect[a]; !ok {
 			return nil, fmt.Errorf("eval: no classifier trained for aspect %s", a)

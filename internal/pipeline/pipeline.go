@@ -82,6 +82,16 @@ type Config struct {
 	// leaves sessions untouched. Positive values are applied verbatim.
 	// Value-neutral either way: worker counts never change utilities.
 	InferWorkers int
+	// LearnWorkers sets every job session's domain-phase parallelism
+	// (core.Config.LearnWorkers). Sessions themselves never learn a
+	// domain model mid-run, but their Config is the one any caller-side
+	// learning (warm-up, re-learning on model invalidation) inherits, so
+	// the knob is threaded for the same reason InferWorkers is. Unlike
+	// inference there is no oversubscription rule: learning happens
+	// outside the select pool, so 0 leaves sessions untouched and
+	// positive values are applied verbatim. Value-neutral: every worker
+	// count learns identical models.
+	LearnWorkers int
 }
 
 func (c Config) withDefaults() Config {
@@ -131,19 +141,27 @@ func (c Config) tuneEngines(jobs []Job, tuned map[*search.Engine]*search.Engine)
 	}
 }
 
-// tuneSessions applies the Config.InferWorkers policy to every job
-// session (see the field doc; the inference analogue of tuneEngines).
+// tuneSessions applies the Config.InferWorkers and Config.LearnWorkers
+// policies to every job session (see the field docs; the inference
+// analogue of tuneEngines).
 func (c Config) tuneSessions(jobs []Job) {
 	w := c.InferWorkers
-	if w == 0 {
-		if c.SelectWorkers <= 1 {
-			return
-		}
+	if w == 0 && c.SelectWorkers > 1 {
 		w = 1 // serial inference under parallel selection
 	}
+	if w == 0 && c.LearnWorkers == 0 {
+		return
+	}
 	for i := range jobs {
-		if s := jobs[i].Session; s != nil {
+		s := jobs[i].Session
+		if s == nil {
+			continue
+		}
+		if w != 0 {
 			s.Cfg.InferWorkers = w
+		}
+		if c.LearnWorkers != 0 {
+			s.Cfg.LearnWorkers = c.LearnWorkers
 		}
 	}
 }

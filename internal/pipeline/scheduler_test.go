@@ -10,6 +10,7 @@ import (
 	"l2q/internal/core"
 	"l2q/internal/corpus"
 	"l2q/internal/search"
+	"l2q/internal/synth"
 )
 
 // outcome is one session's observable result: the fired sequence and the
@@ -423,5 +424,84 @@ func TestSchedulerSharesTunedEngine(t *testing.T) {
 	}
 	if e1 == core.Retriever(f.engine) {
 		t.Fatal("engine was not re-tuned at all under parallel selection")
+	}
+}
+
+// TestSchedulerSharedEnumerationRace drives concurrent scheduler batches
+// over the same entities WHILE the domain phase re-learns over the same
+// corpus: every one of those consumers enumerates the same immutable
+// pages through the per-page n-gram memo (corpus.Page.NGrams), so this is
+// the -race exercise for the shared-enumeration layer. Parity with the
+// sequential reference must survive the contention.
+func TestSchedulerSharedEnumerationRace(t *testing.T) {
+	f := newFixture(t)
+	targets := f.targets(4)
+	const nQueries = 2
+	want := sequentialReference(f, targets, nQueries)
+
+	s := New(Config{SelectWorkers: 3, FetchWorkers: 6})
+	defer s.Close()
+
+	var domainIDs []corpus.EntityID
+	for i := 0; i < f.g.Corpus.NumEntities()/2; i++ {
+		domainIDs = append(domainIDs, f.g.Corpus.Entities[i].ID)
+	}
+	learnCfg := f.cfg
+	learnCfg.LearnWorkers = 4
+
+	stop := make(chan struct{})
+	learnErr := make(chan error, 1)
+	go func() {
+		defer close(learnErr)
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			// Same pages, exclusion-free enumeration config: shares the
+			// memo maps the harvesting sessions populate concurrently.
+			if _, err := core.LearnDomainScored(learnCfg, synth.AspResearch,
+				f.g.Corpus, domainIDs, f.y, nil, f.rec); err != nil {
+				learnErr <- err
+				return
+			}
+		}
+	}()
+
+	const submitters = 3
+	var wg sync.WaitGroup
+	for sub := 0; sub < submitters; sub++ {
+		wg.Add(1)
+		go func(sub int) {
+			defer wg.Done()
+			jobs := make([]Job, len(targets))
+			sessions := make([]*core.Session, len(targets))
+			for i, e := range targets {
+				sessions[i] = f.session(e, nil)
+				jobs[i] = Job{Session: sessions[i], Selector: core.NewL2QBAL(), NQueries: nQueries}
+			}
+			b, err := s.Submit(context.Background(), jobs, BatchOptions{})
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			results := b.Await(context.Background())
+			for i := range targets {
+				if results[i].Err != nil {
+					t.Errorf("submitter %d job %d: %v", sub, i, results[i].Err)
+					continue
+				}
+				got := sessionOutcome(results[i].Fired, sessions[i])
+				if !reflect.DeepEqual(got, want[i]) {
+					t.Errorf("submitter %d entity %d diverged under shared enumeration", sub, targets[i].ID)
+				}
+			}
+		}(sub)
+	}
+	wg.Wait()
+	close(stop)
+	if err := <-learnErr; err != nil {
+		t.Fatalf("concurrent domain learning failed: %v", err)
 	}
 }

@@ -1,0 +1,145 @@
+package store
+
+import (
+	"bytes"
+	"reflect"
+	"testing"
+
+	"l2q/internal/classify"
+	"l2q/internal/core"
+	"l2q/internal/corpus"
+	"l2q/internal/synth"
+	"l2q/internal/types"
+)
+
+// learnArtifact trains real classifiers and domain models over a small
+// synthetic corpus — the artifact producers (l2qstore domains) persist.
+func learnArtifact(t testing.TB) (*DomainArtifact, *corpus.Corpus, *classify.Set) {
+	t.Helper()
+	g, err := synth.Generate(synth.TestConfig(synth.DomainResearchers))
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := g.Corpus
+	aspects := c.Aspects()
+	cls := classify.TrainSet(aspects, c.Pages)
+	cfg := core.DefaultConfig()
+	cfg.Tokenizer = ReconstructTokenizer(c)
+	rec := types.NewRegexRecognizer()
+	var ids []corpus.EntityID
+	for _, e := range c.Entities[:c.NumEntities()/2] {
+		ids = append(ids, e.ID)
+	}
+	art := &DomainArtifact{CorpusDomain: c.Domain, NumEntities: c.NumEntities(), NumPages: c.NumPages()}
+	for _, a := range aspects {
+		if !cls.Has(a) {
+			continue
+		}
+		dm, err := core.LearnDomain(cfg, a, c, ids, cls.YFunc(a), rec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		art.Models = append(art.Models, dm)
+		art.Classifiers = append(art.Classifiers, cls.ByAspect[a].Params())
+	}
+	if len(art.Models) == 0 {
+		t.Fatal("no models learned")
+	}
+	return art, c, cls
+}
+
+// TestDomainsRoundTrip: every model and classifier parameter survives the
+// codec exactly — the float64s carry IEEE bits verbatim, so a warm-booted
+// server computes byte-identical selections.
+func TestDomainsRoundTrip(t *testing.T) {
+	art, c, cls := learnArtifact(t)
+
+	var buf bytes.Buffer
+	if err := SaveDomains(&buf, art); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := LoadDomains(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loaded.CorpusDomain != art.CorpusDomain ||
+		loaded.NumEntities != art.NumEntities || loaded.NumPages != art.NumPages {
+		t.Fatalf("meta mismatch: %+v", loaded)
+	}
+	if len(loaded.Models) != len(art.Models) {
+		t.Fatalf("loaded %d models, saved %d", len(loaded.Models), len(art.Models))
+	}
+	for i, dm := range art.Models {
+		if !reflect.DeepEqual(loaded.Models[i], dm) {
+			t.Errorf("model %s did not round-trip exactly", dm.Aspect)
+		}
+	}
+
+	// Restored classifiers must predict identically on every page.
+	set := loaded.ClassifierSet()
+	if set == nil {
+		t.Fatal("no classifiers restored")
+	}
+	for _, dm := range art.Models {
+		a := dm.Aspect
+		for _, p := range c.Pages {
+			if set.Relevant(a, p) != cls.Relevant(a, p) {
+				t.Fatalf("aspect %s page %d: restored classifier disagrees", a, p.ID)
+			}
+		}
+	}
+}
+
+// TestDomainsDeterministicBytes: the same artifact always encodes to the
+// same bytes (maps are sorted before encoding).
+func TestDomainsDeterministicBytes(t *testing.T) {
+	art, _, _ := learnArtifact(t)
+	var a, b bytes.Buffer
+	if err := SaveDomains(&a, art); err != nil {
+		t.Fatal(err)
+	}
+	if err := SaveDomains(&b, art); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a.Bytes(), b.Bytes()) {
+		t.Fatal("two saves of one artifact produced different bytes")
+	}
+}
+
+// TestDomainsCorruption: a flipped payload byte fails the section CRC
+// instead of decoding garbage.
+func TestDomainsCorruption(t *testing.T) {
+	art, _, _ := learnArtifact(t)
+	var buf bytes.Buffer
+	if err := SaveDomains(&buf, art); err != nil {
+		t.Fatal(err)
+	}
+	raw := buf.Bytes()
+	corrupted := append([]byte(nil), raw...)
+	corrupted[len(corrupted)/2] ^= 0xff
+	if _, err := LoadDomains(bytes.NewReader(corrupted)); err == nil {
+		t.Fatal("corrupted artifact loaded without error")
+	}
+
+	if _, err := LoadDomains(bytes.NewReader([]byte("NOTADOM"))); err == nil {
+		t.Fatal("bad magic accepted")
+	}
+}
+
+// TestDomainsFileRoundTrip covers the atomic file helpers.
+func TestDomainsFileRoundTrip(t *testing.T) {
+	art, _, _ := learnArtifact(t)
+	path := t.TempDir() + "/x.domains"
+	if err := SaveDomainsFile(path, art); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := LoadDomainsFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// learnArtifact builds models in sorted-aspect order, which is also
+	// the codec's canonical order, so a direct compare is exact.
+	if !reflect.DeepEqual(loaded.Models, art.Models) {
+		t.Fatal("file round trip lost model state")
+	}
+}

@@ -1,0 +1,108 @@
+package textproc
+
+import (
+	"fmt"
+	"reflect"
+	"sync"
+	"testing"
+)
+
+func memoTokens() []Token {
+	return []Token{"deep", "learning", "for", "entity", "search", "deep", "learning"}
+}
+
+// TestNGramMemoSharesEnumeration: repeated calls under one config return
+// the SAME slice (shared, computed once), and the contents match a direct
+// enumeration exactly.
+func TestNGramMemoSharesEnumeration(t *testing.T) {
+	toks := memoTokens()
+	cfg := NGramConfig{MaxLen: 3, Stopwords: NewStopwords()}
+	var m NGramMemo
+	a := m.NGrams(toks, cfg)
+	b := m.NGrams(toks, cfg)
+	if len(a) == 0 {
+		t.Fatal("empty enumeration")
+	}
+	if &a[0] != &b[0] {
+		t.Fatal("second call re-enumerated instead of sharing the cached slice")
+	}
+	if want := NGrams(toks, cfg); !reflect.DeepEqual(a, want) {
+		t.Fatalf("memoized enumeration %v != direct %v", a, want)
+	}
+}
+
+// TestNGramMemoKeysByExclusion: configs with different exclude sets (the
+// per-entity seed tokens) get distinct cache entries, and the same
+// exclude set built in a different map fill order hits the same entry.
+func TestNGramMemoKeysByExclusion(t *testing.T) {
+	toks := memoTokens()
+	sw := NewStopwords()
+	var m NGramMemo
+	plain := m.NGrams(toks, NGramConfig{MaxLen: 3, Stopwords: sw})
+
+	ex1 := NGramConfig{MaxLen: 3, Stopwords: sw,
+		Exclude: map[Token]struct{}{"deep": {}, "search": {}}}
+	ex2 := NGramConfig{MaxLen: 3, Stopwords: sw,
+		Exclude: map[Token]struct{}{"search": {}, "deep": {}}}
+	a := m.NGrams(toks, ex1)
+	b := m.NGrams(toks, ex2)
+	if &a[0] != &b[0] {
+		t.Fatal("equal exclude sets missed the shared cache entry")
+	}
+	if reflect.DeepEqual(a, plain) {
+		t.Fatal("excluded and plain configs collided in the cache")
+	}
+	if want := NGrams(toks, ex1); !reflect.DeepEqual(a, want) {
+		t.Fatalf("excluded enumeration %v != direct %v", a, want)
+	}
+}
+
+// TestNGramMemoCapStaysCorrect: past the entry cap the memo computes
+// without caching — results stay correct, memory stays bounded.
+func TestNGramMemoCapStaysCorrect(t *testing.T) {
+	toks := memoTokens()
+	var m NGramMemo
+	for i := 0; i < maxMemoEntries+5; i++ {
+		cfg := NGramConfig{MaxLen: 3,
+			Exclude: map[Token]struct{}{Token(fmt.Sprintf("x%d", i)): {}}}
+		got := m.NGrams(toks, cfg)
+		if want := NGrams(toks, cfg); !reflect.DeepEqual(got, want) {
+			t.Fatalf("config %d: memo diverged past the cap", i)
+		}
+	}
+	m.mu.Lock()
+	n := len(m.byCfg)
+	m.mu.Unlock()
+	if n > maxMemoEntries {
+		t.Fatalf("memo grew to %d entries (cap %d)", n, maxMemoEntries)
+	}
+}
+
+// TestNGramMemoConcurrent hammers one memo from many goroutines with a
+// mix of configs; run under -race this is the direct data-race check for
+// the shared-enumeration layer.
+func TestNGramMemoConcurrent(t *testing.T) {
+	toks := memoTokens()
+	sw := NewStopwords()
+	cfgs := []NGramConfig{
+		{MaxLen: 3, Stopwords: sw},
+		{MaxLen: 2, Stopwords: sw},
+		{MaxLen: 3, Stopwords: sw, Exclude: map[Token]struct{}{"deep": {}}},
+	}
+	var m NGramMemo
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				cfg := cfgs[(w+i)%len(cfgs)]
+				if got := m.NGrams(toks, cfg); len(got) == 0 {
+					t.Error("empty enumeration under concurrency")
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+}

@@ -83,15 +83,33 @@ func (hb *HarvestBackend) maxQueries() int {
 	return 50
 }
 
+// Preload seeds the per-aspect domain-model cache with already-trained
+// models (typically restored from a store.DomainArtifact), so the server
+// serves its first harvest warm instead of paying a from-scratch
+// LearnDomainScored per aspect. Preloaded aspects never invoke the
+// DomainModel func; aspects absent from models still learn lazily.
+func (hb *HarvestBackend) Preload(models map[corpus.Aspect]*core.DomainModel) {
+	hb.dmMu.Lock()
+	defer hb.dmMu.Unlock()
+	if hb.dmCache == nil {
+		hb.dmCache = make(map[corpus.Aspect]*core.DomainModel, len(models))
+	}
+	for a, dm := range models {
+		if dm != nil {
+			hb.dmCache[a] = dm
+		}
+	}
+}
+
 // domainModel memoizes DomainModel per aspect (see the field doc).
 func (hb *HarvestBackend) domainModel(a corpus.Aspect) (*core.DomainModel, error) {
-	if hb.DomainModel == nil {
-		return nil, nil
-	}
 	hb.dmMu.Lock()
 	defer hb.dmMu.Unlock()
 	if dm, ok := hb.dmCache[a]; ok {
 		return dm, nil
+	}
+	if hb.DomainModel == nil {
+		return nil, nil
 	}
 	dm, err := hb.DomainModel(a)
 	if err != nil {

@@ -139,7 +139,13 @@ func TestJobsLifecycle(t *testing.T) {
 func TestJobsCancelResume(t *testing.T) {
 	f := newHarvestFixture(t)
 	targets := jobTargets(f, 4)
-	const nQueries = 6
+	// A budget large enough that the job cannot complete inside the
+	// cancellation window on any machine — incremental candidate pools
+	// and session graphs made small harvests finish in single-digit
+	// milliseconds, which used to let the job reach Done before the
+	// DELETE landed (turning the cancel into a forget and the status
+	// poll into a 404).
+	const nQueries = 24
 
 	// Uninterrupted references.
 	wantFired := make(map[corpus.EntityID][]core.Query)
@@ -157,10 +163,10 @@ func TestJobsCancelResume(t *testing.T) {
 		t.Fatal(err)
 	}
 	// Let some queries land, then cancel.
-	deadline := time.Now().Add(5 * time.Second)
+	deadline := time.Now().Add(10 * time.Second)
+	var st JobStatus
 	for {
-		st, err := f.client.JobStatus(context.Background(), id, false)
-		if err != nil {
+		if st, err = f.client.JobStatus(context.Background(), id, false); err != nil {
 			t.Fatal(err)
 		}
 		if st.Events >= 3 || st.State == JobDone || time.Now().After(deadline) {
@@ -168,13 +174,28 @@ func TestJobsCancelResume(t *testing.T) {
 		}
 		time.Sleep(5 * time.Millisecond)
 	}
-	if err := f.client.CancelJob(context.Background(), id); err != nil {
-		t.Fatal(err)
+	if st.State != JobDone {
+		// DELETE on a finished job forgets the record instead of
+		// canceling; only cancel a job that is still running. The check
+		// itself races the job (it can finish between the poll and the
+		// DELETE), so a post-cancel 404 below is handled as
+		// done-before-cancel, not failed.
+		if err := f.client.CancelJob(context.Background(), id); err != nil {
+			t.Fatal(err)
+		}
 	}
 	// Wait for the final state.
-	var st JobStatus
 	for {
 		if st, err = f.client.JobStatus(context.Background(), id, true); err != nil {
+			var te *TransportError
+			if errors.As(err, &te) && te.Status == http.StatusNotFound {
+				// The job completed in the poll→DELETE window, so the
+				// DELETE forgot the record. No checkpoints survive;
+				// resume degenerates to a from-scratch run, which the
+				// parity assertion below still covers.
+				st = JobStatus{State: JobDone}
+				break
+			}
 			t.Fatal(err)
 		}
 		if st.State == JobCanceled || st.State == JobDone {
@@ -184,6 +205,9 @@ func TestJobsCancelResume(t *testing.T) {
 			t.Fatalf("job stuck in state %q", st.State)
 		}
 		time.Sleep(5 * time.Millisecond)
+	}
+	if st.State == JobDone {
+		t.Log("job finished before cancellation; resume degenerates to a replay")
 	}
 
 	// Resume from the recorded checkpoints; entities without one restart

@@ -1,0 +1,88 @@
+package webapi
+
+import (
+	"bytes"
+	"context"
+	"reflect"
+	"sync/atomic"
+	"testing"
+
+	"l2q/internal/core"
+	"l2q/internal/corpus"
+	"l2q/internal/store"
+)
+
+// TestHarvestWarmBoot is the acceptance flow for persisted domain models:
+// a backend preloaded from a domain artifact serves its first harvest
+// without invoking the domain learner at all, and fires exactly the
+// queries of a backend that learned the model lazily from scratch.
+func TestHarvestWarmBoot(t *testing.T) {
+	f := newHarvestFixture(t)
+	n := f.g.Corpus.NumEntities()
+	targets := []corpus.EntityID{
+		f.g.Corpus.Entities[n-2].ID,
+		f.g.Corpus.Entities[n-1].ID,
+	}
+	const nQueries = 3
+
+	harvest := func(f *harvestFixture) map[corpus.EntityID][]string {
+		t.Helper()
+		fired := make(map[corpus.EntityID][]string)
+		err := f.client.HarvestBatch(context.Background(), HarvestRequest{
+			Entities: targets,
+			Aspect:   string(f.aspect),
+			NQueries: nQueries,
+		}, func(ev HarvestEvent) error {
+			if ev.Type == "error" {
+				t.Errorf("error event: %+v", ev)
+			}
+			if ev.Type == "entity" {
+				fired[ev.Entity] = ev.Fired
+			}
+			return nil
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return fired
+	}
+
+	// Cold reference: the fixture's backend learns lazily.
+	want := harvest(f)
+
+	// Persist the learned model through the real codec and boot a second
+	// backend warm from it, with a learner that counts invocations.
+	var buf bytes.Buffer
+	art := &store.DomainArtifact{
+		CorpusDomain: f.g.Corpus.Domain,
+		NumEntities:  f.g.Corpus.NumEntities(),
+		NumPages:     f.g.Corpus.NumPages(),
+		Models:       []*core.DomainModel{f.dm},
+	}
+	if err := store.SaveDomains(&buf, art); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := store.LoadDomains(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var learns atomic.Int64
+	warm := newHarvestFixture(t)
+	warm.server.Harvest.DomainModel = func(corpus.Aspect) (*core.DomainModel, error) {
+		learns.Add(1)
+		return warm.dm, nil
+	}
+	warm.server.Harvest.Preload(loaded.ModelMap())
+
+	got := harvest(warm)
+	if learns.Load() != 0 {
+		t.Fatalf("warm-booted backend invoked the domain learner %d times", learns.Load())
+	}
+	if len(got) != len(targets) {
+		t.Fatalf("warm harvest finished %d of %d entities", len(got), len(targets))
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("warm-booted selections diverge:\n got %v\nwant %v", got, want)
+	}
+}

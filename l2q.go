@@ -142,6 +142,10 @@ type SystemOptions struct {
 	// overrides Config.InferWorkers. Utilities are identical for every
 	// worker count.
 	InferWorkers int
+	// LearnWorkers bounds the domain phase's sharded counting pass
+	// (LearnDomain); non-zero overrides Config.LearnWorkers. Models are
+	// identical for every worker count.
+	LearnWorkers int
 	// NoIncrementalGraph and NoWarmStart switch the inference stack back
 	// to rebuild-per-step / cold solves (Session.InferReference
 	// behavior). DefaultConfig enables both optimizations; differential
@@ -149,6 +153,11 @@ type SystemOptions struct {
 	// exist for benchmarking and paranoia, not correctness.
 	NoIncrementalGraph bool
 	NoWarmStart        bool
+	// NoIncrementalPool switches candidate generation back to
+	// re-enumerating every gathered page per step
+	// (Session.CandidatesReference behavior). Pools are identical either
+	// way; the knob exists for benchmarking and paranoia.
+	NoIncrementalPool bool
 }
 
 // DefaultSystemOptions returns paper-scale options.
@@ -202,11 +211,17 @@ func NewSyntheticSystem(d Domain, opts SystemOptions) (*System, error) {
 	if opts.InferWorkers != 0 {
 		cfg.InferWorkers = opts.InferWorkers
 	}
+	if opts.LearnWorkers != 0 {
+		cfg.LearnWorkers = opts.LearnWorkers
+	}
 	if opts.NoIncrementalGraph {
 		cfg.IncrementalGraph = false
 	}
 	if opts.NoWarmStart {
 		cfg.WarmStart = false
+	}
+	if opts.NoIncrementalPool {
+		cfg.IncrementalPool = false
 	}
 	cfg.Tokenizer = g.Tokenizer
 	return NewSystem(g.Corpus, g.KB, g.Aspects, g.Tokenizer, cfg)

@@ -228,6 +228,50 @@ type StoreBundle = store.Bundle
 // LoadStore reads a store file written by SaveStore or cmd/l2qstore.
 func LoadStore(path string) (*StoreBundle, error) { return store.LoadFile(path) }
 
+// DomainArtifact is a persisted bundle of trained domain models and
+// aspect classifiers — the domain phase's output as a durable file
+// (magic L2QDOM1), so servers boot warm instead of re-learning per
+// aspect on first request. Produce with LearnDomainArtifact or
+// `l2qstore domains`; consume with LoadDomainsFile, `l2qserve -domains`,
+// or HarvestBackend.Preload.
+type DomainArtifact = store.DomainArtifact
+
+// SaveDomainsFile writes a domain artifact atomically; LoadDomainsFile
+// reads one back. Float parameters round-trip exactly, so a restored
+// model selects byte-identically to the freshly learned one.
+var (
+	SaveDomainsFile = store.SaveDomainsFile
+	LoadDomainsFile = store.LoadDomainsFile
+)
+
+// LearnDomainArtifact learns a domain model for every system aspect over
+// the given peer entities (each learning run shards its counting pass
+// over Config.LearnWorkers) and packages them — together with the
+// system's Naive Bayes classifiers, when that family is active — into a
+// persistable DomainArtifact.
+func (s *System) LearnDomainArtifact(domainEntities []EntityID) (*DomainArtifact, error) {
+	art := &DomainArtifact{
+		CorpusDomain: s.corpus.Domain,
+		NumEntities:  s.corpus.NumEntities(),
+		NumPages:     s.corpus.NumPages(),
+	}
+	for _, a := range s.aspects {
+		dm, err := s.LearnDomain(a, domainEntities)
+		if err != nil {
+			return nil, err
+		}
+		art.Models = append(art.Models, dm)
+	}
+	if set, ok := s.cls.(*classify.Set); ok {
+		for _, a := range s.aspects {
+			if c, trained := set.ByAspect[a]; trained {
+				art.Classifiers = append(art.Classifiers, c.Params())
+			}
+		}
+	}
+	return art, nil
+}
+
 // PipelineResult is one entity's outcome from HarvestPipelined.
 type PipelineResult struct {
 	Entity *Entity
