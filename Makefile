@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test soak bench bench-candidates lint fmt
+.PHONY: all build test soak bench bench-candidates bench-wire wire-parity lint fmt
 
 all: lint build test
 
@@ -25,6 +25,16 @@ bench:
 # Candidate-generation / domain-phase trajectory (the CI artifact's recipe).
 bench-candidates:
 	$(GO) test -run='^$$' -bench='BenchmarkCandidateStep|BenchmarkLearnDomain' -benchtime=20x ./internal/core/
+
+# Wire-codec trajectory: remote harvest over a bandwidth-modeled link,
+# JSON vs negotiated binary+gzip (the BENCH_wire.json recipe).
+bench-wire:
+	$(GO) test -run='^$$' -bench='BenchmarkRemoteHarvestWire' -benchtime=5x ./internal/webapi/
+
+# Binary-wire differential parity + negotiation matrix under the race
+# detector (the CI wire-parity step).
+wire-parity:
+	$(GO) test -race -count=1 -run 'TestDifferentialWireParity|TestNegotiationMatrix|TestMixedVersionFallback|TestStreamWireCodec' ./internal/webapi/
 
 lint:
 	@unformatted=$$(gofmt -l .); \

@@ -56,6 +56,7 @@ func main() {
 		retries  = flag.Int("retries", 4, "remote transport: attempts per request (1 = no retries)")
 		rtimeout = flag.Duration("timeout", 30*time.Second, "remote transport: per-request HTTP timeout")
 		prefetch = flag.Int("prefetch", 8, "remote transport: concurrent page downloads per query")
+		wireFlag = flag.String("wire", "auto", "remote transport: wire codec — auto (negotiate binary, fall back to JSON), json, or binary (require it)")
 		inferW   = flag.Int("inferworkers", 0, "per-step inference workers (0 = GOMAXPROCS)")
 		learnW   = flag.Int("learnworkers", 0, "domain-phase counting workers (0 = GOMAXPROCS)")
 		warm     = flag.Bool("warmstart", true, "warm-start fixpoint solvers from the previous step")
@@ -155,16 +156,25 @@ func main() {
 		// The resilient path: transient transport faults (5xx, timeouts,
 		// truncated bodies) are retried with exponential backoff instead
 		// of surfacing as empty "unproductive" queries.
+		codec, err := l2q.ParseCodec(*wireFlag)
+		if err != nil {
+			fail(err)
+		}
 		opts := l2q.RemoteOptions{
 			Retry:           l2q.RetryPolicy{MaxAttempts: *retries},
 			PrefetchWorkers: *prefetch,
 			Timeout:         *rtimeout,
+			Codec:           codec,
 		}
 		if re, err = sys.DialRemoteOpts(*remote, opts); err != nil {
 			fail(err)
 		}
-		fmt.Printf("remote:   http://%s (%d pages served; %d attempts/request)\n\n",
-			*remote, re.Stats().NumPages, *retries)
+		negotiated := "json"
+		if re.WireNegotiated() {
+			negotiated = "binary"
+		}
+		fmt.Printf("remote:   http://%s (%d pages served; %d attempts/request; %s wire)\n\n",
+			*remote, re.Stats().NumPages, *retries, negotiated)
 		h = sys.NewRemoteHarvester(re, target, a, dm)
 	} else {
 		h = sys.NewHarvester(target, a, dm)

@@ -65,6 +65,8 @@ func main() {
 		selectW   = flag.Int("selectworkers", 0, "shared scheduler: select (CPU) workers (0 = GOMAXPROCS)")
 		fetchW    = flag.Int("fetchworkers", 0, "shared scheduler: fetch (I/O) workers (0 = 4×select)")
 		maxActive = flag.Int("maxactive", 0, "shared scheduler: admission bound on concurrently active jobs (0 = unlimited)")
+		wire      = flag.Bool("wire", true, "offer the binary wire codec to clients that ask for it (Accept: "+webapi.WireContentType+"); JSON stays the default either way")
+		compress  = flag.Int("compress", 0, "gzip wire payloads at or above this many bytes (0 = default threshold, <0 = never compress)")
 		drain     = flag.Duration("drain", 10*time.Second, "graceful-shutdown drain timeout")
 	)
 	flag.Parse()
@@ -113,6 +115,8 @@ func main() {
 
 	engine := search.NewEngineOpts(idx, sopts).WithTopK(*topK)
 	srv := webapi.NewServer(c, engine)
+	srv.WireDisabled = !*wire
+	srv.CompressMin = *compress
 	if !*quiet {
 		srv.Log = logger
 	}
@@ -146,11 +150,14 @@ func main() {
 	fmt.Printf("serving %d pages of %q on http://%s (top-%d, μ = %.0f, %d shards, %d score workers)\n",
 		c.NumPages(), c.Domain, bound, engine.TopK(), engine.Mu(),
 		idx.NumShards(), engine.ScoreWorkers())
-	endpoints := "endpoints: /api/stats /api/search?q=&seed= /api/collfreq?tokens= /api/entities /api/metrics /page/{id}.html /healthz"
+	endpoints := "endpoints: /api/v1/{stats,search?q=&seed=,collfreq?tokens=,entities,metrics} /page/{id}.html /healthz (legacy /api/* aliased)"
 	if srv.Harvest != nil {
-		endpoints += " POST /api/harvest POST|GET|DELETE /api/jobs"
+		endpoints += " POST /api/v1/harvest POST|GET|DELETE /api/v1/jobs"
 	}
 	fmt.Println(endpoints)
+	if !srv.WireDisabled {
+		fmt.Println("wire: binary codec offered via Accept: " + webapi.WireContentType)
+	}
 
 	stop := make(chan os.Signal, 1)
 	signal.Notify(stop, os.Interrupt, syscall.SIGTERM)

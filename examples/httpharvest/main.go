@@ -8,8 +8,8 @@
 // backoff instead of silently losing work.
 //
 // The example then flips the topology with the server-side batch-harvest
-// API: one POST /api/harvest runs pipelined sessions next to the index and
-// streams NDJSON progress back, replacing the per-query per-page request
+// API: one POST /api/v1/harvest runs pipelined sessions next to the index and
+// streams framed progress events back, replacing the per-query per-page
 // traffic of the client-side run.
 package main
 
@@ -66,17 +66,23 @@ func main() {
 	fmt.Printf("search API serving %d pages on http://%s\n", sys.Corpus().NumPages(), addr)
 	fmt.Printf("flaky front end on http://%s (20%% errors, 10%% truncated bodies)\n\n", flakyAddr)
 
-	// Dial the FLAKY address with a patient retry policy.
-	remote, err := sys.DialRemoteOpts(flakyAddr, l2q.RemoteOptions{
-		Retry: l2q.RetryPolicy{MaxAttempts: 8, BaseDelay: 5 * time.Millisecond},
-	})
-	if err != nil {
-		log.Fatal(err)
+	// Dial the FLAKY address with a patient retry policy, once per wire
+	// codec: CodecAuto negotiates the binary frames, CodecJSON pins the
+	// debug wire. Both must harvest identically through the faults.
+	retry := l2q.RetryPolicy{MaxAttempts: 8, BaseDelay: 5 * time.Millisecond}
+	dialFlaky := func(codec l2q.Codec) *l2q.RemoteEngine {
+		re, err := sys.DialRemoteOpts(flakyAddr, l2q.RemoteOptions{Retry: retry, Codec: codec})
+		if err != nil {
+			log.Fatal(err)
+		}
+		return re
 	}
+	remote := dialFlaky(l2q.CodecAuto)
 	st := remote.Stats()
-	fmt.Printf("dialed: top-%d results, μ=%.0f, %d terms\n\n", st.TopK, st.Mu, st.NumTerms)
+	fmt.Printf("dialed: top-%d results, μ=%.0f, %d terms, binary wire negotiated: %v\n\n",
+		st.TopK, st.Mu, st.NumTerms, remote.WireNegotiated())
 
-	fmt.Printf("harvesting %q RESEARCH remotely through the faults (3 queries)\n", target.Name)
+	fmt.Printf("harvesting %q RESEARCH remotely through the faults (3 queries, binary wire)\n", target.Name)
 	rh := sys.NewRemoteHarvester(remote, target, "RESEARCH", dm)
 	remoteFired := rh.Run(l2q.NewL2QBAL(), 3)
 	for i, q := range remoteFired {
@@ -88,27 +94,34 @@ func main() {
 		len(rh.Pages()), m.Requests, m.Retries, m.Errors)
 	fmt.Printf("injector: %d served, %d errored, %d truncated\n\n", passed, errs, truncated)
 
+	// The same flaky harvest pinned to JSON — the wire codec must be
+	// invisible to the harvest's behavior.
+	jh := sys.NewRemoteHarvester(dialFlaky(l2q.CodecJSON), target, "RESEARCH", dm)
+	jsonFired := jh.Run(l2q.NewL2QBAL(), 3)
+
 	// The ground truth: the same harvest with the in-process engine.
 	lh := sys.NewHarvesterSeeded(target, "RESEARCH", dm, 1)
 	localFired := lh.Run(l2q.NewL2QBAL(), 3)
 
-	same := len(localFired) == len(remoteFired)
+	same := len(localFired) == len(remoteFired) && len(jsonFired) == len(remoteFired)
 	for i := 0; same && i < len(localFired); i++ {
-		same = localFired[i] == remoteFired[i]
+		same = localFired[i] == remoteFired[i] && jsonFired[i] == remoteFired[i]
 	}
-	fmt.Printf("in-process run selected the same queries: %v\n", same)
-	fmt.Printf("pages gathered: %d remote vs %d local\n\n", len(rh.Pages()), len(lh.Pages()))
-	if !same || len(rh.Pages()) != len(lh.Pages()) {
+	fmt.Printf("in-process and JSON-wire runs selected the same queries: %v\n", same)
+	fmt.Printf("pages gathered: %d binary vs %d json vs %d local\n\n",
+		len(rh.Pages()), len(jh.Pages()), len(lh.Pages()))
+	if !same || len(rh.Pages()) != len(lh.Pages()) || len(jh.Pages()) != len(lh.Pages()) {
 		// This example doubles as the CI smoke test for the remote path:
 		// a parity break must fail the run, not just print false.
-		log.Fatalf("remote/in-process parity broken: queries %v vs %v, pages %d vs %d",
-			remoteFired, localFired, len(rh.Pages()), len(lh.Pages()))
+		log.Fatalf("wire/in-process parity broken: queries %v vs %v vs %v, pages %d/%d/%d",
+			remoteFired, jsonFired, localFired, len(rh.Pages()), len(jh.Pages()), len(lh.Pages()))
 	}
 
 	// Server-side batch harvest: one POST, sessions run next to the index,
-	// progress streams back as NDJSON events. POSTs do real work and are
-	// not retried, so this client dials the clean address.
-	fmt.Println("server-side batch harvest of 3 entities (POST /api/harvest):")
+	// progress streams back as events (wire frames when negotiated, NDJSON
+	// otherwise). POSTs do real work and are not retried, so this client
+	// dials the clean address.
+	fmt.Println("server-side batch harvest of 3 entities (POST /api/v1/harvest):")
 	direct, err := sys.DialRemote(addr)
 	if err != nil {
 		log.Fatal(err)
@@ -138,5 +151,5 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	fmt.Printf("%d NDJSON events streamed, %d entities harvested server-side\n", events, entitiesDone)
+	fmt.Printf("%d events streamed, %d entities harvested server-side\n", events, entitiesDone)
 }

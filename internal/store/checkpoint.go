@@ -35,10 +35,10 @@ func SaveCheckpoints(w io.Writer, cps []core.Checkpoint) error {
 	if _, err := bw.WriteString(ckptMagic); err != nil {
 		return fmt.Errorf("store: write checkpoint magic: %w", err)
 	}
-	if err := writeSection(bw, secCheckpoints, func(e *enc) { encodeCheckpoints(e, cps) }); err != nil {
+	if err := writeSection(bw, secCheckpoints, func(e *Enc) { encodeCheckpoints(e, cps) }); err != nil {
 		return err
 	}
-	if err := writeSection(bw, secEnd, func(*enc) {}); err != nil {
+	if err := writeSection(bw, secEnd, func(*Enc) {}); err != nil {
 		return err
 	}
 	if err := bw.Flush(); err != nil {
@@ -70,14 +70,14 @@ func LoadCheckpoints(r io.Reader) ([]core.Checkpoint, error) {
 		if name != secCheckpoints {
 			continue // forward compatibility: skip unknown sections
 		}
-		d := &dec{buf: payload}
+		d := NewDec(payload)
 		cps = decodeCheckpoints(d)
 		seen = true
-		if d.err != nil {
-			return nil, fmt.Errorf("store: section %s: %w", name, d.err)
+		if d.Err() != nil {
+			return nil, fmt.Errorf("store: section %s: %w", name, d.Err())
 		}
-		if !d.done() {
-			return nil, fmt.Errorf("store: section %s has %d trailing bytes", name, len(payload)-d.pos)
+		if !d.Done() {
+			return nil, fmt.Errorf("store: section %s has %d trailing bytes", name, d.Remaining())
 		}
 	}
 	if !seen {
@@ -121,57 +121,50 @@ func LoadCheckpointsFile(path string) ([]core.Checkpoint, error) {
 	return LoadCheckpoints(f)
 }
 
-func encodeCheckpoints(e *enc, cps []core.Checkpoint) {
-	e.uvarint(uint64(len(cps)))
+func encodeCheckpoints(e *Enc, cps []core.Checkpoint) {
+	e.Uvarint(uint64(len(cps)))
 	for _, cp := range cps {
-		e.varint(int64(cp.Entity))
-		e.str(string(cp.Aspect))
+		e.Varint(int64(cp.Entity))
+		e.Str(string(cp.Aspect))
 		booted := byte(0)
 		if cp.Booted {
 			booted = 1
 		}
-		e.buf = append(e.buf, booted)
-		e.f64(cp.RPhi)
-		e.f64(cp.RStarPhi)
-		e.uvarint(uint64(len(cp.Fired)))
+		e.Byte(booted)
+		e.F64(cp.RPhi)
+		e.F64(cp.RStarPhi)
+		e.Uvarint(uint64(len(cp.Fired)))
 		for _, q := range cp.Fired {
-			e.str(string(q))
+			e.Str(string(q))
 		}
-		e.uvarint(uint64(len(cp.PageIDs)))
+		e.Uvarint(uint64(len(cp.PageIDs)))
 		prev := int64(0)
 		for _, id := range cp.PageIDs {
-			e.varint(int64(id) - prev)
+			e.Varint(int64(id) - prev)
 			prev = int64(id)
 		}
 	}
 }
 
-func decodeCheckpoints(d *dec) []core.Checkpoint {
-	n := d.count("checkpoints")
+func decodeCheckpoints(d *Dec) []core.Checkpoint {
+	n := d.Count("checkpoints")
 	out := make([]core.Checkpoint, 0, n)
-	for i := 0; i < n && d.err == nil; i++ {
+	for i := 0; i < n && d.Err() == nil; i++ {
 		cp := core.Checkpoint{
-			Entity: corpus.EntityID(d.varint()),
-			Aspect: corpus.Aspect(d.str()),
+			Entity: corpus.EntityID(d.Varint()),
+			Aspect: corpus.Aspect(d.Str()),
 		}
-		if d.err == nil {
-			if d.pos >= len(d.buf) {
-				d.fail("booted flag")
-				break
-			}
-			cp.Booted = d.buf[d.pos] != 0
-			d.pos++
+		cp.Booted = d.Byte() != 0
+		cp.RPhi = d.F64()
+		cp.RStarPhi = d.F64()
+		nFired := d.Count("fired queries")
+		for j := 0; j < nFired && d.Err() == nil; j++ {
+			cp.Fired = append(cp.Fired, core.Query(d.Str()))
 		}
-		cp.RPhi = d.f64()
-		cp.RStarPhi = d.f64()
-		nFired := d.count("fired queries")
-		for j := 0; j < nFired && d.err == nil; j++ {
-			cp.Fired = append(cp.Fired, core.Query(d.str()))
-		}
-		nPages := d.count("checkpoint pages")
+		nPages := d.Count("checkpoint pages")
 		prev := int64(0)
-		for j := 0; j < nPages && d.err == nil; j++ {
-			prev += d.varint()
+		for j := 0; j < nPages && d.Err() == nil; j++ {
+			prev += d.Varint()
 			cp.PageIDs = append(cp.PageIDs, corpus.PageID(prev))
 		}
 		out = append(out, cp)

@@ -13,17 +13,17 @@ func TestEncDecPrimitivesRoundTrip(t *testing.T) {
 		if math.IsNaN(fl) {
 			fl = 0 // NaN != NaN would fail the comparison, not the codec
 		}
-		e := &enc{}
-		e.uvarint(u)
-		e.varint(i)
-		e.str(s)
-		e.f64(fl)
-		d := &dec{buf: e.buf}
-		gu := d.uvarint()
-		gi := d.varint()
-		gs := d.str()
-		gf := d.f64()
-		return d.err == nil && d.done() && gu == u && gi == i && gs == s && gf == fl
+		e := &Enc{}
+		e.Uvarint(u)
+		e.Varint(i)
+		e.Str(s)
+		e.F64(fl)
+		d := NewDec(e.Data())
+		gu := d.Uvarint()
+		gi := d.Varint()
+		gs := d.Str()
+		gf := d.F64()
+		return d.Err() == nil && d.Done() && gu == u && gi == i && gs == s && gf == fl
 	}
 	if err := quick.Check(f, nil); err != nil {
 		t.Fatal(err)
@@ -31,40 +31,40 @@ func TestEncDecPrimitivesRoundTrip(t *testing.T) {
 }
 
 func TestDecStickyError(t *testing.T) {
-	d := &dec{buf: []byte{0xff}} // truncated uvarint
-	_ = d.uvarint()
-	if d.err == nil {
+	d := NewDec([]byte{0xff}) // truncated uvarint
+	_ = d.Uvarint()
+	if d.Err() == nil {
 		t.Fatal("expected error")
 	}
 	// Every subsequent read must stay failed and return zero values.
-	if v := d.uvarint(); v != 0 {
+	if v := d.Uvarint(); v != 0 {
 		t.Errorf("uvarint after error = %d", v)
 	}
-	if s := d.str(); s != "" {
+	if s := d.Str(); s != "" {
 		t.Errorf("str after error = %q", s)
 	}
-	if v := d.varint(); v != 0 {
+	if v := d.Varint(); v != 0 {
 		t.Errorf("varint after error = %d", v)
 	}
-	if v := d.f64(); v != 0 {
+	if v := d.F64(); v != 0 {
 		t.Errorf("f64 after error = %v", v)
 	}
 }
 
 func TestDecStringBounds(t *testing.T) {
-	e := &enc{}
-	e.uvarint(1000) // claims 1000 bytes
-	d := &dec{buf: e.buf}
-	if s := d.str(); s != "" || d.err == nil {
+	e := &Enc{}
+	e.Uvarint(1000) // claims 1000 bytes
+	d := NewDec(e.Data())
+	if s := d.Str(); s != "" || d.Err() == nil {
 		t.Fatalf("oversized string accepted: %q", s)
 	}
 }
 
 func TestDecCountBounds(t *testing.T) {
-	e := &enc{}
-	e.uvarint(1 << 40) // hostile count
-	d := &dec{buf: e.buf}
-	if n := d.count("test"); n != 0 || d.err == nil {
+	e := &Enc{}
+	e.Uvarint(1 << 40) // hostile count
+	d := NewDec(e.Data())
+	if n := d.Count("test"); n != 0 || d.Err() == nil {
 		t.Fatalf("hostile count accepted: %d", n)
 	}
 }
@@ -81,11 +81,11 @@ func TestDictionaryRoundTrip(t *testing.T) {
 		if len(dict.terms) != len(seen) {
 			return false
 		}
-		e := &enc{}
+		e := &Enc{}
 		dict.encode(e)
-		d := &dec{buf: e.buf}
+		d := NewDec(e.Data())
 		got := decodeDictionary(d)
-		if d.err != nil || !d.done() {
+		if d.Err() != nil || !d.Done() {
 			return false
 		}
 		if len(got.terms) != len(dict.terms) {
@@ -109,20 +109,20 @@ func TestDictionaryFrontCodingSharedPrefixes(t *testing.T) {
 			emit(w)
 		}
 	})
-	e := &enc{}
+	e := &Enc{}
 	dict.encode(e)
 	// Front coding must beat naive length-prefixed strings here.
 	naive := 0
 	for _, w := range dict.terms {
 		naive += 1 + len(w)
 	}
-	if len(e.buf) >= naive {
-		t.Errorf("front-coded size %d >= naive %d", len(e.buf), naive)
+	if e.Len() >= naive {
+		t.Errorf("front-coded size %d >= naive %d", e.Len(), naive)
 	}
-	d := &dec{buf: e.buf}
+	d := NewDec(e.Data())
 	got := decodeDictionary(d)
-	if d.err != nil {
-		t.Fatal(d.err)
+	if d.Err() != nil {
+		t.Fatal(d.Err())
 	}
 	for i := range dict.terms {
 		if got.terms[i] != dict.terms[i] {
@@ -138,12 +138,12 @@ func TestDictionaryUnicodeBoundaries(t *testing.T) {
 			emit(w)
 		}
 	})
-	e := &enc{}
+	e := &Enc{}
 	dict.encode(e)
-	d := &dec{buf: e.buf}
+	d := NewDec(e.Data())
 	got := decodeDictionary(d)
-	if d.err != nil {
-		t.Fatal(d.err)
+	if d.Err() != nil {
+		t.Fatal(d.Err())
 	}
 	for i := range dict.terms {
 		if got.terms[i] != dict.terms[i] {

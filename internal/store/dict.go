@@ -42,32 +42,32 @@ func (d *dictionary) term(id uint64) (string, bool) {
 	return d.terms[id], true
 }
 
-func (d *dictionary) encode(e *enc) {
-	e.uvarint(uint64(len(d.terms)))
+func (d *dictionary) encode(e *Enc) {
+	e.Uvarint(uint64(len(d.terms)))
 	prev := ""
 	for _, t := range d.terms {
 		shared := sharedPrefixLen(prev, t)
-		e.uvarint(uint64(shared))
-		e.str(t[shared:])
+		e.Uvarint(uint64(shared))
+		e.Str(t[shared:])
 		prev = t
 	}
 }
 
-func decodeDictionary(d *dec) *dictionary {
-	n := d.count("dictionary")
+func decodeDictionary(d *Dec) *dictionary {
+	n := d.Count("dictionary")
 	dict := &dictionary{
 		terms: make([]string, 0, n),
 		ids:   make(map[string]uint64, n),
 	}
 	prev := ""
 	for i := 0; i < n; i++ {
-		shared := int(d.uvarint())
-		suffix := d.str()
-		if d.err != nil {
+		shared := int(d.Uvarint())
+		suffix := d.Str()
+		if d.Err() != nil {
 			return dict
 		}
 		if shared > len(prev) {
-			d.fail("dictionary prefix")
+			d.Fail("dictionary prefix")
 			return dict
 		}
 		t := prev[:shared] + suffix

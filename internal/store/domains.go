@@ -206,22 +206,22 @@ func SaveDomains(w io.Writer, a *DomainArtifact) error {
 	if _, err := bw.WriteString(domMagic); err != nil {
 		return fmt.Errorf("store: write domain magic: %w", err)
 	}
-	if err := writeSection(bw, secDomMeta, func(e *enc) {
-		e.str(string(a.CorpusDomain))
-		e.uvarint(uint64(a.NumEntities))
-		e.uvarint(uint64(a.NumPages))
+	if err := writeSection(bw, secDomMeta, func(e *Enc) {
+		e.Str(string(a.CorpusDomain))
+		e.Uvarint(uint64(a.NumEntities))
+		e.Uvarint(uint64(a.NumPages))
 	}); err != nil {
 		return err
 	}
-	if err := writeSection(bw, secDomains, func(e *enc) { encodeDomainModels(e, models) }); err != nil {
+	if err := writeSection(bw, secDomains, func(e *Enc) { encodeDomainModels(e, models) }); err != nil {
 		return err
 	}
 	if len(cls) > 0 {
-		if err := writeSection(bw, secClassifiers, func(e *enc) { encodeClassifiers(e, cls) }); err != nil {
+		if err := writeSection(bw, secClassifiers, func(e *Enc) { encodeClassifiers(e, cls) }); err != nil {
 			return err
 		}
 	}
-	if err := writeSection(bw, secEnd, func(*enc) {}); err != nil {
+	if err := writeSection(bw, secEnd, func(*Enc) {}); err != nil {
 		return err
 	}
 	if err := bw.Flush(); err != nil {
@@ -250,12 +250,12 @@ func LoadDomains(r io.Reader) (*DomainArtifact, error) {
 		if name == secEnd {
 			break
 		}
-		d := &dec{buf: payload}
+		d := NewDec(payload)
 		switch name {
 		case secDomMeta:
-			a.CorpusDomain = corpus.Domain(d.str())
-			a.NumEntities = int(d.uvarint())
-			a.NumPages = int(d.uvarint())
+			a.CorpusDomain = corpus.Domain(d.Str())
+			a.NumEntities = int(d.Uvarint())
+			a.NumPages = int(d.Uvarint())
 		case secDomains:
 			a.Models = decodeDomainModels(d)
 			seen = true
@@ -264,11 +264,11 @@ func LoadDomains(r io.Reader) (*DomainArtifact, error) {
 		default:
 			continue // forward compatibility: skip unknown sections
 		}
-		if d.err != nil {
-			return nil, fmt.Errorf("store: section %s: %w", name, d.err)
+		if d.Err() != nil {
+			return nil, fmt.Errorf("store: section %s: %w", name, d.Err())
 		}
-		if !d.done() {
-			return nil, fmt.Errorf("store: section %s has %d trailing bytes", name, len(payload)-d.pos)
+		if !d.Done() {
+			return nil, fmt.Errorf("store: section %s has %d trailing bytes", name, d.Remaining())
 		}
 	}
 	if !seen {
@@ -311,10 +311,10 @@ func LoadDomainsFile(path string) (*DomainArtifact, error) {
 	return LoadDomains(f)
 }
 
-func encodeDomainModels(e *enc, models []*core.DomainModel) {
-	e.uvarint(uint64(len(models)))
+func encodeDomainModels(e *Enc, models []*core.DomainModel) {
+	e.Uvarint(uint64(len(models)))
 	for _, dm := range models {
-		e.str(string(dm.Aspect))
+		e.Str(string(dm.Aspect))
 		encStrMap(e, dm.TemplateP)
 		encStrMap(e, dm.TemplateR)
 		encStrMap(e, dm.TemplateRStar)
@@ -324,21 +324,21 @@ func encodeDomainModels(e *enc, models []*core.DomainModel) {
 		encQueryMap(e, dm.QueryRStarCount)
 		encQueryMap(e, dm.QueryP)
 		encQueryMap(e, dm.QueryR)
-		e.uvarint(uint64(len(dm.Candidates)))
+		e.Uvarint(uint64(len(dm.Candidates)))
 		for _, q := range dm.Candidates {
-			e.str(string(q))
+			e.Str(string(q))
 		}
-		e.f64(dm.RelFraction)
-		e.uvarint(uint64(dm.NumEntities))
-		e.uvarint(uint64(dm.NumPages))
+		e.F64(dm.RelFraction)
+		e.Uvarint(uint64(dm.NumEntities))
+		e.Uvarint(uint64(dm.NumPages))
 	}
 }
 
-func decodeDomainModels(d *dec) []*core.DomainModel {
-	n := d.count("domain models")
+func decodeDomainModels(d *Dec) []*core.DomainModel {
+	n := d.Count("domain models")
 	out := make([]*core.DomainModel, 0, n)
-	for i := 0; i < n && d.err == nil; i++ {
-		dm := &core.DomainModel{Aspect: corpus.Aspect(d.str())}
+	for i := 0; i < n && d.Err() == nil; i++ {
+		dm := &core.DomainModel{Aspect: corpus.Aspect(d.Str())}
 		dm.TemplateP = decStrMap(d)
 		dm.TemplateR = decStrMap(d)
 		dm.TemplateRStar = decStrMap(d)
@@ -348,26 +348,26 @@ func decodeDomainModels(d *dec) []*core.DomainModel {
 		dm.QueryRStarCount = decQueryMap(d)
 		dm.QueryP = decQueryMap(d)
 		dm.QueryR = decQueryMap(d)
-		nc := d.count("domain candidates")
+		nc := d.Count("domain candidates")
 		dm.Candidates = make([]core.Query, 0, nc)
-		for j := 0; j < nc && d.err == nil; j++ {
-			dm.Candidates = append(dm.Candidates, core.Query(d.str()))
+		for j := 0; j < nc && d.Err() == nil; j++ {
+			dm.Candidates = append(dm.Candidates, core.Query(d.Str()))
 		}
-		dm.RelFraction = d.f64()
-		dm.NumEntities = int(d.uvarint())
-		dm.NumPages = int(d.uvarint())
+		dm.RelFraction = d.F64()
+		dm.NumEntities = int(d.Uvarint())
+		dm.NumPages = int(d.Uvarint())
 		out = append(out, dm)
 	}
 	return out
 }
 
-func encodeClassifiers(e *enc, cls []classify.Params) {
-	e.uvarint(uint64(len(cls)))
+func encodeClassifiers(e *Enc, cls []classify.Params) {
+	e.Uvarint(uint64(len(cls)))
 	for _, p := range cls {
-		e.str(string(p.Aspect))
+		e.Str(string(p.Aspect))
 		for cls := 0; cls < 2; cls++ {
-			e.f64(p.LogPrior[cls])
-			e.f64(p.LogUnk[cls])
+			e.F64(p.LogPrior[cls])
+			e.F64(p.LogUnk[cls])
 		}
 		for cls := 0; cls < 2; cls++ {
 			toks := make([]string, 0, len(p.LogLik[cls]))
@@ -375,30 +375,30 @@ func encodeClassifiers(e *enc, cls []classify.Params) {
 				toks = append(toks, string(t))
 			}
 			sort.Strings(toks)
-			e.uvarint(uint64(len(toks)))
+			e.Uvarint(uint64(len(toks)))
 			for _, t := range toks {
-				e.str(t)
-				e.f64(p.LogLik[cls][textproc.Token(t)])
+				e.Str(t)
+				e.F64(p.LogLik[cls][textproc.Token(t)])
 			}
 		}
 	}
 }
 
-func decodeClassifiers(d *dec) []classify.Params {
-	n := d.count("classifiers")
+func decodeClassifiers(d *Dec) []classify.Params {
+	n := d.Count("classifiers")
 	out := make([]classify.Params, 0, n)
-	for i := 0; i < n && d.err == nil; i++ {
-		p := classify.Params{Aspect: corpus.Aspect(d.str())}
+	for i := 0; i < n && d.Err() == nil; i++ {
+		p := classify.Params{Aspect: corpus.Aspect(d.Str())}
 		for cls := 0; cls < 2; cls++ {
-			p.LogPrior[cls] = d.f64()
-			p.LogUnk[cls] = d.f64()
+			p.LogPrior[cls] = d.F64()
+			p.LogUnk[cls] = d.F64()
 		}
 		for cls := 0; cls < 2; cls++ {
-			nt := d.count("classifier vocab")
+			nt := d.Count("classifier vocab")
 			lik := make(map[textproc.Token]float64, nt)
-			for j := 0; j < nt && d.err == nil; j++ {
-				t := textproc.Token(d.str())
-				lik[t] = d.f64()
+			for j := 0; j < nt && d.Err() == nil; j++ {
+				t := textproc.Token(d.Str())
+				lik[t] = d.F64()
 			}
 			p.LogLik[cls] = lik
 		}
@@ -408,49 +408,49 @@ func decodeClassifiers(d *dec) []classify.Params {
 }
 
 // encStrMap encodes a string-keyed float map sorted by key.
-func encStrMap(e *enc, m map[string]float64) {
+func encStrMap(e *Enc, m map[string]float64) {
 	keys := make([]string, 0, len(m))
 	for k := range m {
 		keys = append(keys, k)
 	}
 	sort.Strings(keys)
-	e.uvarint(uint64(len(keys)))
+	e.Uvarint(uint64(len(keys)))
 	for _, k := range keys {
-		e.str(k)
-		e.f64(m[k])
+		e.Str(k)
+		e.F64(m[k])
 	}
 }
 
-func decStrMap(d *dec) map[string]float64 {
-	n := d.count("map entries")
+func decStrMap(d *Dec) map[string]float64 {
+	n := d.Count("map entries")
 	m := make(map[string]float64, n)
-	for i := 0; i < n && d.err == nil; i++ {
-		k := d.str()
-		m[k] = d.f64()
+	for i := 0; i < n && d.Err() == nil; i++ {
+		k := d.Str()
+		m[k] = d.F64()
 	}
 	return m
 }
 
 // encQueryMap encodes a Query-keyed float map sorted by key.
-func encQueryMap(e *enc, m map[core.Query]float64) {
+func encQueryMap(e *Enc, m map[core.Query]float64) {
 	keys := make([]string, 0, len(m))
 	for k := range m {
 		keys = append(keys, string(k))
 	}
 	sort.Strings(keys)
-	e.uvarint(uint64(len(keys)))
+	e.Uvarint(uint64(len(keys)))
 	for _, k := range keys {
-		e.str(k)
-		e.f64(m[core.Query(k)])
+		e.Str(k)
+		e.F64(m[core.Query(k)])
 	}
 }
 
-func decQueryMap(d *dec) map[core.Query]float64 {
-	n := d.count("map entries")
+func decQueryMap(d *Dec) map[core.Query]float64 {
+	n := d.Count("map entries")
 	m := make(map[core.Query]float64, n)
-	for i := 0; i < n && d.err == nil; i++ {
-		k := d.str()
-		m[core.Query(k)] = d.f64()
+	for i := 0; i < n && d.Err() == nil; i++ {
+		k := d.Str()
+		m[core.Query(k)] = d.F64()
 	}
 	return m
 }

@@ -10,42 +10,42 @@ import (
 
 // encodeEntities writes the ENTS section: one record per entity, attrs
 // sorted for byte-deterministic output.
-func encodeEntities(e *enc, c *corpus.Corpus) {
-	e.uvarint(uint64(len(c.Entities)))
+func encodeEntities(e *Enc, c *corpus.Corpus) {
+	e.Uvarint(uint64(len(c.Entities)))
 	for _, ent := range c.Entities {
-		e.varint(int64(ent.ID))
-		e.str(string(ent.Domain))
-		e.str(ent.Name)
-		e.str(ent.SeedQuery)
+		e.Varint(int64(ent.ID))
+		e.Str(string(ent.Domain))
+		e.Str(ent.Name)
+		e.Str(ent.SeedQuery)
 		keys := make([]string, 0, len(ent.Attrs))
 		for k := range ent.Attrs {
 			keys = append(keys, k)
 		}
 		sort.Strings(keys)
-		e.uvarint(uint64(len(keys)))
+		e.Uvarint(uint64(len(keys)))
 		for _, k := range keys {
-			e.str(k)
-			e.str(ent.Attrs[k])
+			e.Str(k)
+			e.Str(ent.Attrs[k])
 		}
 	}
 }
 
-func decodeEntities(d *dec) []*corpus.Entity {
-	n := d.count("entities")
+func decodeEntities(d *Dec) []*corpus.Entity {
+	n := d.Count("entities")
 	out := make([]*corpus.Entity, 0, n)
-	for i := 0; i < n && d.err == nil; i++ {
+	for i := 0; i < n && d.Err() == nil; i++ {
 		ent := &corpus.Entity{
-			ID:        corpus.EntityID(d.varint()),
-			Domain:    corpus.Domain(d.str()),
-			Name:      d.str(),
-			SeedQuery: d.str(),
+			ID:        corpus.EntityID(d.Varint()),
+			Domain:    corpus.Domain(d.Str()),
+			Name:      d.Str(),
+			SeedQuery: d.Str(),
 		}
-		nAttrs := d.count("entity attrs")
+		nAttrs := d.Count("entity attrs")
 		if nAttrs > 0 {
 			ent.Attrs = make(map[string]string, nAttrs)
-			for j := 0; j < nAttrs && d.err == nil; j++ {
-				k := d.str()
-				ent.Attrs[k] = d.str()
+			for j := 0; j < nAttrs && d.Err() == nil; j++ {
+				k := d.Str()
+				ent.Attrs[k] = d.Str()
 			}
 		}
 		out = append(out, ent)
@@ -57,7 +57,7 @@ func decodeEntities(d *dec) []*corpus.Entity {
 // IDs; aspects are interned into a small per-section table; links are
 // written as deltas from the page's own ID (links cluster near their
 // source in generated webs).
-func encodePages(e *enc, c *corpus.Corpus, dict *dictionary) {
+func encodePages(e *Enc, c *corpus.Corpus, dict *dictionary) {
 	// Aspect table for this section.
 	aspectID := map[corpus.Aspect]uint64{}
 	var aspects []corpus.Aspect
@@ -70,74 +70,74 @@ func encodePages(e *enc, c *corpus.Corpus, dict *dictionary) {
 			}
 		}
 	}
-	e.uvarint(uint64(len(aspects)))
+	e.Uvarint(uint64(len(aspects)))
 	for _, a := range aspects {
-		e.str(string(a))
+		e.Str(string(a))
 	}
 
-	e.uvarint(uint64(len(c.Pages)))
+	e.Uvarint(uint64(len(c.Pages)))
 	for _, p := range c.Pages {
-		e.varint(int64(p.ID))
-		e.varint(int64(p.Entity))
-		e.str(p.URL)
-		e.str(p.Title)
-		e.uvarint(uint64(len(p.Paras)))
+		e.Varint(int64(p.ID))
+		e.Varint(int64(p.Entity))
+		e.Str(p.URL)
+		e.Str(p.Title)
+		e.Uvarint(uint64(len(p.Paras)))
 		for i := range p.Paras {
 			para := &p.Paras[i]
-			e.uvarint(aspectID[para.Aspect])
-			e.str(para.Text)
-			e.uvarint(uint64(len(para.Tokens)))
+			e.Uvarint(aspectID[para.Aspect])
+			e.Str(para.Text)
+			e.Uvarint(uint64(len(para.Tokens)))
 			for _, t := range para.Tokens {
-				e.uvarint(dict.id(t))
+				e.Uvarint(dict.id(t))
 			}
 		}
-		e.uvarint(uint64(len(p.Links)))
+		e.Uvarint(uint64(len(p.Links)))
 		for _, l := range p.Links {
-			e.varint(int64(l) - int64(p.ID))
+			e.Varint(int64(l) - int64(p.ID))
 		}
 	}
 }
 
-func decodePages(d *dec, dict *dictionary) []*corpus.Page {
-	nAspects := d.count("aspects")
+func decodePages(d *Dec, dict *dictionary) []*corpus.Page {
+	nAspects := d.Count("aspects")
 	aspects := make([]corpus.Aspect, 0, nAspects)
-	for i := 0; i < nAspects && d.err == nil; i++ {
-		aspects = append(aspects, corpus.Aspect(d.str()))
+	for i := 0; i < nAspects && d.Err() == nil; i++ {
+		aspects = append(aspects, corpus.Aspect(d.Str()))
 	}
 
-	nPages := d.count("pages")
+	nPages := d.Count("pages")
 	out := make([]*corpus.Page, 0, nPages)
-	for i := 0; i < nPages && d.err == nil; i++ {
+	for i := 0; i < nPages && d.Err() == nil; i++ {
 		p := &corpus.Page{
-			ID:     corpus.PageID(d.varint()),
-			Entity: corpus.EntityID(d.varint()),
-			URL:    d.str(),
-			Title:  d.str(),
+			ID:     corpus.PageID(d.Varint()),
+			Entity: corpus.EntityID(d.Varint()),
+			URL:    d.Str(),
+			Title:  d.Str(),
 		}
-		nParas := d.count("paragraphs")
+		nParas := d.Count("paragraphs")
 		p.Paras = make([]corpus.Paragraph, 0, nParas)
-		for j := 0; j < nParas && d.err == nil; j++ {
-			aid := d.uvarint()
+		for j := 0; j < nParas && d.Err() == nil; j++ {
+			aid := d.Uvarint()
 			if aid >= uint64(len(aspects)) {
-				d.fail("aspect id")
+				d.Fail("aspect id")
 				break
 			}
-			para := corpus.Paragraph{Aspect: aspects[aid], Text: d.str()}
-			nToks := d.count("tokens")
+			para := corpus.Paragraph{Aspect: aspects[aid], Text: d.Str()}
+			nToks := d.Count("tokens")
 			para.Tokens = make([]textproc.Token, 0, nToks)
-			for k := 0; k < nToks && d.err == nil; k++ {
-				t, ok := dict.term(d.uvarint())
+			for k := 0; k < nToks && d.Err() == nil; k++ {
+				t, ok := dict.term(d.Uvarint())
 				if !ok {
-					d.fail("token id")
+					d.Fail("token id")
 					break
 				}
 				para.Tokens = append(para.Tokens, t)
 			}
 			p.Paras = append(p.Paras, para)
 		}
-		nLinks := d.count("links")
-		for j := 0; j < nLinks && d.err == nil; j++ {
-			p.Links = append(p.Links, corpus.PageID(int64(p.ID)+d.varint()))
+		nLinks := d.Count("links")
+		for j := 0; j < nLinks && d.Err() == nil; j++ {
+			p.Links = append(p.Links, corpus.PageID(int64(p.ID)+d.Varint()))
 		}
 		out = append(out, p)
 	}
@@ -146,35 +146,35 @@ func decodePages(d *dec, dict *dictionary) []*corpus.Page {
 
 // encodeIndex writes the INDX section: per term (dictionary ID), the
 // posting list with document-ordinal deltas and term frequencies.
-func encodeIndex(e *enc, idx *search.Index, dict *dictionary) {
-	e.uvarint(uint64(idx.NumTerms()))
+func encodeIndex(e *Enc, idx *search.Index, dict *dictionary) {
+	e.Uvarint(uint64(idx.NumTerms()))
 	idx.DumpPostings(func(term textproc.Token, posts []search.RawPosting) {
-		e.uvarint(dict.id(term))
-		e.uvarint(uint64(len(posts)))
+		e.Uvarint(dict.id(term))
+		e.Uvarint(uint64(len(posts)))
 		prev := int32(0)
 		for _, p := range posts {
-			e.uvarint(uint64(p.Doc - prev))
-			e.uvarint(uint64(p.TF))
+			e.Uvarint(uint64(p.Doc - prev))
+			e.Uvarint(uint64(p.TF))
 			prev = p.Doc
 		}
 	})
 }
 
-func decodeIndex(d *dec, dict *dictionary) map[textproc.Token][]search.RawPosting {
-	nTerms := d.count("index terms")
+func decodeIndex(d *Dec, dict *dictionary) map[textproc.Token][]search.RawPosting {
+	nTerms := d.Count("index terms")
 	out := make(map[textproc.Token][]search.RawPosting, nTerms)
-	for i := 0; i < nTerms && d.err == nil; i++ {
-		term, ok := dict.term(d.uvarint())
+	for i := 0; i < nTerms && d.Err() == nil; i++ {
+		term, ok := dict.term(d.Uvarint())
 		if !ok {
-			d.fail("index term id")
+			d.Fail("index term id")
 			return out
 		}
-		nPosts := d.count("postings")
+		nPosts := d.Count("postings")
 		posts := make([]search.RawPosting, 0, nPosts)
 		doc := int32(0)
-		for j := 0; j < nPosts && d.err == nil; j++ {
-			doc += int32(d.uvarint())
-			posts = append(posts, search.RawPosting{Doc: doc, TF: int32(d.uvarint())})
+		for j := 0; j < nPosts && d.Err() == nil; j++ {
+			doc += int32(d.Uvarint())
+			posts = append(posts, search.RawPosting{Doc: doc, TF: int32(d.Uvarint())})
 		}
 		out[term] = posts
 	}

@@ -66,12 +66,12 @@ func Save(w io.Writer, c *corpus.Corpus, idx *search.Index) error {
 
 	sections := []struct {
 		name   string
-		encode func(*enc)
+		encode func(*Enc)
 	}{
-		{secMeta, func(e *enc) { encodeMeta(e, c) }},
+		{secMeta, func(e *Enc) { encodeMeta(e, c) }},
 		{secDict, dict.encode},
-		{secEntities, func(e *enc) { encodeEntities(e, c) }},
-		{secPages, func(e *enc) { encodePages(e, c, dict) }},
+		{secEntities, func(e *Enc) { encodeEntities(e, c) }},
+		{secPages, func(e *Enc) { encodePages(e, c, dict) }},
 	}
 	for _, s := range sections {
 		if err := writeSection(bw, s.name, s.encode); err != nil {
@@ -79,11 +79,11 @@ func Save(w io.Writer, c *corpus.Corpus, idx *search.Index) error {
 		}
 	}
 	if idx != nil {
-		if err := writeSection(bw, secIndex, func(e *enc) { encodeIndex(e, idx, dict) }); err != nil {
+		if err := writeSection(bw, secIndex, func(e *Enc) { encodeIndex(e, idx, dict) }); err != nil {
 			return err
 		}
 	}
-	if err := writeSection(bw, secEnd, func(*enc) {}); err != nil {
+	if err := writeSection(bw, secEnd, func(*Enc) {}); err != nil {
 		return err
 	}
 	if err := bw.Flush(); err != nil {
@@ -119,7 +119,7 @@ func Load(r io.Reader) (*Bundle, error) {
 		if name == secEnd {
 			break
 		}
-		d := &dec{buf: payload}
+		d := NewDec(payload)
 		switch name {
 		case secMeta:
 			meta = decodeMeta(d)
@@ -140,11 +140,11 @@ func Load(r io.Reader) (*Bundle, error) {
 		default:
 			continue // forward compatibility: skip unknown sections
 		}
-		if d.err != nil {
-			return nil, fmt.Errorf("store: section %s: %w", name, d.err)
+		if d.Err() != nil {
+			return nil, fmt.Errorf("store: section %s: %w", name, d.Err())
 		}
-		if !d.done() {
-			return nil, fmt.Errorf("store: section %s has %d trailing bytes", name, len(payload)-d.pos)
+		if !d.Done() {
+			return nil, fmt.Errorf("store: section %s has %d trailing bytes", name, d.Remaining())
 		}
 	}
 	if meta == nil || dict == nil {
@@ -207,18 +207,18 @@ func LoadFile(path string) (*Bundle, error) {
 }
 
 // writeSection emits one framed, checksummed section.
-func writeSection(w *bufio.Writer, name string, encode func(*enc)) error {
-	e := &enc{}
+func writeSection(w *bufio.Writer, name string, encode func(*Enc)) error {
+	e := &Enc{}
 	encode(e)
 	var hdr []byte
 	hdr = binary.AppendUvarint(hdr, uint64(len(name)))
 	hdr = append(hdr, name...)
-	hdr = binary.AppendUvarint(hdr, uint64(len(e.buf)))
-	hdr = binary.LittleEndian.AppendUint32(hdr, crc32.ChecksumIEEE(e.buf))
+	hdr = binary.AppendUvarint(hdr, uint64(e.Len()))
+	hdr = binary.LittleEndian.AppendUint32(hdr, crc32.ChecksumIEEE(e.Data()))
 	if _, err := w.Write(hdr); err != nil {
 		return fmt.Errorf("store: write section %s header: %w", name, err)
 	}
-	if _, err := w.Write(e.buf); err != nil {
+	if _, err := w.Write(e.Data()); err != nil {
 		return fmt.Errorf("store: write section %s: %w", name, err)
 	}
 	return nil
@@ -264,15 +264,15 @@ type metaInfo struct {
 	domain corpus.Domain
 }
 
-func encodeMeta(e *enc, c *corpus.Corpus) {
-	e.str(string(c.Domain))
-	e.uvarint(uint64(c.NumEntities()))
-	e.uvarint(uint64(c.NumPages()))
+func encodeMeta(e *Enc, c *corpus.Corpus) {
+	e.Str(string(c.Domain))
+	e.Uvarint(uint64(c.NumEntities()))
+	e.Uvarint(uint64(c.NumPages()))
 }
 
-func decodeMeta(d *dec) *metaInfo {
-	m := &metaInfo{domain: corpus.Domain(d.str())}
-	d.uvarint() // entity count (informational)
-	d.uvarint() // page count (informational)
+func decodeMeta(d *Dec) *metaInfo {
+	m := &metaInfo{domain: corpus.Domain(d.Str())}
+	d.Uvarint() // entity count (informational)
+	d.Uvarint() // page count (informational)
 	return m
 }

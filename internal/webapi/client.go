@@ -15,6 +15,7 @@ import (
 	"l2q/internal/corpus"
 	"l2q/internal/html"
 	"l2q/internal/search"
+	"l2q/internal/store"
 	"l2q/internal/textproc"
 )
 
@@ -44,6 +45,13 @@ type Client struct {
 	stats           Stats
 	retry           RetryPolicy
 	prefetchWorkers int
+	codec           Codec
+	// apiPrefix is "/api/v1" against a current server, "/api" after the
+	// dial probe falls back to a pre-v1 server. Fixed at dial time.
+	apiPrefix string
+	// wire records whether the server answered the dial probe in the
+	// binary codec — the negotiated truth, fixed at dial time.
+	wire bool
 
 	mu        sync.RWMutex
 	pageCache map[corpus.PageID]*corpus.Page
@@ -53,8 +61,49 @@ type Client struct {
 	met    metrics
 }
 
-// ClientOptions tunes a client's transport. The zero value picks the
-// defaults documented on each field.
+// Codec is the client's wire-encoding preference, negotiated at dial.
+type Codec int
+
+const (
+	// CodecAuto (the default) asks for the binary wire protocol and
+	// accepts whatever the server speaks: binary frames from a current
+	// server, JSON from an older one — the clean mixed-version posture.
+	CodecAuto Codec = iota
+	// CodecJSON never asks for binary; every payload travels as JSON
+	// (the debug posture).
+	CodecJSON
+	// CodecBinary requires binary: Dial fails against a server that does
+	// not speak the wire protocol instead of silently degrading.
+	CodecBinary
+)
+
+func (c Codec) String() string {
+	switch c {
+	case CodecJSON:
+		return "json"
+	case CodecBinary:
+		return "binary"
+	default:
+		return "auto"
+	}
+}
+
+// ParseCodec maps a flag value ("auto", "json", "binary") to a Codec.
+func ParseCodec(s string) (Codec, error) {
+	switch s {
+	case "", "auto":
+		return CodecAuto, nil
+	case "json":
+		return CodecJSON, nil
+	case "binary":
+		return CodecBinary, nil
+	}
+	return CodecAuto, fmt.Errorf("webapi: unknown codec %q (want auto, json or binary)", s)
+}
+
+// ClientOptions is the one construction surface for Client transports.
+// The zero value picks the defaults documented on each field; Dial and
+// DialContext apply them via withDefaults.
 type ClientOptions struct {
 	// Retry is the per-request retry policy (zero value: 4 attempts,
 	// 50 ms base backoff, 2 s cap).
@@ -65,6 +114,20 @@ type ClientOptions struct {
 	// Timeout is the per-request HTTP timeout (default 30 s). Contexts
 	// passed to the *Ctx/*Err methods cancel earlier.
 	Timeout time.Duration
+	// Codec is the wire-encoding preference (default CodecAuto).
+	Codec Codec
+}
+
+// withDefaults fills the zero fields with the documented defaults.
+func (o ClientOptions) withDefaults() ClientOptions {
+	if o.PrefetchWorkers <= 0 {
+		o.PrefetchWorkers = 8
+	}
+	if o.Timeout <= 0 {
+		o.Timeout = 30 * time.Second
+	}
+	o.Retry = o.Retry.withDefaults()
+	return o
 }
 
 // maxResponseBytes caps any single response body read (pages and JSON).
@@ -75,36 +138,82 @@ const maxResponseBytes = 32 << 20
 // produced the corpus (the server serves raw HTML; tokenization is the
 // client's job, as on the real Web).
 func Dial(base string, tok *textproc.Tokenizer) (*Client, error) {
-	return DialOpts(base, tok, ClientOptions{})
+	return DialContext(context.Background(), base, tok, ClientOptions{})
 }
 
 // DialOpts is Dial with explicit transport options.
 func DialOpts(base string, tok *textproc.Tokenizer, opts ClientOptions) (*Client, error) {
+	return DialContext(context.Background(), base, tok, opts)
+}
+
+// DialContext is Dial with explicit options and a caller context
+// bounding the dial probe (the stats fetch and codec negotiation).
+func DialContext(ctx context.Context, base string, tok *textproc.Tokenizer, opts ClientOptions) (*Client, error) {
 	if !strings.HasPrefix(base, "http://") && !strings.HasPrefix(base, "https://") {
 		base = "http://" + base
 	}
-	if opts.PrefetchWorkers <= 0 {
-		opts.PrefetchWorkers = 8
-	}
-	if opts.Timeout <= 0 {
-		opts.Timeout = 30 * time.Second
-	}
+	opts = opts.withDefaults()
 	c := &Client{
 		base:            strings.TrimRight(base, "/"),
 		http:            &http.Client{Timeout: opts.Timeout},
 		tok:             tok,
-		retry:           opts.Retry.withDefaults(),
+		retry:           opts.Retry,
 		prefetchWorkers: opts.PrefetchWorkers,
+		codec:           opts.Codec,
+		apiPrefix:       "/api/v1",
 		pageCache:       make(map[corpus.PageID]*corpus.Page),
 		cfCache:         make(map[string]int),
 	}
-	if err := c.getJSON(context.Background(), "stats", "/api/stats", &c.stats); err != nil {
+	// The dial probe doubles as codec negotiation: ask for binary (per
+	// the codec preference) and record what came back. A pre-v1 server
+	// has no /api/v1 at all — fall back to the legacy surface for every
+	// subsequent call.
+	err := c.fetchStats(ctx)
+	if isStatus(err, http.StatusNotFound) {
+		c.apiPrefix = "/api"
+		err = c.fetchStats(ctx)
+	}
+	if err != nil {
 		return nil, fmt.Errorf("webapi: dial %s: %w", base, err)
 	}
 	if c.stats.TopK <= 0 || c.stats.Mu <= 0 {
 		return nil, fmt.Errorf("webapi: dial %s: implausible stats %+v", base, c.stats)
 	}
+	if c.codec == CodecBinary && !c.wire {
+		return nil, fmt.Errorf("webapi: dial %s: server does not speak the binary wire protocol (CodecBinary requires it)", base)
+	}
 	return c, nil
+}
+
+// api builds a request path on the negotiated surface: /api/v1 against a
+// current server, the legacy /api against a pre-v1 one.
+func (c *Client) api(suffix string) string { return c.apiPrefix + suffix }
+
+// wantWire reports whether requests should ask for the binary codec.
+func (c *Client) wantWire() bool { return c.codec != CodecJSON }
+
+// WireNegotiated reports whether the dial probe negotiated the binary
+// wire protocol (false: every payload travels as JSON).
+func (c *Client) WireNegotiated() bool { return c.wire }
+
+// fetchStats performs the dial probe: fetch collection statistics in the
+// negotiated codec and record whether the server answered in binary.
+func (c *Client) fetchStats(ctx context.Context) error {
+	return c.doRetry(ctx, "stats", c.api("/stats"), func(b []byte) error {
+		if isWireFrame(b) {
+			c.wire = true
+			return decodeFramePayload(b, wireStats, func(d *store.Dec) { c.stats = decodeStatsWire(d) })
+		}
+		c.wire = false
+		return json.Unmarshal(b, &c.stats)
+	})
+}
+
+// isStatus reports whether err is a transport failure with the given
+// terminal HTTP status.
+func isStatus(err error, status int) bool {
+	var te *TransportError
+	return errors.As(err, &te) && te.Status == status
 }
 
 // Stats returns the server's collection statistics.
@@ -156,19 +265,25 @@ func (c *Client) doRetry(ctx context.Context, op, path string, decode func([]byt
 		c.met.errors.Add(1)
 	}
 	status := 0
+	code := ""
 	var se *statusError
 	if errors.As(lastErr, &se) {
 		status = se.status
+		code = se.code
 	}
-	return &TransportError{Op: op, Path: path, Attempts: attempts, Status: status, Err: lastErr}
+	return &TransportError{Op: op, Path: path, Attempts: attempts, Status: status, Code: code, Err: lastErr}
 }
 
-// once issues a single GET and reads the full body.
+// once issues a single GET (asking for the binary codec per the client's
+// preference) and reads the full body.
 func (c *Client) once(ctx context.Context, path string) ([]byte, error) {
 	c.met.requests.Add(1)
 	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.base+path, nil)
 	if err != nil {
 		return nil, err
+	}
+	if c.wantWire() {
+		req.Header.Set("Accept", wireContentType)
 	}
 	resp, err := c.http.Do(req)
 	if err != nil {
@@ -176,10 +291,7 @@ func (c *Client) once(ctx context.Context, path string) ([]byte, error) {
 	}
 	defer resp.Body.Close()
 	if resp.StatusCode != http.StatusOK {
-		// Only a snippet of an error body is ever used; don't transfer a
-		// misbehaving server's multi-megabyte 500 page to truncate it.
-		snippet, _ := io.ReadAll(io.LimitReader(resp.Body, 256))
-		return nil, &statusError{status: resp.StatusCode, body: strings.TrimSpace(string(snippet))}
+		return nil, readError(resp)
 	}
 	body, readErr := io.ReadAll(io.LimitReader(resp.Body, maxResponseBytes))
 	if readErr != nil {
@@ -190,6 +302,22 @@ func (c *Client) once(ctx context.Context, path string) ([]byte, error) {
 
 func (c *Client) getJSON(ctx context.Context, op, path string, out any) error {
 	return c.doRetry(ctx, op, path, func(b []byte) error { return json.Unmarshal(b, out) })
+}
+
+// getNegotiated fetches path and decodes the response by sniffing its
+// body: a wire frame (the magic bytes) decodes with fromWire, anything
+// else with fromJSON. Sniffing — rather than trusting headers — is what
+// makes mixed-version fallback automatic: a server (or intermediary)
+// that ignored the Accept header is simply decoded as JSON, and a
+// truncated frame fails its CRC/length checks inside the retry loop and
+// is retried like any other wire fault.
+func (c *Client) getNegotiated(ctx context.Context, op, path string, kind byte, fromWire func(*store.Dec), fromJSON func([]byte) error) error {
+	return c.doRetry(ctx, op, path, func(b []byte) error {
+		if isWireFrame(b) {
+			return decodeFramePayload(b, kind, fromWire)
+		}
+		return fromJSON(b)
+	})
 }
 
 // TopK implements core.Retriever.
@@ -216,9 +344,12 @@ func (c *Client) SearchWithSeedErr(ctx context.Context, seed, query []textproc.T
 	q := url.Values{}
 	q.Set("seed", textproc.JoinQuery(seed))
 	q.Set("q", textproc.JoinQuery(query))
-	path := "/api/search?" + q.Encode()
+	path := c.api("/search?" + q.Encode())
 	var resp SearchResponse
-	if err := c.getJSON(ctx, "search", path, &resp); err != nil {
+	err := c.getNegotiated(ctx, "search", path, wireSearch,
+		func(d *store.Dec) { resp = decodeSearchWire(d) },
+		func(b []byte) error { resp = SearchResponse{}; return json.Unmarshal(b, &resp) })
+	if err != nil {
 		return nil, err
 	}
 	pages, err := c.prefetch(ctx, resp.Hits)
@@ -362,6 +493,16 @@ func (c *Client) fetchPage(ctx context.Context, id corpus.PageID) (*corpus.Page,
 	path := html.PageHref(id)
 	var p *corpus.Page
 	err := c.doRetry(ctx, "page", path, func(b []byte) error {
+		if isWireFrame(b) {
+			// A page frame carries the identical HTML bytes the JSON
+			// (debug) path serves raw, so the parse below is codec-
+			// independent — the byte-level parity the wire is held to.
+			payload, err := openFrame(b, wirePage)
+			if err != nil {
+				return err
+			}
+			b = payload
+		}
 		parsed := html.ParsePage(string(b), -1, c.tok)
 		if parsed.ID != id {
 			return fmt.Errorf("document has l2q-page-id %d, want %d (missing or corrupted meta)", parsed.ID, id)
@@ -444,15 +585,24 @@ func (c *Client) collProbs(tokens []textproc.Token) []float64 {
 	if len(missing) > 0 {
 		q := url.Values{}
 		q.Set("tokens", strings.Join(missing, ","))
-		var resp struct {
-			Freqs map[string]int `json:"freqs"`
-		}
+		var freqs map[string]int
 		ctx, cancel := context.WithTimeout(context.Background(), c.http.Timeout)
-		err := c.getJSON(ctx, "collfreq", "/api/collfreq?"+q.Encode(), &resp)
+		err := c.getNegotiated(ctx, "collfreq", c.api("/collfreq?"+q.Encode()), wireCollFreq,
+			func(d *store.Dec) { freqs = decodeCollFreqWire(d) },
+			func(b []byte) error {
+				var resp struct {
+					Freqs map[string]int `json:"freqs"`
+				}
+				if err := json.Unmarshal(b, &resp); err != nil {
+					return err
+				}
+				freqs = resp.Freqs
+				return nil
+			})
 		cancel()
 		if err == nil {
 			c.mu.Lock()
-			for t, cf := range resp.Freqs {
+			for t, cf := range freqs {
 				c.cfCache[t] = cf
 			}
 			c.mu.Unlock()
@@ -483,10 +633,14 @@ func (c *Client) QueryLikelihood(p *corpus.Page, query []textproc.Token) float64
 	return s
 }
 
-// Entities lists the server's harvest targets.
-func (c *Client) Entities() ([]EntityInfo, error) {
+// Entities lists the server's harvest targets. The caller's context
+// bounds the (retried) request.
+func (c *Client) Entities(ctx context.Context) ([]EntityInfo, error) {
 	var out []EntityInfo
-	if err := c.getJSON(context.Background(), "entities", "/api/entities", &out); err != nil {
+	err := c.getNegotiated(ctx, "entities", c.api("/entities"), wireEntities,
+		func(d *store.Dec) { out = decodeEntitiesWire(d) },
+		func(b []byte) error { out = nil; return json.Unmarshal(b, &out) })
+	if err != nil {
 		return nil, err
 	}
 	return out, nil

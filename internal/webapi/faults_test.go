@@ -33,6 +33,7 @@ func derivedClient(f *fixture, base string, retry RetryPolicy) *Client {
 		stats:           f.client.stats,
 		retry:           retry.withDefaults(),
 		prefetchWorkers: 4,
+		apiPrefix:       "/api/v1",
 		pageCache:       make(map[corpus.PageID]*corpus.Page),
 		cfCache:         make(map[string]int),
 	}

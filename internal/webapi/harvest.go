@@ -29,6 +29,7 @@ import (
 	"l2q/internal/core"
 	"l2q/internal/corpus"
 	"l2q/internal/pipeline"
+	"l2q/internal/store"
 	"l2q/internal/types"
 )
 
@@ -371,20 +372,65 @@ func (hb *HarvestBackend) buildJobs(srv *Server, req HarvestRequest, p *harvestP
 	return jobs, jobEntities, failed
 }
 
+// eventEmitter builds the streaming emit function for a harvest/job
+// event stream in the request's negotiated codec: one NDJSON line per
+// event (the default), or one wire frame per event. It sets the
+// Content-Type and status, and returns the emit closure shared by the
+// sync and async stream handlers. onDead runs when a write fails — the
+// reader is gone (deadline expired or connection reset), so the caller
+// aborts instead of burning the remaining work into a dead stream.
+func (s *Server) eventEmitter(w http.ResponseWriter, r *http.Request, onDead func()) func(HarvestEvent) {
+	wire := s.wantsWire(r)
+	if wire {
+		w.Header().Set("Content-Type", wireContentType)
+	} else {
+		w.Header().Set("Content-Type", "application/x-ndjson")
+	}
+	rc := http.NewResponseController(w)
+	w.WriteHeader(http.StatusOK)
+	fl, _ := w.(http.Flusher)
+	var wmu sync.Mutex
+	enc := json.NewEncoder(w)
+	return func(ev HarvestEvent) {
+		wmu.Lock()
+		defer wmu.Unlock()
+		// Roll the write deadline forward per event: the stream may run
+		// arbitrarily long, but a reader that stops consuming is cut off
+		// within writeTimeout (deadline errors are best-effort — not
+		// every ResponseWriter supports them).
+		_ = rc.SetWriteDeadline(time.Now().Add(writeTimeout))
+		var werr error
+		if wire {
+			_, werr = w.Write(marshalFrame(wireEvent, s.compressMin(), func(e *store.Enc) { encodeEventWire(e, ev) }))
+		} else {
+			werr = enc.Encode(ev)
+		}
+		if werr != nil {
+			// A stalled connection does not cancel r.Context() by
+			// itself, so this write failure is the signal.
+			onDead()
+			return
+		}
+		if fl != nil {
+			fl.Flush()
+		}
+	}
+}
+
 func (s *Server) handleHarvest(w http.ResponseWriter, r *http.Request) {
 	hb := s.Harvest
 	if hb == nil {
-		http.Error(w, "harvesting not enabled on this server", http.StatusNotImplemented)
+		writeError(w, http.StatusNotImplemented, "harvesting not enabled on this server")
 		return
 	}
 	var req HarvestRequest
 	if err := json.NewDecoder(io.LimitReader(r.Body, 1<<20)).Decode(&req); err != nil {
-		http.Error(w, "bad request body: "+err.Error(), http.StatusBadRequest)
+		writeError(w, http.StatusBadRequest, "bad request body: "+err.Error())
 		return
 	}
 	p, perr := hb.plan(req)
 	if perr != nil {
-		http.Error(w, perr.msg, perr.status)
+		writeError(w, perr.status, perr.msg)
 		return
 	}
 
@@ -397,32 +443,7 @@ func (s *Server) handleHarvest(w http.ResponseWriter, r *http.Request) {
 	stop := context.AfterFunc(s.ctx, cancel)
 	defer stop()
 
-	w.Header().Set("Content-Type", "application/x-ndjson")
-	rc := http.NewResponseController(w)
-	w.WriteHeader(http.StatusOK)
-	fl, _ := w.(http.Flusher)
-	var wmu sync.Mutex
-	enc := json.NewEncoder(w)
-	emit := func(ev HarvestEvent) {
-		wmu.Lock()
-		defer wmu.Unlock()
-		// Roll the write deadline forward per event: the stream may run
-		// arbitrarily long, but a reader that stops consuming is cut off
-		// within writeTimeout (deadline errors are best-effort — not
-		// every ResponseWriter supports them).
-		_ = rc.SetWriteDeadline(time.Now().Add(writeTimeout))
-		if err := enc.Encode(ev); err != nil {
-			// The reader is gone (deadline expired or connection reset):
-			// abort the batch rather than burning the remaining sessions
-			// into a dead stream. A stalled connection does not cancel
-			// r.Context() by itself, so this write failure is the signal.
-			cancel()
-			return
-		}
-		if fl != nil {
-			fl.Flush()
-		}
-	}
+	emit := s.eventEmitter(w, r, cancel)
 
 	jobs, jobEntities, failed := hb.buildJobs(s, req, p, emit)
 
@@ -477,12 +498,15 @@ func (c *Client) HarvestBatch(ctx context.Context, req HarvestRequest, onEvent f
 	if err != nil {
 		return fmt.Errorf("webapi: harvest: encode request: %w", err)
 	}
-	const path = "/api/harvest"
+	path := c.api("/harvest")
 	hreq, err := http.NewRequestWithContext(ctx, http.MethodPost, c.base+path, bytes.NewReader(body))
 	if err != nil {
 		return fmt.Errorf("webapi: harvest: %w", err)
 	}
 	hreq.Header.Set("Content-Type", "application/json")
+	if c.wantWire() {
+		hreq.Header.Set("Accept", wireContentType)
+	}
 	c.met.requests.Add(1)
 	// A dedicated transport-less client: c.http's per-request Timeout
 	// would sever long-running streams mid-harvest.
@@ -493,10 +517,46 @@ func (c *Client) HarvestBatch(ctx context.Context, req HarvestRequest, onEvent f
 	}
 	defer resp.Body.Close()
 	if resp.StatusCode != http.StatusOK {
-		snippet, _ := io.ReadAll(io.LimitReader(resp.Body, 256))
+		se := readError(resp)
 		c.met.errors.Add(1)
 		return &TransportError{Op: "harvest", Path: path, Attempts: 1, Status: resp.StatusCode,
-			Err: fmt.Errorf("%s", strings.TrimSpace(string(snippet)))}
+			Code: se.code, Err: se}
+	}
+	return c.consumeEventStream(resp, "harvest", path, onEvent)
+}
+
+// consumeEventStream decodes a harvest/job event stream in whichever
+// codec the server chose — wire frames or NDJSON, dispatched on the
+// response Content-Type — delivering every event to onEvent in order. A
+// non-nil onEvent error aborts the stream and is returned verbatim.
+func (c *Client) consumeEventStream(resp *http.Response, op, path string, onEvent func(HarvestEvent) error) error {
+	if strings.HasPrefix(resp.Header.Get("Content-Type"), wireContentType) {
+		fr := newFrameReader(resp.Body)
+		for {
+			payload, err := fr.next(wireEvent)
+			if err == io.EOF {
+				return nil
+			}
+			if err != nil {
+				c.met.errors.Add(1)
+				return &TransportError{Op: op, Path: path, Attempts: 1, Err: err}
+			}
+			d := store.NewDec(payload)
+			ev := decodeEventWire(d)
+			if derr := d.Err(); derr != nil || !d.Done() {
+				if derr == nil {
+					derr = fmt.Errorf("%d trailing bytes", d.Remaining())
+				}
+				c.met.errors.Add(1)
+				return &TransportError{Op: op, Path: path, Attempts: 1,
+					Err: fmt.Errorf("malformed event frame: %w", derr)}
+			}
+			if onEvent != nil {
+				if err := onEvent(ev); err != nil {
+					return err
+				}
+			}
+		}
 	}
 	sc := bufio.NewScanner(resp.Body)
 	sc.Buffer(make([]byte, 0, 64<<10), maxResponseBytes)
@@ -508,7 +568,7 @@ func (c *Client) HarvestBatch(ctx context.Context, req HarvestRequest, onEvent f
 		var ev HarvestEvent
 		if err := json.Unmarshal(line, &ev); err != nil {
 			c.met.errors.Add(1)
-			return &TransportError{Op: "harvest", Path: path, Attempts: 1,
+			return &TransportError{Op: op, Path: path, Attempts: 1,
 				Err: fmt.Errorf("malformed event %q: %w", line, err)}
 		}
 		if onEvent != nil {
@@ -519,7 +579,7 @@ func (c *Client) HarvestBatch(ctx context.Context, req HarvestRequest, onEvent f
 	}
 	if err := sc.Err(); err != nil {
 		c.met.errors.Add(1)
-		return &TransportError{Op: "harvest", Path: path, Attempts: 1, Err: err}
+		return &TransportError{Op: op, Path: path, Attempts: 1, Err: err}
 	}
 	return nil
 }

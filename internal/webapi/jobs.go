@@ -19,16 +19,13 @@ package webapi
 // with HarvestRequest.Resume.
 
 import (
-	"bufio"
 	"bytes"
 	"context"
 	"encoding/json"
 	"fmt"
 	"io"
 	"net/http"
-	"strings"
 	"sync"
-	"time"
 
 	"l2q/internal/core"
 	"l2q/internal/corpus"
@@ -193,17 +190,17 @@ func (j *serverJob) waitEvents(ctx context.Context, from int) (evs []HarvestEven
 func (s *Server) handleJobSubmit(w http.ResponseWriter, r *http.Request) {
 	hb := s.Harvest
 	if hb == nil {
-		http.Error(w, "harvesting not enabled on this server", http.StatusNotImplemented)
+		writeError(w, http.StatusNotImplemented, "harvesting not enabled on this server")
 		return
 	}
 	var req HarvestRequest
 	if err := json.NewDecoder(io.LimitReader(r.Body, 1<<20)).Decode(&req); err != nil {
-		http.Error(w, "bad request body: "+err.Error(), http.StatusBadRequest)
+		writeError(w, http.StatusBadRequest, "bad request body: "+err.Error())
 		return
 	}
 	p, perr := hb.plan(req)
 	if perr != nil {
-		http.Error(w, perr.msg, perr.status)
+		writeError(w, perr.status, perr.msg)
 		return
 	}
 
@@ -313,7 +310,7 @@ func (s *Server) lookupJob(id string) *serverJob {
 func (s *Server) handleJobGet(w http.ResponseWriter, r *http.Request) {
 	j := s.lookupJob(r.PathValue("id"))
 	if j == nil {
-		http.NotFound(w, r)
+		writeError(w, http.StatusNotFound, "no such job")
 		return
 	}
 	if r.URL.Query().Get("stream") == "" {
@@ -321,20 +318,19 @@ func (s *Server) handleJobGet(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 
-	// Replay-then-follow NDJSON stream: everything logged so far, then
-	// live events until the job reaches a final state. The stream also
-	// ends when the server shuts down (the job itself is aborted by the
-	// same signal, so followers see its final events first).
+	// Replay-then-follow event stream (negotiated codec: wire frames or
+	// NDJSON): everything logged so far, then live events until the job
+	// reaches a final state. The stream also ends when the server shuts
+	// down (the job itself is aborted by the same signal, so followers
+	// see its final events first).
 	ctx, cancel := context.WithCancel(r.Context())
 	defer cancel()
 	stop := context.AfterFunc(s.ctx, cancel)
 	defer stop()
 
-	w.Header().Set("Content-Type", "application/x-ndjson")
-	rc := http.NewResponseController(w)
-	w.WriteHeader(http.StatusOK)
-	fl, _ := w.(http.Flusher)
-	enc := json.NewEncoder(w)
+	// A failed write cancels ctx, which ends the follow loop at the next
+	// waitEvents — the reader is gone.
+	emit := s.eventEmitter(w, r, cancel)
 	from := 0
 	for {
 		evs, final, err := j.waitEvents(ctx, from)
@@ -342,13 +338,7 @@ func (s *Server) handleJobGet(w http.ResponseWriter, r *http.Request) {
 			return // reader is gone or server is draining
 		}
 		for _, ev := range evs {
-			_ = rc.SetWriteDeadline(time.Now().Add(writeTimeout))
-			if err := enc.Encode(ev); err != nil {
-				return
-			}
-		}
-		if fl != nil && len(evs) > 0 {
-			fl.Flush()
+			emit(ev)
 		}
 		from += len(evs)
 		if final {
@@ -361,7 +351,7 @@ func (s *Server) handleJobDelete(w http.ResponseWriter, r *http.Request) {
 	id := r.PathValue("id")
 	j := s.lookupJob(id)
 	if j == nil {
-		http.NotFound(w, r)
+		writeError(w, http.StatusNotFound, "no such job")
 		return
 	}
 	if j.stateName() == JobQueued || j.stateName() == JobRunning {
@@ -385,7 +375,7 @@ func (c *Client) SubmitJob(ctx context.Context, req HarvestRequest) (string, err
 	if err != nil {
 		return "", fmt.Errorf("webapi: jobs: encode request: %w", err)
 	}
-	const path = "/api/jobs"
+	path := c.api("/jobs")
 	hreq, err := http.NewRequestWithContext(ctx, http.MethodPost, c.base+path, bytes.NewReader(body))
 	if err != nil {
 		return "", fmt.Errorf("webapi: jobs: %w", err)
@@ -399,10 +389,10 @@ func (c *Client) SubmitJob(ctx context.Context, req HarvestRequest) (string, err
 	}
 	defer resp.Body.Close()
 	if resp.StatusCode != http.StatusAccepted && resp.StatusCode != http.StatusOK {
-		snippet, _ := io.ReadAll(io.LimitReader(resp.Body, 256))
+		se := readError(resp)
 		c.met.errors.Add(1)
 		return "", &TransportError{Op: "jobs", Path: path, Attempts: 1, Status: resp.StatusCode,
-			Err: fmt.Errorf("%s", strings.TrimSpace(string(snippet)))}
+			Code: se.code, Err: se}
 	}
 	var out struct {
 		ID string `json:"id"`
@@ -418,7 +408,7 @@ func (c *Client) SubmitJob(ctx context.Context, req HarvestRequest) (string, err
 // JobStatus fetches a job's status; withCheckpoints includes the latest
 // per-entity checkpoints (the Resume payload).
 func (c *Client) JobStatus(ctx context.Context, id string, withCheckpoints bool) (JobStatus, error) {
-	path := "/api/jobs/" + id
+	path := c.api("/jobs/" + id)
 	if withCheckpoints {
 		path += "?checkpoints=1"
 	}
@@ -429,14 +419,18 @@ func (c *Client) JobStatus(ctx context.Context, id string, withCheckpoints bool)
 	return st, nil
 }
 
-// StreamJob follows a job's NDJSON event stream from the beginning,
-// delivering every event to onEvent in order until the job finishes, the
-// stream fails, or onEvent returns an error.
+// StreamJob follows a job's event stream from the beginning (wire frames
+// or NDJSON, whichever the server negotiates), delivering every event to
+// onEvent in order until the job finishes, the stream fails, or onEvent
+// returns an error.
 func (c *Client) StreamJob(ctx context.Context, id string, onEvent func(HarvestEvent) error) error {
-	path := "/api/jobs/" + id + "?stream=1"
+	path := c.api("/jobs/" + id + "?stream=1")
 	hreq, err := http.NewRequestWithContext(ctx, http.MethodGet, c.base+path, nil)
 	if err != nil {
 		return fmt.Errorf("webapi: jobs: %w", err)
+	}
+	if c.wantWire() {
+		hreq.Header.Set("Accept", wireContentType)
 	}
 	c.met.requests.Add(1)
 	// Transport-less client: the per-request timeout would sever the
@@ -448,41 +442,18 @@ func (c *Client) StreamJob(ctx context.Context, id string, onEvent func(HarvestE
 	}
 	defer resp.Body.Close()
 	if resp.StatusCode != http.StatusOK {
-		snippet, _ := io.ReadAll(io.LimitReader(resp.Body, 256))
+		se := readError(resp)
 		c.met.errors.Add(1)
 		return &TransportError{Op: "jobstream", Path: path, Attempts: 1, Status: resp.StatusCode,
-			Err: fmt.Errorf("%s", strings.TrimSpace(string(snippet)))}
+			Code: se.code, Err: se}
 	}
-	sc := bufio.NewScanner(resp.Body)
-	sc.Buffer(make([]byte, 0, 64<<10), maxResponseBytes)
-	for sc.Scan() {
-		line := bytes.TrimSpace(sc.Bytes())
-		if len(line) == 0 {
-			continue
-		}
-		var ev HarvestEvent
-		if err := json.Unmarshal(line, &ev); err != nil {
-			c.met.errors.Add(1)
-			return &TransportError{Op: "jobstream", Path: path, Attempts: 1,
-				Err: fmt.Errorf("malformed event %q: %w", line, err)}
-		}
-		if onEvent != nil {
-			if err := onEvent(ev); err != nil {
-				return err
-			}
-		}
-	}
-	if err := sc.Err(); err != nil {
-		c.met.errors.Add(1)
-		return &TransportError{Op: "jobstream", Path: path, Attempts: 1, Err: err}
-	}
-	return nil
+	return c.consumeEventStream(resp, "jobstream", path, onEvent)
 }
 
-// CancelJob cancels a running job (DELETE /api/jobs/{id}); calling it on
-// a finished job deletes the record instead.
+// CancelJob cancels a running job (DELETE /api/v1/jobs/{id}); calling it
+// on a finished job deletes the record instead.
 func (c *Client) CancelJob(ctx context.Context, id string) error {
-	path := "/api/jobs/" + id
+	path := c.api("/jobs/" + id)
 	hreq, err := http.NewRequestWithContext(ctx, http.MethodDelete, c.base+path, nil)
 	if err != nil {
 		return fmt.Errorf("webapi: jobs: %w", err)
@@ -494,19 +465,20 @@ func (c *Client) CancelJob(ctx context.Context, id string) error {
 		return &TransportError{Op: "jobcancel", Path: path, Attempts: 1, Err: err}
 	}
 	defer resp.Body.Close()
-	io.Copy(io.Discard, io.LimitReader(resp.Body, 1<<16))
 	if resp.StatusCode != http.StatusOK {
+		se := readError(resp)
 		c.met.errors.Add(1)
 		return &TransportError{Op: "jobcancel", Path: path, Attempts: 1, Status: resp.StatusCode,
-			Err: fmt.Errorf("cancel failed")}
+			Code: se.code, Err: se}
 	}
+	io.Copy(io.Discard, io.LimitReader(resp.Body, 1<<16))
 	return nil
 }
 
-// Metrics fetches the server-side counters (GET /api/metrics).
+// Metrics fetches the server-side counters (GET /api/v1/metrics).
 func (c *Client) ServerMetrics(ctx context.Context) (ServerMetrics, error) {
 	var m ServerMetrics
-	if err := c.getJSON(ctx, "metrics", "/api/metrics", &m); err != nil {
+	if err := c.getJSON(ctx, "metrics", c.api("/metrics"), &m); err != nil {
 		return m, err
 	}
 	return m, nil

@@ -2,10 +2,13 @@ package webapi
 
 import (
 	"context"
+	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
 	"math/rand/v2"
 	"net/http"
+	"strings"
 	"sync/atomic"
 	"time"
 )
@@ -78,6 +81,10 @@ type TransportError struct {
 	// Status is the last HTTP status received (0 when the failure was
 	// below HTTP: dial errors, timeouts, truncated bodies).
 	Status int
+	// Code is the machine-readable error code from the server's error
+	// envelope ("" when the failure was below HTTP or the body carried
+	// no envelope — a pre-envelope server, a proxy error page).
+	Code string
 	// Err is the last underlying error.
 	Err error
 }
@@ -93,24 +100,53 @@ func (e *TransportError) Error() string {
 
 func (e *TransportError) Unwrap() error { return e.Err }
 
-// statusError marks an HTTP error status inside the retry loop.
+// statusError marks an HTTP error status inside the retry loop, carrying
+// the decoded error envelope when the body held one.
 type statusError struct {
 	status int
-	body   string
+	// code and the retryable hint come from the server's error envelope;
+	// hinted is false when the body carried none (a pre-envelope server,
+	// an intermediary's error page, an injected plain-text fault).
+	code      string
+	body      string
+	hinted    bool
+	retryHint bool
 }
 
 func (e *statusError) Error() string {
 	if e.body == "" {
 		return http.StatusText(e.status)
 	}
+	if e.code != "" {
+		return fmt.Sprintf("%s: %s: %s", http.StatusText(e.status), e.code, e.body)
+	}
 	return fmt.Sprintf("%s: %s", http.StatusText(e.status), e.body)
+}
+
+// readError drains a non-200 response into a statusError, decoding the
+// API's JSON error envelope when the body carries one. Only a bounded
+// prefix of the body is ever read: a misbehaving server's multi-megabyte
+// 500 page is not worth transferring to truncate.
+func readError(resp *http.Response) *statusError {
+	snippet, _ := io.ReadAll(io.LimitReader(resp.Body, 1<<10))
+	se := &statusError{status: resp.StatusCode, body: strings.TrimSpace(string(snippet))}
+	var env errorEnvelope
+	if json.Unmarshal(snippet, &env) == nil && env.Error.Message != "" {
+		se.code = env.Error.Code
+		se.body = env.Error.Message
+		se.hinted = true
+		se.retryHint = env.Error.Retryable
+	}
+	return se
 }
 
 // retryable classifies an in-loop failure. Connection errors, per-request
 // timeouts, truncated reads and malformed payloads are transient (the
-// server and corpus are healthy invariants; the wire is not); 5xx and 429
-// are server-side hiccups worth retrying; other HTTP statuses are
-// contract errors that retrying cannot fix. Cancellation is judged by the
+// server and corpus are healthy invariants; the wire is not). For HTTP
+// error statuses the server's envelope hint wins when present; without
+// one (a pre-envelope server, a proxy error page), 5xx and 429 are
+// server-side hiccups worth retrying and other statuses are contract
+// errors that retrying cannot fix. Cancellation is judged by the
 // caller's context, not by error identity: an http.Client per-request
 // Timeout also surfaces as context.DeadlineExceeded, and that is exactly
 // the fault class the retry loop exists to absorb — only the caller's own
@@ -121,6 +157,9 @@ func retryable(ctx context.Context, err error) bool {
 	}
 	var se *statusError
 	if errors.As(err, &se) {
+		if se.hinted {
+			return se.retryHint
+		}
 		return se.status >= 500 || se.status == http.StatusTooManyRequests
 	}
 	return true

@@ -1,0 +1,200 @@
+package webapi
+
+// The versioned serving surface. Every route the server exposes is
+// declared exactly once, in the registry below: method, canonical
+// /api/v1 path, the pre-v1 alias kept for one release, the binary frame
+// kind the route can negotiate, and whether the request is a long-lived
+// event stream. Handler() mounts the registry; instrument() applies each
+// route's declared behavior (write deadline, Vary header) so no handler
+// or middleware has to pattern-match paths to know how to treat a
+// request — the previous hand-rolled wiring spread across server.go,
+// harvest.go and jobs.go.
+//
+// Codec negotiation is per request: a client that sends
+// Accept: application/x-l2q-wire on a wire-capable route receives one
+// L2QWIR1 frame (or a frame sequence, on streams); everyone else gets
+// JSON, which stays the default and the debug path. Errors are ALWAYS
+// the JSON envelope below, on every route and both codecs, so one error
+// decoder serves the whole API.
+
+import (
+	"encoding/json"
+	"net/http"
+	"strconv"
+	"strings"
+	"time"
+
+	"l2q/internal/store"
+)
+
+// apiRoute is one row of the serving surface's route registry.
+type apiRoute struct {
+	method string
+	// path is the canonical versioned pattern (/api/v1/...) or a bare
+	// non-API path (/healthz, /page/{id}).
+	path string
+	// legacy is the pre-v1 alias, served identically for one release
+	// ("" = the route was never under /api).
+	legacy string
+	// wire is the binary frame kind this route can negotiate
+	// (0 = the route is JSON-only).
+	wire byte
+	// stream reports whether this request is a long-lived event stream,
+	// exempt from the static write deadline (streams roll their own
+	// deadline per event). nil = never streams.
+	stream func(*http.Request) bool
+	h      http.HandlerFunc
+}
+
+// routes is the one registry of the serving surface.
+func (s *Server) routes() []apiRoute {
+	always := func(*http.Request) bool { return true }
+	streamParam := func(r *http.Request) bool { return r.URL.Query().Get("stream") != "" }
+	return []apiRoute{
+		{method: "GET", path: "/healthz", h: s.handleHealthz},
+		{method: "GET", path: "/api/v1/stats", legacy: "/api/stats", wire: wireStats, h: s.handleStats},
+		{method: "GET", path: "/api/v1/search", legacy: "/api/search", wire: wireSearch, h: s.handleSearch},
+		{method: "GET", path: "/api/v1/collfreq", legacy: "/api/collfreq", wire: wireCollFreq, h: s.handleCollFreq},
+		{method: "GET", path: "/api/v1/entities", legacy: "/api/entities", wire: wireEntities, h: s.handleEntities},
+		{method: "GET", path: "/api/v1/metrics", legacy: "/api/metrics", h: s.handleMetrics},
+		{method: "POST", path: "/api/v1/harvest", legacy: "/api/harvest", wire: wireEvent, stream: always, h: s.handleHarvest},
+		{method: "POST", path: "/api/v1/jobs", legacy: "/api/jobs", h: s.handleJobSubmit},
+		{method: "GET", path: "/api/v1/jobs/{id}", legacy: "/api/jobs/{id}", wire: wireEvent, stream: streamParam, h: s.handleJobGet},
+		{method: "DELETE", path: "/api/v1/jobs/{id}", legacy: "/api/jobs/{id}", h: s.handleJobDelete},
+		{method: "GET", path: "/page/{id}", wire: wirePage, h: s.handlePage},
+	}
+}
+
+// Handler returns the routed http.Handler (useful for httptest or custom
+// servers). Safe to call from concurrent goroutines.
+func (s *Server) Handler() http.Handler {
+	s.semaphore()
+	mux := http.NewServeMux()
+	for _, rt := range s.routes() {
+		h := s.instrument(rt)
+		mux.Handle(rt.method+" "+rt.path, h)
+		if rt.legacy != "" {
+			mux.Handle(rt.method+" "+rt.legacy, h)
+		}
+	}
+	return s.limit(mux)
+}
+
+// instrument wraps one route's handler with its registry-declared
+// behavior: the static write deadline on non-streaming requests (a
+// slow-reading client must not pin a handler and its semaphore slot
+// forever; streams roll their own deadline per event) and a Vary header
+// on codec-negotiated routes (two representations of one resource —
+// caches must key on the negotiation header). Deadline errors are
+// best-effort: not every ResponseWriter supports them (httptest
+// recorders).
+func (s *Server) instrument(rt apiRoute) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if rt.wire != 0 {
+			w.Header().Add("Vary", "Accept")
+		}
+		if rt.stream == nil || !rt.stream(r) {
+			_ = http.NewResponseController(w).SetWriteDeadline(time.Now().Add(writeTimeout))
+		}
+		rt.h(w, r)
+	})
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	w.WriteHeader(http.StatusOK)
+	w.Write([]byte("ok\n"))
+}
+
+// wantsWire reports whether the request negotiated the binary codec.
+func (s *Server) wantsWire(r *http.Request) bool {
+	if s.WireDisabled {
+		return false
+	}
+	return strings.Contains(r.Header.Get("Accept"), wireContentType)
+}
+
+// compressMin resolves the server's gzip threshold: CompressMin bytes,
+// DefaultCompressMin when unset, never when negative.
+func (s *Server) compressMin() int {
+	switch {
+	case s.CompressMin < 0:
+		return 0
+	case s.CompressMin == 0:
+		return DefaultCompressMin
+	default:
+		return s.CompressMin
+	}
+}
+
+// respond writes one payload in the negotiated codec: a single wire
+// frame of the given kind, or jsonV as JSON (the default).
+func (s *Server) respond(w http.ResponseWriter, r *http.Request, kind byte, encode func(*store.Enc), jsonV any) {
+	if !s.wantsWire(r) {
+		writeJSON(w, jsonV)
+		return
+	}
+	frame := marshalFrame(kind, s.compressMin(), encode)
+	w.Header().Set("Content-Type", wireContentType)
+	w.Header().Set("Content-Length", strconv.Itoa(len(frame)))
+	_, _ = w.Write(frame)
+}
+
+// apiError is the error payload inside the envelope.
+type apiError struct {
+	// Code is a stable machine-readable discriminator.
+	Code string `json:"code"`
+	// Message is the human-readable failure description.
+	Message string `json:"message"`
+	// Retryable is the server's hint: true when re-issuing the identical
+	// request may succeed (overload, transient internal failure).
+	Retryable bool `json:"retryable"`
+}
+
+// errorEnvelope is the ONE error shape every handler emits:
+// {"error":{"code","message","retryable"}}. Clients decode it into
+// *TransportError; the retryable hint feeds the client's retry loop.
+type errorEnvelope struct {
+	Error apiError `json:"error"`
+}
+
+// errorCode maps an HTTP status to its envelope code.
+func errorCode(status int) string {
+	switch status {
+	case http.StatusBadRequest:
+		return "bad_request"
+	case http.StatusNotFound:
+		return "not_found"
+	case http.StatusNotImplemented:
+		return "not_implemented"
+	case http.StatusServiceUnavailable:
+		return "unavailable"
+	case http.StatusTooManyRequests:
+		return "throttled"
+	default:
+		if status >= 500 {
+			return "internal"
+		}
+		return "error"
+	}
+}
+
+// statusRetryable is the server's retryability rule: overload and
+// transient server-side failures are worth re-issuing; contract errors
+// (4xx) and permanently absent capabilities (501) are not.
+func statusRetryable(status int) bool {
+	return status == http.StatusTooManyRequests ||
+		(status >= 500 && status != http.StatusNotImplemented)
+}
+
+// writeError emits the API's unified JSON error envelope. Errors are
+// never framed, even on wire-negotiated requests: a client must be able
+// to decode a failure before (or without) speaking the binary codec.
+func writeError(w http.ResponseWriter, status int, msg string) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(errorEnvelope{Error: apiError{
+		Code:      errorCode(status),
+		Message:   msg,
+		Retryable: statusRetryable(status),
+	}})
+}

@@ -29,6 +29,7 @@ import (
 	"l2q/internal/html"
 	"l2q/internal/pipeline"
 	"l2q/internal/search"
+	"l2q/internal/store"
 	"l2q/internal/textproc"
 )
 
@@ -79,10 +80,18 @@ type Server struct {
 	// MaxConcurrent bounds in-flight requests (default 64). Set it before
 	// the first request; later changes are ignored.
 	MaxConcurrent int
-	// Harvest, when non-nil, enables the POST /api/harvest batch endpoint
-	// (server-side pipelined sessions with streamed NDJSON progress) and
-	// the asynchronous jobs API (POST/GET/DELETE /api/jobs).
+	// Harvest, when non-nil, enables the POST /api/v1/harvest batch
+	// endpoint (server-side pipelined sessions with streamed progress)
+	// and the asynchronous jobs API (POST/GET/DELETE /api/v1/jobs).
 	Harvest *HarvestBackend
+	// WireDisabled turns off binary-frame negotiation: the server
+	// answers every request in JSON regardless of Accept (the mixed-
+	// version/debug posture).
+	WireDisabled bool
+	// CompressMin is the gzip threshold for wire-frame payloads: frames
+	// at least this large are compressed. 0 picks DefaultCompressMin;
+	// negative disables compression entirely.
+	CompressMin int
 
 	semOnce sync.Once
 	sem     chan struct{}
@@ -151,36 +160,15 @@ func (s *Server) semaphore() chan struct{} {
 	return s.sem
 }
 
-// Handler returns the routed http.Handler (useful for httptest or custom
-// servers). Safe to call from concurrent goroutines.
-func (s *Server) Handler() http.Handler {
-	s.semaphore()
-	mux := http.NewServeMux()
-	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, _ *http.Request) {
-		w.WriteHeader(http.StatusOK)
-		fmt.Fprintln(w, "ok")
-	})
-	mux.HandleFunc("GET /api/stats", s.handleStats)
-	mux.HandleFunc("GET /api/search", s.handleSearch)
-	mux.HandleFunc("GET /api/collfreq", s.handleCollFreq)
-	mux.HandleFunc("GET /api/entities", s.handleEntities)
-	mux.HandleFunc("GET /api/metrics", s.handleMetrics)
-	mux.HandleFunc("POST /api/harvest", s.handleHarvest)
-	mux.HandleFunc("POST /api/jobs", s.handleJobSubmit)
-	mux.HandleFunc("GET /api/jobs/{id}", s.handleJobGet)
-	mux.HandleFunc("DELETE /api/jobs/{id}", s.handleJobDelete)
-	mux.HandleFunc("GET /page/{id}", s.handlePage)
-	return s.limit(mux)
-}
-
 // writeTimeout bounds response writes. It is applied per request (and, on
-// the harvest stream, rolled forward per event) instead of as a
-// server-wide WriteTimeout, which would sever NDJSON streams that outlive
-// one fixed deadline.
+// the event streams, rolled forward per event) instead of as a
+// server-wide WriteTimeout, which would sever streams that outlive one
+// fixed deadline. Route-specific treatment (streams exempt, everything
+// else bounded) lives in the route registry — see routes.go.
 const writeTimeout = 30 * time.Second
 
-// limit applies the concurrency bound, per-route write deadlines, and
-// request logging.
+// limit applies the concurrency bound and request logging. Per-route
+// write deadlines are applied by instrument() from the route registry.
 func (s *Server) limit(next http.Handler) http.Handler {
 	sem := s.semaphore()
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
@@ -188,20 +176,8 @@ func (s *Server) limit(next http.Handler) http.Handler {
 		case sem <- struct{}{}:
 			defer func() { <-sem }()
 		case <-r.Context().Done():
-			http.Error(w, "canceled", http.StatusServiceUnavailable)
+			writeError(w, http.StatusServiceUnavailable, "canceled while waiting for a concurrency slot")
 			return
-		}
-		// A slow-reading client must not pin a handler (and its
-		// semaphore slot) forever. Only the two long-lived NDJSON
-		// streams are exempt — they roll their own deadline per event;
-		// every other route (including plain job status/DELETE, whose
-		// checkpoint payloads can exceed a socket buffer) gets the
-		// static deadline. Not every ResponseWriter supports deadlines
-		// (httptest recorders); ignore the error.
-		streaming := r.URL.Path == "/api/harvest" ||
-			(strings.HasPrefix(r.URL.Path, "/api/jobs/") && r.URL.Query().Get("stream") != "")
-		if !streaming {
-			_ = http.NewResponseController(w).SetWriteDeadline(time.Now().Add(writeTimeout))
 		}
 		s.requests.Add(1)
 		start := time.Now()
@@ -303,9 +279,9 @@ func writeJSON(w http.ResponseWriter, v any) {
 	}
 }
 
-func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	idx := s.engine.Index()
-	writeJSON(w, Stats{
+	st := Stats{
 		Domain:      string(s.corpus.Domain),
 		NumEntities: s.corpus.NumEntities(),
 		NumPages:    s.corpus.NumPages(),
@@ -313,7 +289,8 @@ func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
 		TotalTokens: idx.TotalTokens(),
 		Mu:          s.engine.Mu(),
 		TopK:        s.engine.TopK(),
-	})
+	}
+	s.respond(w, r, wireStats, func(e *store.Enc) { encodeStatsWire(e, st) }, st)
 }
 
 func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
@@ -321,14 +298,14 @@ func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
 	seed := r.URL.Query().Get("seed")
 	if q == "" && seed == "" {
 		// A seed-only (or q-only) search is valid; only both-empty is not.
-		http.Error(w, "missing query: provide q and/or seed", http.StatusBadRequest)
+		writeError(w, http.StatusBadRequest, "missing query: provide q and/or seed")
 		return
 	}
 	engine := s.engine
 	if kStr := r.URL.Query().Get("k"); kStr != "" {
 		k, err := strconv.Atoi(kStr)
 		if err != nil || k <= 0 || k > 100 {
-			http.Error(w, "bad k parameter", http.StatusBadRequest)
+			writeError(w, http.StatusBadRequest, "bad k parameter")
 			return
 		}
 		engine = engine.WithTopK(k)
@@ -340,18 +317,18 @@ func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
 			PageID: h.Page.ID, URL: h.Page.URL, Title: h.Page.Title, Score: h.Score,
 		})
 	}
-	writeJSON(w, resp)
+	s.respond(w, r, wireSearch, func(e *store.Enc) { encodeSearchWire(e, resp) }, resp)
 }
 
 func (s *Server) handleCollFreq(w http.ResponseWriter, r *http.Request) {
 	tokens := r.URL.Query().Get("tokens")
 	if tokens == "" {
-		http.Error(w, "missing tokens parameter", http.StatusBadRequest)
+		writeError(w, http.StatusBadRequest, "missing tokens parameter")
 		return
 	}
 	toks := strings.Split(tokens, ",")
 	if len(toks) > 10000 {
-		http.Error(w, "too many tokens", http.StatusBadRequest)
+		writeError(w, http.StatusBadRequest, "too many tokens")
 		return
 	}
 	idx := s.engine.Index()
@@ -359,33 +336,46 @@ func (s *Server) handleCollFreq(w http.ResponseWriter, r *http.Request) {
 	for _, t := range toks {
 		freqs[t] = idx.CollectionFreq(t)
 	}
-	writeJSON(w, map[string]map[string]int{"freqs": freqs})
+	s.respond(w, r, wireCollFreq, func(e *store.Enc) { encodeCollFreqWire(e, freqs) },
+		map[string]map[string]int{"freqs": freqs})
 }
 
-func (s *Server) handleEntities(w http.ResponseWriter, _ *http.Request) {
+func (s *Server) handleEntities(w http.ResponseWriter, r *http.Request) {
 	out := make([]EntityInfo, 0, s.corpus.NumEntities())
 	for _, e := range s.corpus.Entities {
 		out = append(out, EntityInfo{ID: e.ID, Name: e.Name, SeedQuery: e.SeedQuery})
 	}
-	writeJSON(w, out)
+	s.respond(w, r, wireEntities, func(e *store.Enc) { encodeEntitiesWire(e, out) }, out)
 }
 
-// handlePage serves the rendered HTML of one corpus page at /page/{id}
-// where {id} is "<n>.html" (the canonical html.PageHref form) or a bare
-// numeric ID.
+// handlePage serves one corpus page at /page/{id} where {id} is
+// "<n>.html" (the canonical html.PageHref form) or a bare numeric ID —
+// as raw HTML by default, or as a wire frame carrying the identical
+// bytes (gzipped past the threshold) when negotiated. Page bodies are
+// the serving boundary's dominant transfer cost (one query fans out to
+// top-K page downloads), which is why this is the payload the compress
+// threshold is aimed at.
 func (s *Server) handlePage(w http.ResponseWriter, r *http.Request) {
 	raw := r.PathValue("id")
 	raw = strings.TrimSuffix(raw, ".html")
 	id, err := strconv.Atoi(raw)
 	if err != nil {
-		http.Error(w, "bad page id", http.StatusBadRequest)
+		writeError(w, http.StatusBadRequest, "bad page id")
 		return
 	}
 	p, ok := s.pages[corpus.PageID(id)]
 	if !ok {
-		http.NotFound(w, r)
+		writeError(w, http.StatusNotFound, "no such page")
+		return
+	}
+	body := html.RenderPage(p)
+	if s.wantsWire(r) {
+		frame := marshalFrame(wirePage, s.compressMin(), func(e *store.Enc) { e.Raw([]byte(body)) })
+		w.Header().Set("Content-Type", wireContentType)
+		w.Header().Set("Content-Length", strconv.Itoa(len(frame)))
+		_, _ = w.Write(frame)
 		return
 	}
 	w.Header().Set("Content-Type", "text/html; charset=utf-8")
-	fmt.Fprint(w, html.RenderPage(p))
+	fmt.Fprint(w, body)
 }

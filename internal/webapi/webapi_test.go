@@ -225,7 +225,7 @@ func TestSearchKParameter(t *testing.T) {
 
 func TestEntitiesEndpoint(t *testing.T) {
 	f := newFixture(t)
-	ents, err := f.client.Entities()
+	ents, err := f.client.Entities(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,0 +1,684 @@
+package webapi
+
+import (
+	"bytes"
+	"context"
+	"encoding/binary"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"reflect"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"l2q/internal/classify"
+	"l2q/internal/core"
+	"l2q/internal/corpus"
+	"l2q/internal/html"
+	"l2q/internal/search"
+	"l2q/internal/store"
+	"l2q/internal/synth"
+	"l2q/internal/types"
+)
+
+// roundTripFrame encodes one payload into a frame and opens it again.
+func roundTripFrame(t *testing.T, kind byte, compressMin int, encode func(*store.Enc)) []byte {
+	t.Helper()
+	frame := marshalFrame(kind, compressMin, encode)
+	payload, err := openFrame(frame, kind)
+	if err != nil {
+		t.Fatalf("openFrame: %v", err)
+	}
+	return payload
+}
+
+func TestWireFrameRoundTrips(t *testing.T) {
+	st := Stats{Domain: "cars", NumEntities: 3, NumPages: 40, NumTerms: 900,
+		TotalTokens: 12345, Mu: 2000.5, TopK: 10}
+	payload := roundTripFrame(t, wireStats, 0, func(e *store.Enc) { encodeStatsWire(e, st) })
+	d := store.NewDec(payload)
+	if got := decodeStatsWire(d); got != st || d.Err() != nil || !d.Done() {
+		t.Errorf("stats round trip: got %+v want %+v (err %v)", got, st, d.Err())
+	}
+
+	sr := SearchResponse{Query: "engine safety", Seed: "volvo", Hits: []SearchHit{
+		{PageID: 7, URL: "/page/7.html", Title: "t7", Score: -3.25},
+		{PageID: 0, URL: "/page/0.html", Title: "", Score: 0},
+	}}
+	payload = roundTripFrame(t, wireSearch, 0, func(e *store.Enc) { encodeSearchWire(e, sr) })
+	d = store.NewDec(payload)
+	if got := decodeSearchWire(d); !reflect.DeepEqual(got, sr) || !d.Done() {
+		t.Errorf("search round trip: got %+v want %+v", got, sr)
+	}
+
+	freqs := map[string]int{"engine": 12, "safety": 3, "zzz": 0}
+	payload = roundTripFrame(t, wireCollFreq, 0, func(e *store.Enc) { encodeCollFreqWire(e, freqs) })
+	d = store.NewDec(payload)
+	if got := decodeCollFreqWire(d); !reflect.DeepEqual(got, freqs) || !d.Done() {
+		t.Errorf("collfreq round trip: got %v want %v", got, freqs)
+	}
+
+	ents := []EntityInfo{{ID: 1, Name: "a", SeedQuery: "a q"}, {ID: 9, Name: "b", SeedQuery: "b q"}}
+	payload = roundTripFrame(t, wireEntities, 0, func(e *store.Enc) { encodeEntitiesWire(e, ents) })
+	d = store.NewDec(payload)
+	if got := decodeEntitiesWire(d); !reflect.DeepEqual(got, ents) || !d.Done() {
+		t.Errorf("entities round trip: got %v want %v", got, ents)
+	}
+
+	evs := []HarvestEvent{
+		{Type: "progress", Entity: 4, Iteration: 2, Query: "q x", NewPages: 3, TotalPages: 11},
+		{Type: "entity", Entity: 4, Fired: []string{"a", "b"}, Pages: []corpus.PageID{3, 9, 40}},
+		{Type: "error", Entity: 5, Error: "unknown entity id 5"},
+		{Type: "done", Entities: 2, Failed: 1},
+	}
+	for _, ev := range evs {
+		payload = roundTripFrame(t, wireEvent, 0, func(e *store.Enc) { encodeEventWire(e, ev) })
+		d = store.NewDec(payload)
+		if got := decodeEventWire(d); !reflect.DeepEqual(got, ev) || !d.Done() {
+			t.Errorf("event round trip: got %+v want %+v", got, ev)
+		}
+	}
+}
+
+// TestWireEventJSONParity: a harvest event survives the binary codec
+// exactly as it survives encoding/json with its omitempty tags — the
+// decoded-value parity that lets the two stream codecs interchange.
+func TestWireEventJSONParity(t *testing.T) {
+	evs := []HarvestEvent{
+		{Type: "progress", Entity: 1, Iteration: 3, Query: "a b", NewPages: 1, TotalPages: 2},
+		{Type: "entity", Entity: 2, Fired: []string{"x"}, Pages: []corpus.PageID{1}},
+		{Type: "entity", Entity: 3}, // empty slices must round trip as nil
+		{Type: "done", Entities: 5, Failed: 0},
+	}
+	for _, ev := range evs {
+		raw, err := json.Marshal(ev)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var viaJSON HarvestEvent
+		if err := json.Unmarshal(raw, &viaJSON); err != nil {
+			t.Fatal(err)
+		}
+		payload := roundTripFrame(t, wireEvent, 0, func(e *store.Enc) { encodeEventWire(e, ev) })
+		d := store.NewDec(payload)
+		viaWire := decodeEventWire(d)
+		if !reflect.DeepEqual(viaJSON, viaWire) {
+			t.Errorf("codec divergence:\n json %+v\n wire %+v", viaJSON, viaWire)
+		}
+	}
+}
+
+func TestWireFrameCompression(t *testing.T) {
+	big := bytes.Repeat([]byte("the same paragraph over and over "), 200)
+	framed := marshalFrame(wirePage, 1024, func(e *store.Enc) { e.Raw(big) })
+	if framed[len(wireMagic)+1]&wireFlagGzip == 0 {
+		t.Fatal("large compressible payload not gzipped")
+	}
+	if len(framed) >= len(big) {
+		t.Errorf("compressed frame (%d bytes) not smaller than payload (%d)", len(framed), len(big))
+	}
+	payload, err := openFrame(framed, wirePage)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(payload, big) {
+		t.Error("gzipped payload did not round trip")
+	}
+
+	// Below the threshold: no compression flag, payload verbatim.
+	small := []byte("tiny")
+	framed = marshalFrame(wirePage, 1024, func(e *store.Enc) { e.Raw(small) })
+	if framed[len(wireMagic)+1]&wireFlagGzip != 0 {
+		t.Error("sub-threshold payload was gzipped")
+	}
+	// Threshold 0: compression disabled outright.
+	framed = marshalFrame(wirePage, 0, func(e *store.Enc) { e.Raw(big) })
+	if framed[len(wireMagic)+1]&wireFlagGzip != 0 {
+		t.Error("compressMin=0 still gzipped")
+	}
+}
+
+func TestWireFrameCorruption(t *testing.T) {
+	frame := marshalFrame(wireSearch, 0, func(e *store.Enc) {
+		encodeSearchWire(e, SearchResponse{Query: "q", Hits: []SearchHit{{PageID: 3, URL: "u", Title: "t", Score: 1}}})
+	})
+
+	if _, err := openFrame([]byte("not a frame"), wireSearch); err == nil {
+		t.Error("bad magic accepted")
+	}
+	if _, err := openFrame(frame[:len(frame)-3], wireSearch); err == nil {
+		t.Error("truncated frame accepted")
+	}
+	if _, err := openFrame(append(append([]byte{}, frame...), 0xff), wireSearch); err == nil {
+		t.Error("trailing bytes accepted")
+	}
+	if _, err := openFrame(frame, wireStats); err == nil {
+		t.Error("wrong kind accepted")
+	}
+	flipped := append([]byte{}, frame...)
+	flipped[len(flipped)-1] ^= 0x01
+	if _, err := openFrame(flipped, wireSearch); err == nil || !strings.Contains(err.Error(), "checksum") {
+		t.Errorf("payload corruption not caught by CRC: %v", err)
+	}
+}
+
+func TestFrameReaderStream(t *testing.T) {
+	evs := []HarvestEvent{
+		{Type: "progress", Entity: 1, Iteration: 1, Query: "a"},
+		{Type: "entity", Entity: 1, Fired: []string{"a"}, Pages: []corpus.PageID{2}},
+		{Type: "done", Entities: 1},
+	}
+	var buf bytes.Buffer
+	for _, ev := range evs {
+		buf.Write(marshalFrame(wireEvent, 0, func(e *store.Enc) { encodeEventWire(e, ev) }))
+	}
+
+	fr := newFrameReader(bytes.NewReader(buf.Bytes()))
+	for i, want := range evs {
+		payload, err := fr.next(wireEvent)
+		if err != nil {
+			t.Fatalf("frame %d: %v", i, err)
+		}
+		d := store.NewDec(payload)
+		if got := decodeEventWire(d); !reflect.DeepEqual(got, want) {
+			t.Errorf("frame %d: got %+v want %+v", i, got, want)
+		}
+	}
+	if _, err := fr.next(wireEvent); err != io.EOF {
+		t.Errorf("clean stream end: %v, want io.EOF", err)
+	}
+
+	// A stream severed mid-frame is a detected error, not a silent EOF.
+	fr = newFrameReader(bytes.NewReader(buf.Bytes()[:buf.Len()-4]))
+	var err error
+	for err == nil {
+		_, err = fr.next(wireEvent)
+	}
+	if err == io.EOF {
+		t.Error("mid-frame truncation reported as clean EOF")
+	}
+}
+
+// TestNegotiationMatrix drives every cell of the codec matrix over real
+// HTTP: Accept binary vs JSON × gzip on/off × versioned vs legacy paths.
+func TestNegotiationMatrix(t *testing.T) {
+	g, err := synth.Generate(synth.TestConfig(synth.DomainCars))
+	if err != nil {
+		t.Fatal(err)
+	}
+	engine := search.NewEngine(search.BuildIndex(g.Corpus.Pages))
+
+	get := func(t *testing.T, srvURL, path string, wantWire bool) (body []byte, ct string) {
+		t.Helper()
+		req, err := http.NewRequest(http.MethodGet, srvURL+path, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if wantWire {
+			req.Header.Set("Accept", wireContentType)
+		}
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("GET %s = %d", path, resp.StatusCode)
+		}
+		b, err := io.ReadAll(resp.Body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return b, resp.Header.Get("Content-Type")
+	}
+
+	for _, tc := range []struct {
+		name        string
+		compressMin int
+	}{
+		{"gzip-on", 1},      // every compressible frame compresses
+		{"gzip-off", -1},    // compression disabled
+		{"gzip-default", 0}, // DefaultCompressMin threshold
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			srvObj := NewServer(g.Corpus, engine)
+			srvObj.CompressMin = tc.compressMin
+			srv := httptest.NewServer(srvObj.Handler())
+			defer srv.Close()
+
+			pageID := g.Corpus.Pages[2].ID
+			rawPage := html.RenderPage(g.Corpus.Pages[2])
+			for _, path := range []string{"/api/v1/stats", "/api/stats"} {
+				// Binary negotiated: one stats frame.
+				body, ct := get(t, srv.URL, path, true)
+				if ct != wireContentType || !isWireFrame(body) {
+					t.Fatalf("%s with Accept: got content-type %q, frame=%v", path, ct, isWireFrame(body))
+				}
+				var st Stats
+				if err := decodeFramePayload(body, wireStats, func(d *store.Dec) { st = decodeStatsWire(d) }); err != nil {
+					t.Fatal(err)
+				}
+				if st.NumPages != g.Corpus.NumPages() {
+					t.Errorf("%s wire stats %+v", path, st)
+				}
+				// JSON default: same values, no frame.
+				body, ct = get(t, srv.URL, path, false)
+				if isWireFrame(body) || !strings.HasPrefix(ct, "application/json") {
+					t.Fatalf("%s without Accept negotiated binary (ct %q)", path, ct)
+				}
+				var jst Stats
+				if err := json.Unmarshal(body, &jst); err != nil {
+					t.Fatal(err)
+				}
+				if jst != st {
+					t.Errorf("%s: JSON stats %+v != wire stats %+v", path, jst, st)
+				}
+			}
+
+			// Page bytes are identical through both codecs — the byte-level
+			// parity bar — and the gzip flag obeys the threshold.
+			frame, _ := get(t, srv.URL, html.PageHref(pageID), true)
+			if !isWireFrame(frame) {
+				t.Fatal("page with Accept did not frame")
+			}
+			gz := frame[len(wireMagic)+1]&wireFlagGzip != 0
+			wantGz := tc.compressMin >= 0 && len(rawPage) >= srvObj.compressMin()
+			if gz != wantGz {
+				t.Errorf("page frame gzip=%v, want %v (compressMin %d, page %d bytes)",
+					gz, wantGz, tc.compressMin, len(rawPage))
+			}
+			payload, err := openFrame(frame, wirePage)
+			if err != nil {
+				t.Fatal(err)
+			}
+			plain, _ := get(t, srv.URL, html.PageHref(pageID), false)
+			if !bytes.Equal(payload, plain) || !bytes.Equal(payload, []byte(rawPage)) {
+				t.Error("page bytes differ across codecs")
+			}
+		})
+	}
+
+	// WireDisabled: Accept is ignored, everything is JSON.
+	t.Run("wire-disabled", func(t *testing.T) {
+		srvObj := NewServer(g.Corpus, engine)
+		srvObj.WireDisabled = true
+		srv := httptest.NewServer(srvObj.Handler())
+		defer srv.Close()
+		body, _ := get(t, srv.URL, "/api/v1/stats", true)
+		if isWireFrame(body) {
+			t.Error("WireDisabled server framed a response")
+		}
+		// A binary-preferring client degrades transparently...
+		c, err := DialOpts(srv.URL, g.Tokenizer, ClientOptions{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if c.WireNegotiated() {
+			t.Error("client claims wire against a JSON-only server")
+		}
+		// ...but a CodecBinary client refuses to.
+		if _, err := DialOpts(srv.URL, g.Tokenizer, ClientOptions{Codec: CodecBinary}); err == nil {
+			t.Error("CodecBinary dial accepted a JSON-only server")
+		}
+	})
+
+	// CodecJSON: the client never asks for binary even against a
+	// wire-capable server.
+	t.Run("codec-json", func(t *testing.T) {
+		srv := httptest.NewServer(NewServer(g.Corpus, engine).Handler())
+		defer srv.Close()
+		c, err := DialOpts(srv.URL, g.Tokenizer, ClientOptions{Codec: CodecJSON})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if c.WireNegotiated() {
+			t.Error("CodecJSON client negotiated binary")
+		}
+		if _, err := c.Page(g.Corpus.Pages[0].ID); err != nil {
+			t.Fatal(err)
+		}
+	})
+}
+
+// TestMixedVersionFallback dials a pre-v1, JSON-only server (no /api/v1
+// routes, no wire codec) with a current binary-preferring client: the
+// dial probe falls back to the legacy surface and every call works.
+func TestMixedVersionFallback(t *testing.T) {
+	g, err := synth.Generate(synth.TestConfig(synth.DomainResearchers))
+	if err != nil {
+		t.Fatal(err)
+	}
+	engine := search.NewEngine(search.BuildIndex(g.Corpus.Pages))
+	srvObj := NewServer(g.Corpus, engine)
+	srvObj.WireDisabled = true
+	inner := srvObj.Handler()
+	// Emulate the previous release: the versioned surface does not exist.
+	old := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if strings.HasPrefix(r.URL.Path, "/api/v1/") {
+			http.NotFound(w, r)
+			return
+		}
+		inner.ServeHTTP(w, r)
+	}))
+	defer old.Close()
+
+	c, err := DialContext(context.Background(), old.URL, g.Tokenizer, ClientOptions{Codec: CodecAuto})
+	if err != nil {
+		t.Fatalf("dial against pre-v1 server: %v", err)
+	}
+	if c.WireNegotiated() {
+		t.Error("negotiated wire against a pre-v1 server")
+	}
+	if c.apiPrefix != "/api" {
+		t.Errorf("apiPrefix %q, want legacy /api", c.apiPrefix)
+	}
+	e := g.Corpus.Entities[0]
+	local := engine.SearchWithSeed(e.SeedTokens(), []string{"research"})
+	remote, err := c.SearchWithSeedErr(context.Background(), e.SeedTokens(), []string{"research"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(local) != len(remote) {
+		t.Fatalf("local %d hits, remote %d", len(local), len(remote))
+	}
+	ents, err := c.Entities(context.Background())
+	if err != nil || len(ents) != g.Corpus.NumEntities() {
+		t.Fatalf("entities over legacy surface: %d, %v", len(ents), err)
+	}
+}
+
+// TestErrorEnvelope: every handler's failure decodes into the one
+// envelope, surfaces as *TransportError with the machine-readable code,
+// and the server's retryable hint is honored over blind status-class
+// retrying.
+func TestErrorEnvelope(t *testing.T) {
+	f := newFixture(t)
+	for _, tc := range []struct {
+		path     string
+		status   int
+		code     string
+		whatness string
+	}{
+		{"/api/v1/search", http.StatusBadRequest, "bad_request", "missing query"},
+		{"/api/v1/collfreq", http.StatusBadRequest, "bad_request", "missing tokens"},
+		{"/page/999999.html", http.StatusNotFound, "not_found", "no such page"},
+		{"/api/v1/jobs/nope", http.StatusNotFound, "not_found", "no such job"},
+	} {
+		resp, err := http.Get(f.srv.URL + tc.path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var env errorEnvelope
+		derr := json.NewDecoder(resp.Body).Decode(&env)
+		resp.Body.Close()
+		if resp.StatusCode != tc.status || derr != nil {
+			t.Fatalf("GET %s = %d (decode %v), want %d envelope", tc.path, resp.StatusCode, derr, tc.status)
+		}
+		if env.Error.Code != tc.code || env.Error.Message == "" || env.Error.Retryable {
+			t.Errorf("GET %s envelope %+v, want code %s, non-retryable", tc.path, env.Error, tc.code)
+		}
+	}
+
+	// The client decodes the envelope into TransportError.Code.
+	_, err := f.client.PageCtx(context.Background(), 999999)
+	var te *TransportError
+	if !errorsAs(err, &te) {
+		t.Fatalf("error %v, want *TransportError", err)
+	}
+	if te.Code != "not_found" || te.Status != http.StatusNotFound {
+		t.Errorf("TransportError %+v, want code not_found status 404", te)
+	}
+
+	// A 500 whose envelope says retryable:false must NOT be retried,
+	// even though blind status-class retrying would.
+	var hits atomic.Int64
+	stubborn := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		hits.Add(1)
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(http.StatusInternalServerError)
+		json.NewEncoder(w).Encode(errorEnvelope{Error: apiError{
+			Code: "internal", Message: "deterministic failure", Retryable: false,
+		}})
+	}))
+	defer stubborn.Close()
+	c := derivedClient(f, stubborn.URL, fastRetry)
+	_, err = c.SearchWithSeedErr(context.Background(), []string{"x"}, nil)
+	if !errorsAs(err, &te) || te.Code != "internal" {
+		t.Fatalf("error %v, want internal TransportError", err)
+	}
+	if n := hits.Load(); n != 1 {
+		t.Errorf("non-retryable 500 was retried %d times", n-1)
+	}
+}
+
+// errorsAs avoids importing errors alongside the test file's many deps.
+func errorsAs(err error, target any) bool {
+	for err != nil {
+		if te, ok := err.(*TransportError); ok {
+			*(target.(**TransportError)) = te
+			return true
+		}
+		u, ok := err.(interface{ Unwrap() error })
+		if !ok {
+			return false
+		}
+		err = u.Unwrap()
+	}
+	return false
+}
+
+// TestStreamWireCodec: the harvest batch and job streams carry wire
+// event frames when negotiated, and the decoded event sequence matches
+// the NDJSON stream exactly.
+func TestStreamWireCodec(t *testing.T) {
+	g, err := synth.Generate(synth.TestConfig(synth.DomainResearchers))
+	if err != nil {
+		t.Fatal(err)
+	}
+	engine := search.NewEngine(search.BuildIndex(g.Corpus.Pages))
+	rec := types.Chain{g.KB, types.NewRegexRecognizer()}
+	cfg := core.DefaultConfig()
+	cfg.Tokenizer = g.Tokenizer
+	srvObj := NewServer(g.Corpus, engine)
+	srvObj.Harvest = &HarvestBackend{
+		Cfg:     cfg,
+		Aspects: []corpus.Aspect{synth.AspResearch},
+		Y: func(a corpus.Aspect) func(*corpus.Page) bool {
+			return func(p *corpus.Page) bool { return classify.GroundTruth(p, a) }
+		},
+		Rec: rec,
+	}
+	srv := httptest.NewServer(srvObj.Handler())
+	defer srv.Close()
+
+	req := HarvestRequest{
+		Entities: []corpus.EntityID{g.Corpus.Entities[0].ID, g.Corpus.Entities[1].ID},
+		Aspect:   string(synth.AspResearch),
+		NQueries: 2,
+		NoDomain: true,
+	}
+	collect := func(codec Codec) []HarvestEvent {
+		c, err := DialOpts(srv.URL, g.Tokenizer, ClientOptions{Codec: codec})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if codec != CodecJSON && !c.WireNegotiated() {
+			t.Fatal("wire not negotiated")
+		}
+		var evs []HarvestEvent
+		if err := c.HarvestBatch(context.Background(), req, func(ev HarvestEvent) error {
+			evs = append(evs, ev)
+			return nil
+		}); err != nil {
+			t.Fatal(err)
+		}
+		return evs
+	}
+	viaWire := collect(CodecAuto)
+	viaJSON := collect(CodecJSON)
+	if !reflect.DeepEqual(viaWire, viaJSON) {
+		t.Errorf("stream codecs diverge:\n wire %+v\n json %+v", viaWire, viaJSON)
+	}
+	if len(viaWire) == 0 || viaWire[len(viaWire)-1].Type != "done" {
+		t.Fatalf("stream did not finish with done: %+v", viaWire)
+	}
+
+	// The async job stream through the wire codec.
+	c, err := Dial(srv.URL, g.Tokenizer)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel()
+	id, err := c.SubmitJob(ctx, req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var jobEvs []HarvestEvent
+	if err := c.StreamJob(ctx, id, func(ev HarvestEvent) error {
+		jobEvs = append(jobEvs, ev)
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if len(jobEvs) == 0 || jobEvs[len(jobEvs)-1].Type != "done" {
+		t.Fatalf("job stream did not finish with done: %+v", jobEvs)
+	}
+}
+
+// TestDifferentialWireParity is the tentpole acceptance bar: a full
+// fault-injected remote harvest (20% 500s + 10% truncations) over the
+// binary wire fires the identical query sequence, gathers the identical
+// page set, and downloads byte-identical page content vs the JSON wire.
+func TestDifferentialWireParity(t *testing.T) {
+	g, err := synth.Generate(synth.TestConfig(synth.DomainResearchers))
+	if err != nil {
+		t.Fatal(err)
+	}
+	engine := search.NewEngine(search.BuildIndex(g.Corpus.Pages))
+	rec := types.Chain{g.KB, types.NewRegexRecognizer()}
+	aspect := synth.AspResearch
+	y := func(p *corpus.Page) bool { return classify.GroundTruth(p, aspect) }
+	cfg := core.DefaultConfig()
+	cfg.Tokenizer = g.Tokenizer
+	var domain []corpus.EntityID
+	for i := 0; i < g.Corpus.NumEntities()/2; i++ {
+		domain = append(domain, g.Corpus.Entities[i].ID)
+	}
+	dm, err := core.LearnDomain(cfg, aspect, g.Corpus, domain, y, rec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	target := g.Corpus.Entities[g.Corpus.NumEntities()-1]
+
+	// One injector per codec, identically seeded: both clients face the
+	// same fault process.
+	dialFaulty := func(codec Codec) (*Client, *FaultInjector) {
+		inj := &FaultInjector{ErrorRate: 0.20, TruncateRate: 0.10, Seed: 202,
+			Next: NewServer(g.Corpus, engine).Handler()}
+		srv := httptest.NewServer(inj)
+		t.Cleanup(srv.Close)
+		c, err := DialOpts(srv.URL, g.Tokenizer, ClientOptions{Retry: fastRetry, Codec: codec})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return c, inj
+	}
+
+	run := func(c *Client) ([]core.Query, []corpus.PageID, map[corpus.PageID]string) {
+		sess := core.NewSession(cfg, c, target, aspect, y, dm, rec, 42)
+		fired := sess.Run(core.NewL2QBAL(), 3)
+		ids := make([]corpus.PageID, 0, len(sess.Pages()))
+		rendered := make(map[corpus.PageID]string, len(sess.Pages()))
+		for _, p := range sess.Pages() {
+			ids = append(ids, p.ID)
+			// Re-render the fetched page: byte equality of the rendered
+			// form means the downloaded content was byte-identical.
+			rendered[p.ID] = html.RenderPage(p)
+		}
+		return fired, ids, rendered
+	}
+
+	jsonClient, jsonInj := dialFaulty(CodecJSON)
+	wireClient, wireInj := dialFaulty(CodecAuto)
+	if !wireClient.WireNegotiated() {
+		t.Fatal("wire client did not negotiate binary")
+	}
+	jq, jp, jr := run(jsonClient)
+	wq, wp, wr := run(wireClient)
+
+	if !reflect.DeepEqual(jq, wq) {
+		t.Errorf("fired queries differ across codecs:\n json %v\n wire %v", jq, wq)
+	}
+	if !reflect.DeepEqual(jp, wp) {
+		t.Errorf("gathered pages differ across codecs:\n json %v\n wire %v", jp, wp)
+	}
+	if len(jq) == 0 || len(jp) == 0 {
+		t.Fatal("session gathered nothing")
+	}
+	for id, body := range jr {
+		if wr[id] != body {
+			t.Errorf("page %d content differs across codecs", id)
+		}
+	}
+	// Both runs must actually have been faulted, or parity proved nothing.
+	for name, inj := range map[string]*FaultInjector{"json": jsonInj, "wire": wireInj} {
+		_, e5, tr := inj.Counts()
+		if e5 == 0 && tr == 0 {
+			t.Fatalf("%s injector fired no faults", name)
+		}
+	}
+	if m := wireClient.Metrics(); m.Retries == 0 || m.Errors != 0 {
+		t.Errorf("wire client metrics %+v: want retries absorbed, zero terminal errors", m)
+	}
+}
+
+// TestWireFrameStreamHeaderBound: frameReader refuses implausible frame
+// sizes instead of allocating them.
+func TestWireFrameStreamHeaderBound(t *testing.T) {
+	var buf bytes.Buffer
+	buf.WriteString(wireMagic)
+	buf.WriteByte(wireEvent)
+	buf.WriteByte(0)
+	var tmp [binary.MaxVarintLen64]byte
+	n := binary.PutUvarint(tmp[:], uint64(maxResponseBytes)+1)
+	buf.Write(tmp[:n])
+	buf.Write([]byte{0, 0, 0, 0})
+	fr := newFrameReader(&buf)
+	if _, err := fr.next(wireEvent); err == nil || !strings.Contains(err.Error(), "implausible") {
+		t.Errorf("oversized stream frame: %v", err)
+	}
+}
+
+// TestThrottledWriterModelsTransfer: the injector's bandwidth model makes
+// response time proportional to response size.
+func TestThrottledWriterModelsTransfer(t *testing.T) {
+	payload := bytes.Repeat([]byte("x"), 64<<10)
+	inj := &FaultInjector{
+		Bandwidth: 256 << 10, // 256 KB/s → 64 KB ≈ 250 ms
+		Next: http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+			w.Write(payload)
+		}),
+	}
+	srv := httptest.NewServer(inj)
+	defer srv.Close()
+	start := time.Now()
+	resp, err := http.Get(srv.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil || len(b) != len(payload) {
+		t.Fatalf("read %d bytes, err %v", len(b), err)
+	}
+	if elapsed := time.Since(start); elapsed < 200*time.Millisecond {
+		t.Errorf("64 KB at 256 KB/s took %v, want ≥200ms", elapsed)
+	}
+}
+
+var _ = fmt.Sprintf // keep fmt for debugging edits

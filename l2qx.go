@@ -42,8 +42,11 @@ type (
 	// remote engines implement.
 	ContextRetriever = core.ContextRetriever
 	// RemoteOptions tunes a remote engine's transport (retry policy,
-	// prefetch concurrency, request timeout).
+	// prefetch concurrency, request timeout, wire codec).
 	RemoteOptions = webapi.ClientOptions
+	// Codec is the remote engine's wire-encoding preference
+	// (CodecAuto, CodecJSON or CodecBinary).
+	Codec = webapi.Codec
 	// RetryPolicy controls the remote engine's retry/backoff behavior.
 	RetryPolicy = webapi.RetryPolicy
 	// TransportError is the typed failure of a remote API operation after
@@ -104,6 +107,16 @@ const (
 	JobDone     = webapi.JobDone
 	JobCanceled = webapi.JobCanceled
 )
+
+// Wire codec preferences (RemoteOptions.Codec).
+const (
+	CodecAuto   = webapi.CodecAuto
+	CodecJSON   = webapi.CodecJSON
+	CodecBinary = webapi.CodecBinary
+)
+
+// ParseCodec maps a flag value ("auto", "json", "binary") to a Codec.
+func ParseCodec(s string) (Codec, error) { return webapi.ParseCodec(s) }
 
 // NewScheduler starts a long-lived harvest scheduler over this system's
 // engine. Build jobs with NewHarvestJobs (or by hand from Harvester
@@ -202,9 +215,14 @@ func (s *System) DialRemote(base string) (*RemoteEngine, error) {
 }
 
 // DialRemoteOpts is DialRemote with explicit transport options (retry
-// policy, prefetch concurrency, per-request timeout).
+// policy, prefetch concurrency, per-request timeout, wire codec).
 func (s *System) DialRemoteOpts(base string, opts RemoteOptions) (*RemoteEngine, error) {
 	return webapi.DialOpts(base, s.cfg.Tokenizer, opts)
+}
+
+// DialRemoteContext is DialRemoteOpts with a cancellable dial probe.
+func (s *System) DialRemoteContext(ctx context.Context, base string, opts RemoteOptions) (*RemoteEngine, error) {
+	return webapi.DialContext(ctx, base, s.cfg.Tokenizer, opts)
 }
 
 // NewRemoteHarvester starts a harvesting session that searches and
