@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test soak bench bench-candidates bench-wire wire-parity lint fmt
+.PHONY: all build test soak bench bench-candidates bench-wire bench-allocs wire-parity load-smoke lint fmt
 
 all: lint build test
 
@@ -20,16 +20,28 @@ soak:
 # Full benchmark pass. For the sharded-engine before/after numbers only:
 #   go test -run='^$$' -bench='HotSingleQuery|ConcurrentManyQueries' -benchtime=2s ./internal/search/
 bench:
-	$(GO) test -run='^$$' -bench=. -benchtime=1x ./...
+	$(GO) test -run='^$$' -bench=. -benchmem -benchtime=1x ./...
 
 # Candidate-generation / domain-phase trajectory (the CI artifact's recipe).
 bench-candidates:
-	$(GO) test -run='^$$' -bench='BenchmarkCandidateStep|BenchmarkLearnDomain' -benchtime=20x ./internal/core/
+	$(GO) test -run='^$$' -bench='BenchmarkCandidateStep|BenchmarkLearnDomain' -benchmem -benchtime=20x ./internal/core/
 
 # Wire-codec trajectory: remote harvest over a bandwidth-modeled link,
 # JSON vs negotiated binary+gzip (the BENCH_wire.json recipe).
 bench-wire:
-	$(GO) test -run='^$$' -bench='BenchmarkRemoteHarvestWire' -benchtime=5x ./internal/webapi/
+	$(GO) test -run='^$$' -bench='BenchmarkRemoteHarvestWire' -benchmem -benchtime=5x ./internal/webapi/
+
+# Allocation-regression gate: the hot-path alloc benchmarks against their
+# pinned ceilings (0 allocs/op on the append paths). Writes
+# BENCH_allocs.json, fails on any regression — same recipe as CI.
+bench-allocs:
+	./scripts/alloc_gate.sh BENCH_allocs.json
+
+# Sustained-traffic smoke: l2qload against an in-process server driven
+# past its admission bound — verifies shed correctness (429 retryable
+# envelope, no lost jobs, bounded tail) and writes BENCH_load.json.
+load-smoke:
+	$(GO) run ./cmd/l2qload -duration 30s -workers 32 -maxinflight 1 -assertshed -out BENCH_load.json
 
 # Binary-wire differential parity + negotiation matrix under the race
 # detector (the CI wire-parity step).

@@ -65,6 +65,7 @@ func main() {
 		selectW   = flag.Int("selectworkers", 0, "shared scheduler: select (CPU) workers (0 = GOMAXPROCS)")
 		fetchW    = flag.Int("fetchworkers", 0, "shared scheduler: fetch (I/O) workers (0 = 4×select)")
 		maxActive = flag.Int("maxactive", 0, "shared scheduler: admission bound on concurrently active jobs (0 = unlimited)")
+		maxInFl   = flag.Int("maxinflight", 0, "admission control: shed requests 429 past this many in flight, and default -maxactive to it (0 = off)")
 		wire      = flag.Bool("wire", true, "offer the binary wire codec to clients that ask for it (Accept: "+webapi.WireContentType+"); JSON stays the default either way")
 		compress  = flag.Int("compress", 0, "gzip wire payloads at or above this many bytes (0 = default threshold, <0 = never compress)")
 		drain     = flag.Duration("drain", 10*time.Second, "graceful-shutdown drain timeout")
@@ -117,6 +118,12 @@ func main() {
 	srv := webapi.NewServer(c, engine)
 	srv.WireDisabled = !*wire
 	srv.CompressMin = *compress
+	srv.MaxInFlight = *maxInFl
+	if *maxInFl > 0 {
+		// Admission control shrinks the blocking concurrency gate too:
+		// shed fast at MaxInFlight, never convoy behind it.
+		srv.MaxConcurrent = *maxInFl
+	}
 	if !*quiet {
 		srv.Log = logger
 	}
@@ -150,6 +157,9 @@ func main() {
 	fmt.Printf("serving %d pages of %q on http://%s (top-%d, μ = %.0f, %d shards, %d score workers)\n",
 		c.NumPages(), c.Domain, bound, engine.TopK(), engine.Mu(),
 		idx.NumShards(), engine.ScoreWorkers())
+	if *maxInFl > 0 {
+		fmt.Printf("admission control: shedding 429 past %d in-flight requests\n", *maxInFl)
+	}
 	endpoints := "endpoints: /api/v1/{stats,search?q=&seed=,collfreq?tokens=,entities,metrics} /page/{id}.html /healthz (legacy /api/* aliased)"
 	if srv.Harvest != nil {
 		endpoints += " POST /api/v1/harvest POST|GET|DELETE /api/v1/jobs"

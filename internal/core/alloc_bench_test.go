@@ -1,0 +1,51 @@
+package core
+
+import "testing"
+
+// BenchmarkCandidateAllocs is the candidate-pool allocation trajectory
+// the CI gate (scripts/alloc_gate.sh) pins. It measures CandidatesAppend
+// on an incremental pool at step ≥5 with the last fire's delta already
+// absorbed — the repeated-refresh steady state, where the pool only
+// re-emits its two cached segments:
+//
+//	steady/append    append into a reused buffer. Pinned at 0 allocs/op.
+//	steady           Candidates (fresh result slice per call).
+//
+// Renaming a benchmark breaks the gate — update the script in the same
+// change.
+func BenchmarkCandidateAllocs(b *testing.B) {
+	env := benchEnvFor(b, benchDomains[0].domain, benchDomains[0].aspect)
+	cfg := referenceBenchConfig(env.g)
+	cfg.IncrementalPool = true
+	s := env.session(cfg)
+	s.Bootstrap()
+	for _, q := range env.prefix {
+		if len(s.Candidates(true)) == 0 {
+			b.Fatal("pool ran dry during replay")
+		}
+		s.Fire(q)
+	}
+	if len(s.Candidates(true)) == 0 { // absorb the final fire's delta
+		b.Fatal("empty pool")
+	}
+	b.Run("steady/append", func(b *testing.B) {
+		var dst []Query
+		dst = s.CandidatesAppend(dst, true)
+		if len(dst) == 0 {
+			b.Fatal("empty pool")
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			dst = s.CandidatesAppend(dst[:0], true)
+		}
+	})
+	b.Run("steady", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if len(s.Candidates(true)) == 0 {
+				b.Fatal("empty pool")
+			}
+		}
+	})
+}

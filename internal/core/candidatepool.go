@@ -41,6 +41,11 @@ type candidatePool struct {
 	domainSeg []Query
 	// domainLive tracks membership of domainSeg for O(1) migration checks.
 	domainLive map[Query]bool
+
+	// firedScratch is the reusable newly-fired set of one sync pass,
+	// cleared (but kept at capacity) between syncs so steady-state pool
+	// refresh does not allocate it per step.
+	firedScratch map[Query]struct{}
 }
 
 func newCandidatePool(useDomain bool, dm *DomainModel) *candidatePool {
@@ -74,11 +79,23 @@ func (p *candidatePool) matches(useDomain bool, dm *DomainModel) bool {
 // across later mutations); the per-step work is O(new fired + new pages'
 // n-grams + |Q_E| copy), never a re-enumeration of old pages.
 func (p *candidatePool) sync(s *Session) []Query {
+	return p.appendPool(make([]Query, 0, len(p.pageSeg)+len(p.domainSeg)), s)
+}
+
+// appendPool is sync with a caller-provided buffer: the current Q_E is
+// appended to dst. The delta work allocates nothing steady-state (the
+// newly-fired scratch set is pool-owned and reused; page enumeration goes
+// through the per-page memo), so with a reused dst a no-delta refresh is
+// allocation-free.
+func (p *candidatePool) appendPool(dst []Query, s *Session) []Query {
 	// Retire newly fired queries: remove them from whichever segment
 	// holds them. (A query fired before ever being observed stays out of
 	// both segments via the firedSet check below.)
 	if len(s.fired) > p.nFired {
-		firedNow := make(map[Query]struct{}, len(s.fired)-p.nFired)
+		if p.firedScratch == nil {
+			p.firedScratch = make(map[Query]struct{}, len(s.fired)-p.nFired)
+		}
+		firedNow := p.firedScratch
 		for _, q := range s.fired[p.nFired:] {
 			firedNow[q] = struct{}{}
 		}
@@ -89,6 +106,7 @@ func (p *candidatePool) sync(s *Session) []Query {
 				delete(p.domainLive, q)
 			}
 		}
+		clear(firedNow)
 		p.nFired = len(s.fired)
 	}
 
@@ -114,10 +132,9 @@ func (p *candidatePool) sync(s *Session) []Query {
 	}
 	p.nPages = len(s.pages)
 
-	out := make([]Query, 0, len(p.pageSeg)+len(p.domainSeg))
-	out = append(out, p.pageSeg...)
-	out = append(out, p.domainSeg...)
-	return out
+	dst = append(dst, p.pageSeg...)
+	dst = append(dst, p.domainSeg...)
+	return dst
 }
 
 // removeQueries filters every member of drop out of qs in place,

@@ -38,6 +38,16 @@ type ContextRetriever interface {
 	SearchWithSeedErr(ctx context.Context, seed, query []textproc.Token) ([]search.Result, error)
 }
 
+// AppendRetriever is the optional allocation-free retrieval surface: a
+// Retriever that appends results into a caller-owned buffer instead of
+// allocating a fresh slice per query (search.Engine implements it).
+// Session.FetchQueryCtx uses it when available, fetching into
+// session-owned scratch so steady-state harvesting stops allocating a
+// result slice per step.
+type AppendRetriever interface {
+	SearchWithSeedAppend(dst []search.Result, seed, query []textproc.Token) []search.Result
+}
+
 // Query is a candidate query in canonical form: tokens joined by single
 // spaces (textproc.JoinQuery). Because tokens may themselves be multi-word
 // phrases ("data mining"), converting a Query back to tokens must go

@@ -74,6 +74,19 @@ type Session struct {
 	// mirroring sg's lifecycle.
 	pool *candidatePool
 
+	// candBuf is the session-owned scratch the internal candidateQueries
+	// emits Q_E into, reused across steps so steady-state selection does
+	// not allocate a fresh pool copy per step. Valid until the next
+	// candidateQueries call; the public Candidates returns a fresh slice.
+	candBuf []Query
+
+	// resBuf is the session-owned result scratch FetchQueryCtx fetches
+	// into when the retriever supports AppendRetriever. Valid until the
+	// next fetch on this session — fetch and ingest are sequential per
+	// session (the scheduler pipelines across sessions, not within one),
+	// and ingest copies the pages it keeps.
+	resBuf []search.Result
+
 	// rPhi and rStarPhi are R_E(Φ) and R*_E(Φ), the collective recalls
 	// of the context w.r.t. Y and Y* (§V-A). They are maintained from
 	// observable state anchored at the seed-recall parameter r0: the
@@ -193,7 +206,12 @@ func (s *Session) FetchQueryCtx(ctx context.Context, q Query) ([]search.Result, 
 		if err := ctx.Err(); err != nil {
 			return nil, err
 		}
-		res = s.Engine.SearchWithSeed(s.seed, extra)
+		if ar, ok := s.Engine.(AppendRetriever); ok {
+			s.resBuf = ar.SearchWithSeedAppend(s.resBuf[:0], s.seed, extra)
+			res = s.resBuf
+		} else {
+			res = s.Engine.SearchWithSeed(s.seed, extra)
+		}
 	}
 	if s.Fetcher != nil {
 		if _, err := s.Fetcher.FetchContext(ctx, res); err != nil {
@@ -446,9 +464,32 @@ func (s *Session) RunCtx(ctx context.Context, sel Selector, n int) ([]Query, err
 }
 
 // Candidates exposes the entity-phase candidate pool Q_E to selectors
-// implemented outside this package (the baselines).
+// implemented outside this package (the baselines). The returned slice is
+// freshly allocated — callers may retain it across later steps.
 func (s *Session) Candidates(useDomain bool) []Query {
-	return s.candidateQueries(useDomain)
+	return s.CandidatesAppend(nil, useDomain)
+}
+
+// CandidatesAppend is Candidates with a caller-provided buffer: the
+// current Q_E is appended to dst and the grown slice returned. A caller
+// reusing dst across steps refreshes the pool without allocating (the
+// per-step delta work is itself allocation-free steady-state).
+func (s *Session) CandidatesAppend(dst []Query, useDomain bool) []Query {
+	if !s.Cfg.IncrementalPool {
+		ref := s.CandidatesReference(useDomain)
+		if dst == nil {
+			return ref
+		}
+		return append(dst, ref...)
+	}
+	dm := s.DM
+	if !useDomain {
+		dm = nil
+	}
+	if !s.pool.matches(useDomain, dm) {
+		s.pool = newCandidatePool(useDomain, dm)
+	}
+	return s.pool.appendPool(dst, s)
 }
 
 // candidateQueries produces the entity-phase candidate pool Q_E: n-grams
@@ -456,6 +497,12 @@ func (s *Session) Candidates(useDomain bool) []Query {
 // with the domain candidates (§IV-C), minus already-fired queries. The
 // result is deterministic: page n-grams in first-appearance order, then
 // domain candidates.
+//
+// The returned slice is session-owned scratch, valid until the next
+// candidateQueries call on this session — internal per-step consumers
+// (selectors, inference) use each pool within their step, so reusing one
+// buffer removes the per-step copy. External callers go through
+// Candidates, which allocates.
 //
 // With Config.IncrementalPool (the default) the pool persists across steps
 // and is synced with deltas — only new pages are enumerated and fired
@@ -465,14 +512,8 @@ func (s *Session) candidateQueries(useDomain bool) []Query {
 	if !s.Cfg.IncrementalPool {
 		return s.CandidatesReference(useDomain)
 	}
-	dm := s.DM
-	if !useDomain {
-		dm = nil
-	}
-	if !s.pool.matches(useDomain, dm) {
-		s.pool = newCandidatePool(useDomain, dm)
-	}
-	return s.pool.sync(s)
+	s.candBuf = s.CandidatesAppend(s.candBuf[:0], useDomain)
+	return s.candBuf
 }
 
 // CandidatesReference is the from-scratch candidate enumeration: it

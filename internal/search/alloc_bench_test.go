@@ -1,0 +1,78 @@
+package search
+
+import "testing"
+
+// BenchmarkSearchAllocs is the query-path allocation trajectory the CI
+// gate (scripts/alloc_gate.sh) pins, measured on the benchCorpus engine:
+//
+//	cached/append    SearchAppend into a reused buffer on a warm cache —
+//	                 the domain-learning / selector steady state. Pinned
+//	                 at 0 allocs/op.
+//	cached           Search on a warm cache: the one allocation is the
+//	                 fresh result slice handed to the caller.
+//	nocache/append   the full sharded scoring pass with pooled scratch.
+//
+// Renaming a benchmark breaks the gate — update the script in the same
+// change.
+func BenchmarkSearchAllocs(b *testing.B) {
+	idxs, qs := benchCorpus(b)
+	q := qs[0]
+	b.Run("cached/append", func(b *testing.B) {
+		e := NewEngineOpts(idxs[0], Options{})
+		var dst []Result
+		dst = e.SearchAppend(dst, q) // warm the cache
+		if len(dst) == 0 {
+			b.Fatal("no hits")
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			dst = e.SearchAppend(dst[:0], q)
+		}
+	})
+	b.Run("cached", func(b *testing.B) {
+		e := NewEngineOpts(idxs[0], Options{})
+		if len(e.Search(q)) == 0 {
+			b.Fatal("no hits")
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			e.Search(q)
+		}
+	})
+	b.Run("nocache/append", func(b *testing.B) {
+		e := NewEngineOpts(idxs[0], Options{CacheSize: -1, ScoreWorkers: 1})
+		var dst []Result
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			dst = e.SearchAppend(dst[:0], q)
+		}
+		if len(dst) == 0 {
+			b.Fatal("no hits")
+		}
+	})
+}
+
+// BenchmarkSearchAppendConcurrent drives SearchAppend from many
+// goroutines against one engine (each with its own destination buffer,
+// sharing the pooled scoring scratch) — the l2qserve steady state. Run
+// under -race by TestConcurrentSearchAppendRace; here it tracks the
+// contended allocation picture.
+func BenchmarkSearchAppendConcurrent(b *testing.B) {
+	idxs, qs := benchCorpus(b)
+	e := NewEngineOpts(idxs[0], Options{ScoreWorkers: 1})
+	for _, q := range qs { // warm the cache so the steady state is measured
+		e.Search(q)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		var dst []Result
+		i := 0
+		for pb.Next() {
+			dst = e.SearchAppend(dst[:0], qs[i%len(qs)])
+			i++
+		}
+	})
+}

@@ -3,7 +3,6 @@ package search
 import (
 	"container/list"
 	"strconv"
-	"strings"
 	"sync"
 
 	"l2q/internal/textproc"
@@ -11,8 +10,11 @@ import (
 
 // queryCache is a thread-safe LRU cache of query results. Because the index
 // is immutable, entries never go stale; eviction is purely capacity-driven.
-// The cache owns its result slices: get returns a copy so callers can keep
-// mutating the slices Search hands them (the pre-cache contract).
+// The cache owns its result slices: getAppend copies into the caller's
+// buffer so callers can keep mutating the slices Search hands them (the
+// pre-cache contract). Keys are probed as []byte — Go's map lookup on
+// string(bytes) does not allocate — and materialized to a string only when
+// an entry is actually inserted, so a cache hit costs zero allocations.
 type queryCache struct {
 	capacity int
 
@@ -45,38 +47,38 @@ func (c *queryCache) fresh() *queryCache {
 	return newQueryCache(c.capacity)
 }
 
-func (c *queryCache) get(key string) ([]Result, bool) {
+// getAppend looks key up and, on a hit, appends a copy of the cached
+// results to dst (a cached empty result appends nothing). The bool
+// reports whether the key was present.
+func (c *queryCache) getAppend(key []byte, dst []Result) ([]Result, bool) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	el, ok := c.byKey[key]
+	el, ok := c.byKey[string(key)] // no-alloc lookup
 	if !ok {
 		c.misses++
-		return nil, false
+		return dst, false
 	}
 	c.hits++
 	c.ll.MoveToFront(el)
-	cached := el.Value.(*cacheEntry).res
-	if cached == nil {
-		return nil, true
-	}
-	out := make([]Result, len(cached))
-	copy(out, cached)
-	return out, true
+	return append(dst, el.Value.(*cacheEntry).res...), true
 }
 
-func (c *queryCache) put(key string, res []Result) {
+// put stores res (which the cache takes ownership of) under key. The key
+// string is materialized only when a new entry is inserted.
+func (c *queryCache) put(key []byte, res []Result) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if c.byKey == nil {
 		c.byKey = make(map[string]*list.Element, c.capacity)
 		c.ll = list.New()
 	}
-	if el, ok := c.byKey[key]; ok {
+	if el, ok := c.byKey[string(key)]; ok {
 		c.ll.MoveToFront(el)
 		el.Value.(*cacheEntry).res = res
 		return
 	}
-	c.byKey[key] = c.ll.PushFront(&cacheEntry{key: key, res: res})
+	k := string(key)
+	c.byKey[k] = c.ll.PushFront(&cacheEntry{key: k, res: res})
 	for c.ll.Len() > c.capacity {
 		back := c.ll.Back()
 		c.ll.Remove(back)
@@ -90,26 +92,26 @@ func (c *queryCache) stats() (hits, misses uint64) {
 	return c.hits, c.misses
 }
 
-// cacheKey canonicalizes a query for the cache: scoring mode, result-list
-// size, then the tokens joined with an unprintable separator (tokens are
-// human text and never contain 0x1f). μ/k1/b need not appear — an engine
-// copy with different smoothing gets a fresh cache (see the With* methods).
-func (e *Engine) cacheKey(query []textproc.Token) string {
-	var b strings.Builder
-	n := 8
-	for _, t := range query {
-		n += len(t) + 1
-	}
-	b.Grow(n)
+// appendCacheKey canonicalizes a query for the cache into dst: scoring
+// mode, result-list size, then the tokens joined with an unprintable
+// separator (tokens are human text and never contain 0x1f). μ/k1/b need
+// not appear — an engine copy with different smoothing gets a fresh cache
+// (see the With* methods).
+func (e *Engine) appendCacheKey(dst []byte, query []textproc.Token) []byte {
 	if e.bm25 {
-		b.WriteByte('b')
+		dst = append(dst, 'b')
 	} else {
-		b.WriteByte('d')
+		dst = append(dst, 'd')
 	}
-	b.WriteString(strconv.Itoa(e.topK))
+	dst = strconv.AppendInt(dst, int64(e.topK), 10)
 	for _, t := range query {
-		b.WriteByte(0x1f)
-		b.WriteString(string(t))
+		dst = append(dst, 0x1f)
+		dst = append(dst, t...)
 	}
-	return b.String()
+	return dst
 }
+
+// cacheKeyBuf is the pooled key-assembly buffer of one Search call.
+type cacheKeyBuf struct{ b []byte }
+
+var cacheKeyPool = sync.Pool{New: func() any { return new(cacheKeyBuf) }}

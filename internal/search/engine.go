@@ -2,6 +2,7 @@ package search
 
 import (
 	"math"
+	"sync"
 
 	"l2q/internal/corpus"
 	"l2q/internal/textproc"
@@ -179,37 +180,64 @@ func (e *Engine) collProb(t textproc.Token) float64 {
 // identical to SearchReference; the cache, worker pool and top-K heap only
 // change how fast they are produced.
 func (e *Engine) Search(query []textproc.Token) []Result {
+	return e.SearchAppend(nil, query)
+}
+
+// SearchAppend is Search with a caller-provided result buffer: the top-k
+// hits are appended to dst and the grown slice returned. All scoring
+// state is pooled and the cache is probed with a pooled byte key, so with
+// a reused dst a cache hit costs zero allocations and a miss allocates
+// only the cache's canonical copy (plus any dst growth). Safe for
+// concurrent use — scratch is per-call, never shared.
+func (e *Engine) SearchAppend(dst []Result, query []textproc.Token) []Result {
 	if len(query) == 0 {
-		return nil
+		return dst
 	}
 	if e.cache == nil {
-		return e.searchSharded(query)
+		return e.searchShardedAppend(dst, query)
 	}
-	key := e.cacheKey(query)
-	if res, ok := e.cache.get(key); ok {
-		return res
+	kb := cacheKeyPool.Get().(*cacheKeyBuf)
+	key := e.appendCacheKey(kb.b[:0], query)
+	out, hit := e.cache.getAppend(key, dst)
+	if !hit {
+		start := len(dst)
+		out = e.searchShardedAppend(dst, query)
+		// The cache owns one canonical copy; the caller keeps mutating
+		// its own slice freely (the pre-cache contract).
+		var canonical []Result
+		if n := len(out) - start; n > 0 {
+			canonical = make([]Result, n)
+			copy(canonical, out[start:])
+		}
+		e.cache.put(key, canonical)
 	}
-	res := e.searchSharded(query)
-	// The cache owns one canonical copy; hand the caller another so it
-	// can mutate its slice freely (the pre-cache contract).
-	if res == nil {
-		e.cache.put(key, nil)
-		return nil
-	}
-	canonical := make([]Result, len(res))
-	copy(canonical, res)
-	e.cache.put(key, canonical)
-	return res
+	kb.b = key
+	cacheKeyPool.Put(kb)
+	return out
 }
 
 // SearchWithSeed runs Search on seed ∥ query. The paper appends the seed
 // query to every subsequent query "in order to focus on the target entity"
 // (§I "Input").
 func (e *Engine) SearchWithSeed(seed, query []textproc.Token) []Result {
-	combined := make([]textproc.Token, 0, len(seed)+len(query))
-	combined = append(combined, seed...)
-	combined = append(combined, query...)
-	return e.Search(combined)
+	return e.SearchWithSeedAppend(nil, seed, query)
+}
+
+// seedQueryBuf is the pooled seed∥query concatenation buffer of one
+// SearchWithSeedAppend call (token slices hold only string headers).
+type seedQueryBuf struct{ toks []textproc.Token }
+
+var seedQueryPool = sync.Pool{New: func() any { return new(seedQueryBuf) }}
+
+// SearchWithSeedAppend is SearchWithSeed with a caller-provided result
+// buffer; the seed∥query concatenation lives in pooled scratch.
+func (e *Engine) SearchWithSeedAppend(dst []Result, seed, query []textproc.Token) []Result {
+	sb := seedQueryPool.Get().(*seedQueryBuf)
+	combined := append(append(sb.toks[:0], seed...), query...)
+	dst = e.SearchAppend(dst, combined)
+	sb.toks = combined
+	seedQueryPool.Put(sb)
+	return dst
 }
 
 // QueryLikelihood scores one page against a query with the engine's

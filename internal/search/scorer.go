@@ -2,6 +2,7 @@ package search
 
 import (
 	"math"
+	"slices"
 	"sort"
 	"sync"
 
@@ -26,6 +27,19 @@ func betterCand(a, b cand) bool {
 		return a.score > b.score
 	}
 	return a.doc < b.doc
+}
+
+// compareCand adapts betterCand to the slices.SortFunc contract. Document
+// ordinals are unique within one search (workers partition the ordinal
+// space), so this is a total order and the sort is deterministic.
+func compareCand(a, b cand) int {
+	switch {
+	case betterCand(a, b):
+		return -1
+	case betterCand(b, a):
+		return 1
+	}
+	return 0
 }
 
 // topKHeap keeps the K best candidates seen so far in O(log K) per push.
@@ -103,21 +117,50 @@ func bm25Score(tfv []int32, dl int, idf []float64, avgdl, k1, b float64) float64
 	return s
 }
 
-// searchSharded is the engine's scoring path: posting lists come from the
-// token-hash shards, candidate documents stream out of a k-way merge over
-// the (doc-ordinal-sorted) lists, each candidate is scored in query order,
-// and per-worker top-K heaps replace the reference's full sort. Workers
-// partition the document-ordinal space, so their candidate sets are
-// disjoint and the merged ranking equals the reference's.
-func (e *Engine) searchSharded(query []textproc.Token) []Result {
-	lists := make([][]posting, len(query))
+// workerScratch is one scoring worker's reusable state: posting-list merge
+// cursors, the per-candidate term-frequency vector, and the top-K heap's
+// backing array. None of it holds pointers, so pooling retains nothing.
+type workerScratch struct {
+	cursors []int
+	tfv     []int32
+	heap    []cand
+}
+
+// searchScratch is the pooled per-call working state of one sharded
+// search: posting-list headers, the per-position scoring constants (p(t|C)
+// or idf), the per-worker scratch, and the merged-candidate buffer. One
+// scratch serves one searchShardedAppend call, so a steady-state search
+// allocates nothing beyond results the caller keeps (and on cached
+// engines, the canonical copy the cache takes).
+type searchScratch struct {
+	lists  [][]posting
+	consts []float64
+	work   []workerScratch
+	merged []cand
+}
+
+var searchScratchPool = sync.Pool{New: func() any { return new(searchScratch) }}
+
+// searchShardedAppend is the engine's scoring path: posting lists come
+// from the token-hash shards, candidate documents stream out of a k-way
+// merge over the (doc-ordinal-sorted) lists, each candidate is scored in
+// query order, and per-worker top-K heaps replace the reference's full
+// sort. Workers partition the document-ordinal space, so their candidate
+// sets are disjoint and the merged ranking equals the reference's. The
+// top-k results are appended to dst.
+func (e *Engine) searchShardedAppend(dst []Result, query []textproc.Token) []Result {
+	sc := searchScratchPool.Get().(*searchScratch)
+	lists := sc.lists[:0]
 	total := 0
-	for i, t := range query {
-		lists[i] = e.idx.postingsFor(t)
-		total += len(lists[i])
+	for _, t := range query {
+		pl := e.idx.postingsFor(t)
+		lists = append(lists, pl)
+		total += len(pl)
 	}
+	sc.lists = lists
 	if total == 0 {
-		return nil
+		releaseSearchScratch(sc)
+		return dst
 	}
 	k := e.topK
 	if k < 0 {
@@ -127,20 +170,22 @@ func (e *Engine) searchSharded(query []textproc.Token) []Result {
 	// Per-position scoring constants, hoisted out of the per-document
 	// loop (the reference recomputes them per candidate; the values are
 	// identical, so hoisting is ranking-neutral).
+	consts := sc.consts[:0]
 	var pC, idf []float64
 	var avgdl float64
 	if e.bm25 {
 		avgdl = float64(e.idx.totalToks) / math.Max(1, float64(e.idx.NumDocs()))
-		idf = make([]float64, len(query))
-		for i, t := range query {
-			idf[i] = e.idf(t)
+		for _, t := range query {
+			consts = append(consts, e.idf(t))
 		}
+		idf = consts
 	} else {
-		pC = make([]float64, len(query))
-		for i, t := range query {
-			pC[i] = e.collProb(t)
+		for _, t := range query {
+			consts = append(consts, e.collProb(t))
 		}
+		pC = consts
 	}
+	sc.consts = consts
 
 	workers := e.workers
 	if maxW := total / minPostingsPerWorker; workers > maxW+1 {
@@ -150,43 +195,67 @@ func (e *Engine) searchSharded(query []textproc.Token) []Result {
 	if workers > nDocs {
 		workers = nDocs
 	}
+	if workers < 1 {
+		workers = 1
+	}
+	if cap(sc.work) < workers {
+		sc.work = make([]workerScratch, workers)
+	}
+	work := sc.work[:workers]
+	sc.work = work
 
-	if workers <= 1 {
-		h := topKHeap{k: k, h: make([]cand, 0, k)}
-		e.scoreRange(lists, 0, int32(nDocs), pC, idf, avgdl, &h)
-		return e.finish(h.h, k)
+	if workers == 1 {
+		e.scoreRange(lists, 0, int32(nDocs), pC, idf, avgdl, &work[0], k)
+		dst = e.appendFinish(dst, work[0].heap, k)
+		releaseSearchScratch(sc)
+		return dst
 	}
 
-	heaps := make([]topKHeap, workers)
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
 		lo := int32(nDocs * w / workers)
 		hi := int32(nDocs * (w + 1) / workers)
-		heaps[w] = topKHeap{k: k, h: make([]cand, 0, k)}
 		wg.Add(1)
 		go func(w int, lo, hi int32) {
 			defer wg.Done()
-			e.scoreRange(lists, lo, hi, pC, idf, avgdl, &heaps[w])
+			e.scoreRange(lists, lo, hi, pC, idf, avgdl, &work[w], k)
 		}(w, lo, hi)
 	}
 	wg.Wait()
-	merged := make([]cand, 0, workers*k)
-	for w := range heaps {
-		merged = append(merged, heaps[w].h...)
+	merged := sc.merged[:0]
+	for w := range work {
+		merged = append(merged, work[w].heap...)
 	}
-	return e.finish(merged, k)
+	sc.merged = merged
+	dst = e.appendFinish(dst, merged, k)
+	releaseSearchScratch(sc)
+	return dst
+}
+
+// releaseSearchScratch drops the posting-list references (they alias the
+// index; no reason to pin them from the pool) and returns sc to the pool.
+func releaseSearchScratch(sc *searchScratch) {
+	for i := range sc.lists {
+		sc.lists[i] = nil
+	}
+	searchScratchPool.Put(sc)
 }
 
 // scoreRange merges the posting lists over document ordinals [lo, hi),
-// scoring every candidate in that range into the heap. Lists are sorted by
-// ordinal, so a cursor per list and a linear min-scan suffice (queries are
-// a handful of tokens).
-func (e *Engine) scoreRange(lists [][]posting, lo, hi int32, pC, idf []float64, avgdl float64, h *topKHeap) {
-	cursors := make([]int, len(lists))
+// scoring every candidate in that range into the worker's heap (left in
+// w.heap). Lists are sorted by ordinal, so a cursor per list and a linear
+// min-scan suffice (queries are a handful of tokens).
+func (e *Engine) scoreRange(lists [][]posting, lo, hi int32, pC, idf []float64, avgdl float64, w *workerScratch, k int) {
+	if cap(w.cursors) < len(lists) {
+		w.cursors = make([]int, len(lists))
+		w.tfv = make([]int32, len(lists))
+	}
+	cursors := w.cursors[:len(lists)]
+	tfv := w.tfv[:len(lists)]
 	for i, pl := range lists {
 		cursors[i] = sort.Search(len(pl), func(j int) bool { return pl[j].doc >= lo })
 	}
-	tfv := make([]int32, len(lists))
+	h := topKHeap{k: k, h: w.heap[:0]}
 	for {
 		minDoc := hi
 		for i, pl := range lists {
@@ -195,6 +264,7 @@ func (e *Engine) scoreRange(lists [][]posting, lo, hi int32, pC, idf []float64, 
 			}
 		}
 		if minDoc >= hi {
+			w.heap = h.h
 			return
 		}
 		for i, pl := range lists {
@@ -216,16 +286,16 @@ func (e *Engine) scoreRange(lists [][]posting, lo, hi int32, pC, idf []float64, 
 	}
 }
 
-// finish sorts the surviving candidates by the reference order and
-// materializes Results.
-func (e *Engine) finish(cands []cand, k int) []Result {
-	sort.Slice(cands, func(i, j int) bool { return betterCand(cands[i], cands[j]) })
+// appendFinish sorts the surviving candidates by the reference order and
+// appends the top-k materialized Results to dst. slices.SortFunc (unlike
+// sort.Slice) does not allocate.
+func (e *Engine) appendFinish(dst []Result, cands []cand, k int) []Result {
+	slices.SortFunc(cands, compareCand)
 	if k > len(cands) {
 		k = len(cands)
 	}
-	out := make([]Result, 0, k)
 	for _, c := range cands[:k] {
-		out = append(out, Result{Page: e.idx.docs[c.doc], Score: c.score})
+		dst = append(dst, Result{Page: e.idx.docs[c.doc], Score: c.score})
 	}
-	return out
+	return dst
 }

@@ -7,21 +7,25 @@ import "strings"
 // paper's tokenization treats a phrase that maps to a type as one word
 // (§VI-A); the type dictionary supplies those phrases.
 type Lexicon struct {
-	phrases map[string]struct{}
+	// phrases maps each phrase to its canonical Token so a merge can
+	// reuse the interned string instead of materializing a new one per
+	// occurrence (the map is probed by string(joinBuf), which Go
+	// compiles to an allocation-free lookup).
+	phrases map[string]Token
 	maxLen  int
 }
 
 // NewLexicon builds a Lexicon from phrase strings. Only entries with two or
 // more space-separated terms matter for merging; single terms are ignored.
 func NewLexicon(phrases []string) *Lexicon {
-	l := &Lexicon{phrases: make(map[string]struct{}, len(phrases))}
+	l := &Lexicon{phrases: make(map[string]Token, len(phrases))}
 	for _, p := range phrases {
 		p = strings.ToLower(strings.TrimSpace(p))
 		n := strings.Count(p, " ") + 1
 		if n < 2 {
 			continue
 		}
-		l.phrases[p] = struct{}{}
+		l.phrases[p] = Token(p)
 		if n > l.maxLen {
 			l.maxLen = n
 		}
@@ -48,7 +52,16 @@ func (l *Lexicon) MergePhrases(tokens []Token) []Token {
 	if l == nil || l.maxLen < 2 || len(tokens) < 2 {
 		return tokens
 	}
-	out := make([]Token, 0, len(tokens))
+	out, _ := l.appendMerged(make([]Token, 0, len(tokens)), tokens, nil)
+	return out
+}
+
+// appendMerged is the append-style core of MergePhrases: merged tokens go
+// into dst, and candidate phrases are probed against the lexicon through
+// the reusable join buffer (map lookups keyed by string(join) do not
+// allocate); a hit appends the lexicon's interned Token, so merging
+// allocates nothing. Returns dst and the (possibly grown) join buffer.
+func (l *Lexicon) appendMerged(dst []Token, tokens []Token, join []byte) ([]Token, []byte) {
 	for i := 0; i < len(tokens); {
 		merged := false
 		maxN := l.maxLen
@@ -56,18 +69,24 @@ func (l *Lexicon) MergePhrases(tokens []Token) []Token {
 			maxN = rem
 		}
 		for n := maxN; n >= 2; n-- {
-			cand := strings.Join(tokens[i:i+n], " ")
-			if _, ok := l.phrases[cand]; ok {
-				out = append(out, cand)
+			join = join[:0]
+			for j, t := range tokens[i : i+n] {
+				if j > 0 {
+					join = append(join, ' ')
+				}
+				join = append(join, t...)
+			}
+			if ph, ok := l.phrases[string(join)]; ok {
+				dst = append(dst, ph)
 				i += n
 				merged = true
 				break
 			}
 		}
 		if !merged {
-			out = append(out, tokens[i])
+			dst = append(dst, tokens[i])
 			i++
 		}
 	}
-	return out
+	return dst, join
 }

@@ -31,26 +31,67 @@ func DefaultNGramConfig() NGramConfig {
 // sliding a window of ℓ ∈ {1..MaxLen} words (paper §VI-A). The result is
 // deduplicated, in first-appearance order, each rendered with JoinQuery.
 func NGrams(tokens []Token, cfg NGramConfig) []string {
+	return AppendNGrams(nil, tokens, cfg)
+}
+
+// ngramScratch is the pooled working state of one AppendNGrams pass: the
+// dedup set (cleared, but kept at capacity, between uses) and the byte
+// buffer grams are joined into so the set probe never allocates.
+type ngramScratch struct {
+	seen map[string]struct{}
+	join []byte
+}
+
+var ngramScratchPool = sync.Pool{New: func() any {
+	return &ngramScratch{seen: make(map[string]struct{}, 256)}
+}}
+
+// AppendNGrams is NGrams with a caller-provided buffer: distinct
+// admissible grams are appended to dst in first-appearance order. The
+// dedup set and the join buffer come from a pool and every dedup probe is
+// an allocation-free map lookup on the join buffer, so the only
+// allocations are the emitted multi-word gram strings themselves
+// (single-word grams reuse the token string) plus any dst growth.
+func AppendNGrams(dst []string, tokens []Token, cfg NGramConfig) []string {
 	if cfg.MaxLen <= 0 {
 		cfg.MaxLen = 3
 	}
-	seen := make(map[string]struct{})
-	var out []string
+	sc := ngramScratchPool.Get().(*ngramScratch)
+	seen, join := sc.seen, sc.join
 	for l := 1; l <= cfg.MaxLen; l++ {
 		for i := 0; i+l <= len(tokens); i++ {
 			gram := tokens[i : i+l]
 			if !admissible(gram, cfg) {
 				continue
 			}
-			q := JoinQuery(gram)
-			if _, dup := seen[q]; dup {
-				continue
+			var q string
+			if l == 1 {
+				// A 1-gram IS its token; no join, no copy.
+				q = string(gram[0])
+				if _, dup := seen[q]; dup {
+					continue
+				}
+			} else {
+				join = join[:0]
+				for j, t := range gram {
+					if j > 0 {
+						join = append(join, ' ')
+					}
+					join = append(join, t...)
+				}
+				if _, dup := seen[string(join)]; dup {
+					continue
+				}
+				q = string(join)
 			}
 			seen[q] = struct{}{}
-			out = append(out, q)
+			dst = append(dst, q)
 		}
 	}
-	return out
+	clear(seen)
+	sc.join = join
+	ngramScratchPool.Put(sc)
+	return dst
 }
 
 // CountNGrams tallies n-gram occurrence counts over a token sequence into

@@ -8,11 +8,22 @@
 // (§VI-A "Candidate query enumeration"); this package implements that
 // machinery so that the corpus, search and core layers can share one
 // definition of "word".
+//
+// Tokenization is on the per-query and per-page hot path (every page
+// ingest, every candidate enumeration, every remote search re-tokenizes),
+// so the split is allocation-disciplined: ASCII text — the overwhelmingly
+// common case for web-ish corpora — runs through a byte-class LUT and
+// emits tokens as substrings of the input (zero copies, zero allocations
+// beyond the caller's buffer); any non-ASCII byte falls back to the
+// retained rune-at-a-time path, kept verbatim as SplitWordsReference and
+// held to byte-identical output by differential and fuzz tests.
 package textproc
 
 import (
 	"strings"
+	"sync"
 	"unicode"
+	"unicode/utf8"
 )
 
 // Token is a single word after normalization. A Token may be a multi-word
@@ -37,16 +48,40 @@ type Tokenizer struct {
 	MinLen int
 }
 
+// tokenScratch is the pooled per-call working state of Tokenizer.AppendTokens:
+// the raw split buffer, the phrase-merge buffer, and the byte buffer the
+// lexicon probe joins candidate phrases into. The slices hold only string
+// headers, so pooling them never retains page text.
+type tokenScratch struct {
+	raw    []Token
+	merged []Token
+	join   []byte
+}
+
+var tokenScratchPool = sync.Pool{New: func() any { return new(tokenScratch) }}
+
 // Tokenize splits text into normalized tokens, applying phrase merging and
 // stopword removal according to the Tokenizer configuration.
 func (t *Tokenizer) Tokenize(text string) []Token {
-	raw := SplitWords(text)
-	if t.Lexicon != nil {
-		raw = t.Lexicon.MergePhrases(raw)
+	return t.AppendTokens(nil, text)
+}
+
+// AppendTokens is Tokenize with a caller-provided result buffer: tokens are
+// appended to dst and the grown slice returned. All intermediate state
+// (the raw split, the phrase merge) lives in pooled scratch, so a caller
+// that reuses dst across calls tokenizes without allocating — the
+// convention every hot path in this repository follows (see DESIGN.md
+// "Allocation discipline").
+func (t *Tokenizer) AppendTokens(dst []Token, text string) []Token {
+	sc := tokenScratchPool.Get().(*tokenScratch)
+	raw := AppendTokens(sc.raw[:0], text)
+	toks := raw
+	if t.Lexicon != nil && t.Lexicon.MaxLen() >= 2 && len(raw) >= 2 {
+		sc.merged, sc.join = t.Lexicon.appendMerged(sc.merged[:0], raw, sc.join)
+		toks = sc.merged
 	}
-	out := raw[:0]
-	for _, tok := range raw {
-		if t.MinLen > 0 && len([]rune(tok)) < t.MinLen && !isNumeric(tok) {
+	for _, tok := range toks {
+		if t.MinLen > 0 && utf8.RuneCountInString(tok) < t.MinLen && !isNumeric(tok) {
 			continue
 		}
 		if t.DropNumbers && isNumeric(tok) {
@@ -55,10 +90,37 @@ func (t *Tokenizer) Tokenize(text string) []Token {
 		if t.Stopwords != nil && t.Stopwords.Contains(tok) {
 			continue
 		}
-		out = append(out, tok)
+		dst = append(dst, tok)
 	}
-	return out
+	sc.raw = raw
+	tokenScratchPool.Put(sc)
+	return dst
 }
+
+// Byte classes of the ASCII fast path. A byte is either token-forming
+// as-is (lower-case letters, digits), token-forming after folding
+// (upper-case letters), a conditional connector ('@' '.' '-': kept inside
+// a token when followed by an alphanumeric), or a separator (everything
+// else, including all bytes ≥ 0x80 — those divert to the rune path).
+const (
+	clAlnum byte = 1 << iota // a-z, 0-9, A-Z
+	clUpper                  // A-Z only (needs folding)
+	clConn                   // @ . -
+)
+
+var asciiClass = func() (t [256]byte) {
+	for c := 'a'; c <= 'z'; c++ {
+		t[c] = clAlnum
+	}
+	for c := '0'; c <= '9'; c++ {
+		t[c] = clAlnum
+	}
+	for c := 'A'; c <= 'Z'; c++ {
+		t[c] = clAlnum | clUpper
+	}
+	t['@'], t['.'], t['-'] = clConn, clConn, clConn
+	return
+}()
 
 // SplitWords performs the base tokenization: lowercasing, splitting on any
 // rune that is neither a letter nor a digit, with two exceptions that keep
@@ -66,11 +128,72 @@ func (t *Tokenizer) Tokenize(text string) []Token {
 // token looks like an email or a dotted host so that regex recognizers
 // downstream can classify them.
 func SplitWords(text string) []Token {
-	var toks []Token
+	return AppendTokens(nil, text)
+}
+
+// AppendTokens is SplitWords with a caller-provided buffer. ASCII input is
+// split with a byte-class LUT and tokens that are already lower-case are
+// emitted as substrings of text — no copy, no allocation beyond dst.
+// Input containing any non-ASCII byte takes the retained rune path
+// (SplitWordsReference semantics) for the whole text. The two paths are
+// differentially tested to produce identical tokens.
+func AppendTokens(dst []Token, text string) []Token {
+	for i := 0; i < len(text); i++ {
+		if text[i] >= utf8.RuneSelf {
+			return appendTokensUnicode(dst, text)
+		}
+	}
+	n := len(text)
+	i := 0
+	for i < n {
+		// Skip separators. Connectors never start a token (the reference
+		// keeps them only when the builder already has content).
+		for i < n && asciiClass[text[i]]&clAlnum == 0 {
+			i++
+		}
+		if i >= n {
+			break
+		}
+		start := i
+		needsFold := false
+		for i < n {
+			cl := asciiClass[text[i]]
+			if cl&clAlnum != 0 {
+				needsFold = needsFold || cl&clUpper != 0
+				i++
+				continue
+			}
+			if cl&clConn != 0 && i+1 < n && asciiClass[text[i+1]]&clAlnum != 0 {
+				// Keep intra-token punctuation for emails, hosts and
+				// hyphenated terms: "snir@illinois.edu", "e-class".
+				i++
+				continue
+			}
+			break
+		}
+		tok := text[start:i]
+		if needsFold {
+			tok = strings.ToLower(tok)
+		}
+		dst = append(dst, tok)
+	}
+	return dst
+}
+
+// SplitWordsReference is the retained rune-at-a-time tokenization the LUT
+// fast path is differentially tested against (the repository's fast-path +
+// *Reference idiom). It is also the fallback AppendTokens takes for text
+// containing non-ASCII bytes, where lowercasing and letter/digit classes
+// need full Unicode semantics.
+func SplitWordsReference(text string) []Token {
+	return appendTokensUnicode(nil, text)
+}
+
+func appendTokensUnicode(dst []Token, text string) []Token {
 	var b strings.Builder
 	flush := func() {
 		if b.Len() > 0 {
-			toks = append(toks, b.String())
+			dst = append(dst, b.String())
 			b.Reset()
 		}
 	}
@@ -89,7 +212,7 @@ func SplitWords(text string) []Token {
 		}
 	}
 	flush()
-	return toks
+	return dst
 }
 
 func isNumeric(s string) bool {
@@ -116,5 +239,20 @@ func SplitQuery(q string) []Token {
 	if q == "" {
 		return nil
 	}
-	return strings.Split(q, " ")
+	return AppendSplitQuery(make([]Token, 0, strings.Count(q, " ")+1), q)
+}
+
+// AppendSplitQuery is SplitQuery with a caller-provided buffer: an indexed
+// split that appends each space-separated field of q (substrings, no
+// copies) to dst. Field semantics match strings.Split exactly, including
+// empty fields from doubled or trailing separators.
+func AppendSplitQuery(dst []Token, q string) []Token {
+	for {
+		i := strings.IndexByte(q, ' ')
+		if i < 0 {
+			return append(dst, q)
+		}
+		dst = append(dst, q[:i])
+		q = q[i+1:]
+	}
 }

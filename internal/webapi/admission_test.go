@@ -1,0 +1,164 @@
+package webapi
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"testing"
+
+	"l2q/internal/search"
+	"l2q/internal/synth"
+)
+
+func admissionFixture(t *testing.T, maxInFlight int) (*Server, *httptest.Server) {
+	t.Helper()
+	g, err := synth.Generate(synth.TestConfig(synth.DomainResearchers))
+	if err != nil {
+		t.Fatal(err)
+	}
+	server := NewServer(g.Corpus, search.NewEngine(search.BuildIndex(g.Corpus.Pages)))
+	server.MaxInFlight = maxInFlight
+	srv := httptest.NewServer(server.Handler())
+	t.Cleanup(srv.Close)
+	return server, srv
+}
+
+// TestMaxInFlightShedEnvelope pins the admission-control contract: a
+// request arriving past the MaxInFlight bound is answered immediately
+// with 429 and the retryable "throttled" error envelope, /healthz stays
+// exempt, the Shed counter advances, and once the slot frees the same
+// request succeeds. The slot is held directly (in-package) so the test
+// is deterministic rather than a timing race.
+func TestMaxInFlightShedEnvelope(t *testing.T) {
+	server, srv := admissionFixture(t, 1)
+
+	sem := server.inflightSem()
+	if sem == nil || cap(sem) != 1 {
+		t.Fatalf("inflight semaphore = %v, want capacity 1", sem)
+	}
+	sem <- struct{}{} // saturate: one request permanently in flight
+
+	resp, err := http.Get(srv.URL + "/api/v1/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("saturated request: status %d, want 429", resp.StatusCode)
+	}
+	var env struct {
+		Error struct {
+			Code      string `json:"code"`
+			Message   string `json:"message"`
+			Retryable bool   `json:"retryable"`
+		} `json:"error"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&env); err != nil {
+		t.Fatalf("shed body is not the error envelope: %v", err)
+	}
+	if env.Error.Code != "throttled" || !env.Error.Retryable || env.Error.Message == "" {
+		t.Fatalf("shed envelope = %+v, want retryable code throttled", env.Error)
+	}
+	if server.Shed() == 0 {
+		t.Fatal("Shed counter did not advance")
+	}
+
+	hz, err := http.Get(srv.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	hz.Body.Close()
+	if hz.StatusCode != http.StatusOK {
+		t.Fatalf("/healthz while saturated: status %d, want 200 (probes must see an overloaded server as alive)", hz.StatusCode)
+	}
+
+	<-sem // free the slot
+	ok, err := http.Get(srv.URL + "/api/v1/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ok.Body.Close()
+	if ok.StatusCode != http.StatusOK {
+		t.Fatalf("after drain: status %d, want 200", ok.StatusCode)
+	}
+}
+
+// TestMaxInFlightOffByDefault: with MaxInFlight unset there is no
+// admission semaphore and concurrent traffic is never shed.
+func TestMaxInFlightOffByDefault(t *testing.T) {
+	server, srv := admissionFixture(t, 0)
+	if server.inflightSem() != nil {
+		t.Fatal("inflight semaphore exists with MaxInFlight = 0")
+	}
+	var wg sync.WaitGroup
+	for i := 0; i < 16; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			resp, err := http.Get(srv.URL + "/api/v1/stats")
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			resp.Body.Close()
+			if resp.StatusCode != http.StatusOK {
+				t.Errorf("status %d", resp.StatusCode)
+			}
+		}()
+	}
+	wg.Wait()
+	if server.Shed() != 0 {
+		t.Fatalf("Shed = %d with admission control off", server.Shed())
+	}
+}
+
+// TestMetricsRuntimeGauges verifies GET /api/v1/metrics reports live
+// runtime health: non-zero heap and goroutine gauges, cumulative
+// allocation counters that advance between scrapes, and the echoed
+// MaxInFlight bound.
+func TestMetricsRuntimeGauges(t *testing.T) {
+	_, srv := admissionFixture(t, 7)
+	scrape := func() ServerMetrics {
+		t.Helper()
+		resp, err := http.Get(srv.URL + "/api/v1/metrics")
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		var m ServerMetrics
+		if err := json.NewDecoder(resp.Body).Decode(&m); err != nil {
+			t.Fatal(err)
+		}
+		return m
+	}
+	m1 := scrape()
+	if m1.MaxInFlight != 7 {
+		t.Fatalf("MaxInFlight = %d, want 7", m1.MaxInFlight)
+	}
+	if m1.Runtime.HeapInuseBytes == 0 {
+		t.Fatal("HeapInuseBytes = 0")
+	}
+	if m1.Runtime.Goroutines <= 0 {
+		t.Fatalf("Goroutines = %d", m1.Runtime.Goroutines)
+	}
+	if m1.Runtime.AllocObjects == 0 || m1.Runtime.AllocBytes == 0 {
+		t.Fatalf("cumulative allocation counters empty: %+v", m1.Runtime)
+	}
+	// Any request allocates something server-side; the deltas a load
+	// driver computes must therefore be positive and monotone.
+	for i := 0; i < 50; i++ {
+		resp, err := http.Get(srv.URL + "/api/v1/stats")
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+	}
+	m2 := scrape()
+	if m2.Runtime.AllocObjects <= m1.Runtime.AllocObjects {
+		t.Fatalf("AllocObjects not monotone: %d then %d", m1.Runtime.AllocObjects, m2.Runtime.AllocObjects)
+	}
+	if m2.Requests <= m1.Requests {
+		t.Fatalf("Requests not advancing: %d then %d", m1.Requests, m2.Requests)
+	}
+}

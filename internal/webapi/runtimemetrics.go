@@ -1,0 +1,92 @@
+package webapi
+
+import rtmetrics "runtime/metrics"
+
+// RuntimeMetrics is the runtime-health block of the GET /api/v1/metrics
+// payload: the gauges a load driver needs to correlate latency spikes
+// with GC activity (heap pressure, pause tail, goroutine count) and to
+// compute server-side allocations per request from deltas of the
+// cumulative allocation counters.
+type RuntimeMetrics struct {
+	// HeapInuseBytes is the live-heap footprint (spans in use).
+	HeapInuseBytes uint64 `json:"heapInuseBytes"`
+	// GCPauseP99Ms is the 99th-percentile stop-the-world pause, in
+	// milliseconds, over the process lifetime pause histogram.
+	GCPauseP99Ms float64 `json:"gcPauseP99Ms"`
+	// Goroutines is the current goroutine count.
+	Goroutines int64 `json:"goroutines"`
+	// AllocObjects / AllocBytes are cumulative heap allocations since
+	// process start; two samples bracketing a request burst yield
+	// allocs/request server-side.
+	AllocObjects uint64 `json:"allocObjects"`
+	AllocBytes   uint64 `json:"allocBytes"`
+}
+
+// runtimeSampleNames are the runtime/metrics samples backing
+// RuntimeMetrics, in the order readRuntimeMetrics consumes them.
+var runtimeSampleNames = []string{
+	"/memory/classes/heap/objects:bytes",
+	"/gc/pauses:seconds",
+	"/sched/goroutines:goroutines",
+	"/gc/heap/allocs:objects",
+	"/gc/heap/allocs:bytes",
+}
+
+// readRuntimeMetrics samples the runtime. It allocates a fresh sample
+// slice per call — /metrics is not a hot path, and sharing one slice
+// would need a lock for no benefit.
+func readRuntimeMetrics() RuntimeMetrics {
+	samples := make([]rtmetrics.Sample, len(runtimeSampleNames))
+	for i, name := range runtimeSampleNames {
+		samples[i].Name = name
+	}
+	rtmetrics.Read(samples)
+	var rm RuntimeMetrics
+	if samples[0].Value.Kind() == rtmetrics.KindUint64 {
+		rm.HeapInuseBytes = samples[0].Value.Uint64()
+	}
+	if samples[1].Value.Kind() == rtmetrics.KindFloat64Histogram {
+		rm.GCPauseP99Ms = histQuantile(samples[1].Value.Float64Histogram(), 0.99) * 1000
+	}
+	if samples[2].Value.Kind() == rtmetrics.KindUint64 {
+		rm.Goroutines = int64(samples[2].Value.Uint64())
+	}
+	if samples[3].Value.Kind() == rtmetrics.KindUint64 {
+		rm.AllocObjects = samples[3].Value.Uint64()
+	}
+	if samples[4].Value.Kind() == rtmetrics.KindUint64 {
+		rm.AllocBytes = samples[4].Value.Uint64()
+	}
+	return rm
+}
+
+// histQuantile returns the upper bound of the bucket containing quantile
+// q of a runtime/metrics histogram (0 when the histogram is empty). The
+// runtime's pause histograms have +Inf tails; those collapse to the last
+// finite bucket boundary so the result stays plottable.
+func histQuantile(h *rtmetrics.Float64Histogram, q float64) float64 {
+	if h == nil {
+		return 0
+	}
+	var total uint64
+	for _, c := range h.Counts {
+		total += c
+	}
+	if total == 0 {
+		return 0
+	}
+	target := uint64(q * float64(total))
+	var cum uint64
+	for i, c := range h.Counts {
+		cum += c
+		if cum > target {
+			// Bucket i spans (Buckets[i], Buckets[i+1]].
+			hi := h.Buckets[i+1]
+			if hi > 1e18 || hi != hi { // +Inf tail or NaN
+				hi = h.Buckets[i]
+			}
+			return hi
+		}
+	}
+	return h.Buckets[len(h.Buckets)-1]
+}

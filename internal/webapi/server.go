@@ -80,6 +80,14 @@ type Server struct {
 	// MaxConcurrent bounds in-flight requests (default 64). Set it before
 	// the first request; later changes are ignored.
 	MaxConcurrent int
+	// MaxInFlight, when > 0, is the admission-control bound: a request
+	// arriving while MaxInFlight others are in flight is shed immediately
+	// with 429 and the retryable error envelope instead of queueing
+	// (/healthz is exempt so probes see an overloaded server as alive).
+	// It also becomes the default MaxActive of the shared harvest
+	// scheduler, so admission and job concurrency degrade together. Set
+	// it before the first request; later changes are ignored.
+	MaxInFlight int
 	// Harvest, when non-nil, enables the POST /api/v1/harvest batch
 	// endpoint (server-side pipelined sessions with streamed progress)
 	// and the asynchronous jobs API (POST/GET/DELETE /api/v1/jobs).
@@ -95,7 +103,14 @@ type Server struct {
 
 	semOnce sync.Once
 	sem     chan struct{}
-	http    *http.Server
+
+	// inflight is the MaxInFlight try-acquire semaphore (nil when
+	// admission control is off); shed counts requests rejected at it.
+	inflightOnce sync.Once
+	inflight     chan struct{}
+	shed         atomic.Int64
+
+	http *http.Server
 
 	// sched is the ONE shared pipeline scheduler every harvest (sync and
 	// async) runs on, created lazily from the backend's worker knobs and
@@ -129,6 +144,11 @@ func (s *Server) scheduler() *pipeline.Scheduler {
 			cfg.SelectWorkers = s.Harvest.SelectWorkers
 			cfg.FetchWorkers = s.Harvest.FetchWorkers
 			cfg.MaxActive = s.Harvest.MaxActive
+		}
+		if cfg.MaxActive == 0 && s.MaxInFlight > 0 {
+			// Admission control extends to job concurrency: excess jobs
+			// wait in the scheduler's FIFO instead of thrashing workers.
+			cfg.MaxActive = s.MaxInFlight
 		}
 		s.sched = pipeline.New(cfg)
 	}
@@ -167,11 +187,39 @@ func (s *Server) semaphore() chan struct{} {
 // else bounded) lives in the route registry — see routes.go.
 const writeTimeout = 30 * time.Second
 
-// limit applies the concurrency bound and request logging. Per-route
-// write deadlines are applied by instrument() from the route registry.
+// inflightSem returns the admission-control semaphore, sized once from
+// MaxInFlight on first use; nil when admission control is off.
+func (s *Server) inflightSem() chan struct{} {
+	s.inflightOnce.Do(func() {
+		if s.MaxInFlight > 0 {
+			s.inflight = make(chan struct{}, s.MaxInFlight)
+		}
+	})
+	return s.inflight
+}
+
+// Shed reports how many requests admission control has rejected with 429.
+func (s *Server) Shed() int64 { return s.shed.Load() }
+
+// limit applies admission control (fast 429 shed past MaxInFlight), the
+// concurrency bound, and request logging. Per-route write deadlines are
+// applied by instrument() from the route registry.
 func (s *Server) limit(next http.Handler) http.Handler {
 	sem := s.semaphore()
+	inflight := s.inflightSem()
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if inflight != nil && r.URL.Path != "/healthz" {
+			select {
+			case inflight <- struct{}{}:
+				defer func() { <-inflight }()
+			default:
+				// Shed instead of queueing: the client's retry (the
+				// envelope is retryable) is cheaper than a convoy here.
+				s.shed.Add(1)
+				writeError(w, http.StatusTooManyRequests, "server at max in-flight requests")
+				return
+			}
+		}
 		select {
 		case sem <- struct{}{}:
 			defer func() { <-sem }()
@@ -240,6 +288,14 @@ type ServerMetrics struct {
 	// InFlight is the number of requests currently holding a concurrency
 	// slot (the MaxConcurrent semaphore).
 	InFlight int `json:"inFlight"`
+	// Shed counts requests rejected 429 by admission control (MaxInFlight);
+	// MaxInFlight echoes the configured bound (0 = admission control off).
+	Shed        int64 `json:"shed"`
+	MaxInFlight int   `json:"maxInFlight,omitempty"`
+	// Runtime reports the process-health gauges (heap in use, GC pause
+	// tail, goroutines, cumulative allocations) so a load driver can
+	// correlate latency with GC and derive server-side allocs/request.
+	Runtime RuntimeMetrics `json:"runtime"`
 	// Jobs counts the async jobs registry by state.
 	Jobs map[string]int `json:"jobs,omitempty"`
 	// Scheduler snapshots the shared harvest scheduler (queue depth,
@@ -250,8 +306,11 @@ type ServerMetrics struct {
 
 func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 	m := ServerMetrics{
-		Requests: s.requests.Load(),
-		InFlight: len(s.semaphore()),
+		Requests:    s.requests.Load(),
+		InFlight:    len(s.semaphore()),
+		Shed:        s.shed.Load(),
+		MaxInFlight: s.MaxInFlight,
+		Runtime:     readRuntimeMetrics(),
 	}
 	s.jobsMu.Lock()
 	if len(s.jobs) > 0 {

@@ -1,0 +1,69 @@
+#!/bin/sh
+# Allocation-regression gate: run the alloc benchmarks (-benchmem) and
+# fail when any hot path allocates more per op than its pinned ceiling.
+# The ceilings are the contract the zero-allocation refactor established:
+# the append paths with reused buffers stay at 0 allocs/op, the
+# convenience wrappers pay only their documented result-slice/fold costs.
+#
+# Writes one JSON line per benchmark to BENCH_allocs.json (or $1) — the
+# CI artifact that trends allocs/op across PRs.
+#
+# Usage: scripts/alloc_gate.sh [out.json]
+set -eu
+
+OUT=${1:-BENCH_allocs.json}
+RAW=$(mktemp)
+trap 'rm -f "$RAW"' EXIT
+
+# -benchtime in iterations so allocs/op is a stable integer ratio, not a
+# wall-clock-dependent sample.
+go test -run '^$' \
+	-bench 'BenchmarkTokenizeAllocs|BenchmarkNGramsAllocs|BenchmarkSearchAllocs|BenchmarkSearchAppendConcurrent|BenchmarkCandidateAllocs' \
+	-benchmem -benchtime=500x \
+	./internal/textproc/ ./internal/search/ ./internal/core/ | tee "$RAW"
+
+# bench-name (CPU suffix stripped) → max allocs/op.
+ceiling() {
+	case "$1" in
+	BenchmarkTokenizeAllocs/append/lower) echo 0 ;;   # pure-ASCII LUT path, zero-copy tokens
+	BenchmarkTokenizeAllocs/append/mixed) echo 8 ;;   # one ToLower string per capitalized token
+	BenchmarkTokenizeAllocs/convenience) echo 14 ;;   # + the fresh result slice
+	BenchmarkTokenizeAllocs/reference) echo 45 ;;     # pre-LUT baseline, kept for the ratio
+	BenchmarkNGramsAllocs/append) echo 20 ;;          # only the multi-word gram strings emitted
+	BenchmarkNGramsAllocs/convenience) echo 28 ;;     # + result slice growth and the dedup map
+	BenchmarkSearchAllocs/cached/append) echo 0 ;;    # cache hit into a reused buffer
+	BenchmarkSearchAllocs/cached) echo 1 ;;           # the fresh result slice
+	BenchmarkSearchAllocs/nocache/append) echo 8 ;;   # pooled scoring scratch steady state
+	BenchmarkSearchAppendConcurrent) echo 1 ;;        # contended pool refills round up
+	BenchmarkCandidateAllocs/steady/append) echo 0 ;; # pool re-emits cached segments
+	BenchmarkCandidateAllocs/steady) echo 3 ;;        # the fresh result slice (+ map growth slack)
+	*) echo "" ;;
+	esac
+}
+
+: >"$OUT"
+fail=0
+# go test -benchmem line: name iters ns/op "ns/op" B/op "B/op" N "allocs/op"
+while read -r name _ ns _ bytes _ allocs _; do
+	base=$(printf '%s' "$name" | sed 's/-[0-9][0-9]*$//')
+	max=$(ceiling "$base")
+	if [ -z "$max" ]; then
+		echo "alloc_gate: $base has no pinned ceiling; add one to scripts/alloc_gate.sh" >&2
+		fail=1
+		continue
+	fi
+	ok=true
+	if [ "$allocs" -gt "$max" ]; then
+		ok=false
+		fail=1
+		echo "alloc_gate: FAIL $base: $allocs allocs/op exceeds ceiling $max" >&2
+	fi
+	printf '{"bench":"%s","ns_per_op":%s,"bytes_per_op":%s,"allocs_per_op":%s,"ceiling":%s,"ok":%s}\n' \
+		"$base" "$ns" "$bytes" "$allocs" "$max" "$ok" >>"$OUT"
+done <<EOF
+$(grep '^Benchmark' "$RAW")
+EOF
+
+test -s "$OUT" || { echo "alloc_gate: no benchmark lines parsed" >&2; exit 1; }
+cat "$OUT"
+exit "$fail"
