@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test soak bench bench-candidates bench-wire bench-allocs wire-parity load-smoke lint fmt
+.PHONY: all build test soak bench bench-candidates bench-wire bench-allocs wire-parity load-smoke lint vuln fmt
 
 all: lint build test
 
@@ -54,14 +54,25 @@ lint:
 		echo "gofmt needed on:"; echo "$$unformatted"; exit 1; \
 	fi
 	$(GO) vet ./...
+	$(GO) build -o bin/l2qvet ./cmd/l2qvet
+	$(GO) vet -vettool=$(CURDIR)/bin/l2qvet ./...
 	@if command -v staticcheck >/dev/null 2>&1; then \
 		staticcheck ./...; \
 	else \
 		echo "staticcheck not installed (go install honnef.co/go/tools/cmd/staticcheck@$(STATICCHECK_VERSION)); skipping — CI runs it"; \
 	fi
 
-# Pinned so local runs and the CI lint job agree.
+# Known-vulnerability scan; graceful local skip, CI always runs it.
+vuln:
+	@if command -v govulncheck >/dev/null 2>&1; then \
+		govulncheck ./...; \
+	else \
+		echo "govulncheck not installed (go install golang.org/x/vuln/cmd/govulncheck@$(GOVULNCHECK_VERSION)); skipping — CI runs it"; \
+	fi
+
+# Pinned so local runs and the CI lint jobs agree.
 STATICCHECK_VERSION = 2025.1.1
+GOVULNCHECK_VERSION = v1.1.4
 
 fmt:
 	gofmt -w .

@@ -24,10 +24,12 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"sort"
 	"time"
 
@@ -398,7 +400,11 @@ func printFig14(env *eval.Env) error {
 // (the scheduler's BudgetPolicy) at the same global query spend.
 func printBudget(env *eval.Env) error {
 	t0 := time.Now()
-	res, err := env.BudgetComparison(env.Cfg.NumQueries)
+	// The command owns the context root; Ctrl-C cancels the scheduled
+	// harvests instead of abandoning them mid-batch.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+	res, err := env.BudgetComparison(ctx, env.Cfg.NumQueries)
 	if err != nil {
 		return err
 	}

@@ -180,6 +180,7 @@ func (s *Session) BootstrapCtx(ctx context.Context) (int, error) {
 // It is the errorless adapter over FetchQueryCtx: a transport failure
 // yields no results (an unproductive query).
 func (s *Session) FetchQuery(q Query) []search.Result {
+	//l2qvet:ignore ctxbg errorless legacy adapter: FetchQuery's public signature has no ctx; error-aware callers use FetchQueryCtx
 	res, _ := s.FetchQueryCtx(context.Background(), q)
 	return res
 }

@@ -47,8 +47,9 @@ type BudgetResult struct {
 }
 
 // budgetHarvest runs one allocation mode over the test entities of one
-// aspect and tallies the outcome.
-func (e *Env) budgetHarvest(aspect corpus.Aspect, dm *core.DomainModel,
+// aspect and tallies the outcome. ctx bounds the scheduled harvests:
+// cancellation aborts the batch and surfaces as the per-job error.
+func (e *Env) budgetHarvest(ctx context.Context, aspect corpus.Aspect, dm *core.DomainModel,
 	nQueries int, policy pipeline.BudgetPolicy) (queries, relPages int, sumRPhi float64, err error) {
 
 	y := e.Cls.YFunc(aspect)
@@ -62,11 +63,11 @@ func (e *Env) budgetHarvest(aspect corpus.Aspect, dm *core.DomainModel,
 	}
 	sched := pipeline.New(pipeline.Config{SelectWorkers: e.parallelism()})
 	defer sched.Close()
-	b, serr := sched.Submit(context.Background(), jobs, pipeline.BatchOptions{Budget: policy})
+	b, serr := sched.Submit(ctx, jobs, pipeline.BatchOptions{Budget: policy})
 	if serr != nil {
 		return 0, 0, 0, serr
 	}
-	for _, r := range b.Await(context.Background()) {
+	for _, r := range b.Await(ctx) {
 		if r.Err != nil {
 			return 0, 0, 0, r.Err
 		}
@@ -85,7 +86,8 @@ func (e *Env) budgetHarvest(aspect corpus.Aspect, dm *core.DomainModel,
 
 // BudgetComparison runs the fixed-vs-adaptive comparison at a per-entity
 // budget of nQueries (≤0: the configured default) across every aspect.
-func (e *Env) BudgetComparison(nQueries int) (BudgetResult, error) {
+// ctx cancels the underlying harvests between and within aspects.
+func (e *Env) BudgetComparison(ctx context.Context, nQueries int) (BudgetResult, error) {
 	if nQueries <= 0 {
 		nQueries = e.Cfg.NumQueries
 	}
@@ -101,11 +103,11 @@ func (e *Env) BudgetComparison(nQueries int) (BudgetResult, error) {
 			Budget:   nQueries * len(e.TestIDs),
 		}
 		if row.FixedQueries, row.FixedRelPages, row.FixedSumRPhi, err = e.budgetHarvest(
-			aspect, dm, nQueries, pipeline.BudgetPolicy{Mode: pipeline.BudgetFixed}); err != nil {
+			ctx, aspect, dm, nQueries, pipeline.BudgetPolicy{Mode: pipeline.BudgetFixed}); err != nil {
 			return res, err
 		}
 		if row.AdaptiveQueries, row.AdaptiveRelPages, row.AdaptiveSumRPhi, err = e.budgetHarvest(
-			aspect, dm, nQueries, pipeline.BudgetPolicy{Mode: pipeline.BudgetAdaptive}); err != nil {
+			ctx, aspect, dm, nQueries, pipeline.BudgetPolicy{Mode: pipeline.BudgetAdaptive}); err != nil {
 			return res, err
 		}
 		res.Rows = append(res.Rows, row)

@@ -7,7 +7,7 @@ func TestBudgetComparisonSmoke(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	res, err := env.BudgetComparison(3)
+	res, err := env.BudgetComparison(t.Context(), 3)
 	if err != nil {
 		t.Fatal(err)
 	}

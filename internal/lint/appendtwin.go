@@ -1,0 +1,166 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// AppendTwin enforces the single-implementation rule behind the AppendX
+// convention (PR 7, DESIGN.md "Allocation discipline"): when an exported
+// X has an append twin — an exported AppendX or XAppend in the same
+// package (same receiver for methods) whose signature is X's with a
+// destination slice prepended — then X must delegate to the twin
+// (`return AppendX(nil, …)`). Two bodies for one operation drift apart:
+// the differential tests hold the twin to the reference, and a
+// convenience form with its own loop silently escapes that net.
+//
+// Functions named *Reference are exempt: they are the repo's retained
+// rebuild-path implementations, deliberately independent so differential
+// parity tests have something honest to compare against.
+var AppendTwin = &Analyzer{
+	Name: "appendtwin",
+	Doc: "an exported X with an AppendX/XAppend twin must delegate to the twin " +
+		"(X = AppendX(nil, …)); a second implementation is drift waiting to happen",
+	Run: runAppendTwin,
+}
+
+func runAppendTwin(pass *Pass) error {
+	info := pass.Info()
+
+	// Collect every exported function and method with its declaration.
+	type fnDecl struct {
+		obj  *types.Func
+		decl *ast.FuncDecl
+	}
+	var fns []fnDecl
+	for _, f := range pass.Files() {
+		for _, d := range f.Decls {
+			fd, ok := d.(*ast.FuncDecl)
+			if !ok || !fd.Name.IsExported() {
+				continue
+			}
+			if obj, ok := info.Defs[fd.Name].(*types.Func); ok {
+				fns = append(fns, fnDecl{obj, fd})
+			}
+		}
+	}
+
+	for _, f := range fns {
+		name := f.obj.Name()
+		if strings.HasSuffix(name, "Reference") {
+			continue
+		}
+		sig := f.obj.Signature()
+		if sig.Results().Len() != 1 {
+			continue
+		}
+		res := sig.Results().At(0).Type()
+		if _, ok := res.Underlying().(*types.Slice); !ok {
+			continue
+		}
+		// Skip append-style functions themselves: first parameter is the
+		// result slice type.
+		if sig.Params().Len() > 0 && types.Identical(sig.Params().At(0).Type(), res) {
+			continue
+		}
+
+		var twins []*types.Func
+		for _, t := range fns {
+			if t.obj == f.obj || !isAppendName(t.obj.Name()) {
+				continue
+			}
+			if !sameReceiver(sig, t.obj.Signature()) {
+				continue
+			}
+			if isAppendTwinSig(sig, t.obj.Signature(), res) {
+				twins = append(twins, t.obj)
+			}
+		}
+		if len(twins) == 0 || f.decl.Body == nil {
+			continue
+		}
+		if !callsAny(info, f.decl.Body, twins) {
+			names := make([]string, len(twins))
+			for i, t := range twins {
+				names[i] = t.Name()
+			}
+			pass.Reportf(f.decl.Pos(), "%s does not delegate to its append twin %s: keep one implementation (%s = %s(nil, …))",
+				name, strings.Join(names, "/"), name, names[0])
+		}
+	}
+	return nil
+}
+
+func isAppendName(name string) bool {
+	return strings.HasPrefix(name, "Append") || strings.HasSuffix(name, "Append")
+}
+
+// sameReceiver reports whether two signatures are both receiver-less or
+// share the same named receiver base type.
+func sameReceiver(a, b *types.Signature) bool {
+	return recvBase(a) == recvBase(b)
+}
+
+func recvBase(sig *types.Signature) *types.TypeName {
+	r := sig.Recv()
+	if r == nil {
+		return nil
+	}
+	t := r.Type()
+	if ptr, ok := t.Underlying().(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	if named, ok := t.(*types.Named); ok {
+		return named.Obj()
+	}
+	return nil
+}
+
+// isAppendTwinSig reports whether twin's signature is sig's with a
+// destination slice of type res prepended and the same single result.
+func isAppendTwinSig(sig, twin *types.Signature, res types.Type) bool {
+	if twin.Results().Len() != 1 || !types.Identical(twin.Results().At(0).Type(), res) {
+		return false
+	}
+	if twin.Params().Len() != sig.Params().Len()+1 || sig.Variadic() != twin.Variadic() {
+		return false
+	}
+	if !types.Identical(twin.Params().At(0).Type(), res) {
+		return false
+	}
+	for i := 0; i < sig.Params().Len(); i++ {
+		if !types.Identical(sig.Params().At(i).Type(), twin.Params().At(i+1).Type()) {
+			return false
+		}
+	}
+	return true
+}
+
+// callsAny reports whether body contains a call to any of the functions.
+func callsAny(info *types.Info, body *ast.BlockStmt, fns []*types.Func) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		var callee types.Object
+		switch fun := ast.Unparen(call.Fun).(type) {
+		case *ast.Ident:
+			callee = info.Uses[fun]
+		case *ast.SelectorExpr:
+			callee = info.Uses[fun.Sel]
+		}
+		for _, fn := range fns {
+			if callee == fn {
+				found = true
+			}
+		}
+		return true
+	})
+	return found
+}

@@ -1,0 +1,63 @@
+package lint
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/types"
+)
+
+// ErrEnvelope enforces the unified retryable-error envelope on the
+// serving surface (PR 6): every failure internal/webapi hands a client is
+// `{"error":{"code","message","retryable"}}`, written by the one
+// writeError helper — that is what lets a single client-side decoder
+// honor server retryability hints on every route and both codecs. A
+// handler that calls http.Error, or hand-rolls a 4xx/5xx status write,
+// produces a body the client's envelope decoder cannot classify, so the
+// retry loop falls back to guessing from the status class.
+//
+// The writeError helper itself is exempt by name; the fault injector's
+// deliberately-hostile responses carry //l2qvet:ignore annotations (an
+// injected fault is *supposed* to be a malformed failure).
+var ErrEnvelope = &Analyzer{
+	Name: "errenvelope",
+	Doc: "internal/webapi handlers must fail through writeError's retryable-error envelope, " +
+		"not http.Error or a hand-rolled 4xx/5xx response",
+	Run: runErrEnvelope,
+}
+
+func runErrEnvelope(pass *Pass) error {
+	if !pathIn(pass.Path(), "webapi") {
+		return nil
+	}
+	info := pass.Info()
+	for _, f := range pass.Files() {
+		var enclosing *ast.FuncDecl
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.FuncDecl:
+				enclosing = n
+			case *ast.CallExpr:
+				if enclosing != nil && enclosing.Name.Name == "writeError" {
+					return true // the designated envelope helper
+				}
+				sel, ok := n.Fun.(*ast.SelectorExpr)
+				if !ok {
+					return true
+				}
+				if fn, ok := info.Uses[sel.Sel].(*types.Func); ok && fn.FullName() == "net/http.Error" {
+					pass.Reportf(n.Pos(), "http.Error bypasses the retryable-error envelope: use writeError")
+					return true
+				}
+				if sel.Sel.Name == "WriteHeader" && len(n.Args) == 1 {
+					if tv, ok := info.Types[n.Args[0]]; ok && tv.Value != nil && tv.Value.Kind() == constant.Int {
+						if status, ok := constant.Int64Val(tv.Value); ok && status >= 400 {
+							pass.Reportf(n.Pos(), "hand-rolled %d response bypasses the retryable-error envelope: use writeError", status)
+						}
+					}
+				}
+			}
+			return true
+		})
+	}
+	return nil
+}

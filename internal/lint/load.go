@@ -1,0 +1,249 @@
+package lint
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"sort"
+	"sync"
+)
+
+// Package is one loaded, parsed, type-checked package.
+type Package struct {
+	Path  string
+	Dir   string
+	Fset  *token.FileSet
+	Files []*ast.File
+	Types *types.Package
+	Info  *types.Info
+}
+
+// listPkg is the subset of `go list -json` output the loader consumes.
+type listPkg struct {
+	ImportPath string
+	Dir        string
+	Export     string
+	Standard   bool
+	DepOnly    bool
+	GoFiles    []string
+	ImportMap  map[string]string
+	Module     *struct{ Path string }
+	Error      *struct{ Err string }
+}
+
+// goList runs `go list -export -deps -json` in dir over the patterns and
+// decodes the package stream. -export populates each package's build-cache
+// export-data file, which is what lets the loader type-check against
+// compiled imports with nothing beyond the standard library's gc importer.
+func goList(dir string, patterns ...string) ([]*listPkg, error) {
+	args := append([]string{
+		"list", "-e", "-export", "-deps",
+		"-json=ImportPath,Dir,Export,Standard,DepOnly,GoFiles,ImportMap,Module,Error",
+	}, patterns...)
+	cmd := exec.Command("go", args...)
+	cmd.Dir = dir
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	out, err := cmd.Output()
+	if err != nil {
+		return nil, fmt.Errorf("go list %v: %v\n%s", patterns, err, stderr.Bytes())
+	}
+	var pkgs []*listPkg
+	dec := json.NewDecoder(bytes.NewReader(out))
+	for {
+		var p listPkg
+		if err := dec.Decode(&p); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("go list %v: decoding: %v", patterns, err)
+		}
+		pkgs = append(pkgs, &p)
+	}
+	return pkgs, nil
+}
+
+// exportLookup resolves import paths to export-data readers from a
+// path -> file map, growing the map on demand via go list (the testdata
+// harness hits stdlib packages lazily).
+type exportLookup struct {
+	mu      sync.Mutex
+	dir     string // directory go list runs in
+	exports map[string]string
+}
+
+func (l *exportLookup) add(pkgs []*listPkg) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.exports == nil {
+		l.exports = map[string]string{}
+	}
+	for _, p := range pkgs {
+		if p.Export != "" {
+			l.exports[p.ImportPath] = p.Export
+		}
+	}
+}
+
+func (l *exportLookup) lookup(path string) (io.ReadCloser, error) {
+	l.mu.Lock()
+	f := l.exports[path]
+	l.mu.Unlock()
+	if f == "" {
+		pkgs, err := goList(l.dir, path)
+		if err != nil {
+			return nil, fmt.Errorf("no export data for %q: %v", path, err)
+		}
+		l.add(pkgs)
+		l.mu.Lock()
+		f = l.exports[path]
+		l.mu.Unlock()
+	}
+	if f == "" {
+		return nil, fmt.Errorf("no export data for %q", path)
+	}
+	return os.Open(f)
+}
+
+// CheckUnit parses and type-checks one explicit compilation unit; it is
+// how cmd/l2qvet's vettool mode reuses the loader's back half on the
+// file list `go vet` hands it.
+func CheckUnit(fset *token.FileSet, imp types.Importer, path, dir string, goFiles []string) (*Package, error) {
+	return checkFiles(fset, imp, path, dir, goFiles)
+}
+
+// checkFiles parses and type-checks one package's files.
+func checkFiles(fset *token.FileSet, imp types.Importer, path, dir string, goFiles []string) (*Package, error) {
+	var files []*ast.File
+	for _, gf := range goFiles {
+		if !filepath.IsAbs(gf) {
+			gf = filepath.Join(dir, gf)
+		}
+		f, err := parser.ParseFile(fset, gf, nil, parser.ParseComments)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	info := &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+		Implicits:  map[ast.Node]types.Object{},
+		Scopes:     map[ast.Node]*types.Scope{},
+	}
+	conf := types.Config{Importer: imp}
+	tpkg, err := conf.Check(path, fset, files, info)
+	if err != nil {
+		return nil, err
+	}
+	return &Package{Path: path, Dir: dir, Fset: fset, Files: files, Types: tpkg, Info: info}, nil
+}
+
+// Load type-checks the pattern-matched packages of the module rooted at
+// dir and returns them ready for analysis. Dependencies (in-module and
+// standard library alike) are imported from build-cache export data, so
+// only the target packages themselves are parsed from source.
+func Load(dir string, patterns ...string) ([]*Package, error) {
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	listed, err := goList(dir, patterns...)
+	if err != nil {
+		return nil, err
+	}
+	lk := &exportLookup{dir: dir}
+	lk.add(listed)
+	fset := token.NewFileSet()
+	imp := importer.ForCompiler(fset, "gc", lk.lookup)
+	var out []*Package
+	for _, p := range listed {
+		if p.DepOnly || p.Standard {
+			continue
+		}
+		if p.Error != nil {
+			return nil, fmt.Errorf("%s: %s", p.ImportPath, p.Error.Err)
+		}
+		if len(p.GoFiles) == 0 {
+			continue
+		}
+		pkg, err := checkFiles(fset, imp, p.ImportPath, p.Dir, p.GoFiles)
+		if err != nil {
+			return nil, fmt.Errorf("%s: %v", p.ImportPath, err)
+		}
+		out = append(out, pkg)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Path < out[j].Path })
+	return out, nil
+}
+
+// testdataImporter resolves imports for testdata packages: an import path
+// that exists as a directory under the testdata root is type-checked from
+// source (recursively, analysistest's GOPATH=testdata convention); every
+// other path must be a standard-library package and is imported from
+// export data.
+type testdataImporter struct {
+	root   string
+	fset   *token.FileSet
+	std    types.Importer
+	loaded map[string]*Package
+}
+
+func (ti *testdataImporter) Import(path string) (*types.Package, error) {
+	if pkg, ok := ti.loaded[path]; ok {
+		return pkg.Types, nil
+	}
+	dir := filepath.Join(ti.root, filepath.FromSlash(path))
+	if st, err := os.Stat(dir); err == nil && st.IsDir() {
+		pkg, err := ti.load(path, dir)
+		if err != nil {
+			return nil, err
+		}
+		return pkg.Types, nil
+	}
+	return ti.std.Import(path)
+}
+
+func (ti *testdataImporter) load(path, dir string) (*Package, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var goFiles []string
+	for _, e := range entries {
+		if !e.IsDir() && filepath.Ext(e.Name()) == ".go" {
+			goFiles = append(goFiles, e.Name())
+		}
+	}
+	sort.Strings(goFiles)
+	pkg, err := checkFiles(ti.fset, ti, path, dir, goFiles)
+	if err != nil {
+		return nil, err
+	}
+	ti.loaded[path] = pkg
+	return pkg, nil
+}
+
+// LoadTestdata type-checks one package from a testdata tree (root is the
+// testdata/src directory, path the package-relative dir). moduleDir is
+// where `go list` resolves standard-library export data.
+func LoadTestdata(moduleDir, root, path string) (*Package, error) {
+	fset := token.NewFileSet()
+	lk := &exportLookup{dir: moduleDir}
+	ti := &testdataImporter{
+		root:   root,
+		fset:   fset,
+		std:    importer.ForCompiler(fset, "gc", lk.lookup),
+		loaded: map[string]*Package{},
+	}
+	return ti.load(path, filepath.Join(root, filepath.FromSlash(path)))
+}

@@ -1,0 +1,157 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// MapDeterminism guards the byte-identical artifact guarantee of the
+// store and wire codecs (L2QSTOR1/L2QCKPT1/L2QDOM1/L2QWIR1): Go map
+// iteration order is random, so a codec path that serializes — or
+// collects into an ordered slice — while ranging over a map produces
+// different bytes on every run, breaking differential wire parity and
+// checkpoint/artifact reproducibility. In internal/store and
+// internal/webapi the analyzer flags two shapes inside a `for range`
+// over a map:
+//
+//   - any call that touches a store.Enc (method call on one, or an Enc
+//     passed as an argument) — encoding directly in iteration order;
+//   - an append to a slice that the enclosing function never sorts —
+//     the sanctioned idiom is collect-keys, sort, then iterate the
+//     sorted slice.
+var MapDeterminism = &Analyzer{
+	Name: "mapdeterminism",
+	Doc: "codec paths must not serialize in map-iteration order: sort collected keys, " +
+		"and never feed a store.Enc from inside a map range",
+	Run: runMapDeterminism,
+}
+
+func runMapDeterminism(pass *Pass) error {
+	if !pathIn(pass.Path(), "store", "webapi") {
+		return nil
+	}
+	info := pass.Info()
+	for _, f := range pass.Files() {
+		var enclosing *ast.FuncDecl
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.FuncDecl:
+				enclosing = n
+			case *ast.RangeStmt:
+				checkMapRange(pass, info, enclosing, n)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+func checkMapRange(pass *Pass, info *types.Info, enclosing *ast.FuncDecl, rng *ast.RangeStmt) {
+	tv, ok := info.Types[rng.X]
+	if !ok {
+		return
+	}
+	if _, isMap := tv.Type.Underlying().(*types.Map); !isMap {
+		return
+	}
+
+	// Targets of appends performed inside the range body.
+	appended := map[types.Object]ast.Expr{}
+	ast.Inspect(rng.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			if encExpr := touchesEnc(info, n); encExpr != nil {
+				pass.Reportf(n.Pos(), "store.Enc fed inside range over a map: encoded bytes depend on map iteration order")
+				return true
+			}
+			if id, ok := n.Fun.(*ast.Ident); ok {
+				if b, ok := info.Uses[id].(*types.Builtin); ok && b.Name() == "append" && len(n.Args) > 0 {
+					if target, ok := ast.Unparen(n.Args[0]).(*ast.Ident); ok {
+						if obj := info.Uses[target]; obj != nil {
+							if _, isSlice := obj.Type().Underlying().(*types.Slice); isSlice {
+								appended[obj] = n.Args[0]
+							}
+						}
+					}
+				}
+			}
+		}
+		return true
+	})
+	if len(appended) == 0 || enclosing == nil || enclosing.Body == nil {
+		return
+	}
+	for obj, expr := range appended {
+		if !sortedInFunc(info, enclosing.Body, obj) {
+			pass.Reportf(expr.Pos(), "%s is appended to in map-iteration order and never sorted in %s: collect, sort, then iterate",
+				obj.Name(), enclosing.Name.Name)
+		}
+	}
+}
+
+// touchesEnc reports (by returning the offending expression) whether the
+// call invokes a method on, or passes as an argument, a value of a type
+// named Enc defined in a package whose path element is "store".
+func touchesEnc(info *types.Info, call *ast.CallExpr) ast.Expr {
+	if sel, ok := call.Fun.(*ast.SelectorExpr); ok {
+		if tv, ok := info.Types[sel.X]; ok && isStoreEnc(tv.Type) {
+			return sel.X
+		}
+	}
+	for _, a := range call.Args {
+		if tv, ok := info.Types[a]; ok && isStoreEnc(tv.Type) {
+			return a
+		}
+	}
+	return nil
+}
+
+func isStoreEnc(t types.Type) bool {
+	if ptr, ok := t.Underlying().(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok || named.Obj().Name() != "Enc" || named.Obj().Pkg() == nil {
+		return false
+	}
+	return pathIn(named.Obj().Pkg().Path(), "store")
+}
+
+// sortedInFunc reports whether the function body contains a sort call
+// over the object: sort.Strings/Ints/Float64s/Slice/SliceStable/
+// Sort/Stable or any slices.Sort* with obj among the arguments.
+func sortedInFunc(info *types.Info, body *ast.BlockStmt, obj types.Object) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		fn, ok := info.Uses[sel.Sel].(*types.Func)
+		if !ok || fn.Pkg() == nil {
+			return true
+		}
+		isSorter := (fn.Pkg().Path() == "sort" && (fn.Name() == "Strings" || fn.Name() == "Ints" ||
+			fn.Name() == "Float64s" || fn.Name() == "Slice" || fn.Name() == "SliceStable" ||
+			fn.Name() == "Sort" || fn.Name() == "Stable")) ||
+			(fn.Pkg().Path() == "slices" && strings.HasPrefix(fn.Name(), "Sort"))
+		if !isSorter {
+			return true
+		}
+		for _, a := range call.Args {
+			if id, ok := ast.Unparen(a).(*ast.Ident); ok && info.Uses[id] == obj {
+				found = true
+			}
+		}
+		return true
+	})
+	return found
+}

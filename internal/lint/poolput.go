@@ -1,0 +1,295 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// PoolPut enforces the pooled-scratch hand-back convention from DESIGN.md
+// "Allocation discipline": a struct returned to a sync.Pool must not
+// silently retain references through pointer-bearing fields. Every such
+// field has to be explicitly accounted for before the Put — assigned
+// (the `sc.raw = raw` hand-back that keeps pool-owned capacity), element
+// -niled (`sc.lists[i] = nil`, dropping aliases into the index), or
+// cleared (`clear(sc.seen)`). A field that is merely *left alone* is the
+// bug this catches: add a field to pooled scratch, forget to manage it,
+// and the pool pins whatever the last call stored there.
+//
+// When the Put lives in a release helper taking the scratch as a
+// parameter, fields the helper does not account for must be accounted
+// for by every caller of the helper (the releaseSearchScratch shape).
+// Only locally-defined struct types are checked — foreign pooled types
+// (gzip.Writer, store.Enc) manage their own state behind Reset.
+var PoolPut = &Analyzer{
+	Name: "poolput",
+	Doc: "sync.Pool.Put of a struct with pointer-bearing fields must assign, element-nil, " +
+		"or clear each such field at the put site (or across release-helper callers)",
+	Run: runPoolPut,
+}
+
+func runPoolPut(pass *Pass) error {
+	info := pass.Info()
+
+	// Index every function declaration by its object, and record each
+	// node's enclosing declaration while walking.
+	decls := map[*types.Func]*ast.FuncDecl{}
+	for _, f := range pass.Files() {
+		for _, d := range f.Decls {
+			if fd, ok := d.(*ast.FuncDecl); ok {
+				if obj, ok := info.Defs[fd.Name].(*types.Func); ok {
+					decls[obj] = fd
+				}
+			}
+		}
+	}
+
+	for _, f := range pass.Files() {
+		var enclosing *ast.FuncDecl
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.FuncDecl:
+				enclosing = n
+			case *ast.CallExpr:
+				checkPut(pass, decls, enclosing, n)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// checkPut analyzes one candidate call expression.
+func checkPut(pass *Pass, decls map[*types.Func]*ast.FuncDecl, enclosing *ast.FuncDecl, call *ast.CallExpr) {
+	info := pass.Info()
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != "Put" || len(call.Args) != 1 || enclosing == nil {
+		return
+	}
+	fn, ok := info.Uses[sel.Sel].(*types.Func)
+	if !ok || fn.FullName() != "(*sync.Pool).Put" {
+		return
+	}
+	arg := ast.Unparen(call.Args[0])
+	id, ok := arg.(*ast.Ident)
+	if !ok {
+		return // Put of a non-identifier: nothing to track.
+	}
+	obj := info.Uses[id]
+	if obj == nil {
+		return
+	}
+	st, fields := localPointerFields(pass, obj.Type())
+	if st == nil || len(fields) == 0 {
+		return
+	}
+
+	acc := accountedFields(info, enclosing.Body, obj)
+	missing := subtract(fields, acc)
+	if len(missing) == 0 {
+		return
+	}
+
+	// If the scratch arrived as a parameter, this is a release helper:
+	// the remaining fields may legitimately be handed back by the
+	// callers (they hold the local values being returned to the pool).
+	if paramObj(info, enclosing, obj) {
+		helperObj, _ := info.Defs[enclosing.Name].(*types.Func)
+		callers := callerSites(pass, decls, helperObj, enclosing, obj)
+		if len(callers) > 0 {
+			for _, cs := range callers {
+				callerAcc := accountedFields(info, cs.fn.Body, cs.arg)
+				if m := subtract(missing, callerAcc); len(m) != 0 {
+					pass.Reportf(cs.pos, "sync.Pool.Put of *%s via %s: pointer-bearing field(s) %s neither reset in the helper nor assigned here before release",
+						st.Obj().Name(), enclosing.Name.Name, strings.Join(m, ", "))
+				}
+			}
+			return
+		}
+	}
+
+	pass.Reportf(call.Pos(), "sync.Pool.Put of *%s: pointer-bearing field(s) %s not assigned, element-niled, or cleared before Put",
+		st.Obj().Name(), strings.Join(missing, ", "))
+}
+
+// localPointerFields returns the named struct behind t when it is defined
+// in the package under analysis, plus its pointer-bearing field names.
+func localPointerFields(pass *Pass, t types.Type) (*types.Named, []string) {
+	if ptr, ok := t.Underlying().(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok || named.Obj().Pkg() != pass.Types() {
+		return nil, nil
+	}
+	st, ok := named.Underlying().(*types.Struct)
+	if !ok {
+		return nil, nil
+	}
+	var fields []string
+	for i := 0; i < st.NumFields(); i++ {
+		if hasPointers(st.Field(i).Type(), 0) {
+			fields = append(fields, st.Field(i).Name())
+		}
+	}
+	sort.Strings(fields)
+	return named, fields
+}
+
+// hasPointers reports whether values of t can hold references: pointers,
+// slices, maps, channels, funcs, interfaces, or aggregates containing
+// them. Strings are treated as value types — they are immutable and the
+// repo's scratch convention (tokens are string headers) deliberately
+// retains them.
+func hasPointers(t types.Type, depth int) bool {
+	if depth > 10 {
+		return true // cyclic type: assume the worst
+	}
+	switch u := t.Underlying().(type) {
+	case *types.Pointer, *types.Slice, *types.Map, *types.Chan, *types.Signature, *types.Interface:
+		return true
+	case *types.Struct:
+		for i := 0; i < u.NumFields(); i++ {
+			if hasPointers(u.Field(i).Type(), depth+1) {
+				return true
+			}
+		}
+		return false
+	case *types.Array:
+		return hasPointers(u.Elem(), depth+1)
+	default:
+		return false
+	}
+}
+
+// accountedFields scans a function body for the field-accounting forms on
+// the variable obj: `obj.f = ...`, `obj.f[i] = ...`, `clear(obj.f)`.
+func accountedFields(info *types.Info, body *ast.BlockStmt, obj types.Object) map[string]bool {
+	acc := map[string]bool{}
+	if body == nil {
+		return acc
+	}
+	fieldOf := func(e ast.Expr) (string, bool) {
+		if ix, ok := e.(*ast.IndexExpr); ok {
+			e = ix.X // obj.f[i] accounts f
+		}
+		sel, ok := e.(*ast.SelectorExpr)
+		if !ok {
+			return "", false
+		}
+		base, ok := ast.Unparen(sel.X).(*ast.Ident)
+		if !ok || info.Uses[base] != obj {
+			return "", false
+		}
+		return sel.Sel.Name, true
+	}
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			for _, lhs := range n.Lhs {
+				if f, ok := fieldOf(lhs); ok {
+					acc[f] = true
+				}
+			}
+		case *ast.CallExpr:
+			if id, ok := n.Fun.(*ast.Ident); ok && len(n.Args) == 1 {
+				if b, ok := info.Uses[id].(*types.Builtin); ok && b.Name() == "clear" {
+					if f, ok := fieldOf(n.Args[0]); ok {
+						acc[f] = true
+					}
+				}
+			}
+		}
+		return true
+	})
+	return acc
+}
+
+// paramObj reports whether obj is one of fd's parameters.
+func paramObj(info *types.Info, fd *ast.FuncDecl, obj types.Object) bool {
+	if fd.Type.Params == nil {
+		return false
+	}
+	for _, field := range fd.Type.Params.List {
+		for _, name := range field.Names {
+			if info.Defs[name] == obj {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// callerSite is one call of a release helper: the enclosing function, the
+// identifier passed for the scratch parameter, and the report position.
+type callerSite struct {
+	fn  *ast.FuncDecl
+	arg types.Object
+	pos token.Pos
+}
+
+// callerSites finds every same-package call of helper, resolving the
+// argument bound to the scratch parameter obj.
+func callerSites(pass *Pass, decls map[*types.Func]*ast.FuncDecl, helper *types.Func, helperDecl *ast.FuncDecl, obj types.Object) []callerSite {
+	if helper == nil {
+		return nil
+	}
+	// Index of the scratch parameter in the helper signature.
+	idx := -1
+	i := 0
+	for _, field := range helperDecl.Type.Params.List {
+		for _, name := range field.Names {
+			if pass.Info().Defs[name] == obj {
+				idx = i
+			}
+			i++
+		}
+	}
+	if idx < 0 {
+		return nil
+	}
+	var sites []callerSite
+	for _, f := range pass.Files() {
+		var enclosing *ast.FuncDecl
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.FuncDecl:
+				enclosing = n
+			case *ast.CallExpr:
+				if enclosing == nil || enclosing == helperDecl {
+					return true
+				}
+				var callee types.Object
+				switch fun := ast.Unparen(n.Fun).(type) {
+				case *ast.Ident:
+					callee = pass.Info().Uses[fun]
+				case *ast.SelectorExpr:
+					callee = pass.Info().Uses[fun.Sel]
+				}
+				if callee != helper || idx >= len(n.Args) {
+					return true
+				}
+				site := callerSite{fn: enclosing, pos: n.Pos()}
+				if id, ok := ast.Unparen(n.Args[idx]).(*ast.Ident); ok {
+					site.arg = pass.Info().Uses[id]
+				}
+				sites = append(sites, site)
+			}
+			return true
+		})
+	}
+	return sites
+}
+
+// subtract returns the fields not present in acc, preserving order.
+func subtract(fields []string, acc map[string]bool) []string {
+	var out []string
+	for _, f := range fields {
+		if !acc[f] {
+			out = append(out, f)
+		}
+	}
+	return out
+}

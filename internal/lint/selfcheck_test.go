@@ -1,0 +1,35 @@
+package lint
+
+import (
+	"os/exec"
+	"strings"
+	"testing"
+)
+
+// TestRepoIsClean runs the full suite over the whole module — the same
+// check `make lint` and CI run via cmd/l2qvet — so a convention regression
+// fails `go test ./...` even when nobody runs the linter by hand.
+func TestRepoIsClean(t *testing.T) {
+	if testing.Short() {
+		t.Skip("loads and type-checks the whole module")
+	}
+	out, err := exec.Command("go", "list", "-m", "-f", "{{.Dir}}").Output()
+	if err != nil {
+		t.Fatalf("resolving module root: %v", err)
+	}
+	root := strings.TrimSpace(string(out))
+	pkgs, err := Load(root, "./...")
+	if err != nil {
+		t.Fatalf("loading module packages: %v", err)
+	}
+	if len(pkgs) == 0 {
+		t.Fatal("loaded zero packages from the module root")
+	}
+	diags, err := RunAnalyzers(pkgs, Analyzers())
+	if err != nil {
+		t.Fatalf("running the suite: %v", err)
+	}
+	for _, d := range diags {
+		t.Errorf("%s", d)
+	}
+}

@@ -1,0 +1,50 @@
+// Package appendtwin exercises the appendtwin analyzer: an exported X
+// whose signature pairs with an exported AppendX/XAppend twin must
+// delegate to the twin rather than keep a second implementation.
+package appendtwin
+
+// AppendWords is the single real implementation.
+func AppendWords(dst []string, s string) []string {
+	return append(dst, s)
+}
+
+// BadWords reimplements the operation instead of delegating.
+func BadWords(s string) []string { // want `appendtwin: BadWords does not delegate to its append twin AppendWords`
+	return []string{s}
+}
+
+// GoodWords is the sanctioned thin wrapper.
+func GoodWords(s string) []string {
+	return AppendWords(nil, s)
+}
+
+// WordsReference is a retained reference implementation, exempt by name:
+// differential parity tests need an independent body to compare against.
+func WordsReference(s string) []string {
+	return []string{s}
+}
+
+// Tok carries the method-pair case.
+type Tok struct{ sep string }
+
+// Append is the method twin.
+func (t *Tok) Append(dst []string, s string) []string {
+	return append(dst, s, t.sep)
+}
+
+// Bad duplicates the method twin's body.
+func (t *Tok) Bad(s string) []string { // want `appendtwin: Bad does not delegate to its append twin Append`
+	return []string{s, t.sep}
+}
+
+// Good delegates.
+func (t *Tok) Good(s string) []string {
+	return t.Append(nil, s)
+}
+
+// Suppressed keeps a second implementation with a recorded reason.
+//
+//l2qvet:ignore appendtwin fixture keeps a deliberate second implementation
+func Suppressed(s string) []string {
+	return []string{s}
+}

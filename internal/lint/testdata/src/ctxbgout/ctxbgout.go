@@ -1,0 +1,10 @@
+// Package ctxbgout sits outside any internal/ tree: ctxbg does not apply
+// here (a main package or test harness may own a root context).
+package ctxbgout
+
+import "context"
+
+// Root owns a fresh root context; fine outside internal/*.
+func Root() context.Context {
+	return context.Background()
+}

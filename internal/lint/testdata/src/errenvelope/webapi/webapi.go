@@ -1,0 +1,41 @@
+// Package webapi exercises the errenvelope analyzer inside a serving-path
+// package (the analyzer recognizes packages whose last path element is
+// webapi).
+package webapi
+
+import "net/http"
+
+// badHandler bypasses the envelope with http.Error.
+func badHandler(w http.ResponseWriter, r *http.Request) {
+	http.Error(w, "boom", http.StatusInternalServerError) // want `errenvelope: http\.Error bypasses the retryable-error envelope: use writeError`
+}
+
+// badStatus hand-rolls an error status.
+func badStatus(w http.ResponseWriter) {
+	w.WriteHeader(http.StatusBadRequest) // want `errenvelope: hand-rolled 400 response bypasses the retryable-error envelope: use writeError`
+}
+
+// goodOK writes a success status: only 4xx/5xx are the envelope's business.
+func goodOK(w http.ResponseWriter) {
+	w.WriteHeader(http.StatusOK)
+}
+
+// writeError is the designated envelope helper, exempt by name (the real
+// one writes the JSON envelope; the status here is a variable, so the
+// constant-status check does not fire either).
+func writeError(w http.ResponseWriter, code int, msg string) {
+	w.WriteHeader(code)
+	http.Error(w, msg, code)
+}
+
+// suppressed records the fault-injector exception.
+func suppressed(w http.ResponseWriter) {
+	//l2qvet:ignore errenvelope fixture emits a hostile non-envelope body on purpose
+	http.Error(w, "injected", http.StatusInternalServerError)
+}
+
+var _ = badHandler
+var _ = badStatus
+var _ = goodOK
+var _ = writeError
+var _ = suppressed

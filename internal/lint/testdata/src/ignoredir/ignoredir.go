@@ -1,0 +1,6 @@
+// Package ignoredir holds a deliberately malformed suppression directive:
+// a directive without an analyzer name and reason is itself a finding.
+package ignoredir
+
+//l2qvet:ignore
+var X = 0

@@ -1,0 +1,12 @@
+// Package other sits outside the codec paths: mapdeterminism ignores it
+// even though it collects map keys unsorted.
+package other
+
+// Keys returns the keys in whatever order the map yields them.
+func Keys(m map[string]int) []string {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k)
+	}
+	return keys
+}

@@ -1,0 +1,47 @@
+// Package store exercises the mapdeterminism analyzer inside a codec-path
+// package (the analyzer recognizes packages whose last path element is
+// store or webapi).
+package store
+
+import "sort"
+
+// Enc mimics the real store codec's encoder: the analyzer recognizes any
+// type named Enc defined in a store package.
+type Enc struct{ b []byte }
+
+// Uvarint appends one encoded value.
+func (e *Enc) Uvarint(v uint64) { e.b = append(e.b, byte(v)) }
+
+// BadEnc encodes in map-iteration order: different bytes every run.
+func BadEnc(e *Enc, m map[string]uint64) {
+	for _, v := range m {
+		e.Uvarint(v) // want `mapdeterminism: store\.Enc fed inside range over a map: encoded bytes depend on map iteration order`
+	}
+}
+
+// BadAppend collects keys in iteration order and never sorts them.
+func BadAppend(m map[string]int) []string {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k) // want `mapdeterminism: keys is appended to in map-iteration order and never sorted in BadAppend`
+	}
+	return keys
+}
+
+// Good is the sanctioned idiom: collect, sort, then iterate.
+func Good(m map[string]int) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// SuppressedEnc records a justified exception.
+func SuppressedEnc(e *Enc, m map[string]uint64) {
+	for _, v := range m {
+		//l2qvet:ignore mapdeterminism fixture encodes a map guaranteed to hold one entry
+		e.Uvarint(v)
+	}
+}

@@ -1,0 +1,84 @@
+// Package poolput exercises the poolput analyzer: sync.Pool.Put of a
+// locally-defined struct with pointer-bearing fields must account for
+// each such field (assign, element-nil, or clear) before the Put.
+package poolput
+
+import (
+	"bytes"
+	"sync"
+)
+
+type scratch struct {
+	buf  []byte
+	seen map[string]bool
+	n    int // value field: not tracked
+}
+
+var pool = sync.Pool{New: func() any { return new(scratch) }}
+
+// Bad returns scratch with both pointer-bearing fields untouched.
+func Bad() {
+	sc := pool.Get().(*scratch)
+	sc.n = 0
+	pool.Put(sc) // want `poolput: sync\.Pool\.Put of \*scratch: pointer-bearing field\(s\) buf, seen not assigned, element-niled, or cleared`
+}
+
+// Good accounts every pointer-bearing field before the Put.
+func Good() {
+	sc := pool.Get().(*scratch)
+	sc.buf = sc.buf[:0]
+	clear(sc.seen)
+	pool.Put(sc)
+}
+
+type slots struct {
+	lists [][]int
+}
+
+var slotPool = sync.Pool{New: func() any { return new(slots) }}
+
+// ElementNil accounts a slice field by niling its elements.
+func ElementNil() {
+	s := slotPool.Get().(*slots)
+	for i := range s.lists {
+		s.lists[i] = nil
+	}
+	slotPool.Put(s)
+}
+
+// release is a release helper: it accounts buf itself and relies on its
+// callers to account seen (the releaseSearchScratch shape).
+func release(sc *scratch) {
+	sc.buf = sc.buf[:0]
+	pool.Put(sc)
+}
+
+// GoodCaller hands seen back before delegating to the helper.
+func GoodCaller() {
+	sc := pool.Get().(*scratch)
+	clear(sc.seen)
+	release(sc)
+}
+
+// BadCaller releases without accounting the field the helper leaves to it.
+func BadCaller() {
+	sc := pool.Get().(*scratch)
+	release(sc) // want `poolput: sync\.Pool\.Put of \*scratch via release: pointer-bearing field\(s\) seen neither reset in the helper nor assigned here`
+}
+
+// Suppressed records a deliberate retention with a justification.
+func Suppressed() {
+	sc := pool.Get().(*scratch)
+	//l2qvet:ignore poolput fixture retains its fields on purpose
+	pool.Put(sc)
+}
+
+var bufPool = sync.Pool{New: func() any { return new(bytes.Buffer) }}
+
+// Foreign pools a type defined elsewhere: foreign types manage their own
+// state behind Reset and are not checked.
+func Foreign() {
+	b := bufPool.Get().(*bytes.Buffer)
+	b.Reset()
+	bufPool.Put(b)
+}

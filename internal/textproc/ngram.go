@@ -88,7 +88,7 @@ func AppendNGrams(dst []string, tokens []Token, cfg NGramConfig) []string {
 			dst = append(dst, q)
 		}
 	}
-	clear(seen)
+	clear(sc.seen)
 	sc.join = join
 	ngramScratchPool.Put(sc)
 	return dst

@@ -138,11 +138,13 @@ const maxResponseBytes = 32 << 20
 // produced the corpus (the server serves raw HTML; tokenization is the
 // client's job, as on the real Web).
 func Dial(base string, tok *textproc.Tokenizer) (*Client, error) {
+	//l2qvet:ignore ctxbg legacy ctx-less constructor kept for the public surface; ctx-aware callers use DialContext
 	return DialContext(context.Background(), base, tok, ClientOptions{})
 }
 
 // DialOpts is Dial with explicit transport options.
 func DialOpts(base string, tok *textproc.Tokenizer, opts ClientOptions) (*Client, error) {
+	//l2qvet:ignore ctxbg legacy ctx-less constructor kept for the public surface; ctx-aware callers use DialContext
 	return DialContext(context.Background(), base, tok, opts)
 }
 
@@ -329,6 +331,7 @@ func (c *Client) TopK() int { return c.stats.TopK }
 // shortened hit list. Error-aware callers (core.Session.FetchQueryCtx, the
 // pipeline fetch stage) use SearchWithSeedErr and see the typed failure.
 func (c *Client) SearchWithSeed(seed, query []textproc.Token) []search.Result {
+	//l2qvet:ignore ctxbg errorless core.Retriever adapter: the interface has no ctx; error-aware callers use SearchWithSeedErr
 	res, err := c.SearchWithSeedErr(context.Background(), seed, query)
 	if err != nil {
 		return nil
@@ -436,6 +439,7 @@ func (c *Client) prefetch(ctx context.Context, hits []SearchHit) ([]*corpus.Page
 
 // Page downloads (or returns the cached) page with the given ID.
 func (c *Client) Page(id corpus.PageID) (*corpus.Page, error) {
+	//l2qvet:ignore ctxbg legacy ctx-less form kept for the public surface; ctx-aware callers use PageCtx
 	return c.PageCtx(context.Background(), id)
 }
 
@@ -586,6 +590,7 @@ func (c *Client) collProbs(tokens []textproc.Token) []float64 {
 		q := url.Values{}
 		q.Set("tokens", strings.Join(missing, ","))
 		var freqs map[string]int
+		//l2qvet:ignore ctxbg QueryLikelihood (errorless core.Retriever) can reach here from the selection path where no caller ctx exists; one request timeout bounds the lookup
 		ctx, cancel := context.WithTimeout(context.Background(), c.http.Timeout)
 		err := c.getNegotiated(ctx, "collfreq", c.api("/collfreq?"+q.Encode()), wireCollFreq,
 			func(d *store.Dec) { freqs = decodeCollFreqWire(d) },

@@ -99,6 +99,7 @@ func (f *FaultInjector) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	switch {
 	case p < f.ErrorRate:
 		f.injected5.Add(1)
+		//l2qvet:ignore errenvelope the injector deliberately emits a NON-envelope failure: clients must survive hostile bodies
 		http.Error(w, "injected fault", http.StatusInternalServerError)
 	case p < f.ErrorRate+f.TruncateRate:
 		f.truncated.Add(1)

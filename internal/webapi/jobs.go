@@ -25,6 +25,7 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"slices"
 	"sync"
 
 	"l2q/internal/core"
@@ -148,11 +149,7 @@ func (j *serverJob) status(withCps bool) JobStatus {
 			ids = append(ids, id)
 		}
 		// Deterministic order: ascending entity ID.
-		for i := 1; i < len(ids); i++ {
-			for k := i; k > 0 && ids[k] < ids[k-1]; k-- {
-				ids[k], ids[k-1] = ids[k-1], ids[k]
-			}
-		}
+		slices.Sort(ids)
 		for _, id := range ids {
 			st.Checkpoints = append(st.Checkpoints, j.cps[id])
 		}

@@ -161,6 +161,7 @@ func NewServer(c *corpus.Corpus, engine *search.Engine) *Server {
 	for _, p := range c.Pages {
 		pages[p.ID] = p
 	}
+	//l2qvet:ignore ctxbg server-lifetime root: this ctx outlives every request and is canceled by Shutdown's drain
 	ctx, cancel := context.WithCancel(context.Background())
 	return &Server{corpus: c, engine: engine, pages: pages, MaxConcurrent: 64,
 		ctx: ctx, cancel: cancel}
