@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test soak bench bench-candidates bench-wire bench-allocs wire-parity load-smoke lint vuln fmt
+.PHONY: all build test soak bench bench-candidates bench-wire bench-scatter bench-allocs wire-parity load-smoke cluster-smoke lint vuln fmt
 
 all: lint build test
 
@@ -31,6 +31,13 @@ bench-candidates:
 bench-wire:
 	$(GO) test -run='^$$' -bench='BenchmarkRemoteHarvestWire' -benchmem -benchtime=5x ./internal/webapi/
 
+# Scatter-gather trajectory: a concurrent seeded-search batch against one
+# node vs a 3-node doc-partitioned cluster, every response squeezed
+# through a modeled 64 KB/s uplink per node (the BENCH_scatter.json
+# recipe — the distributed-retrieval bar is ≥2x batch throughput).
+bench-scatter:
+	$(GO) test -run='^$$' -bench='BenchmarkScatterGather' -benchtime=3x ./internal/webapi/
+
 # Allocation-regression gate: the hot-path alloc benchmarks against their
 # pinned ceilings (0 allocs/op on the append paths). Writes
 # BENCH_allocs.json, fails on any regression — same recipe as CI.
@@ -42,6 +49,12 @@ bench-allocs:
 # envelope, no lost jobs, bounded tail) and writes BENCH_load.json.
 load-smoke:
 	$(GO) run ./cmd/l2qload -duration 30s -workers 32 -maxinflight 1 -assertshed -out BENCH_load.json
+
+# Distributed-retrieval smoke: a real 3-node l2qserve fleet plus a
+# coordinator as separate processes, driven over HTTP — search, page
+# proxy, fan-out metrics, and node-kill failover with replicas=2.
+cluster-smoke:
+	./scripts/cluster_smoke.sh
 
 # Binary-wire differential parity + negotiation matrix under the race
 # detector (the CI wire-parity step).

@@ -62,6 +62,9 @@ func main() {
 		assert   = flag.Bool("assertshed", false, "require shed traffic and verify shed correctness; exit 1 on violation")
 		p999Max  = flag.Duration("p999max", 0, "fail when the overall served p999 exceeds this (0 = report only)")
 		quiet    = flag.Bool("quiet", false, "suppress progress logging")
+		cluster  = flag.Int("cluster", 0, "self-serve a scatter-gather cluster of this many nodes behind an in-process coordinator and drive that (harvest/jobs ops disabled: the coordinator serves retrieval, not harvesting)")
+		replicas = flag.Int("replicas", 2, "cluster mode: partition replication factor")
+		nodeDl   = flag.Duration("nodedeadline", 0, "cluster mode: coordinator per-node scatter deadline (0 = default)")
 	)
 	flag.Parse()
 	logger := log.New(os.Stderr, "l2qload: ", 0)
@@ -76,7 +79,15 @@ func main() {
 
 	base := *addr
 	var srv *webapi.Server
-	if base == "" {
+	if base == "" && *cluster > 0 {
+		bound, stop, err := selfServeCluster(*domain, *entities, *pages, *seed,
+			*cluster, *replicas, *nodeDl, *maxInFl, logger)
+		if err != nil {
+			logger.Fatal(err)
+		}
+		base = "http://" + bound
+		defer stop()
+	} else if base == "" {
 		var bound string
 		srv, bound, err = selfServe(*domain, *entities, *pages, *seed, *maxInFl, aspect, logger)
 		if err != nil {
@@ -126,6 +137,7 @@ func main() {
 	report["config"] = map[string]any{
 		"addr": base, "workers": *workers, "duration": duration.String(),
 		"mix": *mix, "codec": *codec, "maxInflight": *maxInFl,
+		"cluster": *cluster, "replicas": *replicas,
 	}
 
 	ok := true
@@ -227,6 +239,80 @@ func selfServe(domain string, entities, pages int, seed uint64, maxInFlight int,
 	logger.Printf("self-serving %d pages of %q on %s (maxinflight %d, aspect %q)",
 		g.Corpus.NumPages(), domain, bound, maxInFlight, *aspect)
 	return srv, bound, nil
+}
+
+// selfServeCluster boots nodes in-process node servers over one shared
+// synthetic corpus, dials a coordinator across them, and serves the
+// scatter-gather surface — the zero-setup cluster the CI smoke drives.
+// The returned stop function shuts the whole fleet down.
+func selfServeCluster(domain string, entities, pages int, seed uint64,
+	nodes, replicas int, nodeDeadline time.Duration, maxInFlight int,
+	logger *log.Logger) (string, func(), error) {
+
+	cfg := synth.DefaultConfig(corpus.Domain(domain))
+	cfg.NumEntities = entities
+	cfg.PagesPerEntity = pages
+	cfg.Seed = seed
+	g, err := synth.Generate(cfg)
+	if err != nil {
+		return "", nil, err
+	}
+	engine := search.NewEngineOpts(search.BuildIndexOpts(g.Corpus.Pages, search.Options{}), search.Options{})
+
+	var (
+		servers []*webapi.Server
+		urls    []string
+	)
+	stop := func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		for _, s := range servers {
+			_ = s.Shutdown(ctx)
+		}
+	}
+	for i := 0; i < nodes; i++ {
+		node, err := webapi.NewClusterNode(g.Corpus,
+			search.ClusterSpec{Nodes: nodes, Replicas: replicas, NodeID: i}, search.Options{}, 0)
+		if err != nil {
+			stop()
+			return "", nil, err
+		}
+		nsrv := webapi.NewServer(g.Corpus, engine)
+		nsrv.Node = node
+		bound, err := nsrv.Start("127.0.0.1:0")
+		if err != nil {
+			stop()
+			return "", nil, err
+		}
+		servers = append(servers, nsrv)
+		urls = append(urls, "http://"+bound)
+	}
+
+	dctx, dcancel := context.WithTimeout(context.Background(), time.Minute)
+	co, err := webapi.DialCoordinator(dctx, webapi.CoordinatorConfig{
+		Nodes:        urls,
+		Replicas:     replicas,
+		NodeDeadline: nodeDeadline,
+	}, g.Tokenizer)
+	dcancel()
+	if err != nil {
+		stop()
+		return "", nil, err
+	}
+	coSrv := webapi.NewCoordinatorServer(co)
+	coSrv.MaxInFlight = maxInFlight
+	if maxInFlight > 0 {
+		coSrv.MaxConcurrent = maxInFlight
+	}
+	bound, err := coSrv.Start("127.0.0.1:0")
+	if err != nil {
+		stop()
+		return "", nil, err
+	}
+	servers = append(servers, coSrv)
+	logger.Printf("self-serving %d-node cluster (replicas %d) over %d pages of %q, coordinator on %s (maxinflight %d)",
+		nodes, replicas, g.Corpus.NumPages(), domain, bound, maxInFlight)
+	return bound, stop, nil
 }
 
 // recorder is one worker's latency log: op name → served latencies (ms).
@@ -752,6 +838,11 @@ func (d *driver) report(recs []*recorder, elapsed time.Duration, allocsPerOp map
 	if serverReqs > 0 {
 		server["allocsPerRequest"] = float64(end.Runtime.AllocObjects-start.Runtime.AllocObjects) / float64(serverReqs)
 		server["allocBytesPerRequest"] = float64(end.Runtime.AllocBytes-start.Runtime.AllocBytes) / float64(serverReqs)
+	}
+	if end.Cluster != nil {
+		// The coordinator's fan-out gauges: scatters served, hedged
+		// failovers, flagged partials, and per-node client traffic.
+		server["cluster"] = end.Cluster
 	}
 
 	return map[string]any{

@@ -32,6 +32,8 @@ import (
 	"log"
 	"os"
 	"os/signal"
+	"strconv"
+	"strings"
 	"syscall"
 	"time"
 
@@ -69,6 +71,11 @@ func main() {
 		wire      = flag.Bool("wire", true, "offer the binary wire codec to clients that ask for it (Accept: "+webapi.WireContentType+"); JSON stays the default either way")
 		compress  = flag.Int("compress", 0, "gzip wire payloads at or above this many bytes (0 = default threshold, <0 = never compress)")
 		drain     = flag.Duration("drain", 10*time.Second, "graceful-shutdown drain timeout")
+		coord     = flag.Bool("coordinator", false, "coordinator mode: scatter-gather over the node URLs in -nodes instead of serving a local index (the corpus flags must still describe the cluster's corpus — the tokenizer lexicon comes from it)")
+		nodesFlag = flag.String("nodes", "", "cluster topology: in coordinator mode a comma-separated list of node base URLs; in node mode the cluster size (serve one partition set with -nodeid)")
+		nodeID    = flag.Int("nodeid", 0, "this node's ordinal in [0, nodes) (node mode)")
+		replicas  = flag.Int("replicas", 2, "partition replication factor (clamped to [1, nodes])")
+		nodeDl    = flag.Duration("nodedeadline", 0, "coordinator: per-node scatter deadline before failing over to a replica (0 = default)")
 	)
 	flag.Parse()
 	sopts := search.Options{Shards: *shards, ScoreWorkers: *workers, CacheSize: *cacheSize}
@@ -88,9 +95,9 @@ func main() {
 		}
 		c = b.Corpus
 		idx = b.Index
-		if idx == nil {
+		if idx == nil && !*coord {
 			idx = search.BuildIndexOpts(c.Pages, sopts)
-		} else if *shards != 0 {
+		} else if idx != nil && *shards != 0 {
 			// The store restores at the default shard count; honor an
 			// explicit -shards by redistributing (cheap, shares postings).
 			idx = idx.Reshard(*shards)
@@ -109,9 +116,16 @@ func main() {
 			logger.Fatal(err)
 		}
 		c = g.Corpus
-		idx = search.BuildIndexOpts(c.Pages, sopts)
+		if !*coord {
+			idx = search.BuildIndexOpts(c.Pages, sopts)
+		}
 		tok = g.Tokenizer
 		rec = types.Chain{g.KB, types.NewRegexRecognizer()}
+	}
+
+	if *coord {
+		runCoordinator(*addr, *nodesFlag, *replicas, *nodeDl, *maxInFl, *wire, *compress, *drain, *quiet, tok, logger)
+		return
 	}
 
 	engine := search.NewEngineOpts(idx, sopts).WithTopK(*topK)
@@ -126,6 +140,17 @@ func main() {
 	}
 	if !*quiet {
 		srv.Log = logger
+	}
+	if *nodesFlag != "" {
+		n, err := strconv.Atoi(*nodesFlag)
+		if err != nil {
+			logger.Fatalf("node mode: -nodes must be the cluster size, got %q (coordinator mode needs -coordinator)", *nodesFlag)
+		}
+		node, err := webapi.NewClusterNode(c, search.ClusterSpec{Nodes: n, Replicas: *replicas, NodeID: *nodeID}, sopts, *topK)
+		if err != nil {
+			logger.Fatal(err)
+		}
+		srv.Node = node
 	}
 	if *harvest {
 		var art *store.DomainArtifact
@@ -161,6 +186,10 @@ func main() {
 		fmt.Printf("admission control: shedding 429 past %d in-flight requests\n", *maxInFl)
 	}
 	endpoints := "endpoints: /api/v1/{stats,search?q=&seed=,collfreq?tokens=,entities,metrics} /page/{id}.html /healthz (legacy /api/* aliased)"
+	if srv.Node != nil {
+		fmt.Printf("cluster node %d of %d (replicas %d): /api/v1/cluster/{search,stats} serving partitions %v\n",
+			*nodeID, srv.Node.Spec().Nodes, srv.Node.Spec().Replicas, srv.Node.Partitions())
+	}
 	if srv.Harvest != nil {
 		endpoints += " POST /api/v1/harvest POST|GET|DELETE /api/v1/jobs"
 	}
@@ -232,4 +261,63 @@ func harvestBackend(c *corpus.Corpus, tok *textproc.Tokenizer, rec types.Recogni
 		}
 	}
 	return hb
+}
+
+// runCoordinator dials the node fleet, aggregates their collection
+// statistics into the global scoring model, pushes it back, and serves
+// the scatter-gather surface: the same /api/v1 endpoints a single node
+// offers, answered by fan-out over the cluster with replica failover.
+func runCoordinator(addr, nodes string, replicas int, nodeDeadline time.Duration,
+	maxInFlight int, wire bool, compress int, drain time.Duration,
+	quiet bool, tok *textproc.Tokenizer, logger *log.Logger) {
+
+	var urls []string
+	for _, u := range strings.Split(nodes, ",") {
+		if u = strings.TrimSpace(u); u != "" {
+			urls = append(urls, u)
+		}
+	}
+	if len(urls) == 0 {
+		logger.Fatal("coordinator mode: -nodes must list the node base URLs (comma-separated)")
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), time.Minute)
+	co, err := webapi.DialCoordinator(ctx, webapi.CoordinatorConfig{
+		Nodes:        urls,
+		Replicas:     replicas,
+		NodeDeadline: nodeDeadline,
+	}, tok)
+	cancel()
+	if err != nil {
+		logger.Fatal(err)
+	}
+
+	srv := webapi.NewCoordinatorServer(co)
+	srv.WireDisabled = !wire
+	srv.CompressMin = compress
+	srv.MaxInFlight = maxInFlight
+	if maxInFlight > 0 {
+		srv.MaxConcurrent = maxInFlight
+	}
+	if !quiet {
+		srv.Log = logger
+	}
+	bound, err := srv.Start(addr)
+	if err != nil {
+		logger.Fatal(err)
+	}
+	st := co.Stats()
+	cm := co.Metrics()
+	fmt.Printf("coordinating %d nodes (replicas %d) over %d pages of %q on http://%s (top-%d, global μ = %.0f)\n",
+		cm.Nodes, cm.Replicas, st.NumPages, st.Domain, bound, st.TopK, st.Mu)
+	fmt.Println("endpoints: /api/v1/{stats,search?q=&seed=,collfreq?tokens=,entities,metrics} /page/{id}.html /healthz (scatter-gathered)")
+
+	stop := make(chan os.Signal, 1)
+	signal.Notify(stop, os.Interrupt, syscall.SIGTERM)
+	<-stop
+	fmt.Println("shutting down (draining)")
+	sctx, scancel := context.WithTimeout(context.Background(), drain)
+	defer scancel()
+	if err := srv.Shutdown(sctx); err != nil {
+		logger.Fatal(err)
+	}
 }

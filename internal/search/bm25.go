@@ -44,7 +44,7 @@ func (e *Engine) IsBM25() bool { return e.bm25 }
 // idf is the BM25 inverse document frequency with the +1 floor that keeps
 // it positive for very common terms.
 func (e *Engine) idf(t textproc.Token) float64 {
-	df := float64(e.idx.DocFreq(t))
-	n := float64(e.idx.NumDocs())
+	df := float64(e.statDocFreq(t))
+	n := float64(e.statNumDocs())
 	return math.Log((n-df+0.5)/(df+0.5) + 1)
 }

@@ -1,0 +1,322 @@
+package search
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/fnv"
+	"slices"
+	"sort"
+	"sync"
+
+	"l2q/internal/corpus"
+	"l2q/internal/textproc"
+)
+
+// Distributed retrieval: the corpus is doc-partitioned over N nodes via a
+// consistent-hash ring, each node scores its partitions locally, and a
+// coordinator merges the per-node top-K lists into the global ranking.
+// Scoring is corpus-stat-dependent (p(t|C), idf, avgdl all read collection
+// totals), so per-partition engines are only comparable after the
+// coordinator distributes the global CollectionStats — with that override
+// in place, every per-term score a partition computes is bit-identical to
+// what the single-node engine computes for the same document, and the
+// merged ranking equals the single-node ranking exactly (partitions are
+// disjoint, ties break on the global document ordinal, and each partition
+// returns its local top-K so the global top-K is contained in the union).
+
+// DefaultVNodes is the ring's virtual-node multiplier: each node owns this
+// many points on the hash circle so partition sizes even out.
+const DefaultVNodes = 64
+
+// ringPoint is one virtual node on the hash circle.
+type ringPoint struct {
+	hash uint64
+	node int32
+}
+
+// Ring is the deterministic doc-partitioning map of a cluster: consistent
+// hashing over FNV-1a (never maphash, whose seed is process-local — every
+// process in the cluster must agree on the layout), with vnodes virtual
+// points per node. Partitions coincide with nodes: document d belongs to
+// partition Partition(d), whose primary is the node of the same ordinal
+// and whose replicas are the next nodes clockwise on the node ring. The
+// zero value is not usable; create with NewRing. A Ring is immutable and
+// safe for concurrent use.
+type Ring struct {
+	nodes    int
+	replicas int
+	points   []ringPoint
+}
+
+// NewRing builds the partition map for a cluster of n nodes with the given
+// replication factor (clamped to [1, n]) and virtual-node multiplier
+// (≤ 0 = DefaultVNodes). Two rings built with equal parameters agree on
+// every placement, in any process.
+func NewRing(n, replicas, vnodes int) *Ring {
+	if n < 1 {
+		n = 1
+	}
+	if replicas < 1 {
+		replicas = 1
+	}
+	if replicas > n {
+		replicas = n
+	}
+	if vnodes <= 0 {
+		vnodes = DefaultVNodes
+	}
+	r := &Ring{
+		nodes:    n,
+		replicas: replicas,
+		points:   make([]ringPoint, 0, n*vnodes),
+	}
+	var key [16]byte
+	for node := 0; node < n; node++ {
+		for v := 0; v < vnodes; v++ {
+			binary.LittleEndian.PutUint64(key[:8], uint64(node))
+			binary.LittleEndian.PutUint64(key[8:], uint64(v))
+			r.points = append(r.points, ringPoint{hash: fnvHash(key[:]), node: int32(node)})
+		}
+	}
+	slices.SortFunc(r.points, func(a, b ringPoint) int {
+		if a.hash != b.hash {
+			if a.hash < b.hash {
+				return -1
+			}
+			return 1
+		}
+		// Hash collisions resolve by node ordinal so the layout stays
+		// deterministic regardless of sort internals.
+		return int(a.node) - int(b.node)
+	})
+	return r
+}
+
+// fnvHash is the ring's placement hash (FNV-1a, 64-bit).
+func fnvHash(p []byte) uint64 {
+	h := fnv.New64a()
+	h.Write(p)
+	return h.Sum64()
+}
+
+// Nodes returns the cluster size (== the partition count).
+func (r *Ring) Nodes() int { return r.nodes }
+
+// Replicas returns the replication factor.
+func (r *Ring) Replicas() int { return r.replicas }
+
+// Partition maps a document (by its global corpus PageID) to its owning
+// partition: the first virtual point clockwise from the document's hash.
+func (r *Ring) Partition(id corpus.PageID) int {
+	if r.nodes == 1 {
+		return 0
+	}
+	var key [8]byte
+	binary.LittleEndian.PutUint64(key[:], uint64(id))
+	h := fnvHash(key[:])
+	i := sort.Search(len(r.points), func(i int) bool { return r.points[i].hash >= h })
+	if i == len(r.points) {
+		i = 0
+	}
+	return int(r.points[i].node)
+}
+
+// AppendOwners appends the nodes serving partition part in failover order —
+// the primary (node part) followed by the replica chain (the next
+// Replicas-1 nodes clockwise on the node ring) — and returns the grown
+// slice. Whole partitions replicate as a unit, so any single owner holds
+// the complete partition and a scatter needs exactly one success per
+// partition.
+func (r *Ring) AppendOwners(dst []int, part int) []int {
+	for i := 0; i < r.replicas; i++ {
+		dst = append(dst, (part+i)%r.nodes)
+	}
+	return dst
+}
+
+// Owners returns AppendOwners into a fresh slice.
+func (r *Ring) Owners(part int) []int {
+	return r.AppendOwners(make([]int, 0, r.replicas), part)
+}
+
+// AppendOwnedBy appends the partitions node serves, primary first:
+// partition node itself, then the partitions for which the node is a
+// replica (the previous Replicas-1 partitions counterclockwise). It is
+// the exact inverse of AppendOwners: part ∈ OwnedBy(n) ⇔ n ∈ Owners(part).
+func (r *Ring) AppendOwnedBy(dst []int, node int) []int {
+	for i := 0; i < r.replicas; i++ {
+		dst = append(dst, ((node-i)%r.nodes+r.nodes)%r.nodes)
+	}
+	return dst
+}
+
+// OwnedBy returns AppendOwnedBy into a fresh slice.
+func (r *Ring) OwnedBy(node int) []int {
+	return r.AppendOwnedBy(make([]int, 0, r.replicas), node)
+}
+
+// PartitionPages splits pages into Nodes() per-partition groups,
+// preserving the input (global document) order within each group —
+// partition-local document ordinals must sort the same way as global
+// ordinals or tie-breaks would diverge from the single-node ranking.
+func (r *Ring) PartitionPages(pages []*corpus.Page) [][]*corpus.Page {
+	out := make([][]*corpus.Page, r.nodes)
+	for _, p := range pages {
+		part := r.Partition(p.ID)
+		out[part] = append(out[part], p)
+	}
+	return out
+}
+
+// CollectionStats is the global collection model a coordinator distributes
+// to its nodes: everything the scoring functions read beyond per-document
+// state. With an engine's stats overridden to the whole-corpus values, a
+// partition-local engine scores each of its documents exactly as the
+// single-node engine would.
+type CollectionStats struct {
+	CollFreq    map[textproc.Token]int
+	DocFreq     map[textproc.Token]int
+	TotalTokens int
+	NumTerms    int
+	NumDocs     int
+}
+
+// StatsOf extracts an index's own collection statistics — the values an
+// engine over that index scores with. A cluster node reports StatsOf its
+// primary partition's index (primaries are disjoint and cover the corpus,
+// so the coordinator's per-field sums are exact), and tests build the
+// expected global stats as StatsOf the full single-node index.
+func StatsOf(idx *Index) *CollectionStats {
+	st := &CollectionStats{
+		CollFreq:    make(map[textproc.Token]int, idx.NumTerms()),
+		DocFreq:     make(map[textproc.Token]int, idx.NumTerms()),
+		TotalTokens: idx.TotalTokens(),
+		NumTerms:    idx.NumTerms(),
+		NumDocs:     idx.NumDocs(),
+	}
+	idx.Terms(func(t textproc.Token, df, cf int) {
+		st.DocFreq[t] = df
+		st.CollFreq[t] = cf
+	})
+	return st
+}
+
+// MergeStats accumulates src into dst field-by-field (map entries sum) and
+// recomputes NumTerms as the merged vocabulary size. The coordinator folds
+// each node's primary-partition stats into one global model this way.
+func MergeStats(dst, src *CollectionStats) {
+	if dst.CollFreq == nil {
+		dst.CollFreq = make(map[textproc.Token]int, len(src.CollFreq))
+	}
+	if dst.DocFreq == nil {
+		dst.DocFreq = make(map[textproc.Token]int, len(src.DocFreq))
+	}
+	for t, n := range src.CollFreq {
+		dst.CollFreq[t] += n
+	}
+	for t, n := range src.DocFreq {
+		dst.DocFreq[t] += n
+	}
+	dst.TotalTokens += src.TotalTokens
+	dst.NumDocs += src.NumDocs
+	dst.NumTerms = len(dst.CollFreq)
+}
+
+// WithCollectionStats returns a copy of the engine whose collection-level
+// statistics (p(t|C) inputs, document frequencies, corpus size, average
+// document length) come from st instead of the engine's own index.
+// Per-document state (term frequencies, document lengths) still comes from
+// the index. Passing nil restores index-local statistics.
+func (e *Engine) WithCollectionStats(st *CollectionStats) *Engine {
+	cp := *e
+	cp.stats = st
+	cp.cache = e.cache.fresh()
+	return &cp
+}
+
+// RankedDoc is one (global document, score) pair as exchanged between
+// cluster nodes: the document is identified by its corpus PageID — the
+// global ordinal every node agrees on — because partition-local ordinals
+// are meaningless across nodes.
+type RankedDoc struct {
+	Doc   int64
+	Score float64
+}
+
+// betterRanked is betterCand over the cluster exchange type: higher score
+// first, ties to the lower global document ordinal.
+func betterRanked(a, b RankedDoc) bool {
+	if a.Score != b.Score {
+		return a.Score > b.Score
+	}
+	return a.Doc < b.Doc
+}
+
+// compareRanked adapts betterRanked to slices.SortFunc.
+func compareRanked(a, b RankedDoc) int {
+	switch {
+	case betterRanked(a, b):
+		return -1
+	case betterRanked(b, a):
+		return 1
+	}
+	return 0
+}
+
+// mergeScratch is the pooled heap backing of one MergeTopKAppend call.
+// RankedDoc holds no pointers, so pooling retains nothing.
+type mergeScratch struct {
+	h []RankedDoc
+}
+
+var mergeScratchPool = sync.Pool{New: func() any { return new(mergeScratch) }}
+
+// MergeTopK returns MergeTopKAppend into a fresh slice.
+func MergeTopK(k int, lists [][]RankedDoc) []RankedDoc {
+	return MergeTopKAppend(nil, k, lists)
+}
+
+// MergeTopKAppend merges per-partition ranked lists into the global top-k,
+// appended to dst. It reuses the engine's top-K heap (the PR 1 merge
+// machinery) over pooled scratch, so with a reused dst the merge allocates
+// nothing. Documents must be distinct across lists (partitions are
+// disjoint), which makes the order total and the merge deterministic.
+func MergeTopKAppend(dst []RankedDoc, k int, lists [][]RankedDoc) []RankedDoc {
+	if k <= 0 {
+		return dst
+	}
+	sc := mergeScratchPool.Get().(*mergeScratch)
+	h := topKHeap[RankedDoc]{k: k, better: betterRanked, h: sc.h[:0]}
+	for _, l := range lists {
+		for _, rd := range l {
+			h.push(rd)
+		}
+	}
+	slices.SortFunc(h.h, compareRanked)
+	dst = append(dst, h.h...)
+	sc.h = h.h
+	mergeScratchPool.Put(sc)
+	return dst
+}
+
+// ClusterSpec pins one node's view of the cluster geometry; every node and
+// the coordinator must agree on Nodes and Replicas or placements diverge.
+type ClusterSpec struct {
+	Nodes    int
+	Replicas int
+	NodeID   int
+}
+
+// Validate reports whether the spec describes a consistent geometry.
+func (s ClusterSpec) Validate() error {
+	if s.Nodes < 1 {
+		return fmt.Errorf("cluster: need at least 1 node, got %d", s.Nodes)
+	}
+	if s.NodeID < 0 || s.NodeID >= s.Nodes {
+		return fmt.Errorf("cluster: node id %d out of range [0,%d)", s.NodeID, s.Nodes)
+	}
+	if s.Replicas < 1 || s.Replicas > s.Nodes {
+		return fmt.Errorf("cluster: replicas %d out of range [1,%d]", s.Replicas, s.Nodes)
+	}
+	return nil
+}

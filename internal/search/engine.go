@@ -49,6 +49,11 @@ type Engine struct {
 	bm25  bool
 	k1, b float64
 
+	// stats, when non-nil, overrides the collection-level statistics the
+	// scoring reads (see WithCollectionStats) — the hook that makes a
+	// partition-local engine score like the whole corpus in cluster mode.
+	stats *CollectionStats
+
 	workers int
 	cache   *queryCache
 }
@@ -63,17 +68,7 @@ func NewEngine(idx *Index) *Engine {
 // settings (opts.Shards is an index-build knob and is ignored here).
 func NewEngineOpts(idx *Index, opts Options) *Engine {
 	opts = opts.withDefaults()
-	mu := DefaultMu
-	if n := idx.NumDocs(); n > 0 {
-		avg := float64(idx.TotalTokens()) / float64(n)
-		mu = 2 * avg
-		if mu < MinMu {
-			mu = MinMu
-		}
-		if mu > DefaultMu {
-			mu = DefaultMu
-		}
-	}
+	mu := AutoMu(idx.NumDocs(), idx.TotalTokens())
 	cacheSize := opts.CacheSize
 	if cacheSize == 0 {
 		cacheSize = DefaultCacheSize
@@ -85,6 +80,25 @@ func NewEngineOpts(idx *Index, opts Options) *Engine {
 		workers: opts.ScoreWorkers,
 		cache:   newQueryCache(cacheSize),
 	}
+}
+
+// AutoMu is the NewEngine μ formula: twice the mean document length of a
+// collection with numDocs documents and totalTokens tokens, clamped to
+// [MinMu, DefaultMu] (numDocs ≤ 0 yields DefaultMu). Exported so a cluster
+// coordinator can derive the same μ from aggregated global statistics that
+// a single-node engine would derive from the whole index.
+func AutoMu(numDocs, totalTokens int) float64 {
+	if numDocs <= 0 {
+		return DefaultMu
+	}
+	mu := 2 * float64(totalTokens) / float64(numDocs)
+	if mu < MinMu {
+		mu = MinMu
+	}
+	if mu > DefaultMu {
+		mu = DefaultMu
+	}
+	return mu
 }
 
 // Mu returns the engine's Dirichlet smoothing parameter.
@@ -170,9 +184,55 @@ func DirichletTermScore(tf, dl int, mu, pC float64) float64 {
 	return math.Log((float64(tf) + mu*pC) / (float64(dl) + mu))
 }
 
-// collProb applies CollectionProb to the engine's own index.
+// Collection-level statistic reads, routed through the WithCollectionStats
+// override when one is set and the engine's own index otherwise. Every
+// scoring path reads these — never idx fields directly — so the override
+// covers Dirichlet, BM25, and both reference paths at once.
+
+func (e *Engine) statCollFreq(t textproc.Token) int {
+	if e.stats != nil {
+		return e.stats.CollFreq[t]
+	}
+	return e.idx.CollectionFreq(t)
+}
+
+func (e *Engine) statDocFreq(t textproc.Token) int {
+	if e.stats != nil {
+		return e.stats.DocFreq[t]
+	}
+	return e.idx.DocFreq(t)
+}
+
+func (e *Engine) statNumDocs() int {
+	if e.stats != nil {
+		return e.stats.NumDocs
+	}
+	return e.idx.NumDocs()
+}
+
+func (e *Engine) statTotalTokens() int {
+	if e.stats != nil {
+		return e.stats.TotalTokens
+	}
+	return e.idx.totalToks
+}
+
+func (e *Engine) statNumTerms() int {
+	if e.stats != nil {
+		return e.stats.NumTerms
+	}
+	return e.idx.NumTerms()
+}
+
+// avgDocLen is the BM25 average document length over the (possibly
+// overridden) collection statistics.
+func (e *Engine) avgDocLen() float64 {
+	return float64(e.statTotalTokens()) / math.Max(1, float64(e.statNumDocs()))
+}
+
+// collProb applies CollectionProb to the engine's collection statistics.
 func (e *Engine) collProb(t textproc.Token) float64 {
-	return CollectionProb(e.idx.CollectionFreq(t), e.idx.totalToks, e.idx.NumTerms())
+	return CollectionProb(e.statCollFreq(t), e.statTotalTokens(), e.statNumTerms())
 }
 
 // Search returns the top-k pages for the query tokens. Ties are broken by

@@ -235,3 +235,15 @@ func (idx *Index) CollectionFreq(t textproc.Token) int {
 
 // Doc returns the i-th indexed page.
 func (idx *Index) Doc(i int) *corpus.Page { return idx.docs[i] }
+
+// Terms calls f for every distinct indexed token with its document and
+// collection frequencies. Iteration order is unspecified (shards are hash
+// maps); callers needing a deterministic order must collect and sort.
+func (idx *Index) Terms(f func(t textproc.Token, docFreq, collFreq int)) {
+	for s := range idx.shards {
+		sh := &idx.shards[s]
+		for t, posts := range sh.postings {
+			f(t, len(posts), sh.collFreq[t])
+		}
+	}
+}

@@ -1,7 +1,6 @@
 package search
 
 import (
-	"math"
 	"sort"
 
 	"l2q/internal/textproc"
@@ -66,7 +65,7 @@ func (e *Engine) searchBM25Reference(query []textproc.Token) []Result {
 	if len(query) == 0 {
 		return nil
 	}
-	avgdl := float64(e.idx.totalToks) / math.Max(1, float64(e.idx.NumDocs()))
+	avgdl := e.avgDocLen()
 	scores := make(map[int32]float64)
 	for _, t := range query {
 		idf := e.idf(t)

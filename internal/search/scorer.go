@@ -1,7 +1,6 @@
 package search
 
 import (
-	"math"
 	"slices"
 	"sort"
 	"sync"
@@ -42,15 +41,18 @@ func compareCand(a, b cand) int {
 	return 0
 }
 
-// topKHeap keeps the K best candidates seen so far in O(log K) per push.
-// The root is the worst kept candidate, so a full heap rejects most
-// candidates with a single comparison.
-type topKHeap struct {
-	k int
-	h []cand
+// topKHeap keeps the K best elements seen so far in O(log K) per push,
+// under the strict "ranks above" order better. The root is the worst kept
+// element, so a full heap rejects most pushes with a single comparison.
+// Generic so the scorer (cand) and the cluster merge (RankedDoc) share one
+// heap; better is always a top-level func, so no closure is allocated.
+type topKHeap[T any] struct {
+	k      int
+	better func(a, b T) bool
+	h      []T
 }
 
-func (t *topKHeap) push(c cand) {
+func (t *topKHeap[T]) push(c T) {
 	if t.k <= 0 {
 		return
 	}
@@ -59,7 +61,7 @@ func (t *topKHeap) push(c cand) {
 		i := len(t.h) - 1
 		for i > 0 {
 			p := (i - 1) / 2
-			if !betterCand(t.h[p], t.h[i]) {
+			if !t.better(t.h[p], t.h[i]) {
 				break
 			}
 			t.h[p], t.h[i] = t.h[i], t.h[p]
@@ -67,7 +69,7 @@ func (t *topKHeap) push(c cand) {
 		}
 		return
 	}
-	if !betterCand(c, t.h[0]) {
+	if !t.better(c, t.h[0]) {
 		return
 	}
 	t.h[0] = c
@@ -76,10 +78,10 @@ func (t *topKHeap) push(c cand) {
 	for {
 		l, r := 2*i+1, 2*i+2
 		w := i
-		if l < n && betterCand(t.h[w], t.h[l]) {
+		if l < n && t.better(t.h[w], t.h[l]) {
 			w = l
 		}
-		if r < n && betterCand(t.h[w], t.h[r]) {
+		if r < n && t.better(t.h[w], t.h[r]) {
 			w = r
 		}
 		if w == i {
@@ -174,7 +176,7 @@ func (e *Engine) searchShardedAppend(dst []Result, query []textproc.Token) []Res
 	var pC, idf []float64
 	var avgdl float64
 	if e.bm25 {
-		avgdl = float64(e.idx.totalToks) / math.Max(1, float64(e.idx.NumDocs()))
+		avgdl = e.avgDocLen()
 		for _, t := range query {
 			consts = append(consts, e.idf(t))
 		}
@@ -255,7 +257,7 @@ func (e *Engine) scoreRange(lists [][]posting, lo, hi int32, pC, idf []float64, 
 	for i, pl := range lists {
 		cursors[i] = sort.Search(len(pl), func(j int) bool { return pl[j].doc >= lo })
 	}
-	h := topKHeap{k: k, h: w.heap[:0]}
+	h := topKHeap[cand]{k: k, better: betterCand, h: w.heap[:0]}
 	for {
 		minDoc := hi
 		for i, pl := range lists {

@@ -279,7 +279,7 @@ func TestTopKHeapMatchesSort(t *testing.T) {
 		n := 1 + rng.IntN(300)
 		k := 1 + rng.IntN(20)
 		cands := make([]cand, n)
-		h := topKHeap{k: k}
+		h := topKHeap[cand]{k: k, better: betterCand}
 		for i := range cands {
 			// Coarse scores force ties so the doc-order tie-break is hit.
 			cands[i] = cand{doc: int32(i), score: float64(rng.IntN(8))}

@@ -1,6 +1,7 @@
 package webapi
 
 import (
+	"bytes"
 	"context"
 	"encoding/json"
 	"errors"
@@ -8,6 +9,7 @@ import (
 	"io"
 	"net/http"
 	"net/url"
+	"strconv"
 	"strings"
 	"sync"
 	"time"
@@ -339,15 +341,33 @@ func (c *Client) SearchWithSeed(seed, query []textproc.Token) []search.Result {
 	return res
 }
 
+// tokenQuery encodes seed and query tokens in the token-exact wire form:
+// each token is its own repeated parameter value under tokq=1, so phrase
+// tokens ("data mining" is one vocabulary term) reach the server intact
+// instead of being shattered by the legacy space-joined encoding — the
+// server would score the fragments as out-of-vocabulary words and every
+// Dirichlet score would drift from the in-process engine's. Extends vals
+// in place when non-nil.
+func tokenQuery(vals url.Values, seed, query []textproc.Token) url.Values {
+	if vals == nil {
+		vals = url.Values{}
+	}
+	vals.Set("tokq", "1")
+	if len(seed) > 0 {
+		vals["seed"] = seed
+	}
+	if len(query) > 0 {
+		vals["q"] = query
+	}
+	return vals
+}
+
 // SearchWithSeedErr implements core.ContextRetriever: remote search, then
 // concurrent singleflight-deduped download of every ranked hit. Either the
 // complete ranked result list is returned, or an error — never a partial
 // list with failed downloads silently dropped.
 func (c *Client) SearchWithSeedErr(ctx context.Context, seed, query []textproc.Token) ([]search.Result, error) {
-	q := url.Values{}
-	q.Set("seed", textproc.JoinQuery(seed))
-	q.Set("q", textproc.JoinQuery(query))
-	path := c.api("/search?" + q.Encode())
+	path := c.api("/search?" + tokenQuery(nil, seed, query).Encode())
 	var resp SearchResponse
 	err := c.getNegotiated(ctx, "search", path, wireSearch,
 		func(d *store.Dec) { resp = decodeSearchWire(d) },
@@ -636,6 +656,124 @@ func (c *Client) QueryLikelihood(p *corpus.Page, query []textproc.Token) float64
 		s += search.DirichletTermScore(tf[t], len(toks), c.stats.Mu, pcs[i])
 	}
 	return s
+}
+
+// ClusterStats fetches a node's registration report: the collection
+// statistics of its primary partition plus its view of the cluster
+// geometry, which the coordinator cross-checks against its own.
+func (c *Client) ClusterStats(ctx context.Context) (NodeStatsPayload, error) {
+	var st NodeStatsPayload
+	err := c.getNegotiated(ctx, "cluster-stats", c.api("/cluster/stats"), wireNodeStats,
+		func(d *store.Dec) { st = decodeNodeStatsWire(d) },
+		func(b []byte) error { st = NodeStatsPayload{}; return json.Unmarshal(b, &st) })
+	return st, err
+}
+
+// PushClusterStats delivers the coordinator's aggregated global model to
+// a node. The push is idempotent (re-applying the same model is a no-op),
+// so transient faults retry like any GET.
+func (c *Client) PushClusterStats(ctx context.Context, g GlobalStatsPayload) error {
+	body, err := json.Marshal(g)
+	if err != nil {
+		return err
+	}
+	return c.postRetry(ctx, "cluster-stats-push", c.api("/cluster/stats"), body, func(b []byte) error {
+		var resp struct {
+			OK bool `json:"ok"`
+		}
+		if err := json.Unmarshal(b, &resp); err != nil {
+			return err
+		}
+		if !resp.OK {
+			return fmt.Errorf("node did not acknowledge stats push")
+		}
+		return nil
+	})
+}
+
+// ClusterSearch runs a partition-local seeded search on a node — the
+// coordinator's scatter target. Unlike SearchWithSeedErr it returns hit
+// metadata only (no page downloads): the coordinator merges first and
+// fetches only the global top-k.
+func (c *Client) ClusterSearch(ctx context.Context, part int, seed, query []textproc.Token, k int) (SearchResponse, error) {
+	q := tokenQuery(url.Values{"part": {strconv.Itoa(part)}}, seed, query)
+	if k > 0 {
+		q.Set("k", strconv.Itoa(k))
+	}
+	var resp SearchResponse
+	err := c.getNegotiated(ctx, "cluster-search", c.api("/cluster/search?"+q.Encode()), wireSearch,
+		func(d *store.Dec) { resp = decodeSearchWire(d) },
+		func(b []byte) error { resp = SearchResponse{}; return json.Unmarshal(b, &resp) })
+	return resp, err
+}
+
+// postRetry issues POST path with a JSON body until decode succeeds or
+// the retry policy is exhausted. Only safe for idempotent operations —
+// every caller must be able to tolerate a duplicate delivery, since a
+// response lost on the wire retries a request the server already applied.
+func (c *Client) postRetry(ctx context.Context, op, path string, body []byte, decode func([]byte) error) error {
+	if err := ctx.Err(); err != nil {
+		return &TransportError{Op: op, Path: path, Err: err}
+	}
+	var lastErr error
+	attempts := 0
+	for attempt := 1; attempt <= c.retry.MaxAttempts; attempt++ {
+		attempts = attempt
+		if attempt > 1 {
+			c.met.retries.Add(1)
+		}
+		b, err := c.postOnce(ctx, path, body)
+		if err == nil {
+			err = decode(b)
+		}
+		if err == nil {
+			return nil
+		}
+		lastErr = err
+		if !retryable(ctx, err) || attempt == c.retry.MaxAttempts {
+			break
+		}
+		if err := c.retry.sleep(ctx, attempt); err != nil {
+			lastErr = err
+			break
+		}
+	}
+	if ctx.Err() == nil {
+		c.met.errors.Add(1)
+	}
+	status := 0
+	code := ""
+	var se *statusError
+	if errors.As(lastErr, &se) {
+		status = se.status
+		code = se.code
+	}
+	return &TransportError{Op: op, Path: path, Attempts: attempts, Status: status, Code: code, Err: lastErr}
+}
+
+// postOnce issues a single JSON POST (a fresh body reader per attempt —
+// retries must never replay a half-consumed reader) and reads the
+// full response.
+func (c *Client) postOnce(ctx context.Context, path string, body []byte) ([]byte, error) {
+	c.met.requests.Add(1)
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, c.base+path, bytes.NewReader(body))
+	if err != nil {
+		return nil, err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := c.http.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, readError(resp)
+	}
+	b, readErr := io.ReadAll(io.LimitReader(resp.Body, maxResponseBytes))
+	if readErr != nil {
+		return nil, readErr
+	}
+	return b, nil
 }
 
 // Entities lists the server's harvest targets. The caller's context

@@ -1,0 +1,498 @@
+package webapi
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"reflect"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"l2q/internal/classify"
+	"l2q/internal/core"
+	"l2q/internal/corpus"
+	"l2q/internal/html"
+	"l2q/internal/search"
+	"l2q/internal/synth"
+	"l2q/internal/textproc"
+	"l2q/internal/types"
+)
+
+// startClusterNodes boots n node servers over g's corpus (each a full
+// server with its ClusterNode attached) and returns their base URLs in
+// node-ID order. wrap, when non-nil, interposes a per-node handler — a
+// fault injector, a kill switch — between the wire and the server.
+func startClusterNodes(t testing.TB, g *synth.Generated, nodes, replicas int, wrap func(i int, h http.Handler) http.Handler) []string {
+	t.Helper()
+	engine := search.NewEngine(search.BuildIndex(g.Corpus.Pages))
+	urls := make([]string, nodes)
+	for i := 0; i < nodes; i++ {
+		node, err := NewClusterNode(g.Corpus,
+			search.ClusterSpec{Nodes: nodes, Replicas: replicas, NodeID: i}, search.Options{}, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		srv := NewServer(g.Corpus, engine)
+		srv.Node = node
+		h := http.Handler(srv.Handler())
+		if wrap != nil {
+			h = wrap(i, h)
+		}
+		ts := httptest.NewServer(h)
+		t.Cleanup(ts.Close)
+		urls[i] = ts.URL
+	}
+	return urls
+}
+
+// dialCluster dials a coordinator over the node URLs with test-speed
+// retries and the given per-node deadline (0 = default).
+func dialCluster(t testing.TB, g *synth.Generated, urls []string, replicas int, deadline time.Duration) *Coordinator {
+	t.Helper()
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	co, err := DialCoordinator(ctx, CoordinatorConfig{
+		Nodes:        urls,
+		Replicas:     replicas,
+		NodeDeadline: deadline,
+		Client:       ClientOptions{Retry: fastRetry},
+	}, g.Tokenizer)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return co
+}
+
+// sessionSetup builds the shared session fixtures (domain model, target,
+// ground truth) once per corpus.
+type sessionSetup struct {
+	cfg    core.Config
+	target *corpus.Entity
+	aspect corpus.Aspect
+	y      func(*corpus.Page) bool
+	dm     *core.DomainModel
+	rec    types.Recognizer
+}
+
+func newSessionSetup(t testing.TB, g *synth.Generated) *sessionSetup {
+	t.Helper()
+	rec := types.Chain{g.KB, types.NewRegexRecognizer()}
+	aspect := synth.AspResearch
+	y := func(p *corpus.Page) bool { return classify.GroundTruth(p, aspect) }
+	cfg := core.DefaultConfig()
+	cfg.Tokenizer = g.Tokenizer
+	var domain []corpus.EntityID
+	for i := 0; i < g.Corpus.NumEntities()/2; i++ {
+		domain = append(domain, g.Corpus.Entities[i].ID)
+	}
+	dm, err := core.LearnDomain(cfg, aspect, g.Corpus, domain, y, rec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return &sessionSetup{cfg: cfg, target: g.Corpus.Entities[g.Corpus.NumEntities()-1],
+		aspect: aspect, y: y, dm: dm, rec: rec}
+}
+
+// run drives one session and returns its fired queries, gathered page IDs
+// and rendered page bytes (byte equality of the rendered form is the
+// download-fidelity check).
+func (ss *sessionSetup) run(sel core.Selector, ret core.Retriever) ([]core.Query, []corpus.PageID, map[corpus.PageID]string) {
+	sess := core.NewSession(ss.cfg, ret, ss.target, ss.aspect, ss.y, ss.dm, ss.rec, 42)
+	fired := sess.Run(sel, 3)
+	ids := make([]corpus.PageID, 0, len(sess.Pages()))
+	rendered := make(map[corpus.PageID]string, len(sess.Pages()))
+	for _, p := range sess.Pages() {
+		ids = append(ids, p.ID)
+		rendered[p.ID] = html.RenderPage(p)
+	}
+	return fired, ids, rendered
+}
+
+// TestClusterSessionParity is the tentpole's differential bar: full
+// harvesting sessions against a 3-node scatter-gather cluster fire the
+// identical query sequence, gather the identical page set, and download
+// byte-identical content vs the same session against the in-process
+// single-node engine — across selection strategies, both through the
+// in-process coordinator and through a client dialed at a coordinator
+// server (the whole serving surface, page proxying included).
+func TestClusterSessionParity(t *testing.T) {
+	g, err := synth.Generate(synth.TestConfig(synth.DomainResearchers))
+	if err != nil {
+		t.Fatal(err)
+	}
+	engine := search.NewEngine(search.BuildIndex(g.Corpus.Pages))
+	ss := newSessionSetup(t, g)
+
+	urls := startClusterNodes(t, g, 3, 2, nil)
+	co := dialCluster(t, g, urls, 2, 0)
+
+	// The aggregated serving stats must be field-for-field the single
+	// node's.
+	want := Stats{
+		Domain:      string(g.Corpus.Domain),
+		NumEntities: g.Corpus.NumEntities(),
+		NumPages:    g.Corpus.NumPages(),
+		NumTerms:    engine.Index().NumTerms(),
+		TotalTokens: engine.Index().TotalTokens(),
+		Mu:          engine.Mu(),
+		TopK:        engine.TopK(),
+	}
+	if co.Stats() != want {
+		t.Fatalf("coordinator stats %+v, want single-node %+v", co.Stats(), want)
+	}
+
+	coSrv := httptest.NewServer(NewCoordinatorServer(co).Handler())
+	t.Cleanup(coSrv.Close)
+	remote, err := DialOpts(coSrv.URL, g.Tokenizer, ClientOptions{Retry: fastRetry})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if remote.Stats() != want {
+		t.Fatalf("coordinator server stats %+v, want %+v", remote.Stats(), want)
+	}
+
+	strategies := map[string]func() core.Selector{
+		"L2Q-BAL": core.NewL2QBAL,
+		"P":       core.NewP,
+		"R+t":     core.NewRT,
+	}
+	for name, sel := range strategies {
+		lq, lp, lr := ss.run(sel(), engine)
+		if len(lq) == 0 || len(lp) == 0 {
+			t.Fatalf("%s: reference session gathered nothing", name)
+		}
+		for retName, ret := range map[string]core.Retriever{"coordinator": co, "remote": remote} {
+			cq, cp, cr := ss.run(sel(), ret)
+			if !reflect.DeepEqual(lq, cq) {
+				t.Errorf("%s/%s: fired queries differ:\n local %v\ncluster %v", name, retName, lq, cq)
+			}
+			if !reflect.DeepEqual(lp, cp) {
+				t.Errorf("%s/%s: gathered pages differ:\n local %v\ncluster %v", name, retName, lp, cp)
+			}
+			for id, body := range lr {
+				if cr[id] != body {
+					t.Errorf("%s/%s: page %d content differs", name, retName, id)
+				}
+			}
+		}
+	}
+	if m := co.Metrics(); m.Scatters == 0 || m.Partials != 0 || m.Hedges != 0 {
+		t.Errorf("healthy cluster metrics %+v: want scatters > 0 and no hedges/partials", m)
+	}
+}
+
+// TestClusterParityUnderFaults holds the same differential bar with every
+// node behind a seeded fault injector (20% 500s + 10% truncated bodies):
+// the per-node retry budget plus replica failover absorb the faults and
+// the session still matches the in-process run exactly.
+func TestClusterParityUnderFaults(t *testing.T) {
+	g, err := synth.Generate(synth.TestConfig(synth.DomainResearchers))
+	if err != nil {
+		t.Fatal(err)
+	}
+	engine := search.NewEngine(search.BuildIndex(g.Corpus.Pages))
+	ss := newSessionSetup(t, g)
+
+	injs := make([]*FaultInjector, 3)
+	urls := startClusterNodes(t, g, 3, 2, func(i int, h http.Handler) http.Handler {
+		injs[i] = &FaultInjector{ErrorRate: 0.20, TruncateRate: 0.10, Seed: uint64(300 + i), Next: h}
+		return injs[i]
+	})
+	co := dialCluster(t, g, urls, 2, 0)
+
+	lq, lp, lr := ss.run(core.NewL2QBAL(), engine)
+	cq, cp, cr := ss.run(core.NewL2QBAL(), co)
+	if !reflect.DeepEqual(lq, cq) {
+		t.Errorf("fired queries differ under faults:\n local %v\ncluster %v", lq, cq)
+	}
+	if !reflect.DeepEqual(lp, cp) {
+		t.Errorf("gathered pages differ under faults:\n local %v\ncluster %v", lp, cp)
+	}
+	if len(lq) == 0 || len(lp) == 0 {
+		t.Fatal("session gathered nothing")
+	}
+	for id, body := range lr {
+		if cr[id] != body {
+			t.Errorf("page %d content differs under faults", id)
+		}
+	}
+	faulted := false
+	for i, inj := range injs {
+		_, e5, tr := inj.Counts()
+		if e5+tr > 0 {
+			faulted = true
+		}
+		t.Logf("node %d: %d injected 500s, %d truncations", i, e5, tr)
+	}
+	if !faulted {
+		t.Fatal("no injector fired a fault; parity proved nothing")
+	}
+}
+
+// killSwitch fails every request with a retryable 500 once tripped — the
+// deterministic node-down fault.
+type killSwitch struct {
+	down atomic.Bool
+	next http.Handler
+}
+
+func (k *killSwitch) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	if k.down.Load() {
+		writeError(w, http.StatusInternalServerError, "node down")
+		return
+	}
+	k.next.ServeHTTP(w, r)
+}
+
+// TestClusterNodeKillFailover kills one node outright: with replicas=2
+// every partition it owned has a live replica, so scatters stay complete
+// (no lost hits, rankings still identical to single-node) and the fan-out
+// gauges show the failovers.
+func TestClusterNodeKillFailover(t *testing.T) {
+	g, err := synth.Generate(synth.TestConfig(synth.DomainResearchers))
+	if err != nil {
+		t.Fatal(err)
+	}
+	engine := search.NewEngine(search.BuildIndex(g.Corpus.Pages))
+
+	kills := make([]*killSwitch, 3)
+	urls := startClusterNodes(t, g, 3, 2, func(i int, h http.Handler) http.Handler {
+		kills[i] = &killSwitch{next: h}
+		return kills[i]
+	})
+	co := dialCluster(t, g, urls, 2, 0)
+	kills[1].down.Store(true)
+
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	checked := 0
+	for _, e := range g.Corpus.Entities[:6] {
+		seed := e.SeedTokens()
+		want := engine.SearchWithSeed(seed, nil)
+		got, err := co.SearchWithSeedErr(ctx, seed, nil)
+		if err != nil {
+			t.Fatalf("entity %q: scatter with node 1 down failed: %v", e.Name, err)
+		}
+		if len(got) != len(want) {
+			t.Fatalf("entity %q: %d hits with node down, want %d — hits were lost", e.Name, len(got), len(want))
+		}
+		for i := range want {
+			if got[i].Page.ID != want[i].Page.ID || got[i].Score != want[i].Score {
+				t.Fatalf("entity %q rank %d: (doc %d, %v) vs single-node (doc %d, %v)",
+					e.Name, i, got[i].Page.ID, got[i].Score, want[i].Page.ID, want[i].Score)
+			}
+		}
+		checked += len(want)
+	}
+	if checked == 0 {
+		t.Fatal("no hits checked")
+	}
+	m := co.Metrics()
+	if m.Hedges == 0 {
+		t.Errorf("metrics %+v: killed primary produced no hedges", m)
+	}
+	if m.Partials != 0 {
+		t.Errorf("metrics %+v: replicated cluster served partial results", m)
+	}
+	if m.PerNode[1].Errors == 0 {
+		t.Errorf("metrics %+v: no errors recorded against the killed node", m)
+	}
+
+	// The coordinator server surfaces the same gauges on /api/v1/metrics.
+	coSrv := httptest.NewServer(NewCoordinatorServer(co).Handler())
+	t.Cleanup(coSrv.Close)
+	resp, err := http.Get(coSrv.URL + "/api/v1/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var sm ServerMetrics
+	if err := json.NewDecoder(resp.Body).Decode(&sm); err != nil {
+		t.Fatal(err)
+	}
+	if sm.Cluster == nil || sm.Cluster.Nodes != 3 || sm.Cluster.Hedges == 0 || len(sm.Cluster.PerNode) != 3 {
+		t.Errorf("/api/v1/metrics cluster section %+v: want 3 nodes with hedges", sm.Cluster)
+	}
+}
+
+// TestClusterSlowNodePartial: with no replicas to fail over to, a node
+// past the per-node deadline costs its partitions only — the scatter
+// returns promptly with the live partitions' ranking flagged Partial, and
+// the retriever surface converts the flag into ErrPartial rather than
+// passing off a shortened list as complete.
+func TestClusterSlowNodePartial(t *testing.T) {
+	g, err := synth.Generate(synth.TestConfig(synth.DomainResearchers))
+	if err != nil {
+		t.Fatal(err)
+	}
+	injs := make([]*FaultInjector, 3)
+	urls := startClusterNodes(t, g, 3, 1, func(i int, h http.Handler) http.Handler {
+		injs[i] = &FaultInjector{Next: h}
+		return injs[i]
+	})
+	const deadline = 150 * time.Millisecond
+	co := dialCluster(t, g, urls, 1, deadline)
+	injs[2].SetLatency(2 * time.Second)
+
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	seed := g.Corpus.Entities[0].SeedTokens()
+	start := time.Now()
+	resp, err := co.Scatter(ctx, seed, nil, 0)
+	elapsed := time.Since(start)
+	if err != nil {
+		t.Fatalf("scatter with one slow node errored: %v", err)
+	}
+	if !resp.Partial {
+		t.Fatal("slow node past the deadline did not flag the result partial")
+	}
+	if len(resp.Hits) == 0 {
+		t.Fatal("partial result carried no hits from the live partitions")
+	}
+	if elapsed > 1500*time.Millisecond {
+		t.Errorf("scatter took %v: the slow node convoyed the whole query past its %v deadline", elapsed, deadline)
+	}
+	if m := co.Metrics(); m.Partials == 0 {
+		t.Errorf("metrics %+v: partial scatter not counted", m)
+	}
+
+	if _, err := co.SearchWithSeedErr(ctx, seed, nil); !errors.Is(err, ErrPartial) {
+		t.Errorf("retriever surface returned %v for a partial scatter, want ErrPartial", err)
+	}
+
+	// The HTTP surface serves the flagged partial instead.
+	coSrv := httptest.NewServer(NewCoordinatorServer(co).Handler())
+	t.Cleanup(coSrv.Close)
+	hresp, err := http.Get(coSrv.URL + "/api/v1/search?seed=" + strings.ReplaceAll(textproc.JoinQuery(seed), " ", "+"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer hresp.Body.Close()
+	var sr SearchResponse
+	if err := json.NewDecoder(hresp.Body).Decode(&sr); err != nil {
+		t.Fatal(err)
+	}
+	if !sr.Partial || len(sr.Hits) == 0 {
+		t.Errorf("HTTP surface served %+v: want a flagged, non-empty partial", sr)
+	}
+}
+
+// TestClusterScatterHonorsCallerCtx: the caller's context bounds the whole
+// fan-out — per-node retries and replica walks do not outlive it.
+func TestClusterScatterHonorsCallerCtx(t *testing.T) {
+	g, err := synth.Generate(synth.TestConfig(synth.DomainResearchers))
+	if err != nil {
+		t.Fatal(err)
+	}
+	injs := make([]*FaultInjector, 3)
+	urls := startClusterNodes(t, g, 3, 2, func(i int, h http.Handler) http.Handler {
+		injs[i] = &FaultInjector{Next: h}
+		return injs[i]
+	})
+	co := dialCluster(t, g, urls, 2, 5*time.Second)
+	for _, inj := range injs {
+		inj.SetLatency(2 * time.Second)
+	}
+
+	seed := g.Corpus.Entities[0].SeedTokens()
+	ctx, cancel := context.WithTimeout(context.Background(), 100*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	_, err = co.SearchWithSeedErr(ctx, seed, nil)
+	elapsed := time.Since(start)
+	if err == nil {
+		t.Fatal("scatter under an expired caller ctx reported success")
+	}
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Errorf("scatter error %v does not surface the caller's deadline", err)
+	}
+	if elapsed > 1500*time.Millisecond {
+		t.Errorf("scatter outlived its caller's 100ms ctx by %v", elapsed)
+	}
+
+	// Already-dead ctx: no attempts at all.
+	dead, cancelDead := context.WithCancel(context.Background())
+	cancelDead()
+	before := co.Metrics().Scatters
+	if _, err := co.SearchWithSeedErr(dead, seed, nil); err == nil {
+		t.Fatal("scatter under a canceled ctx reported success")
+	}
+	if co.Metrics().Scatters != before+1 {
+		t.Log("canceled-ctx scatter still counted (acceptable)")
+	}
+}
+
+// TestClusterEndpointGating: cluster endpoints 501 on a plain server, the
+// node-local search answers 503 (retryable) until the coordinator's stat
+// push lands, and an implausible push is rejected 400.
+func TestClusterEndpointGating(t *testing.T) {
+	g, err := synth.Generate(synth.TestConfig(synth.DomainResearchers))
+	if err != nil {
+		t.Fatal(err)
+	}
+	engine := search.NewEngine(search.BuildIndex(g.Corpus.Pages))
+
+	// Plain server: not a node, not a coordinator.
+	plain := httptest.NewServer(NewServer(g.Corpus, engine).Handler())
+	t.Cleanup(plain.Close)
+	for _, tc := range []struct {
+		method, path string
+		want         int
+	}{
+		{"GET", "/api/v1/cluster/search?part=0&q=x", http.StatusNotImplemented},
+		{"GET", "/api/v1/cluster/stats", http.StatusNotImplemented},
+		{"POST", "/api/v1/cluster/stats", http.StatusNotImplemented},
+	} {
+		req, _ := http.NewRequest(tc.method, plain.URL+tc.path, strings.NewReader("{}"))
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != tc.want {
+			t.Errorf("%s %s on plain server = %d, want %d", tc.method, tc.path, resp.StatusCode, tc.want)
+		}
+	}
+
+	// Node before any stat push: cluster search is a retryable 503.
+	urls := startClusterNodes(t, g, 2, 1, nil)
+	resp, err := http.Get(urls[0] + "/api/v1/cluster/search?part=0&q=research")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var env errorEnvelope
+	if err := json.NewDecoder(resp.Body).Decode(&env); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable || !env.Error.Retryable {
+		t.Errorf("pre-push cluster search = %d retryable=%v, want retryable 503", resp.StatusCode, env.Error.Retryable)
+	}
+
+	// Implausible global stats are rejected before they poison scoring.
+	bad, _ := json.Marshal(GlobalStatsPayload{NumDocs: 0, TotalTokens: 1, NumTerms: 1, Mu: 1, TopK: 1})
+	presp, err := http.Post(urls[0]+"/api/v1/cluster/stats", "application/json", strings.NewReader(string(bad)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	presp.Body.Close()
+	if presp.StatusCode != http.StatusBadRequest {
+		t.Errorf("implausible stats push = %d, want 400", presp.StatusCode)
+	}
+
+	// An unowned partition is a caller error, not a silent empty result.
+	co := dialCluster(t, g, urls, 1, 0)
+	_ = co // the dial's push makes node 0 ready
+	resp2, err := http.Get(urls[0] + "/api/v1/cluster/search?part=1&q=research")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp2.Body.Close()
+	if resp2.StatusCode != http.StatusBadRequest {
+		t.Errorf("search of unowned partition = %d, want 400", resp2.StatusCode)
+	}
+}

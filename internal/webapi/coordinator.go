@@ -1,0 +1,646 @@
+package webapi
+
+// The scatter-gather half of distributed retrieval (see cluster.go for
+// the node half). A Coordinator fronts N l2qserve nodes as one logical
+// search engine: each query fans out to every partition's owner chain
+// over the negotiated wire codec, per-node deadlines bound the slowest
+// link, a failed or late owner fails over to its replica (a hedge), and
+// the per-partition top-K lists merge — partitions are disjoint, so no
+// dedup — into the global ranking. The coordinator implements
+// core.ContextRetriever, so harvesting sessions are distribution-
+// oblivious: the same session code runs against an in-process engine, a
+// single remote server, or a cluster.
+//
+// At dial time the coordinator aggregates every node's primary-partition
+// collection statistics into the global model, derives the global μ with
+// the engine's own AutoMu formula, and pushes the result back to every
+// node — after which per-node scores are bit-identical to a single-node
+// engine over the whole corpus, which the differential parity tests hold
+// byte-for-byte.
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"l2q/internal/corpus"
+	"l2q/internal/search"
+	"l2q/internal/textproc"
+)
+
+// DefaultNodeDeadline bounds one per-node scatter attempt (search only;
+// page transfers run under the caller's context, since a slow bulk link
+// is not a node failure).
+const DefaultNodeDeadline = 2 * time.Second
+
+// ErrPartial is returned by the coordinator's retriever surface when a
+// scatter lost partitions: core.ContextRetriever promises a complete
+// ranked list or an error, never a silently shortened one. The HTTP
+// serving surface instead serves the flagged partial (SearchResponse.
+// Partial), where the client can see the flag and decide.
+var ErrPartial = errors.New("cluster: partial result — one or more partitions had no live owner")
+
+// CoordinatorConfig configures DialCoordinator.
+type CoordinatorConfig struct {
+	// Nodes are the node base URLs; index order IS ring node-ID order and
+	// must match each node's -nodeid.
+	Nodes []string
+	// Replicas is the per-partition replication factor the nodes were
+	// started with (default 2, clamped to [1, len(Nodes)]).
+	Replicas int
+	// NodeDeadline bounds one per-node scatter attempt before failing
+	// over to the next replica (default DefaultNodeDeadline).
+	NodeDeadline time.Duration
+	// Client configures the per-node transports (retry policy, codec,
+	// timeout, prefetch workers).
+	Client ClientOptions
+}
+
+// nodePeer is the coordinator's view of one node: its client (retrying
+// transport, page/collfreq caches, singleflight, metrics) plus the
+// fan-out gauges the load harness calibrates against.
+type nodePeer struct {
+	base     string
+	cli      *Client
+	inFlight atomic.Int64
+	hedges   atomic.Int64 // failover requests this node served for a downed peer
+	errors   atomic.Int64 // scatter/page attempts against this node that failed
+}
+
+// Coordinator is the cluster's query front end. Create with
+// DialCoordinator; safe for concurrent use.
+type Coordinator struct {
+	ring         *search.Ring
+	peers        []*nodePeer
+	nodeDeadline time.Duration
+	prefetch     int
+
+	global   GlobalStatsPayload
+	stats    Stats
+	entities []EntityInfo
+	topK     int
+
+	scatters atomic.Int64
+	hedges   atomic.Int64
+	partials atomic.Int64
+}
+
+// DialCoordinator dials every node, verifies the shared cluster geometry,
+// aggregates the nodes' primary-partition statistics into the global
+// collection model, and pushes that model back to every node. The ctx
+// bounds the whole registration exchange.
+func DialCoordinator(ctx context.Context, cfg CoordinatorConfig, tok *textproc.Tokenizer) (*Coordinator, error) {
+	n := len(cfg.Nodes)
+	if n < 1 {
+		return nil, fmt.Errorf("cluster: need at least one node")
+	}
+	replicas := cfg.Replicas
+	if replicas == 0 {
+		replicas = 2
+	}
+	if replicas < 1 {
+		replicas = 1
+	}
+	if replicas > n {
+		replicas = n
+	}
+	deadline := cfg.NodeDeadline
+	if deadline <= 0 {
+		deadline = DefaultNodeDeadline
+	}
+	co := &Coordinator{
+		ring:         search.NewRing(n, replicas, 0),
+		peers:        make([]*nodePeer, n),
+		nodeDeadline: deadline,
+		prefetch:     cfg.Client.withDefaults().PrefetchWorkers,
+	}
+
+	// Dial and collect each node's registration report in parallel.
+	reports := make([]NodeStatsPayload, n)
+	errs := make([]error, n)
+	var wg sync.WaitGroup
+	for i, base := range cfg.Nodes {
+		wg.Add(1)
+		go func(i int, base string) {
+			defer wg.Done()
+			cli, err := DialContext(ctx, base, tok, cfg.Client)
+			if err != nil {
+				errs[i] = err
+				return
+			}
+			st, err := cli.ClusterStats(ctx)
+			if err != nil {
+				errs[i] = err
+				return
+			}
+			if st.Nodes != n || st.Replicas != replicas || st.Node != i {
+				errs[i] = fmt.Errorf("node %s reports geometry nodes=%d replicas=%d id=%d, want nodes=%d replicas=%d id=%d",
+					base, st.Nodes, st.Replicas, st.Node, n, replicas, i)
+				return
+			}
+			co.peers[i] = &nodePeer{base: base, cli: cli}
+			reports[i] = st
+		}(i, base)
+	}
+	wg.Wait()
+	if err := errors.Join(errs...); err != nil {
+		return nil, fmt.Errorf("cluster: dial: %w", err)
+	}
+
+	// Aggregate the disjoint primary partitions into the global model.
+	// Sums are exact because primaries cover the corpus without overlap.
+	global := &search.CollectionStats{}
+	topK := reports[0].TopK
+	for i, st := range reports {
+		if st.TopK != topK {
+			return nil, fmt.Errorf("cluster: node %s serves top-%d, node %s top-%d — nodes must agree",
+				cfg.Nodes[0], topK, cfg.Nodes[i], st.TopK)
+		}
+		search.MergeStats(global, &search.CollectionStats{
+			CollFreq:    st.CollFreq,
+			DocFreq:     st.DocFreq,
+			TotalTokens: st.TotalTokens,
+			NumDocs:     st.NumDocs,
+		})
+	}
+	mu := search.AutoMu(global.NumDocs, global.TotalTokens)
+	co.topK = topK
+	co.global = GlobalStatsPayload{
+		NumDocs:     global.NumDocs,
+		TotalTokens: global.TotalTokens,
+		NumTerms:    global.NumTerms,
+		Mu:          mu,
+		TopK:        topK,
+		CollFreq:    global.CollFreq,
+		DocFreq:     global.DocFreq,
+	}
+
+	// Push the global model to every node (idempotent; nodes answer
+	// cluster searches 503 until this lands).
+	pushErrs := make([]error, n)
+	var pwg sync.WaitGroup
+	for i := range co.peers {
+		pwg.Add(1)
+		go func(i int) {
+			defer pwg.Done()
+			pushErrs[i] = co.peers[i].cli.PushClusterStats(ctx, co.global)
+		}(i)
+	}
+	pwg.Wait()
+	if err := errors.Join(pushErrs...); err != nil {
+		return nil, fmt.Errorf("cluster: stat push: %w", err)
+	}
+
+	// Harvest targets: any node has the full entity table (the corpus
+	// store is shared; only the index is partitioned).
+	var entErr error
+	for _, peer := range co.peers {
+		co.entities, entErr = peer.cli.Entities(ctx)
+		if entErr == nil {
+			break
+		}
+	}
+	if entErr != nil {
+		return nil, fmt.Errorf("cluster: entities: %w", entErr)
+	}
+	co.stats = Stats{
+		Domain:      co.peers[0].cli.Stats().Domain,
+		NumEntities: len(co.entities),
+		NumPages:    global.NumDocs,
+		NumTerms:    global.NumTerms,
+		TotalTokens: global.TotalTokens,
+		Mu:          mu,
+		TopK:        topK,
+	}
+	return co, nil
+}
+
+// Stats returns the aggregated serving statistics — field-for-field what
+// a single-node server over the whole corpus reports.
+func (co *Coordinator) Stats() Stats { return co.stats }
+
+// GlobalStats returns the distributed collection model (shared maps:
+// treat as read-only).
+func (co *Coordinator) GlobalStats() GlobalStatsPayload { return co.global }
+
+// Nodes returns the cluster size.
+func (co *Coordinator) Nodes() int { return co.ring.Nodes() }
+
+// TopK implements core.Retriever.
+func (co *Coordinator) TopK() int { return co.topK }
+
+// scatterScratch is the pooled fan-out state of one Scatter call: the
+// per-partition response slots, the miss mask, the owner-chain buffer,
+// the RankedDoc conversion arena with its per-partition list headers, the
+// merge output, and the doc→hit materialization map.
+type scatterScratch struct {
+	perPart [][]SearchHit
+	missing []bool
+	owners  []int
+	lists   [][]search.RankedDoc
+	ranked  []search.RankedDoc
+	merged  []search.RankedDoc
+	byDoc   map[int64]SearchHit
+}
+
+var scatterScratchPool = sync.Pool{New: func() any { return new(scatterScratch) }}
+
+// releaseScatterScratch drops the references that alias response data
+// (the decoded hit slices handed into resp) and hands the scratch back.
+func releaseScatterScratch(sc *scatterScratch) {
+	for i := range sc.perPart {
+		sc.perPart[i] = nil
+	}
+	for i := range sc.lists {
+		sc.lists[i] = nil
+	}
+	clear(sc.byDoc)
+	scatterScratchPool.Put(sc)
+}
+
+// Scatter fans one seeded search out to every partition's owner chain and
+// merges the per-partition top-k into the global ranking. A partition
+// whose owners all fail (or time out past the per-node deadline) is
+// dropped and the response is flagged Partial; the error is non-nil only
+// when the caller's ctx ended or no partition answered at all.
+func (co *Coordinator) Scatter(ctx context.Context, seed, query []textproc.Token, k int) (SearchResponse, error) {
+	if k <= 0 {
+		k = co.topK
+	}
+	n := co.ring.Nodes()
+	nR := co.ring.Replicas()
+
+	sc := scatterScratchPool.Get().(*scatterScratch)
+	perPart := sc.perPart
+	if cap(perPart) < n {
+		perPart = make([][]SearchHit, n)
+	}
+	perPart = perPart[:n]
+	missing := sc.missing
+	if cap(missing) < n {
+		missing = make([]bool, n)
+	}
+	missing = missing[:n]
+	owners := sc.owners
+	if cap(owners) < n*nR {
+		owners = make([]int, n*nR)
+	}
+	owners = owners[:n*nR]
+	if sc.byDoc == nil {
+		sc.byDoc = make(map[int64]SearchHit, k*2)
+	}
+	sc.perPart, sc.missing, sc.owners = perPart, missing, owners
+
+	var wg sync.WaitGroup
+	for part := 0; part < n; part++ {
+		wg.Add(1)
+		go func(part int) {
+			defer wg.Done()
+			chain := owners[part*nR : part*nR : (part+1)*nR]
+			hits, ok := co.searchPartition(ctx, part, seed, query, k, chain)
+			perPart[part] = hits
+			missing[part] = !ok
+		}(part)
+	}
+	wg.Wait()
+
+	total, missed := 0, 0
+	for part := 0; part < n; part++ {
+		if missing[part] {
+			missed++
+		} else {
+			total += len(perPart[part])
+		}
+	}
+	ranked := sc.ranked[:0]
+	if cap(ranked) < total {
+		ranked = make([]search.RankedDoc, 0, total)
+	}
+	lists := sc.lists[:0]
+	for part := 0; part < n; part++ {
+		if missing[part] {
+			continue
+		}
+		start := len(ranked)
+		for _, h := range perPart[part] {
+			ranked = append(ranked, search.RankedDoc{Doc: int64(h.PageID), Score: h.Score})
+			sc.byDoc[int64(h.PageID)] = h
+		}
+		lists = append(lists, ranked[start:len(ranked):len(ranked)])
+	}
+	merged := search.MergeTopKAppend(sc.merged[:0], k, lists)
+
+	resp := SearchResponse{
+		Query:   textproc.JoinQuery(query),
+		Seed:    textproc.JoinQuery(seed),
+		Partial: missed > 0,
+		Hits:    make([]SearchHit, 0, len(merged)),
+	}
+	for _, rd := range merged {
+		resp.Hits = append(resp.Hits, sc.byDoc[rd.Doc])
+	}
+	sc.ranked, sc.lists, sc.merged = ranked, lists, merged
+	releaseScatterScratch(sc)
+
+	co.scatters.Add(1)
+	if err := ctx.Err(); err != nil {
+		return SearchResponse{}, fmt.Errorf("cluster scatter: %w", err)
+	}
+	if missed == n {
+		return SearchResponse{}, fmt.Errorf("cluster scatter: all %d partitions unavailable", n)
+	}
+	if missed > 0 {
+		co.partials.Add(1)
+	}
+	return resp, nil
+}
+
+// searchPartition walks one partition's owner chain — primary first, then
+// replicas — until an owner answers within the per-node deadline. Every
+// post-primary success is a hedge (the failover the replicas exist for).
+func (co *Coordinator) searchPartition(ctx context.Context, part int, seed, query []textproc.Token, k int, chain []int) ([]SearchHit, bool) {
+	chain = co.ring.AppendOwners(chain, part)
+	for oi, owner := range chain {
+		if ctx.Err() != nil {
+			return nil, false
+		}
+		peer := co.peers[owner]
+		nctx, cancel := context.WithTimeout(ctx, co.nodeDeadline)
+		peer.inFlight.Add(1)
+		resp, err := peer.cli.ClusterSearch(nctx, part, seed, query, k)
+		peer.inFlight.Add(-1)
+		cancel()
+		if err == nil {
+			if oi > 0 {
+				co.hedges.Add(1)
+				peer.hedges.Add(1)
+			}
+			return resp.Hits, true
+		}
+		peer.errors.Add(1)
+	}
+	return nil, false
+}
+
+// SearchWithSeed implements core.Retriever (errorless adapter; see
+// Client.SearchWithSeed for the contract).
+func (co *Coordinator) SearchWithSeed(seed, query []textproc.Token) []search.Result {
+	//l2qvet:ignore ctxbg errorless core.Retriever adapter: the interface has no ctx; error-aware callers use SearchWithSeedErr
+	res, err := co.SearchWithSeedErr(context.Background(), seed, query)
+	if err != nil {
+		return nil
+	}
+	return res
+}
+
+// SearchWithSeedErr implements core.ContextRetriever: scatter the search,
+// then download the global top-k pages from their owning nodes (replica
+// failover per page). Either the complete ranked list is returned or an
+// error — a flagged partial becomes ErrPartial here, because this surface
+// has no flag channel and must never silently shorten a result list.
+func (co *Coordinator) SearchWithSeedErr(ctx context.Context, seed, query []textproc.Token) ([]search.Result, error) {
+	resp, err := co.Scatter(ctx, seed, query, co.topK)
+	if err != nil {
+		return nil, err
+	}
+	if resp.Partial {
+		return nil, ErrPartial
+	}
+	pages, err := co.prefetchPages(ctx, resp.Hits)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]search.Result, len(resp.Hits))
+	for i, h := range resp.Hits {
+		out[i] = search.Result{Page: pages[i], Score: h.Score}
+	}
+	return out, nil
+}
+
+// prefetchPages downloads the hit list with bounded concurrency,
+// preserving rank order; the first failure cancels the rest (the
+// complete-or-error contract).
+func (co *Coordinator) prefetchPages(ctx context.Context, hits []SearchHit) ([]*corpus.Page, error) {
+	pages := make([]*corpus.Page, len(hits))
+	if len(hits) == 0 {
+		return pages, nil
+	}
+	workers := co.prefetch
+	if workers > len(hits) {
+		workers = len(hits)
+	}
+	if workers <= 1 {
+		for i, h := range hits {
+			p, err := co.PageCtx(ctx, h.PageID)
+			if err != nil {
+				return nil, err
+			}
+			pages[i] = p
+		}
+		return pages, nil
+	}
+	fctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	var (
+		wg       sync.WaitGroup
+		errMu    sync.Mutex
+		firstErr error
+	)
+	work := make(chan int)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range work {
+				if fctx.Err() != nil {
+					continue
+				}
+				p, err := co.PageCtx(fctx, hits[i].PageID)
+				if err != nil {
+					errMu.Lock()
+					if firstErr == nil {
+						firstErr = err
+					}
+					errMu.Unlock()
+					cancel()
+					continue
+				}
+				pages[i] = p
+			}
+		}()
+	}
+	for i := range hits {
+		if fctx.Err() != nil {
+			break
+		}
+		work <- i
+	}
+	close(work)
+	wg.Wait()
+	if firstErr == nil {
+		firstErr = ctx.Err()
+	}
+	if firstErr != nil {
+		return nil, firstErr
+	}
+	return pages, nil
+}
+
+// PageCtx downloads one page from its partition's owner chain, failing
+// over on error. Owners replicate whole partitions, so every owner serves
+// an identical copy and reads balance freely: the chain is attempted in
+// ascending in-flight order (least-loaded first, chain order breaking
+// ties), which spreads a bulk prefetch across the replica set instead of
+// hammering each partition's primary while its replicas idle. Runs under
+// the caller's ctx, not the scatter deadline — a slow bulk transfer is
+// not a node failure. Each node client's page cache and singleflight make
+// repeated fetches free.
+func (co *Coordinator) PageCtx(ctx context.Context, id corpus.PageID) (*corpus.Page, error) {
+	var chainBuf [8]int
+	chain := co.ring.AppendOwners(chainBuf[:0], co.ring.Partition(id))
+	var loads [8]int64
+	for i, owner := range chain {
+		loads[i] = co.peers[owner].inFlight.Load()
+	}
+	for i := 1; i < len(chain); i++ {
+		for j := i; j > 0 && loads[j] < loads[j-1]; j-- {
+			loads[j], loads[j-1] = loads[j-1], loads[j]
+			chain[j], chain[j-1] = chain[j-1], chain[j]
+		}
+	}
+	var lastErr error
+	for oi, owner := range chain {
+		if err := ctx.Err(); err != nil {
+			if lastErr == nil {
+				lastErr = err
+			}
+			break
+		}
+		peer := co.peers[owner]
+		peer.inFlight.Add(1)
+		p, err := peer.cli.PageCtx(ctx, id)
+		peer.inFlight.Add(-1)
+		if err == nil {
+			// oi > 0 means a preceding owner actually failed — a balanced
+			// first-attempt read from a replica is not a hedge.
+			if oi > 0 {
+				co.hedges.Add(1)
+				peer.hedges.Add(1)
+			}
+			return p, nil
+		}
+		peer.errors.Add(1)
+		lastErr = err
+	}
+	return nil, lastErr
+}
+
+// QueryLikelihood implements core.Retriever with the single-node engine's
+// exact scoring, computed locally from the aggregated global model — no
+// network, no degradation.
+func (co *Coordinator) QueryLikelihood(p *corpus.Page, query []textproc.Token) float64 {
+	toks := p.Tokens()
+	tf := make(map[textproc.Token]int, len(query))
+	for _, t := range toks {
+		tf[t]++
+	}
+	s := 0.0
+	for _, t := range query {
+		pC := search.CollectionProb(co.global.CollFreq[t], co.global.TotalTokens, co.global.NumTerms)
+		s += search.DirichletTermScore(tf[t], len(toks), co.global.Mu, pC)
+	}
+	return s
+}
+
+// Entities returns the cluster's harvest targets (fetched at dial).
+func (co *Coordinator) Entities() []EntityInfo { return co.entities }
+
+// collFreqBatch answers a coordinator-side /collfreq from the global
+// model — the values every node scores with.
+func (co *Coordinator) collFreqBatch(tokens []string) map[string]int {
+	out := make(map[string]int, len(tokens))
+	for _, t := range tokens {
+		out[t] = co.global.CollFreq[t]
+	}
+	return out
+}
+
+// ClusterNodeMetrics is one node's row in the fan-out gauges.
+type ClusterNodeMetrics struct {
+	Node string `json:"node"`
+	// InFlight is the number of scatter attempts currently outstanding
+	// against this node.
+	InFlight int64 `json:"inFlight"`
+	// Hedges counts failover requests this node served for a downed or
+	// late peer.
+	Hedges int64 `json:"hedges"`
+	// Errors counts attempts against this node that failed terminally.
+	Errors int64 `json:"errors"`
+	// Client is the node transport's request/retry/error accounting.
+	Client ClientMetrics `json:"client"`
+}
+
+// ClusterMetrics is the coordinator section of /api/v1/metrics: the
+// fan-out gauges the load harness calibrates cluster saturation with.
+type ClusterMetrics struct {
+	Nodes    int   `json:"nodes"`
+	Replicas int   `json:"replicas"`
+	Scatters int64 `json:"scatters"`
+	// Hedges counts scatter/page attempts that succeeded on a replica
+	// after the primary failed or timed out.
+	Hedges int64 `json:"hedges"`
+	// Partials counts scatters served with one or more partitions missing.
+	Partials int64                `json:"partials"`
+	PerNode  []ClusterNodeMetrics `json:"perNode"`
+}
+
+// Metrics snapshots the fan-out gauges.
+func (co *Coordinator) Metrics() ClusterMetrics {
+	m := ClusterMetrics{
+		Nodes:    co.ring.Nodes(),
+		Replicas: co.ring.Replicas(),
+		Scatters: co.scatters.Load(),
+		Hedges:   co.hedges.Load(),
+		Partials: co.partials.Load(),
+		PerNode:  make([]ClusterNodeMetrics, len(co.peers)),
+	}
+	for i, peer := range co.peers {
+		m.PerNode[i] = ClusterNodeMetrics{
+			Node:     peer.base,
+			InFlight: peer.inFlight.Load(),
+			Hedges:   peer.hedges.Load(),
+			Errors:   peer.errors.Load(),
+			Client:   peer.cli.Metrics(),
+		}
+	}
+	return m
+}
+
+// NewCoordinatorServer mounts a coordinator behind the standard serving
+// surface: /api/v1/{stats,search,collfreq,entities,metrics} and /page/{id}
+// answer from the cluster (searches scatter-gather, pages proxy to their
+// owning node), with the same admission control, codec negotiation and
+// error envelope as a single-node server. Harvest/jobs stay 501 unless a
+// HarvestBackend is attached.
+func NewCoordinatorServer(co *Coordinator) *Server {
+	//l2qvet:ignore ctxbg server-lifetime root: this ctx outlives every request and is canceled by Shutdown's drain
+	ctx, cancel := context.WithCancel(context.Background())
+	return &Server{cluster: co, MaxConcurrent: 64, ctx: ctx, cancel: cancel}
+}
+
+// errorStatus maps a coordinator failure to its serving-surface status:
+// canceled requests and whole-cluster outages are retryable 503s; a page
+// whose owners all 404 it stays a 404.
+func errorStatus(err error) int {
+	var te *TransportError
+	if errors.As(err, &te) && te.Status == 404 {
+		return 404
+	}
+	return 503
+}
+
+var _ = strings.TrimSpace // keep strings imported for the handlers below

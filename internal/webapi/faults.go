@@ -39,6 +39,13 @@ type FaultInjector struct {
 	// cost — the term the wire protocol's compression attacks — would be
 	// invisible to benchmarks.
 	Bandwidth int64
+	// SharedLink upgrades the bandwidth model from per-response to a
+	// single shared uplink: concurrent responses reserve consecutive
+	// slots on one link timeline instead of each enjoying the full
+	// Bandwidth. This is the model for cluster benchmarks, where the
+	// point of N nodes is N independent links — per-response throttling
+	// would hand a single node the same free parallelism.
+	SharedLink bool
 
 	// latency is the per-request added delay in nanoseconds (atomic so
 	// tests can dial it up after a fault-free warmup).
@@ -48,6 +55,9 @@ type FaultInjector struct {
 	injected5 atomic.Int64
 	truncated atomic.Int64
 	bytesOut  atomic.Int64
+	// linkFree is the SharedLink timeline: the UnixNano instant the
+	// modeled uplink next falls idle.
+	linkFree atomic.Int64
 
 	mu  sync.Mutex
 	rng *rand.Rand
@@ -93,7 +103,11 @@ func (f *FaultInjector) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 		}
 	}
 	if f.Bandwidth > 0 {
-		w = &throttledWriter{ResponseWriter: w, bytesPerSec: f.Bandwidth, ctx: r.Context(), meter: &f.bytesOut}
+		tw := &throttledWriter{ResponseWriter: w, bytesPerSec: f.Bandwidth, ctx: r.Context(), meter: &f.bytesOut}
+		if f.SharedLink {
+			tw.linkFree = &f.linkFree
+		}
+		w = tw
 	}
 	p := f.roll()
 	switch {
@@ -144,11 +158,28 @@ type throttledWriter struct {
 	bytesPerSec int64
 	ctx         context.Context
 	meter       *atomic.Int64
+	// linkFree, when non-nil, points at the injector's shared uplink
+	// timeline (see FaultInjector.SharedLink); nil keeps the original
+	// per-response model.
+	linkFree *atomic.Int64
 }
 
 func (t *throttledWriter) Write(p []byte) (int, error) {
 	t.meter.Add(int64(len(p)))
 	d := time.Duration(float64(len(p)) / float64(t.bytesPerSec) * float64(time.Second))
+	if d > 0 && t.linkFree != nil {
+		// Reserve this transfer's slot on the shared link: it starts when
+		// the link frees (or now, if idle) and holds the link for d.
+		now := time.Now().UnixNano()
+		for {
+			free := t.linkFree.Load()
+			start := max(free, now)
+			if t.linkFree.CompareAndSwap(free, start+int64(d)) {
+				d = time.Duration(start + int64(d) - now)
+				break
+			}
+		}
+	}
 	if d > 0 {
 		timer := time.NewTimer(d)
 		select {

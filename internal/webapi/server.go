@@ -19,6 +19,7 @@ import (
 	"log"
 	"net"
 	"net/http"
+	"net/url"
 	"strconv"
 	"strings"
 	"sync"
@@ -58,6 +59,11 @@ type SearchResponse struct {
 	Query string      `json:"query"`
 	Seed  string      `json:"seed,omitempty"`
 	Hits  []SearchHit `json:"hits"`
+	// Partial is set by a cluster coordinator when one or more partitions
+	// had no reachable owner before the per-node deadline: the hits are a
+	// correct ranking of the partitions that answered, flagged rather
+	// than silently passed off as the full corpus ranking.
+	Partial bool `json:"partial,omitempty"`
 }
 
 // EntityInfo is one row of the /api/entities payload.
@@ -100,6 +106,16 @@ type Server struct {
 	// at least this large are compressed. 0 picks DefaultCompressMin;
 	// negative disables compression entirely.
 	CompressMin int
+	// Node, when non-nil, marks this server as one node of a doc-
+	// partitioned cluster and enables the /api/v1/cluster/* endpoints
+	// (partition-local search, stat registration/push). The regular
+	// endpoints keep serving the node's full local corpus store.
+	Node *ClusterNode
+
+	// cluster, when non-nil, makes this a coordinator server: the regular
+	// serving surface answers by scatter-gathering the cluster instead of
+	// from a local engine (see NewCoordinatorServer).
+	cluster *Coordinator
 
 	semOnce sync.Once
 	sem     chan struct{}
@@ -303,6 +319,9 @@ type ServerMetrics struct {
 	// active/parked jobs, unspent adaptive budget); absent until the
 	// first harvest request starts it.
 	Scheduler *pipeline.Stats `json:"scheduler,omitempty"`
+	// Cluster reports the coordinator's fan-out gauges (per-node in-flight,
+	// hedges fired, partials served); present only on coordinator servers.
+	Cluster *ClusterMetrics `json:"cluster,omitempty"`
 }
 
 func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
@@ -328,6 +347,10 @@ func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 		st := sched.Stats()
 		m.Scheduler = &st
 	}
+	if s.cluster != nil {
+		cm := s.cluster.Metrics()
+		m.Cluster = &cm
+	}
 	writeJSON(w, m)
 }
 
@@ -340,6 +363,11 @@ func writeJSON(w http.ResponseWriter, v any) {
 }
 
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	if s.cluster != nil {
+		st := s.cluster.Stats()
+		s.respond(w, r, wireStats, func(e *store.Enc) { encodeStatsWire(e, st) }, st)
+		return
+	}
 	idx := s.engine.Index()
 	st := Stats{
 		Domain:      string(s.corpus.Domain),
@@ -353,25 +381,66 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	s.respond(w, r, wireStats, func(e *store.Enc) { encodeStatsWire(e, st) }, st)
 }
 
+// queryParamTokens decodes one search-query parameter from a request. The
+// legacy form is a single space-joined string (curl-friendly, and what
+// pre-token-exact clients send); the token-exact form — signaled by
+// tokq=1 — carries each token as its own repeated parameter value. The
+// distinction matters because the tokenizer emits phrase tokens ("data
+// mining" is ONE vocabulary term): a space split shatters those into
+// out-of-vocabulary words and silently changes every Dirichlet score.
+func queryParamTokens(qv url.Values, key string) []textproc.Token {
+	if qv.Get("tokq") != "1" {
+		if s := qv.Get(key); s != "" {
+			return textproc.SplitQuery(s)
+		}
+		return nil
+	}
+	vals := qv[key]
+	toks := make([]textproc.Token, 0, len(vals))
+	for _, v := range vals {
+		if v != "" {
+			toks = append(toks, v)
+		}
+	}
+	return toks
+}
+
 func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
-	q := r.URL.Query().Get("q")
-	seed := r.URL.Query().Get("seed")
-	if q == "" && seed == "" {
+	qv := r.URL.Query()
+	qToks := queryParamTokens(qv, "q")
+	seedToks := queryParamTokens(qv, "seed")
+	if len(qToks) == 0 && len(seedToks) == 0 {
 		// A seed-only (or q-only) search is valid; only both-empty is not.
 		writeError(w, http.StatusBadRequest, "missing query: provide q and/or seed")
 		return
 	}
-	engine := s.engine
-	if kStr := r.URL.Query().Get("k"); kStr != "" {
-		k, err := strconv.Atoi(kStr)
+	k := 0
+	if kStr := qv.Get("k"); kStr != "" {
+		var err error
+		k, err = strconv.Atoi(kStr)
 		if err != nil || k <= 0 || k > 100 {
 			writeError(w, http.StatusBadRequest, "bad k parameter")
 			return
 		}
+	}
+	if s.cluster != nil {
+		// Scatter-gather the cluster. A partial result (some partitions had
+		// no live owner) is served flagged, not errored: the client sees
+		// Partial and decides; only a total outage or a dead caller errors.
+		resp, err := s.cluster.Scatter(r.Context(), seedToks, qToks, k)
+		if err != nil {
+			writeError(w, http.StatusServiceUnavailable, err.Error())
+			return
+		}
+		s.respond(w, r, wireSearch, func(e *store.Enc) { encodeSearchWire(e, resp) }, resp)
+		return
+	}
+	engine := s.engine
+	if k > 0 {
 		engine = engine.WithTopK(k)
 	}
-	res := engine.SearchWithSeed(textproc.SplitQuery(seed), textproc.SplitQuery(q))
-	resp := SearchResponse{Query: q, Seed: seed, Hits: make([]SearchHit, 0, len(res))}
+	res := engine.SearchWithSeed(seedToks, qToks)
+	resp := SearchResponse{Query: textproc.JoinQuery(qToks), Seed: textproc.JoinQuery(seedToks), Hits: make([]SearchHit, 0, len(res))}
 	for _, h := range res {
 		resp.Hits = append(resp.Hits, SearchHit{
 			PageID: h.Page.ID, URL: h.Page.URL, Title: h.Page.Title, Score: h.Score,
@@ -391,6 +460,14 @@ func (s *Server) handleCollFreq(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, "too many tokens")
 		return
 	}
+	if s.cluster != nil {
+		// Answer from the aggregated global model — the statistics every
+		// node scores with, so clients reproduce cluster scoring exactly.
+		freqs := s.cluster.collFreqBatch(toks)
+		s.respond(w, r, wireCollFreq, func(e *store.Enc) { encodeCollFreqWire(e, freqs) },
+			map[string]map[string]int{"freqs": freqs})
+		return
+	}
 	idx := s.engine.Index()
 	freqs := make(map[string]int, len(toks))
 	for _, t := range toks {
@@ -401,6 +478,11 @@ func (s *Server) handleCollFreq(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleEntities(w http.ResponseWriter, r *http.Request) {
+	if s.cluster != nil {
+		out := s.cluster.Entities()
+		s.respond(w, r, wireEntities, func(e *store.Enc) { encodeEntitiesWire(e, out) }, out)
+		return
+	}
 	out := make([]EntityInfo, 0, s.corpus.NumEntities())
 	for _, e := range s.corpus.Entities {
 		out = append(out, EntityInfo{ID: e.ID, Name: e.Name, SeedQuery: e.SeedQuery})
@@ -423,10 +505,24 @@ func (s *Server) handlePage(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, "bad page id")
 		return
 	}
-	p, ok := s.pages[corpus.PageID(id)]
-	if !ok {
-		writeError(w, http.StatusNotFound, "no such page")
-		return
+	var p *corpus.Page
+	if s.cluster != nil {
+		// Proxy the page from its partition's owning node (replica failover
+		// inside); rendering from the parsed page keeps the bytes identical
+		// to what the node itself would serve.
+		var err error
+		p, err = s.cluster.PageCtx(r.Context(), corpus.PageID(id))
+		if err != nil {
+			writeError(w, errorStatus(err), err.Error())
+			return
+		}
+	} else {
+		var ok bool
+		p, ok = s.pages[corpus.PageID(id)]
+		if !ok {
+			writeError(w, http.StatusNotFound, "no such page")
+			return
+		}
 	}
 	body := html.RenderPage(p)
 	if s.wantsWire(r) {

@@ -56,12 +56,13 @@ const WireContentType = wireContentType
 
 // Frame payload kinds.
 const (
-	wireStats    byte = 1
-	wireSearch   byte = 2
-	wirePage     byte = 3
-	wireCollFreq byte = 4
-	wireEntities byte = 5
-	wireEvent    byte = 6
+	wireStats     byte = 1
+	wireSearch    byte = 2
+	wirePage      byte = 3
+	wireCollFreq  byte = 4
+	wireEntities  byte = 5
+	wireEvent     byte = 6
+	wireNodeStats byte = 7
 )
 
 // Frame flags.
@@ -261,6 +262,11 @@ func decodeStatsWire(d *store.Dec) Stats {
 func encodeSearchWire(e *store.Enc, resp SearchResponse) {
 	e.Str(resp.Query)
 	e.Str(resp.Seed)
+	partial := byte(0)
+	if resp.Partial {
+		partial = 1
+	}
+	e.Byte(partial)
 	e.Uvarint(uint64(len(resp.Hits)))
 	for _, h := range resp.Hits {
 		e.Varint(int64(h.PageID))
@@ -271,7 +277,7 @@ func encodeSearchWire(e *store.Enc, resp SearchResponse) {
 }
 
 func decodeSearchWire(d *store.Dec) SearchResponse {
-	resp := SearchResponse{Query: d.Str(), Seed: d.Str()}
+	resp := SearchResponse{Query: d.Str(), Seed: d.Str(), Partial: d.Byte() != 0}
 	n := d.Count("search hits")
 	if n > 0 {
 		resp.Hits = make([]SearchHit, 0, n)
@@ -311,6 +317,35 @@ func decodeCollFreqWire(d *store.Dec) map[string]int {
 		out[k] = int(d.Varint())
 	}
 	return out
+}
+
+// encodeNodeStatsWire frames a cluster node's primary-partition stat
+// report. Both frequency maps ride as sorted (token, count) runs — the
+// store codecs' determinism rule — by reusing the collfreq pair codec.
+func encodeNodeStatsWire(e *store.Enc, st NodeStatsPayload) {
+	e.Varint(int64(st.Node))
+	e.Varint(int64(st.Nodes))
+	e.Varint(int64(st.Replicas))
+	e.Varint(int64(st.Partition))
+	e.Varint(int64(st.NumDocs))
+	e.Varint(int64(st.TotalTokens))
+	e.Varint(int64(st.TopK))
+	encodeCollFreqWire(e, st.CollFreq)
+	encodeCollFreqWire(e, st.DocFreq)
+}
+
+func decodeNodeStatsWire(d *store.Dec) NodeStatsPayload {
+	return NodeStatsPayload{
+		Node:        int(d.Varint()),
+		Nodes:       int(d.Varint()),
+		Replicas:    int(d.Varint()),
+		Partition:   int(d.Varint()),
+		NumDocs:     int(d.Varint()),
+		TotalTokens: int(d.Varint()),
+		TopK:        int(d.Varint()),
+		CollFreq:    decodeCollFreqWire(d),
+		DocFreq:     decodeCollFreqWire(d),
+	}
 }
 
 func encodeEntitiesWire(e *store.Enc, ents []EntityInfo) {
