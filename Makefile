@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test soak bench bench-candidates bench-wire bench-scatter bench-allocs wire-parity load-smoke cluster-smoke lint vuln fmt
+.PHONY: all build test soak bench bench-candidates bench-wire bench-scatter bench-allocs bench-live wire-parity load-smoke cluster-smoke lint vuln fmt
 
 all: lint build test
 
@@ -13,9 +13,11 @@ build:
 test:
 	$(GO) test -race -shuffle=on ./...
 
-# 30 s scheduler churn (submit/cancel/resume) under the race detector.
+# 30 s churn loops under the race detector: scheduler submit/cancel/
+# resume, and the live engine's concurrent ingest+search+compact.
 soak:
 	L2Q_SOAK=30s $(GO) test -race -run 'TestSchedulerSoak' ./internal/pipeline/
+	L2Q_SOAK=30s $(GO) test -race -run 'TestLiveEngineSoak' ./internal/search/
 
 # Full benchmark pass. For the sharded-engine before/after numbers only:
 #   go test -run='^$$' -bench='HotSingleQuery|ConcurrentManyQueries' -benchtime=2s ./internal/search/
@@ -43,6 +45,16 @@ bench-scatter:
 # BENCH_allocs.json, fails on any regression — same recipe as CI.
 bench-allocs:
 	./scripts/alloc_gate.sh BENCH_allocs.json
+
+# Live-index trajectory: search throughput on a generational engine
+# under a sustained ingest stream vs the same engine left frozen
+# (BenchmarkLiveIngestSearch — the ≥70%-of-frozen bar), then l2qload
+# mixed traffic against a live self-served server with ingest lag
+# percentiles. Writes BENCH_live.json (the CI artifact).
+bench-live:
+	$(GO) test -run='^$$' -bench='BenchmarkLiveIngestSearch' -benchtime=2s ./internal/search/
+	$(GO) run ./cmd/l2qload -duration 15s -workers 16 -ingest 200 -memtable 256 \
+		-mix 'search=70,page=20,metrics=10' -out BENCH_live.json
 
 # Sustained-traffic smoke: l2qload against an in-process server driven
 # past its admission bound — verifies shed correctness (429 retryable

@@ -62,6 +62,8 @@ func main() {
 		assert   = flag.Bool("assertshed", false, "require shed traffic and verify shed correctness; exit 1 on violation")
 		p999Max  = flag.Duration("p999max", 0, "fail when the overall served p999 exceeds this (0 = report only)")
 		quiet    = flag.Bool("quiet", false, "suppress progress logging")
+		ingest   = flag.Int("ingest", 0, "live mixed-traffic mode: ingest this many pages/second through POST /api/v1/ingest alongside the search mix (self-serve starts the server with a live generational index); the report gains ingest lag percentiles")
+		memtable = flag.Int("memtable", 0, "live self-serve: memtable seal threshold in documents (0 = default)")
 		cluster  = flag.Int("cluster", 0, "self-serve a scatter-gather cluster of this many nodes behind an in-process coordinator and drive that (harvest/jobs ops disabled: the coordinator serves retrieval, not harvesting)")
 		replicas = flag.Int("replicas", 2, "cluster mode: partition replication factor")
 		nodeDl   = flag.Duration("nodedeadline", 0, "cluster mode: coordinator per-node scatter deadline (0 = default)")
@@ -89,7 +91,7 @@ func main() {
 		defer stop()
 	} else if base == "" {
 		var bound string
-		srv, bound, err = selfServe(*domain, *entities, *pages, *seed, *maxInFl, aspect, logger)
+		srv, bound, err = selfServe(*domain, *entities, *pages, *seed, *maxInFl, *ingest > 0, *memtable, aspect, logger)
 		if err != nil {
 			logger.Fatal(err)
 		}
@@ -118,6 +120,17 @@ func main() {
 	var wg sync.WaitGroup
 	recs := make([]*recorder, *workers)
 	deadline := startWall.Add(*duration)
+	var ing *ingester
+	if *ingest > 0 {
+		if ing, err = newIngester(d, *ingest, *domain, *entities, *pages, *seed, logger); err != nil {
+			logger.Fatal(err)
+		}
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			ing.run(deadline)
+		}()
+	}
 	for w := 0; w < *workers; w++ {
 		rec := newRecorder()
 		recs[w] = rec
@@ -137,11 +150,17 @@ func main() {
 	report["config"] = map[string]any{
 		"addr": base, "workers": *workers, "duration": duration.String(),
 		"mix": *mix, "codec": *codec, "maxInflight": *maxInFl,
-		"cluster": *cluster, "replicas": *replicas,
+		"cluster": *cluster, "replicas": *replicas, "ingest": *ingest,
 	}
 
 	ok := true
 	fail := func(why string) { ok = false; logger.Printf("FAIL: %s", why) }
+	if ing != nil {
+		report["ingest"] = ing.section(elapsed)
+		if ing.errs > 0 {
+			fail(fmt.Sprintf("%d ingest batches failed", ing.errs))
+		}
+	}
 	v := report["verify"].(map[string]any)
 	if v["shedBadEnvelope"].(int64) > 0 {
 		fail("shed responses with a malformed or non-retryable envelope")
@@ -201,8 +220,10 @@ func parseMix(s string) (map[string]int, error) {
 }
 
 // selfServe builds a synthetic corpus and starts an in-process server
-// with harvesting enabled, picking a harvest aspect into *aspect.
-func selfServe(domain string, entities, pages int, seed uint64, maxInFlight int, aspect *string, logger *log.Logger) (*webapi.Server, string, error) {
+// with harvesting enabled, picking a harvest aspect into *aspect. With
+// live set the server fronts a generational engine and accepts ingest,
+// which is what the -ingest mixed-traffic mode drives.
+func selfServe(domain string, entities, pages int, seed uint64, maxInFlight int, live bool, memtable int, aspect *string, logger *log.Logger) (*webapi.Server, string, error) {
 	cfg := synth.DefaultConfig(corpus.Domain(domain))
 	cfg.NumEntities = entities
 	cfg.PagesPerEntity = pages
@@ -211,9 +232,15 @@ func selfServe(domain string, entities, pages int, seed uint64, maxInFlight int,
 	if err != nil {
 		return nil, "", err
 	}
-	idx := search.BuildIndexOpts(g.Corpus.Pages, search.Options{})
-	engine := search.NewEngineOpts(idx, search.Options{})
-	srv := webapi.NewServer(g.Corpus, engine)
+	var srv *webapi.Server
+	if live {
+		eng := search.NewLiveEngine(g.Corpus.Pages, search.Options{}, search.LiveOptions{MemtableDocs: memtable})
+		srv = webapi.NewLiveServer(g.Corpus, eng, g.Tokenizer)
+	} else {
+		idx := search.BuildIndexOpts(g.Corpus.Pages, search.Options{})
+		engine := search.NewEngineOpts(idx, search.Options{})
+		srv = webapi.NewServer(g.Corpus, engine)
+	}
 	srv.MaxInFlight = maxInFlight
 	if maxInFlight > 0 {
 		srv.MaxConcurrent = maxInFlight
@@ -236,9 +263,123 @@ func selfServe(domain string, entities, pages int, seed uint64, maxInFlight int,
 	if err != nil {
 		return nil, "", err
 	}
-	logger.Printf("self-serving %d pages of %q on %s (maxinflight %d, aspect %q)",
-		g.Corpus.NumPages(), domain, bound, maxInFlight, *aspect)
+	mode := "frozen"
+	if live {
+		mode = "live"
+	}
+	logger.Printf("self-serving %d pages of %q on %s (%s index, maxinflight %d, aspect %q)",
+		g.Corpus.NumPages(), domain, bound, mode, maxInFlight, *aspect)
 	return srv, bound, nil
+}
+
+// ingester paces the live write path: a donor synthetic corpus (same
+// shape as the serving corpus, different seed, IDs offset clear of it)
+// streamed through POST /api/v1/ingest at a fixed pages/second rate.
+// Lag is measured from each batch's SCHEDULED send time to its ack, so
+// a server that falls behind shows queueing delay, not just service
+// time — latency reporting without coordinated omission.
+type ingester struct {
+	cli    *webapi.Client
+	rate   int
+	donor  []webapi.IngestPage
+	logger *log.Logger
+
+	lagMs    []float64
+	ingested int64
+	dups     int64
+	batches  int64
+	errs     int64
+}
+
+func newIngester(d *driver, rate int, domain string, entities, pages int, seed uint64, logger *log.Logger) (*ingester, error) {
+	cfg := synth.DefaultConfig(corpus.Domain(domain))
+	cfg.NumEntities = entities
+	cfg.PagesPerEntity = pages
+	cfg.Seed = seed + 1 // donor corpus: same shape, disjoint content
+	g, err := synth.Generate(cfg)
+	if err != nil {
+		return nil, err
+	}
+	// The ingest client keeps the default retry policy: a shed or lost
+	// batch is retried, and the server's duplicate-skip idempotency makes
+	// redelivery safe.
+	cli, err := webapi.DialOpts(d.base, &textproc.Tokenizer{}, webapi.ClientOptions{Codec: webapi.CodecAuto})
+	if err != nil {
+		return nil, fmt.Errorf("dial (ingest): %w", err)
+	}
+	ing := &ingester{cli: cli, rate: rate, logger: logger}
+	// Donor entity and page IDs are offset out of the serving corpus's
+	// range, so every page is new and auto-registers its entity.
+	const offset = 1_000_000
+	for _, p := range g.Corpus.Pages {
+		e := g.Corpus.Entity(p.Entity)
+		ip := webapi.IngestPage{
+			ID:         p.ID + offset,
+			Entity:     p.Entity + offset,
+			EntityName: e.Name,
+			SeedQuery:  e.SeedQuery,
+			URL:        p.URL,
+			Title:      p.Title,
+		}
+		for _, para := range p.Paras {
+			ip.Paras = append(ip.Paras, webapi.IngestParagraph{Text: para.Text, Aspect: string(para.Aspect)})
+		}
+		for _, l := range p.Links {
+			ip.Links = append(ip.Links, l+offset)
+		}
+		ing.donor = append(ing.donor, ip)
+	}
+	return ing, nil
+}
+
+// run streams the donor in paced batches (ten ticks a second) until the
+// deadline or the donor runs dry, whichever comes first.
+func (ing *ingester) run(deadline time.Time) {
+	per := ing.rate / 10
+	if per < 1 {
+		per = 1
+	}
+	interval := time.Duration(float64(time.Second) * float64(per) / float64(ing.rate))
+	next := 0
+	tick := time.Now()
+	for time.Now().Before(deadline) && next < len(ing.donor) {
+		batch := ing.donor[next:min(next+per, len(ing.donor))]
+		next += len(batch)
+		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		resp, err := ing.cli.Ingest(ctx, webapi.IngestRequest{Pages: batch})
+		cancel()
+		ing.batches++
+		if err != nil {
+			ing.errs++
+		} else {
+			ing.lagMs = append(ing.lagMs, float64(time.Since(tick))/float64(time.Millisecond))
+			ing.ingested += int64(resp.Ingested)
+			ing.dups += int64(resp.Duplicates)
+		}
+		tick = tick.Add(interval)
+		if d := time.Until(tick); d > 0 {
+			time.Sleep(d)
+		}
+	}
+	if next >= len(ing.donor) {
+		ing.logger.Printf("ingest: donor corpus exhausted after %d pages; raise -entities/-pages for longer windows", next)
+	}
+}
+
+// section summarizes the ingest stream for the report.
+func (ing *ingester) section(elapsed time.Duration) map[string]any {
+	sort.Float64s(ing.lagMs)
+	return map[string]any{
+		"targetPagesPerS":   ing.rate,
+		"achievedPagesPerS": float64(ing.ingested) / elapsed.Seconds(),
+		"pages":             ing.ingested,
+		"duplicates":        ing.dups,
+		"batches":           ing.batches,
+		"errors":            ing.errs,
+		"lagP50Ms":          percentile(ing.lagMs, 0.50),
+		"lagP99Ms":          percentile(ing.lagMs, 0.99),
+		"lagP999Ms":         percentile(ing.lagMs, 0.999),
+	}
 }
 
 // selfServeCluster boots nodes in-process node servers over one shared
@@ -843,6 +984,11 @@ func (d *driver) report(recs []*recorder, elapsed time.Duration, allocsPerOp map
 		// The coordinator's fan-out gauges: scatters served, hedged
 		// failovers, flagged partials, and per-node client traffic.
 		server["cluster"] = end.Cluster
+	}
+	if end.Live != nil {
+		// The generational engine's end-of-run gauges: docs absorbed,
+		// epoch/segment churn, compactions run.
+		server["live"] = end.Live
 	}
 
 	return map[string]any{

@@ -68,6 +68,10 @@ func main() {
 		fetchW    = flag.Int("fetchworkers", 0, "shared scheduler: fetch (I/O) workers (0 = 4×select)")
 		maxActive = flag.Int("maxactive", 0, "shared scheduler: admission bound on concurrently active jobs (0 = unlimited)")
 		maxInFl   = flag.Int("maxinflight", 0, "admission control: shed requests 429 past this many in flight, and default -maxactive to it (0 = off)")
+		live      = flag.Bool("live", false, "serve a live generational index: POST /api/v1/ingest grows the corpus while searches keep serving")
+		memtable  = flag.Int("memtable", 0, "live mode: memtable seal threshold in documents (0 = default)")
+		fanIn     = flag.Int("compactfanin", 0, "live mode: background-compaction fan-in (0 = default, <0 = background compaction off)")
+		ingestW   = flag.Int("ingestworkers", 0, "live mode: ingest pre-tokenization workers (0 = GOMAXPROCS)")
 		wire      = flag.Bool("wire", true, "offer the binary wire codec to clients that ask for it (Accept: "+webapi.WireContentType+"); JSON stays the default either way")
 		compress  = flag.Int("compress", 0, "gzip wire payloads at or above this many bytes (0 = default threshold, <0 = never compress)")
 		drain     = flag.Duration("drain", 10*time.Second, "graceful-shutdown drain timeout")
@@ -95,7 +99,7 @@ func main() {
 		}
 		c = b.Corpus
 		idx = b.Index
-		if idx == nil && !*coord {
+		if idx == nil && !*coord && !*live {
 			idx = search.BuildIndexOpts(c.Pages, sopts)
 		} else if idx != nil && *shards != 0 {
 			// The store restores at the default shard count; honor an
@@ -116,7 +120,7 @@ func main() {
 			logger.Fatal(err)
 		}
 		c = g.Corpus
-		if !*coord {
+		if !*coord && !*live {
 			idx = search.BuildIndexOpts(c.Pages, sopts)
 		}
 		tok = g.Tokenizer
@@ -128,8 +132,26 @@ func main() {
 		return
 	}
 
-	engine := search.NewEngineOpts(idx, sopts).WithTopK(*topK)
-	srv := webapi.NewServer(c, engine)
+	var (
+		srv     *webapi.Server
+		liveEng *search.LiveEngine
+		engine  *search.Engine
+	)
+	if *live {
+		if *nodesFlag != "" {
+			logger.Fatal("-live is incompatible with cluster node mode (-nodes)")
+		}
+		liveEng = search.NewLiveEngine(c.Pages, sopts, search.LiveOptions{
+			MemtableDocs:  *memtable,
+			CompactFanIn:  *fanIn,
+			IngestWorkers: *ingestW,
+			TopK:          *topK,
+		})
+		srv = webapi.NewLiveServer(c, liveEng, tok)
+	} else {
+		engine = search.NewEngineOpts(idx, sopts).WithTopK(*topK)
+		srv = webapi.NewServer(c, engine)
+	}
 	srv.WireDisabled = !*wire
 	srv.CompressMin = *compress
 	srv.MaxInFlight = *maxInFl
@@ -179,9 +201,16 @@ func main() {
 	if err != nil {
 		logger.Fatal(err)
 	}
-	fmt.Printf("serving %d pages of %q on http://%s (top-%d, μ = %.0f, %d shards, %d score workers)\n",
-		c.NumPages(), c.Domain, bound, engine.TopK(), engine.Mu(),
-		idx.NumShards(), engine.ScoreWorkers())
+	if *live {
+		m := liveEng.Metrics()
+		fmt.Printf("serving %d pages of %q on http://%s (top-%d, μ = %.0f, LIVE: %d segments, memtable %d docs)\n",
+			c.NumPages(), c.Domain, bound, liveEng.TopK(), liveEng.Mu(),
+			m.Segments, m.MemtableDocs)
+	} else {
+		fmt.Printf("serving %d pages of %q on http://%s (top-%d, μ = %.0f, %d shards, %d score workers)\n",
+			c.NumPages(), c.Domain, bound, engine.TopK(), engine.Mu(),
+			idx.NumShards(), engine.ScoreWorkers())
+	}
 	if *maxInFl > 0 {
 		fmt.Printf("admission control: shedding 429 past %d in-flight requests\n", *maxInFl)
 	}
@@ -189,6 +218,9 @@ func main() {
 	if srv.Node != nil {
 		fmt.Printf("cluster node %d of %d (replicas %d): /api/v1/cluster/{search,stats} serving partitions %v\n",
 			*nodeID, srv.Node.Spec().Nodes, srv.Node.Spec().Replicas, srv.Node.Partitions())
+	}
+	if *live {
+		endpoints += " POST /api/v1/ingest"
 	}
 	if srv.Harvest != nil {
 		endpoints += " POST /api/v1/harvest POST|GET|DELETE /api/v1/jobs"

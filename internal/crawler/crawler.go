@@ -28,6 +28,10 @@ type Config struct {
 	Budget int
 	// MaxFrontier caps the frontier size; 0 means unbounded.
 	MaxFrontier int
+	// Sink, when non-nil, receives every fetched page in fetch order —
+	// the hook that streams a crawl into a live index (see
+	// examples/livecrawl) instead of batching Result.Pages at the end.
+	Sink func(*corpus.Page)
 }
 
 // Result is the outcome of a crawl.
@@ -121,6 +125,9 @@ func Crawl(pageByID map[corpus.PageID]*corpus.Page, seeds []*corpus.Page,
 	visit := func(p *corpus.Page) {
 		res.Pages = append(res.Pages, p)
 		res.Fetches++
+		if cfg.Sink != nil {
+			cfg.Sink(p)
+		}
 		prio := 0.0
 		if y(p) {
 			prio = 1.0

@@ -112,6 +112,23 @@ func TestCrawlMaxFrontier(t *testing.T) {
 	}
 }
 
+// TestCrawlSink: the sink sees every fetched page, in fetch order — the
+// contract the live-index feed (examples/livecrawl) depends on.
+func TestCrawlSink(t *testing.T) {
+	byID, seeds, y := chainCorpus(t)
+	var sunk []corpus.PageID
+	res := Crawl(byID, seeds, y, Config{Budget: 4, Sink: func(p *corpus.Page) {
+		sunk = append(sunk, p.ID)
+	}})
+	var fetched []corpus.PageID
+	for _, p := range res.Pages {
+		fetched = append(fetched, p.ID)
+	}
+	if !reflect.DeepEqual(sunk, fetched) {
+		t.Fatalf("sink saw %v, fetch order was %v", sunk, fetched)
+	}
+}
+
 func TestCrawlDanglingLinks(t *testing.T) {
 	c := corpus.New("test")
 	if err := c.AddEntity(&corpus.Entity{ID: 1, Name: "e", SeedQuery: "e"}); err != nil {

@@ -41,10 +41,16 @@ func (e *Engine) WithBM25(k1, b float64) *Engine {
 // IsBM25 reports whether the engine ranks with BM25.
 func (e *Engine) IsBM25() bool { return e.bm25 }
 
-// idf is the BM25 inverse document frequency with the +1 floor that keeps
-// it positive for very common terms.
+// idf is the BM25 inverse document frequency over the engine's collection
+// statistics.
 func (e *Engine) idf(t textproc.Token) float64 {
-	df := float64(e.statDocFreq(t))
-	n := float64(e.statNumDocs())
+	return bm25IDF(float64(e.statDocFreq(t)), float64(e.statNumDocs()))
+}
+
+// bm25IDF is the BM25 inverse document frequency with the +1 floor that
+// keeps it positive for very common terms. One shared expression, so the
+// live engine's hoisted per-view constants are bit-identical to what each
+// segment engine would compute itself.
+func bm25IDF(df, n float64) float64 {
 	return math.Log((n-df+0.5)/(df+0.5) + 1)
 }

@@ -181,6 +181,15 @@ type CollectionStats struct {
 	NumDocs     int
 }
 
+// CollectionStats implements StatSource, so a materialized snapshot can be
+// installed as an engine's scoring override (WithCollectionStats).
+
+func (st *CollectionStats) StatCollFreq(t textproc.Token) int { return st.CollFreq[t] }
+func (st *CollectionStats) StatDocFreq(t textproc.Token) int  { return st.DocFreq[t] }
+func (st *CollectionStats) StatNumDocs() int                  { return st.NumDocs }
+func (st *CollectionStats) StatTotalTokens() int              { return st.TotalTokens }
+func (st *CollectionStats) StatNumTerms() int                 { return st.NumTerms }
+
 // StatsOf extracts an index's own collection statistics — the values an
 // engine over that index scores with. A cluster node reports StatsOf its
 // primary partition's index (primaries are disjoint and cover the corpus,
@@ -229,7 +238,11 @@ func MergeStats(dst, src *CollectionStats) {
 // the index. Passing nil restores index-local statistics.
 func (e *Engine) WithCollectionStats(st *CollectionStats) *Engine {
 	cp := *e
-	cp.stats = st
+	if st == nil {
+		cp.stats = nil // a nil *CollectionStats must read as "no override"
+	} else {
+		cp.stats = st
+	}
 	cp.cache = e.cache.fresh()
 	return &cp
 }

@@ -51,8 +51,9 @@ type Engine struct {
 
 	// stats, when non-nil, overrides the collection-level statistics the
 	// scoring reads (see WithCollectionStats) — the hook that makes a
-	// partition-local engine score like the whole corpus in cluster mode.
-	stats *CollectionStats
+	// partition-local engine score like the whole corpus in cluster mode,
+	// and a segment-local engine score like the whole live view.
+	stats StatSource
 
 	workers int
 	cache   *queryCache
@@ -184,42 +185,56 @@ func DirichletTermScore(tf, dl int, mu, pC float64) float64 {
 	return math.Log((float64(tf) + mu*pC) / (float64(dl) + mu))
 }
 
-// Collection-level statistic reads, routed through the WithCollectionStats
-// override when one is set and the engine's own index otherwise. Every
-// scoring path reads these — never idx fields directly — so the override
-// covers Dirichlet, BM25, and both reference paths at once.
+// StatSource supplies the collection-level statistics the scoring reads:
+// everything beyond per-document state (term frequencies, document
+// lengths, which always come from the engine's own index). Implemented by
+// *CollectionStats (a materialized snapshot, the cluster exchange form)
+// and by the live engine's view statistics (computed over its segments, so
+// no O(vocabulary) snapshot is rebuilt per ingest).
+type StatSource interface {
+	StatCollFreq(t textproc.Token) int
+	StatDocFreq(t textproc.Token) int
+	StatNumDocs() int
+	StatTotalTokens() int
+	StatNumTerms() int
+}
+
+// Collection-level statistic reads, routed through the stats override when
+// one is set and the engine's own index otherwise. Every scoring path
+// reads these — never idx fields directly — so the override covers
+// Dirichlet, BM25, and both reference paths at once.
 
 func (e *Engine) statCollFreq(t textproc.Token) int {
 	if e.stats != nil {
-		return e.stats.CollFreq[t]
+		return e.stats.StatCollFreq(t)
 	}
 	return e.idx.CollectionFreq(t)
 }
 
 func (e *Engine) statDocFreq(t textproc.Token) int {
 	if e.stats != nil {
-		return e.stats.DocFreq[t]
+		return e.stats.StatDocFreq(t)
 	}
 	return e.idx.DocFreq(t)
 }
 
 func (e *Engine) statNumDocs() int {
 	if e.stats != nil {
-		return e.stats.NumDocs
+		return e.stats.StatNumDocs()
 	}
 	return e.idx.NumDocs()
 }
 
 func (e *Engine) statTotalTokens() int {
 	if e.stats != nil {
-		return e.stats.TotalTokens
+		return e.stats.StatTotalTokens()
 	}
 	return e.idx.totalToks
 }
 
 func (e *Engine) statNumTerms() int {
 	if e.stats != nil {
-		return e.stats.NumTerms
+		return e.stats.StatNumTerms()
 	}
 	return e.idx.NumTerms()
 }

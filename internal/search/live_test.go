@@ -1,0 +1,364 @@
+package search
+
+import (
+	"fmt"
+	"math/rand"
+	"os"
+	"sync"
+	"testing"
+	"time"
+
+	"l2q/internal/corpus"
+	"l2q/internal/synth"
+	"l2q/internal/textproc"
+)
+
+// liveTestCorpus generates a small synthetic corpus and a mixed query set
+// (entity seed queries, seed ∥ aspect-ish continuations, single terms) —
+// the shapes harvest sessions actually fire.
+func liveTestCorpus(t testing.TB, domain corpus.Domain) ([]*corpus.Page, [][]textproc.Token) {
+	t.Helper()
+	cfg := synth.TestConfig(domain)
+	g, err := synth.Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var qs [][]textproc.Token
+	for i, e := range g.Corpus.Entities {
+		seed := g.Tokenizer.Tokenize(e.SeedQuery)
+		qs = append(qs, seed)
+		if i < len(g.Corpus.Pages) {
+			if toks := g.Corpus.Pages[i].Tokens(); len(toks) > 2 {
+				qs = append(qs, append(append([]textproc.Token{}, seed...), toks[1], toks[2]))
+				qs = append(qs, []textproc.Token{toks[0]})
+			}
+		}
+	}
+	return g.Corpus.Pages, qs
+}
+
+// requireParity asserts the live engine ranks byte-identically to a
+// frozen engine rebuilt from the same final page set: same pages in the
+// same order with bit-equal scores, plus equal collection statistics, μ,
+// and query likelihoods.
+func requireParity(t *testing.T, ctx string, le *LiveEngine, pages []*corpus.Page, qs [][]textproc.Token) {
+	t.Helper()
+	frozen := NewEngineOpts(BuildIndex(pages), Options{CacheSize: -1})
+	if le.IsBM25() {
+		frozen = frozen.WithBM25(DefaultBM25K1, DefaultBM25B)
+	}
+	if got, want := le.NumDocs(), frozen.Index().NumDocs(); got != want {
+		t.Fatalf("%s: NumDocs = %d, frozen %d", ctx, got, want)
+	}
+	if got, want := le.NumTerms(), frozen.Index().NumTerms(); got != want {
+		t.Fatalf("%s: NumTerms = %d, frozen %d", ctx, got, want)
+	}
+	if got, want := le.TotalTokens(), frozen.Index().TotalTokens(); got != want {
+		t.Fatalf("%s: TotalTokens = %d, frozen %d", ctx, got, want)
+	}
+	if got, want := le.Mu(), frozen.Mu(); got != want {
+		t.Fatalf("%s: Mu = %v, frozen %v", ctx, got, want)
+	}
+	var lres, fres []Result
+	for qi, q := range qs {
+		lres = le.SearchAppend(lres[:0], q)
+		fres = frozen.SearchAppend(fres[:0], q)
+		if len(lres) != len(fres) {
+			t.Fatalf("%s: query %d: live %d hits, frozen %d", ctx, qi, len(lres), len(fres))
+		}
+		for i := range fres {
+			if lres[i].Page != fres[i].Page || lres[i].Score != fres[i].Score {
+				t.Fatalf("%s: query %d rank %d: live (page %d, %v), frozen (page %d, %v)",
+					ctx, qi, i, lres[i].Page.ID, lres[i].Score, fres[i].Page.ID, fres[i].Score)
+			}
+		}
+		if len(q) > 0 {
+			if got, want := le.CollectionFreq(q[0]), frozen.Index().CollectionFreq(q[0]); got != want {
+				t.Fatalf("%s: CollectionFreq(%q) = %d, frozen %d", ctx, q[0], got, want)
+			}
+			if got, want := le.DocFreq(q[0]), frozen.Index().DocFreq(q[0]); got != want {
+				t.Fatalf("%s: DocFreq(%q) = %d, frozen %d", ctx, q[0], got, want)
+			}
+		}
+	}
+	for i := 0; i < len(pages) && i < 5; i++ {
+		if got, want := le.QueryLikelihood(pages[i], qs[0]), frozen.QueryLikelihood(pages[i], qs[0]); got != want {
+			t.Fatalf("%s: QueryLikelihood(page %d) = %v, frozen %v", ctx, pages[i].ID, got, want)
+		}
+	}
+}
+
+// TestLiveParityGrownVsRebuilt is the tentpole contract: a live engine
+// grown from empty — across memtable sizes, ingest batch sizes, and
+// compaction settings, on both domains — ranks byte-identically to a
+// frozen engine rebuilt from the final page set.
+func TestLiveParityGrownVsRebuilt(t *testing.T) {
+	for _, domain := range []corpus.Domain{synth.DomainResearchers, synth.DomainCars} {
+		pages, qs := liveTestCorpus(t, domain)
+		for _, tc := range []struct {
+			mem, fan, batch int
+		}{
+			{1, 2, 1},    // every doc its own segment, aggressive merging
+			{7, -1, 3},   // no background compaction at all
+			{16, 3, 5},   // mid-size generations
+			{64, 4, 17},  // batches split across seal boundaries
+			{1000, 4, 1}, // everything stays in the memtable
+		} {
+			le := NewLiveEngine(nil, Options{}, LiveOptions{
+				MemtableDocs: tc.mem, CompactFanIn: tc.fan, IngestWorkers: 1,
+			})
+			for i := 0; i < len(pages); i += tc.batch {
+				end := i + tc.batch
+				if end > len(pages) {
+					end = len(pages)
+				}
+				le.Add(pages[i:end]...)
+			}
+			le.Quiesce()
+			ctx := fmt.Sprintf("%s mem=%d fan=%d batch=%d", domain, tc.mem, tc.fan, tc.batch)
+			requireParity(t, ctx, le, pages, qs)
+			if got, want := len(le.Pages()), len(pages); got != want {
+				t.Fatalf("%s: Pages() = %d, want %d", ctx, got, want)
+			}
+		}
+	}
+}
+
+// TestLiveParityRandomSchedule drives a seeded random mix of single adds,
+// batch adds, explicit seals, and explicit compactions — with parity
+// checked at intermediate checkpoints against a frozen rebuild of the
+// prefix, not just at the end.
+func TestLiveParityRandomSchedule(t *testing.T) {
+	pages, qs := liveTestCorpus(t, synth.DomainResearchers)
+	for seed := int64(1); seed <= 3; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		le := NewLiveEngine(nil, Options{}, LiveOptions{
+			MemtableDocs: 5, CompactFanIn: -2, IngestWorkers: 1,
+		})
+		next := 0
+		checkpoints := map[int]bool{len(pages) / 3: true, 2 * len(pages) / 3: true, len(pages): true}
+		for next < len(pages) {
+			n := 1 + rng.Intn(4)
+			if next+n > len(pages) {
+				n = len(pages) - next
+			}
+			le.Add(pages[next : next+n]...)
+			next += n
+			switch rng.Intn(5) {
+			case 0:
+				le.Seal()
+			case 1:
+				le.Compact()
+			}
+			if checkpoints[next] {
+				requireParity(t, fmt.Sprintf("seed=%d prefix=%d", seed, next), le, pages[:next], qs)
+			}
+		}
+	}
+}
+
+// TestLiveParityBootstrapAndBM25 covers the frozen-boot path (bootstrap
+// pages as one sealed segment, then grow) and the BM25 strategy.
+func TestLiveParityBootstrapAndBM25(t *testing.T) {
+	pages, qs := liveTestCorpus(t, synth.DomainCars)
+	half := len(pages) / 2
+
+	le := NewLiveEngine(pages[:half], Options{}, LiveOptions{MemtableDocs: 9, CompactFanIn: 2})
+	requireParity(t, "bootstrap-only", le, pages[:half], qs)
+	le.Add(pages[half:]...)
+	le.Quiesce()
+	requireParity(t, "bootstrap+grown", le, pages, qs)
+
+	bm := NewLiveEngine(nil, Options{}, LiveOptions{MemtableDocs: 6, CompactFanIn: 2, BM25: true})
+	bm.Add(pages...)
+	bm.Quiesce()
+	requireParity(t, "bm25", bm, pages, qs)
+}
+
+// TestLiveTopKOverride checks the per-request k override against frozen
+// engines configured with the same k.
+func TestLiveTopKOverride(t *testing.T) {
+	pages, qs := liveTestCorpus(t, synth.DomainResearchers)
+	le := NewLiveEngine(nil, Options{}, LiveOptions{MemtableDocs: 11})
+	le.Add(pages...)
+	le.Quiesce()
+	frozen := NewEngineOpts(BuildIndex(pages), Options{CacheSize: -1})
+	for _, k := range []int{1, 3, 10} {
+		fk := frozen.WithTopK(k)
+		var lres, fres []Result
+		for _, q := range qs[:10] {
+			lres = le.SearchTopKAppend(lres[:0], k, q)
+			fres = fk.SearchAppend(fres[:0], q)
+			if len(lres) != len(fres) {
+				t.Fatalf("k=%d: live %d hits, frozen %d", k, len(lres), len(fres))
+			}
+			for i := range fres {
+				if lres[i].Page != fres[i].Page || lres[i].Score != fres[i].Score {
+					t.Fatalf("k=%d rank %d: live page %d, frozen page %d", k, i, lres[i].Page.ID, fres[i].Page.ID)
+				}
+			}
+		}
+	}
+}
+
+// TestLiveCacheEpochInvalidation: a publish must invalidate prior cached
+// results via the epoch key — post-ingest queries see the new corpus —
+// while repeated queries within one epoch hit the cache.
+func TestLiveCacheEpochInvalidation(t *testing.T) {
+	pages, qs := liveTestCorpus(t, synth.DomainResearchers)
+	le := NewLiveEngine(nil, Options{}, LiveOptions{MemtableDocs: 50})
+	le.Add(pages[:20]...)
+	q := qs[0]
+
+	le.Search(q)
+	_, m0 := le.CacheStats()
+	le.Search(q)
+	h1, m1 := le.CacheStats()
+	if m1 != m0 || h1 == 0 {
+		t.Fatalf("same-epoch repeat did not hit cache: hits=%d misses %d→%d", h1, m0, m1)
+	}
+	epoch := le.Epoch()
+
+	le.Add(pages[20:40]...)
+	if le.Epoch() == epoch {
+		t.Fatal("Add did not bump epoch")
+	}
+	res := le.Search(q)
+	_, m2 := le.CacheStats()
+	if m2 != m1+1 {
+		t.Fatalf("post-ingest query should miss the stale epoch: misses %d→%d", m1, m2)
+	}
+	frozen := NewEngineOpts(BuildIndex(pages[:40]), Options{CacheSize: -1})
+	fres := frozen.Search(q)
+	if len(res) != len(fres) {
+		t.Fatalf("post-ingest results stale: live %d hits, frozen %d", len(res), len(fres))
+	}
+	for i := range fres {
+		if res[i].Page != fres[i].Page || res[i].Score != fres[i].Score {
+			t.Fatalf("post-ingest rank %d stale: live page %d, frozen page %d", i, res[i].Page.ID, fres[i].Page.ID)
+		}
+	}
+	if inv := le.Metrics().EpochInvalidations; inv == 0 {
+		t.Fatal("EpochInvalidations gauge not counting")
+	}
+}
+
+// TestLiveMetricsGauges sanity-checks the generational gauges across the
+// segment lifecycle.
+func TestLiveMetricsGauges(t *testing.T) {
+	pages, _ := liveTestCorpus(t, synth.DomainResearchers)
+	le := NewLiveEngine(nil, Options{}, LiveOptions{MemtableDocs: 4, CompactFanIn: -2, IngestWorkers: 1})
+	le.Add(pages[:10]...)
+	m := le.Metrics()
+	if m.NumDocs != 10 || m.MemtableDocs != 2 || m.Segments != 3 {
+		t.Fatalf("after 10 adds at memtable=4: %+v", m)
+	}
+	le.Compact()
+	m = le.Metrics()
+	if m.Compactions == 0 || m.DocsCompacted != 8 || m.Segments != 2 {
+		t.Fatalf("after compact: %+v", m)
+	}
+	if m.Epoch == 0 || m.EpochInvalidations == 0 {
+		t.Fatalf("epoch gauges flat: %+v", m)
+	}
+}
+
+// liveSoakDuration mirrors the scheduler soak's L2Q_SOAK contract: a
+// short default locally, 30 s in CI.
+func liveSoakDuration(t *testing.T) time.Duration {
+	if s := os.Getenv("L2Q_SOAK"); s != "" {
+		d, err := time.ParseDuration(s)
+		if err != nil {
+			t.Fatalf("bad L2Q_SOAK %q: %v", s, err)
+		}
+		return d
+	}
+	return 1500 * time.Millisecond
+}
+
+// TestLiveEngineSoak is the ingest+search+compact churn loop under the
+// race detector: concurrent batched ingestion, seeded searches with
+// reused buffers, explicit seal/compact churn, and metrics polling
+// against one engine — then differential parity on the final corpus.
+func TestLiveEngineSoak(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	deadline := time.Now().Add(liveSoakDuration(t))
+	pages, qs := liveTestCorpus(t, synth.DomainResearchers)
+	le := NewLiveEngine(nil, Options{}, LiveOptions{MemtableDocs: 8, CompactFanIn: 2})
+
+	var mu sync.Mutex // guards next (ingest order stays deterministic per worker claim)
+	next := 0
+	claim := func(n int) []*corpus.Page {
+		mu.Lock()
+		defer mu.Unlock()
+		if next >= len(pages) {
+			return nil
+		}
+		if next+n > len(pages) {
+			n = len(pages) - next
+		}
+		batch := pages[next : next+n]
+		next += n
+		return batch
+	}
+
+	var wg sync.WaitGroup
+	for w := 0; w < 2; w++ { // ingesters
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for time.Now().Before(deadline) {
+				batch := claim(1 + w)
+				if batch == nil {
+					time.Sleep(time.Millisecond)
+					continue
+				}
+				le.Add(batch...)
+			}
+		}(w)
+	}
+	for w := 0; w < 4; w++ { // searchers
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			var dst []Result
+			for i := 0; time.Now().Before(deadline); i++ {
+				q := qs[(i*7+w)%len(qs)]
+				dst = le.SearchAppend(dst[:0], q)
+				for _, r := range dst {
+					if r.Page == nil {
+						t.Error("nil page in live result")
+						return
+					}
+				}
+			}
+		}(w)
+	}
+	wg.Add(1)
+	go func() { // churn: explicit seals and compactions race the background compactor
+		defer wg.Done()
+		for i := 0; time.Now().Before(deadline); i++ {
+			if i%2 == 0 {
+				le.Seal()
+			} else {
+				le.Compact()
+			}
+			le.Metrics()
+			time.Sleep(2 * time.Millisecond)
+		}
+	}()
+	wg.Wait()
+
+	// Drain whatever the deadline cut off, then hold the parity bar.
+	for {
+		batch := claim(64)
+		if batch == nil {
+			break
+		}
+		le.Add(batch...)
+	}
+	le.Quiesce()
+	requireParity(t, "post-soak", le, pages, qs)
+}

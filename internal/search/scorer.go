@@ -151,23 +151,58 @@ var searchScratchPool = sync.Pool{New: func() any { return new(searchScratch) }}
 // sets are disjoint and the merged ranking equals the reference's. The
 // top-k results are appended to dst.
 func (e *Engine) searchShardedAppend(dst []Result, query []textproc.Token) []Result {
-	sc := searchScratchPool.Get().(*searchScratch)
-	lists := sc.lists[:0]
-	total := 0
-	for _, t := range query {
-		pl := e.idx.postingsFor(t)
-		lists = append(lists, pl)
-		total += len(pl)
-	}
-	sc.lists = lists
-	if total == 0 {
-		releaseSearchScratch(sc)
-		return dst
-	}
 	k := e.topK
 	if k < 0 {
 		k = 0
 	}
+	sc, cands := e.searchCands(query, k)
+	if sc == nil {
+		return dst
+	}
+	dst = e.appendFinish(dst, cands, k)
+	releaseSearchScratch(sc)
+	return dst
+}
+
+// SearchRankedAppend scores the query and appends the engine's top-k as
+// (global ordinal, score) pairs, offsetting local document ordinals by
+// base — the exchange form MergeTopKAppend consumes, shared by cluster
+// scatter-gather and the live engine's segment merge. k ≤ 0 uses the
+// engine's TopK. The query cache is bypassed (callers that want one layer
+// their own, keyed to their own lifecycle); with a reused dst the call
+// allocates nothing. Safe for concurrent use.
+func (e *Engine) SearchRankedAppend(dst []RankedDoc, base int64, k int, query []textproc.Token) []RankedDoc {
+	if len(query) == 0 {
+		return dst
+	}
+	if k <= 0 {
+		k = e.topK
+	}
+	if k < 0 {
+		k = 0
+	}
+	sc, cands := e.searchCands(query, k)
+	if sc == nil {
+		return dst
+	}
+	slices.SortFunc(cands, compareCand)
+	if k > len(cands) {
+		k = len(cands)
+	}
+	for _, c := range cands[:k] {
+		dst = append(dst, RankedDoc{Doc: base + int64(c.doc), Score: c.score})
+	}
+	releaseSearchScratch(sc)
+	return dst
+}
+
+// searchCands runs the sharded scoring fan-out and returns the pooled
+// scratch together with the unsorted surviving candidates (the union of
+// the per-worker top-k heaps). A nil scratch means the query matched no
+// postings; otherwise the candidates alias the scratch and the caller
+// must releaseSearchScratch once done with them.
+func (e *Engine) searchCands(query []textproc.Token, k int) (*searchScratch, []cand) {
+	sc := searchScratchPool.Get().(*searchScratch)
 
 	// Per-position scoring constants, hoisted out of the per-document
 	// loop (the reference recomputes them per candidate; the values are
@@ -189,6 +224,32 @@ func (e *Engine) searchShardedAppend(dst []Result, query []textproc.Token) []Res
 	}
 	sc.consts = consts
 
+	cands, ok := e.searchCandsIn(sc, query, k, pC, idf, avgdl)
+	if !ok {
+		releaseSearchScratch(sc)
+		return nil, nil
+	}
+	return sc, cands
+}
+
+// searchCandsIn is searchCands with the scoring constants supplied by the
+// caller — the live engine hoists them once per query across all of a
+// view's segments (they depend only on the collection statistics, never
+// on the segment). Returns ok=false when the query matched no postings;
+// the caller still owns sc either way.
+func (e *Engine) searchCandsIn(sc *searchScratch, query []textproc.Token, k int, pC, idf []float64, avgdl float64) ([]cand, bool) {
+	lists := sc.lists[:0]
+	total := 0
+	for _, t := range query {
+		pl := e.idx.postingsFor(t)
+		lists = append(lists, pl)
+		total += len(pl)
+	}
+	sc.lists = lists
+	if total == 0 {
+		return nil, false
+	}
+
 	workers := e.workers
 	if maxW := total / minPostingsPerWorker; workers > maxW+1 {
 		workers = maxW + 1
@@ -208,9 +269,7 @@ func (e *Engine) searchShardedAppend(dst []Result, query []textproc.Token) []Res
 
 	if workers == 1 {
 		e.scoreRange(lists, 0, int32(nDocs), pC, idf, avgdl, &work[0], k)
-		dst = e.appendFinish(dst, work[0].heap, k)
-		releaseSearchScratch(sc)
-		return dst
+		return work[0].heap, true
 	}
 
 	var wg sync.WaitGroup
@@ -229,17 +288,21 @@ func (e *Engine) searchShardedAppend(dst []Result, query []textproc.Token) []Res
 		merged = append(merged, work[w].heap...)
 	}
 	sc.merged = merged
-	dst = e.appendFinish(dst, merged, k)
-	releaseSearchScratch(sc)
-	return dst
+	return merged, true
 }
 
 // releaseSearchScratch drops the posting-list references (they alias the
-// index; no reason to pin them from the pool) and returns sc to the pool.
+// index; no reason to pin them from the pool), truncates the remaining
+// buffers — their backing arrays are pool-owned scratch holding only
+// value-typed elements, so keeping the capacity is the point — and
+// returns sc to the pool.
 func releaseSearchScratch(sc *searchScratch) {
 	for i := range sc.lists {
 		sc.lists[i] = nil
 	}
+	sc.consts = sc.consts[:0]
+	sc.work = sc.work[:0]
+	sc.merged = sc.merged[:0]
 	searchScratchPool.Put(sc)
 }
 

@@ -712,6 +712,12 @@ func (c *Client) ClusterSearch(ctx context.Context, part int, seed, query []text
 // every caller must be able to tolerate a duplicate delivery, since a
 // response lost on the wire retries a request the server already applied.
 func (c *Client) postRetry(ctx context.Context, op, path string, body []byte, decode func([]byte) error) error {
+	return c.postRetryCT(ctx, op, path, body, "application/json", false, decode)
+}
+
+// postRetryCT is postRetry with an explicit request content type and
+// codec negotiation (Accept: wire) — the write-path twin of getNegotiated.
+func (c *Client) postRetryCT(ctx context.Context, op, path string, body []byte, contentType string, acceptWire bool, decode func([]byte) error) error {
 	if err := ctx.Err(); err != nil {
 		return &TransportError{Op: op, Path: path, Err: err}
 	}
@@ -722,7 +728,7 @@ func (c *Client) postRetry(ctx context.Context, op, path string, body []byte, de
 		if attempt > 1 {
 			c.met.retries.Add(1)
 		}
-		b, err := c.postOnce(ctx, path, body)
+		b, err := c.postOnce(ctx, path, body, contentType, acceptWire)
 		if err == nil {
 			err = decode(b)
 		}
@@ -751,16 +757,20 @@ func (c *Client) postRetry(ctx context.Context, op, path string, body []byte, de
 	return &TransportError{Op: op, Path: path, Attempts: attempts, Status: status, Code: code, Err: lastErr}
 }
 
-// postOnce issues a single JSON POST (a fresh body reader per attempt —
-// retries must never replay a half-consumed reader) and reads the
-// full response.
-func (c *Client) postOnce(ctx context.Context, path string, body []byte) ([]byte, error) {
+// postOnce issues a single POST (a fresh body reader per attempt —
+// retries must never replay a half-consumed reader) and reads the full
+// response. acceptWire asks the server to answer in the binary codec;
+// the caller sniffs the response body for the frame magic.
+func (c *Client) postOnce(ctx context.Context, path string, body []byte, contentType string, acceptWire bool) ([]byte, error) {
 	c.met.requests.Add(1)
 	req, err := http.NewRequestWithContext(ctx, http.MethodPost, c.base+path, bytes.NewReader(body))
 	if err != nil {
 		return nil, err
 	}
-	req.Header.Set("Content-Type", "application/json")
+	req.Header.Set("Content-Type", contentType)
+	if acceptWire {
+		req.Header.Set("Accept", wireContentType)
+	}
 	resp, err := c.http.Do(req)
 	if err != nil {
 		return nil, err
@@ -774,6 +784,36 @@ func (c *Client) postOnce(ctx context.Context, path string, body []byte) ([]byte
 		return nil, readErr
 	}
 	return b, nil
+}
+
+// Ingest posts a batch of pages to a live server's write path. Safe to
+// retry: the server skips pages it already holds (reported back in
+// Duplicates), so a duplicate delivery after a lost ack never
+// double-counts collection statistics. The batch travels as one
+// wireIngest frame when the dial probe negotiated the binary codec, as
+// JSON otherwise; the ack is sniffed per the mixed-version rule.
+func (c *Client) Ingest(ctx context.Context, req IngestRequest) (IngestResponse, error) {
+	var body []byte
+	contentType := "application/json"
+	wire := c.wantWire() && c.wire
+	if wire {
+		body = marshalFrame(wireIngest, DefaultCompressMin, func(e *store.Enc) { encodeIngestWire(e, req) })
+		contentType = wireContentType
+	} else {
+		var err error
+		if body, err = json.Marshal(req); err != nil {
+			return IngestResponse{}, err
+		}
+	}
+	var out IngestResponse
+	err := c.postRetryCT(ctx, "ingest", c.api("/ingest"), body, contentType, wire, func(b []byte) error {
+		if isWireFrame(b) {
+			return decodeFramePayload(b, wireIngest, func(d *store.Dec) { out = decodeIngestAckWire(d) })
+		}
+		out = IngestResponse{}
+		return json.Unmarshal(b, &out)
+	})
+	return out, err
 }
 
 // Entities lists the server's harvest targets. The caller's context

@@ -336,13 +336,15 @@ func (hb *HarvestBackend) buildJobs(srv *Server, req HarvestRequest, p *harvestP
 	emit func(HarvestEvent)) (jobs []pipeline.Job, jobEntities []*corpus.Entity, failed int) {
 
 	for _, id := range req.Entities {
+		srv.corpusMu.RLock()
 		e := srv.corpus.Entity(id)
+		srv.corpusMu.RUnlock()
 		if e == nil {
 			failed++
 			emit(HarvestEvent{Type: "error", Entity: id, Error: fmt.Sprintf("unknown entity id %d", id)})
 			continue
 		}
-		sess := core.NewSession(hb.Cfg, srv.engine, e, p.aspect, p.y, p.dm, hb.Rec, uint64(e.ID)+1)
+		sess := core.NewSession(hb.Cfg, srv.retriever(), e, p.aspect, p.y, p.dm, hb.Rec, uint64(e.ID)+1)
 		nq := req.NQueries
 		if cp, ok := p.resume[e.ID]; ok {
 			if err := sess.Resume(cp); err != nil {

@@ -60,6 +60,7 @@ func (s *Server) routes() []apiRoute {
 		{method: "GET", path: "/api/v1/cluster/search", wire: wireSearch, h: s.handleClusterSearch},
 		{method: "GET", path: "/api/v1/cluster/stats", wire: wireNodeStats, h: s.handleClusterStats},
 		{method: "POST", path: "/api/v1/cluster/stats", h: s.handleClusterStats},
+		{method: "POST", path: "/api/v1/ingest", wire: wireIngest, h: s.handleIngest},
 		{method: "POST", path: "/api/v1/harvest", legacy: "/api/harvest", wire: wireEvent, stream: always, h: s.handleHarvest},
 		{method: "POST", path: "/api/v1/jobs", legacy: "/api/jobs", h: s.handleJobSubmit},
 		{method: "GET", path: "/api/v1/jobs/{id}", legacy: "/api/jobs/{id}", wire: wireEvent, stream: streamParam, h: s.handleJobGet},

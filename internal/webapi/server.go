@@ -26,6 +26,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"l2q/internal/core"
 	"l2q/internal/corpus"
 	"l2q/internal/html"
 	"l2q/internal/pipeline"
@@ -73,13 +74,20 @@ type EntityInfo struct {
 	SeedQuery string          `json:"seedQuery"`
 }
 
-// Server serves a corpus and engine over HTTP. Construct with NewServer,
-// then Start/Shutdown (or mount Handler on your own server). Server is
-// safe for concurrent requests: the corpus and engine are immutable.
+// Server serves a corpus and engine over HTTP. Construct with NewServer
+// (frozen corpus) or NewLiveServer (live generational index), then
+// Start/Shutdown (or mount Handler on your own server). Server is safe
+// for concurrent requests: a frozen corpus and engine are immutable, and
+// a live server serializes corpus growth behind corpusMu while searches
+// run lock-free against the live engine's epoch views.
 type Server struct {
 	corpus *corpus.Corpus
 	engine *search.Engine
 	pages  map[corpus.PageID]*corpus.Page
+
+	// corpusMu guards corpus and pages once ingest can grow them; frozen
+	// servers never take the write side.
+	corpusMu sync.RWMutex
 
 	// Log receives one line per request when non-nil.
 	Log *log.Logger
@@ -111,6 +119,15 @@ type Server struct {
 	// (partition-local search, stat registration/push). The regular
 	// endpoints keep serving the node's full local corpus store.
 	Node *ClusterNode
+	// Live, when non-nil, serves retrieval from the generational live
+	// engine instead of the frozen engine and enables POST /api/v1/ingest
+	// (set by NewLiveServer; set it before the first request).
+	Live *search.LiveEngine
+	// Tokenizer tokenizes ingested paragraph text server-side, so
+	// ingested pages carry exactly the tokens the corpus tokenizer would
+	// have produced (the parity contract through the API). Nil falls back
+	// to the zero tokenizer (plain word splitting).
+	Tokenizer *textproc.Tokenizer
 
 	// cluster, when non-nil, makes this a coordinator server: the regular
 	// serving surface answers by scatter-gathering the cluster instead of
@@ -181,6 +198,37 @@ func NewServer(c *corpus.Corpus, engine *search.Engine) *Server {
 	ctx, cancel := context.WithCancel(context.Background())
 	return &Server{corpus: c, engine: engine, pages: pages, MaxConcurrent: 64,
 		ctx: ctx, cancel: cancel}
+}
+
+// NewLiveServer wires a server over a live generational engine: the
+// corpus is the engine's bootstrap page set, POST /api/v1/ingest grows
+// both, and every retrieval endpoint serves from the engine's current
+// epoch view. tok must be the tokenizer that produced the corpus tokens —
+// ingested paragraph text is tokenized server-side with it, which is what
+// keeps a grown index byte-identical in rankings to a frozen rebuild.
+func NewLiveServer(c *corpus.Corpus, live *search.LiveEngine, tok *textproc.Tokenizer) *Server {
+	s := NewServer(c, nil)
+	s.Live = live
+	s.Tokenizer = tok
+	return s
+}
+
+// retriever returns the serving retrieval surface: the live engine when
+// configured, the frozen engine otherwise. Both implement core.Retriever
+// and the allocation-free core.AppendRetriever.
+func (s *Server) retriever() core.Retriever {
+	if s.Live != nil {
+		return s.Live
+	}
+	return s.engine
+}
+
+// tokenizer returns the ingest tokenizer (the zero tokenizer when unset).
+func (s *Server) tokenizer() *textproc.Tokenizer {
+	if s.Tokenizer != nil {
+		return s.Tokenizer
+	}
+	return &textproc.Tokenizer{}
 }
 
 // semaphore returns the in-flight request bound, sized once from
@@ -322,6 +370,10 @@ type ServerMetrics struct {
 	// Cluster reports the coordinator's fan-out gauges (per-node in-flight,
 	// hedges fired, partials served); present only on coordinator servers.
 	Cluster *ClusterMetrics `json:"cluster,omitempty"`
+	// Live reports the generational engine's ingest-side gauges (segment
+	// count, memtable size, epoch, compaction totals, cache epoch-
+	// invalidations); present only on live servers.
+	Live *search.LiveMetrics `json:"live,omitempty"`
 }
 
 func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
@@ -351,6 +403,10 @@ func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 		cm := s.cluster.Metrics()
 		m.Cluster = &cm
 	}
+	if s.Live != nil {
+		lm := s.Live.Metrics()
+		m.Live = &lm
+	}
 	writeJSON(w, m)
 }
 
@@ -368,15 +424,24 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		s.respond(w, r, wireStats, func(e *store.Enc) { encodeStatsWire(e, st) }, st)
 		return
 	}
-	idx := s.engine.Index()
+	s.corpusMu.RLock()
 	st := Stats{
 		Domain:      string(s.corpus.Domain),
 		NumEntities: s.corpus.NumEntities(),
 		NumPages:    s.corpus.NumPages(),
-		NumTerms:    idx.NumTerms(),
-		TotalTokens: idx.TotalTokens(),
-		Mu:          s.engine.Mu(),
-		TopK:        s.engine.TopK(),
+	}
+	s.corpusMu.RUnlock()
+	if s.Live != nil {
+		st.NumTerms = s.Live.NumTerms()
+		st.TotalTokens = s.Live.TotalTokens()
+		st.Mu = s.Live.Mu()
+		st.TopK = s.Live.TopK()
+	} else {
+		idx := s.engine.Index()
+		st.NumTerms = idx.NumTerms()
+		st.TotalTokens = idx.TotalTokens()
+		st.Mu = s.engine.Mu()
+		st.TopK = s.engine.TopK()
 	}
 	s.respond(w, r, wireStats, func(e *store.Enc) { encodeStatsWire(e, st) }, st)
 }
@@ -435,11 +500,18 @@ func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
 		s.respond(w, r, wireSearch, func(e *store.Enc) { encodeSearchWire(e, resp) }, resp)
 		return
 	}
-	engine := s.engine
-	if k > 0 {
-		engine = engine.WithTopK(k)
+	var res []search.Result
+	if s.Live != nil {
+		// The per-request k rides through without deriving a new engine:
+		// the live cache is epoch- and k-keyed.
+		res = s.Live.SearchWithSeedTopKAppend(nil, k, seedToks, qToks)
+	} else {
+		engine := s.engine
+		if k > 0 {
+			engine = engine.WithTopK(k)
+		}
+		res = engine.SearchWithSeed(seedToks, qToks)
 	}
-	res := engine.SearchWithSeed(seedToks, qToks)
 	resp := SearchResponse{Query: textproc.JoinQuery(qToks), Seed: textproc.JoinQuery(seedToks), Hits: make([]SearchHit, 0, len(res))}
 	for _, h := range res {
 		resp.Hits = append(resp.Hits, SearchHit{
@@ -468,10 +540,16 @@ func (s *Server) handleCollFreq(w http.ResponseWriter, r *http.Request) {
 			map[string]map[string]int{"freqs": freqs})
 		return
 	}
-	idx := s.engine.Index()
 	freqs := make(map[string]int, len(toks))
-	for _, t := range toks {
-		freqs[t] = idx.CollectionFreq(t)
+	if s.Live != nil {
+		for _, t := range toks {
+			freqs[t] = s.Live.CollectionFreq(t)
+		}
+	} else {
+		idx := s.engine.Index()
+		for _, t := range toks {
+			freqs[t] = idx.CollectionFreq(t)
+		}
 	}
 	s.respond(w, r, wireCollFreq, func(e *store.Enc) { encodeCollFreqWire(e, freqs) },
 		map[string]map[string]int{"freqs": freqs})
@@ -483,10 +561,12 @@ func (s *Server) handleEntities(w http.ResponseWriter, r *http.Request) {
 		s.respond(w, r, wireEntities, func(e *store.Enc) { encodeEntitiesWire(e, out) }, out)
 		return
 	}
+	s.corpusMu.RLock()
 	out := make([]EntityInfo, 0, s.corpus.NumEntities())
 	for _, e := range s.corpus.Entities {
 		out = append(out, EntityInfo{ID: e.ID, Name: e.Name, SeedQuery: e.SeedQuery})
 	}
+	s.corpusMu.RUnlock()
 	s.respond(w, r, wireEntities, func(e *store.Enc) { encodeEntitiesWire(e, out) }, out)
 }
 
@@ -517,8 +597,10 @@ func (s *Server) handlePage(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 	} else {
+		s.corpusMu.RLock()
 		var ok bool
 		p, ok = s.pages[corpus.PageID(id)]
+		s.corpusMu.RUnlock()
 		if !ok {
 			writeError(w, http.StatusNotFound, "no such page")
 			return

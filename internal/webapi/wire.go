@@ -63,6 +63,7 @@ const (
 	wireEntities  byte = 5
 	wireEvent     byte = 6
 	wireNodeStats byte = 7
+	wireIngest    byte = 8
 )
 
 // Frame flags.
@@ -418,6 +419,83 @@ func decodeEventWire(d *store.Dec) HarvestEvent {
 	ev.Failed = int(d.Varint())
 	ev.Error = d.Str()
 	return ev
+}
+
+// encodeIngestWire frames an ingest batch. Paragraph text rides as-is;
+// tokenization is the SERVER's job (with the corpus tokenizer), which is
+// what keeps grown rankings identical to a frozen rebuild — a client-side
+// tokenizer could disagree on phrase boundaries.
+func encodeIngestWire(e *store.Enc, req IngestRequest) {
+	e.Uvarint(uint64(len(req.Pages)))
+	for _, p := range req.Pages {
+		e.Varint(int64(p.ID))
+		e.Varint(int64(p.Entity))
+		e.Str(p.EntityName)
+		e.Str(p.SeedQuery)
+		e.Str(p.URL)
+		e.Str(p.Title)
+		e.Uvarint(uint64(len(p.Paras)))
+		for _, para := range p.Paras {
+			e.Str(para.Text)
+			e.Str(para.Aspect)
+		}
+		e.Uvarint(uint64(len(p.Links)))
+		prev := int64(0)
+		for _, id := range p.Links {
+			e.Varint(int64(id) - prev)
+			prev = int64(id)
+		}
+	}
+}
+
+func decodeIngestWire(d *store.Dec) IngestRequest {
+	var req IngestRequest
+	n := d.Count("ingest pages")
+	if n > 0 {
+		req.Pages = make([]IngestPage, 0, n)
+	}
+	for i := 0; i < n && d.Err() == nil; i++ {
+		p := IngestPage{
+			ID:         corpus.PageID(d.Varint()),
+			Entity:     corpus.EntityID(d.Varint()),
+			EntityName: d.Str(),
+			SeedQuery:  d.Str(),
+			URL:        d.Str(),
+			Title:      d.Str(),
+		}
+		nPara := d.Count("ingest paragraphs")
+		for j := 0; j < nPara && d.Err() == nil; j++ {
+			p.Paras = append(p.Paras, IngestParagraph{Text: d.Str(), Aspect: d.Str()})
+		}
+		nLinks := d.Count("ingest links")
+		prev := int64(0)
+		for j := 0; j < nLinks && d.Err() == nil; j++ {
+			prev += d.Varint()
+			p.Links = append(p.Links, corpus.PageID(prev))
+		}
+		req.Pages = append(req.Pages, p)
+	}
+	return req
+}
+
+// encodeIngestAckWire frames the ingest acknowledgement (same frame kind
+// as the request: the route owns the kind, direction disambiguates).
+func encodeIngestAckWire(e *store.Enc, resp IngestResponse) {
+	e.Varint(int64(resp.Ingested))
+	e.Varint(int64(resp.Duplicates))
+	e.Varint(int64(resp.NumDocs))
+	e.Uvarint(resp.Epoch)
+	e.Varint(int64(resp.Segments))
+}
+
+func decodeIngestAckWire(d *store.Dec) IngestResponse {
+	return IngestResponse{
+		Ingested:   int(d.Varint()),
+		Duplicates: int(d.Varint()),
+		NumDocs:    int(d.Varint()),
+		Epoch:      d.Uvarint(),
+		Segments:   int(d.Varint()),
+	}
 }
 
 // decodeFramePayload opens a single-frame body and runs decode over it,

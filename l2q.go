@@ -32,6 +32,7 @@ import (
 	"l2q/internal/classify"
 	"l2q/internal/core"
 	"l2q/internal/corpus"
+	"l2q/internal/crawler"
 	"l2q/internal/search"
 	"l2q/internal/synth"
 	"l2q/internal/textproc"
@@ -69,6 +70,17 @@ type (
 	DomainModel = core.DomainModel
 	// Engine is the Dirichlet-smoothed retrieval engine.
 	Engine = search.Engine
+	// EngineOptions tunes the retrieval engine (shards, scoring workers,
+	// cache capacity). All fields are ranking-neutral.
+	EngineOptions = search.Options
+	// LiveEngine is the generational mutable engine: it absorbs pages
+	// while serving, ranking byte-identically to an Engine rebuilt from
+	// the same page set.
+	LiveEngine = search.LiveEngine
+	// LiveOptions tunes a LiveEngine's generational lifecycle.
+	LiveOptions = search.LiveOptions
+	// LiveMetrics is a LiveEngine's ingest-side gauge snapshot.
+	LiveMetrics = search.LiveMetrics
 	// Fetcher simulates remote page-download latency.
 	Fetcher = search.Fetcher
 	// HRModel is the harvest-rate baseline's domain statistics.
@@ -120,6 +132,38 @@ var (
 // baseline fires.
 func ManualQueries(d Domain, a Aspect) []Query { return baselines.ManualQueries(d, a) }
 
+// NewEngine builds a frozen retrieval engine over a fixed page set — the
+// immutable counterpart of NewLiveEngine (and the rebuild arm of the
+// grown-vs-rebuilt parity contract).
+func NewEngine(pages []*Page, opts EngineOptions) *Engine {
+	return search.NewEngineOpts(search.BuildIndexOpts(pages, opts), opts)
+}
+
+// NewLiveEngine creates a live generational engine, optionally
+// bootstrapped with an initial page set. See search.NewLiveEngine.
+func NewLiveEngine(pages []*Page, opts EngineOptions, lo LiveOptions) *LiveEngine {
+	return search.NewLiveEngine(pages, opts, lo)
+}
+
+// Crawler types: the best-first focused crawler, the link-following
+// contrast baseline of §II (see internal/crawler).
+type (
+	// CrawlConfig tunes a focused crawl (budget, frontier cap, page sink).
+	CrawlConfig = crawler.Config
+	// CrawlResult is the outcome of a focused crawl.
+	CrawlResult = crawler.Result
+)
+
+// Crawl runs a best-first focused crawl over the fixed corpus web: fetch
+// the highest-priority frontier page, classify it with y, enqueue its
+// out-links. See crawler.Crawl.
+func Crawl(pageByID map[PageID]*Page, seeds []*Page, y func(*Page) bool, cfg CrawlConfig) CrawlResult {
+	return crawler.Crawl(pageByID, seeds, y, cfg)
+}
+
+// CrawlPageIndex builds the crawler's fetch table for a corpus.
+func CrawlPageIndex(c *Corpus) map[PageID]*Page { return crawler.PageIndex(c) }
+
 // SystemOptions sizes a synthetic system.
 type SystemOptions struct {
 	// NumEntities and PagesPerEntity size the corpus (0 = paper scale:
@@ -137,6 +181,13 @@ type SystemOptions struct {
 	Shards       int
 	ScoreWorkers int
 	CacheSize    int
+	// MemtableDocs, CompactFanIn and IngestWorkers tune the live
+	// generational engine (see search.LiveOptions); non-zero values
+	// override the corresponding Config fields. Rankings are identical
+	// for every setting — the live engine's parity contract.
+	MemtableDocs  int
+	CompactFanIn  int
+	IngestWorkers int
 	// InferWorkers bounds the worker pool inside one inference step
 	// (delta containment and collective candidate scoring); non-zero
 	// overrides Config.InferWorkers. Utilities are identical for every
@@ -207,6 +258,15 @@ func NewSyntheticSystem(d Domain, opts SystemOptions) (*System, error) {
 	}
 	if opts.CacheSize != 0 {
 		cfg.SearchCacheSize = opts.CacheSize
+	}
+	if opts.MemtableDocs != 0 {
+		cfg.MemtableDocs = opts.MemtableDocs
+	}
+	if opts.CompactFanIn != 0 {
+		cfg.CompactFanIn = opts.CompactFanIn
+	}
+	if opts.IngestWorkers != 0 {
+		cfg.IngestWorkers = opts.IngestWorkers
 	}
 	if opts.InferWorkers != 0 {
 		cfg.InferWorkers = opts.InferWorkers

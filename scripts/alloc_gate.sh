@@ -18,7 +18,7 @@ trap 'rm -f "$RAW"' EXIT
 # -benchtime in iterations so allocs/op is a stable integer ratio, not a
 # wall-clock-dependent sample.
 go test -run '^$' \
-	-bench 'BenchmarkTokenizeAllocs|BenchmarkNGramsAllocs|BenchmarkSearchAllocs|BenchmarkSearchAppendConcurrent|BenchmarkCandidateAllocs|BenchmarkScatterMergeAllocs' \
+	-bench 'BenchmarkTokenizeAllocs|BenchmarkNGramsAllocs|BenchmarkSearchAllocs|BenchmarkLiveSearchAllocs|BenchmarkSearchAppendConcurrent|BenchmarkCandidateAllocs|BenchmarkScatterMergeAllocs' \
 	-benchmem -benchtime=500x \
 	./internal/textproc/ ./internal/search/ ./internal/core/ | tee "$RAW"
 
@@ -34,6 +34,8 @@ ceiling() {
 	BenchmarkSearchAllocs/cached/append) echo 0 ;;    # cache hit into a reused buffer
 	BenchmarkSearchAllocs/cached) echo 1 ;;           # the fresh result slice
 	BenchmarkSearchAllocs/nocache/append) echo 8 ;;   # pooled scoring scratch steady state
+	BenchmarkLiveSearchAllocs/cached/append) echo 0 ;; # multi-segment cache hit into a reused buffer
+	BenchmarkLiveSearchAllocs/cached) echo 1 ;;       # the fresh result slice
 	BenchmarkSearchAppendConcurrent) echo 1 ;;        # contended pool refills round up
 	BenchmarkCandidateAllocs/steady/append) echo 0 ;; # pool re-emits cached segments
 	BenchmarkCandidateAllocs/steady) echo 3 ;;        # the fresh result slice (+ map growth slack)
